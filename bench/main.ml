@@ -1,0 +1,180 @@
+(* Benchmark driver: regenerates every table and figure of the paper.
+
+     dune exec bench/main.exe            # everything, reduced scale
+     dune exec bench/main.exe -- --full  # paper-scale packet counts
+     dune exec bench/main.exe -- fig7a d2 table1   # selected experiments
+     dune exec bench/main.exe -- perf    # Bechamel micro-benchmarks *)
+
+module Stats = Mp5_util.Stats
+
+let bar width v =
+  let n = int_of_float (v *. float_of_int width) in
+  String.make (max 0 (min width n)) '#'
+
+let print_series title xlabel series =
+  Format.printf "@.%s@." title;
+  Format.printf "  %10s  %8s  %8s   normalized throughput@." xlabel "MP5" "ideal";
+  List.iter
+    (fun (p : Experiments.series_point) ->
+      Format.printf "  %10d  %8.3f  %8.3f   |%-40s|@." p.x p.mp5 p.ideal (bar 40 p.mp5))
+    series
+
+let range xs =
+  let lo, hi = Stats.min_max xs in
+  Printf.sprintf "%.2fx-%.2fx" lo hi
+
+let pct_range xs =
+  let lo, hi = Stats.min_max xs in
+  Printf.sprintf "%.1f%%-%.1f%%" (100. *. lo) (100. *. hi)
+
+let run_table1 () =
+  Mp5_asic.Table1.print Format.std_formatter;
+  Format.printf
+    "@.paper: quadratic growth in pipelines, linear in stages; 3.36mm2 at k=4, s=16;@.";
+  Format.printf "0.5-1%% of a 300-700mm2 switch ASIC at k=4 (2-4%% at k=8).@.";
+  let a = Mp5_asic.Model.area (Mp5_asic.Model.paper_config ~k:4 ~stages:16) in
+  let lo, hi = Mp5_asic.Model.switch_fraction a in
+  Format.printf "measured: k=4, s=16 -> %.2fmm2 = %.1f%%-%.1f%% of a switch ASIC@."
+    a.Mp5_asic.Model.total_mm2 (100. *. lo) (100. *. hi)
+
+let run_sram () =
+  let s = Mp5_asic.Model.sram ~stateful_stages:10 ~entries_per_stage:1000 in
+  Format.printf "@.SRAM overhead (Section 4.2):@.";
+  Format.printf "  %d bits per register index (6 pipeline id + 16 access + 8 in-flight)@."
+    s.Mp5_asic.Model.bits_per_index;
+  Format.printf "  10 stateful stages x 1000 entries -> %.1f KB per pipeline@."
+    s.Mp5_asic.Model.total_kb;
+  Format.printf "  paper: ~35 KB per pipeline, nominal next to 50-100 MB of switch SRAM@."
+
+let run_d2 scale =
+  let skewed, uniform = Experiments.d2 scale in
+  Format.printf "@.D2 microbenchmark: dynamic vs static sharding (throughput ratio, %d runs)@."
+    (Array.length skewed);
+  Format.printf "  skewed access pattern:  %s   (paper: 1.1x-3.3x)@." (range skewed);
+  Format.printf "  uniform access pattern: %s   (paper: 1.0x-1.5x)@." (range uniform)
+
+let run_d4 scale =
+  let mp5, nod4, recirc = Experiments.d4 scale in
+  Format.printf "@.D4 microbenchmark: packets violating C1 (%d runs)@." (Array.length mp5);
+  Format.printf "  MP5 (with D4):        %s   (paper: 0%%)@." (pct_range mp5);
+  Format.printf "  without D4:           %s   (paper: 14%%-26%%)@." (pct_range nod4);
+  Format.printf "  re-circulation:       %s   (paper: 18%%-31%%)@." (pct_range recirc)
+
+let run_d3 scale =
+  let rows = Experiments.d3 scale in
+  Format.printf "@.D3 microbenchmark: re-circulation vs MP5 throughput (%d runs)@."
+    (Array.length rows);
+  let reductions =
+    Array.map (fun (mp5, rc, _, _) -> 100.0 *. (1.0 -. (rc /. mp5))) rows
+  in
+  let lo, hi = Stats.min_max reductions in
+  Format.printf "  throughput reduction: %.0f%%-%.0f%%   (paper: 31%%-77%%)@." lo hi;
+  Array.iteri
+    (fun i (mp5, rc, avg_recirc, naive) ->
+      Format.printf
+        "  run %2d: mp5 %.3f  recirc %.3f (%.2f recirc/pkt)  naive-single %.3f%s@." i mp5 rc
+        avg_recirc naive
+        (if rc < naive then "   <- worse than naive (recirc/pkt ~ k)" else ""))
+    rows
+
+let run_fig8 scale =
+  Format.printf "@.Figure 8: real applications (bimodal 200/1400B packets, web-search flows)@.";
+  List.iter
+    (fun (name, points) ->
+      Format.printf "  %-10s" name;
+      List.iter
+        (fun (p : Experiments.app_point) ->
+          Format.printf "  k=%d: %.3f (maxq %d, p99 lat %.0f%s)" p.ap_k p.ap_thr p.ap_maxq
+            p.ap_p99_latency
+            (if p.ap_equiv then "" else " NOT-EQUIV"))
+        points;
+      Format.printf "@.")
+    (Experiments.fig8 scale);
+  Format.printf "  paper: line rate for every app at every pipeline count;@.";
+  Format.printf "  max queued packets: flowlet 11, CONGA 8, WFQ 7, sequencer 7.@."
+
+let run_ablate_priority scale =
+  let rows = Experiments.ablate_priority scale in
+  Format.printf "@.Ablation: Invariant 2 (stateless packets bypass queues; guarded program)@.";
+  Array.iteri
+    (fun i ((thr_on, lat_on), (thr_off, lat_off)) ->
+      Format.printf
+        "  run %2d: priority on thr %.3f p50-latency %4.0f   |   off thr %.3f p50-latency %4.0f@."
+        i thr_on lat_on thr_off lat_off)
+    rows
+
+let run_ablate_gate scale =
+  let rows = Experiments.ablate_gate scale in
+  Format.printf "@.Ablation: Figure 6 heuristic verbatim vs noise-gated (uniform, 64 entries)@.";
+  Array.iteri
+    (fun i (gated, verbatim) ->
+      Format.printf "  run %2d: gated %.3f   verbatim %.3f@." i gated verbatim)
+    rows;
+  Format.printf "  the verbatim heuristic chases sampling noise on balanced workloads@."
+
+let run_ablate_period scale =
+  Format.printf "@.Ablation: remap period (skewed pattern, random initial placement)@.";
+  List.iter
+    (fun (period, thr) ->
+      Format.printf "  every %5d cycles: %.3f%s@." period thr
+        (if period = 0 then " (never)" else if period = 100 then " (paper default)" else ""))
+    (Experiments.ablate_period scale)
+
+let run_ablate_fifo scale =
+  Format.printf "@.Ablation: finite FIFO capacity (tail drops, no adaptation)@.";
+  List.iter
+    (fun (cap, dropped, thr) ->
+      Format.printf "  capacity %3d: dropped %6d  throughput %.3f%s@." cap dropped thr
+        (if cap = 8 then " (paper's size)" else ""))
+    (Experiments.ablate_fifo scale)
+
+let run_fig7 scale which =
+  match which with
+  | `A ->
+      print_series "Figure 7a: throughput vs number of pipelines" "pipelines"
+        (Experiments.fig7a scale)
+  | `B ->
+      print_series "Figure 7b: throughput vs stateful stages" "stateful"
+        (Experiments.fig7b scale)
+  | `C ->
+      print_series "Figure 7c: throughput vs register size" "entries"
+        (Experiments.fig7c scale)
+  | `D ->
+      print_series "Figure 7d: throughput vs packet size" "bytes"
+        (Experiments.fig7d scale)
+
+let all =
+  [ "table1"; "sram"; "d2"; "d3"; "d4"; "fig7a"; "fig7b"; "fig7c"; "fig7d"; "fig8";
+    "ablate-priority"; "ablate-period"; "ablate-fifo"; "ablate-gate" ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let scale = if full then Experiments.full else Experiments.quick in
+  let wanted = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let wanted = if wanted = [] then all else wanted in
+  if not full then
+    Format.printf "(reduced scale: %d packets, %d runs per point; pass --full for paper scale)@."
+      scale.Experiments.n_packets scale.Experiments.runs;
+  List.iter
+    (fun name ->
+      match name with
+      | "table1" -> run_table1 ()
+      | "sram" -> run_sram ()
+      | "d2" -> run_d2 scale
+      | "d3" -> run_d3 scale
+      | "d4" -> run_d4 scale
+      | "fig7a" -> run_fig7 scale `A
+      | "fig7b" -> run_fig7 scale `B
+      | "fig7c" -> run_fig7 scale `C
+      | "fig7d" -> run_fig7 scale `D
+      | "fig8" -> run_fig8 scale
+      | "ablate-priority" -> run_ablate_priority scale
+      | "ablate-period" -> run_ablate_period scale
+      | "ablate-fifo" -> run_ablate_fifo scale
+      | "ablate-gate" -> run_ablate_gate scale
+      | "perf" -> Perf.run ()
+      | other ->
+          Format.eprintf "unknown experiment %S (known: %s, perf)@." other
+            (String.concat ", " all))
+    wanted

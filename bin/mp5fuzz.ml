@@ -1,0 +1,86 @@
+(* mp5fuzz: differential fuzzing of the whole stack.
+
+   For each seed, generate a random stateful Domino program and a random
+   line-rate trace, then check that
+   (1) the compiled configuration run on the golden single-pipeline
+       machine matches the reference AST interpreter, and
+   (2) the MP5 multi-pipeline simulator is functionally equivalent to the
+       golden machine with zero C1 violations,
+   for each requested pipeline count.
+
+   Exits non-zero on the first counterexample, printing the program. *)
+
+open Cmdliner
+
+module Machine = Mp5_banzai.Machine
+module Store = Mp5_banzai.Store
+module Sim = Mp5_core.Sim
+module Equiv = Mp5_core.Equiv
+module Transform = Mp5_core.Transform
+module Compile = Mp5_domino.Compile
+module Progen = Mp5_fuzz.Progen
+module Interp = Mp5_fuzz.Interp
+
+let fail_with src msg =
+  Format.eprintf "counterexample:@.%s@.%s@." src msg;
+  exit 1
+
+let check_one ~seed ~ks ~n =
+  let src = Progen.generate seed in
+  match Compile.compile ~limits:Progen.limits src with
+  | Error e -> fail_with src (Format.asprintf "does not compile: %a" Compile.pp_error e)
+  | Ok t ->
+      let trace = Progen.trace ~seed ~k:2 ~n in
+      let golden = Machine.run t.Compile.config trace in
+      let ref_regs, ref_headers = Interp.interp t.Compile.env trace in
+      Array.iteri
+        (fun r arr ->
+          Array.iteri
+            (fun i v ->
+              let got = Store.get golden.Machine.store ~reg:r ~idx:i in
+              if got <> v then
+                fail_with src
+                  (Printf.sprintf "golden reg %d[%d] = %d, interpreter says %d" r i got v))
+            arr)
+        ref_regs;
+      Array.iteri
+        (fun p h ->
+          if h <> golden.Machine.headers_out.(p) then
+            fail_with src (Printf.sprintf "packet %d: compiled headers differ from interpreter" p))
+        ref_headers;
+      let prog = Transform.transform ~limits:Progen.limits t.Compile.config in
+      List.iter
+        (fun k ->
+          let trace = Progen.trace ~seed ~k ~n in
+          let golden = Machine.run t.Compile.config trace in
+          let r = Sim.run (Sim.default_params ~k) prog trace in
+          let rep =
+            Equiv.compare ~golden ~n_packets:(Array.length trace) ~store:r.Sim.store
+              ~headers_out:r.Sim.headers_out ~access_seqs:r.Sim.access_seqs
+              ~exit_order:r.Sim.exit_order ()
+          in
+          if (not (Equiv.equivalent rep)) || rep.Equiv.c1_violations > 0 then
+            fail_with src (Format.asprintf "k=%d: %a" k Equiv.pp rep))
+        ks
+
+let run count start n_packets quiet =
+  let ks = [ 2; 3; 4; 8 ] in
+  for seed = start to start + count - 1 do
+    check_one ~seed ~ks ~n:n_packets;
+    if (not quiet) && (seed - start) mod 50 = 49 then
+      Format.printf "%d/%d seeds ok@." (seed - start + 1) count
+  done;
+  Format.printf "all %d seeds equivalent (k in %s, %d packets each)@." count
+    (String.concat "," (List.map string_of_int ks))
+    n_packets
+
+let count_arg = Arg.(value & opt int 200 & info [ "count" ] ~docv:"N" ~doc:"Seeds to try.")
+let start_arg = Arg.(value & opt int 0 & info [ "start" ] ~docv:"S" ~doc:"First seed.")
+let n_arg = Arg.(value & opt int 300 & info [ "packets" ] ~docv:"P" ~doc:"Packets per trace.")
+let quiet_arg = Arg.(value & flag & info [ "quiet" ] ~doc:"No progress output.")
+
+let cmd =
+  let doc = "differential fuzzing of the MP5 compiler and runtime" in
+  Cmd.v (Cmd.info "mp5fuzz" ~doc) Term.(const run $ count_arg $ start_arg $ n_arg $ quiet_arg)
+
+let () = exit (Cmd.eval cmd)

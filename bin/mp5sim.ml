@@ -1,0 +1,141 @@
+(* mp5sim: run a packet-processing program on the MP5 simulator (or one
+   of its baselines) against a generated workload, verify functional
+   equivalence against the logical single-pipeline switch, and report
+   throughput and queueing statistics. *)
+
+open Cmdliner
+
+let mode_conv =
+  let parse = function
+    | "mp5" -> Ok Mp5_core.Sim.Mp5
+    | "static" -> Ok Mp5_core.Sim.Static_shard
+    | "no-d4" -> Ok Mp5_core.Sim.No_d4
+    | "naive" -> Ok Mp5_core.Sim.Naive_single
+    | "ideal" -> Ok Mp5_core.Sim.Ideal
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with
+      | Mp5_core.Sim.Mp5 -> "mp5"
+      | Static_shard -> "static"
+      | No_d4 -> "no-d4"
+      | Naive_single -> "naive"
+      | Ideal -> "ideal")
+  in
+  Arg.conv (parse, print)
+
+let apps () = List.map fst Mp5_apps.Sources.all_named
+
+let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_file =
+  if list_apps then begin
+    List.iter print_endline (apps ());
+    exit 0
+  end;
+  let src =
+    match (app, file) with
+    | Some name, _ -> (
+        match List.assoc_opt name Mp5_apps.Sources.all_named with
+        | Some src -> src
+        | None ->
+            Format.eprintf "unknown app %S; try --list-apps@." name;
+            exit 1)
+    | None, Some path ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+    | None, None ->
+        Format.eprintf "pass --app NAME or --file FILE@.";
+        exit 1
+  in
+  let sw = Mp5_core.Switch.create_exn src in
+  let config = Mp5_core.Switch.config sw in
+  (* Index fields: every user field that feeds a register index. *)
+  let trace =
+    match trace_file with
+    | Some path -> (
+        match Mp5_workload.Trace_io.load ~path with
+        | Ok trace -> Mp5_banzai.Machine.sort_trace trace
+        | Error e ->
+            Format.eprintf "%s: %s@." path e;
+            exit 1)
+    | None ->
+    match app with
+    | Some name when List.mem_assoc name Mp5_apps.Sources.all_named ->
+        let pkts =
+          Mp5_workload.Tracegen.flows ~seed ~n_packets ~k ~concurrency:64 ()
+        in
+        Mp5_apps.Traces.trace_for name pkts
+    | _ ->
+        Mp5_workload.Tracegen.sensitivity
+          {
+            n_packets;
+            k;
+            pkt_bytes;
+            n_fields = config.Mp5_banzai.Config.n_user_fields;
+            index_fields =
+              List.init config.Mp5_banzai.Config.n_user_fields Fun.id;
+            reg_size = 512;
+            pattern = (if skewed then Mp5_workload.Tracegen.Skewed else Uniform);
+            n_ports = 64;
+            seed;
+          }
+  in
+  if recirc then begin
+    let golden = Mp5_core.Switch.golden sw trace in
+    let r = Mp5_core.Recirc.run ~k sw.prog trace in
+    let rep =
+      Mp5_core.Equiv.compare ~golden ~n_packets:(Array.length trace) ~store:r.store
+        ~headers_out:r.headers_out ~access_seqs:r.access_seqs ~exit_order:r.exit_order ()
+    in
+    Format.printf
+      "recirculation baseline: throughput %.3f, %.2f recirculations/packet@.%a@."
+      r.normalized_throughput r.avg_recirculations Mp5_core.Equiv.pp rep;
+    exit 0
+  end;
+  let params = { (Mp5_core.Sim.default_params ~k) with mode } in
+  let r, rep = Mp5_core.Switch.verify ~params ~k sw trace in
+  Format.printf
+    "%d pipelines, %d packets: throughput %.3f, max queue %d, dropped %d@.%a@." k
+    (Array.length trace) r.normalized_throughput r.max_queue r.dropped Mp5_core.Equiv.pp rep;
+  exit (if Mp5_core.Equiv.equivalent rep || mode <> Mp5_core.Sim.Mp5 then 0 else 1)
+
+let app_arg =
+  Arg.(value & opt (some string) None & info [ "app" ] ~docv:"NAME" ~doc:"Built-in program name.")
+
+let file_arg =
+  Arg.(value & opt (some non_dir_file) None & info [ "file" ] ~docv:"FILE" ~doc:"Domino source file.")
+
+let k_arg = Arg.(value & opt int 4 & info [ "k"; "pipelines" ] ~docv:"K" ~doc:"Number of pipelines.")
+
+let mode_arg =
+  Arg.(value & opt mode_conv Mp5_core.Sim.Mp5
+       & info [ "mode" ] ~docv:"MODE" ~doc:"mp5, static, no-d4, naive or ideal.")
+
+let n_arg = Arg.(value & opt int 20000 & info [ "n"; "packets" ] ~docv:"N" ~doc:"Packets to simulate.")
+
+let bytes_arg =
+  Arg.(value & opt int 64 & info [ "pkt-bytes" ] ~docv:"B" ~doc:"Packet size for synthetic traces.")
+
+let skew_arg = Arg.(value & flag & info [ "skewed" ] ~doc:"Skewed state access pattern.")
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+let recirc_arg = Arg.(value & flag & info [ "recirc" ] ~doc:"Run the re-circulation baseline.")
+let list_arg = Arg.(value & flag & info [ "list-apps" ] ~doc:"List built-in programs.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some non_dir_file) None
+    & info [ "trace-file" ] ~docv:"FILE"
+        ~doc:"Replay a packet trace (lines of: time port field...).")
+
+let cmd =
+  let doc = "simulate packet-processing programs on MP5" in
+  Cmd.v
+    (Cmd.info "mp5sim" ~doc)
+    Term.(
+      const run $ app_arg $ file_arg $ k_arg $ mode_arg $ n_arg $ bytes_arg $ skew_arg
+      $ seed_arg $ recirc_arg $ list_arg $ trace_arg)
+
+let () = exit (Cmd.eval cmd)

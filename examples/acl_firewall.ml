@@ -1,0 +1,51 @@
+(* Match tables + stateful counters: an access-control list populated
+   from the control plane, with per-destination deny counters in the
+   data plane.
+
+     dune exec examples/acl_firewall.exe
+
+   Banzai stages pair match tables with action units (§2.1).  Table
+   contents are installed before the runtime and never change during it
+   (the §2.2.1 control-plane assumption), which is exactly why MP5 can
+   evaluate table matches preemptively in its address-resolution stage
+   (Figure 5) — the ACL verdict that guards the stateful counter is
+   resolved at packet arrival, so packets destined to be allowed flow
+   through statelessly at line rate. *)
+
+module Table = Mp5_banzai.Table
+
+let () =
+  let sw = Mp5_core.Switch.create_exn Mp5_apps.Sources.acl in
+
+  (* Control plane: deny one exact pair and one masked source block. *)
+  let acl = Mp5_core.Switch.table sw "acl" in
+  let _ = Table.add_exact acl ~key:[ 11; 22 ] ~action:1 ~priority:10 () in
+  Table.add acl { Table.key = [ (0x40, 0xF0); (0, 0) ]; priority = 1; action = 1 };
+  Format.printf "installed %d ACL entries@." (Table.size acl);
+
+  (* Data plane: line-rate traffic, 4 pipelines. *)
+  let k = 4 in
+  let n = 20_000 in
+  let rng = Mp5_util.Rng.create 77 in
+  let trace =
+    Array.init n (fun i ->
+        {
+          Mp5_banzai.Machine.time = i / k;
+          port = i mod k;
+          headers = [| Mp5_util.Rng.int rng 128; Mp5_util.Rng.int rng 64; 0; 0 |];
+        })
+  in
+  let result, report = Mp5_core.Switch.verify ~k sw trace in
+  assert (Mp5_core.Equiv.equivalent report);
+
+  let denied =
+    List.fold_left
+      (fun acc (_, h) -> if h.(2) = 1 then acc + 1 else acc)
+      0 result.Mp5_core.Sim.headers_out
+  in
+  Format.printf "%d/%d packets denied; throughput %.3f; max queue %d@." denied n
+    result.Mp5_core.Sim.normalized_throughput result.Mp5_core.Sim.max_queue;
+  Format.printf "%a@." Mp5_core.Equiv.pp report;
+  Format.printf
+    "the deny verdict guards the counter, so MP5 resolves it at arrival and allowed@.";
+  Format.printf "packets never queue: functional equivalence at line rate with tables.@."

@@ -1,0 +1,52 @@
+(* A walk-through of the paper's Figure 3 correctness argument.
+
+     dune exec examples/equivalence_demo.exe
+
+   The example program reads reg1 or reg2 depending on a mux bit and
+   folds the value into reg3 with a non-commutative update.  On a
+   2-pipelined switch *without* preemptive order enforcement (D4),
+   packets that queue behind a busy register let later packets overtake
+   them, so reg3 diverges from the single-pipeline result; with phantom
+   packets the orders match exactly. *)
+
+let () =
+  let sw = Mp5_core.Switch.create_exn Mp5_apps.Sources.figure3 in
+  let k = 2 in
+  let rng = Mp5_util.Rng.create 5 in
+  (* Mostly packets hammering one reg1 cell (like A..D in Figure 3), with
+     occasional mux=0 packets that go to reg2 but share reg3. *)
+  let n = 4000 in
+  let trace =
+    Array.init n (fun i ->
+        let mux = if Mp5_util.Rng.int rng 5 = 0 then 0 else 1 in
+        {
+          Mp5_banzai.Machine.time = i / k;
+          port = i mod k;
+          headers =
+            [| Mp5_util.Rng.int rng 2; Mp5_util.Rng.int rng 4; Mp5_util.Rng.int rng 2; 0; mux |];
+        })
+  in
+  let golden = Mp5_core.Switch.golden sw trace in
+  let show name mode =
+    let params = { (Mp5_core.Sim.default_params ~k) with mode } in
+    let r = Mp5_core.Switch.run ~params ~k sw trace in
+    let report =
+      Mp5_core.Equiv.compare ~golden ~n_packets:n ~store:r.Mp5_core.Sim.store
+        ~headers_out:r.Mp5_core.Sim.headers_out ~access_seqs:r.Mp5_core.Sim.access_seqs
+        ~exit_order:r.Mp5_core.Sim.exit_order ()
+    in
+    Format.printf "%-12s %a@." name Mp5_core.Equiv.pp report;
+    (match report.Mp5_core.Equiv.register_diffs with
+    | (reg, cell, want, got) :: _ ->
+        Format.printf "             e.g. reg%d[%d]: single pipeline computed %d, this run %d@."
+          reg cell want got
+    | [] -> ());
+    report
+  in
+  Format.printf "Figure 3 program on a 2-pipelined switch, %d packets@.@." n;
+  let with_d4 = show "MP5 (D4 on)" Mp5_core.Sim.Mp5 in
+  let without = show "D4 off" Mp5_core.Sim.No_d4 in
+  assert (Mp5_core.Equiv.equivalent with_d4);
+  assert (not (Mp5_core.Equiv.equivalent without) || without.Mp5_core.Equiv.c1_violations > 0);
+  Format.printf
+    "@.phantom packets enforce arrival-order state access; without them the final state diverges@."

@@ -1,0 +1,61 @@
+(* Heavy-hitter counting under a skewed access pattern: the motivating
+   example for dynamically sharded shared memory (design principle D2).
+
+     dune exec examples/heavy_hitter.exe
+
+   A per-source packet-counter table is sharded across pipelines.  With a
+   datacenter-style skew (95% of packets touch 30% of the counters), a
+   static random placement leaves some pipelines overloaded; MP5's
+   runtime remap heuristic (Figure 6) migrates hot counters every 100
+   cycles and recovers most of the lost throughput, while the LPT packer
+   of the "ideal" design shows the headroom left. *)
+
+let program =
+  {|
+struct Packet {
+    int src;
+    int cnt;
+};
+
+int counts[512];
+
+void func(struct Packet p) {
+    counts[p.src % 512] = counts[p.src % 512] + 1;
+    p.cnt = counts[p.src % 512];
+}
+|}
+
+let () =
+  let sw = Mp5_core.Switch.create_exn program in
+  let k = 4 in
+  let n = 40_000 in
+  let spec =
+    {
+      Mp5_workload.Tracegen.n_packets = n;
+      k;
+      pkt_bytes = 64;
+      n_fields = 2;
+      index_fields = [ 0 ];
+      reg_size = 512;
+      pattern = Mp5_workload.Tracegen.Skewed;
+      n_ports = 64;
+      seed = 7;
+    }
+  in
+  let trace = Mp5_workload.Tracegen.sensitivity spec in
+  let run name (params : Mp5_core.Sim.params) =
+    let r, report = Mp5_core.Switch.verify ~params ~k sw trace in
+    Format.printf "%-28s throughput %.3f   max queue %4d   equivalent %b@." name
+      r.Mp5_core.Sim.normalized_throughput r.Mp5_core.Sim.max_queue
+      (Mp5_core.Equiv.equivalent report);
+    r.Mp5_core.Sim.normalized_throughput
+  in
+  let base = Mp5_core.Sim.default_params ~k in
+  Format.printf "heavy-hitter counters, %d packets, %d pipelines, skewed access@.@." n k;
+  let static =
+    run "static random sharding" { base with mode = Static_shard; shard_init = `Random 3 }
+  in
+  let dynamic = run "MP5 dynamic sharding" { base with shard_init = `Random 3 } in
+  let ideal = run "ideal (LPT, per-cell queues)" { base with mode = Ideal; shard_init = `Random 3 } in
+  Format.printf "@.dynamic sharding: %.2fx over static placement (ideal design reaches %.2fx)@."
+    (dynamic /. static) (ideal /. static)

@@ -1,0 +1,66 @@
+(* Quickstart: compile a stateful Domino program, run it on a 4-pipeline
+   MP5 switch, and check functional equivalence against the logical
+   single-pipeline switch.
+
+     dune exec examples/quickstart.exe
+
+   The program is the network-sequencer example from the paper's §2.3.1:
+   every packet increments a per-group counter and carries the new value
+   away in its header — the most order-sensitive program there is, since
+   any two packets of one group that swap their state accesses leave with
+   wrong sequence numbers. *)
+
+let program =
+  {|
+struct Packet {
+    int group;
+    int seqno;
+};
+
+int counter[8];
+
+void func(struct Packet p) {
+    counter[p.group % 8] = counter[p.group % 8] + 1;
+    p.seqno = counter[p.group % 8];
+}
+|}
+
+let () =
+  (* 1. Compile (front end + pipelining + MP5 transform). *)
+  let sw = Mp5_core.Switch.create_exn program in
+  Format.printf "compiled: %d pipeline stages, %d stateful access(es)@."
+    (Array.length (Mp5_core.Switch.config sw).Mp5_banzai.Config.stages)
+    (Array.length sw.prog.Mp5_core.Transform.accesses);
+
+  (* 2. Build a line-rate trace: 4 pipelines mean 4 minimum-size packets
+        arrive per clock cycle. *)
+  let k = 4 in
+  let n = 1000 in
+  let rng = Mp5_util.Rng.create 2024 in
+  let group = Mp5_core.Switch.field sw "group" in
+  let trace =
+    Array.init n (fun i ->
+        let headers = Array.make 2 0 in
+        headers.(group) <- Mp5_util.Rng.int rng 8;
+        { Mp5_banzai.Machine.time = i / k; port = i mod k; headers })
+  in
+
+  (* 3. Run both machines and compare. *)
+  let result, report = Mp5_core.Switch.verify ~k sw trace in
+  Format.printf "throughput (normalized to line rate): %.3f@."
+    result.Mp5_core.Sim.normalized_throughput;
+  Format.printf "max packets queued in any stage: %d@." result.Mp5_core.Sim.max_queue;
+  Format.printf "%a@." Mp5_core.Equiv.pp report;
+  assert (Mp5_core.Equiv.equivalent report);
+
+  (* 4. Inspect some output packets: sequence numbers are per group,
+        gapless, in arrival order — exactly what one pipeline computes. *)
+  let shown = ref 0 in
+  List.iter
+    (fun (seq, headers) ->
+      if !shown < 8 then begin
+        incr shown;
+        Format.printf "packet %4d: group %d -> seqno %d@." seq headers.(0) headers.(1)
+      end)
+    result.Mp5_core.Sim.headers_out;
+  Format.printf "OK: MP5 is functionally equivalent to the single pipeline.@."

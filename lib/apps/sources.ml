@@ -1,0 +1,419 @@
+let figure3 =
+  {|
+struct Packet {
+    int h1;
+    int h2;
+    int h3;
+    int val;
+    int mux;
+};
+
+int reg1[4] = {2, 4, 8, 16};
+int reg2[4] = {1, 3, 5, 7};
+int reg3[4] = {0};
+
+void func(struct Packet p) {
+    p.val = (p.mux == 1) ? reg1[p.h1 % 4] : reg2[p.h2 % 4];
+    reg3[p.h3 % 4] = (p.mux == 1) ? reg3[p.h3 % 4] * p.val : reg3[p.h3 % 4] + p.val;
+}
+|}
+
+let packet_counter =
+  {|
+struct Packet {
+    int seqno;
+};
+
+int count;
+
+void func(struct Packet p) {
+    count = count + 1;
+    p.seqno = count;
+}
+|}
+
+let sequencer =
+  {|
+struct Packet {
+    int group;
+    int seqno;
+};
+
+int counter[8];
+
+void func(struct Packet p) {
+    counter[p.group % 8] = counter[p.group % 8] + 1;
+    p.seqno = counter[p.group % 8];
+}
+|}
+
+let flowlet =
+  {|
+struct Packet {
+    int src;
+    int dst;
+    int sport;
+    int dport;
+    int arrival;
+    int new_hop;
+    int next_hop;
+};
+
+int last_time[1024];
+int saved_hop[1024];
+
+void func(struct Packet p) {
+    if (p.arrival - last_time[hash(p.src, p.dst, p.sport, p.dport) % 1024] > 10) {
+        saved_hop[hash(p.src, p.dst, p.sport, p.dport) % 1024] = p.new_hop;
+    }
+    p.next_hop = saved_hop[hash(p.src, p.dst, p.sport, p.dport) % 1024];
+    last_time[hash(p.src, p.dst, p.sport, p.dport) % 1024] = p.arrival;
+}
+|}
+
+let conga =
+  {|
+struct Packet {
+    int dst_leaf;
+    int path;
+    int util;
+    int best_path;
+};
+
+int path_util[256];
+int best_util[64];
+int best_path_of[64];
+
+void func(struct Packet p) {
+    path_util[(p.dst_leaf * 4 + p.path) % 256] = p.util;
+    if (p.util < best_util[p.dst_leaf % 64]) {
+        best_util[p.dst_leaf % 64] = p.util;
+        best_path_of[p.dst_leaf % 64] = p.path;
+    }
+    p.best_path = best_path_of[p.dst_leaf % 64];
+}
+|}
+
+let wfq =
+  {|
+struct Packet {
+    int flow;
+    int len;
+    int virtual_time;
+    int rank;
+};
+
+int last_finish[1024];
+
+void func(struct Packet p) {
+    if (last_finish[p.flow % 1024] > p.virtual_time) {
+        p.rank = last_finish[p.flow % 1024];
+    } else {
+        p.rank = p.virtual_time;
+    }
+    last_finish[p.flow % 1024] = p.rank + p.len;
+}
+|}
+
+let heavy_hitter =
+  {|
+struct Packet {
+    int src;
+    int cnt;
+};
+
+int counts[4096];
+
+void func(struct Packet p) {
+    counts[hash(p.src) % 4096] = counts[hash(p.src) % 4096] + 1;
+    p.cnt = counts[hash(p.src) % 4096];
+}
+|}
+
+let firewall =
+  {|
+struct Packet {
+    int src;
+    int dst;
+    int syn;
+    int allowed;
+};
+
+int established[2048];
+
+void func(struct Packet p) {
+    if (p.syn == 1) {
+        established[hash(p.src, p.dst) % 2048] = 1;
+    }
+    p.allowed = established[hash(p.src, p.dst) % 2048];
+}
+|}
+
+let ddos_unresolvable_pred =
+  {|
+struct Packet {
+    int dst;
+    int syn;
+    int dropped;
+};
+
+int syn_count[1024];
+int blocked[1024];
+
+void func(struct Packet p) {
+    syn_count[p.dst % 1024] = syn_count[p.dst % 1024] + p.syn;
+    if (syn_count[p.dst % 1024] > 100) {
+        blocked[p.dst % 1024] = 1;
+        p.dropped = 1;
+    }
+}
+|}
+
+let pointer_chase_unresolvable_idx =
+  {|
+struct Packet {
+    int x;
+    int out;
+};
+
+int indirection[16];
+int data[1024];
+
+void func(struct Packet p) {
+    int j = indirection[p.x % 16];
+    data[j % 1024] = data[j % 1024] + 1;
+    p.out = data[j % 1024];
+}
+|}
+
+let rcp =
+  {|
+struct Packet {
+    int rtt;
+    int size;
+};
+
+int input_bytes;
+int rtt_sum;
+int num_pkts;
+
+void func(struct Packet p) {
+    input_bytes = input_bytes + p.size;
+    if (p.rtt < 30) {
+        rtt_sum = rtt_sum + p.rtt;
+        num_pkts = num_pkts + 1;
+    }
+}
+|}
+
+let netflow_sampled =
+  {|
+struct Packet {
+    int src;
+    int sampled;
+};
+
+int counter;
+int samples[1024];
+
+void func(struct Packet p) {
+    counter = counter + 1;
+    if (counter % 64 == 0) {
+        samples[p.src % 1024] = samples[p.src % 1024] + 1;
+        p.sampled = 1;
+    }
+}
+|}
+
+let codel =
+  {|
+struct Packet {
+    int delay;
+    int mark;
+};
+
+int min_delay = 1000000;
+
+void func(struct Packet p) {
+    if (p.delay < min_delay) {
+        min_delay = p.delay;
+    }
+    p.mark = (min_delay > 5) ? 1 : 0;
+}
+|}
+
+let hull =
+  {|
+struct Packet {
+    int size;
+    int ecn;
+};
+
+int phantom_len;
+
+void func(struct Packet p) {
+    phantom_len = phantom_len + p.size - 600;
+    if (phantom_len < 0) {
+        phantom_len = 0;
+    }
+    p.ecn = (phantom_len > 3000) ? 1 : 0;
+}
+|}
+
+let netcache =
+  {|
+struct Packet {
+    int key;
+    int hot;
+};
+
+int counts[1024];
+
+void func(struct Packet p) {
+    counts[p.key % 1024] = counts[p.key % 1024] + 1;
+    if (counts[p.key % 1024] > 128) {
+        p.hot = 1;
+    }
+}
+|}
+
+let count_min_sketch =
+  {|
+struct Packet {
+    int key;
+    int est;
+};
+
+int row0[512];
+int row1[512];
+int row2[512];
+
+void func(struct Packet p) {
+    row0[hash(p.key) % 512] = row0[hash(p.key) % 512] + 1;
+    row1[hash(p.key, 1) % 512] = row1[hash(p.key, 1) % 512] + 1;
+    row2[hash(p.key, 2) % 512] = row2[hash(p.key, 2) % 512] + 1;
+    int a = row0[hash(p.key) % 512];
+    int b = row1[hash(p.key, 1) % 512];
+    int c = row2[hash(p.key, 2) % 512];
+    p.est = (a < b) ? ((a < c) ? a : c) : ((b < c) ? b : c);
+}
+|}
+
+let dns_guard =
+  {|
+struct Packet {
+    int resolver;
+    int is_response;
+    int suspicious;
+};
+
+int queries[256];
+int responses[256];
+
+void func(struct Packet p) {
+    if (p.is_response == 1) {
+        responses[p.resolver % 256] = responses[p.resolver % 256] + 1;
+    } else {
+        queries[p.resolver % 256] = queries[p.resolver % 256] + 1;
+    }
+    p.suspicious = (responses[p.resolver % 256] > queries[p.resolver % 256] * 3 + 8) ? 1 : 0;
+}
+|}
+
+let acl =
+  {|
+struct Packet {
+    int src;
+    int dst;
+    int verdict;
+    int hits;
+};
+
+table acl(2);
+
+int denied[64];
+
+void func(struct Packet p) {
+    p.verdict = acl(p.src, p.dst);
+    if (p.verdict == 1) {
+        denied[p.dst % 64] = denied[p.dst % 64] + 1;
+        p.hits = denied[p.dst % 64];
+    }
+}
+|}
+
+let sensitivity_program ~stateful ~reg_size =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "struct Packet {\n";
+  for i = 0 to max 0 (stateful - 1) do
+    Buffer.add_string buf (Printf.sprintf "    int f%d;\n" i)
+  done;
+  Buffer.add_string buf "    int aux;\n    int out;\n};\n\n";
+  for i = 0 to stateful - 1 do
+    Buffer.add_string buf (Printf.sprintf "int r%d[%d];\n" i reg_size)
+  done;
+  Buffer.add_string buf "\nvoid func(struct Packet p) {\n";
+  if stateful = 0 then Buffer.add_string buf "    p.out = p.aux * 3 + 7;\n"
+  else
+    for i = 0 to stateful - 1 do
+      (* Non-commutative update: order violations corrupt the state. *)
+      Buffer.add_string buf
+        (Printf.sprintf "    r%d[p.f%d %% %d] = r%d[p.f%d %% %d] * 3 + p.aux + %d;\n" i i
+           reg_size i i reg_size i);
+      if i = stateful - 1 then
+        Buffer.add_string buf
+          (Printf.sprintf "    p.out = r%d[p.f%d %% %d];\n" i i reg_size)
+    done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(* Like [sensitivity_program], but each access is guarded by a per-array
+   header bit, so roughly half the packets skip each array (and pass the
+   stage statelessly).  Used by the D3 experiment: with fewer accesses
+   per packet, the re-circulation baseline needs fewer passes. *)
+let sensitivity_program_guarded ~stateful ~reg_size =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "struct Packet {\n";
+  for i = 0 to max 0 (stateful - 1) do
+    Buffer.add_string buf (Printf.sprintf "    int f%d;\n" i)
+  done;
+  for i = 0 to max 0 (stateful - 1) do
+    Buffer.add_string buf (Printf.sprintf "    int g%d;\n" i)
+  done;
+  Buffer.add_string buf "    int aux;\n    int out;\n};\n\n";
+  for i = 0 to stateful - 1 do
+    Buffer.add_string buf (Printf.sprintf "int r%d[%d];\n" i reg_size)
+  done;
+  Buffer.add_string buf "\nvoid func(struct Packet p) {\n";
+  if stateful = 0 then Buffer.add_string buf "    p.out = p.aux * 3 + 7;\n"
+  else
+    for i = 0 to stateful - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    if (p.g%d %% 2 == 1) { r%d[p.f%d %% %d] = r%d[p.f%d %% %d] * 3 + p.aux + %d; }\n"
+           i i i reg_size i i reg_size i)
+    done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let all_named =
+  [
+    ("figure3", figure3);
+    ("packet_counter", packet_counter);
+    ("sequencer", sequencer);
+    ("flowlet", flowlet);
+    ("conga", conga);
+    ("wfq", wfq);
+    ("heavy_hitter", heavy_hitter);
+    ("firewall", firewall);
+    ("ddos", ddos_unresolvable_pred);
+    ("pointer_chase", pointer_chase_unresolvable_idx);
+    ("acl", acl);
+    ("rcp", rcp);
+    ("netflow", netflow_sampled);
+    ("codel", codel);
+    ("hull", hull);
+    ("netcache", netcache);
+    ("cms", count_min_sketch);
+    ("dns_guard", dns_guard);
+  ]

@@ -1,0 +1,102 @@
+(** The paper's packet-processing programs, written in the Domino subset.
+
+    §4.4 evaluates flowlet switching, CONGA, WFQ priority computation and
+    the NOPaxos network sequencer (their Domino sources are from the
+    public domino-examples repository; these are faithful ports to our
+    subset).  The remaining programs exercise specific compiler paths:
+    the Figure 3 running example, a heavy-hitter counter, a stateful
+    firewall, a DDoS detector whose predicate cannot be resolved
+    preemptively, and a pointer-chasing program whose register index
+    cannot. *)
+
+val figure3 : string
+(** The running example of Figure 3 (reg1/reg2 conditional read feeding a
+    reg3 read-modify-write). *)
+
+val packet_counter : string
+(** Example 1 of §2.3.1: a single global packet counter. *)
+
+val sequencer : string
+(** Example 2 / §4.4 app (iv): per-group sequence numbers written into
+    packets (NOPaxos).  Order-critical: any C1 violation shows up in the
+    packet state. *)
+
+val flowlet : string
+(** §4.4 app (i): flowlet switching — per-flow last-arrival time and
+    saved next hop; a new flowlet picks a fresh hop. *)
+
+val conga : string
+(** §4.4 app (ii): CONGA leaf switch — per-path utilisation table updated
+    from packet feedback, plus best-path tracking per destination leaf. *)
+
+val wfq : string
+(** §4.4 app (iii): start-time fair queueing priority computation —
+    per-flow virtual finish times. *)
+
+val heavy_hitter : string
+(** Per-source packet counters in a hashed table (D2's motivating
+    example). *)
+
+val firewall : string
+(** Stateful firewall: SYN packets establish per-connection state; other
+    packets are stateless when the connection is already known — the
+    packet-reordering discussion of §3.4. *)
+
+val ddos_unresolvable_pred : string
+(** SYN-flood detector whose blocklist access is guarded by a predicate
+    over another register's value: the predicate cannot be evaluated
+    preemptively (G_unresolved path, §3.3). *)
+
+val pointer_chase_unresolvable_idx : string
+(** A register indexed by another register's value: the index cannot be
+    resolved preemptively, so the array is pinned (I_unresolved path). *)
+
+val rcp : string
+(** Rate Control Protocol aggregates (Dukkipati): per-link byte count and
+    RTT sum/count for periodic rate computation — scalar registers shared
+    by every packet, the classic Domino example. *)
+
+val netflow_sampled : string
+(** Sampled NetFlow (Cisco): a global packet counter samples every 64th
+    packet into a per-source table.  The sampling predicate reads the
+    counter, so it cannot be resolved preemptively (G_unresolved). *)
+
+val codel : string
+(** CoDel-style minimum-sojourn tracking (Nichols & Jacobson): a running
+    minimum with a marking decision read back into the packet. *)
+
+val hull : string
+(** HULL phantom queue (Alizadeh et al.): a virtual queue drained at a
+    fraction of line rate whose length drives ECN marks — two chained
+    writes to one scalar register in a single atom. *)
+
+val netcache : string
+(** NetCache-style hot-key detection (Jin et al.): per-key counters with
+    an in-packet hot report above a threshold. *)
+
+val count_min_sketch : string
+(** OpenSketch / count-min sketch (Yu et al.): three hash rows updated in
+    parallel, estimate = minimum of the three counts. *)
+
+val dns_guard : string
+(** EXPOSURE-style DNS-amplification detection (Bilge et al.): per-resolver
+    query and response counters; responses far exceeding queries flag
+    suspicion. *)
+
+val acl :  string
+(** Access-control list: a match table (populated from the control plane)
+    decides the verdict; denied packets bump a per-destination counter.
+    Exercises the match-table path end to end. *)
+
+val sensitivity_program : stateful:int -> reg_size:int -> string
+(** The §4.3 synthetic program: [stateful] stages, each with one register
+    array of [reg_size] entries indexed by its own header field, updated
+    with a non-commutative mix so that order violations corrupt state. *)
+
+val sensitivity_program_guarded : stateful:int -> reg_size:int -> string
+(** Like {!sensitivity_program} but each array access is guarded by a
+    per-array header bit (arrival-resolvable), so about half the packets
+    skip each array. *)
+
+val all_named : (string * string) list
+(** (name, source) for every fixed program above. *)

@@ -1,0 +1,50 @@
+module Tracegen = Mp5_workload.Tracegen
+module Hashing = Mp5_util.Hashing
+
+let fill name (p : Tracegen.flow_packet) =
+  match name with
+  | "figure3" ->
+      (* h1 h2 h3 val mux *)
+      [| p.src land 7; p.dst land 7; Hashing.fnv1a [ p.src; p.dst ] land 3; 0; p.flow land 1 |]
+  | "packet_counter" -> [| 0 |]
+  | "sequencer" ->
+      (* group seqno *)
+      [| p.dst land 7; 0 |]
+  | "flowlet" ->
+      (* src dst sport dport arrival new_hop next_hop *)
+      [| p.src; p.dst; p.sport; p.dport; p.time; Hashing.fnv1a [ p.flow; p.seqno ] land 15; 0 |]
+  | "conga" ->
+      (* dst_leaf path util best_path *)
+      [| p.dst land 63; (p.flow + p.seqno) land 3; Hashing.fnv1a [ p.flow; p.seqno ] mod 100; 0 |]
+  | "wfq" ->
+      (* flow len virtual_time rank *)
+      [| p.flow; p.bytes; p.time; 0 |]
+  | "heavy_hitter" -> [| p.src; 0 |]
+  | "firewall" ->
+      (* src dst syn allowed *)
+      [| p.src; p.dst; (if p.seqno = 0 then 1 else 0); 0 |]
+  | "ddos" ->
+      (* dst syn dropped *)
+      [| p.dst; (if p.seqno = 0 then 1 else 0); 0 |]
+  | "pointer_chase" -> [| p.src; 0 |]
+  | "acl" -> [| p.src land 0xFF; p.dst land 0xFF; 0; 0 |]
+  | "rcp" ->
+      (* rtt size *)
+      [| Hashing.fnv1a [ p.flow; p.seqno ] mod 60; p.bytes |]
+  | "netflow" -> [| p.src; 0 |]
+  | "codel" ->
+      (* delay mark *)
+      [| Hashing.fnv1a [ p.seqno; p.flow ] mod 40; 0 |]
+  | "hull" ->
+      (* size ecn *)
+      [| p.bytes; 0 |]
+  | "netcache" -> [| p.dst land 0x3FFF; 0 |]
+  | "cms" -> [| p.src; 0 |]
+  | "dns_guard" ->
+      (* resolver is_response suspicious *)
+      [| p.dst land 0xFF; p.seqno land 1; 0 |]
+  | _ -> invalid_arg ("Traces.fill: unknown app " ^ name)
+
+let trace_for name pkts = Tracegen.headers_of_flows pkts ~fill:(fill name)
+
+let flow_of pkts seq = pkts.(seq).Tracegen.flow

@@ -1,0 +1,13 @@
+(** Adapters from the flow-level traffic generator to each application's
+    header layout. *)
+
+val fill : string -> Mp5_workload.Tracegen.flow_packet -> int array
+(** [fill app_name pkt] builds the header array for the named program
+    (names as in {!Sources.all_named}).
+    @raise Invalid_argument for unknown names. *)
+
+val trace_for :
+  string -> Mp5_workload.Tracegen.flow_packet array -> Mp5_banzai.Machine.input array
+
+val flow_of : Mp5_workload.Tracegen.flow_packet array -> int -> int
+(** Packet id -> flow id, for the reordering metric. *)

@@ -1,0 +1,23 @@
+type 'a t = {
+  buckets : (int, 'a list ref) Hashtbl.t;
+  mutable count : int;
+}
+
+let create () = { buckets = Hashtbl.create 64; count = 0 }
+
+let schedule t ~at v =
+  (match Hashtbl.find_opt t.buckets at with
+  | Some l -> l := v :: !l
+  | None -> Hashtbl.add t.buckets at (ref [ v ]));
+  t.count <- t.count + 1
+
+let due t ~now =
+  match Hashtbl.find_opt t.buckets now with
+  | None -> []
+  | Some l ->
+      Hashtbl.remove t.buckets now;
+      let items = List.rev !l in
+      t.count <- t.count - List.length items;
+      items
+
+let pending t = t.count

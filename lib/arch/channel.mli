@@ -1,0 +1,22 @@
+(** The phantom channel (§3.2): a physically separate interconnect on
+    which phantom packets travel one stage per clock cycle without ever
+    being queued before their destination stage (runtime Invariant 1).
+
+    Modelled as a calendar of deliveries: a phantom generated at cycle [t]
+    in the address-resolution stage and destined to stage [j] is delivered
+    at cycle [t + j].  Deliveries for the same cycle are returned in
+    scheduling order, which preserves generation order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val schedule : 'a t -> at:int -> 'a -> unit
+(** Schedule a delivery at cycle [at]. *)
+
+val due : 'a t -> now:int -> 'a list
+(** All deliveries scheduled for cycle [now], in scheduling order; they
+    are removed from the channel. *)
+
+val pending : 'a t -> int
+(** Number of in-flight deliveries. *)

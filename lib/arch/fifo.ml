@@ -1,0 +1,153 @@
+module Ring_buffer = Mp5_util.Ring_buffer
+
+type 'a entry = {
+  ts : int;
+  key : int;
+  mutable data : 'a option;      (* None = phantom placeholder *)
+  mutable cancelled : bool;
+}
+
+type 'a t = {
+  rings : 'a entry Ring_buffer.t array;
+  directory : (int, int * int) Hashtbl.t;  (* key -> (ring, stable seq) *)
+  adaptive : bool;
+  mutable data_count : int;
+  mutable high_water : int;
+}
+
+let create ~k ~capacity ~adaptive =
+  if k <= 0 then invalid_arg "Fifo.create: k must be positive";
+  {
+    rings = Array.init k (fun _ -> Ring_buffer.create ~capacity);
+    directory = Hashtbl.create 32;
+    adaptive;
+    data_count = 0;
+    high_water = 0;
+  }
+
+let push_entry t ~ring entry =
+  let rb = t.rings.(ring) in
+  if Ring_buffer.is_full rb then
+    if t.adaptive then Ring_buffer.grow rb else ();
+  if Ring_buffer.is_full rb then `Dropped
+  else begin
+    let seq = Ring_buffer.head_seq rb + Ring_buffer.length rb in
+    let ok = Ring_buffer.push rb entry in
+    assert ok;
+    Hashtbl.replace t.directory entry.key (ring, seq);
+    `Ok
+  end
+
+let bump_data t =
+  t.data_count <- t.data_count + 1;
+  if t.data_count > t.high_water then t.high_water <- t.data_count
+
+let push_phantom t ~ring ~ts ~key =
+  push_entry t ~ring { ts; key; data = None; cancelled = false }
+
+let push_data t ~ring ~ts ~key v =
+  match push_entry t ~ring { ts; key; data = Some v; cancelled = false } with
+  | `Ok ->
+      bump_data t;
+      `Ok
+  | `Dropped -> `Dropped
+
+let find_entry t key =
+  match Hashtbl.find_opt t.directory key with
+  | None -> None
+  | Some (ring, seq) -> (
+      match Ring_buffer.get_seq t.rings.(ring) seq with
+      | Some entry when entry.key = key -> Some entry
+      | _ ->
+          (* Stale directory entry (phantom already popped/overwritten). *)
+          Hashtbl.remove t.directory key;
+          None)
+
+let insert_data t ~key v =
+  match find_entry t key with
+  | Some entry when entry.data = None && not entry.cancelled ->
+      entry.data <- Some v;
+      bump_data t;
+      `Ok
+  | _ -> `No_phantom
+
+let cancel t ~key =
+  match find_entry t key with
+  | Some entry -> entry.cancelled <- true
+  | None -> ()
+
+(* Purge cancelled entries sitting at ring heads: they cost nothing (the
+   hardware skips them when updating head pointers). *)
+let purge_ring t ring =
+  let rb = t.rings.(ring) in
+  let rec go () =
+    match Ring_buffer.peek rb with
+    | Some entry when entry.cancelled ->
+        (match Ring_buffer.pop rb with
+        | Some e ->
+            Hashtbl.remove t.directory e.key;
+            if e.data <> None then t.data_count <- t.data_count - 1
+        | None -> ());
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let head t =
+  Array.iteri (fun i _ -> purge_ring t i) t.rings;
+  let best = ref None in
+  Array.iter
+    (fun rb ->
+      match Ring_buffer.peek rb with
+      | None -> ()
+      | Some entry -> (
+          match !best with
+          | Some (e : _ entry) when e.ts <= entry.ts -> ()
+          | _ -> best := Some entry))
+    t.rings;
+  match !best with
+  | None -> `Empty
+  | Some entry -> (
+      match entry.data with
+      | None -> `Blocked entry.key
+      | Some v -> `Data (entry.key, v))
+
+let pop_data t =
+  (* Re-locate the minimum head; heads cannot have changed since [head]
+     because callers pop within the same cycle step. *)
+  let best = ref None in
+  Array.iteri
+    (fun i rb ->
+      match Ring_buffer.peek rb with
+      | None -> ()
+      | Some entry -> (
+          match !best with
+          | Some (_, (e : _ entry)) when e.ts <= entry.ts -> ()
+          | _ -> best := Some (i, entry)))
+    t.rings;
+  match !best with
+  | Some (ring, entry) -> (
+      match entry.data with
+      | Some v ->
+          ignore (Ring_buffer.pop t.rings.(ring));
+          Hashtbl.remove t.directory entry.key;
+          t.data_count <- t.data_count - 1;
+          v
+      | None -> invalid_arg "Fifo.pop_data: head is a phantom")
+  | None -> invalid_arg "Fifo.pop_data: empty"
+
+let length t = Array.fold_left (fun acc rb -> acc + Ring_buffer.length rb) 0 t.rings
+
+let snapshot t =
+  let entries = ref [] in
+  Array.iter
+    (fun rb ->
+      Ring_buffer.iter
+        (fun e -> if not e.cancelled then entries := (e.ts, e.key, e.data <> None) :: !entries)
+        rb)
+    t.rings;
+  List.sort compare !entries |> List.map (fun (_, key, is_data) -> (key, is_data))
+
+let data_length t = t.data_count
+
+let max_occupancy t = t.high_water

@@ -1,0 +1,66 @@
+(** The logical per-stage FIFO of MP5 (§3.2).
+
+    Physically, a stage input has [k] independent ring buffers (one per
+    source pipeline) so that up to [k] packets can be enqueued in one clock
+    cycle without contention.  Logically they behave as a single FIFO with
+    three operations:
+
+    - [push]: append a phantom (or, in baselines without phantoms, a data
+      packet) to the ring of its source pipeline, timestamped; a full ring
+      drops the packet.  Phantom positions are recorded in a directory
+      keyed by packet id.
+    - [insert]: replace a queued phantom by its data packet, in place,
+      found via the directory; a miss (the phantom was dropped) drops the
+      data packet.
+    - [pop]: consider the heads of all [k] rings and choose the smallest
+      timestamp.  A data head is dequeued and processed; a phantom head
+      blocks the whole logical FIFO — that is how arrival order is
+      enforced preemptively (D4).
+
+    Timestamps are the packets' global arrival sequence numbers, so they
+    are unique and [pop] is deterministic. *)
+
+type 'a t
+
+val create : k:int -> capacity:int -> adaptive:bool -> 'a t
+(** [adaptive] makes full rings grow instead of dropping — the paper's
+    simulator mode for loss-free experiments. *)
+
+val push_phantom : 'a t -> ring:int -> ts:int -> key:int -> [ `Ok | `Dropped ]
+(** Enqueue a placeholder for packet [key] ([key] is unique per FIFO:
+    one access per packet per stage). *)
+
+val push_data : 'a t -> ring:int -> ts:int -> key:int -> 'a -> [ `Ok | `Dropped ]
+(** Enqueue a data packet directly (baselines without phantom ordering). *)
+
+val insert_data : 'a t -> key:int -> 'a -> [ `Ok | `No_phantom ]
+(** MP5's [insert]: the data packet takes its phantom's place. *)
+
+val cancel : 'a t -> key:int -> unit
+(** Mark packet [key]'s phantom as cancelled (e.g. its data packet was
+    dropped at an earlier stage); cancelled entries are discarded for free
+    when they reach a ring head.  No-op if [key] is not queued. *)
+
+val head : 'a t -> [ `Empty | `Blocked of int | `Data of int * 'a ]
+(** The logical head after purging cancelled entries: [`Blocked key] means
+    a phantom is in front (its data packet has not arrived), [`Data (key, v)]
+    is ready to pop. *)
+
+val pop_data : 'a t -> 'a
+(** Dequeues the head previously reported as [`Data].
+    @raise Invalid_argument if the head is not ready data. *)
+
+val length : 'a t -> int
+(** Queued entries across all rings (including phantoms). *)
+
+val data_length : 'a t -> int
+(** Queued *data* entries across all rings — the paper's §4.4 "maximum
+    number of packets queued in any pipeline stage" counts packets, not
+    placeholders. *)
+
+val max_occupancy : 'a t -> int
+(** High-water mark of {!data_length}. *)
+
+val snapshot : 'a t -> (int * bool) list
+(** Queued entries in logical (timestamp) order as [(key, is_data)],
+    cancelled entries skipped — for visualisation and debugging. *)

@@ -1,0 +1,31 @@
+let ks = [ 2; 4; 8 ]
+let ss = [ 4; 8; 12; 16 ]
+
+let rows () =
+  List.map
+    (fun k ->
+      ( k,
+        List.map
+          (fun s ->
+            let c = Model.paper_config ~k ~stages:s in
+            (s, (Model.area c).Model.total_mm2, Model.clock_ghz c))
+          ss ))
+    ks
+
+let print ppf =
+  Format.fprintf ppf "Table 1: chip area and clock speed (15 nm model)@.";
+  Format.fprintf ppf "%6s" "";
+  List.iter (fun s -> Format.fprintf ppf "  %10s" (Printf.sprintf "s=%d" s)) ss;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun (k, cells) ->
+      Format.fprintf ppf "%6s" (Printf.sprintf "k=%d" k);
+      List.iter (fun (_, area, _) -> Format.fprintf ppf "  %7.2fmm2" area) cells;
+      Format.fprintf ppf "@.%6s" "";
+      List.iter
+        (fun (_, _, ghz) ->
+          Format.fprintf ppf "  %10s"
+            (if ghz >= 1.0 then Printf.sprintf ">=1GHz" else Printf.sprintf "%.2fGHz" ghz))
+        cells;
+      Format.fprintf ppf "@.")
+    (rows ())

@@ -1,0 +1,11 @@
+(** Rendering of Table 1: chip area and clock speed for
+    k ∈ {2, 4, 8} pipelines and s ∈ {4, 8, 12, 16} stages. *)
+
+val ks : int list
+val ss : int list
+
+val rows : unit -> (int * (int * float * float) list) list
+(** [(k, [(s, area_mm2, clock_ghz); ...]); ...] *)
+
+val print : Format.formatter -> unit
+(** Prints the table in the paper's layout, with a "≥ 1 GHz" marker. *)

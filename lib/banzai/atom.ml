@@ -1,0 +1,83 @@
+type stateless_op = { dst : int; rhs : Expr.t }
+
+type output_source = Old_value | New_value
+
+type stateful = {
+  reg : int;
+  index : Expr.t;
+  guard : Expr.t option;
+  update : Expr.t option;
+  outputs : (int * output_source) list;
+}
+
+let stateless_op ~dst ~rhs =
+  if Expr.uses_state rhs then invalid_arg "Atom.stateless_op: rhs uses State_val";
+  { dst; rhs }
+
+let stateful ~reg ~index ?guard ?update ?(outputs = []) () =
+  if Expr.uses_state index then invalid_arg "Atom.stateful: index uses State_val";
+  (match guard with
+  | Some g when Expr.uses_state g -> invalid_arg "Atom.stateful: guard uses State_val"
+  | _ -> ());
+  { reg; index; guard; update; outputs }
+
+let exec_stateless ?(tables = [||]) ~fields op =
+  fields.(op.dst) <- Expr.eval ~tables ~fields ~state:None op.rhs
+
+type access_result = {
+  accessed : bool;
+  cell : int;
+  old_value : int;
+  new_value : int;
+}
+
+(* Hardware truncates the register address to the array size; emulate by a
+   non-negative modulo so negative indices also land in range. *)
+let clamp_index v size =
+  let m = v mod size in
+  if m < 0 then m + size else m
+
+let resolve_index ?(tables = [||]) ~fields ~size atom =
+  clamp_index (Expr.eval ~tables ~fields ~state:None atom.index) size
+
+let exec_stateful ?(tables = [||]) ~fields ~reg_array atom =
+  let size = Array.length reg_array in
+  let cell = resolve_index ~tables ~fields ~size atom in
+  let accessed =
+    match atom.guard with
+    | None -> true
+    | Some g -> Expr.truthy (Expr.eval ~tables ~fields ~state:None g)
+  in
+  if not accessed then { accessed = false; cell; old_value = reg_array.(cell); new_value = reg_array.(cell) }
+  else begin
+    let old_value = reg_array.(cell) in
+    let new_value =
+      match atom.update with
+      | None -> old_value
+      | Some u -> Expr.eval ~tables ~fields ~state:(Some old_value) u
+    in
+    reg_array.(cell) <- new_value;
+    List.iter
+      (fun (dst, src) ->
+        fields.(dst) <- (match src with Old_value -> old_value | New_value -> new_value))
+      atom.outputs;
+    { accessed = true; cell; old_value; new_value }
+  end
+
+let pp_stateless ppf op = Format.fprintf ppf "f%d := %a" op.dst Expr.pp op.rhs
+
+let pp_output ppf (dst, src) =
+  Format.fprintf ppf "f%d <- %s" dst (match src with Old_value -> "old" | New_value -> "new")
+
+let pp_stateful ppf a =
+  Format.fprintf ppf "reg%d[%a]" a.reg Expr.pp a.index;
+  (match a.guard with
+  | None -> ()
+  | Some g -> Format.fprintf ppf " if %a" Expr.pp g);
+  (match a.update with
+  | None -> Format.fprintf ppf " (read)"
+  | Some u -> Format.fprintf ppf " := %a" Expr.pp u);
+  if a.outputs <> [] then
+    Format.fprintf ppf " {%a}"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_output)
+      a.outputs

@@ -1,0 +1,139 @@
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Bit_and | Bit_or | Bit_xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Log_and | Log_or
+
+type unop = Neg | Log_not | Bit_not
+
+type t =
+  | Const of int
+  | Field of int
+  | State_val
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Ternary of t * t * t
+  | Hash of t list
+  | Lookup of int * t list
+
+let norm32 v =
+  let masked = v land 0xFFFFFFFF in
+  if masked land 0x80000000 <> 0 then masked - 0x100000000 else masked
+
+let truthy v = v <> 0
+let of_bool b = if b then 1 else 0
+
+let eval_binop op a b =
+  match op with
+  | Add -> norm32 (a + b)
+  | Sub -> norm32 (a - b)
+  | Mul -> norm32 (a * b)
+  | Div -> if b = 0 then 0 else norm32 (a / b)
+  | Mod -> if b = 0 then 0 else norm32 (a mod b)
+  | Bit_and -> norm32 (a land b)
+  | Bit_or -> norm32 (a lor b)
+  | Bit_xor -> norm32 (a lxor b)
+  | Shl -> norm32 (a lsl (b land 31))
+  | Shr -> norm32 ((a land 0xFFFFFFFF) lsr (b land 31))
+  | Eq -> of_bool (a = b)
+  | Ne -> of_bool (a <> b)
+  | Lt -> of_bool (a < b)
+  | Le -> of_bool (a <= b)
+  | Gt -> of_bool (a > b)
+  | Ge -> of_bool (a >= b)
+  | Log_and -> of_bool (truthy a && truthy b)
+  | Log_or -> of_bool (truthy a || truthy b)
+
+let rec eval ?(tables = [||]) ~fields ~state e =
+  match e with
+  | Const c -> norm32 c
+  | Field i ->
+      if i < 0 || i >= Array.length fields then
+        invalid_arg (Printf.sprintf "Expr.eval: field %d out of range" i);
+      fields.(i)
+  | State_val -> (
+      match state with
+      | Some v -> v
+      | None -> invalid_arg "Expr.eval: State_val outside a stateful atom")
+  | Binop (Log_and, a, b) ->
+      (* Short-circuit, like the C semantics Domino inherits. *)
+      if truthy (eval ~tables ~fields ~state a) then of_bool (truthy (eval ~tables ~fields ~state b)) else 0
+  | Binop (Log_or, a, b) ->
+      if truthy (eval ~tables ~fields ~state a) then 1 else of_bool (truthy (eval ~tables ~fields ~state b))
+  | Binop (op, a, b) -> eval_binop op (eval ~tables ~fields ~state a) (eval ~tables ~fields ~state b)
+  | Unop (Neg, a) -> norm32 (-eval ~tables ~fields ~state a)
+  | Unop (Log_not, a) -> of_bool (not (truthy (eval ~tables ~fields ~state a)))
+  | Unop (Bit_not, a) -> norm32 (lnot (eval ~tables ~fields ~state a))
+  | Ternary (c, a, b) ->
+      if truthy (eval ~tables ~fields ~state c) then eval ~tables ~fields ~state a
+      else eval ~tables ~fields ~state b
+  | Hash args ->
+      let vs = List.map (eval ~tables ~fields ~state) args in
+      Mp5_util.Hashing.fnv1a vs land 0x7FFFFFFF
+  | Lookup (id, keys) ->
+      if id < 0 || id >= Array.length tables then
+        invalid_arg (Printf.sprintf "Expr.eval: table %d out of range" id);
+      norm32 (Table.lookup tables.(id) (List.map (eval ~tables ~fields ~state) keys))
+
+let rec uses_state = function
+  | Const _ | Field _ -> false
+  | State_val -> true
+  | Binop (_, a, b) -> uses_state a || uses_state b
+  | Unop (_, a) -> uses_state a
+  | Ternary (c, a, b) -> uses_state c || uses_state a || uses_state b
+  | Hash args | Lookup (_, args) -> List.exists uses_state args
+
+let fields_used e =
+  let acc = ref [] in
+  let rec go = function
+    | Const _ | State_val -> ()
+    | Field i -> acc := i :: !acc
+    | Binop (_, a, b) -> go a; go b
+    | Unop (_, a) -> go a
+    | Ternary (c, a, b) -> go c; go a; go b
+    | Hash args | Lookup (_, args) -> List.iter go args
+  in
+  go e;
+  List.sort_uniq compare !acc
+
+let rec depth = function
+  | Const _ | Field _ | State_val -> 0
+  | Binop (_, a, b) -> 1 + max (depth a) (depth b)
+  | Unop (_, a) -> 1 + depth a
+  | Ternary (c, a, b) -> 1 + max (depth c) (max (depth a) (depth b))
+  | Hash args | Lookup (_, args) -> 1 + List.fold_left (fun m a -> max m (depth a)) 0 args
+
+let rec size = function
+  | Const _ | Field _ | State_val -> 1
+  | Binop (_, a, b) -> 1 + size a + size b
+  | Unop (_, a) -> 1 + size a
+  | Ternary (c, a, b) -> 1 + size c + size a + size b
+  | Hash args | Lookup (_, args) -> 1 + List.fold_left (fun m a -> m + size a) 0 args
+
+let equal = ( = )
+
+let binop_symbol = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Bit_and -> "&" | Bit_or -> "|" | Bit_xor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Log_and -> "&&" | Log_or -> "||"
+
+let pp_binop ppf op = Format.pp_print_string ppf (binop_symbol op)
+
+let rec pp ppf = function
+  | Const c -> Format.fprintf ppf "%d" c
+  | Field i -> Format.fprintf ppf "f%d" i
+  | State_val -> Format.fprintf ppf "$state"
+  | Binop (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (binop_symbol op) pp b
+  | Unop (Neg, a) -> Format.fprintf ppf "(-%a)" pp a
+  | Unop (Log_not, a) -> Format.fprintf ppf "(!%a)" pp a
+  | Unop (Bit_not, a) -> Format.fprintf ppf "(~%a)" pp a
+  | Ternary (c, a, b) -> Format.fprintf ppf "(%a ? %a : %a)" pp c pp a pp b
+  | Hash args ->
+      Format.fprintf ppf "hash(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+        args
+  | Lookup (id, keys) ->
+      Format.fprintf ppf "table%d(%a)" id
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+        keys

@@ -1,0 +1,62 @@
+(** Expression IR evaluated by Banzai atoms.
+
+    Values are signed 32-bit integers with wrap-around arithmetic, which is
+    what switch ALUs implement.  Division and modulo by zero evaluate to 0
+    (saturating hardware semantics) so that every expression is total —
+    a requirement for the deterministic-processing scope of the paper
+    (§2, "deterministic processing"). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Bit_and | Bit_or | Bit_xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Log_and | Log_or
+
+type unop = Neg | Log_not | Bit_not
+
+type t =
+  | Const of int
+  | Field of int
+      (** Packet header or compiler metadata field, by field id. *)
+  | State_val
+      (** The current value of the register cell being accessed; only legal
+          inside a stateful atom's update/output expressions. *)
+  | Binop of binop * t * t
+  | Unop of unop * t
+  | Ternary of t * t * t
+  | Hash of t list
+      (** Hardware hash unit (FNV-1a here); always non-negative. *)
+  | Lookup of int * t list
+      (** Match-table lookup: table id and key expressions; evaluates to
+          the matched entry's action id.  Table contents are fixed during
+          the runtime (§2.2.1's control-plane assumption), so lookups are
+          pure. *)
+
+val norm32 : int -> int
+(** Normalise an OCaml int into the signed 32-bit range. *)
+
+val eval : ?tables:Table.t array -> fields:int array -> state:int option -> t -> int
+(** [eval ~tables ~fields ~state e] evaluates [e].  [state] is the
+    register cell value when inside a stateful atom; [tables] resolves
+    {!Lookup} nodes (defaults to none).  Raises [Invalid_argument] if
+    [State_val] is reached with [state = None], a field id or table id is
+    out of range — all indicate compiler bugs, not program errors. *)
+
+val uses_state : t -> bool
+(** Does the expression mention [State_val]? *)
+
+val fields_used : t -> int list
+(** Sorted, deduplicated list of field ids the expression reads. *)
+
+val truthy : int -> bool
+(** C-style truth: non-zero. *)
+
+val depth : t -> int
+(** Operator depth, used by atom capability checks. *)
+
+val size : t -> int
+(** Node count. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_binop : Format.formatter -> binop -> unit

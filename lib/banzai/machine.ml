@@ -1,0 +1,68 @@
+type input = { time : int; port : int; headers : int array }
+
+let sort_trace trace =
+  let t = Array.copy trace in
+  let cmp a b =
+    match compare a.time b.time with 0 -> compare a.port b.port | c -> c
+  in
+  (* Array.sort is not stable, so decorate with original position to keep
+     equal-key packets in generation order. *)
+  let decorated = Array.mapi (fun i x -> (i, x)) t in
+  Array.sort
+    (fun (i, a) (j, b) -> match cmp a b with 0 -> compare i j | c -> c)
+    decorated;
+  Array.map snd decorated
+
+type access = { reg : int; cell : int; order : int }
+
+type result = {
+  store : Store.t;
+  headers_out : int array array;
+  access_seqs : (int * int, int list) Hashtbl.t;
+  packet_accesses : access list array;
+}
+
+let run_packet (config : Config.t) store ~fields ~on_access =
+  let tables = config.Config.tables in
+  Array.iter
+    (fun (stage : Config.stage) ->
+      List.iter (fun op -> Atom.exec_stateless ~tables ~fields op) stage.stateless;
+      List.iter
+        (fun (atom : Atom.stateful) ->
+          let reg_array = Store.array store ~reg:atom.reg in
+          let r = Atom.exec_stateful ~tables ~fields ~reg_array atom in
+          if r.accessed then on_access ~reg:atom.reg ~cell:r.cell)
+        stage.atoms)
+    config.stages
+
+let widen_headers (config : Config.t) headers =
+  let fields = Array.make (Array.length config.fields) 0 in
+  Array.blit headers 0 fields 0 (min (Array.length headers) config.n_user_fields);
+  fields
+
+let run (config : Config.t) trace =
+  let store = Store.create config in
+  let n = Array.length trace in
+  let headers_out = Array.make n [||] in
+  let access_seqs : (int * int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let packet_accesses = Array.make n [] in
+  Array.iteri
+    (fun pkt_id input ->
+      let fields = widen_headers config input.headers in
+      let accesses = ref [] in
+      let on_access ~reg ~cell =
+        let key = (reg, cell) in
+        let seq = try Hashtbl.find access_seqs key with Not_found -> [] in
+        let order = List.length seq in
+        Hashtbl.replace access_seqs key (pkt_id :: seq);
+        accesses := { reg; cell; order } :: !accesses
+      in
+      run_packet config store ~fields ~on_access;
+      packet_accesses.(pkt_id) <- List.rev !accesses;
+      headers_out.(pkt_id) <- Array.sub fields 0 config.n_user_fields)
+    trace;
+  (* Access sequences were accumulated in reverse; collect keys first since
+     mutating a hash table during iteration is unspecified. *)
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) access_seqs [] in
+  List.iter (fun k -> Hashtbl.replace access_seqs k (List.rev (Hashtbl.find access_seqs k))) keys;
+  { store; headers_out; access_seqs; packet_accesses }

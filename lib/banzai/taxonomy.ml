@@ -1,0 +1,61 @@
+type t = Read | Write | Raw | Praw | If_else_raw | Nested | Pairs
+
+let order = function
+  | Read -> 0
+  | Write -> 1
+  | Raw -> 2
+  | Praw -> 3
+  | If_else_raw -> 4
+  | Nested -> 5
+  | Pairs -> 6
+
+let name = function
+  | Read -> "Read"
+  | Write -> "Write"
+  | Raw -> "ReadAddWrite"
+  | Praw -> "PredRAW"
+  | If_else_raw -> "IfElseRAW"
+  | Nested -> "Nested"
+  | Pairs -> "Pairs"
+
+(* Shape of an update value: [Some d] when the expression is an
+   additively-used state under at most [d] levels of predication
+   (predicates themselves may compare against the state — Banzai's
+   predicated atoms do); [None] when the state is combined
+   non-additively (multiplied, xor-ed, used on the subtrahend side...),
+   which only the richest template implements. *)
+let rec shape u =
+  if not (Expr.uses_state u) then Some 0
+  else
+    match u with
+    | Expr.State_val -> Some 0
+    | Expr.Binop ((Expr.Add | Expr.Sub) as op, a, b) -> (
+        match (Expr.uses_state a, Expr.uses_state b) with
+        | true, false -> shape a
+        | false, true ->
+            (* e + state is additive; e - state is not a RAW circuit. *)
+            if op = Expr.Add then shape b else None
+        | _ -> None)
+    | Expr.Ternary (_, a, b) -> (
+        (* The condition may inspect the state for free. *)
+        match (shape a, shape b) with
+        | Some da, Some db -> Some (1 + max da db)
+        | _ -> None)
+    | _ -> None
+
+let classify (atom : Atom.stateful) =
+  match atom.Atom.update with
+  | None -> Read
+  | Some u when not (Expr.uses_state u) -> Write
+  | Some u -> (
+      match shape u with
+      | None -> Pairs
+      | Some 0 -> Raw
+      | Some 1 -> (
+          match u with
+          | Expr.Ternary (_, a, b) when a = Expr.State_val || b = Expr.State_val -> Praw
+          | _ -> If_else_raw)
+      | Some 2 -> Nested
+      | Some _ -> Pairs)
+
+let subsumes ~machine ~atom = order atom <= order machine

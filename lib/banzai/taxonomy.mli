@@ -1,0 +1,37 @@
+(** The Banzai atom-template taxonomy.
+
+    Banzai (Sivaraman et al., "Packet Transactions", SIGCOMM 2016 — the
+    machine model this paper builds on, §2.1) draws its stateful action
+    units from a family of templates of increasing circuit complexity.
+    A machine provides one template class; a program compiles only if
+    each of its fused atoms fits that class.  This module classifies a
+    fused atom's update expression into the weakest sufficient template:
+
+    - {b Read}: the cell is only read ([update = None]).
+    - {b Write}: the new value ignores the old one (no [State_val] in the
+      update).
+    - {b ReadAddWrite} (RAW): [state + e] with a stateless operand.
+    - {b PredRAW} (PRAW): a RAW guarded by a stateless predicate —
+      [pred ? state + e : state].
+    - {b IfElseRAW}: a two-way predicated choice between RAW-class arms —
+      [pred ? state + e1 : state + e2] (arms may also be writes or
+      [state]).
+    - {b Nested}: one more level — an arm of an IfElseRAW is itself
+      predicated (depth-2 predication), e.g. the compiled Figure 3 update.
+    - {b Pairs}: anything beyond — deep predication or non-additive mixes
+      (multiplies of the state, etc.), the richest (and in real silicon,
+      the most expensive) template Domino evaluates. *)
+
+type t = Read | Write | Raw | Praw | If_else_raw | Nested | Pairs
+
+val order : t -> int
+(** Monotone complexity rank ([Read] = 0 ... [Pairs] = 6): a machine
+    providing template [m] implements every atom with
+    [order (classify a) <= order m]. *)
+
+val name : t -> string
+
+val classify : Atom.stateful -> t
+(** The weakest template implementing the atom. *)
+
+val subsumes : machine:t -> atom:t -> bool

@@ -1,0 +1,111 @@
+module Machine = Mp5_banzai.Machine
+module Store = Mp5_banzai.Store
+
+type report = {
+  register_equal : bool;
+  register_diffs : (int * int * int * int) list;
+  packets_equal : bool;
+  packet_diffs : int list;
+  missing_packets : int list;
+  c1_violations : int;
+  c1_fraction : float;
+  reordered_flows : int;
+}
+
+let equivalent r = r.register_equal && r.packets_equal && r.missing_packets = []
+
+(* Packets that accessed a cell out of their turn: ranking packets by
+   their golden position and scanning the actual sequence, a packet whose
+   rank exceeds the running minimum of the ranks still to come has
+   overtaken somebody.  Equivalently, the violators are the packets that
+   appear before some smaller-ranked packet — the overtakers.  (Only the
+   overtaker is counted, not its victim, matching "fraction of packets
+   that violate condition C1".) *)
+let cell_violators ~golden ~actual violators =
+  let rank = Hashtbl.create 16 in
+  List.iteri (fun i pkt -> Hashtbl.replace rank pkt i) golden;
+  let ranks =
+    List.map
+      (fun pkt ->
+        match Hashtbl.find_opt rank pkt with
+        | Some r -> (pkt, r)
+        | None ->
+            (* Accessed in the actual run but not in golden: spurious. *)
+            Hashtbl.replace violators pkt ();
+            (pkt, max_int))
+      actual
+  in
+  (* min_later.(i) = minimum rank at positions > i. *)
+  let arr = Array.of_list ranks in
+  let n = Array.length arr in
+  let min_later = ref max_int in
+  for i = n - 1 downto 0 do
+    let pkt, r = arr.(i) in
+    if r > !min_later then Hashtbl.replace violators pkt ();
+    if r < !min_later then min_later := r
+  done
+
+let compare ~(golden : Machine.result) ~n_packets ~store ~headers_out ~access_seqs
+    ?flow_of ~exit_order () =
+  let register_diffs = Store.diff golden.Machine.store store in
+  let delivered = Hashtbl.create n_packets in
+  List.iter (fun (seq, h) -> Hashtbl.replace delivered seq h) headers_out;
+  let missing = ref [] in
+  let packet_diffs = ref [] in
+  for seq = n_packets - 1 downto 0 do
+    match Hashtbl.find_opt delivered seq with
+    | None -> missing := seq :: !missing
+    | Some h -> if h <> golden.Machine.headers_out.(seq) then packet_diffs := seq :: !packet_diffs
+  done;
+  let violators = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun key golden_seq ->
+      let actual = try Hashtbl.find access_seqs key with Not_found -> [] in
+      cell_violators ~golden:golden_seq ~actual violators)
+    golden.Machine.access_seqs;
+  (* Cells only present in the actual run are entirely spurious. *)
+  Hashtbl.iter
+    (fun key actual ->
+      if not (Hashtbl.mem golden.Machine.access_seqs key) then
+        List.iter (fun pkt -> Hashtbl.replace violators pkt ()) actual)
+    access_seqs;
+  let c1_violations = Hashtbl.length violators in
+  let reordered_flows =
+    match flow_of with
+    | None -> 0
+    | Some flow_of ->
+        let last_seen = Hashtbl.create 64 in
+        let bad = Hashtbl.create 16 in
+        List.iter
+          (fun seq ->
+            let flow = flow_of seq in
+            let prev =
+              match Hashtbl.find_opt last_seen flow with Some p -> p | None -> -1
+            in
+            if seq < prev then Hashtbl.replace bad flow ()
+            else Hashtbl.replace last_seen flow seq)
+          exit_order;
+        Hashtbl.length bad
+  in
+  {
+    register_equal = register_diffs = [];
+    register_diffs;
+    packets_equal = !packet_diffs = [];
+    packet_diffs = !packet_diffs;
+    missing_packets = !missing;
+    c1_violations;
+    c1_fraction =
+      (if n_packets = 0 then 0.0 else float_of_int c1_violations /. float_of_int n_packets);
+    reordered_flows;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "registers %s (%d diffs), packets %s (%d diffs, %d missing), C1 violations %d (%.1f%%), \
+     reordered flows %d"
+    (if r.register_equal then "equal" else "DIFFER")
+    (List.length r.register_diffs)
+    (if r.packets_equal then "equal" else "DIFFER")
+    (List.length r.packet_diffs)
+    (List.length r.missing_packets)
+    r.c1_violations (100.0 *. r.c1_fraction) r.reordered_flows

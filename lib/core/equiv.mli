@@ -1,0 +1,42 @@
+(** Functional equivalence (§2.2.1) and condition C1 metrics.
+
+    A multi-pipelined run is functionally equivalent to the logical
+    single-pipeline run when, for the same program and input stream,
+    (i) the final register state is identical and (ii) every packet leaves
+    with the same header contents.
+
+    Condition C1 (state access order equivalence) is measured per register
+    cell: the golden machine records the reference access sequence; a
+    packet violates C1 if, for some cell it accessed, its access was
+    inverted with respect to the reference order (it overtook a packet
+    that should have accessed the cell before it, or was overtaken). *)
+
+type report = {
+  register_equal : bool;
+  register_diffs : (int * int * int * int) list;
+      (** (reg, cell, golden, actual) for mismatching cells *)
+  packets_equal : bool;
+  packet_diffs : int list;       (** packet ids with differing headers *)
+  missing_packets : int list;    (** packets never delivered (drops) *)
+  c1_violations : int;           (** packets involved in ≥1 inversion *)
+  c1_fraction : float;           (** violations / packets *)
+  reordered_flows : int;         (** flows whose packets exited out of order *)
+}
+
+val equivalent : report -> bool
+(** Register state equal, packet state equal, nothing missing. *)
+
+val compare :
+  golden:Mp5_banzai.Machine.result ->
+  n_packets:int ->
+  store:Mp5_banzai.Store.t ->
+  headers_out:(int * int array) list ->
+  access_seqs:(int * int, int list) Hashtbl.t ->
+  ?flow_of:(int -> int) ->
+  exit_order:int list ->
+  unit ->
+  report
+(** [flow_of] maps a packet id to a flow id for the reordering metric
+    (defaults to one flow per packet, i.e. no reordering possible). *)
+
+val pp : Format.formatter -> report -> unit

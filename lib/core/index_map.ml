@@ -1,0 +1,53 @@
+type t = {
+  k : int;
+  reg : int;
+  sharded : bool;
+  pipelines : int array;
+  counts : int array;
+  inflights : int array;
+}
+
+let create ~k ~reg ~size ~sharded ~pinned_to ~init =
+  if k <= 0 then invalid_arg "Index_map.create: k must be positive";
+  let pipelines =
+    if not sharded then Array.make size pinned_to
+    else
+      match init with
+      | `Round_robin -> Array.init size (fun i -> i mod k)
+      | `Random rng -> Array.init size (fun _ -> Mp5_util.Rng.int rng k)
+      | `Blocked ->
+          let block = (size + k - 1) / k in
+          Array.init size (fun i -> i / block)
+  in
+  { k; reg; sharded; pipelines; counts = Array.make size 0; inflights = Array.make size 0 }
+
+let k t = t.k
+let size t = Array.length t.pipelines
+let sharded t = t.sharded
+let pipeline_of t cell = t.pipelines.(cell)
+
+let note_access t cell = t.counts.(cell) <- t.counts.(cell) + 1
+let incr_inflight t cell = t.inflights.(cell) <- t.inflights.(cell) + 1
+
+let decr_inflight t cell =
+  assert (t.inflights.(cell) > 0);
+  t.inflights.(cell) <- t.inflights.(cell) - 1
+
+let inflight t cell = t.inflights.(cell)
+let access_count t cell = t.counts.(cell)
+
+let per_pipeline_load t =
+  let load = Array.make t.k 0 in
+  Array.iteri (fun cell p -> load.(p) <- load.(p) + t.counts.(cell)) t.pipelines;
+  load
+
+let reset_counts t = Array.fill t.counts 0 (Array.length t.counts) 0
+
+let move t ~cell ~to_ =
+  if not t.sharded then invalid_arg "Index_map.move: array is pinned";
+  t.pipelines.(cell) <- to_
+
+let cells_of_pipeline t p =
+  let out = ref [] in
+  Array.iteri (fun cell q -> if q = p then out := cell :: !out) t.pipelines;
+  List.rev !out

@@ -1,0 +1,28 @@
+type slice = {
+  prog : Transform.t;
+  m : int;
+  trace : Mp5_banzai.Machine.input array;
+  params : Sim.params option;
+}
+
+let slice ?params prog ~m trace = { prog; m; trace; params }
+
+let run ~k slices =
+  let total = List.fold_left (fun acc s -> acc + s.m) 0 slices in
+  if total > k then
+    invalid_arg
+      (Printf.sprintf "Partition.run: %d pipelines requested but the switch has %d" total k);
+  List.iter
+    (fun s -> if s.m <= 0 then invalid_arg "Partition.run: each slice needs a pipeline")
+    slices;
+  List.map
+    (fun s ->
+      let params =
+        match s.params with
+        | Some p ->
+            if p.Sim.k <> s.m then invalid_arg "Partition.run: params.k must equal the slice's m";
+            p
+        | None -> Sim.default_params ~k:s.m
+      in
+      Sim.run params s.prog s.trace)
+    slices

@@ -1,0 +1,28 @@
+(** Multiple logical MP5 instances on one switch (§3.1, footnote 1).
+
+    "More generally, MP5 programs a subset m of k pipelines with the same
+    program ... This allows the programmers to program the remaining
+    pipelines with some other packet processing programs, thus creating
+    multiple independent logical MP5, each with varying number of
+    parallel pipelines."
+
+    Because pipelines running different programs share no register state
+    and the inter-stage crossbar only ever steers a packet among the
+    pipelines carrying its own program, the composition is exact: each
+    slice behaves as an independent MP5 with its own pipeline count, and
+    each slice's line rate scales with its share of the pipelines. *)
+
+type slice = {
+  prog : Transform.t;
+  m : int;                                  (** pipelines given to this program *)
+  trace : Mp5_banzai.Machine.input array;   (** this slice's input stream *)
+  params : Sim.params option;               (** default: [Sim.default_params ~k:m] *)
+}
+
+val slice :
+  ?params:Sim.params -> Transform.t -> m:int -> Mp5_banzai.Machine.input array -> slice
+
+val run : k:int -> slice list -> Sim.result list
+(** [run ~k slices] validates that the slices' pipelines sum to at most
+    [k] and runs each logical instance.
+    @raise Invalid_argument when oversubscribed or [m <= 0]. *)

@@ -1,0 +1,50 @@
+(** Baseline: a current-generation multi-pipelined programmable switch
+    (§2.3) — static port-to-pipeline mapping, no state sharing between
+    pipelines, and packet re-circulation as the only way to reach state
+    held by another pipeline.
+
+    The program is replicated on every pipeline and each register array
+    lives whole inside one pipeline, chosen at random at configuration
+    time (current switches have no per-index sharding machinery).
+    A Banzai pipeline has no per-stage queues: an admitted packet flows
+    one stage per cycle without stalling, so contention exists only at
+    the pipeline inputs (one admission per cycle; re-circulated packets
+    have priority over fresh arrivals).  During a pass a packet performs
+    the maximal program-order prefix of its remaining state accesses
+    whose cells live in the current pipeline, then re-circulates to the
+    pipeline owning the next pending access.  Header write-back happens
+    on the final pass.
+
+    This baseline exists to reproduce §4.3.2: re-circulation's C1
+    violation rate (18–31%) and its throughput penalty versus MP5
+    (31–77%), including the regime where it is worse than even the naive
+    single-pipeline design. *)
+
+type result = {
+  delivered : int;
+  dropped : int;           (** tail-dropped at saturated ingress buffers *)
+  cycles : int;
+  input_span : int;
+  normalized_throughput : float;
+  recirculations : int;                    (** total across all packets *)
+  avg_recirculations : float;
+  store : Mp5_banzai.Store.t;
+  headers_out : (int * int array) list;
+  access_seqs : (int * int, int list) Hashtbl.t;
+  exit_order : int list;
+}
+
+val run :
+  k:int ->
+  ?shard_seed:int ->
+  ?sharding:[ `Array | `Cell ] ->
+  ?port_buffer:int ->
+  Transform.t ->
+  Mp5_banzai.Machine.input array ->
+  result
+(** [shard_seed] seeds the static random placement (default 1).
+    [`Array] (default) places whole register arrays on random pipelines —
+    what a current-generation switch can express; [`Cell] re-circulates
+    over MP5's static per-index sharding, the layout §4.3.2's C1
+    comparison uses.  [port_buffer] bounds each ingress queue (default
+    1024 minimum-size packets, a 64 KB ingress buffer). *)

@@ -1,0 +1,99 @@
+type move = { cell : int; from_ : int; to_ : int }
+
+let argminmax load =
+  let k = Array.length load in
+  let hi = ref 0 and lo = ref 0 in
+  for p = 1 to k - 1 do
+    if load.(p) > load.(!hi) then hi := p;
+    if load.(p) < load.(!lo) then lo := p
+  done;
+  (!hi, !lo)
+
+let remap_step ?(noise_gate = true) map =
+  if not (Index_map.sharded map) then None
+  else begin
+    let load = Index_map.per_pipeline_load map in
+    let h, l = argminmax load in
+    (* Idle when the imbalance is within the sampling noise of one remap
+       period: per-index counters measure the past, and under balanced
+       load moving the "largest counter below C" shifts more expected
+       load than the gap it is meant to close, drifting away from a good
+       placement (cf. §3.5.2's "the heuristic leaves some performance on
+       the table" — this gate removes the noise-chasing part).  Disable
+       it to run the heuristic verbatim as in Figure 6. *)
+    let total = Array.fold_left ( + ) 0 load in
+    let avg = float_of_int total /. float_of_int (Array.length load) in
+    let gated =
+      noise_gate
+      && float_of_int load.(h) <= avg +. max (0.05 *. avg) (3.0 *. sqrt avg)
+    in
+    if h = l || load.(h) = load.(l) || gated then None
+    else begin
+      let threshold = (load.(h) - load.(l)) / 2 in
+      (* Largest access counter strictly below the threshold, in-flight 0. *)
+      let best = ref None in
+      for cell = 0 to Index_map.size map - 1 do
+        if Index_map.pipeline_of map cell = h then begin
+          let c = Index_map.access_count map cell in
+          if c < threshold && Index_map.inflight map cell = 0 then
+            match !best with
+            | Some (_, bc) when bc >= c -> ()
+            | _ -> best := Some (cell, c)
+        end
+      done;
+      match !best with
+      | Some (cell, _) -> Some { cell; from_ = h; to_ = l }
+      | None -> None
+    end
+  end
+
+let lpt_remap map =
+  if not (Index_map.sharded map) then []
+  else begin
+    let k = Index_map.k map in
+    let n = Index_map.size map in
+    let current = Index_map.per_pipeline_load map in
+    let current_max = Array.fold_left max 0 current in
+    let total = Array.fold_left ( + ) 0 current in
+    (* Hysteresis: an assignment whose makespan is within sampling noise of
+       perfectly balanced is left alone — repacking a balanced map only
+       disturbs in-flight traffic.  The slack is 3 standard deviations of a
+       Poisson count plus 5%, so small samples do not trigger thrash. *)
+    let avg = float_of_int total /. float_of_int k in
+    if total = 0 || float_of_int current_max <= avg +. max (0.05 *. avg) (3.0 *. sqrt avg)
+    then []
+    else begin
+    (* Sort indices by decreasing access count, assign each to the least
+       loaded pipeline; cells with packets in flight stay put. *)
+    let movable = ref [] in
+    let load = Array.make k 0 in
+    for cell = 0 to n - 1 do
+      if Index_map.inflight map cell = 0 then movable := cell :: !movable
+      else
+        load.(Index_map.pipeline_of map cell) <-
+          load.(Index_map.pipeline_of map cell) + Index_map.access_count map cell
+    done;
+    let movable = Array.of_list !movable in
+    Array.sort
+      (fun a b -> compare (Index_map.access_count map b) (Index_map.access_count map a))
+      movable;
+    let moves = ref [] in
+    Array.iter
+      (fun cell ->
+        let best = ref 0 in
+        for p = 1 to k - 1 do
+          if load.(p) < load.(!best) then best := p
+        done;
+        load.(!best) <- load.(!best) + Index_map.access_count map cell;
+        let from_ = Index_map.pipeline_of map cell in
+        if from_ <> !best then moves := { cell; from_; to_ = !best } :: !moves)
+      movable;
+    List.rev !moves
+    end
+  end
+
+let apply map ~stores ~reg m =
+  let src = Mp5_banzai.Store.array stores.(m.from_) ~reg in
+  let dst = Mp5_banzai.Store.array stores.(m.to_) ~reg in
+  dst.(m.cell) <- src.(m.cell);
+  Index_map.move map ~cell:m.cell ~to_:m.to_

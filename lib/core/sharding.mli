@@ -1,0 +1,33 @@
+(** Dynamic state sharding (§3.4, Figure 6).
+
+    Optimal re-mapping is a bin-packing variant (NP-hard), so MP5 runs a
+    heuristic every [t] clock cycles: find the pipelines with the highest
+    and lowest aggregate access counts, and move the single heaviest index
+    from the hot pipeline whose counter stays below half the imbalance —
+    provided no packet is in flight to it. *)
+
+type move = { cell : int; from_ : int; to_ : int }
+
+val remap_step : ?noise_gate:bool -> Index_map.t -> move option
+(** One execution of the Figure 6 heuristic for one register array.
+    Returns the move to apply (the caller must copy the register value and
+    call [Index_map.move]), or [None] when no eligible index exists.
+    Never returns a move for a cell with a non-zero in-flight counter.
+
+    [noise_gate] (default on) idles the heuristic while the per-pipeline
+    imbalance is within the sampling noise of one period — verbatim
+    Figure 6 chases noise on balanced workloads because past per-index
+    counters over-estimate the future load of the cell it moves.  Pass
+    [false] for the paper-verbatim behaviour (the [ablate-gate] bench
+    quantifies the difference). *)
+
+val lpt_remap : Index_map.t -> move list
+(** The "ideal MP5" packer (§4.3.3's baseline without heuristic
+    limitations): longest-processing-time greedy re-assignment of every
+    idle index.  Near-optimal for makespan, far beyond what switch
+    hardware could do per period. *)
+
+val apply : Index_map.t -> stores:Mp5_banzai.Store.t array -> reg:int -> move -> unit
+(** Copy the register value from the source pipeline's physical array to
+    the destination's and update the map — both atomic within a cycle in
+    hardware. *)

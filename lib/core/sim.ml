@@ -1,0 +1,702 @@
+module Expr = Mp5_banzai.Expr
+module Atom = Mp5_banzai.Atom
+module Config = Mp5_banzai.Config
+module Store = Mp5_banzai.Store
+module Machine = Mp5_banzai.Machine
+module Fifo = Mp5_arch.Fifo
+module Channel = Mp5_arch.Channel
+
+type mode = Mp5 | Static_shard | No_d4 | Naive_single | Ideal
+
+type params = {
+  k : int;
+  mode : mode;
+  fifo_capacity : int;
+  adaptive_fifos : bool;
+  remap_period : int;
+  shard_init : [ `Round_robin | `Random of int | `Blocked ];
+  remap_noise_gate : bool;
+  stateless_priority : bool;
+  starvation_threshold : int option;
+  ecn_threshold : int option;
+}
+
+let default_params ~k =
+  {
+    k;
+    mode = Mp5;
+    fifo_capacity = 8;
+    adaptive_fifos = true;
+    remap_period = 100;
+    shard_init = `Round_robin;
+    remap_noise_gate = true;
+    stateless_priority = true;
+    starvation_threshold = None;
+    ecn_threshold = None;
+  }
+
+type occupancy = {
+  occ_cycle : int;
+  occ_slots : int option array array;          (* [stage][pipeline] -> packet id *)
+  occ_queues : (int * bool) list array array;  (* [stage][pipeline] -> (packet, is_data) *)
+}
+
+type result = {
+  delivered : int;
+  dropped : int;
+  dropped_stateless : int;
+  marked : int;
+  cycles : int;
+  input_span : int;
+  normalized_throughput : float;
+  max_queue : int;
+  store : Store.t;
+  headers_out : (int * int array) list;
+  access_seqs : (int * int, int list) Hashtbl.t;
+  exit_order : int list;
+  latencies : (int * int) list;
+}
+
+(* --- runtime packet state --- *)
+
+type rt_access = {
+  plan : Transform.access;
+  mutable guard_known : bool option;  (* resolved at arrival; None = unknown *)
+  mutable cell : int;                 (* -1 when the index is unresolvable *)
+  mutable dest : int;                 (* destination pipeline for this access *)
+  mutable done_ : bool;
+  mutable counted : bool;             (* holds an in-flight counter *)
+}
+
+type packet = {
+  seq : int;
+  time_in : int;
+  fields : int array;
+  accs : rt_access array;
+  mutable ecn : bool;
+}
+
+type per_cell = {
+  pc_cells : (int, packet Fifo.t) Hashtbl.t;
+  pc_ready : (int, unit) Hashtbl.t;
+  mutable pc_high : int;  (* high-water mark surviving retired cell FIFOs *)
+      (* cells whose head may be ready data: refreshed on insert, on pop
+         (the next entry may already be data) and on phantom
+         cancellation.  Keeps the per-cycle scan proportional to the
+         number of ready heads rather than to every blocked phantom. *)
+}
+
+type queue = Logical of packet Fifo.t | Per_cell of per_cell
+
+type delivery = { d_seq : int; d_stage : int; d_dest : int; d_ring : int; d_cell : int }
+
+type transfer =
+  | T_stateless of packet * int  (* destination pipeline; stage implied by list *)
+  | T_stateful of packet * int * int * int  (* dest pipeline, source pipeline, cell *)
+  | T_queued of packet * int * int
+      (* stateless packet queued at a stateful stage (dest, source):
+         Invariant 2 ablation, stateless_priority = false *)
+
+type sim = {
+  p : params;
+  prog : Transform.t;
+  config : Config.t;
+  n_stages : int;
+  accesses : Transform.access array;
+  accs_by_stage : int list array;          (* acc ids per stage *)
+  stateful_stage : bool array;
+  stores : Store.t array;                  (* one per pipeline *)
+  maps : Index_map.t array;                (* one per register array *)
+  fifos : queue option array array;        (* [stage][pipeline] *)
+  slots : packet option array array;       (* [stage][pipeline] *)
+  channel : delivery Channel.t;
+  doomed : (int, unit) Hashtbl.t;
+  head_watch : (int * int) array array;    (* [stage][pipeline]: head key, since cycle *)
+  (* per-cycle transfer lists, [stage] indexed, filled during movement *)
+  mutable transfers : transfer list array;
+  (* metrics *)
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable dropped_stateless : int;
+  mutable marked : int;
+  mutable in_flight : int;
+  mutable first_exit : int;
+  mutable last_exit : int;
+  access_seqs : (int * int, int list) Hashtbl.t;
+  mutable exits : (int * int array * int) list;  (* seq, headers, latency; reversed *)
+}
+
+let new_fifo sim =
+  Fifo.create ~k:sim.p.k ~capacity:sim.p.fifo_capacity ~adaptive:sim.p.adaptive_fifos
+
+let make_queue sim =
+  match sim.p.mode with
+  | Ideal -> Per_cell { pc_cells = Hashtbl.create 8; pc_ready = Hashtbl.create 8; pc_high = 0 }
+  | _ -> Logical (new_fifo sim)
+
+let cell_fifo sim pc cell =
+  match Hashtbl.find_opt pc.pc_cells cell with
+  | Some f -> f
+  | None ->
+      let f = new_fifo sim in
+      Hashtbl.add pc.pc_cells cell f;
+      f
+
+let create params prog =
+  let config = prog.Transform.config in
+  let n_stages = Array.length config.Config.stages in
+  let accesses = prog.Transform.accesses in
+  let accs_by_stage = Array.make n_stages [] in
+  Array.iter
+    (fun (a : Transform.access) ->
+      accs_by_stage.(a.stage) <- a.acc_id :: accs_by_stage.(a.stage))
+    accesses;
+  let accs_by_stage = Array.map List.rev accs_by_stage in
+  let stateful_stage = Array.map (fun l -> l <> []) accs_by_stage in
+  let rng =
+    match params.shard_init with
+    | `Random seed -> Some (Mp5_util.Rng.create seed)
+    | `Round_robin | `Blocked -> None
+  in
+  let maps =
+    Array.mapi
+      (fun r (reg : Config.reg) ->
+        let sharded =
+          match params.mode with
+          | Naive_single -> false
+          | _ -> prog.Transform.sharded.(r)
+        in
+        let pinned_to =
+          match params.mode with
+          | Naive_single -> 0
+          | _ -> (
+              (* Arrays sharing a pinned stage must share a pipeline. *)
+              match Config.stage_of_reg config r with
+              | Some s -> s mod params.k
+              | None -> 0)
+        in
+        let init =
+          match (params.shard_init, rng) with
+          | `Random _, Some rng -> `Random rng
+          | `Blocked, _ -> `Blocked
+          | _ -> `Round_robin
+        in
+        Index_map.create ~k:params.k ~reg:r ~size:reg.Config.size ~sharded ~pinned_to ~init)
+      config.Config.regs
+  in
+  let sim =
+    {
+      p = params;
+      prog;
+      config;
+      n_stages;
+      accesses;
+      accs_by_stage;
+      stateful_stage;
+      stores = Array.init params.k (fun _ -> Store.create config);
+      maps;
+      fifos = Array.make_matrix n_stages params.k None;
+      slots = Array.make_matrix n_stages params.k None;
+      channel = Channel.create ();
+      doomed = Hashtbl.create 64;
+      head_watch = Array.init n_stages (fun _ -> Array.make params.k (-1, 0));
+      transfers = Array.make n_stages [];
+      delivered = 0;
+      dropped = 0;
+      dropped_stateless = 0;
+      marked = 0;
+      in_flight = 0;
+      first_exit = -1;
+      last_exit = 0;
+      access_seqs = Hashtbl.create 64;
+      exits = [];
+    }
+  in
+  Array.iteri
+    (fun s stateful ->
+      if stateful then
+        for p = 0 to params.k - 1 do
+          sim.fifos.(s).(p) <- Some (make_queue sim)
+        done)
+    stateful_stage;
+  sim
+
+(* --- helpers --- *)
+
+let release_inflight sim rt =
+  if rt.counted then begin
+    rt.counted <- false;
+    Index_map.decr_inflight sim.maps.(rt.plan.Transform.reg) rt.cell
+  end
+
+let uses_phantoms sim = match sim.p.mode with No_d4 -> false | _ -> true
+
+(* Will the packet be queued at [stage]?  Yes when it has any access there
+   whose guard is not known false. *)
+let queued_accs sim pkt stage =
+  List.filter
+    (fun id -> pkt.accs.(id).guard_known <> Some false)
+    sim.accs_by_stage.(stage)
+
+let drop_packet sim now pkt at_stage =
+  sim.dropped <- sim.dropped + 1;
+  sim.in_flight <- sim.in_flight - 1;
+  Hashtbl.replace sim.doomed pkt.seq ();
+  ignore now;
+  Array.iter
+    (fun rt ->
+      if not rt.done_ then begin
+        rt.done_ <- true;
+        release_inflight sim rt;
+        (* Cancel phantoms parked at later stages (already-delivered ones;
+           undelivered ones are filtered by the doomed set on delivery). *)
+        if rt.plan.Transform.stage > at_stage && rt.guard_known <> Some false then
+          match sim.fifos.(rt.plan.Transform.stage).(rt.dest) with
+          | Some (Logical f) -> Fifo.cancel f ~key:pkt.seq
+          | Some (Per_cell pc) -> (
+              match Hashtbl.find_opt pc.pc_cells rt.cell with
+              | Some f ->
+                  Fifo.cancel f ~key:pkt.seq;
+                  (* Purging the cancelled phantom may expose ready data. *)
+                  Hashtbl.replace pc.pc_ready rt.cell ()
+              | None -> ())
+          | None -> ()
+      end)
+    pkt.accs
+
+(* --- address resolution (stage 0, performed on arrival; §3.3) --- *)
+
+let resolve sim now entry_pipeline pkt =
+  let tables = sim.config.Config.tables in
+  Array.iter
+    (fun rt ->
+      let plan = rt.plan in
+      let map = sim.maps.(plan.Transform.reg) in
+      (match plan.Transform.guard with
+      | Transform.G_always -> rt.guard_known <- Some true
+      | Transform.G_resolved g ->
+          rt.guard_known <-
+            Some (Expr.truthy (Expr.eval ~tables ~fields:pkt.fields ~state:None g))
+      | Transform.G_unresolved -> rt.guard_known <- None);
+      (match plan.Transform.index with
+      | Transform.I_resolved idx ->
+          let size = Index_map.size map in
+          let v = Expr.eval ~tables ~fields:pkt.fields ~state:None idx in
+          let cell = ((v mod size) + size) mod size in
+          rt.cell <- cell;
+          rt.dest <- Index_map.pipeline_of map cell
+      | Transform.I_unresolved ->
+          rt.cell <- -1;
+          rt.dest <- Index_map.pipeline_of map 0);
+      if rt.guard_known <> Some false then begin
+        (* Count the resolved access and pin the cell against remaps. *)
+        if rt.cell >= 0 then begin
+          Index_map.note_access map rt.cell;
+          if Index_map.sharded map then begin
+            Index_map.incr_inflight map rt.cell;
+            rt.counted <- true
+          end
+        end;
+        if uses_phantoms sim then
+          Channel.schedule sim.channel
+            ~at:(now + plan.Transform.stage)
+            {
+              d_seq = pkt.seq;
+              d_stage = plan.Transform.stage;
+              d_dest = rt.dest;
+              d_ring = entry_pipeline;
+              d_cell = rt.cell;
+            }
+      end)
+    pkt.accs
+
+(* --- per-cycle phases --- *)
+
+let deliver_phantoms sim now =
+  List.iter
+    (fun d ->
+      if not (Hashtbl.mem sim.doomed d.d_seq) then
+        match sim.fifos.(d.d_stage).(d.d_dest) with
+        | Some (Logical f) ->
+            ignore (Fifo.push_phantom f ~ring:d.d_ring ~ts:d.d_seq ~key:d.d_seq)
+        | Some (Per_cell pc) ->
+            let f = cell_fifo sim pc d.d_cell in
+            ignore (Fifo.push_phantom f ~ring:d.d_ring ~ts:d.d_seq ~key:d.d_seq)
+        | None -> invalid_arg "phantom destined to a stateless stage")
+    (Channel.due sim.channel ~now)
+
+(* Age of the blocked/queued head of a logical FIFO, for the starvation
+   guard.  Updated once per cycle from the pop phase. *)
+let update_head_watch sim now stage p =
+  match sim.fifos.(stage).(p) with
+  | Some (Logical f) -> (
+      let cur, _since = sim.head_watch.(stage).(p) in
+      match Fifo.head f with
+      | `Empty -> sim.head_watch.(stage).(p) <- (-1, now)
+      | `Blocked key | `Data (key, _) ->
+          if key <> cur then sim.head_watch.(stage).(p) <- (key, now))
+  | _ -> ()
+
+let head_age sim now stage p =
+  let key, since = sim.head_watch.(stage).(p) in
+  if key < 0 then 0 else now - since
+
+let insert_stateful sim now stage pkt ~dest ~src ~cell =
+  let push_or_insert f =
+    if uses_phantoms sim then Fifo.insert_data f ~key:pkt.seq pkt
+    else
+      match
+        Fifo.push_data f ~ring:src ~ts:((now lsl 22) lor pkt.seq) ~key:pkt.seq pkt
+      with
+      | `Ok -> `Ok
+      | `Dropped -> `No_phantom
+  in
+  let f, notify_ready =
+    match sim.fifos.(stage).(dest) with
+    | Some (Logical f) -> (f, fun () -> ())
+    | Some (Per_cell pc) ->
+        ( cell_fifo sim pc cell,
+          fun () ->
+            Hashtbl.replace pc.pc_ready cell ();
+            let f = Hashtbl.find pc.pc_cells cell in
+            pc.pc_high <- max pc.pc_high (Fifo.max_occupancy f) )
+    | None -> invalid_arg "stateful transfer to a stateless stage"
+  in
+  match push_or_insert f with
+  | `Ok -> (
+      notify_ready ();
+      match sim.p.ecn_threshold with
+      | Some thr when Fifo.data_length f > thr -> pkt.ecn <- true
+      | _ -> ())
+  | `No_phantom -> drop_packet sim now pkt (stage - 1)
+
+let apply_transfers sim now =
+  Array.iteri
+    (fun stage ts ->
+      List.iter
+        (fun t ->
+          match t with
+          | T_stateful (pkt, dest, src, cell) ->
+              insert_stateful sim now stage pkt ~dest ~src ~cell
+          | T_queued (pkt, dest, src) -> (
+              let f, notify_ready =
+                match sim.fifos.(stage).(dest) with
+                | Some (Logical f) -> (f, fun () -> ())
+                | Some (Per_cell pc) ->
+                    ( cell_fifo sim pc (-1),
+                      fun () ->
+                        Hashtbl.replace pc.pc_ready (-1) ();
+                        let f = Hashtbl.find pc.pc_cells (-1) in
+                        pc.pc_high <- max pc.pc_high (Fifo.max_occupancy f) )
+                | None -> invalid_arg "T_queued at a stateless stage"
+              in
+              match Fifo.push_data f ~ring:src ~ts:pkt.seq ~key:pkt.seq pkt with
+              | `Ok -> notify_ready ()
+              | `Dropped -> drop_packet sim now pkt (stage - 1))
+          | T_stateless (pkt, dest) -> (
+              (* Starvation guard: sacrifice the stateless packet when the
+                 queued head has waited too long (§3.4). *)
+              let starve =
+                match sim.p.starvation_threshold with
+                | Some thr ->
+                    sim.stateful_stage.(stage) && head_age sim now stage dest > thr
+                | None -> false
+              in
+              if starve then begin
+                sim.dropped_stateless <- sim.dropped_stateless + 1;
+                drop_packet sim now pkt (stage - 1)
+              end
+              else begin
+                assert (sim.slots.(stage).(dest) = None);
+                sim.slots.(stage).(dest) <- Some pkt
+              end))
+        ts;
+      sim.transfers.(stage) <- [])
+    sim.transfers
+
+let pop_phase sim now =
+  for stage = 0 to sim.n_stages - 1 do
+    if sim.stateful_stage.(stage) then
+      for p = 0 to sim.p.k - 1 do
+        (if sim.slots.(stage).(p) = None then
+           match sim.fifos.(stage).(p) with
+           | Some (Logical f) -> (
+               match Fifo.head f with
+               | `Data (_, _) -> sim.slots.(stage).(p) <- Some (Fifo.pop_data f)
+               | `Blocked _ | `Empty -> ())
+           | Some (Per_cell pc) ->
+               (* Choose the ready head with the smallest timestamp among
+                  cells flagged ready; phantoms block only their own cell.
+                  Iteration order does not matter: timestamps are unique,
+                  so the minimum is well defined. *)
+               let best = ref None in
+               let candidates = Hashtbl.fold (fun cell () acc -> cell :: acc) pc.pc_ready [] in
+               List.iter
+                 (fun cell ->
+                   match Hashtbl.find_opt pc.pc_cells cell with
+                   | None -> Hashtbl.remove pc.pc_ready cell
+                   | Some f -> (
+                       match Fifo.head f with
+                       | `Empty ->
+                           Hashtbl.remove pc.pc_cells cell;
+                           Hashtbl.remove pc.pc_ready cell
+                       | `Blocked _ -> Hashtbl.remove pc.pc_ready cell
+                       | `Data (key, _) -> (
+                           match !best with
+                           | Some (bkey, _, _) when bkey <= key -> ()
+                           | _ -> best := Some (key, f, cell))))
+                 candidates;
+               (match !best with
+               | Some (_, f, cell) ->
+                   sim.slots.(stage).(p) <- Some (Fifo.pop_data f);
+                   (* The next entry of this cell may already be data. *)
+                   Hashtbl.replace pc.pc_ready cell ()
+               | None -> ())
+           | None -> ());
+        update_head_watch sim now stage p
+      done
+  done
+
+let log_access sim reg cell seq =
+  let key = (reg, cell) in
+  let prev = try Hashtbl.find sim.access_seqs key with Not_found -> [] in
+  Hashtbl.replace sim.access_seqs key (seq :: prev)
+
+let process_stage sim pkt stage pipeline =
+  let s = sim.config.Config.stages.(stage) in
+  let tables = sim.config.Config.tables in
+  List.iter (fun op -> Atom.exec_stateless ~tables ~fields:pkt.fields op) s.stateless;
+  List.iter
+    (fun acc_id ->
+      let rt = pkt.accs.(acc_id) in
+      let atom = sim.accesses.(acc_id).Transform.atom in
+      let reg_array = Store.array sim.stores.(pipeline) ~reg:atom.Atom.reg in
+      let r = Atom.exec_stateful ~tables ~fields:pkt.fields ~reg_array atom in
+      if r.Atom.accessed then begin
+        assert (rt.cell < 0 || rt.cell = r.Atom.cell);
+        assert (rt.dest = pipeline);
+        log_access sim atom.Atom.reg r.Atom.cell pkt.seq
+      end;
+      rt.done_ <- true;
+      release_inflight sim rt)
+    sim.accs_by_stage.(stage)
+
+let exec_phase sim now =
+  for stage = 0 to sim.n_stages - 1 do
+    for p = 0 to sim.p.k - 1 do
+      match sim.slots.(stage).(p) with
+      | None -> ()
+      | Some pkt -> if stage > 0 then process_stage sim pkt stage p
+      (* stage 0 is address resolution, performed on arrival *)
+    done
+  done;
+  ignore now
+
+let movement_phase sim now =
+  (* Claims for stateless movers entering each stage next cycle. *)
+  let claimed = Array.make_matrix sim.n_stages sim.p.k false in
+  for stage = sim.n_stages - 1 downto 0 do
+    for p = 0 to sim.p.k - 1 do
+      match sim.slots.(stage).(p) with
+      | None -> ()
+      | Some pkt ->
+          sim.slots.(stage).(p) <- None;
+          let next = stage + 1 in
+          if next = sim.n_stages then begin
+            (* Exit the pipeline. *)
+            sim.delivered <- sim.delivered + 1;
+            sim.in_flight <- sim.in_flight - 1;
+            if pkt.ecn then sim.marked <- sim.marked + 1;
+            if sim.first_exit < 0 then sim.first_exit <- now;
+            sim.last_exit <- now;
+            sim.exits <-
+              ( pkt.seq,
+                Array.sub pkt.fields 0 sim.config.Config.n_user_fields,
+                now - pkt.time_in )
+              :: sim.exits
+          end
+          else begin
+            match queued_accs sim pkt next with
+            | acc_id :: _ ->
+                let rt = pkt.accs.(acc_id) in
+                sim.transfers.(next) <-
+                  T_stateful (pkt, rt.dest, p, rt.cell) :: sim.transfers.(next)
+            | [] when sim.stateful_stage.(next) && not sim.p.stateless_priority ->
+                (* Invariant 2 disabled: stateless packets take their place
+                   in the queue like everybody else. *)
+                sim.transfers.(next) <- T_queued (pkt, p, p) :: sim.transfers.(next)
+            | [] ->
+                (* Stateless at [next]: the crossbar steers it to a free
+                   pipeline, preferring the current one. *)
+                let dest =
+                  if not claimed.(next).(p) then p
+                  else begin
+                    let d = ref (-1) in
+                    for q = sim.p.k - 1 downto 0 do
+                      if not claimed.(next).(q) then d := q
+                    done;
+                    !d
+                  end
+                in
+                assert (dest >= 0);
+                claimed.(next).(dest) <- true;
+                sim.transfers.(next) <- T_stateless (pkt, dest) :: sim.transfers.(next)
+          end
+    done
+  done
+
+let arrival_phase sim now trace cursor =
+  (* Admit up to one packet per pipeline into the address-resolution
+     stage; the Naive_single baseline funnels everything into pipeline 0. *)
+  let max_accept = match sim.p.mode with Naive_single -> 1 | _ -> sim.p.k in
+  let accepted = ref 0 in
+  while
+    !cursor < Array.length trace
+    && trace.(!cursor).Machine.time <= now
+    && !accepted < max_accept
+  do
+    let input = trace.(!cursor) in
+    let seq = !cursor in
+    incr cursor;
+    let fields = Array.make (Array.length sim.config.Config.fields) 0 in
+    Array.blit input.Machine.headers 0 fields 0
+      (min (Array.length input.Machine.headers) sim.config.Config.n_user_fields);
+    let accs =
+      Array.map
+        (fun plan ->
+          { plan; guard_known = None; cell = -1; dest = 0; done_ = false; counted = false })
+        sim.accesses
+    in
+    let pkt = { seq; time_in = now; fields; accs; ecn = false } in
+    let pipeline = !accepted in
+    resolve sim now pipeline pkt;
+    sim.slots.(0).(pipeline) <- Some pkt;
+    sim.in_flight <- sim.in_flight + 1;
+    incr accepted
+  done
+
+let remap_phase sim =
+  let dynamic = match sim.p.mode with Mp5 | No_d4 -> true | _ -> false in
+  Array.iteri
+    (fun r map ->
+      if Index_map.sharded map then
+        match sim.p.mode with
+        | Ideal ->
+            (* The ideal packer sees cumulative access counts — perfect
+               knowledge of the access distribution — so its assignment
+               converges instead of chasing per-period noise. *)
+            List.iter
+              (fun m -> Sharding.apply map ~stores:sim.stores ~reg:r m)
+              (Sharding.lpt_remap map)
+        | _ when dynamic ->
+            (match Sharding.remap_step ~noise_gate:sim.p.remap_noise_gate map with
+            | Some m -> Sharding.apply map ~stores:sim.stores ~reg:r m
+            | None -> ());
+            Index_map.reset_counts map
+        | _ -> Index_map.reset_counts map)
+    sim.maps
+
+(* --- main loop --- *)
+
+let merge_stores sim =
+  let merged = Store.create sim.config in
+  Array.iteri
+    (fun r map ->
+      for cell = 0 to Index_map.size map - 1 do
+        let p = Index_map.pipeline_of map cell in
+        Store.set merged ~reg:r ~idx:cell (Store.get sim.stores.(p) ~reg:r ~idx:cell)
+      done)
+    sim.maps;
+  merged
+
+let max_queue_depth sim =
+  let m = ref 0 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (function
+          | Some (Logical f) -> m := max !m (Fifo.max_occupancy f)
+          | Some (Per_cell pc) ->
+              m := max !m pc.pc_high;
+              Hashtbl.iter (fun _ f -> m := max !m (Fifo.max_occupancy f)) pc.pc_cells
+          | None -> ())
+        row)
+    sim.fifos;
+  !m
+
+let observe sim now observer =
+  match observer with
+  | None -> ()
+  | Some f ->
+      let occ_slots =
+        Array.map (Array.map (Option.map (fun pkt -> pkt.seq))) sim.slots
+      in
+      let occ_queues =
+        Array.map
+          (Array.map (function
+            | None -> []
+            | Some (Logical fifo) -> Fifo.snapshot fifo
+            | Some (Per_cell pc) ->
+                Hashtbl.fold (fun _ f acc -> Fifo.snapshot f @ acc) pc.pc_cells []
+                |> List.sort compare))
+          sim.fifos
+      in
+      f { occ_cycle = now; occ_slots; occ_queues }
+
+let run ?observer params prog trace =
+  if Array.length trace = 0 then invalid_arg "Sim.run: empty trace";
+  let sim = create params prog in
+  let cursor = ref 0 in
+  let now = ref trace.(0).Machine.time in
+  let first_arrival = !now in
+  let last_progress = ref (0, !now) in
+  while !cursor < Array.length trace || sim.in_flight > 0 do
+    let t = !now in
+    deliver_phantoms sim t;
+    apply_transfers sim t;
+    arrival_phase sim t trace cursor;
+    pop_phase sim t;
+    observe sim t observer;
+    exec_phase sim t;
+    movement_phase sim t;
+    if params.remap_period > 0 && t > first_arrival && (t - first_arrival) mod params.remap_period = 0
+    then remap_phase sim;
+    (* Progress guard against simulator deadlock bugs. *)
+    let score = sim.delivered + sim.dropped + !cursor in
+    let last_score, last_t = !last_progress in
+    if score > last_score then last_progress := (score, t)
+    else if t - last_t > 200_000 then
+      failwith "Sim.run: no progress for 200000 cycles (deadlock?)";
+    now := t + 1
+  done;
+  let last_arrival = trace.(Array.length trace - 1).Machine.time in
+  let input_span = last_arrival - first_arrival + 1 in
+  let n = Array.length trace in
+  let output_span = if sim.first_exit < 0 then 1 else sim.last_exit - sim.first_exit + 1 in
+  let normalized_throughput =
+    if sim.delivered = 0 then 0.0
+    else
+      min 1.0
+        (float_of_int sim.delivered *. float_of_int input_span
+        /. (float_of_int n *. float_of_int output_span))
+  in
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) sim.access_seqs [] in
+  List.iter
+    (fun k -> Hashtbl.replace sim.access_seqs k (List.rev (Hashtbl.find sim.access_seqs k)))
+    keys;
+  let exits = List.rev sim.exits in
+  {
+    delivered = sim.delivered;
+    dropped = sim.dropped;
+    dropped_stateless = sim.dropped_stateless;
+    marked = sim.marked;
+    cycles = sim.last_exit - first_arrival + 1;
+    input_span;
+    normalized_throughput;
+    max_queue = max_queue_depth sim;
+    store = merge_stores sim;
+    headers_out = List.map (fun (seq, h, _) -> (seq, h)) exits;
+    access_seqs = sim.access_seqs;
+    exit_order = List.map (fun (seq, _, _) -> seq) exits;
+    latencies = List.map (fun (seq, _, l) -> (seq, l)) exits;
+  }

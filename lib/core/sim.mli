@@ -1,0 +1,91 @@
+(** Cycle-level simulator for the MP5 multi-pipeline architecture (§3.2,
+    §3.4) and its ablated baselines.
+
+    The machine model: [k] architecturally identical pipelines, each a
+    copy of the transformed configuration; a crossbar between consecutive
+    stages (D3); a separate phantom channel (D4, Invariant 1); per-stage
+    logical FIFOs made of [k] ring buffers; replicated index-to-pipeline
+    maps with access/in-flight counters; and the dynamic sharding
+    heuristic run every [remap_period] cycles (D2).
+
+    Time advances in pipeline clock cycles.  Each (stage, pipeline)
+    processes at most one packet per cycle.  The corresponding logical
+    single-pipeline switch runs [k] times faster, so line rate for
+    minimum-size packets is [k] packets per cycle here; traces encode
+    arrival times in these cycles, several packets per time step.
+
+    One cycle, in order: phantom deliveries; application of last cycle's
+    crossbar transfers (data packets entering a stage they access
+    [insert] over their phantom; stateless passers-through occupy stage
+    slots with priority — Invariant 2); arrivals into the
+    address-resolution stage; FIFO pops where no stateless packet claimed
+    the slot (a phantom at the logical head blocks — that is D4's order
+    enforcement); stage execution; crossbar steering decisions; and, on
+    period boundaries, the sharding remap. *)
+
+type mode =
+  | Mp5           (** full design: D1 + D2 + D3 + D4 *)
+  | Static_shard  (** no dynamic re-sharding (D2 ablation) *)
+  | No_d4         (** no phantom ordering: FIFO order = arrival at stage *)
+  | Naive_single  (** all state and all packets on pipeline 0 (§3.1 D1 naive) *)
+  | Ideal         (** §4.3.3 baseline: per-cell queues (no head-of-line
+                      blocking) and LPT re-packing (no heuristic loss) *)
+
+type params = {
+  k : int;                          (** number of pipelines *)
+  mode : mode;
+  fifo_capacity : int;              (** entries per ring buffer (paper: 8) *)
+  adaptive_fifos : bool;            (** grow instead of drop (§4.3.1) *)
+  remap_period : int;               (** cycles between remaps (paper: 100); 0 disables *)
+  shard_init : [ `Round_robin | `Random of int | `Blocked ];
+      (** compile-time placement of sharded register indices *)
+  remap_noise_gate : bool;
+      (** idle the Figure 6 heuristic while imbalance is within sampling
+          noise (default on; off = paper-verbatim heuristic) *)
+  stateless_priority : bool;        (** Invariant 2 (ablation knob) *)
+  starvation_threshold : int option;(** drop stateless packets in favour of
+                                        stateful ones queued longer than this *)
+  ecn_threshold : int option;       (** mark data packets queued behind more
+                                        than this many packets *)
+}
+
+val default_params : k:int -> params
+(** MP5 mode, capacity 8, adaptive, period 100, round-robin placement,
+    stateless priority on, no starvation guard, no ECN. *)
+
+type occupancy = {
+  occ_cycle : int;
+  occ_slots : int option array array;
+      (** [stage][pipeline] -> packet id being processed this cycle *)
+  occ_queues : (int * bool) list array array;
+      (** [stage][pipeline] -> queued (packet id, data?) entries in
+          pop order ([false] = phantom placeholder) *)
+}
+(** One cycle's snapshot for visualisation (see {!Timeline}). *)
+
+type result = {
+  delivered : int;
+  dropped : int;
+  dropped_stateless : int;          (** victims of the starvation guard *)
+  marked : int;                     (** ECN-marked deliveries *)
+  cycles : int;                     (** first arrival to last exit *)
+  input_span : int;
+  normalized_throughput : float;    (** output rate / input rate, capped at 1 *)
+  max_queue : int;                  (** max data packets queued in any stage *)
+  store : Mp5_banzai.Store.t;       (** merged final register state *)
+  headers_out : (int * int array) list;  (** (packet id, user headers), exit order *)
+  access_seqs : (int * int, int list) Hashtbl.t;
+      (** (reg, cell) -> packet ids in actual access order *)
+  exit_order : int list;            (** packet ids in exit order *)
+  latencies : (int * int) list;     (** (packet id, cycles in switch), exit order *)
+}
+
+val run :
+  ?observer:(occupancy -> unit) ->
+  params ->
+  Transform.t ->
+  Mp5_banzai.Machine.input array ->
+  result
+(** [run params program trace] simulates the (sorted) trace to completion:
+    all packets either delivered or dropped.  [observer] is called once
+    per cycle after FIFO pops, with the stage occupancy. *)

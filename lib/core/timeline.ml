@@ -1,0 +1,73 @@
+type t = {
+  cycles : int array;
+  rows : (int * int) array;
+  cells : string array array;
+}
+
+let letter seq =
+  let base = Char.chr (Char.code 'A' + (seq mod 26)) in
+  if seq < 26 then String.make 1 base
+  else Printf.sprintf "%c%d" base (seq / 26)
+
+let lower s = String.lowercase_ascii s
+
+let capture ?(max_cycles = 24) params prog trace =
+  let snapshots = ref [] in
+  let count = ref 0 in
+  let observer occ =
+    if !count < max_cycles then begin
+      incr count;
+      snapshots := occ :: !snapshots
+    end
+  in
+  let result = Sim.run ~observer params prog trace in
+  let snapshots = Array.of_list (List.rev !snapshots) in
+  let n_stages = Array.length prog.Transform.config.Mp5_banzai.Config.stages in
+  let k = params.Sim.k in
+  (* Keep only cycles where something is visible, and drop the address
+     resolution stage (stage 0) like the paper's figures. *)
+  let rows =
+    Array.concat
+      (List.init k (fun p -> Array.init (n_stages - 1) (fun s -> (p, s + 1))))
+  in
+  let render_cell occ (p, s) =
+    let slot =
+      match occ.Sim.occ_slots.(s).(p) with
+      | Some pkt -> letter pkt
+      | None -> ""
+    in
+    let queued = occ.Sim.occ_queues.(s).(p) in
+    (* The head of the queue may be the packet just popped into the slot;
+       show remaining entries. *)
+    let entries =
+      List.map (fun (pkt, is_data) -> if is_data then letter pkt else lower (letter pkt)) queued
+    in
+    match (slot, entries) with
+    | "", [] -> ""
+    | s, [] -> s
+    | s, q -> Printf.sprintf "%s[%s]" s (String.concat "" q)
+  in
+  let cells =
+    Array.map (fun row -> Array.map (fun occ -> render_cell occ row) snapshots) rows
+  in
+  ( { cycles = Array.map (fun occ -> occ.Sim.occ_cycle) snapshots; rows; cells }, result )
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let n_cols = Array.length t.cycles in
+  let width = ref 6 in
+  Array.iter (Array.iter (fun c -> width := max !width (String.length c + 1))) t.cells;
+  let pad s = Printf.sprintf "%-*s" !width s in
+  Buffer.add_string buf (pad "");
+  Array.iter (fun c -> Buffer.add_string buf (pad (Printf.sprintf "t=%d" c))) t.cycles;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun i (p, s) ->
+      if i > 0 && fst t.rows.(i - 1) <> p then Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad (Printf.sprintf "P%d/S%d" p s));
+      for c = 0 to n_cols - 1 do
+        Buffer.add_string buf (pad t.cells.(i).(c))
+      done;
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf

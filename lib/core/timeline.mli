@@ -1,0 +1,30 @@
+(** Figure 3-style packet-processing timelines.
+
+    Runs the simulator with the per-cycle occupancy observer and renders
+    a table with one row per (pipeline, stage) and one column per cycle:
+    the packet being processed in blue-in-the-paper position, with the
+    queued packets behind it in brackets (lower-case letters mark phantom
+    placeholders whose data packet has not arrived yet).  Packet ids are
+    lettered A, B, C ... in arrival order, like the paper's example. *)
+
+type t = {
+  cycles : int array;                       (** columns, in order *)
+  rows : (int * int) array;                 (** (pipeline, stage) per row *)
+  cells : string array array;               (** [row][column] rendered text *)
+}
+
+val capture :
+  ?max_cycles:int ->
+  Sim.params ->
+  Transform.t ->
+  Mp5_banzai.Machine.input array ->
+  t * Sim.result
+(** Simulates and captures up to [max_cycles] columns (default 24),
+    starting at the first arrival.  Stage 0 (address resolution) is
+    omitted from the rows, matching the paper's figures. *)
+
+val render : t -> string
+(** Plain-text table. *)
+
+val letter : int -> string
+(** 0 -> "A", 25 -> "Z", 26 -> "A1"... *)

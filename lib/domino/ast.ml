@@ -1,0 +1,58 @@
+type loc = { line : int; col : int }
+
+let pp_loc ppf l = Format.fprintf ppf "line %d, column %d" l.line l.col
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Bit_and | Bit_or | Bit_xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Log_and | Log_or
+
+type unop = Neg | Log_not | Bit_not
+
+type expr = { e : expr_desc; e_loc : loc }
+
+and expr_desc =
+  | Int of int
+  | Packet_field of string
+  | Var of string
+  | Reg_read of string * expr option
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Ternary of expr * expr * expr
+  | Hash of expr list
+  | Table_call of string * expr list
+
+type lvalue =
+  | L_packet_field of string
+  | L_var of string
+  | L_reg of string * expr option
+
+type stmt = { s : stmt_desc; s_loc : loc }
+
+and stmt_desc =
+  | Assign of lvalue * expr
+  | Local_decl of string * expr option
+  | If of expr * stmt list * stmt list
+
+type table_decl = {
+  t_name : string;
+  t_arity : int;
+  t_loc : loc;
+}
+
+type reg_decl = {
+  r_name : string;
+  r_size : int option;
+  r_init : int list;
+  r_loc : loc;
+}
+
+type program = {
+  packet_fields : (string * loc) list;
+  regs : reg_decl list;
+  tables : table_decl list;
+  func_name : string;
+  param : string;
+  body : stmt list;
+}

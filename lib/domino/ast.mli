@@ -1,0 +1,68 @@
+(** Abstract syntax for the Domino subset (§3.3).
+
+    Domino is a C-like language for writing packet transactions against a
+    single logical pipeline: one [struct Packet] declaration, global
+    register declarations (scalars or fixed-size arrays), and one
+    [void func(struct Packet p)] whose body is straight-line code with
+    [if]/[else] — no loops, matching the feed-forward pipeline model. *)
+
+type loc = { line : int; col : int }
+
+val pp_loc : Format.formatter -> loc -> unit
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Bit_and | Bit_or | Bit_xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Log_and | Log_or
+
+type unop = Neg | Log_not | Bit_not
+
+type expr = { e : expr_desc; e_loc : loc }
+
+and expr_desc =
+  | Int of int
+  | Packet_field of string          (** [p.h1] *)
+  | Var of string                   (** local variable *)
+  | Reg_read of string * expr option
+      (** [reg\[e\]]; [None] for scalar registers *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Ternary of expr * expr * expr
+  | Hash of expr list               (** [hash(e1, ..., en)] builtin *)
+  | Table_call of string * expr list
+      (** [acl(e1, ..., en)]: match-table lookup yielding an action id *)
+
+type lvalue =
+  | L_packet_field of string
+  | L_var of string
+  | L_reg of string * expr option
+
+type stmt = { s : stmt_desc; s_loc : loc }
+
+and stmt_desc =
+  | Assign of lvalue * expr
+  | Local_decl of string * expr option   (** [int x;] or [int x = e;] *)
+  | If of expr * stmt list * stmt list   (** else branch possibly empty *)
+
+type table_decl = {
+  t_name : string;
+  t_arity : int;
+  t_loc : loc;
+}
+
+type reg_decl = {
+  r_name : string;
+  r_size : int option;     (** [None] = scalar *)
+  r_init : int list;       (** possibly shorter than size; zero padded *)
+  r_loc : loc;
+}
+
+type program = {
+  packet_fields : (string * loc) list;  (** declaration order *)
+  regs : reg_decl list;
+  tables : table_decl list;
+  func_name : string;
+  param : string;                       (** the packet parameter name *)
+  body : stmt list;
+}

@@ -1,0 +1,43 @@
+module Config = Mp5_banzai.Config
+module Capability = Mp5_banzai.Capability
+
+exception Error of string
+
+let rec chunks n = function
+  | [] -> []
+  | l ->
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (k - 1) (x :: acc) rest
+      in
+      let chunk, rest = take n [] l in
+      chunk :: chunks n rest
+
+(* Split one PVSM stage into machine stages obeying per-stage budgets.
+   Stateless ops go first (they carry no ordering constraints between each
+   other), then atoms. *)
+let split_stage (limits : Capability.limits) (stage : Config.stage) : Config.stage list =
+  let stateless_groups = chunks limits.max_stateless_per_stage stage.stateless in
+  let atom_groups = chunks limits.max_atoms_per_stage stage.atoms in
+  match (stateless_groups, atom_groups) with
+  | [], [] -> [ Config.empty_stage ]
+  | [ sl ], [ at ] -> [ { Config.stateless = sl; atoms = at } ]
+  | _ ->
+      List.map (fun sl -> { Config.stateless = sl; atoms = [] }) stateless_groups
+      @ List.map (fun at -> { Config.stateless = []; atoms = at }) atom_groups
+
+let lower limits (pvsm : Config.t) =
+  let stages =
+    Array.to_list pvsm.stages
+    |> List.concat_map (split_stage limits)
+    |> Array.of_list
+  in
+  let config = { pvsm with Config.stages } in
+  (match Capability.check limits config with
+  | Ok () -> ()
+  | Error msg -> raise (Error msg));
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error msg -> raise (Error ("internal: codegen produced invalid config: " ^ msg)));
+  config

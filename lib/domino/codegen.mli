@@ -1,0 +1,14 @@
+(** Code generation: lowering a PVSM onto a concrete Banzai machine
+    (§3.3, "Code generation ... given the machine's computational and
+    resource limits").
+
+    Stages that exceed the machine's per-stage atom or stateless-op budget
+    are split into consecutive stages (legal: operations sharing a PVSM
+    stage are data-independent by construction).  Programs whose atom
+    expressions exceed the machine's circuit templates, or that need more
+    stages than the machine has, are rejected. *)
+
+exception Error of string
+
+val lower : Mp5_banzai.Capability.limits -> Mp5_banzai.Config.t -> Mp5_banzai.Config.t
+(** @raise Error when the program does not fit the machine. *)

@@ -1,0 +1,41 @@
+type phase = Lex | Parse | Check | Pipeline | Lower
+
+type error = { phase : phase; message : string; loc : Ast.loc option }
+
+let phase_name = function
+  | Lex -> "lexing"
+  | Parse -> "parsing"
+  | Check -> "checking"
+  | Pipeline -> "pipelining"
+  | Lower -> "code generation"
+
+let pp_error ppf e =
+  match e.loc with
+  | Some loc -> Format.fprintf ppf "%s error at %a: %s" (phase_name e.phase) Ast.pp_loc loc e.message
+  | None -> Format.fprintf ppf "%s error: %s" (phase_name e.phase) e.message
+
+type t = {
+  env : Typecheck.env;
+  pvsm : Mp5_banzai.Config.t;
+  config : Mp5_banzai.Config.t;
+}
+
+let compile ?(limits = Mp5_banzai.Capability.default) src =
+  match
+    let ast = Parser.parse src in
+    let env = Typecheck.check ast in
+    let pvsm = Flatten.pvsm env in
+    let config = Codegen.lower limits pvsm in
+    { env; pvsm; config }
+  with
+  | t -> Ok t
+  | exception Lexer.Error (message, loc) -> Error { phase = Lex; message; loc = Some loc }
+  | exception Parser.Error (message, loc) -> Error { phase = Parse; message; loc = Some loc }
+  | exception Typecheck.Error (message, loc) -> Error { phase = Check; message; loc = Some loc }
+  | exception Flatten.Error message -> Error { phase = Pipeline; message; loc = None }
+  | exception Codegen.Error message -> Error { phase = Lower; message; loc = None }
+
+let compile_exn ?limits src =
+  match compile ?limits src with
+  | Ok t -> t
+  | Error e -> failwith (Format.asprintf "%a" pp_error e)

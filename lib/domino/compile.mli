@@ -1,0 +1,21 @@
+(** Compiler driver: Domino source to a Banzai pipeline configuration. *)
+
+type phase = Lex | Parse | Check | Pipeline | Lower
+
+type error = { phase : phase; message : string; loc : Ast.loc option }
+
+val pp_error : Format.formatter -> error -> unit
+
+type t = {
+  env : Typecheck.env;
+  pvsm : Mp5_banzai.Config.t;    (** resource-unconstrained IR *)
+  config : Mp5_banzai.Config.t;  (** lowered onto the target machine *)
+}
+
+val compile :
+  ?limits:Mp5_banzai.Capability.limits -> string -> (t, error) result
+(** [compile src] runs every phase.  [limits] defaults to
+    {!Mp5_banzai.Capability.default}. *)
+
+val compile_exn : ?limits:Mp5_banzai.Capability.limits -> string -> t
+(** @raise Failure with a rendered error. *)

@@ -1,0 +1,386 @@
+module Expr = Mp5_banzai.Expr
+module Atom = Mp5_banzai.Atom
+module Config = Mp5_banzai.Config
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+type reg_op =
+  | Read of { slot : int; pred : Expr.t option; index : Expr.t }
+  | Write of { rhs : Expr.t; pred : Expr.t option; index : Expr.t }
+
+let op_index = function Read r -> r.index | Write w -> w.index
+let op_pred = function Read r -> r.pred | Write w -> w.pred
+
+type state = {
+  env : (string, Expr.t) Hashtbl.t;      (* "$f:name" / "$l:name" -> symbolic value *)
+  mutable meta : string list;            (* metadata slot names, reversed *)
+  mutable next_slot : int;
+  reg_ops : (int, reg_op list ref) Hashtbl.t;  (* reg id -> ops in program order *)
+  reg_order : int list ref;              (* reg ids in first-access order *)
+  tc : Typecheck.env;
+}
+
+let fkey name = "$f:" ^ name
+let lkey name = "$l:" ^ name
+
+let fresh_slot st name_hint =
+  let slot = st.next_slot in
+  st.next_slot <- slot + 1;
+  st.meta <- name_hint :: st.meta;
+  slot
+
+let ops_for st reg =
+  match Hashtbl.find_opt st.reg_ops reg with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add st.reg_ops reg r;
+      st.reg_order := reg :: !(st.reg_order);
+      r
+
+let emit_op st reg op =
+  let r = ops_for st reg in
+  r := op :: !r
+
+let conj p q =
+  match (p, q) with
+  | None, q -> q
+  | p, None -> p
+  | Some a, Some b -> Some (Expr.Binop (Expr.Log_and, a, b))
+
+let negate c = Expr.Unop (Expr.Log_not, c)
+
+let binop_of_ast : Ast.binop -> Expr.binop = function
+  | Ast.Add -> Expr.Add | Ast.Sub -> Expr.Sub | Ast.Mul -> Expr.Mul
+  | Ast.Div -> Expr.Div | Ast.Mod -> Expr.Mod
+  | Ast.Bit_and -> Expr.Bit_and | Ast.Bit_or -> Expr.Bit_or | Ast.Bit_xor -> Expr.Bit_xor
+  | Ast.Shl -> Expr.Shl | Ast.Shr -> Expr.Shr
+  | Ast.Eq -> Expr.Eq | Ast.Ne -> Expr.Ne
+  | Ast.Lt -> Expr.Lt | Ast.Le -> Expr.Le | Ast.Gt -> Expr.Gt | Ast.Ge -> Expr.Ge
+  | Ast.Log_and -> Expr.Log_and | Ast.Log_or -> Expr.Log_or
+
+let unop_of_ast : Ast.unop -> Expr.unop = function
+  | Ast.Neg -> Expr.Neg
+  | Ast.Log_not -> Expr.Log_not
+  | Ast.Bit_not -> Expr.Bit_not
+
+let field_name_of_qualified q =
+  match String.index_opt q '.' with
+  | Some i -> String.sub q (i + 1) (String.length q - i - 1)
+  | None -> q
+
+let lookup st key =
+  match Hashtbl.find_opt st.env key with
+  | Some e -> e
+  | None -> err "internal: unbound %s" key
+
+let is_scalar_reg st name =
+  Hashtbl.mem st.tc.Typecheck.reg_index name && not (Hashtbl.mem st.env (lkey name))
+
+(* Flatten an expression under path predicate [pred] into a pure symbolic
+   expression; register reads allocate fresh metadata slots. *)
+let rec flatten_expr st pred (e : Ast.expr) : Expr.t =
+  match e.e with
+  | Ast.Int n -> Expr.Const n
+  | Ast.Packet_field q -> lookup st (fkey (field_name_of_qualified q))
+  | Ast.Var name ->
+      if is_scalar_reg st name then read_reg st pred name None
+      else lookup st (lkey name)
+  | Ast.Reg_read (name, idx) -> read_reg st pred name idx
+  | Ast.Binop (op, a, b) ->
+      let a' = flatten_expr st pred a in
+      let b' = flatten_expr st pred b in
+      Expr.Binop (binop_of_ast op, a', b')
+  | Ast.Unop (op, a) -> Expr.Unop (unop_of_ast op, flatten_expr st pred a)
+  | Ast.Ternary (c, a, b) ->
+      (* Register reads inside a ternary arm are accesses only on that arm
+         (Figure 3: a packet with mux = 1 accesses reg1, not reg2). *)
+      let c' = flatten_expr st pred c in
+      let a' = flatten_expr st (conj pred (Some c')) a in
+      let b' = flatten_expr st (conj pred (Some (negate c'))) b in
+      Expr.Ternary (c', a', b')
+  | Ast.Hash args -> Expr.Hash (List.map (flatten_expr st pred) args)
+  | Ast.Table_call (name, args) ->
+      let id = Hashtbl.find st.tc.Typecheck.table_index name in
+      Expr.Lookup (id, List.map (flatten_expr st pred) args)
+
+and read_reg st pred name idx =
+  let reg = Hashtbl.find st.tc.Typecheck.reg_index name in
+  let index = match idx with None -> Expr.Const 0 | Some e -> flatten_expr st pred e in
+  let slot = fresh_slot st (Printf.sprintf "$%s_read%d" name st.next_slot) in
+  emit_op st reg (Read { slot; pred; index });
+  Expr.Field slot
+
+let rec flatten_stmt st pred (s : Ast.stmt) =
+  match s.s with
+  | Ast.Local_decl (name, init) ->
+      let v = match init with None -> Expr.Const 0 | Some e -> flatten_expr st pred e in
+      let v = match pred with None -> v | Some p -> Expr.Ternary (p, v, Expr.Const 0) in
+      Hashtbl.replace st.env (lkey name) v
+  | Ast.Assign (lv, rhs) -> (
+      let r = flatten_expr st pred rhs in
+      match lv with
+      | Ast.L_packet_field q ->
+          let key = fkey (field_name_of_qualified q) in
+          let cur = lookup st key in
+          let v = match pred with None -> r | Some p -> Expr.Ternary (p, r, cur) in
+          Hashtbl.replace st.env key v
+      | Ast.L_var name when is_scalar_reg st name ->
+          let reg = Hashtbl.find st.tc.Typecheck.reg_index name in
+          emit_op st reg (Write { rhs = r; pred; index = Expr.Const 0 })
+      | Ast.L_var name ->
+          let key = lkey name in
+          let cur = lookup st key in
+          let v = match pred with None -> r | Some p -> Expr.Ternary (p, r, cur) in
+          Hashtbl.replace st.env key v
+      | Ast.L_reg (name, idx) ->
+          let reg = Hashtbl.find st.tc.Typecheck.reg_index name in
+          let index = match idx with None -> Expr.Const 0 | Some e -> flatten_expr st pred e in
+          emit_op st reg (Write { rhs = r; pred; index }))
+  | Ast.If (cond, then_b, else_b) ->
+      let c = flatten_expr st pred cond in
+      let pred_then = conj pred (Some c) in
+      let pred_else = conj pred (Some (negate c)) in
+      List.iter (flatten_stmt st pred_then) then_b;
+      List.iter (flatten_stmt st pred_else) else_b
+
+(* --- atom fusion --- *)
+
+(* Substitute this-array read slots by their symbolic binding (which may
+   mention State_val). *)
+let rec subst bindings e =
+  match e with
+  | Expr.Field slot -> (
+      match List.assoc_opt slot bindings with Some b -> b | None -> e)
+  | Expr.Const _ | Expr.State_val -> e
+  | Expr.Binop (op, a, b) -> Expr.Binop (op, subst bindings a, subst bindings b)
+  | Expr.Unop (op, a) -> Expr.Unop (op, subst bindings a)
+  | Expr.Ternary (c, a, b) ->
+      Expr.Ternary (subst bindings c, subst bindings a, subst bindings b)
+  | Expr.Hash args -> Expr.Hash (List.map (subst bindings) args)
+  | Expr.Lookup (id, keys) -> Expr.Lookup (id, List.map (subst bindings) keys)
+
+let references_slots slots e =
+  List.exists (fun f -> List.mem_assoc f slots) (Expr.fields_used e)
+
+(* Remove conjuncts that mention this-array read slots from a predicate.
+   Sound for guard purposes: such a conjunct can only have been produced by
+   flattening a condition that itself read this array under an enclosing
+   (weaker) predicate, which is also part of the guard disjunction. *)
+let rec strip_stateful bindings p =
+  match p with
+  | Expr.Binop (Expr.Log_and, a, b) -> (
+      let a' = strip_stateful bindings a in
+      let b' = strip_stateful bindings b in
+      match (a', b') with
+      | None, x | x, None -> x
+      | Some a', Some b' -> Some (Expr.Binop (Expr.Log_and, a', b')))
+  | _ -> if references_slots bindings p then None else Some p
+
+type fused = {
+  atom : Atom.stateful;
+  read_slots : (int * Atom.output_source) list;  (* outputs, pre-filter *)
+  unsupported_reads : int list;  (* mid-chain reads: error if used downstream *)
+}
+
+let fuse st reg_id ops =
+  let reg_name = st.tc.Typecheck.regs.(reg_id).Config.reg_name in
+  let index0 = op_index (List.hd ops) in
+  List.iter
+    (fun op ->
+      if not (Expr.equal (op_index op) index0) then
+        err
+          "register %s: accesses with different index expressions cannot be fused into one atom"
+          reg_name)
+    ops;
+  (* Walk ops accumulating the symbolic cell value. *)
+  let bindings = ref [] in
+  let value = ref Expr.State_val in
+  let wrote = ref false in
+  List.iter
+    (fun op ->
+      match op with
+      | Read { slot; _ } -> bindings := (slot, !value) :: !bindings
+      | Write { rhs; pred; _ } ->
+          wrote := true;
+          let rhs' = subst !bindings rhs in
+          let v =
+            match pred with
+            | None -> rhs'
+            | Some p -> Expr.Ternary (subst !bindings p, rhs', !value)
+          in
+          value := v)
+    ops;
+  (* Guard: disjunction of (stateless parts of) op predicates. *)
+  let guard =
+    List.fold_left
+      (fun acc op ->
+        match acc with
+        | `Always -> `Always
+        | `Cond c -> (
+            match op_pred op with
+            | None -> `Always
+            | Some p -> (
+                match strip_stateful !bindings p with
+                | None -> `Always
+                | Some p' -> (
+                    match c with
+                    | None -> `Cond (Some p')
+                    | Some c -> `Cond (Some (Expr.Binop (Expr.Log_or, c, p')))))))
+      (`Cond None) ops
+  in
+  let guard = match guard with `Always -> None | `Cond c -> c in
+  let update =
+    if not !wrote then None
+    else if Expr.equal !value Expr.State_val then None
+    else Some !value
+  in
+  let final = !value in
+  let read_slots, unsupported_reads =
+    List.fold_left
+      (fun (outs, bad) (slot, binding) ->
+        if Expr.equal binding Expr.State_val then ((slot, Atom.Old_value) :: outs, bad)
+        else if Expr.equal binding final then ((slot, Atom.New_value) :: outs, bad)
+        else (outs, slot :: bad))
+      ([], []) !bindings
+  in
+  let atom = Atom.stateful ~reg:reg_id ~index:index0 ?guard ?update ~outputs:read_slots () in
+  { atom; read_slots; unsupported_reads }
+
+(* --- pipelining: dependency levels --- *)
+
+let pvsm (tc : Typecheck.env) =
+  let n_user = Array.length tc.fields in
+  let st =
+    {
+      env = Hashtbl.create 32;
+      meta = [];
+      next_slot = n_user;
+      reg_ops = Hashtbl.create 8;
+      reg_order = ref [];
+      tc;
+    }
+  in
+  Array.iteri (fun i name -> Hashtbl.replace st.env (fkey name) (Expr.Field i)) tc.fields;
+  List.iter (flatten_stmt st None) tc.prog.Ast.body;
+  (* Fuse each array's accesses into one atom (program order of arrays'
+     first access keeps output deterministic). *)
+  let fused =
+    (* [reg_order] holds ids most-recent-first; rev_map restores
+       first-access order.  Fused atoms are simplified right away: the
+       symbolic inlining and predicate chaining leave dead ternary arms
+       and foldable constants behind, and downstream analyses (output
+       filtering, dependency levels, template classification, capability
+       budgets) should all see the reduced forms. *)
+    List.rev_map
+      (fun reg_id ->
+        let f = fuse st reg_id (List.rev !(ops_for st reg_id)) in
+        (reg_id, { f with atom = Mp5_banzai.Simplify.stateful f.atom }))
+      !(st.reg_order)
+  in
+  (* Header write-back: two phases so the final user-field writes read only
+     freshly materialised metadata slots (no intra-stage hazards). *)
+  let copyback =
+    Array.to_list tc.fields
+    |> List.mapi (fun i name -> (i, name, lookup st (fkey name)))
+    |> List.filter_map (fun (i, name, final) ->
+           let final = Mp5_banzai.Simplify.expr final in
+           if Expr.equal final (Expr.Field i) then None
+           else
+             let tmp = fresh_slot st (Printf.sprintf "$out_%s" name) in
+             Some (Atom.stateless_op ~dst:tmp ~rhs:final, Atom.stateless_op ~dst:i ~rhs:(Expr.Field tmp)))
+  in
+  (* Downstream-use check for mid-chain reads, and output filtering. *)
+  let atom_exprs (a : Atom.stateful) =
+    (a.index :: Option.to_list a.guard) @ Option.to_list a.update
+  in
+  let used_fields = Hashtbl.create 64 in
+  let note_expr owner e =
+    List.iter
+      (fun f ->
+        let prev = try Hashtbl.find used_fields f with Not_found -> [] in
+        Hashtbl.replace used_fields f (owner :: prev))
+      (Expr.fields_used e)
+  in
+  List.iteri (fun i (_, f) -> List.iter (note_expr (`Atom i)) (atom_exprs f.atom)) fused;
+  List.iter (fun (mat, _) -> note_expr `Copyback mat.Atom.rhs) copyback;
+  List.iter
+    (fun (reg_id, f) ->
+      List.iter
+        (fun slot ->
+          if Hashtbl.mem used_fields slot then
+            err
+              "register %s: a read of an intermediate cell value is exported to later stages; \
+               this does not fit the atom template"
+              st.tc.Typecheck.regs.(reg_id).Config.reg_name)
+        f.unsupported_reads)
+    fused;
+  let fused =
+    List.map
+      (fun (reg_id, f) ->
+        let outputs = List.filter (fun (slot, _) -> Hashtbl.mem used_fields slot) f.read_slots in
+        (reg_id, { f.atom with Atom.outputs }))
+      fused
+  in
+  (* Levels: an atom depends on another atom when it reads one of its
+     output slots. *)
+  let owner = Hashtbl.create 16 in
+  List.iteri
+    (fun i (_, (a : Atom.stateful)) ->
+      List.iter (fun (slot, _) -> Hashtbl.replace owner slot i) a.outputs)
+    fused;
+  let atoms = Array.of_list (List.map snd fused) in
+  let reg_ids = Array.of_list (List.map fst fused) in
+  let levels = Array.make (Array.length atoms) 0 in
+  let rec level i =
+    if levels.(i) > 0 then levels.(i)
+    else if levels.(i) = -1 then
+      err
+        "register %s participates in a circular dependency between register arrays; \
+         the program cannot be pipelined"
+        tc.regs.(reg_ids.(i)).Config.reg_name
+    else begin
+      levels.(i) <- -1;
+      let deps =
+        List.concat_map Expr.fields_used (atom_exprs atoms.(i))
+        |> List.filter_map (Hashtbl.find_opt owner)
+        |> List.filter (fun j -> j <> i)
+      in
+      let l = 1 + List.fold_left (fun acc j -> max acc (level j)) 0 deps in
+      levels.(i) <- l;
+      l
+    end
+  in
+  Array.iteri (fun i _ -> ignore (level i)) atoms;
+  let max_level = Array.fold_left max 0 levels in
+  let atom_stages =
+    Array.init max_level (fun l ->
+        let stage_atoms =
+          Array.to_list atoms
+          |> List.filteri (fun i _ -> levels.(i) = l + 1)
+        in
+        { Config.stateless = []; atoms = stage_atoms })
+  in
+  let copyback_stages =
+    if copyback = [] then [||]
+    else
+      [|
+        { Config.stateless = List.map fst copyback; atoms = [] };
+        { Config.stateless = List.map snd copyback; atoms = [] };
+      |]
+  in
+  let meta_names = List.rev st.meta in
+  let config =
+    {
+      Config.fields = Array.append tc.fields (Array.of_list meta_names);
+      n_user_fields = n_user;
+      regs = tc.regs;
+      tables = tc.tables;
+      stages = Array.append atom_stages copyback_stages;
+    }
+  in
+  match Config.validate config with
+  | Ok () -> config
+  | Error msg -> err "internal: invalid PVSM generated: %s" msg

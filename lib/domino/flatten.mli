@@ -1,0 +1,28 @@
+(** The compiler middle end: preprocessing + pipelining (§3.3).
+
+    This pass plays the role of Domino's "Preprocessing" (conversion to
+    simple three-address-style operations with branch removal by
+    predication) and "Pipelining" (grouping operations into the stages of
+    a PVSM — a pipeline with no resource limits).
+
+    The implementation flattens the program symbolically: every scalar
+    value (packet field or local) is tracked as a pure expression over the
+    incoming header fields and the results of register reads, so all
+    stateless computation is inlined into the expressions of stateful
+    atoms and of the final header write-back — branch conditions become
+    predicates, exactly Domino's branch removal.  All operations on one
+    register array are then fused into a single Banzai atom (state is
+    stage-local and atomically read-modify-written, §2.1), and atoms are
+    assigned to stages by their data-dependency depth.
+
+    Programs outside the atom template fail with {!Error}, mirroring the
+    real Domino compiler's "cannot fit into atom" failures:
+    - accesses to one register array with syntactically different indices;
+    - a register read that is neither the cell's pre-update nor
+      post-update value but is exported to later stages. *)
+
+exception Error of string
+
+val pvsm : Typecheck.env -> Mp5_banzai.Config.t
+(** Builds the PVSM for a checked program.  The result always passes
+    [Config.validate]. *)

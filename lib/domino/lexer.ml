@@ -1,0 +1,168 @@
+type token =
+  | INT_LIT of int
+  | IDENT of string
+  | KW_STRUCT | KW_INT | KW_VOID | KW_IF | KW_ELSE | KW_TABLE
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ASSIGN | QUESTION | COLON
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | EQ | NE | LT | LE | GT | GE | AND_AND | OR_OR | BANG
+  | EOF
+
+exception Error of string * Ast.loc
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* position of beginning of current line *)
+}
+
+let loc st : Ast.loc = { line = st.line; col = st.pos - st.bol + 1 }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let peek2 st = if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '/' when peek2 st = Some '/' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ -> advance st; to_eol ()
+      in
+      to_eol ();
+      skip_ws st
+  | Some '/' when peek2 st = Some '*' ->
+      let start = loc st in
+      advance st;
+      advance st;
+      let rec to_close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' -> advance st; advance st
+        | Some _, _ -> advance st; to_close ()
+        | None, _ -> raise (Error ("unterminated block comment", start))
+      in
+      to_close ();
+      skip_ws st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+    advance st;
+    advance st;
+    while (match peek st with Some c -> is_hex c | None -> false) do advance st done
+  end
+  else
+    while (match peek st with Some c -> is_digit c | None -> false) do advance st done;
+  let s = String.sub st.src start (st.pos - start) in
+  int_of_string s
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident c | None -> false) do advance st done;
+  String.sub st.src start (st.pos - start)
+
+let keyword = function
+  | "struct" -> Some KW_STRUCT
+  | "int" -> Some KW_INT
+  | "void" -> Some KW_VOID
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "table" -> Some KW_TABLE
+  | _ -> None
+
+let next_token st =
+  skip_ws st;
+  let l = loc st in
+  match peek st with
+  | None -> (EOF, l)
+  | Some c ->
+      let two tok = advance st; advance st; (tok, l) in
+      let one tok = advance st; (tok, l) in
+      if is_digit c then (INT_LIT (lex_number st), l)
+      else if is_ident_start c then
+        let id = lex_ident st in
+        ((match keyword id with Some k -> k | None -> IDENT id), l)
+      else begin
+        match (c, peek2 st) with
+        | '<', Some '<' -> two SHL
+        | '>', Some '>' -> two SHR
+        | '<', Some '=' -> two LE
+        | '>', Some '=' -> two GE
+        | '=', Some '=' -> two EQ
+        | '!', Some '=' -> two NE
+        | '&', Some '&' -> two AND_AND
+        | '|', Some '|' -> two OR_OR
+        | '{', _ -> one LBRACE
+        | '}', _ -> one RBRACE
+        | '(', _ -> one LPAREN
+        | ')', _ -> one RPAREN
+        | '[', _ -> one LBRACKET
+        | ']', _ -> one RBRACKET
+        | ';', _ -> one SEMI
+        | ',', _ -> one COMMA
+        | '.', _ -> one DOT
+        | '=', _ -> one ASSIGN
+        | '?', _ -> one QUESTION
+        | ':', _ -> one COLON
+        | '+', _ -> one PLUS
+        | '-', _ -> one MINUS
+        | '*', _ -> one STAR
+        | '/', _ -> one SLASH
+        | '%', _ -> one PERCENT
+        | '&', _ -> one AMP
+        | '|', _ -> one PIPE
+        | '^', _ -> one CARET
+        | '~', _ -> one TILDE
+        | '<', _ -> one LT
+        | '>', _ -> one GT
+        | '!', _ -> one BANG
+        | _ -> raise (Error (Printf.sprintf "illegal character %C" c, l))
+      end
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let tok, l = next_token st in
+    match tok with EOF -> List.rev ((EOF, l) :: acc) | _ -> go ((tok, l) :: acc)
+  in
+  go []
+
+let token_name = function
+  | INT_LIT n -> Printf.sprintf "integer %d" n
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW_STRUCT -> "'struct'"
+  | KW_INT -> "'int'"
+  | KW_VOID -> "'void'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_TABLE -> "'table'"
+  | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LPAREN -> "'('" | RPAREN -> "')'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'"
+  | SEMI -> "';'" | COMMA -> "','" | DOT -> "'.'"
+  | ASSIGN -> "'='" | QUESTION -> "'?'" | COLON -> "':'"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'" | SLASH -> "'/'" | PERCENT -> "'%'"
+  | AMP -> "'&'" | PIPE -> "'|'" | CARET -> "'^'" | TILDE -> "'~'"
+  | SHL -> "'<<'" | SHR -> "'>>'"
+  | EQ -> "'=='" | NE -> "'!='" | LT -> "'<'" | LE -> "'<='" | GT -> "'>'" | GE -> "'>='"
+  | AND_AND -> "'&&'" | OR_OR -> "'||'" | BANG -> "'!'"
+  | EOF -> "end of input"

@@ -1,0 +1,22 @@
+(** Hand-written lexer for the Domino subset. *)
+
+type token =
+  | INT_LIT of int
+  | IDENT of string
+  | KW_STRUCT | KW_INT | KW_VOID | KW_IF | KW_ELSE | KW_TABLE
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ASSIGN | QUESTION | COLON
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | EQ | NE | LT | LE | GT | GE | AND_AND | OR_OR | BANG
+  | EOF
+
+exception Error of string * Ast.loc
+
+val tokenize : string -> (token * Ast.loc) list
+(** Lexes a whole source string.  Supports decimal and hex literals,
+    [//] line comments and [/* */] block comments.
+    @raise Error on an illegal character or unterminated comment. *)
+
+val token_name : token -> string
+(** Human-readable token name for parse errors. *)

@@ -1,0 +1,324 @@
+open Lexer
+
+exception Error of string * Ast.loc
+
+type state = { mutable toks : (token * Ast.loc) list }
+
+let peek st = match st.toks with [] -> (EOF, { Ast.line = 0; col = 0 }) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st msg =
+  let tok, l = peek st in
+  raise (Error (Printf.sprintf "%s (found %s)" msg (token_name tok), l))
+
+let expect st tok msg =
+  let t, _ = peek st in
+  if t = tok then advance st else fail st msg
+
+let expect_ident st msg =
+  match peek st with
+  | IDENT s, _ ->
+      advance st;
+      s
+  | _ -> fail st msg
+
+let expect_int st msg =
+  match peek st with
+  | INT_LIT n, _ ->
+      advance st;
+      n
+  | MINUS, _ -> (
+      advance st;
+      match peek st with
+      | INT_LIT n, _ ->
+          advance st;
+          -n
+      | _ -> fail st msg)
+  | _ -> fail st msg
+
+(* --- expressions, classic precedence climbing --- *)
+
+let mk loc e : Ast.expr = { e; e_loc = loc }
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let cond = parse_logical_or st in
+  match peek st with
+  | QUESTION, l ->
+      advance st;
+      let then_e = parse_expr st in
+      expect st COLON "expected ':' in ternary";
+      let else_e = parse_expr st in
+      mk l (Ast.Ternary (cond, then_e, else_e))
+  | _ -> cond
+
+and parse_binop_level st ops next =
+  let lhs = ref (next st) in
+  let rec loop () =
+    let tok, l = peek st in
+    match List.assoc_opt tok ops with
+    | Some op ->
+        advance st;
+        let rhs = next st in
+        lhs := mk l (Ast.Binop (op, !lhs, rhs));
+        loop ()
+    | None -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_logical_or st = parse_binop_level st [ (OR_OR, Ast.Log_or) ] parse_logical_and
+and parse_logical_and st = parse_binop_level st [ (AND_AND, Ast.Log_and) ] parse_bit_or
+and parse_bit_or st = parse_binop_level st [ (PIPE, Ast.Bit_or) ] parse_bit_xor
+and parse_bit_xor st = parse_binop_level st [ (CARET, Ast.Bit_xor) ] parse_bit_and
+and parse_bit_and st = parse_binop_level st [ (AMP, Ast.Bit_and) ] parse_equality
+
+and parse_equality st =
+  parse_binop_level st [ (EQ, Ast.Eq); (NE, Ast.Ne) ] parse_relational
+
+and parse_relational st =
+  parse_binop_level st [ (LT, Ast.Lt); (LE, Ast.Le); (GT, Ast.Gt); (GE, Ast.Ge) ] parse_shift
+
+and parse_shift st = parse_binop_level st [ (SHL, Ast.Shl); (SHR, Ast.Shr) ] parse_additive
+
+and parse_additive st =
+  parse_binop_level st [ (PLUS, Ast.Add); (MINUS, Ast.Sub) ] parse_multiplicative
+
+and parse_multiplicative st =
+  parse_binop_level st [ (STAR, Ast.Mul); (SLASH, Ast.Div); (PERCENT, Ast.Mod) ] parse_unary
+
+and parse_unary st =
+  let tok, l = peek st in
+  match tok with
+  | MINUS ->
+      advance st;
+      mk l (Ast.Unop (Ast.Neg, parse_unary st))
+  | BANG ->
+      advance st;
+      mk l (Ast.Unop (Ast.Log_not, parse_unary st))
+  | TILDE ->
+      advance st;
+      mk l (Ast.Unop (Ast.Bit_not, parse_unary st))
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let tok, l = peek st in
+  match tok with
+  | INT_LIT n ->
+      advance st;
+      mk l (Ast.Int n)
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN "expected ')'";
+      e
+  | IDENT name when (match st.toks with _ :: (LPAREN, _) :: _ -> true | _ -> false) ->
+      advance st;
+      advance st;
+      let args = parse_args st in
+      expect st RPAREN "expected ')' after arguments";
+      if name = "hash" then mk l (Ast.Hash args) else mk l (Ast.Table_call (name, args))
+  | IDENT name -> (
+      advance st;
+      match peek st with
+      | DOT, _ ->
+          advance st;
+          let field = expect_ident st "expected field name after '.'" in
+          (* The typechecker verifies [name] is the packet parameter. *)
+          mk l (Ast.Packet_field (name ^ "." ^ field))
+      | LBRACKET, _ ->
+          advance st;
+          let idx = parse_expr st in
+          expect st RBRACKET "expected ']'";
+          mk l (Ast.Reg_read (name, Some idx))
+      | _ -> mk l (Ast.Var name))
+  | _ -> fail st "expected expression"
+
+and parse_args st =
+  match peek st with
+  | RPAREN, _ -> []
+  | _ ->
+      let rec go acc =
+        let e = parse_expr st in
+        match peek st with
+        | COMMA, _ ->
+            advance st;
+            go (e :: acc)
+        | _ -> List.rev (e :: acc)
+      in
+      go []
+
+(* --- statements --- *)
+
+let parse_lvalue st : Ast.lvalue =
+  let name = expect_ident st "expected lvalue" in
+  match peek st with
+  | DOT, _ ->
+      advance st;
+      let field = expect_ident st "expected field name after '.'" in
+      Ast.L_packet_field (name ^ "." ^ field)
+  | LBRACKET, _ ->
+      advance st;
+      let idx = parse_expr st in
+      expect st RBRACKET "expected ']'";
+      Ast.L_reg (name, Some idx)
+  | _ -> Ast.L_var name
+
+let rec parse_stmt st : Ast.stmt =
+  let tok, l = peek st in
+  match tok with
+  | KW_INT ->
+      advance st;
+      let name = expect_ident st "expected variable name" in
+      let init =
+        match peek st with
+        | ASSIGN, _ ->
+            advance st;
+            Some (parse_expr st)
+        | _ -> None
+      in
+      expect st SEMI "expected ';'";
+      { s = Ast.Local_decl (name, init); s_loc = l }
+  | KW_IF ->
+      advance st;
+      expect st LPAREN "expected '(' after 'if'";
+      let cond = parse_expr st in
+      expect st RPAREN "expected ')'";
+      let then_b = parse_stmt_or_block st in
+      let else_b =
+        match peek st with
+        | KW_ELSE, _ ->
+            advance st;
+            parse_stmt_or_block st
+        | _ -> []
+      in
+      { s = Ast.If (cond, then_b, else_b); s_loc = l }
+  | IDENT _ ->
+      let lv = parse_lvalue st in
+      expect st ASSIGN "expected '='";
+      let rhs = parse_expr st in
+      expect st SEMI "expected ';'";
+      { s = Ast.Assign (lv, rhs); s_loc = l }
+  | _ -> fail st "expected statement"
+
+and parse_stmt_or_block st =
+  match peek st with
+  | LBRACE, _ ->
+      advance st;
+      let rec go acc =
+        match peek st with
+        | RBRACE, _ ->
+            advance st;
+            List.rev acc
+        | _ -> go (parse_stmt st :: acc)
+      in
+      go []
+  | _ -> [ parse_stmt st ]
+
+(* --- declarations --- *)
+
+let parse_struct st =
+  expect st KW_STRUCT "expected 'struct Packet' declaration";
+  let name = expect_ident st "expected 'Packet'" in
+  if name <> "Packet" then
+    raise (Error ("the packet struct must be named 'Packet'", snd (peek st)));
+  expect st LBRACE "expected '{'";
+  let rec go acc =
+    match peek st with
+    | RBRACE, _ ->
+        advance st;
+        expect st SEMI "expected ';' after struct declaration";
+        List.rev acc
+    | KW_INT, _ ->
+        advance st;
+        let l = snd (peek st) in
+        let fname = expect_ident st "expected field name" in
+        expect st SEMI "expected ';'";
+        go ((fname, l) :: acc)
+    | _ -> fail st "expected 'int <field>;' or '}'"
+  in
+  go []
+
+let parse_reg_decl st : Ast.reg_decl =
+  let _, l = peek st in
+  expect st KW_INT "expected register declaration";
+  let name = expect_ident st "expected register name" in
+  let size =
+    match peek st with
+    | LBRACKET, _ ->
+        advance st;
+        let n = expect_int st "expected array size" in
+        expect st RBRACKET "expected ']'";
+        Some n
+    | _ -> None
+  in
+  let init =
+    match peek st with
+    | ASSIGN, _ -> (
+        advance st;
+        match peek st with
+        | LBRACE, _ ->
+            advance st;
+            let rec go acc =
+              let n = expect_int st "expected integer in initializer" in
+              match peek st with
+              | COMMA, _ ->
+                  advance st;
+                  go (n :: acc)
+              | _ ->
+                  expect st RBRACE "expected '}' in initializer";
+                  List.rev (n :: acc)
+            in
+            go []
+        | _ -> [ expect_int st "expected integer initializer" ])
+    | _ -> []
+  in
+  expect st SEMI "expected ';' after register declaration";
+  { r_name = name; r_size = size; r_init = init; r_loc = l }
+
+let parse_table_decl st : Ast.table_decl =
+  let _, l = peek st in
+  expect st KW_TABLE "expected table declaration";
+  let name = expect_ident st "expected table name" in
+  expect st LPAREN "expected '(' after table name";
+  let arity = expect_int st "expected table arity" in
+  expect st RPAREN "expected ')'";
+  expect st SEMI "expected ';' after table declaration";
+  { t_name = name; t_arity = arity; t_loc = l }
+
+let parse_program st : Ast.program =
+  let packet_fields = parse_struct st in
+  let rec parse_decls regs tables =
+    match peek st with
+    | KW_INT, _ -> parse_decls (parse_reg_decl st :: regs) tables
+    | KW_TABLE, _ -> parse_decls regs (parse_table_decl st :: tables)
+    | _ -> (List.rev regs, List.rev tables)
+  in
+  let regs, tables = parse_decls [] [] in
+  expect st KW_VOID "expected 'void' function declaration";
+  let func_name = expect_ident st "expected function name" in
+  expect st LPAREN "expected '('";
+  expect st KW_STRUCT "expected 'struct Packet' parameter";
+  let pname = expect_ident st "expected 'Packet'" in
+  if pname <> "Packet" then raise (Error ("parameter must be 'struct Packet'", snd (peek st)));
+  let param = expect_ident st "expected parameter name" in
+  expect st RPAREN "expected ')'";
+  let body = parse_stmt_or_block st in
+  (match peek st with
+  | EOF, _ -> ()
+  | _ -> fail st "expected end of input after function body");
+  { packet_fields; regs; tables; func_name; param; body }
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  parse_program st
+
+let parse_expr_string src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr st in
+  (match peek st with
+  | EOF, _ -> ()
+  | _ -> fail st "expected end of input after expression");
+  e

@@ -1,0 +1,28 @@
+(** Recursive-descent parser for the Domino subset.
+
+    Grammar (C precedence):
+    {v
+    program   := struct_decl reg_decl* func_decl
+    struct    := "struct" "Packet" "{" ("int" ident ";")* "}" ";"
+    reg_decl  := "int" ident ("[" int "]")? ("=" init)? ";"
+    init      := int | "{" int ("," int)* "}"
+    func_decl := "void" ident "(" "struct" "Packet" ident ")" block
+    block     := "{" stmt* "}"
+    stmt      := "int" ident ("=" expr)? ";"
+               | lvalue "=" expr ";"
+               | "if" "(" expr ")" stmt_or_block ("else" stmt_or_block)?
+    lvalue    := ident ("." ident | "[" expr "]")?
+    expr      := ternary with ||, &&, |, ^, &, ==/!=, relational,
+                 shifts, additive, multiplicative, unary, primary
+    primary   := int | "(" expr ")" | "hash" "(" args ")" | lvalue
+    v} *)
+
+exception Error of string * Ast.loc
+
+val parse : string -> Ast.program
+(** @raise Error on syntax errors, with location.
+    @raise Lexer.Error on lexical errors. *)
+
+val parse_expr_string : string -> Ast.expr
+(** Parses a standalone expression — handy for tests and the REPL-ish
+    bits of the compiler CLI. *)

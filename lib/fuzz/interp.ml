@@ -1,0 +1,101 @@
+module Expr = Mp5_banzai.Expr
+module Machine = Mp5_banzai.Machine
+open Mp5_domino
+
+let binop_of_ast : Ast.binop -> Expr.binop = function
+  | Ast.Add -> Expr.Add | Ast.Sub -> Expr.Sub | Ast.Mul -> Expr.Mul
+  | Ast.Div -> Expr.Div | Ast.Mod -> Expr.Mod
+  | Ast.Bit_and -> Expr.Bit_and | Ast.Bit_or -> Expr.Bit_or | Ast.Bit_xor -> Expr.Bit_xor
+  | Ast.Shl -> Expr.Shl | Ast.Shr -> Expr.Shr
+  | Ast.Eq -> Expr.Eq | Ast.Ne -> Expr.Ne
+  | Ast.Lt -> Expr.Lt | Ast.Le -> Expr.Le | Ast.Gt -> Expr.Gt | Ast.Ge -> Expr.Ge
+  | Ast.Log_and -> Expr.Log_and | Ast.Log_or -> Expr.Log_or
+
+let ebin op a b =
+  Expr.eval ~fields:[||] ~state:None (Expr.Binop (binop_of_ast op, Expr.Const a, Expr.Const b))
+
+let eunop op a =
+  let u = match op with Ast.Neg -> Expr.Neg | Ast.Log_not -> Expr.Log_not | Ast.Bit_not -> Expr.Bit_not in
+  Expr.eval ~fields:[||] ~state:None (Expr.Unop (u, Expr.Const a))
+
+type interp_state = {
+  i_fields : int array;                 (* user fields *)
+  i_locals : (string, int) Hashtbl.t;
+  i_regs : int array array;
+  i_env : Typecheck.env;
+}
+
+let field_slot st q =
+  let name =
+    match String.index_opt q '.' with
+    | Some i -> String.sub q (i + 1) (String.length q - i - 1)
+    | None -> q
+  in
+  Hashtbl.find st.i_env.Typecheck.field_index name
+
+let rec ieval st (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Int n -> Expr.norm32 n
+  | Ast.Packet_field q -> st.i_fields.(field_slot st q)
+  | Ast.Var v ->
+      if Hashtbl.mem st.i_env.Typecheck.reg_index v then ireg st v None
+      else Hashtbl.find st.i_locals v
+  | Ast.Reg_read (r, idx) -> ireg st r idx
+  | Ast.Binop (Ast.Log_and, a, b) -> if ieval st a <> 0 then (if ieval st b <> 0 then 1 else 0) else 0
+  | Ast.Binop (Ast.Log_or, a, b) -> if ieval st a <> 0 then 1 else if ieval st b <> 0 then 1 else 0
+  | Ast.Binop (op, a, b) -> ebin op (ieval st a) (ieval st b)
+  | Ast.Unop (op, a) -> eunop op (ieval st a)
+  | Ast.Ternary (c, a, b) -> if ieval st c <> 0 then ieval st a else ieval st b
+  | Ast.Hash args -> Mp5_util.Hashing.fnv1a (List.map (ieval st) args) land 0x7FFFFFFF
+  | Ast.Table_call (name, args) ->
+      let id = Hashtbl.find st.i_env.Typecheck.table_index name in
+      Expr.norm32
+        (Mp5_banzai.Table.lookup st.i_env.Typecheck.tables.(id) (List.map (ieval st) args))
+
+and ireg st name idx =
+  let r = Hashtbl.find st.i_env.Typecheck.reg_index name in
+  let arr = st.i_regs.(r) in
+  let size = Array.length arr in
+  let i = match idx with None -> 0 | Some e -> ieval st e in
+  arr.(((i mod size) + size) mod size)
+
+let rec iexec st (s : Ast.stmt) =
+  match s.Ast.s with
+  | Ast.Local_decl (name, init) ->
+      Hashtbl.replace st.i_locals name (match init with None -> 0 | Some e -> ieval st e)
+  | Ast.Assign (lv, rhs) -> (
+      let v = ieval st rhs in
+      match lv with
+      | Ast.L_packet_field q -> st.i_fields.(field_slot st q) <- v
+      | Ast.L_var name when Hashtbl.mem st.i_env.Typecheck.reg_index name ->
+          let r = Hashtbl.find st.i_env.Typecheck.reg_index name in
+          st.i_regs.(r).(0) <- v
+      | Ast.L_var name -> Hashtbl.replace st.i_locals name v
+      | Ast.L_reg (name, idx) ->
+          let r = Hashtbl.find st.i_env.Typecheck.reg_index name in
+          let arr = st.i_regs.(r) in
+          let size = Array.length arr in
+          let i = match idx with None -> 0 | Some e -> ieval st e in
+          arr.(((i mod size) + size) mod size) <- v)
+  | Ast.If (c, then_b, else_b) ->
+      if ieval st c <> 0 then List.iter (iexec st) then_b else List.iter (iexec st) else_b
+
+let interp (env : Typecheck.env) trace =
+  let regs = Array.map (fun (r : Mp5_banzai.Config.reg) -> Array.copy r.Mp5_banzai.Config.init) env.Typecheck.regs in
+  let headers_out =
+    Array.map
+      (fun (input : Machine.input) ->
+        let st =
+          {
+            i_fields = Array.copy input.Machine.headers;
+            i_locals = Hashtbl.create 8;
+            i_regs = regs;
+            i_env = env;
+          }
+        in
+        List.iter (iexec st) env.Typecheck.prog.Ast.body;
+        st.i_fields)
+      trace
+  in
+  (regs, headers_out)
+

@@ -1,0 +1,11 @@
+(** Reference interpreter: executes a checked Domino AST directly with
+    sequential C semantics, independently of the compiler's pipelining
+    and atom fusion.  The differential oracle for the compiler. *)
+
+val interp :
+  Mp5_domino.Typecheck.env ->
+  Mp5_banzai.Machine.input array ->
+  int array array * int array array
+(** [interp env trace] processes packets in order and returns
+    [(final_registers, headers_out)]; headers are full user-field
+    arrays per packet. *)

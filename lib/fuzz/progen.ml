@@ -1,0 +1,203 @@
+module Rng = Mp5_util.Rng
+module Machine = Mp5_banzai.Machine
+module Capability = Mp5_banzai.Capability
+
+type genv = {
+  rng : Rng.t;
+  mutable locals : int;          (* t0 .. t_{locals-1} declared so far *)
+  buf : Buffer.t;
+  taints : (string, int) Hashtbl.t;
+      (* variable -> highest array id whose read value flowed into it;
+         used to keep the atom dependency graph acyclic: array i's write
+         expressions may only depend on reads of arrays <= i *)
+}
+
+let rand g n = Rng.int g.rng n
+let pick_list g l = List.nth l (rand g (List.length l))
+
+let taint_of g term = match Hashtbl.find_opt g.taints term with Some t -> t | None -> -1
+let set_taint g term t = Hashtbl.replace g.taints term t
+
+(* A readable term whose taint is at most [limit]. *)
+let atom_term ?(limit = max_int) g =
+  let candidates =
+    [ "p.x0"; "p.x1"; "p.a"; "p.b" ]
+    @ List.init g.locals (Printf.sprintf "t%d")
+    |> List.filter (fun v -> taint_of g v <= limit)
+  in
+  match rand g 3 with
+  | 0 -> (string_of_int (rand g 14 - 3), -1)
+  | _ ->
+      if candidates = [] then (string_of_int (rand g 10), -1)
+      else
+        let v = pick_list g candidates in
+        (v, taint_of g v)
+
+(* Returns (source, taint). *)
+let rec gen_expr ?(limit = max_int) g depth =
+  if depth = 0 then atom_term ~limit g
+  else
+    match rand g 8 with
+    | 0 | 1 -> atom_term ~limit g
+    | 2 | 3 ->
+        let a, ta = gen_expr ~limit g (depth - 1) in
+        let b, tb = gen_expr ~limit g (depth - 1) in
+        (Printf.sprintf "(%s %s %s)" a (pick_list g [ "+"; "-" ]) b, max ta tb)
+    | 4 | 5 ->
+        let a, ta = gen_expr ~limit g (depth - 1) in
+        let b, tb = atom_term ~limit g in
+        (Printf.sprintf "(%s %s %s)" a (pick_list g [ "*"; "^" ]) b, max ta tb)
+    | 6 ->
+        let a, ta = gen_expr ~limit g (depth - 1) in
+        let b, tb = gen_expr ~limit g (depth - 1) in
+        (Printf.sprintf "(%s %s %s)" a (pick_list g [ "<"; "=="; ">" ]) b, max ta tb)
+    | _ ->
+        let c, tc = gen_expr ~limit g (depth - 1) in
+        let a, ta = atom_term ~limit g in
+        let b, tb = atom_term ~limit g in
+        (Printf.sprintf "((%s) ? %s : %s)" c a b, max tc (max ta tb))
+
+let emit g fmt = Printf.ksprintf (fun s -> Buffer.add_string g.buf ("    " ^ s ^ "\n")) fmt
+
+let gen_field_stmt g =
+  match rand g 3 with
+  | 0 ->
+      let dst = pick_list g [ "a"; "b" ] in
+      let rhs, t = gen_expr g 2 in
+      set_taint g ("p." ^ dst) (max t (taint_of g ("p." ^ dst)));
+      emit g "p.%s = %s;" dst rhs
+  | 1 ->
+      let c, tc = gen_expr g 1 in
+      let d1 = pick_list g [ "a"; "b" ] and d2 = pick_list g [ "a"; "b" ] in
+      let r1, t1 = gen_expr g 2 in
+      let r2, t2 = gen_expr g 2 in
+      set_taint g ("p." ^ d1) (max tc (max t1 (taint_of g ("p." ^ d1))));
+      set_taint g ("p." ^ d2) (max tc (max t2 (taint_of g ("p." ^ d2))));
+      emit g "if (%s) { p.%s = %s; } else { p.%s = %s; }" c d1 r1 d2 r2
+  | _ ->
+      (* Generate the initializer before registering the new local so it
+         cannot reference itself. *)
+      let rhs, t = gen_expr g 2 in
+      let tn = g.locals in
+      g.locals <- g.locals + 1;
+      set_taint g (Printf.sprintf "t%d" tn) t;
+      emit g "int t%d = %s;" tn rhs
+
+type array_desc = { a_id : int; a_name : string; a_size : int; a_index : string }
+
+let gen_read g (a : array_desc) =
+  if rand g 2 = 0 then begin
+    let dst = pick_list g [ "a"; "b" ] in
+    set_taint g ("p." ^ dst) (max a.a_id (taint_of g ("p." ^ dst)));
+    emit g "p.%s = %s[%s];" dst a.a_name a.a_index
+  end
+  else begin
+    let t = g.locals in
+    g.locals <- g.locals + 1;
+    set_taint g (Printf.sprintf "t%d" t) a.a_id;
+    emit g "int t%d = %s[%s];" t a.a_name a.a_index
+  end
+
+let gen_write g (a : array_desc) =
+  (* Expressions feeding array i may only depend on arrays <= i. *)
+  let limit = a.a_id in
+  match rand g 3 with
+  | 0 ->
+      let rhs, _ = gen_expr ~limit g 2 in
+      emit g "%s[%s] = %s;" a.a_name a.a_index rhs
+  | 1 ->
+      let rhs, _ = gen_expr ~limit g 1 in
+      emit g "%s[%s] = %s[%s] * 3 + %s;" a.a_name a.a_index a.a_name a.a_index rhs
+  | _ ->
+      let c, _ = gen_expr ~limit g 1 in
+      let rhs, _ = gen_expr ~limit g 1 in
+      emit g "if (%s) { %s[%s] = %s[%s] + %s; }" c a.a_name a.a_index a.a_name a.a_index rhs
+
+let gen_program seed =
+  let g =
+    { rng = Rng.create seed; locals = 0; buf = Buffer.create 512; taints = Hashtbl.create 16 }
+  in
+  let n_arrays = 1 + rand g 3 in
+  let arrays =
+    List.init n_arrays (fun i ->
+        let size = pick_list g [ 2; 4; 8 ] in
+        {
+          a_id = i;
+          a_name = Printf.sprintf "r%d" i;
+          a_size = size;
+          a_index = Printf.sprintf "p.x%d %% %d" (rand g 2) size;
+        })
+  in
+  (* Per-array op schedule: reads, then writes, then reads. *)
+  let ops =
+    List.concat_map
+      (fun a ->
+        let r1 = rand g 2 and w = rand g 3 and r2 = rand g 2 in
+        List.init r1 (fun _ -> `Read a)
+        @ List.init w (fun _ -> `Write a)
+        @ List.init r2 (fun _ -> `ReadAfter a))
+      arrays
+  in
+  (* Random interleave preserving per-array order: repeatedly take the
+     head of a random non-empty per-array queue, mixed with field
+     statements. *)
+  let queues = Hashtbl.create 4 in
+  List.iter
+    (fun op ->
+      let name = match op with `Read a | `Write a | `ReadAfter a -> a.a_name in
+      let q = try Hashtbl.find queues name with Not_found -> Queue.create () in
+      Queue.push op q;
+      Hashtbl.replace queues name q)
+    ops;
+  let header = Buffer.create 256 in
+  Buffer.add_string header "struct Packet {\n    int x0;\n    int x1;\n    int a;\n    int b;\n};\n\n";
+  List.iter
+    (fun a ->
+      let inits = List.init (rand g a.a_size) (fun _ -> string_of_int (rand g 10 - 2)) in
+      if inits = [] then Buffer.add_string header (Printf.sprintf "int %s[%d];\n" a.a_name a.a_size)
+      else
+        Buffer.add_string header
+          (Printf.sprintf "int %s[%d] = {%s};\n" a.a_name a.a_size (String.concat ", " inits)))
+    arrays;
+  Buffer.add_string header "\nvoid func(struct Packet p) {\n";
+  let non_empty () =
+    Hashtbl.fold (fun name q acc -> if Queue.is_empty q then acc else name :: acc) queues []
+    |> List.sort compare
+  in
+  let rec weave () =
+    if rand g 3 = 0 then gen_field_stmt g;
+    match non_empty () with
+    | [] -> ()
+    | names ->
+        let q = Hashtbl.find queues (pick_list g names) in
+        (match Queue.pop q with
+        | `Read a | `ReadAfter a -> gen_read g a
+        | `Write a -> gen_write g a);
+        weave ()
+  in
+  weave ();
+  if rand g 2 = 0 then gen_field_stmt g;
+  Buffer.add_string header (Buffer.contents g.buf);
+  Buffer.add_string header "}\n";
+  Buffer.contents header
+
+
+let generate seed = gen_program seed
+
+let limits =
+  {
+    Capability.default with
+    Capability.max_expr_depth = 64;
+    max_expr_size = 8192;
+    max_stateless_per_stage = 64;
+    max_stages = 64;
+  }
+
+let trace ~seed ~k ~n =
+  let rng = Rng.create ((seed * 7) + 1) in
+  Array.init n (fun i ->
+      {
+        Machine.time = i / k;
+        port = i mod k;
+        headers = Array.init 4 (fun _ -> Rng.int rng 16 - 2);
+      })

@@ -1,0 +1,27 @@
+(** Random generation of well-formed stateful Domino programs, for
+    differential testing of the compiler and the MP5 runtime.
+
+    Generated programs always compile (under relaxed capability limits):
+    - index fields are never reassigned, so each register array is
+      accessed through one syntactic index expression (the atom
+      fusibility rule);
+    - per array, plain reads come before the first write or after the
+      last one; read-modify-writes may appear anywhere;
+    - a taint discipline orders the arrays so the atom dependency graph
+      is acyclic (array [i]'s predicates and update operands may depend
+      only on values read from arrays [<= i]).
+
+    Programs use four header fields ([x0 x1 a b]: the first two are
+    index sources, the last two scratch), up to three register arrays,
+    locals, nested conditionals and ternaries. *)
+
+val generate : int -> string
+(** [generate seed] is deterministic in [seed]. *)
+
+val limits : Mp5_banzai.Capability.limits
+(** Relaxed machine limits that every generated program fits (the
+    generator tests semantics, not machine capacity). *)
+
+val trace : seed:int -> k:int -> n:int -> Mp5_banzai.Machine.input array
+(** A line-rate trace with small random header values suitable for
+    generated programs. *)

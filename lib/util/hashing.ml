@@ -1,0 +1,37 @@
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let feed_int h x =
+  let h = ref h in
+  for shift = 0 to 7 do
+    let byte = (x lsr (shift * 8)) land 0xFF in
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
+  done;
+  !h
+
+let fnv1a_seeded ~seed xs =
+  let h = List.fold_left feed_int (feed_int fnv_offset seed) xs in
+  Int64.to_int h land 0x3FFF_FFFF_FFFF_FFFF
+
+let fnv1a xs = fnv1a_seeded ~seed:0 xs
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+let crc32 xs =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFF in
+  List.iter
+    (fun x ->
+      for shift = 0 to 7 do
+        let byte = (x lsr (shift * 8)) land 0xFF in
+        crc := table.((!crc lxor byte) land 0xFF) lxor (!crc lsr 8)
+      done)
+    xs;
+  !crc lxor 0xFFFFFFFF

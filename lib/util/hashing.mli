@@ -1,0 +1,18 @@
+(** Deterministic non-cryptographic hashes.
+
+    Data-plane programs index register arrays by a hash of packet header
+    fields (e.g. the 5-tuple for flowlet switching).  Both the compiler's
+    [hash(...)] builtin and the workload generators use these functions so
+    that the golden reference and all simulators agree bit-for-bit. *)
+
+val fnv1a : int list -> int
+(** FNV-1a over the little-endian bytes of each integer; result is a
+    non-negative 62-bit value. *)
+
+val fnv1a_seeded : seed:int -> int list -> int
+(** Like {!fnv1a} but mixed with [seed] first; gives independent hash
+    functions for multi-hash sketches. *)
+
+val crc32 : int list -> int
+(** CRC-32 (IEEE polynomial) over the same byte stream, as switch hardware
+    commonly provides.  Result fits in 32 bits. *)

@@ -1,0 +1,83 @@
+type 'a t = {
+  mutable data : 'a option array;
+  mutable head : int;         (* physical index of head slot *)
+  mutable len : int;
+  mutable head_seq : int;     (* stable sequence number of head slot *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring_buffer.create: capacity must be positive";
+  { data = Array.make capacity None; head = 0; len = 0; head_seq = 0 }
+
+let capacity t = Array.length t.data
+let length t = t.len
+let is_empty t = t.len = 0
+let is_full t = t.len = Array.length t.data
+
+let phys t i = (t.head + i) mod Array.length t.data
+
+let push t x =
+  if is_full t then false
+  else begin
+    t.data.(phys t t.len) <- Some x;
+    t.len <- t.len + 1;
+    true
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let x = t.data.(t.head) in
+    t.data.(t.head) <- None;
+    t.head <- (t.head + 1) mod Array.length t.data;
+    t.len <- t.len - 1;
+    t.head_seq <- t.head_seq + 1;
+    x
+  end
+
+let peek t = if t.len = 0 then None else t.data.(t.head)
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Ring_buffer.get: index out of range";
+  match t.data.(phys t i) with
+  | Some x -> x
+  | None -> assert false
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Ring_buffer.set: index out of range";
+  t.data.(phys t i) <- Some x
+
+let head_seq t = t.head_seq
+
+let get_seq t seq =
+  let i = seq - t.head_seq in
+  if i < 0 || i >= t.len then None else Some (get t i)
+
+let set_seq t seq x =
+  let i = seq - t.head_seq in
+  if i < 0 || i >= t.len then false
+  else begin
+    set t i x;
+    true
+  end
+
+let grow t =
+  let old_cap = Array.length t.data in
+  let data = Array.make (2 * old_cap) None in
+  for i = 0 to t.len - 1 do
+    data.(i) <- t.data.(phys t i)
+  done;
+  t.data <- data;
+  t.head <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    acc := get t i :: !acc
+  done;
+  !acc

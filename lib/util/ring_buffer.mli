@@ -1,0 +1,59 @@
+(** Fixed-capacity circular buffer.
+
+    This is the hardware-faithful building block for MP5's per-stage FIFOs
+    (§3.2 of the paper): each physical FIFO is "implemented as an
+    independent ring buffer".  Besides the usual push/pop it supports
+    [set]/[get] by logical position, which MP5's [insert] operation uses to
+    replace a queued phantom packet with its data packet in place. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] makes an empty buffer holding at most [capacity]
+    elements.  [capacity] must be positive. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> bool
+(** [push t x] appends [x] at the tail.  Returns [false] (dropping [x]) if
+    the buffer is full, mirroring tail-drop in the hardware FIFO. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the head element. *)
+
+val peek : 'a t -> 'a option
+(** Head element without removing it. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the element at logical position [i] (0 = head).
+    Raises [Invalid_argument] when out of range. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set t i x] overwrites logical position [i]. *)
+
+val head_seq : 'a t -> int
+(** Monotonically increasing sequence number of the current head slot.
+    [head_seq t + i] is a stable address for the element at position [i]
+    that stays valid as earlier elements are popped — exactly what the
+    phantom directory stores. *)
+
+val get_seq : 'a t -> int -> 'a option
+(** [get_seq t seq] fetches by stable address; [None] if already popped or
+    not yet pushed. *)
+
+val set_seq : 'a t -> int -> 'a -> bool
+(** [set_seq t seq x] overwrites by stable address; [false] if invalid. *)
+
+val grow : 'a t -> unit
+(** Doubles the capacity, preserving contents and stable addresses.  Used
+    by the simulator's adaptive-FIFO mode, which mirrors the paper's
+    simulator "dynamically adapting per-stage FIFO sizes" to study
+    loss-free behaviour (§4.3.1). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Head-to-tail iteration. *)
+
+val to_list : 'a t -> 'a list

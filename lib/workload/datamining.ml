@@ -1,0 +1,24 @@
+(* CDF knots for the data-mining workload as replotted by pFabric and
+   successors: dominated by tiny flows with an extremely heavy tail. *)
+let cdf =
+  [|
+    (100., 0.10);
+    (300., 0.40);
+    (1_000., 0.60);
+    (2_000., 0.70);
+    (10_000., 0.78);
+    (100_000., 0.82);
+    (1_000_000., 0.86);
+    (10_000_000., 0.92);
+    (100_000_000., 0.97);
+    (1_000_000_000., 1.00);
+  |]
+
+let dist = Mp5_util.Dist.empirical cdf
+
+let sample_flow_size rng = int_of_float (Mp5_util.Dist.sample_empirical rng dist)
+
+let sample_flow_packets rng ~mean_pkt_bytes =
+  max 1 (int_of_float (float_of_int (sample_flow_size rng) /. mean_pkt_bytes))
+
+let mean_flow_size () = Mp5_util.Dist.mean_empirical dist

@@ -1,0 +1,65 @@
+module Machine = Mp5_banzai.Machine
+
+let to_string trace =
+  let buf = Buffer.create (Array.length trace * 16) in
+  Buffer.add_string buf "# time port fields...\n";
+  Array.iter
+    (fun (p : Machine.input) ->
+      Buffer.add_string buf (string_of_int p.Machine.time);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int p.Machine.port);
+      Array.iter
+        (fun f ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int f))
+        p.Machine.headers;
+      Buffer.add_char buf '\n')
+    trace;
+  Buffer.contents buf
+
+let of_string s =
+  let packets = ref [] in
+  let arity = ref (-1) in
+  let error = ref None in
+  String.split_on_char '\n' s
+  |> List.iteri (fun lineno line ->
+         if !error = None then
+           let line = String.trim line in
+           if line <> "" && line.[0] <> '#' then
+             match
+               String.split_on_char ' ' line
+               |> List.filter (fun t -> t <> "")
+               |> List.map int_of_string
+             with
+             | exception Failure _ ->
+                 error := Some (Printf.sprintf "line %d: not an integer" (lineno + 1))
+             | time :: port :: fields ->
+                 let n = List.length fields in
+                 if !arity = -1 then arity := n;
+                 if n <> !arity then
+                   error :=
+                     Some
+                       (Printf.sprintf "line %d: %d fields, expected %d" (lineno + 1) n !arity)
+                 else
+                   packets :=
+                     { Machine.time; port; headers = Array.of_list fields } :: !packets
+             | _ ->
+                 error :=
+                   Some (Printf.sprintf "line %d: need at least time and port" (lineno + 1)));
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (Array.of_list (List.rev !packets))
+
+let save ~path trace =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string trace))
+
+let load ~path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> of_string (really_input_string ic (in_channel_length ic)))

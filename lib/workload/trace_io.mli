@@ -1,0 +1,19 @@
+(** Loading and saving packet traces as text.
+
+    The format is line-oriented: one packet per line,
+
+    {v time port field0 field1 ... fieldN v}
+
+    with [#]-comments and blank lines ignored.  All packets must carry the
+    same number of fields.  This lets externally captured or hand-written
+    traces drive [mp5sim --trace-file], and experiment traces be archived
+    for exact replay. *)
+
+val to_string : Mp5_banzai.Machine.input array -> string
+
+val of_string : string -> (Mp5_banzai.Machine.input array, string) result
+(** Error messages carry the offending line number. *)
+
+val save : path:string -> Mp5_banzai.Machine.input array -> unit
+
+val load : path:string -> (Mp5_banzai.Machine.input array, string) result

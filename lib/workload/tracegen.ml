@@ -1,0 +1,135 @@
+module Rng = Mp5_util.Rng
+module Dist = Mp5_util.Dist
+module Machine = Mp5_banzai.Machine
+
+type pattern = Uniform | Skewed | Skewed_rotating of int | Uniform_bursty of int
+
+let pattern_dist pattern ~n =
+  match pattern with
+  | Uniform | Uniform_bursty _ -> Dist.uniform_discrete n
+  | Skewed | Skewed_rotating _ -> Dist.skewed ~n ~hot_fraction:0.3 ~hot_mass:0.95
+
+type sensitivity_spec = {
+  n_packets : int;
+  k : int;
+  pkt_bytes : int;
+  n_fields : int;
+  index_fields : int list;
+  reg_size : int;
+  pattern : pattern;
+  n_ports : int;
+  seed : int;
+}
+
+(* Arrival cycle of the i-th packet of size [bytes] at line rate. *)
+let arrival_time ~k ~bytes i =
+  (* inter-arrival = bytes / (64 * k) cycles; use integer arithmetic to
+     stay exact: t_i = floor(i * bytes / (64 * k)). *)
+  i * bytes / (64 * k)
+
+let sensitivity spec =
+  let rng = Rng.create spec.seed in
+  let dist = pattern_dist spec.pattern ~n:spec.reg_size in
+  (* Independent index streams per field, so different arrays see
+     different (but identically distributed) access sequences. *)
+  let field_rngs = List.map (fun f -> (f, Rng.split rng)) spec.index_fields in
+  let place i field idx =
+    match spec.pattern with
+    | Skewed_rotating window ->
+        (* Shift the hot block by a fixed stride every [window] packets. *)
+        (idx + (i / max 1 window * ((spec.reg_size / 5) + 1))) mod spec.reg_size
+    | Uniform | Skewed -> idx
+    | Uniform_bursty window ->
+        let n = spec.reg_size in
+        let active = max 1 (n / 10) in
+        (* 90% of draws hit the current window's active block; the
+           decision bit comes from an independent hash so the uniform
+           tail covers every cell. *)
+        let h = Mp5_util.Hashing.fnv1a [ i; field; idx; spec.seed ] in
+        if h mod 10 < 9 then
+          let start =
+            Mp5_util.Hashing.fnv1a [ i / max 1 window; field; spec.seed ] mod n
+          in
+          (start + (h / 10 mod active)) mod n
+        else idx
+  in
+  Array.init spec.n_packets (fun i ->
+      let headers = Array.init spec.n_fields (fun _ -> Rng.int rng 1024) in
+      List.iter (fun (f, frng) -> headers.(f) <- place i f (Dist.sample frng dist)) field_rngs;
+      {
+        Machine.time = arrival_time ~k:spec.k ~bytes:spec.pkt_bytes i;
+        port = i mod spec.n_ports;
+        headers;
+      })
+
+type flow_packet = {
+  flow : int;
+  src : int;
+  dst : int;
+  sport : int;
+  dport : int;
+  bytes : int;
+  time : int;
+  port : int;
+  seqno : int;
+}
+
+let bimodal_datacenter = Dist.bimodal ~lo:200 ~hi:1400 ~lo_prob:0.5
+
+type active_flow = {
+  af_id : int;
+  af_src : int;
+  af_dst : int;
+  af_sport : int;
+  af_dport : int;
+  mutable af_remaining : int;  (* packets left *)
+  mutable af_sent : int;
+}
+
+let flows ~seed ~n_packets ~k ~concurrency ?(sizes = bimodal_datacenter) ?(n_ports = 64) () =
+  let rng = Rng.create seed in
+  let mean = Dist.mean_bimodal sizes in
+  let next_id = ref 0 in
+  let fresh_flow () =
+    let id = !next_id in
+    incr next_id;
+    {
+      af_id = id;
+      af_src = Rng.int rng 0x1000000;
+      af_dst = Rng.int rng 0x1000000;
+      af_sport = 1024 + Rng.int rng 60000;
+      af_dport = Rng.int rng 1024;
+      af_remaining = Websearch.sample_flow_packets rng ~mean_pkt_bytes:mean;
+      af_sent = 0;
+    }
+  in
+  let active = Array.init (max 1 concurrency) (fun _ -> fresh_flow ()) in
+  let total_bytes = ref 0 in
+  Array.init n_packets (fun _ ->
+      let slot = Rng.int rng (Array.length active) in
+      let f = active.(slot) in
+      let bytes = Dist.sample_bimodal rng sizes in
+      let time = !total_bytes / (64 * k) in
+      total_bytes := !total_bytes + bytes;
+      let pkt =
+        {
+          flow = f.af_id;
+          src = f.af_src;
+          dst = f.af_dst;
+          sport = f.af_sport;
+          dport = f.af_dport;
+          bytes;
+          time;
+          port = f.af_id mod n_ports;
+          seqno = f.af_sent;
+        }
+      in
+      f.af_sent <- f.af_sent + 1;
+      f.af_remaining <- f.af_remaining - 1;
+      if f.af_remaining <= 0 then active.(slot) <- fresh_flow ();
+      pkt)
+
+let headers_of_flows pkts ~fill =
+  Array.map
+    (fun p -> { Machine.time = p.time; port = p.port; headers = fill p })
+    pkts

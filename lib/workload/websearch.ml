@@ -1,0 +1,26 @@
+(* CDF knots for the DCTCP web-search workload, as commonly replotted in
+   datacenter transport papers (pFabric, PIAS, ...). *)
+let cdf =
+  [|
+    (6_000., 0.15);
+    (13_000., 0.20);
+    (19_000., 0.30);
+    (33_000., 0.40);
+    (53_000., 0.53);
+    (133_000., 0.60);
+    (667_000., 0.70);
+    (1_333_000., 0.80);
+    (3_333_000., 0.90);
+    (6_667_000., 0.97);
+    (20_000_000., 1.00);
+  |]
+
+let dist = Mp5_util.Dist.empirical cdf
+
+let sample_flow_size rng =
+  int_of_float (Mp5_util.Dist.sample_empirical rng dist)
+
+let sample_flow_packets rng ~mean_pkt_bytes =
+  max 1 (int_of_float (float_of_int (sample_flow_size rng) /. mean_pkt_bytes))
+
+let mean_flow_size () = Mp5_util.Dist.mean_empirical dist

@@ -1,0 +1,44 @@
+The compiler dumps the lowered Banzai configuration by default:
+
+  $ ../../bin/mp5c.exe sample.domino
+  === Banzai configuration ===
+  fields: group, seqno, $counter_read2, $counter_read3, $out_seqno
+  reg0 counter[8]
+  stage 0:
+    reg0[(f0 % 8)] := ($state + 1) {f3 <- new}
+  stage 1:
+    f4 := f3
+  stage 2:
+    f1 := f4
+  
+
+The MP5 transform adds the address-resolution stage and reports the plan:
+
+  $ ../../bin/mp5c.exe --mp5 sample.domino | head -6
+  === MP5 transformed program ===
+  transformed config (4 stages, stage 0 = address resolution):
+  access 0: reg0 (counter) at stage 1, guard always, index resolved
+  reg0 counter: sharded
+  
+  fields: group, seqno, $counter_read2, $counter_read3, $out_seqno
+
+Programs outside the atom template are rejected with the pipelining phase:
+
+  $ ../../bin/mp5c.exe bad.domino
+  bad.domino: pipelining error: register r: accesses with different index expressions cannot be fused into one atom
+  [1]
+
+Pretty-printing echoes the parsed program:
+
+  $ ../../bin/mp5c.exe --pretty sample.domino
+  struct Packet {
+      int group;
+      int seqno;
+  };
+  
+  int counter[8];
+  
+  void func(struct Packet p) {
+      counter[(p.group % 8)] = (counter[(p.group % 8)] + 1);
+      p.seqno = counter[(p.group % 8)];
+  }

@@ -1,0 +1,4 @@
+A short differential-fuzzing run over random programs:
+
+  $ ../../bin/mp5fuzz.exe --count 10 --packets 100 --quiet
+  all 10 seeds equivalent (k in 2,3,4,8, 100 packets each)

@@ -1,0 +1,131 @@
+(* Unit tests for Banzai atoms: stateless header rewrites and guarded
+   stateful read-modify-writes. *)
+
+module Expr = Mp5_banzai.Expr
+module Atom = Mp5_banzai.Atom
+
+let check_int = Alcotest.(check int)
+let check = Alcotest.(check bool)
+
+let test_stateless_exec () =
+  let fields = [| 1; 2; 0 |] in
+  let op = Atom.stateless_op ~dst:2 ~rhs:(Expr.Binop (Expr.Add, Expr.Field 0, Expr.Field 1)) in
+  Atom.exec_stateless ~fields op;
+  check_int "dst written" 3 fields.(2)
+
+let test_stateless_rejects_state () =
+  Alcotest.check_raises "state_val rejected"
+    (Invalid_argument "Atom.stateless_op: rhs uses State_val") (fun () ->
+      ignore (Atom.stateless_op ~dst:0 ~rhs:Expr.State_val))
+
+let test_stateful_read () =
+  let fields = [| 2; 0 |] in
+  let reg_array = [| 10; 20; 30 |] in
+  let atom =
+    Atom.stateful ~reg:0 ~index:(Expr.Field 0) ~outputs:[ (1, Atom.Old_value) ] ()
+  in
+  let r = Atom.exec_stateful ~fields ~reg_array atom in
+  check "accessed" true r.Atom.accessed;
+  check_int "cell" 2 r.Atom.cell;
+  check_int "old into field" 30 fields.(1);
+  check_int "register unchanged" 30 reg_array.(2)
+
+let test_stateful_rmw () =
+  let fields = [| 0; 5 |] in
+  let reg_array = [| 100 |] in
+  let atom =
+    Atom.stateful ~reg:0 ~index:(Expr.Const 0)
+      ~update:(Expr.Binop (Expr.Add, Expr.State_val, Expr.Field 1))
+      ~outputs:[ (0, Atom.New_value) ]
+      ()
+  in
+  let r = Atom.exec_stateful ~fields ~reg_array atom in
+  check_int "updated" 105 reg_array.(0);
+  check_int "new value out" 105 fields.(0);
+  check_int "old in result" 100 r.Atom.old_value;
+  check_int "new in result" 105 r.Atom.new_value
+
+let test_stateful_guard_false () =
+  let fields = [| 0 |] in
+  let reg_array = [| 7 |] in
+  let atom =
+    Atom.stateful ~reg:0 ~index:(Expr.Const 0) ~guard:(Expr.Const 0)
+      ~update:(Expr.Const 99) ~outputs:[ (0, Atom.New_value) ] ()
+  in
+  let r = Atom.exec_stateful ~fields ~reg_array atom in
+  check "not accessed" false r.Atom.accessed;
+  check_int "register untouched" 7 reg_array.(0);
+  check_int "field untouched" 0 fields.(0)
+
+let test_stateful_guard_on_fields () =
+  let reg_array = [| 1; 1 |] in
+  let atom =
+    Atom.stateful ~reg:0 ~index:(Expr.Const 0)
+      ~guard:(Expr.Binop (Expr.Gt, Expr.Field 0, Expr.Const 5))
+      ~update:(Expr.Binop (Expr.Mul, Expr.State_val, Expr.Const 2))
+      ()
+  in
+  ignore (Atom.exec_stateful ~fields:[| 6 |] ~reg_array atom);
+  check_int "guard true fires" 2 reg_array.(0);
+  ignore (Atom.exec_stateful ~fields:[| 3 |] ~reg_array atom);
+  check_int "guard false skips" 2 reg_array.(0)
+
+let test_index_clamping () =
+  let reg_array = [| 0; 0; 0; 0 |] in
+  let atom = Atom.stateful ~reg:0 ~index:(Expr.Field 0) ~update:(Expr.Const 1) () in
+  ignore (Atom.exec_stateful ~fields:[| 6 |] ~reg_array atom);
+  check_int "wraps mod size" 1 reg_array.(2);
+  ignore (Atom.exec_stateful ~fields:[| -1 |] ~reg_array atom);
+  check_int "negative wraps into range" 1 reg_array.(3)
+
+let test_resolve_index () =
+  let atom = Atom.stateful ~reg:0 ~index:(Expr.Binop (Expr.Add, Expr.Field 0, Expr.Const 1)) () in
+  check_int "resolution" 3 (Atom.resolve_index ~fields:[| 2 |] ~size:8 atom);
+  check_int "resolution wraps" 1 (Atom.resolve_index ~fields:[| 8 |] ~size:8 atom)
+
+let test_constructor_validation () =
+  Alcotest.check_raises "index uses state"
+    (Invalid_argument "Atom.stateful: index uses State_val") (fun () ->
+      ignore (Atom.stateful ~reg:0 ~index:Expr.State_val ()));
+  Alcotest.check_raises "guard uses state"
+    (Invalid_argument "Atom.stateful: guard uses State_val") (fun () ->
+      ignore (Atom.stateful ~reg:0 ~index:(Expr.Const 0) ~guard:Expr.State_val ()))
+
+let test_read_only_atom_keeps_value () =
+  let reg_array = [| 42 |] in
+  let atom = Atom.stateful ~reg:0 ~index:(Expr.Const 0) () in
+  let r = Atom.exec_stateful ~fields:[||] ~reg_array atom in
+  check_int "old = new for read" r.Atom.old_value r.Atom.new_value;
+  check_int "unchanged" 42 reg_array.(0)
+
+let test_multiple_outputs () =
+  let fields = [| 0; 0 |] in
+  let reg_array = [| 10 |] in
+  let atom =
+    Atom.stateful ~reg:0 ~index:(Expr.Const 0)
+      ~update:(Expr.Binop (Expr.Add, Expr.State_val, Expr.Const 1))
+      ~outputs:[ (0, Atom.Old_value); (1, Atom.New_value) ]
+      ()
+  in
+  ignore (Atom.exec_stateful ~fields ~reg_array atom);
+  check_int "old output" 10 fields.(0);
+  check_int "new output" 11 fields.(1)
+
+let () =
+  Alcotest.run "atom"
+    [
+      ( "atoms",
+        [
+          Alcotest.test_case "stateless exec" `Quick test_stateless_exec;
+          Alcotest.test_case "stateless rejects state" `Quick test_stateless_rejects_state;
+          Alcotest.test_case "stateful read" `Quick test_stateful_read;
+          Alcotest.test_case "read-modify-write" `Quick test_stateful_rmw;
+          Alcotest.test_case "guard false" `Quick test_stateful_guard_false;
+          Alcotest.test_case "guard on fields" `Quick test_stateful_guard_on_fields;
+          Alcotest.test_case "index clamping" `Quick test_index_clamping;
+          Alcotest.test_case "resolve index" `Quick test_resolve_index;
+          Alcotest.test_case "constructor validation" `Quick test_constructor_validation;
+          Alcotest.test_case "read-only keeps value" `Quick test_read_only_atom_keeps_value;
+          Alcotest.test_case "multiple outputs" `Quick test_multiple_outputs;
+        ] );
+    ]

@@ -1,0 +1,156 @@
+(* Tests for the functional-equivalence checker and C1 metrics, on
+   hand-crafted inputs. *)
+
+module Equiv = Mp5_core.Equiv
+module Machine = Mp5_banzai.Machine
+module Store = Mp5_banzai.Store
+module Switch = Mp5_core.Switch
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Build a golden result directly by running the counter program. *)
+let golden_and_parts () =
+  let sw = Switch.create_exn Mp5_apps.Sources.sequencer in
+  let trace =
+    Array.init 6 (fun i ->
+        { Machine.time = i; port = 0; headers = [| i mod 2; 0 |] })
+  in
+  (sw, trace, Switch.golden sw trace)
+
+let seqs_of golden = golden.Machine.access_seqs
+
+let copy_seqs seqs =
+  let t = Hashtbl.create 8 in
+  Hashtbl.iter (fun k v -> Hashtbl.replace t k v) seqs;
+  t
+
+let headers_of golden =
+  Array.to_list (Array.mapi (fun i h -> (i, h)) golden.Machine.headers_out)
+
+let test_identical_is_equivalent () =
+  let _, trace, golden = golden_and_parts () in
+  let rep =
+    Equiv.compare ~golden ~n_packets:(Array.length trace) ~store:golden.Machine.store
+      ~headers_out:(headers_of golden) ~access_seqs:(copy_seqs (seqs_of golden))
+      ~exit_order:(List.init 6 Fun.id) ()
+  in
+  check "equivalent" true (Equiv.equivalent rep);
+  check_int "no violations" 0 rep.Equiv.c1_violations;
+  check_int "no reordered flows" 0 rep.Equiv.reordered_flows
+
+let test_register_diff_detected () =
+  let _, trace, golden = golden_and_parts () in
+  let store = Store.copy golden.Machine.store in
+  Store.set store ~reg:0 ~idx:0 999;
+  let rep =
+    Equiv.compare ~golden ~n_packets:(Array.length trace) ~store
+      ~headers_out:(headers_of golden) ~access_seqs:(copy_seqs (seqs_of golden))
+      ~exit_order:[] ()
+  in
+  check "not equivalent" false (Equiv.equivalent rep);
+  check "register flagged" false rep.Equiv.register_equal;
+  (match rep.Equiv.register_diffs with
+  | [ (0, 0, golden_v, 999) ] -> check "diff reports both values" true (golden_v <> 999)
+  | _ -> Alcotest.fail "expected exactly one diff")
+
+let test_packet_diff_detected () =
+  let _, trace, golden = golden_and_parts () in
+  let headers = headers_of golden in
+  let headers = (fst (List.hd headers), [| 42; 42 |]) :: List.tl headers in
+  let rep =
+    Equiv.compare ~golden ~n_packets:(Array.length trace) ~store:golden.Machine.store
+      ~headers_out:headers ~access_seqs:(copy_seqs (seqs_of golden)) ~exit_order:[] ()
+  in
+  check "packet flagged" false rep.Equiv.packets_equal;
+  Alcotest.(check (list int)) "which packet" [ 0 ] rep.Equiv.packet_diffs
+
+let test_missing_packet_detected () =
+  let _, trace, golden = golden_and_parts () in
+  let headers = List.tl (headers_of golden) in
+  let rep =
+    Equiv.compare ~golden ~n_packets:(Array.length trace) ~store:golden.Machine.store
+      ~headers_out:headers ~access_seqs:(copy_seqs (seqs_of golden)) ~exit_order:[] ()
+  in
+  check "not equivalent" false (Equiv.equivalent rep);
+  Alcotest.(check (list int)) "missing id" [ 0 ] rep.Equiv.missing_packets
+
+let test_c1_inversion_counts_overtaker () =
+  let _, trace, golden = golden_and_parts () in
+  (* Swap two accesses of one cell: exactly one packet overtook. *)
+  let seqs = copy_seqs (seqs_of golden) in
+  let key, order = Hashtbl.fold (fun k v _ -> (k, v)) seqs ((0, 0), []) in
+  (match order with
+  | a :: b :: rest -> Hashtbl.replace seqs key (b :: a :: rest)
+  | _ -> Alcotest.fail "expected at least two accesses");
+  let rep =
+    Equiv.compare ~golden ~n_packets:(Array.length trace) ~store:golden.Machine.store
+      ~headers_out:(headers_of golden) ~access_seqs:seqs ~exit_order:[] ()
+  in
+  check_int "one violator (the overtaker)" 1 rep.Equiv.c1_violations
+
+let test_c1_spurious_access () =
+  let _, trace, golden = golden_and_parts () in
+  let seqs = copy_seqs (seqs_of golden) in
+  Hashtbl.replace seqs (5, 17) [ 3 ];
+  let rep =
+    Equiv.compare ~golden ~n_packets:(Array.length trace) ~store:golden.Machine.store
+      ~headers_out:(headers_of golden) ~access_seqs:seqs ~exit_order:[] ()
+  in
+  check "spurious access counted" true (rep.Equiv.c1_violations >= 1)
+
+let test_c1_fraction () =
+  let _, trace, golden = golden_and_parts () in
+  let rep =
+    Equiv.compare ~golden ~n_packets:(Array.length trace) ~store:golden.Machine.store
+      ~headers_out:(headers_of golden) ~access_seqs:(copy_seqs (seqs_of golden))
+      ~exit_order:[] ()
+  in
+  check "fraction zero" true (rep.Equiv.c1_fraction = 0.0)
+
+let test_reordered_flows () =
+  let _, trace, golden = golden_and_parts () in
+  let flow_of seq = seq mod 2 in
+  (* Exit order 0,2,4 then 3,1,5: flow 1 sees 3 before 1 -> reordered. *)
+  let rep =
+    Equiv.compare ~golden ~n_packets:(Array.length trace) ~store:golden.Machine.store
+      ~headers_out:(headers_of golden) ~access_seqs:(copy_seqs (seqs_of golden)) ~flow_of
+      ~exit_order:[ 0; 2; 4; 3; 1; 5 ] ()
+  in
+  check_int "one reordered flow" 1 rep.Equiv.reordered_flows;
+  (* In-order exits: none. *)
+  let rep2 =
+    Equiv.compare ~golden ~n_packets:(Array.length trace) ~store:golden.Machine.store
+      ~headers_out:(headers_of golden) ~access_seqs:(copy_seqs (seqs_of golden)) ~flow_of
+      ~exit_order:[ 0; 1; 2; 3; 4; 5 ] ()
+  in
+  check_int "none reordered" 0 rep2.Equiv.reordered_flows
+
+let test_pp_smoke () =
+  let _, trace, golden = golden_and_parts () in
+  let rep =
+    Equiv.compare ~golden ~n_packets:(Array.length trace) ~store:golden.Machine.store
+      ~headers_out:(headers_of golden) ~access_seqs:(copy_seqs (seqs_of golden))
+      ~exit_order:[] ()
+  in
+  let s = Format.asprintf "%a" Equiv.pp rep in
+  check "mentions registers" true
+    (String.length s > 0 && String.sub s 0 9 = "registers")
+
+let () =
+  Alcotest.run "equiv"
+    [
+      ( "equiv",
+        [
+          Alcotest.test_case "identical" `Quick test_identical_is_equivalent;
+          Alcotest.test_case "register diff" `Quick test_register_diff_detected;
+          Alcotest.test_case "packet diff" `Quick test_packet_diff_detected;
+          Alcotest.test_case "missing packet" `Quick test_missing_packet_detected;
+          Alcotest.test_case "inversion counts overtaker" `Quick
+            test_c1_inversion_counts_overtaker;
+          Alcotest.test_case "spurious access" `Quick test_c1_spurious_access;
+          Alcotest.test_case "fraction" `Quick test_c1_fraction;
+          Alcotest.test_case "reordered flows" `Quick test_reordered_flows;
+          Alcotest.test_case "pretty printer" `Quick test_pp_smoke;
+        ] );
+    ]

@@ -1,0 +1,128 @@
+(* Unit tests for the Banzai expression IR: 32-bit wrap-around semantics,
+   total division, short-circuit logic, analysis helpers. *)
+
+module Expr = Mp5_banzai.Expr
+open Expr
+
+let eval ?(fields = [||]) ?state e = Expr.eval ~fields ~state e
+let check_int = Alcotest.(check int)
+let check = Alcotest.(check bool)
+
+let test_const () =
+  check_int "const" 42 (eval (Const 42));
+  check_int "negative" (-7) (eval (Const (-7)))
+
+let test_norm32 () =
+  check_int "wraps positive" (-2147483648) (norm32 2147483648);
+  check_int "wraps negative" 2147483647 (norm32 (-2147483649));
+  check_int "id in range" 123 (norm32 123);
+  check_int "id negative" (-123) (norm32 (-123))
+
+let test_arith_wraparound () =
+  check_int "add wraps" (-2147483648) (eval (Binop (Add, Const 2147483647, Const 1)));
+  check_int "sub wraps" 2147483647 (eval (Binop (Sub, Const (-2147483648), Const 1)));
+  check_int "mul wraps" 0 (eval (Binop (Mul, Const 65536, Const 65536)))
+
+let test_div_mod_by_zero () =
+  check_int "div by zero is 0" 0 (eval (Binop (Div, Const 7, Const 0)));
+  check_int "mod by zero is 0" 0 (eval (Binop (Mod, Const 7, Const 0)));
+  check_int "div" 3 (eval (Binop (Div, Const 7, Const 2)));
+  check_int "mod" 1 (eval (Binop (Mod, Const 7, Const 2)));
+  check_int "mod of negative" (-1) (eval (Binop (Mod, Const (-7), Const 2)))
+
+let test_comparisons () =
+  check_int "lt true" 1 (eval (Binop (Lt, Const 1, Const 2)));
+  check_int "lt false" 0 (eval (Binop (Lt, Const 2, Const 1)));
+  check_int "eq" 1 (eval (Binop (Eq, Const 5, Const 5)));
+  check_int "ge" 1 (eval (Binop (Ge, Const 5, Const 5)))
+
+let test_bitwise () =
+  check_int "and" 0b100 (eval (Binop (Bit_and, Const 0b110, Const 0b101)));
+  check_int "or" 0b111 (eval (Binop (Bit_or, Const 0b110, Const 0b101)));
+  check_int "xor" 0b011 (eval (Binop (Bit_xor, Const 0b110, Const 0b101)));
+  check_int "shl" 8 (eval (Binop (Shl, Const 1, Const 3)));
+  check_int "shr" 2 (eval (Binop (Shr, Const 8, Const 2)));
+  check_int "shift amount masked to 5 bits" 2 (eval (Binop (Shl, Const 1, Const 33)));
+  check_int "bitnot" (-1) (eval (Unop (Bit_not, Const 0)))
+
+let test_logical_short_circuit () =
+  (* The right operand divides by zero; short-circuit must not matter for
+     totality, but truthiness must be C-like. *)
+  check_int "and false" 0 (eval (Binop (Log_and, Const 0, Const 9)));
+  check_int "and true" 1 (eval (Binop (Log_and, Const 2, Const 9)));
+  check_int "or true" 1 (eval (Binop (Log_or, Const 2, Const 0)));
+  check_int "or false" 0 (eval (Binop (Log_or, Const 0, Const 0)));
+  check_int "lognot" 1 (eval (Unop (Log_not, Const 0)));
+  check_int "lognot nonzero" 0 (eval (Unop (Log_not, Const 5)))
+
+let test_ternary_lazy () =
+  check_int "then branch" 10 (eval (Ternary (Const 1, Const 10, Const 20)));
+  check_int "else branch" 20 (eval (Ternary (Const 0, Const 10, Const 20)))
+
+let test_fields () =
+  let fields = [| 5; 6; 7 |] in
+  check_int "field read" 6 (eval ~fields (Field 1));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Expr.eval: field 3 out of range") (fun () ->
+      ignore (eval ~fields (Field 3)))
+
+let test_state_val () =
+  check_int "state value" 99 (eval ~state:99 State_val);
+  Alcotest.check_raises "state outside atom"
+    (Invalid_argument "Expr.eval: State_val outside a stateful atom") (fun () ->
+      ignore (Expr.eval ~fields:[||] ~state:None State_val))
+
+let test_hash () =
+  let h1 = eval (Hash [ Const 1; Const 2 ]) in
+  let h2 = eval (Hash [ Const 1; Const 2 ]) in
+  check_int "deterministic" h1 h2;
+  check "non-negative" true (h1 >= 0);
+  check "differs by input" true (h1 <> eval (Hash [ Const 2; Const 1 ]));
+  check_int "matches Hashing.fnv1a" (Mp5_util.Hashing.fnv1a [ 1; 2 ] land 0x7FFFFFFF) h1
+
+let test_uses_state () =
+  check "const" false (uses_state (Const 1));
+  check "state" true (uses_state State_val);
+  check "nested" true (uses_state (Binop (Add, Const 1, Ternary (Const 1, State_val, Const 0))));
+  check "hash without" false (uses_state (Hash [ Field 0 ]))
+
+let test_fields_used () =
+  Alcotest.(check (list int)) "sorted dedup" [ 0; 2; 5 ]
+    (fields_used (Binop (Add, Field 5, Ternary (Field 0, Field 2, Field 0))));
+  Alcotest.(check (list int)) "none" [] (fields_used (Const 3))
+
+let test_depth_size () =
+  check_int "leaf depth" 0 (depth (Const 1));
+  check_int "binop depth" 1 (depth (Binop (Add, Const 1, Const 2)));
+  check_int "nested depth" 2 (depth (Binop (Add, Binop (Mul, Const 1, Const 2), Const 3)));
+  check_int "size" 5 (size (Binop (Add, Binop (Mul, Const 1, Const 2), Const 3)))
+
+let test_pp () =
+  let s = Format.asprintf "%a" pp (Ternary (Field 0, State_val, Const 3)) in
+  check "prints something sensible" true (s = "(f0 ? $state : 3)")
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "eval",
+        [
+          Alcotest.test_case "const" `Quick test_const;
+          Alcotest.test_case "norm32" `Quick test_norm32;
+          Alcotest.test_case "wraparound" `Quick test_arith_wraparound;
+          Alcotest.test_case "div/mod by zero" `Quick test_div_mod_by_zero;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "bitwise" `Quick test_bitwise;
+          Alcotest.test_case "logical" `Quick test_logical_short_circuit;
+          Alcotest.test_case "ternary" `Quick test_ternary_lazy;
+          Alcotest.test_case "fields" `Quick test_fields;
+          Alcotest.test_case "state val" `Quick test_state_val;
+          Alcotest.test_case "hash" `Quick test_hash;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "uses_state" `Quick test_uses_state;
+          Alcotest.test_case "fields_used" `Quick test_fields_used;
+          Alcotest.test_case "depth and size" `Quick test_depth_size;
+          Alcotest.test_case "pretty printer" `Quick test_pp;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+(* Tests for the logical k-ring FIFO: push/insert/pop semantics, phantom
+   blocking, cancellation, directory behaviour, growth. *)
+
+module Fifo = Mp5_arch.Fifo
+module Channel = Mp5_arch.Channel
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk ?(k = 2) ?(capacity = 4) ?(adaptive = false) () = Fifo.create ~k ~capacity ~adaptive
+
+let test_empty () =
+  let f : int Fifo.t = mk () in
+  check "empty head" true (Fifo.head f = `Empty);
+  check_int "length" 0 (Fifo.length f)
+
+let test_phantom_blocks () =
+  let f = mk () in
+  (match Fifo.push_phantom f ~ring:0 ~ts:1 ~key:1 with `Ok -> () | `Dropped -> Alcotest.fail "dropped");
+  (match Fifo.head f with
+  | `Blocked 1 -> ()
+  | _ -> Alcotest.fail "expected blocked head");
+  (* Insert the data; the head becomes ready. *)
+  (match Fifo.insert_data f ~key:1 100 with `Ok -> () | `No_phantom -> Alcotest.fail "miss");
+  (match Fifo.head f with
+  | `Data (1, 100) -> ()
+  | _ -> Alcotest.fail "expected ready data");
+  check_int "pop" 100 (Fifo.pop_data f);
+  check "empty after" true (Fifo.head f = `Empty)
+
+let test_pop_min_timestamp_across_rings () =
+  let f = mk () in
+  ignore (Fifo.push_phantom f ~ring:0 ~ts:5 ~key:5);
+  ignore (Fifo.push_phantom f ~ring:1 ~ts:3 ~key:3);
+  ignore (Fifo.insert_data f ~key:5 50);
+  ignore (Fifo.insert_data f ~key:3 30);
+  check_int "smaller ts first" 30 (Fifo.pop_data f);
+  check_int "then larger" 50 (Fifo.pop_data f)
+
+let test_phantom_blocks_other_rings () =
+  (* A phantom with the smallest timestamp blocks ready data in other
+     rings: that is exactly D4's order enforcement. *)
+  let f = mk () in
+  ignore (Fifo.push_phantom f ~ring:0 ~ts:1 ~key:1);
+  ignore (Fifo.push_phantom f ~ring:1 ~ts:2 ~key:2);
+  ignore (Fifo.insert_data f ~key:2 20);
+  (match Fifo.head f with
+  | `Blocked 1 -> ()
+  | _ -> Alcotest.fail "phantom must block later data");
+  ignore (Fifo.insert_data f ~key:1 10);
+  check_int "order restored" 10 (Fifo.pop_data f);
+  check_int "then second" 20 (Fifo.pop_data f)
+
+let test_insert_miss_after_drop () =
+  let f = mk ~capacity:1 () in
+  ignore (Fifo.push_phantom f ~ring:0 ~ts:1 ~key:1);
+  (match Fifo.push_phantom f ~ring:0 ~ts:2 ~key:2 with
+  | `Dropped -> ()
+  | `Ok -> Alcotest.fail "expected drop at capacity");
+  (* The dropped phantom's data packet finds no placeholder. *)
+  check "insert misses" true (Fifo.insert_data f ~key:2 99 = `No_phantom)
+
+let test_adaptive_growth () =
+  let f = mk ~capacity:1 ~adaptive:true () in
+  ignore (Fifo.push_phantom f ~ring:0 ~ts:1 ~key:1);
+  (match Fifo.push_phantom f ~ring:0 ~ts:2 ~key:2 with
+  | `Ok -> ()
+  | `Dropped -> Alcotest.fail "adaptive ring must grow");
+  check_int "both queued" 2 (Fifo.length f)
+
+let test_cancel () =
+  let f = mk () in
+  ignore (Fifo.push_phantom f ~ring:0 ~ts:1 ~key:1);
+  ignore (Fifo.push_phantom f ~ring:0 ~ts:2 ~key:2);
+  ignore (Fifo.insert_data f ~key:2 20);
+  Fifo.cancel f ~key:1;
+  (* The cancelled phantom is purged for free; key 2 surfaces. *)
+  (match Fifo.head f with
+  | `Data (2, 20) -> ()
+  | _ -> Alcotest.fail "cancelled phantom should be skipped");
+  check_int "pop" 20 (Fifo.pop_data f)
+
+let test_cancel_unknown_is_noop () =
+  let f : int Fifo.t = mk () in
+  Fifo.cancel f ~key:42;
+  check "still empty" true (Fifo.head f = `Empty)
+
+let test_cancelled_blocks_insert () =
+  let f = mk () in
+  ignore (Fifo.push_phantom f ~ring:0 ~ts:1 ~key:1);
+  Fifo.cancel f ~key:1;
+  check "insert on cancelled misses" true (Fifo.insert_data f ~key:1 5 = `No_phantom)
+
+let test_push_data_direct () =
+  let f = mk () in
+  ignore (Fifo.push_data f ~ring:0 ~ts:2 ~key:2 22);
+  ignore (Fifo.push_data f ~ring:1 ~ts:1 ~key:1 11);
+  check_int "min ts" 11 (Fifo.pop_data f);
+  check_int "next" 22 (Fifo.pop_data f)
+
+let test_data_length_and_high_water () =
+  let f = mk () in
+  ignore (Fifo.push_phantom f ~ring:0 ~ts:1 ~key:1);
+  check_int "phantoms are not data" 0 (Fifo.data_length f);
+  ignore (Fifo.insert_data f ~key:1 10);
+  ignore (Fifo.push_data f ~ring:1 ~ts:2 ~key:2 20);
+  check_int "two data" 2 (Fifo.data_length f);
+  check_int "high water" 2 (Fifo.max_occupancy f);
+  ignore (Fifo.pop_data f);
+  ignore (Fifo.pop_data f);
+  check_int "drained" 0 (Fifo.data_length f);
+  check_int "high water sticks" 2 (Fifo.max_occupancy f)
+
+let test_fifo_order_within_ring () =
+  let f = mk ~capacity:8 () in
+  for i = 1 to 5 do
+    ignore (Fifo.push_phantom f ~ring:0 ~ts:i ~key:i)
+  done;
+  for i = 5 downto 1 do
+    ignore (Fifo.insert_data f ~key:i (i * 10))
+  done;
+  for i = 1 to 5 do
+    check_int "in ts order" (i * 10) (Fifo.pop_data f)
+  done
+
+let test_pop_on_phantom_raises () =
+  let f : int Fifo.t = mk () in
+  ignore (Fifo.push_phantom f ~ring:0 ~ts:1 ~key:1);
+  Alcotest.check_raises "pop phantom" (Invalid_argument "Fifo.pop_data: head is a phantom")
+    (fun () -> ignore (Fifo.pop_data f))
+
+(* --- phantom channel --- *)
+
+let test_channel_delivery () =
+  let ch = Channel.create () in
+  Channel.schedule ch ~at:5 "a";
+  Channel.schedule ch ~at:5 "b";
+  Channel.schedule ch ~at:7 "c";
+  check_int "pending" 3 (Channel.pending ch);
+  Alcotest.(check (list string)) "in order" [ "a"; "b" ] (Channel.due ch ~now:5);
+  Alcotest.(check (list string)) "nothing at 6" [] (Channel.due ch ~now:6);
+  Alcotest.(check (list string)) "late one" [ "c" ] (Channel.due ch ~now:7);
+  check_int "drained" 0 (Channel.pending ch)
+
+let test_channel_due_removes () =
+  let ch = Channel.create () in
+  Channel.schedule ch ~at:1 42;
+  ignore (Channel.due ch ~now:1);
+  Alcotest.(check (list int)) "removed" [] (Channel.due ch ~now:1)
+
+let () =
+  Alcotest.run "fifo"
+    [
+      ( "fifo",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "phantom blocks until insert" `Quick test_phantom_blocks;
+          Alcotest.test_case "pop picks min timestamp" `Quick test_pop_min_timestamp_across_rings;
+          Alcotest.test_case "phantom blocks other rings" `Quick test_phantom_blocks_other_rings;
+          Alcotest.test_case "insert misses after drop" `Quick test_insert_miss_after_drop;
+          Alcotest.test_case "adaptive growth" `Quick test_adaptive_growth;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "cancel unknown" `Quick test_cancel_unknown_is_noop;
+          Alcotest.test_case "cancelled blocks insert" `Quick test_cancelled_blocks_insert;
+          Alcotest.test_case "push data direct" `Quick test_push_data_direct;
+          Alcotest.test_case "data length / high water" `Quick test_data_length_and_high_water;
+          Alcotest.test_case "order within ring" `Quick test_fifo_order_within_ring;
+          Alcotest.test_case "pop on phantom raises" `Quick test_pop_on_phantom_raises;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "delivery" `Quick test_channel_delivery;
+          Alcotest.test_case "due removes" `Quick test_channel_due_removes;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+(* Unit tests for the Domino lexer. *)
+
+open Mp5_domino
+open Lexer
+
+let check = Alcotest.(check bool)
+
+let toks src = List.map fst (tokenize src)
+
+let test_keywords_and_idents () =
+  check "keywords" true
+    (toks "struct int void if else"
+    = [ KW_STRUCT; KW_INT; KW_VOID; KW_IF; KW_ELSE; EOF ]);
+  check "ident not keyword prefix" true (toks "interface" = [ IDENT "interface"; EOF ]);
+  check "underscore ident" true (toks "_x1" = [ IDENT "_x1"; EOF ])
+
+let test_numbers () =
+  check "decimal" true (toks "42" = [ INT_LIT 42; EOF ]);
+  check "zero" true (toks "0" = [ INT_LIT 0; EOF ]);
+  check "hex" true (toks "0x1F" = [ INT_LIT 31; EOF ]);
+  check "hex upper" true (toks "0XFF" = [ INT_LIT 255; EOF ])
+
+let test_operators () =
+  check "two-char ops" true
+    (toks "<< >> <= >= == != && ||"
+    = [ SHL; SHR; LE; GE; EQ; NE; AND_AND; OR_OR; EOF ]);
+  check "single-char ops" true
+    (toks "+ - * / % & | ^ ~ < > ! = ? :"
+    = [ PLUS; MINUS; STAR; SLASH; PERCENT; AMP; PIPE; CARET; TILDE; LT; GT; BANG; ASSIGN;
+        QUESTION; COLON; EOF ]);
+  check "punctuation" true
+    (toks "{ } ( ) [ ] ; , ."
+    = [ LBRACE; RBRACE; LPAREN; RPAREN; LBRACKET; RBRACKET; SEMI; COMMA; DOT; EOF ])
+
+let test_comments () =
+  check "line comment" true (toks "1 // two three\n4" = [ INT_LIT 1; INT_LIT 4; EOF ]);
+  check "block comment" true (toks "1 /* x\ny */ 2" = [ INT_LIT 1; INT_LIT 2; EOF ]);
+  check "comment at eof" true (toks "7 // end" = [ INT_LIT 7; EOF ])
+
+let test_locations () =
+  let tokens = tokenize "a\n  b" in
+  (match tokens with
+  | [ (IDENT "a", la); (IDENT "b", lb); _ ] ->
+      check "line 1" true (la.Ast.line = 1 && la.Ast.col = 1);
+      check "line 2 col 3" true (lb.Ast.line = 2 && lb.Ast.col = 3)
+  | _ -> Alcotest.fail "unexpected tokens")
+
+let test_errors () =
+  (try
+     ignore (tokenize "a @ b");
+     Alcotest.fail "expected error"
+   with Lexer.Error (msg, loc) ->
+     check "illegal char" true (msg = "illegal character '@'");
+     check "at col 3" true (loc.Ast.col = 3));
+  try
+    ignore (tokenize "/* unterminated");
+    Alcotest.fail "expected error"
+  with Lexer.Error (msg, _) -> check "unterminated" true (msg = "unterminated block comment")
+
+let test_adjacent_no_space () =
+  check "dense expression" true
+    (toks "p.x=r[1]%4;"
+    = [ IDENT "p"; DOT; IDENT "x"; ASSIGN; IDENT "r"; LBRACKET; INT_LIT 1; RBRACKET;
+        PERCENT; INT_LIT 4; SEMI; EOF ])
+
+let () =
+  Alcotest.run "lexer"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "keywords and identifiers" `Quick test_keywords_and_idents;
+          Alcotest.test_case "numbers" `Quick test_numbers;
+          Alcotest.test_case "operators" `Quick test_operators;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "locations" `Quick test_locations;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "dense input" `Quick test_adjacent_no_space;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* Unit tests for the Domino parser: precedence, statements, declarations,
+   error reporting. *)
+
+open Mp5_domino
+
+let check = Alcotest.(check bool)
+
+(* Strip locations for structural comparison. *)
+let rec skel (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Int n -> Printf.sprintf "%d" n
+  | Ast.Packet_field q -> q
+  | Ast.Var v -> v
+  | Ast.Reg_read (r, None) -> r
+  | Ast.Reg_read (r, Some i) -> Printf.sprintf "%s[%s]" r (skel i)
+  | Ast.Binop (op, a, b) ->
+      let name =
+        match op with
+        | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/" | Ast.Mod -> "%"
+        | Ast.Bit_and -> "&" | Ast.Bit_or -> "|" | Ast.Bit_xor -> "^"
+        | Ast.Shl -> "<<" | Ast.Shr -> ">>"
+        | Ast.Eq -> "==" | Ast.Ne -> "!=" | Ast.Lt -> "<" | Ast.Le -> "<=" | Ast.Gt -> ">"
+        | Ast.Ge -> ">=" | Ast.Log_and -> "&&" | Ast.Log_or -> "||"
+      in
+      Printf.sprintf "(%s%s%s)" (skel a) name (skel b)
+  | Ast.Unop (Ast.Neg, a) -> Printf.sprintf "(-%s)" (skel a)
+  | Ast.Unop (Ast.Log_not, a) -> Printf.sprintf "(!%s)" (skel a)
+  | Ast.Unop (Ast.Bit_not, a) -> Printf.sprintf "(~%s)" (skel a)
+  | Ast.Ternary (c, a, b) -> Printf.sprintf "(%s?%s:%s)" (skel c) (skel a) (skel b)
+  | Ast.Hash args -> Printf.sprintf "hash(%s)" (String.concat "," (List.map skel args))
+  | Ast.Table_call (name, args) ->
+      Printf.sprintf "%s(%s)" name (String.concat "," (List.map skel args))
+
+let expr src = skel (Parser.parse_expr_string src)
+let check_expr name src expected = Alcotest.(check string) name expected (expr src)
+
+let test_precedence () =
+  check_expr "mul over add" "1 + 2 * 3" "(1+(2*3))";
+  check_expr "left assoc" "1 - 2 - 3" "((1-2)-3)";
+  check_expr "shift under relational" "1 << 2 < 3" "((1<<2)<3)";
+  check_expr "relational under equality" "a < b == c" "((a<b)==c)";
+  check_expr "bitand under xor" "a ^ b & c" "(a^(b&c))";
+  check_expr "xor under or" "a | b ^ c" "(a|(b^c))";
+  check_expr "and over or" "a || b && c" "(a||(b&&c))";
+  check_expr "parens override" "(1 + 2) * 3" "((1+2)*3)"
+
+let test_unary () =
+  check_expr "neg" "-x" "(-x)";
+  check_expr "double neg" "- -x" "(-(-x))";
+  check_expr "not" "!x && y" "((!x)&&y)";
+  check_expr "bitnot binds tight" "~x + 1" "((~x)+1)"
+
+let test_ternary () =
+  check_expr "ternary" "a ? b : c" "(a?b:c)";
+  check_expr "nested ternary right assoc" "a ? b : c ? d : e" "(a?b:(c?d:e))";
+  check_expr "condition precedence" "a == 1 ? b : c" "((a==1)?b:c)"
+
+let test_postfix () =
+  check_expr "packet field" "p.h1 + 1" "(p.h1+1)";
+  check_expr "register index" "reg[p.h1 % 4]" "reg[(p.h1%4)]";
+  check_expr "hash call" "hash(p.a, p.b) % 8" "(hash(p.a,p.b)%8)"
+
+let parse_ok src = ignore (Parser.parse src)
+
+let parse_err src =
+  match Parser.parse src with
+  | exception Parser.Error _ -> ()
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.failf "expected parse error for %s" src
+
+let minimal body =
+  Printf.sprintf
+    "struct Packet { int x; };\nint r[4];\nvoid func(struct Packet p) { %s }" body
+
+let test_program_structure () =
+  parse_ok (minimal "p.x = 1;");
+  let prog = Parser.parse (minimal "p.x = 1;") in
+  check "one field" true (List.map fst prog.Ast.packet_fields = [ "x" ]);
+  check "one reg" true
+    (match prog.Ast.regs with [ r ] -> r.Ast.r_name = "r" && r.Ast.r_size = Some 4 | _ -> false);
+  check "param name" true (prog.Ast.param = "p");
+  check "func name" true (prog.Ast.func_name = "func")
+
+let test_reg_decls () =
+  let prog =
+    Parser.parse
+      "struct Packet { int x; };\nint a;\nint b[2] = {1, 2};\nint c = 5;\nint d[3] = {-1};\n\
+       void func(struct Packet p) { p.x = 1; }"
+  in
+  let decls = List.map (fun (r : Ast.reg_decl) -> (r.Ast.r_name, r.Ast.r_size, r.Ast.r_init)) prog.Ast.regs in
+  check "scalar" true (List.nth decls 0 = ("a", None, []));
+  check "array with init" true (List.nth decls 1 = ("b", Some 2, [ 1; 2 ]));
+  check "scalar with init" true (List.nth decls 2 = ("c", None, [ 5 ]));
+  check "negative init" true (List.nth decls 3 = ("d", Some 3, [ -1 ]))
+
+let test_if_else () =
+  let prog = Parser.parse (minimal "if (p.x) { p.x = 1; } else p.x = 2;") in
+  (match prog.Ast.body with
+  | [ { Ast.s = Ast.If (_, [ _ ], [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "expected if with both branches");
+  let prog2 = Parser.parse (minimal "if (p.x) p.x = 1;") in
+  match prog2.Ast.body with
+  | [ { Ast.s = Ast.If (_, [ _ ], []); _ } ] -> ()
+  | _ -> Alcotest.fail "expected if without else"
+
+let test_dangling_else () =
+  let prog = Parser.parse (minimal "if (p.x) if (p.x) p.x = 1; else p.x = 2;") in
+  match prog.Ast.body with
+  | [ { Ast.s = Ast.If (_, [ { Ast.s = Ast.If (_, _, [ _ ]); _ } ], []); _ } ] -> ()
+  | _ -> Alcotest.fail "else must bind to the inner if"
+
+let test_local_decls () =
+  let prog = Parser.parse (minimal "int t = p.x + 1; p.x = t;") in
+  match prog.Ast.body with
+  | [ { Ast.s = Ast.Local_decl ("t", Some _); _ }; _ ] -> ()
+  | _ -> Alcotest.fail "expected local declaration with initializer"
+
+let test_errors () =
+  parse_err "struct Thing { int x; }; void func(struct Packet p) {}";
+  parse_err (minimal "p.x = ;");
+  parse_err (minimal "p.x = 1");
+  parse_err (minimal "if p.x { }");
+  parse_err "struct Packet { int x; }; void func(struct Packet p) { p.x = 1; } extra";
+  parse_err "struct Packet { int x; };"
+
+let test_error_location () =
+  try
+    ignore (Parser.parse (minimal "p.x = ;"))
+  with Parser.Error (msg, loc) ->
+    check "mentions expression" true
+      (String.length msg > 0 && loc.Ast.line >= 1)
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "precedence" `Quick test_precedence;
+          Alcotest.test_case "unary" `Quick test_unary;
+          Alcotest.test_case "ternary" `Quick test_ternary;
+          Alcotest.test_case "postfix forms" `Quick test_postfix;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "structure" `Quick test_program_structure;
+          Alcotest.test_case "register declarations" `Quick test_reg_decls;
+          Alcotest.test_case "if/else" `Quick test_if_else;
+          Alcotest.test_case "dangling else" `Quick test_dangling_else;
+          Alcotest.test_case "local declarations" `Quick test_local_decls;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "error locations" `Quick test_error_location;
+        ] );
+    ]

@@ -1,0 +1,93 @@
+(* Tests for multiple logical MP5 instances sharing one switch
+   (footnote 1 of the paper). *)
+
+module Partition = Mp5_core.Partition
+module Switch = Mp5_core.Switch
+module Sim = Mp5_core.Sim
+module Equiv = Mp5_core.Equiv
+module Machine = Mp5_banzai.Machine
+module Rng = Mp5_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let trace ~k ~n ~fields gen =
+  Array.init n (fun i ->
+      { Machine.time = i / k; port = i mod k; headers = Array.init fields (gen i) })
+
+let test_two_logical_instances () =
+  let rng = Rng.create 2 in
+  let seq = Switch.create_exn Mp5_apps.Sources.sequencer in
+  let hh = Switch.create_exn Mp5_apps.Sources.heavy_hitter in
+  let t_seq = trace ~k:2 ~n:2000 ~fields:2 (fun _ _ -> Rng.int rng 8) in
+  let t_hh = trace ~k:6 ~n:6000 ~fields:2 (fun _ _ -> Rng.int rng 100000) in
+  let results =
+    Partition.run ~k:8
+      [ Partition.slice seq.Switch.prog ~m:2 t_seq; Partition.slice hh.Switch.prog ~m:6 t_hh ]
+  in
+  (match results with
+  | [ r_seq; r_hh ] ->
+      check_int "sequencer delivered" 2000 r_seq.Sim.delivered;
+      check_int "heavy hitter delivered" 6000 r_hh.Sim.delivered;
+      (* Each slice is equivalent to its own logical single pipeline. *)
+      let g_seq = Switch.golden seq t_seq in
+      let rep =
+        Equiv.compare ~golden:g_seq ~n_packets:2000 ~store:r_seq.Sim.store
+          ~headers_out:r_seq.Sim.headers_out ~access_seqs:r_seq.Sim.access_seqs
+          ~exit_order:r_seq.Sim.exit_order ()
+      in
+      check "sequencer slice equivalent" true (Equiv.equivalent rep);
+      let g_hh = Switch.golden hh t_hh in
+      let rep_hh =
+        Equiv.compare ~golden:g_hh ~n_packets:6000 ~store:r_hh.Sim.store
+          ~headers_out:r_hh.Sim.headers_out ~access_seqs:r_hh.Sim.access_seqs
+          ~exit_order:r_hh.Sim.exit_order ()
+      in
+      check "heavy hitter slice equivalent" true (Equiv.equivalent rep_hh)
+  | _ -> Alcotest.fail "expected two results")
+
+let test_oversubscription_rejected () =
+  let seq = Switch.create_exn Mp5_apps.Sources.sequencer in
+  let t = trace ~k:3 ~n:10 ~fields:2 (fun _ _ -> 0) in
+  Alcotest.check_raises "oversubscribed"
+    (Invalid_argument "Partition.run: 6 pipelines requested but the switch has 4") (fun () ->
+      ignore
+        (Partition.run ~k:4
+           [ Partition.slice seq.Switch.prog ~m:3 t; Partition.slice seq.Switch.prog ~m:3 t ]))
+
+let test_zero_pipelines_rejected () =
+  let seq = Switch.create_exn Mp5_apps.Sources.sequencer in
+  let t = trace ~k:1 ~n:10 ~fields:2 (fun _ _ -> 0) in
+  Alcotest.check_raises "no pipelines"
+    (Invalid_argument "Partition.run: each slice needs a pipeline") (fun () ->
+      ignore (Partition.run ~k:4 [ Partition.slice seq.Switch.prog ~m:0 t ]))
+
+let test_params_k_must_match () =
+  let seq = Switch.create_exn Mp5_apps.Sources.sequencer in
+  let t = trace ~k:2 ~n:10 ~fields:2 (fun _ _ -> 0) in
+  Alcotest.check_raises "k mismatch"
+    (Invalid_argument "Partition.run: params.k must equal the slice's m") (fun () ->
+      ignore
+        (Partition.run ~k:4
+           [ Partition.slice ~params:(Sim.default_params ~k:4) seq.Switch.prog ~m:2 t ]))
+
+let test_custom_params_respected () =
+  let seq = Switch.create_exn Mp5_apps.Sources.packet_counter in
+  let t = trace ~k:2 ~n:500 ~fields:1 (fun _ _ -> 0) in
+  let params = { (Sim.default_params ~k:2) with Sim.mode = Sim.Naive_single } in
+  match Partition.run ~k:4 [ Partition.slice ~params seq.Switch.prog ~m:2 t ] with
+  | [ r ] -> check "naive mode applied" true (r.Sim.normalized_throughput < 0.6)
+  | _ -> Alcotest.fail "expected one result"
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "two logical instances" `Quick test_two_logical_instances;
+          Alcotest.test_case "oversubscription rejected" `Quick test_oversubscription_rejected;
+          Alcotest.test_case "zero pipelines rejected" `Quick test_zero_pipelines_rejected;
+          Alcotest.test_case "params k mismatch" `Quick test_params_k_must_match;
+          Alcotest.test_case "custom params" `Quick test_custom_params_respected;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Tests for the re-circulation baseline (current-generation switches). *)
+
+module Recirc = Mp5_core.Recirc
+module Switch = Mp5_core.Switch
+module Equiv = Mp5_core.Equiv
+module Machine = Mp5_banzai.Machine
+module Rng = Mp5_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let line_rate_trace ~k ~n ~fields gen =
+  Array.init n (fun i ->
+      { Machine.time = i / k; port = i mod k; headers = Array.init fields (gen i) })
+
+let compare_golden sw trace (r : Recirc.result) =
+  let golden = Switch.golden sw trace in
+  Equiv.compare ~golden ~n_packets:(Array.length trace) ~store:r.Recirc.store
+    ~headers_out:r.Recirc.headers_out ~access_seqs:r.Recirc.access_seqs
+    ~exit_order:r.Recirc.exit_order ()
+
+let test_k1_is_single_pipeline () =
+  (* With one pipeline there is nowhere to re-circulate to: the baseline
+     degenerates to the golden machine. *)
+  let sw = Switch.create_exn Mp5_apps.Sources.sequencer in
+  let rng = Rng.create 1 in
+  let trace = line_rate_trace ~k:1 ~n:1000 ~fields:2 (fun _ _ -> Rng.int rng 8) in
+  let r = Recirc.run ~k:1 sw.Switch.prog trace in
+  check_int "no recirculations" 0 r.Recirc.recirculations;
+  let rep = compare_golden sw trace r in
+  check "equivalent" true (Equiv.equivalent rep);
+  check_int "no violations" 0 rep.Equiv.c1_violations
+
+let test_all_packets_accounted () =
+  let sw = Switch.create_exn Mp5_apps.Sources.conga in
+  let rng = Rng.create 2 in
+  let trace = line_rate_trace ~k:4 ~n:3000 ~fields:4 (fun _ _ -> Rng.int rng 64) in
+  let r = Recirc.run ~k:4 sw.Switch.prog trace in
+  check_int "delivered + dropped = n" 3000 (r.Recirc.delivered + r.Recirc.dropped)
+
+let test_recirculations_counted () =
+  (* Two arrays forced onto different pipelines: every packet needs at
+     least one recirculation for some placements. *)
+  let sw =
+    Switch.create_exn
+      {|
+struct Packet { int x; int out; };
+int a[4];
+int b[4];
+void func(struct Packet p) {
+    a[p.x % 4] = a[p.x % 4] + 1;
+    b[p.x % 4] = b[p.x % 4] + a[p.x % 4];
+}
+|}
+  in
+  let rng = Rng.create 3 in
+  let trace = line_rate_trace ~k:4 ~n:1000 ~fields:2 (fun _ _ -> Rng.int rng 4) in
+  (* Find a seed that separates the two arrays. *)
+  let separated =
+    List.find_opt
+      (fun seed ->
+        let r = Recirc.run ~k:4 ~shard_seed:seed sw.Switch.prog trace in
+        r.Recirc.recirculations > 0)
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  check "some placement forces recirculation" true (separated <> None)
+
+let test_throughput_below_mp5 () =
+  let sw =
+    Switch.create_exn ~pad_to_stages:16
+      (Mp5_apps.Sources.sensitivity_program ~stateful:4 ~reg_size:64)
+  in
+  let rng = Rng.create 4 in
+  let trace = line_rate_trace ~k:4 ~n:4000 ~fields:6 (fun _ _ -> Rng.int rng 64) in
+  let rc = Recirc.run ~k:4 sw.Switch.prog trace in
+  let mp5 = Switch.run ~k:4 sw trace in
+  check "recirculation loses" true
+    (rc.Recirc.normalized_throughput < mp5.Mp5_core.Sim.normalized_throughput)
+
+let test_violations_at_multi_pipeline () =
+  let sw = Switch.create_exn ~pad_to_stages:16 Mp5_apps.Sources.sequencer in
+  let rng = Rng.create 5 in
+  let trace = line_rate_trace ~k:4 ~n:4000 ~fields:2 (fun _ _ -> Rng.int rng 8) in
+  let r = Recirc.run ~k:4 ~sharding:`Cell sw.Switch.prog trace in
+  let rep = compare_golden sw trace r in
+  check "order violations occur" true (rep.Equiv.c1_violations > 0)
+
+let test_deterministic () =
+  let sw = Switch.create_exn Mp5_apps.Sources.wfq in
+  let rng = Rng.create 6 in
+  let trace = line_rate_trace ~k:4 ~n:2000 ~fields:4 (fun _ _ -> Rng.int rng 256) in
+  let r1 = Recirc.run ~k:4 sw.Switch.prog trace in
+  let r2 = Recirc.run ~k:4 sw.Switch.prog trace in
+  check "same order" true (r1.Recirc.exit_order = r2.Recirc.exit_order);
+  check_int "same recircs" r1.Recirc.recirculations r2.Recirc.recirculations
+
+let test_stateless_program_line_rate () =
+  let sw =
+    Switch.create_exn
+      "struct Packet { int a; };\nvoid func(struct Packet p) { p.a = p.a * 2; }"
+  in
+  let rng = Rng.create 7 in
+  let trace = line_rate_trace ~k:4 ~n:2000 ~fields:1 (fun _ _ -> Rng.int rng 100) in
+  let r = Recirc.run ~k:4 sw.Switch.prog trace in
+  check_int "no recirculation needed" 0 r.Recirc.recirculations;
+  check "line rate" true (r.Recirc.normalized_throughput > 0.99);
+  let rep = compare_golden sw trace r in
+  check "stateless always equivalent" true (Equiv.equivalent rep)
+
+let test_header_writeback_on_final_pass () =
+  (* The sequencer writes the counter into the packet; re-circulated or
+     not, delivered headers must carry a plausible counter value (> 0). *)
+  let sw = Switch.create_exn Mp5_apps.Sources.sequencer in
+  let rng = Rng.create 8 in
+  let trace = line_rate_trace ~k:2 ~n:200 ~fields:2 (fun _ _ -> Rng.int rng 8) in
+  let r = Recirc.run ~k:2 sw.Switch.prog trace in
+  List.iter (fun (_, h) -> check "seqno written" true (h.(1) > 0)) r.Recirc.headers_out
+
+let () =
+  Alcotest.run "recirc"
+    [
+      ( "recirc",
+        [
+          Alcotest.test_case "k=1 degenerates to golden" `Quick test_k1_is_single_pipeline;
+          Alcotest.test_case "packets accounted" `Quick test_all_packets_accounted;
+          Alcotest.test_case "recirculations counted" `Quick test_recirculations_counted;
+          Alcotest.test_case "throughput below MP5" `Quick test_throughput_below_mp5;
+          Alcotest.test_case "C1 violations occur" `Quick test_violations_at_multi_pipeline;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "stateless at line rate" `Quick test_stateless_program_line_rate;
+          Alcotest.test_case "write-back on final pass" `Quick
+            test_header_writeback_on_final_pass;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+(* Tests for the dynamic sharding heuristic (Figure 6) and the LPT
+   ideal packer. *)
+
+module Index_map = Mp5_core.Index_map
+module Sharding = Mp5_core.Sharding
+module Store = Mp5_banzai.Store
+module Config = Mp5_banzai.Config
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk ?(k = 2) ?(size = 8) () =
+  Index_map.create ~k ~reg:0 ~size ~sharded:true ~pinned_to:0 ~init:`Round_robin
+
+(* Load cells with explicit counts. *)
+let load m counts = Array.iteri (fun cell c -> for _ = 1 to c do Index_map.note_access m cell done) counts
+
+let test_remap_moves_from_hot_to_cold () =
+  let m = mk () in
+  (* p0 holds cells 0,2,4,6; p1 holds 1,3,5,7.  Make p0 very hot with one
+     dominant cell and a movable lighter one. *)
+  load m [| 100; 1; 30; 0; 0; 0; 0; 0 |];
+  (match Sharding.remap_step m with
+  | Some mv ->
+      check_int "from hot" 0 mv.Sharding.from_;
+      check_int "to cold" 1 mv.Sharding.to_;
+      (* C = (131-1)/2 = 65: cell 2 (count 30) is the largest below C. *)
+      check_int "heaviest below threshold" 2 mv.Sharding.cell
+  | None -> Alcotest.fail "expected a move")
+
+let test_remap_skips_dominant_cell () =
+  let m = mk () in
+  (* Only one cell carries all the load: it exceeds C = total/2, so the
+     heuristic cannot move it — only a light sibling (a fundamental limit
+     of per-cell sharding, §3.5.2). *)
+  load m [| 100; 0; 0; 0; 0; 0; 0; 0 |];
+  match Sharding.remap_step m with
+  | Some mv -> check "dominant cell stays" true (mv.Sharding.cell <> 0)
+  | None -> ()
+
+let test_remap_respects_inflight () =
+  let m = mk () in
+  load m [| 100; 1; 30; 0; 0; 0; 0; 0 |];
+  Index_map.incr_inflight m 2;
+  (match Sharding.remap_step m with
+  | Some mv -> check "skips in-flight cell 2" true (mv.Sharding.cell <> 2)
+  | None -> ());
+  Index_map.decr_inflight m 2;
+  match Sharding.remap_step m with
+  | Some mv -> check_int "eligible again" 2 mv.Sharding.cell
+  | None -> Alcotest.fail "expected a move after release"
+
+let test_remap_idles_when_balanced () =
+  let m = mk () in
+  load m [| 10; 10; 10; 10; 10; 10; 10; 10 |];
+  check "balanced = no move" true (Sharding.remap_step m = None)
+
+let test_remap_idles_within_noise () =
+  let m = mk () in
+  (* 42 vs 38: inside 3*sqrt(avg) of 40. *)
+  load m [| 12; 10; 10; 10; 10; 8; 10; 10 |];
+  check "noise gate" true (Sharding.remap_step m = None)
+
+let test_remap_verbatim_without_gate () =
+  let m = mk () in
+  (* p0 = 18, p1 = 38: the gap (20) is inside the 3-sigma band of the
+     mean load (28), so the gated heuristic idles; Figure 6 verbatim has
+     no such gate and moves cell 3 (count 8 < C = 10) from p1 to p0. *)
+  load m [| 15; 10; 3; 8; 0; 10; 0; 10 |];
+  check "gated idles" true (Sharding.remap_step m = None);
+  match Sharding.remap_step ~noise_gate:false m with
+  | Some mv ->
+      check_int "verbatim moves from hot pipeline" 1 mv.Sharding.from_;
+      check_int "largest eligible cell" 3 mv.Sharding.cell
+  | None -> Alcotest.fail "verbatim heuristic should move"
+
+let test_remap_pinned_array () =
+  let m = Index_map.create ~k:2 ~reg:0 ~size:4 ~sharded:false ~pinned_to:0 ~init:`Round_robin in
+  check "pinned never remaps" true (Sharding.remap_step m = None)
+
+let test_lpt_balances () =
+  let m = mk ~k:2 ~size:4 () in
+  (* All four cells on... round robin puts 0,2 on p0 and 1,3 on p1; give
+     p0 overwhelming load. *)
+  load m [| 50; 1; 40; 1 |];
+  let moves = Sharding.lpt_remap m in
+  check "produces moves" true (moves <> []);
+  List.iter (fun mv -> Index_map.move m ~cell:mv.Sharding.cell ~to_:mv.Sharding.to_) moves;
+  let after = Index_map.per_pipeline_load m in
+  check "balanced after" true (abs (after.(0) - after.(1)) <= 10)
+
+let test_lpt_hysteresis () =
+  let m = mk ~k:2 ~size:4 () in
+  load m [| 10; 10; 10; 10 |];
+  check "balanced input untouched" true (Sharding.lpt_remap m = [])
+
+let test_lpt_respects_inflight () =
+  let m = mk ~k:2 ~size:4 () in
+  load m [| 50; 1; 40; 1 |];
+  Index_map.incr_inflight m 0;
+  let moves = Sharding.lpt_remap m in
+  check "cell 0 stays" true (List.for_all (fun mv -> mv.Sharding.cell <> 0) moves)
+
+let test_apply_moves_register_value () =
+  let config =
+    {
+      Config.fields = [| "x" |];
+      n_user_fields = 1;
+      regs = [| Config.reg ~name:"r" ~size:4 () |];
+      tables = [||];
+      stages = [||];
+    }
+  in
+  let stores = [| Store.create config; Store.create config |] in
+  Store.set stores.(0) ~reg:0 ~idx:2 77;
+  let m = mk ~k:2 ~size:4 () in
+  Sharding.apply m ~stores ~reg:0 { Sharding.cell = 2; from_ = 0; to_ = 1 };
+  check_int "value copied" 77 (Store.get stores.(1) ~reg:0 ~idx:2);
+  check_int "map updated" 1 (Index_map.pipeline_of m 2)
+
+let () =
+  Alcotest.run "sharding"
+    [
+      ( "figure-6 heuristic",
+        [
+          Alcotest.test_case "moves hot to cold" `Quick test_remap_moves_from_hot_to_cold;
+          Alcotest.test_case "skips dominant cell" `Quick test_remap_skips_dominant_cell;
+          Alcotest.test_case "respects in-flight" `Quick test_remap_respects_inflight;
+          Alcotest.test_case "idles when balanced" `Quick test_remap_idles_when_balanced;
+          Alcotest.test_case "idles within noise" `Quick test_remap_idles_within_noise;
+          Alcotest.test_case "verbatim without gate" `Quick test_remap_verbatim_without_gate;
+          Alcotest.test_case "pinned arrays" `Quick test_remap_pinned_array;
+        ] );
+      ( "lpt",
+        [
+          Alcotest.test_case "balances" `Quick test_lpt_balances;
+          Alcotest.test_case "hysteresis" `Quick test_lpt_hysteresis;
+          Alcotest.test_case "respects in-flight" `Quick test_lpt_respects_inflight;
+          Alcotest.test_case "apply moves value" `Quick test_apply_moves_register_value;
+        ] );
+    ]

@@ -1,0 +1,156 @@
+(* Unit tests for the expression simplifier: every rule exact under the
+   32-bit semantics (the property suite checks end-to-end equivalence on
+   random programs; these pin individual rewrites). *)
+
+module Expr = Mp5_banzai.Expr
+module Simplify = Mp5_banzai.Simplify
+open Expr
+
+let e = Alcotest.testable Expr.pp Expr.equal
+let check_e name expected input = Alcotest.check e name expected (Simplify.expr input)
+let check_p name expected input = Alcotest.check e name expected (Simplify.pred input)
+
+let f0 = Field 0
+let f1 = Field 1
+
+let test_const_folding () =
+  check_e "add" (Const 5) (Binop (Add, Const 2, Const 3));
+  check_e "wraps" (Const (-2147483648)) (Binop (Add, Const 2147483647, Const 1));
+  check_e "div by zero total" (Const 0) (Binop (Div, Const 7, Const 0));
+  check_e "neg" (Const (-4)) (Unop (Neg, Const 4));
+  check_e "comparison" (Const 1) (Binop (Lt, Const 1, Const 2));
+  check_e "nested" (Const 9) (Binop (Mul, Const 3, Binop (Add, Const 1, Const 2)))
+
+let test_identities () =
+  check_e "x+0" f0 (Binop (Add, f0, Const 0));
+  check_e "0+x" f0 (Binop (Add, Const 0, f0));
+  check_e "x-0" f0 (Binop (Sub, f0, Const 0));
+  check_e "x*1" f0 (Binop (Mul, f0, Const 1));
+  check_e "1*x" f0 (Binop (Mul, Const 1, f0));
+  check_e "x*0" (Const 0) (Binop (Mul, f0, Const 0));
+  check_e "x/1" f0 (Binop (Div, f0, Const 1));
+  check_e "x^0" f0 (Binop (Bit_xor, f0, Const 0));
+  check_e "x|0" f0 (Binop (Bit_or, f0, Const 0));
+  check_e "x<<0" f0 (Binop (Shl, f0, Const 0))
+
+let test_unsafe_identities_kept () =
+  (* x && 1 normalises x to 0/1: cannot drop for non-boolean x. *)
+  let expr_and = Binop (Log_and, f0, Const 1) in
+  Alcotest.check e "x&&1 kept for value use" expr_and (Simplify.expr expr_and);
+  (* e - state is not additive; also not an identity candidate. *)
+  let sub = Binop (Sub, Const 0, f0) in
+  Alcotest.check e "0-x kept" sub (Simplify.expr sub)
+
+let test_ternary () =
+  check_e "const cond true" f0 (Ternary (Const 1, f0, f1));
+  check_e "const cond false" f1 (Ternary (Const 0, f0, f1));
+  check_e "equal arms" f0 (Ternary (f1, f0, f0));
+  check_e "not rotation" (Ternary (f0, f1, Const 3))
+    (Ternary (Unop (Log_not, f0), Const 3, f1));
+  (* Dead arm: inner selection on the same condition. *)
+  check_e "same-cond chain" (Ternary (f0, Const 1, Const 2))
+    (Ternary (f0, Ternary (f0, Const 1, Const 9), Const 2));
+  (* Complementary comparisons. *)
+  check_e "complementary chain"
+    (Ternary (Binop (Lt, f0, Const 5), Const 1, Const 2))
+    (Ternary
+       ( Binop (Lt, f0, Const 5),
+         Const 1,
+         Ternary (Binop (Ge, f0, Const 5), Const 2, Const 9) ))
+
+let test_assume_under_arithmetic () =
+  (* (c ? (c ? a : b) + 2 : d): the inner ternary sits under an Add. *)
+  check_e "collapses through arithmetic"
+    (Ternary (f0, Const 3, f1))
+    (Ternary (f0, Binop (Add, Ternary (f0, Const 1, Const 9), Const 2), f1))
+
+let test_assume_value_safety () =
+  (* f0 is not 0/1-valued: in a VALUE position of the then-arm it must
+     not become 1, but on the false side it is exactly 0. *)
+  let t = Ternary (f0, f0, Const 5) in
+  Alcotest.check e "truthy value not forced to 1" t (Simplify.expr t);
+  check_e "falsy value is 0" (Ternary (f0, Const 7, Const 0)) (Ternary (f0, Const 7, f0));
+  (* In a truthiness context the then-side substitution is legal; the
+     remaining [1 && f1] cannot drop to [f1] (f1 is not 0/1-valued). *)
+  check_e "truthiness context"
+    (Ternary (f0, Binop (Log_and, Const 1, f1), Const 0))
+    (Ternary (f0, Binop (Log_and, f0, f1), Const 0))
+
+let test_boolean_double_negation () =
+  let cmp = Binop (Eq, f0, Const 1) in
+  check_e "!! of comparison" cmp (Unop (Log_not, Unop (Log_not, cmp)));
+  let raw = Unop (Log_not, Unop (Log_not, f0)) in
+  Alcotest.check e "!! of raw int kept" raw (Simplify.expr raw)
+
+let test_pred_rules () =
+  check_p "x || !x" (Const 1) (Binop (Log_or, f0, Unop (Log_not, f0)));
+  check_p "x || x" f0 (Binop (Log_or, f0, f0));
+  check_p "x && !x" (Const 0) (Binop (Log_and, f0, Unop (Log_not, f0)));
+  check_p "lt || ge" (Const 1)
+    (Binop (Log_or, Binop (Lt, f0, f1), Binop (Ge, f0, f1)));
+  (* Factoring + absorption: (a&&b) || (a&&!b) || !a = 1. *)
+  check_p "guard disjunction collapses" (Const 1)
+    (Binop
+       ( Log_or,
+         Binop (Log_or, Binop (Log_and, f0, f1), Binop (Log_and, f0, Unop (Log_not, f1))),
+         Unop (Log_not, f0) ));
+  check_p "absorption" f0 (Binop (Log_or, f0, Binop (Log_and, f0, f1)))
+
+let test_hash_folding () =
+  let h = Hash [ Const 1; Const 2 ] in
+  (match Simplify.expr h with
+  | Const v ->
+      Alcotest.(check int) "hash of constants folds"
+        (Expr.eval ~fields:[||] ~state:None h)
+        v
+  | _ -> Alcotest.fail "expected folded constant");
+  Alcotest.check e "hash with field kept" (Hash [ f0 ]) (Simplify.expr (Hash [ f0 ]))
+
+let test_guard_simplification_in_atoms () =
+  let atom =
+    Mp5_banzai.Atom.stateful ~reg:0 ~index:(Const 0)
+      ~guard:(Binop (Log_or, f0, Unop (Log_not, f0)))
+      ~update:(Binop (Add, State_val, Const 0))
+      ()
+  in
+  let a = Simplify.stateful atom in
+  Alcotest.(check bool) "tautological guard removed" true (a.Mp5_banzai.Atom.guard = None);
+  Alcotest.check e "update identity removed" State_val (Option.get a.Mp5_banzai.Atom.update);
+  (* Constant-false guards survive: they encode "never accesses". *)
+  let never =
+    Mp5_banzai.Atom.stateful ~reg:0 ~index:(Const 0)
+      ~guard:(Binop (Log_and, f0, Unop (Log_not, f0)))
+      ()
+  in
+  Alcotest.(check bool) "false guard kept" true
+    ((Simplify.stateful never).Mp5_banzai.Atom.guard = Some (Const 0))
+
+let test_fixpoint_terminates () =
+  (* A deliberately gnarly expression: simplification terminates and is
+     idempotent. *)
+  let rec build n = if n = 0 then f0 else Ternary (f1, Binop (Add, build (n - 1), Const 0), build (n - 1)) in
+  let big = build 6 in
+  let once = Simplify.expr big in
+  Alcotest.check e "idempotent" once (Simplify.expr once)
+
+let () =
+  Alcotest.run "simplify"
+    [
+      ( "value rules",
+        [
+          Alcotest.test_case "constant folding" `Quick test_const_folding;
+          Alcotest.test_case "identities" `Quick test_identities;
+          Alcotest.test_case "unsafe identities kept" `Quick test_unsafe_identities_kept;
+          Alcotest.test_case "ternary" `Quick test_ternary;
+          Alcotest.test_case "assume under arithmetic" `Quick test_assume_under_arithmetic;
+          Alcotest.test_case "assume value safety" `Quick test_assume_value_safety;
+          Alcotest.test_case "double negation" `Quick test_boolean_double_negation;
+          Alcotest.test_case "hash folding" `Quick test_hash_folding;
+        ] );
+      ( "predicates and atoms",
+        [
+          Alcotest.test_case "predicate rules" `Quick test_pred_rules;
+          Alcotest.test_case "atom guards" `Quick test_guard_simplification_in_atoms;
+          Alcotest.test_case "fixpoint" `Quick test_fixpoint_terminates;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* Tests for the Banzai atom-template taxonomy: classification of
+   compiled atoms and machine-template feasibility checks. *)
+
+module Expr = Mp5_banzai.Expr
+module Atom = Mp5_banzai.Atom
+module Taxonomy = Mp5_banzai.Taxonomy
+module Capability = Mp5_banzai.Capability
+open Mp5_domino
+
+let check = Alcotest.(check bool)
+
+let tax = Alcotest.testable (fun ppf t -> Format.pp_print_string ppf (Taxonomy.name t)) ( = )
+
+(* Classify the single atom of a one-array program. *)
+let classify_program body =
+  let src =
+    Printf.sprintf
+      "struct Packet { int x; int y; };\nint r[8];\nint s[8];\nvoid func(struct Packet p) { %s }"
+      body
+  in
+  let t = Compile.compile_exn src in
+  let atoms =
+    Array.to_list t.Compile.config.Mp5_banzai.Config.stages
+    |> List.concat_map (fun (st : Mp5_banzai.Config.stage) -> st.Mp5_banzai.Config.atoms)
+    |> List.filter (fun (a : Atom.stateful) -> a.Atom.reg = 0)
+  in
+  match atoms with [ a ] -> Taxonomy.classify a | _ -> Alcotest.fail "expected one atom on r"
+
+let test_read () =
+  Alcotest.check tax "pure read" Taxonomy.Read (classify_program "p.x = r[0];")
+
+let test_write () =
+  Alcotest.check tax "blind write" Taxonomy.Write (classify_program "r[0] = p.x + 1;")
+
+let test_raw () =
+  Alcotest.check tax "counter" Taxonomy.Raw (classify_program "r[0] = r[0] + 1;");
+  Alcotest.check tax "add field" Taxonomy.Raw (classify_program "r[0] = r[0] + p.x;");
+  Alcotest.check tax "subtract" Taxonomy.Raw (classify_program "r[0] = r[0] - p.x;")
+
+let test_praw () =
+  Alcotest.check tax "guarded counter" Taxonomy.Praw
+    (classify_program "if (p.x > 3) { r[0] = r[0] + 1; }");
+  (* Predicates over the state itself stay PRAW (Banzai's predicated
+     atoms compare against the register). *)
+  Alcotest.check tax "state-dependent predicate" Taxonomy.Praw
+    (classify_program "if (r[0] > 5) { r[0] = r[0] + p.x; }")
+
+let test_if_else_raw () =
+  Alcotest.check tax "two-armed update" Taxonomy.If_else_raw
+    (classify_program "if (p.x) { r[0] = r[0] + 1; } else { r[0] = r[0] - 1; }");
+  Alcotest.check tax "reset-or-bump" Taxonomy.If_else_raw
+    (classify_program "if (r[0] > 9) { r[0] = 0; } else { r[0] = r[0] + 1; }")
+
+let test_nested () =
+  Alcotest.check tax "nested predication" Taxonomy.Nested
+    (classify_program
+       "if (p.x) { if (p.y) { r[0] = r[0] + 1; } else { r[0] = r[0] + 2; } } else { r[0] = 0; }")
+
+let test_pairs () =
+  Alcotest.check tax "multiplicative state" Taxonomy.Pairs
+    (classify_program "r[0] = r[0] * 2;");
+  Alcotest.check tax "figure 3 reg3 atom" Taxonomy.Pairs
+    (classify_program "r[0] = (p.x == 1) ? r[0] * p.y : r[0] + p.y;");
+  Alcotest.check tax "state on subtrahend side" Taxonomy.Pairs
+    (classify_program "r[0] = p.x - r[0];")
+
+let test_order_monotone () =
+  let all =
+    [ Taxonomy.Read; Write; Raw; Praw; If_else_raw; Nested; Pairs ]
+  in
+  List.iteri
+    (fun i t -> check "rank is position" true (Taxonomy.order t = i))
+    all;
+  check "pairs subsumes all" true
+    (List.for_all (fun a -> Taxonomy.subsumes ~machine:Taxonomy.Pairs ~atom:a) all);
+  check "raw does not subsume praw" false
+    (Taxonomy.subsumes ~machine:Taxonomy.Raw ~atom:Taxonomy.Praw)
+
+let compile_with_template template src =
+  Compile.compile ~limits:{ Capability.default with Capability.template } src
+
+let counter_src =
+  "struct Packet { int x; };\nint r[4];\nvoid func(struct Packet p) { r[p.x % 4] = r[p.x % 4] + 1; }"
+
+let fig3_src = Mp5_apps.Sources.figure3
+
+let test_machine_template_gates_compilation () =
+  check "counter fits a RAW machine" true
+    (Result.is_ok (compile_with_template Taxonomy.Raw counter_src));
+  check "counter rejected by write-only machine" true
+    (Result.is_error (compile_with_template Taxonomy.Write counter_src));
+  check "figure 3 needs Pairs" true
+    (Result.is_error (compile_with_template Taxonomy.Nested fig3_src));
+  check "figure 3 fits Pairs" true
+    (Result.is_ok (compile_with_template Taxonomy.Pairs fig3_src))
+
+let test_real_apps_templates () =
+  (* Classification of the bundled applications' heaviest atom. *)
+  let heaviest src =
+    let t = Compile.compile_exn src in
+    Array.to_list t.Compile.config.Mp5_banzai.Config.stages
+    |> List.concat_map (fun (st : Mp5_banzai.Config.stage) -> st.Mp5_banzai.Config.atoms)
+    |> List.fold_left
+         (fun acc a -> max acc (Taxonomy.order (Taxonomy.classify a)))
+         0
+  in
+  check "sequencer is RAW-class" true
+    (heaviest Mp5_apps.Sources.sequencer = Taxonomy.order Taxonomy.Raw);
+  check "heavy hitter is RAW-class" true
+    (heaviest Mp5_apps.Sources.heavy_hitter = Taxonomy.order Taxonomy.Raw);
+  check "wfq needs nested or richer" true
+    (heaviest Mp5_apps.Sources.wfq >= Taxonomy.order Taxonomy.If_else_raw);
+  check "every app fits the default machine" true
+    (List.for_all
+       (fun (_, src) -> Result.is_ok (Compile.compile src))
+       Mp5_apps.Sources.all_named)
+
+let () =
+  Alcotest.run "taxonomy"
+    [
+      ( "classification",
+        [
+          Alcotest.test_case "read" `Quick test_read;
+          Alcotest.test_case "write" `Quick test_write;
+          Alcotest.test_case "read-add-write" `Quick test_raw;
+          Alcotest.test_case "predicated RAW" `Quick test_praw;
+          Alcotest.test_case "if-else RAW" `Quick test_if_else_raw;
+          Alcotest.test_case "nested" `Quick test_nested;
+          Alcotest.test_case "pairs" `Quick test_pairs;
+          Alcotest.test_case "ordering" `Quick test_order_monotone;
+        ] );
+      ( "machine templates",
+        [
+          Alcotest.test_case "gates compilation" `Quick test_machine_template_gates_compilation;
+          Alcotest.test_case "real applications" `Quick test_real_apps_templates;
+        ] );
+    ]

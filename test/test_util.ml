@@ -1,0 +1,355 @@
+(* Unit tests for Mp5_util: deterministic RNG, ring buffer, distributions,
+   statistics, hashing. *)
+
+module Rng = Mp5_util.Rng
+module Ring_buffer = Mp5_util.Ring_buffer
+module Dist = Mp5_util.Dist
+module Stats = Mp5_util.Stats
+module Hashing = Mp5_util.Hashing
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  check "different seeds diverge" true (!same < 4)
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    check "in bounds" true (v >= 0 && v < 17)
+  done
+
+let test_rng_uniformity () =
+  let rng = Rng.create 99 in
+  let buckets = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 8 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = n / 8 in
+      check "within 5% of uniform" true (abs (c - expected) < expected / 20))
+    buckets
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 1.0 in
+    check "float in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 5 in
+  let child = Rng.split parent in
+  (* Drawing from the child must not change the parent's future stream
+     relative to a parent that also split. *)
+  let parent' = Rng.create 5 in
+  let _child' = Rng.split parent' in
+  for _ = 1 to 16 do
+    ignore (Rng.int64 child)
+  done;
+  Alcotest.(check int64) "parent unaffected by child draws" (Rng.int64 parent) (Rng.int64 parent')
+
+let test_rng_invalid_bound () =
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int (Rng.create 1) 0))
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 11 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_pick () =
+  let rng = Rng.create 12 in
+  let a = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    check "pick from array" true (Array.mem (Rng.pick rng a) a)
+  done
+
+(* --- Ring buffer --- *)
+
+let test_rb_fifo_order () =
+  let rb = Ring_buffer.create ~capacity:4 in
+  List.iter (fun x -> check "push ok" true (Ring_buffer.push rb x)) [ 1; 2; 3 ];
+  check_int "pop 1" 1 (Option.get (Ring_buffer.pop rb));
+  check_int "pop 2" 2 (Option.get (Ring_buffer.pop rb));
+  check "push after pops" true (Ring_buffer.push rb 4);
+  check_int "pop 3" 3 (Option.get (Ring_buffer.pop rb));
+  check_int "pop 4" 4 (Option.get (Ring_buffer.pop rb));
+  check "empty" true (Ring_buffer.pop rb = None)
+
+let test_rb_full_drop () =
+  let rb = Ring_buffer.create ~capacity:2 in
+  check "push 1" true (Ring_buffer.push rb 1);
+  check "push 2" true (Ring_buffer.push rb 2);
+  check "push 3 dropped" false (Ring_buffer.push rb 3);
+  check_int "length" 2 (Ring_buffer.length rb)
+
+let test_rb_wraparound () =
+  let rb = Ring_buffer.create ~capacity:3 in
+  for round = 0 to 9 do
+    check "push" true (Ring_buffer.push rb round);
+    check_int "pop" round (Option.get (Ring_buffer.pop rb))
+  done
+
+let test_rb_get_set () =
+  let rb = Ring_buffer.create ~capacity:4 in
+  ignore (Ring_buffer.push rb 10);
+  ignore (Ring_buffer.push rb 20);
+  ignore (Ring_buffer.push rb 30);
+  check_int "get 0" 10 (Ring_buffer.get rb 0);
+  check_int "get 2" 30 (Ring_buffer.get rb 2);
+  Ring_buffer.set rb 1 99;
+  check_int "set visible" 99 (Ring_buffer.get rb 1);
+  Alcotest.check_raises "get out of range"
+    (Invalid_argument "Ring_buffer.get: index out of range") (fun () ->
+      ignore (Ring_buffer.get rb 3))
+
+let test_rb_stable_addresses () =
+  let rb = Ring_buffer.create ~capacity:4 in
+  ignore (Ring_buffer.push rb 10);
+  let seq1 = Ring_buffer.head_seq rb + Ring_buffer.length rb in
+  ignore (Ring_buffer.push rb 20);
+  (* seq1 addresses the element 20 even after earlier pops. *)
+  check_int "get_seq before pop" 20 (Option.get (Ring_buffer.get_seq rb seq1));
+  ignore (Ring_buffer.pop rb);
+  check_int "get_seq after pop" 20 (Option.get (Ring_buffer.get_seq rb seq1));
+  check "set_seq" true (Ring_buffer.set_seq rb seq1 25);
+  check_int "set_seq visible" 25 (Option.get (Ring_buffer.get_seq rb seq1));
+  ignore (Ring_buffer.pop rb);
+  check "stale seq" true (Ring_buffer.get_seq rb seq1 = None)
+
+let test_rb_grow () =
+  let rb = Ring_buffer.create ~capacity:2 in
+  ignore (Ring_buffer.push rb 1);
+  ignore (Ring_buffer.push rb 2);
+  let addr2 = Ring_buffer.head_seq rb + 1 in
+  Ring_buffer.grow rb;
+  check_int "capacity doubled" 4 (Ring_buffer.capacity rb);
+  check_int "contents preserved" 2 (Ring_buffer.length rb);
+  check "push after grow" true (Ring_buffer.push rb 3);
+  check_int "stable address survives grow" 2 (Option.get (Ring_buffer.get_seq rb addr2));
+  check_int "order preserved" 1 (Option.get (Ring_buffer.pop rb));
+  check_int "order preserved 2" 2 (Option.get (Ring_buffer.pop rb));
+  check_int "order preserved 3" 3 (Option.get (Ring_buffer.pop rb))
+
+let test_rb_grow_wrapped () =
+  let rb = Ring_buffer.create ~capacity:3 in
+  ignore (Ring_buffer.push rb 1);
+  ignore (Ring_buffer.push rb 2);
+  ignore (Ring_buffer.pop rb);
+  ignore (Ring_buffer.push rb 3);
+  ignore (Ring_buffer.push rb 4);
+  (* physically wrapped now *)
+  Ring_buffer.grow rb;
+  Alcotest.(check (list int)) "wrapped contents preserved" [ 2; 3; 4 ] (Ring_buffer.to_list rb)
+
+let test_rb_iter () =
+  let rb = Ring_buffer.create ~capacity:4 in
+  List.iter (fun x -> ignore (Ring_buffer.push rb x)) [ 5; 6; 7 ];
+  let acc = ref [] in
+  Ring_buffer.iter (fun x -> acc := x :: !acc) rb;
+  Alcotest.(check (list int)) "iter head to tail" [ 5; 6; 7 ] (List.rev !acc)
+
+(* --- Dist --- *)
+
+let test_dist_uniform_support () =
+  let rng = Rng.create 21 in
+  let d = Dist.uniform_discrete 10 in
+  check_int "support" 10 (Dist.support d);
+  for _ = 1 to 1000 do
+    let v = Dist.sample rng d in
+    check "in support" true (v >= 0 && v < 10)
+  done
+
+let test_dist_weights_respected () =
+  let rng = Rng.create 22 in
+  let d = Dist.discrete [| 1.0; 0.0; 3.0 |] in
+  let counts = Array.make 3 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let v = Dist.sample rng d in
+    counts.(v) <- counts.(v) + 1
+  done;
+  check_int "zero-weight value never drawn" 0 counts.(1);
+  let frac0 = float_of_int counts.(0) /. float_of_int n in
+  check "1:3 ratio approximately" true (abs_float (frac0 -. 0.25) < 0.02)
+
+let test_dist_skewed_mass () =
+  let rng = Rng.create 23 in
+  let n = 100 in
+  let d = Dist.skewed ~n ~hot_fraction:0.3 ~hot_mass:0.95 in
+  let hot = ref 0 in
+  let total = 50_000 in
+  for _ = 1 to total do
+    if Dist.sample rng d < 30 then incr hot
+  done;
+  let frac = float_of_int !hot /. float_of_int total in
+  check "95% of mass on hot 30%" true (abs_float (frac -. 0.95) < 0.01)
+
+let test_dist_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Dist.discrete: empty weights") (fun () ->
+      ignore (Dist.discrete [||]));
+  Alcotest.check_raises "zero sum" (Invalid_argument "Dist.discrete: weights sum to zero")
+    (fun () -> ignore (Dist.discrete [| 0.0; 0.0 |]));
+  Alcotest.check_raises "negative" (Invalid_argument "Dist.discrete: negative weight")
+    (fun () -> ignore (Dist.discrete [| 1.0; -1.0 |]))
+
+let test_dist_zipf_monotone () =
+  let rng = Rng.create 24 in
+  let d = Dist.zipf ~n:10 ~alpha:1.2 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 50_000 do
+    let v = Dist.sample rng d in
+    counts.(v) <- counts.(v) + 1
+  done;
+  check "rank 0 most popular" true (counts.(0) > counts.(3));
+  check "heavier than tail" true (counts.(0) > 4 * counts.(9))
+
+let test_empirical_interpolation () =
+  let e = Dist.empirical [| (10.0, 0.5); (20.0, 1.0) |] in
+  let rng = Rng.create 25 in
+  for _ = 1 to 1000 do
+    let v = Dist.sample_empirical rng e in
+    check "within knot range" true (v >= 10.0 -. 1e-9 && v <= 20.0 +. 1e-9)
+  done;
+  (* first knot is a point mass at 10 (mass 0.5); the second piece ramps
+     10..20: mean = 0.5*10 + 0.5*15 = 12.5 *)
+  check "mean" true (abs_float (Dist.mean_empirical e -. 12.5) < 1e-9)
+
+let test_empirical_validation () =
+  Alcotest.check_raises "cdf must end at 1"
+    (Invalid_argument "Dist.empirical: last cdf must be 1.0") (fun () ->
+      ignore (Dist.empirical [| (5.0, 0.9) |]))
+
+let test_bimodal () =
+  let rng = Rng.create 26 in
+  let b = Dist.bimodal ~lo:200 ~hi:1400 ~lo_prob:0.5 in
+  for _ = 1 to 100 do
+    let v = Dist.sample_bimodal rng b in
+    check "one of the modes" true (v = 200 || v = 1400)
+  done;
+  check "mean" true (abs_float (Dist.mean_bimodal b -. 800.0) < 1e-9)
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check "mean" true (abs_float (Stats.mean xs -. 2.5) < 1e-9);
+  let lo, hi = Stats.min_max xs in
+  check "min" true (lo = 1.0);
+  check "max" true (hi = 4.0)
+
+let test_stats_percentile () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  check "p0" true (Stats.percentile xs 0.0 = 1.0);
+  check "p100" true (Stats.percentile xs 100.0 = 4.0);
+  check "p50 interpolated" true (abs_float (Stats.percentile xs 50.0 -. 2.5) < 1e-9)
+
+let test_stats_stddev () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  (* classic example: population sd 2; sample sd = sqrt(32/7) *)
+  check "sample stddev" true (abs_float (Stats.stddev xs -. sqrt (32.0 /. 7.0)) < 1e-9)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0 |] in
+  check_int "n" 3 s.Stats.n;
+  check "p50" true (s.Stats.p50 = 2.0)
+
+let test_stats_counter () =
+  let c = Stats.counter () in
+  Stats.add c 3.0;
+  Stats.add c 5.0;
+  Stats.add c 1.0;
+  check_int "count" 3 (Stats.count c);
+  check "total" true (Stats.total c = 9.0);
+  check "max" true (Stats.maximum c = 5.0)
+
+(* --- Hashing --- *)
+
+let test_hash_deterministic () =
+  check "fnv stable" true (Hashing.fnv1a [ 1; 2; 3 ] = Hashing.fnv1a [ 1; 2; 3 ]);
+  check "order sensitive" true (Hashing.fnv1a [ 1; 2 ] <> Hashing.fnv1a [ 2; 1 ]);
+  check "non-negative" true (Hashing.fnv1a [ max_int; min_int ] >= 0)
+
+let test_hash_seeded () =
+  check "seeds differ" true
+    (Hashing.fnv1a_seeded ~seed:1 [ 7 ] <> Hashing.fnv1a_seeded ~seed:2 [ 7 ]);
+  check "seed 0 matches unseeded" true (Hashing.fnv1a_seeded ~seed:0 [ 7 ] = Hashing.fnv1a [ 7 ])
+
+let test_crc32_known () =
+  (* CRC-32 of 8 zero bytes. *)
+  check_int "crc of zero" 0x6522DF69 (Hashing.crc32 [ 0 ]);
+  check "crc fits 32 bits" true (Hashing.crc32 [ 123456789 ] land lnot 0xFFFFFFFF = 0)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "invalid bound" `Quick test_rng_invalid_bound;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+        ] );
+      ( "ring-buffer",
+        [
+          Alcotest.test_case "fifo order" `Quick test_rb_fifo_order;
+          Alcotest.test_case "full drops" `Quick test_rb_full_drop;
+          Alcotest.test_case "wraparound" `Quick test_rb_wraparound;
+          Alcotest.test_case "get/set" `Quick test_rb_get_set;
+          Alcotest.test_case "stable addresses" `Quick test_rb_stable_addresses;
+          Alcotest.test_case "grow" `Quick test_rb_grow;
+          Alcotest.test_case "grow when wrapped" `Quick test_rb_grow_wrapped;
+          Alcotest.test_case "iter" `Quick test_rb_iter;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "uniform support" `Quick test_dist_uniform_support;
+          Alcotest.test_case "weights respected" `Quick test_dist_weights_respected;
+          Alcotest.test_case "skewed mass" `Quick test_dist_skewed_mass;
+          Alcotest.test_case "invalid inputs" `Quick test_dist_invalid;
+          Alcotest.test_case "zipf monotone" `Quick test_dist_zipf_monotone;
+          Alcotest.test_case "empirical interpolation" `Quick test_empirical_interpolation;
+          Alcotest.test_case "empirical validation" `Quick test_empirical_validation;
+          Alcotest.test_case "bimodal" `Quick test_bimodal;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/min/max" `Quick test_stats_basic;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "counter" `Quick test_stats_counter;
+        ] );
+      ( "hashing",
+        [
+          Alcotest.test_case "deterministic" `Quick test_hash_deterministic;
+          Alcotest.test_case "seeded" `Quick test_hash_seeded;
+          Alcotest.test_case "crc32" `Quick test_crc32_known;
+        ] );
+    ]

@@ -1,0 +1,228 @@
+(* Tests for workload generation: arrival processes, access patterns,
+   flow-level traffic, the web-search distribution. *)
+
+module Tracegen = Mp5_workload.Tracegen
+module Websearch = Mp5_workload.Websearch
+module Machine = Mp5_banzai.Machine
+module Rng = Mp5_util.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let spec ?(n = 4000) ?(k = 4) ?(bytes = 64) ?(reg = 512) ?(pattern = Tracegen.Uniform) () =
+  {
+    Tracegen.n_packets = n;
+    k;
+    pkt_bytes = bytes;
+    n_fields = 3;
+    index_fields = [ 0; 1 ];
+    reg_size = reg;
+    pattern;
+    n_ports = 64;
+    seed = 9;
+  }
+
+let test_line_rate_64b () =
+  (* 64-byte packets at line rate: exactly k arrivals per cycle. *)
+  let trace = Tracegen.sensitivity (spec ()) in
+  let by_time = Hashtbl.create 64 in
+  Array.iter
+    (fun i ->
+      let c = try Hashtbl.find by_time i.Machine.time with Not_found -> 0 in
+      Hashtbl.replace by_time i.Machine.time (c + 1))
+    trace;
+  Hashtbl.iter (fun _ c -> check_int "k per cycle" 4 c) by_time
+
+let test_larger_packets_slower () =
+  let t64 = Tracegen.sensitivity (spec ~bytes:64 ()) in
+  let t512 = Tracegen.sensitivity (spec ~bytes:512 ()) in
+  let span t = t.(Array.length t - 1).Machine.time - t.(0).Machine.time in
+  check "8x packets stretch 8x" true (span t512 >= 7 * span t64)
+
+let test_times_monotone () =
+  let trace = Tracegen.sensitivity (spec ~bytes:200 ()) in
+  let ok = ref true in
+  Array.iteri
+    (fun i p -> if i > 0 && p.Machine.time < trace.(i - 1).Machine.time then ok := false)
+    trace;
+  check "non-decreasing times" true !ok
+
+let test_index_fields_in_range () =
+  let trace = Tracegen.sensitivity (spec ~reg:32 ~pattern:Tracegen.Skewed ()) in
+  Array.iter
+    (fun p ->
+      check "field 0 in range" true (p.Machine.headers.(0) >= 0 && p.Machine.headers.(0) < 32);
+      check "field 1 in range" true (p.Machine.headers.(1) >= 0 && p.Machine.headers.(1) < 32))
+    trace
+
+let test_skew_concentration () =
+  let trace = Tracegen.sensitivity (spec ~n:20000 ~reg:100 ~pattern:Tracegen.Skewed ()) in
+  let hot = Array.fold_left (fun acc p -> if p.Machine.headers.(0) < 30 then acc + 1 else acc) 0 trace in
+  let frac = float_of_int hot /. 20000.0 in
+  check "95/30 skew" true (abs_float (frac -. 0.95) < 0.02)
+
+let test_rotating_skew_moves () =
+  let trace =
+    Tracegen.sensitivity (spec ~n:20000 ~reg:100 ~pattern:(Tracegen.Skewed_rotating 5000) ())
+  in
+  (* The modal region of the first and last windows must differ. *)
+  let window lo hi =
+    let counts = Array.make 100 0 in
+    for i = lo to hi - 1 do
+      let v = trace.(i).Machine.headers.(0) in
+      counts.(v) <- counts.(v) + 1
+    done;
+    counts
+  in
+  let first = window 0 5000 and last = window 15000 20000 in
+  let top c =
+    let best = ref 0 in
+    Array.iteri (fun i v -> if v > c.(!best) then best := i) c;
+    !best
+  in
+  check "hot region moved" true (top first <> top last)
+
+let test_bursty_uniform_long_run () =
+  let trace =
+    Tracegen.sensitivity (spec ~n:40000 ~reg:50 ~pattern:(Tracegen.Uniform_bursty 2000) ())
+  in
+  (* Long-run roughly uniform: every cell touched. *)
+  let counts = Array.make 50 0 in
+  Array.iter (fun p -> counts.(p.Machine.headers.(0)) <- counts.(p.Machine.headers.(0)) + 1) trace;
+  check "all cells touched" true (Array.for_all (fun c -> c > 0) counts);
+  (* Short-run bursty: one window concentrates. *)
+  let w = Array.make 50 0 in
+  for i = 0 to 1999 do
+    w.(trace.(i).Machine.headers.(0)) <- w.(trace.(i).Machine.headers.(0)) + 1
+  done;
+  let top5 = Array.to_list w |> List.sort (fun a b -> compare b a) |> fun l -> List.filteri (fun i _ -> i < 5) l in
+  check "window concentrated" true (List.fold_left ( + ) 0 top5 > 2000 * 6 / 10)
+
+let test_flows_structure () =
+  let pkts = Tracegen.flows ~seed:4 ~n_packets:5000 ~k:4 ~concurrency:16 () in
+  check_int "count" 5000 (Array.length pkts);
+  (* Per-flow seqnos are 0,1,2,... in arrival order. *)
+  let next = Hashtbl.create 64 in
+  Array.iter
+    (fun (p : Tracegen.flow_packet) ->
+      let expect = try Hashtbl.find next p.Tracegen.flow with Not_found -> 0 in
+      check_int "seqno contiguous" expect p.Tracegen.seqno;
+      Hashtbl.replace next p.Tracegen.flow (expect + 1))
+    pkts;
+  (* 5-tuple constant within a flow. *)
+  let tuple = Hashtbl.create 64 in
+  Array.iter
+    (fun (p : Tracegen.flow_packet) ->
+      let t = (p.Tracegen.src, p.Tracegen.dst, p.Tracegen.sport, p.Tracegen.dport) in
+      match Hashtbl.find_opt tuple p.Tracegen.flow with
+      | None -> Hashtbl.add tuple p.Tracegen.flow t
+      | Some t' -> check "tuple stable" true (t = t'))
+    pkts
+
+let test_flows_bimodal_sizes () =
+  let pkts = Tracegen.flows ~seed:5 ~n_packets:2000 ~k:4 ~concurrency:16 () in
+  Array.iter
+    (fun (p : Tracegen.flow_packet) ->
+      check "mode size" true (p.Tracegen.bytes = 200 || p.Tracegen.bytes = 1400))
+    pkts
+
+let test_flows_arrival_rate () =
+  let pkts = Tracegen.flows ~seed:6 ~n_packets:2000 ~k:4 ~concurrency:16 () in
+  let total_bytes = Array.fold_left (fun acc p -> acc + p.Tracegen.bytes) 0 pkts in
+  let span = pkts.(1999).Tracegen.time - pkts.(0).Tracegen.time in
+  (* line rate: 64 * k bytes per cycle *)
+  let expected = total_bytes / (64 * 4) in
+  check "byte-rate paced" true (abs (span - expected) < expected / 10)
+
+let test_headers_of_flows () =
+  let pkts = Tracegen.flows ~seed:7 ~n_packets:100 ~k:2 ~concurrency:16 () in
+  let trace = Tracegen.headers_of_flows pkts ~fill:(fun p -> [| p.Tracegen.flow |]) in
+  Array.iteri
+    (fun i input ->
+      check_int "time copied" pkts.(i).Tracegen.time input.Machine.time;
+      check_int "header filled" pkts.(i).Tracegen.flow input.Machine.headers.(0))
+    trace
+
+let test_datamining () =
+  let module D = Mp5_workload.Datamining in
+  check "heavier tail than web search" true
+    (D.mean_flow_size () > Websearch.mean_flow_size ());
+  let rng = Rng.create 9 in
+  let small = ref 0 in
+  for _ = 1 to 2000 do
+    let s = D.sample_flow_size rng in
+    check "positive and bounded" true (s > 0 && s <= 1_000_000_000);
+    if s <= 2000 then incr small
+  done;
+  (* ~70% of flows are at most 2 KB. *)
+  check "mostly tiny flows" true
+    (abs_float ((float_of_int !small /. 2000.0) -. 0.70) < 0.05);
+  check "at least one packet" true (D.sample_flow_packets rng ~mean_pkt_bytes:800.0 >= 1)
+
+let test_websearch () =
+  check "mean in published ballpark" true
+    (let m = Websearch.mean_flow_size () in
+     m > 1_000_000.0 && m < 3_000_000.0);
+  let rng = Rng.create 8 in
+  for _ = 1 to 1000 do
+    let s = Websearch.sample_flow_size rng in
+    check "positive and bounded" true (s > 0 && s <= 20_000_000)
+  done;
+  let p = Websearch.sample_flow_packets rng ~mean_pkt_bytes:800.0 in
+  check "at least one packet" true (p >= 1)
+
+let test_trace_io_roundtrip () =
+  let pkts = Tracegen.flows ~seed:9 ~n_packets:200 ~k:2 ~concurrency:8 () in
+  let trace = Tracegen.headers_of_flows pkts ~fill:(fun p -> [| p.Tracegen.src; p.Tracegen.bytes |]) in
+  match Mp5_workload.Trace_io.of_string (Mp5_workload.Trace_io.to_string trace) with
+  | Error e -> Alcotest.fail e
+  | Ok back ->
+      check_int "length" (Array.length trace) (Array.length back);
+      Array.iteri
+        (fun i p ->
+          check_int "time" trace.(i).Machine.time p.Machine.time;
+          check_int "port" trace.(i).Machine.port p.Machine.port;
+          check "headers" true (trace.(i).Machine.headers = p.Machine.headers))
+        back
+
+let test_trace_io_parsing () =
+  (match Mp5_workload.Trace_io.of_string "# comment\n0 1 5 6\n\n1 0 7 8\n" with
+  | Ok t ->
+      check_int "two packets" 2 (Array.length t);
+      check_int "field" 6 t.(0).Machine.headers.(1)
+  | Error e -> Alcotest.fail e);
+  (match Mp5_workload.Trace_io.of_string "0 1 5\n0 1 5 6\n" with
+  | Error e -> check "arity error mentions line" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "expected arity error");
+  match Mp5_workload.Trace_io.of_string "0 x 5\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected integer error"
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "sensitivity traces",
+        [
+          Alcotest.test_case "line rate 64B" `Quick test_line_rate_64b;
+          Alcotest.test_case "larger packets slower" `Quick test_larger_packets_slower;
+          Alcotest.test_case "monotone times" `Quick test_times_monotone;
+          Alcotest.test_case "indices in range" `Quick test_index_fields_in_range;
+          Alcotest.test_case "skew concentration" `Quick test_skew_concentration;
+          Alcotest.test_case "rotating skew" `Quick test_rotating_skew_moves;
+          Alcotest.test_case "bursty uniform" `Quick test_bursty_uniform_long_run;
+        ] );
+      ( "flows",
+        [
+          Alcotest.test_case "structure" `Quick test_flows_structure;
+          Alcotest.test_case "bimodal sizes" `Quick test_flows_bimodal_sizes;
+          Alcotest.test_case "arrival pacing" `Quick test_flows_arrival_rate;
+          Alcotest.test_case "headers adapter" `Quick test_headers_of_flows;
+          Alcotest.test_case "web-search distribution" `Quick test_websearch;
+          Alcotest.test_case "data-mining distribution" `Quick test_datamining;
+        ] );
+      ( "trace-io",
+        [
+          Alcotest.test_case "round trip" `Quick test_trace_io_roundtrip;
+          Alcotest.test_case "parsing" `Quick test_trace_io_parsing;
+        ] );
+    ]
