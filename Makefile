@@ -1,0 +1,24 @@
+.PHONY: all build test bench bench-smoke perf clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Tiny CI-sized subset: two domains exercise the parallel runner, the
+# smoke scale keeps it under a minute on one core.
+bench-smoke:
+	dune exec bench/main.exe -- --smoke --jobs 2 --json BENCH_results.json \
+	  d2 d3 fig7a ablate-fifo ablate-gate
+
+bench:
+	dune exec bench/main.exe
+
+perf:
+	dune exec bench/main.exe -- perf
+
+clean:
+	dune clean

@@ -11,11 +11,38 @@ module Tracegen = Mp5_workload.Tracegen
 module Sources = Mp5_apps.Sources
 module Traces = Mp5_apps.Traces
 module Stats = Mp5_util.Stats
+module Pool = Mp5_util.Pool
 
 type scale = { n_packets : int; runs : int }
 
+let smoke = { n_packets = 1_500; runs = 2 }
 let quick = { n_packets = 10_000; runs = 3 }
 let full = { n_packets = 60_000; runs = 10 }
+
+(* --- domain-parallel execution ---
+
+   Every sample below is an independent [Sim.run] with its own explicit
+   seed, so samples can execute on any domain in any order: the pool's
+   order-preserving maps make [--jobs N] output identical to [--jobs 1].
+   Parallelism is applied at exactly one level per experiment (never
+   nested): the per-run arrays, or the per-point sweeps whose inner
+   [averaged] stays sequential. *)
+
+let pool : Pool.t option ref = ref None
+
+let set_jobs n =
+  (match !pool with Some p -> Pool.shutdown p | None -> ());
+  pool := (if n <= 1 then None else Some (Pool.create ~jobs:n))
+
+let jobs () = match !pool with None -> 1 | Some p -> Pool.size p
+
+(* Parallel [Array.init]. *)
+let par_init n f =
+  match !pool with None -> Array.init n f | Some p -> Pool.init p n f
+
+(* Parallel [List.map]. *)
+let par_map f xs =
+  match !pool with None -> List.map f xs | Some p -> Pool.map_list p f xs
 
 (* §4.3.1 defaults: 64-port switch, 4 pipelines, 4 stateful stages,
    512-entry registers, 64 B packets, remap every 100 cycles. *)
@@ -78,11 +105,18 @@ let sweep scale xs setup_of =
      stages, 4096 entries, 16 pipelines) make larger sweeps needlessly
      slow. *)
   let scale = { n_packets = min scale.n_packets 40_000; runs = min scale.runs 5 } in
-  List.map
-    (fun x ->
-      let setup = setup_of x in
-      { x; mp5 = averaged scale setup Sim.Mp5; ideal = averaged scale setup Sim.Ideal })
-    xs
+  (* One parallel task per (point, mode): finer grain than whole points,
+     so a heavy tail point (k=16, 4096 entries...) does not serialise the
+     sweep. *)
+  let tasks = List.concat_map (fun x -> [ (x, Sim.Mp5); (x, Sim.Ideal) ]) xs in
+  let vals = par_map (fun (x, mode) -> averaged scale (setup_of x) mode) tasks in
+  let rec combine xs vals =
+    match (xs, vals) with
+    | [], [] -> []
+    | x :: xs, mp5 :: ideal :: vals -> { x; mp5; ideal } :: combine xs vals
+    | _ -> assert false
+  in
+  combine xs vals
 
 let fig7a scale =
   sweep scale [ 1; 2; 4; 8; 16 ] (fun k -> { default_setup with k })
@@ -113,7 +147,7 @@ let fig7d scale =
 let d2 scale =
   let one patterns =
     let sw = switch_for default_setup in
-    Array.init scale.runs (fun i ->
+    par_init scale.runs (fun i ->
         let pattern = List.nth patterns (i mod List.length patterns) in
         let setup = { default_setup with pattern } in
         let trace = trace_for setup ~n:scale.n_packets ~seed:(200 + i) in
@@ -166,7 +200,7 @@ let d4 scale =
         let r = Recirc.run ~k:setup.k ~shard_seed:(500 + i) ~sharding:`Cell sw.Switch.prog trace in
         violations r.Recirc.access_seqs r.Recirc.headers_out r.Recirc.store r.Recirc.exit_order
   in
-  let fractions mode = Array.init scale.runs (fun i -> run_mode i mode) in
+  let fractions mode = par_init scale.runs (fun i -> run_mode i mode) in
   (fractions (`Sim Sim.Mp5), fractions (`Sim Sim.No_d4), fractions `Recirc)
 
 (* D3: throughput of re-circulation versus MP5 (and versus the naive
@@ -181,7 +215,7 @@ let d3 scale =
     Switch.create_exn ~pad_to_stages:16
       (Sources.sensitivity_program_guarded ~stateful:setup.stateful ~reg_size:setup.reg_size)
   in
-  Array.init scale.runs (fun i ->
+  par_init scale.runs (fun i ->
       let guarded = i mod 2 = 1 in
       let sw = if guarded then sw_guarded else sw_all in
       let n_fields = if guarded then (2 * setup.stateful) + 2 else setup.stateful + 2 in
@@ -218,7 +252,7 @@ let fig8_apps = [ "flowlet"; "conga"; "wfq"; "sequencer" ]
 
 let fig8_one scale name =
   let sw = Switch.create_exn (List.assoc name Sources.all_named) in
-  List.map
+  par_map
     (fun k ->
       let samples =
         Array.init (max 1 (scale.runs / 2)) (fun i ->
@@ -257,7 +291,7 @@ let ablate_priority scale =
     Switch.create_exn ~pad_to_stages:16
       (Sources.sensitivity_program_guarded ~stateful:setup.stateful ~reg_size:setup.reg_size)
   in
-  Array.init scale.runs (fun i ->
+  par_init scale.runs (fun i ->
       let trace =
         Tracegen.sensitivity
           {
@@ -289,7 +323,7 @@ let ablate_priority scale =
 let ablate_gate scale =
   let setup = { default_setup with reg_size = 64 } in
   let sw = switch_for setup in
-  Array.init scale.runs (fun i ->
+  par_init scale.runs (fun i ->
       let trace = trace_for setup ~n:scale.n_packets ~seed:(950 + i) in
       let gated = throughput setup sw trace in
       let params =
@@ -302,7 +336,7 @@ let ablate_gate scale =
 let ablate_period scale =
   let setup = { default_setup with pattern = Tracegen.Skewed } in
   let sw = switch_for setup in
-  List.map
+  par_map
     (fun period ->
       let samples =
         Array.init scale.runs (fun i ->
@@ -323,7 +357,7 @@ let ablate_period scale =
 let ablate_fifo scale =
   let setup = default_setup in
   let sw = switch_for setup in
-  List.map
+  par_map
     (fun capacity ->
       let trace = trace_for setup ~n:scale.n_packets ~seed:1200 in
       let params =

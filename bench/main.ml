@@ -2,8 +2,14 @@
 
      dune exec bench/main.exe            # everything, reduced scale
      dune exec bench/main.exe -- --full  # paper-scale packet counts
-     dune exec bench/main.exe -- fig7a d2 table1   # selected experiments
-     dune exec bench/main.exe -- perf    # Bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- --smoke # tiny scale, for CI smoke runs
+     dune exec bench/main.exe -- --jobs 4 fig7a   # domain-parallel runner
+     dune exec bench/main.exe -- fig7a d2 table1  # selected experiments
+     dune exec bench/main.exe -- perf    # Bechamel micro-benchmarks
+
+   Besides the human-readable report, every run writes BENCH_results.json
+   (override the path with --json PATH): wall-clock seconds per experiment
+   plus the numeric series, for regression tracking across commits. *)
 
 module Stats = Mp5_util.Stats
 
@@ -27,6 +33,18 @@ let pct_range xs =
   let lo, hi = Stats.min_max xs in
   Printf.sprintf "%.1f%%-%.1f%%" (100. *. lo) (100. *. hi)
 
+(* Each runner returns its numeric series as (key, value) pairs for the
+   JSON report; printing stays exactly as before. *)
+
+let indexed prefix xs =
+  Array.to_list (Array.mapi (fun i v -> (Printf.sprintf "%s/%d" prefix i, v)) xs)
+
+let series_metrics series =
+  List.concat_map
+    (fun (p : Experiments.series_point) ->
+      [ (Printf.sprintf "mp5/%d" p.x, p.mp5); (Printf.sprintf "ideal/%d" p.x, p.ideal) ])
+    series
+
 let run_table1 () =
   Mp5_asic.Table1.print Format.std_formatter;
   Format.printf
@@ -35,7 +53,8 @@ let run_table1 () =
   let a = Mp5_asic.Model.area (Mp5_asic.Model.paper_config ~k:4 ~stages:16) in
   let lo, hi = Mp5_asic.Model.switch_fraction a in
   Format.printf "measured: k=4, s=16 -> %.2fmm2 = %.1f%%-%.1f%% of a switch ASIC@."
-    a.Mp5_asic.Model.total_mm2 (100. *. lo) (100. *. hi)
+    a.Mp5_asic.Model.total_mm2 (100. *. lo) (100. *. hi);
+  [ ("area_mm2", a.Mp5_asic.Model.total_mm2) ]
 
 let run_sram () =
   let s = Mp5_asic.Model.sram ~stateful_stages:10 ~entries_per_stage:1000 in
@@ -44,21 +63,24 @@ let run_sram () =
     s.Mp5_asic.Model.bits_per_index;
   Format.printf "  10 stateful stages x 1000 entries -> %.1f KB per pipeline@."
     s.Mp5_asic.Model.total_kb;
-  Format.printf "  paper: ~35 KB per pipeline, nominal next to 50-100 MB of switch SRAM@."
+  Format.printf "  paper: ~35 KB per pipeline, nominal next to 50-100 MB of switch SRAM@.";
+  [ ("kb_per_pipeline", s.Mp5_asic.Model.total_kb) ]
 
 let run_d2 scale =
   let skewed, uniform = Experiments.d2 scale in
   Format.printf "@.D2 microbenchmark: dynamic vs static sharding (throughput ratio, %d runs)@."
     (Array.length skewed);
   Format.printf "  skewed access pattern:  %s   (paper: 1.1x-3.3x)@." (range skewed);
-  Format.printf "  uniform access pattern: %s   (paper: 1.0x-1.5x)@." (range uniform)
+  Format.printf "  uniform access pattern: %s   (paper: 1.0x-1.5x)@." (range uniform);
+  indexed "skewed" skewed @ indexed "uniform" uniform
 
 let run_d4 scale =
   let mp5, nod4, recirc = Experiments.d4 scale in
   Format.printf "@.D4 microbenchmark: packets violating C1 (%d runs)@." (Array.length mp5);
   Format.printf "  MP5 (with D4):        %s   (paper: 0%%)@." (pct_range mp5);
   Format.printf "  without D4:           %s   (paper: 14%%-26%%)@." (pct_range nod4);
-  Format.printf "  re-circulation:       %s   (paper: 18%%-31%%)@." (pct_range recirc)
+  Format.printf "  re-circulation:       %s   (paper: 18%%-31%%)@." (pct_range recirc);
+  indexed "mp5" mp5 @ indexed "no_d4" nod4 @ indexed "recirc" recirc
 
 let run_d3 scale =
   let rows = Experiments.d3 scale in
@@ -75,10 +97,14 @@ let run_d3 scale =
         "  run %2d: mp5 %.3f  recirc %.3f (%.2f recirc/pkt)  naive-single %.3f%s@." i mp5 rc
         avg_recirc naive
         (if rc < naive then "   <- worse than naive (recirc/pkt ~ k)" else ""))
-    rows
+    rows;
+  indexed "mp5" (Array.map (fun (m, _, _, _) -> m) rows)
+  @ indexed "recirc" (Array.map (fun (_, r, _, _) -> r) rows)
+  @ indexed "naive" (Array.map (fun (_, _, _, n) -> n) rows)
 
 let run_fig8 scale =
   Format.printf "@.Figure 8: real applications (bimodal 200/1400B packets, web-search flows)@.";
+  let apps = Experiments.fig8 scale in
   List.iter
     (fun (name, points) ->
       Format.printf "  %-10s" name;
@@ -89,9 +115,16 @@ let run_fig8 scale =
             (if p.ap_equiv then "" else " NOT-EQUIV"))
         points;
       Format.printf "@.")
-    (Experiments.fig8 scale);
+    apps;
   Format.printf "  paper: line rate for every app at every pipeline count;@.";
-  Format.printf "  max queued packets: flowlet 11, CONGA 8, WFQ 7, sequencer 7.@."
+  Format.printf "  max queued packets: flowlet 11, CONGA 8, WFQ 7, sequencer 7.@.";
+  List.concat_map
+    (fun (name, points) ->
+      List.map
+        (fun (p : Experiments.app_point) ->
+          (Printf.sprintf "%s/k=%d" name p.ap_k, p.ap_thr))
+        points)
+    apps
 
 let run_ablate_priority scale =
   let rows = Experiments.ablate_priority scale in
@@ -101,7 +134,9 @@ let run_ablate_priority scale =
       Format.printf
         "  run %2d: priority on thr %.3f p50-latency %4.0f   |   off thr %.3f p50-latency %4.0f@."
         i thr_on lat_on thr_off lat_off)
-    rows
+    rows;
+  indexed "on_thr" (Array.map (fun ((t, _), _) -> t) rows)
+  @ indexed "off_thr" (Array.map (fun (_, (t, _)) -> t) rows)
 
 let run_ablate_gate scale =
   let rows = Experiments.ablate_gate scale in
@@ -110,38 +145,91 @@ let run_ablate_gate scale =
     (fun i (gated, verbatim) ->
       Format.printf "  run %2d: gated %.3f   verbatim %.3f@." i gated verbatim)
     rows;
-  Format.printf "  the verbatim heuristic chases sampling noise on balanced workloads@."
+  Format.printf "  the verbatim heuristic chases sampling noise on balanced workloads@.";
+  indexed "gated" (Array.map fst rows) @ indexed "verbatim" (Array.map snd rows)
 
 let run_ablate_period scale =
   Format.printf "@.Ablation: remap period (skewed pattern, random initial placement)@.";
+  let rows = Experiments.ablate_period scale in
   List.iter
     (fun (period, thr) ->
       Format.printf "  every %5d cycles: %.3f%s@." period thr
         (if period = 0 then " (never)" else if period = 100 then " (paper default)" else ""))
-    (Experiments.ablate_period scale)
+    rows;
+  List.map (fun (period, thr) -> (Printf.sprintf "period=%d" period, thr)) rows
 
 let run_ablate_fifo scale =
   Format.printf "@.Ablation: finite FIFO capacity (tail drops, no adaptation)@.";
+  let rows = Experiments.ablate_fifo scale in
   List.iter
     (fun (cap, dropped, thr) ->
       Format.printf "  capacity %3d: dropped %6d  throughput %.3f%s@." cap dropped thr
         (if cap = 8 then " (paper's size)" else ""))
-    (Experiments.ablate_fifo scale)
+    rows;
+  List.concat_map
+    (fun (cap, dropped, thr) ->
+      [ (Printf.sprintf "cap=%d/throughput" cap, thr);
+        (Printf.sprintf "cap=%d/dropped" cap, float_of_int dropped) ])
+    rows
 
 let run_fig7 scale which =
-  match which with
-  | `A ->
-      print_series "Figure 7a: throughput vs number of pipelines" "pipelines"
-        (Experiments.fig7a scale)
-  | `B ->
-      print_series "Figure 7b: throughput vs stateful stages" "stateful"
-        (Experiments.fig7b scale)
-  | `C ->
-      print_series "Figure 7c: throughput vs register size" "entries"
-        (Experiments.fig7c scale)
-  | `D ->
-      print_series "Figure 7d: throughput vs packet size" "bytes"
-        (Experiments.fig7d scale)
+  let title, xlabel, series =
+    match which with
+    | `A ->
+        ("Figure 7a: throughput vs number of pipelines", "pipelines", Experiments.fig7a scale)
+    | `B -> ("Figure 7b: throughput vs stateful stages", "stateful", Experiments.fig7b scale)
+    | `C -> ("Figure 7c: throughput vs register size", "entries", Experiments.fig7c scale)
+    | `D -> ("Figure 7d: throughput vs packet size", "bytes", Experiments.fig7d scale)
+  in
+  print_series title xlabel series;
+  series_metrics series
+
+(* --- machine-readable report --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Plain [%g]-style floats are valid JSON except for the special values. *)
+let json_float v =
+  if Float.is_nan v then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+let write_json path ~scale ~jobs results =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"generated\": \"%s\",\n"
+    (let t = Unix.gmtime (Unix.time ()) in
+     Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+       (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec);
+  out "  \"scale\": { \"n_packets\": %d, \"runs\": %d },\n" scale.Experiments.n_packets
+    scale.Experiments.runs;
+  out "  \"jobs\": %d,\n" jobs;
+  out "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, seconds, metrics) ->
+      out "    { \"name\": \"%s\", \"seconds\": %s, \"series\": {" (json_escape name)
+        (json_float seconds);
+      List.iteri
+        (fun j (k, v) ->
+          out "%s\"%s\": %s" (if j = 0 then " " else ", ") (json_escape k) (json_float v))
+        metrics;
+      out " } }%s\n" (if i = List.length results - 1 then "" else ",")
+    )
+    results;
+  out "  ]\n}\n";
+  close_out oc
 
 let all =
   [ "table1"; "sram"; "d2"; "d3"; "d4"; "fig7a"; "fig7b"; "fig7c"; "fig7d"; "fig8";
@@ -149,32 +237,80 @@ let all =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (* --jobs N and --json PATH take a value; strip both before the
+     experiment-name filter. *)
+  let jobs = ref 1 in
+  let json_path = ref "BENCH_results.json" in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse acc rest
+        | _ ->
+            Format.eprintf "--jobs expects a positive integer, got %S@." n;
+            exit 2)
+    | "--json" :: path :: rest ->
+        json_path := path;
+        parse acc rest
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] args in
   let full = List.mem "--full" args in
-  let scale = if full then Experiments.full else Experiments.quick in
+  let smoke = List.mem "--smoke" args in
+  let scale =
+    if full then Experiments.full
+    else if smoke then Experiments.smoke
+    else Experiments.quick
+  in
+  Experiments.set_jobs !jobs;
   let wanted = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
   let wanted = if wanted = [] then all else wanted in
   if not full then
-    Format.printf "(reduced scale: %d packets, %d runs per point; pass --full for paper scale)@."
+    Format.printf "(%s scale: %d packets, %d runs per point; pass --full for paper scale)@."
+      (if smoke then "smoke" else "reduced")
       scale.Experiments.n_packets scale.Experiments.runs;
+  if !jobs > 1 then Format.printf "(running with %d domains)@." (Experiments.jobs ());
+  let results = ref [] in
   List.iter
     (fun name ->
-      match name with
-      | "table1" -> run_table1 ()
-      | "sram" -> run_sram ()
-      | "d2" -> run_d2 scale
-      | "d3" -> run_d3 scale
-      | "d4" -> run_d4 scale
-      | "fig7a" -> run_fig7 scale `A
-      | "fig7b" -> run_fig7 scale `B
-      | "fig7c" -> run_fig7 scale `C
-      | "fig7d" -> run_fig7 scale `D
-      | "fig8" -> run_fig8 scale
-      | "ablate-priority" -> run_ablate_priority scale
-      | "ablate-period" -> run_ablate_period scale
-      | "ablate-fifo" -> run_ablate_fifo scale
-      | "ablate-gate" -> run_ablate_gate scale
-      | "perf" -> Perf.run ()
-      | other ->
-          Format.eprintf "unknown experiment %S (known: %s, perf)@." other
-            (String.concat ", " all))
-    wanted
+      let runner =
+        match name with
+        | "table1" -> Some (fun () -> run_table1 ())
+        | "sram" -> Some (fun () -> run_sram ())
+        | "d2" -> Some (fun () -> run_d2 scale)
+        | "d3" -> Some (fun () -> run_d3 scale)
+        | "d4" -> Some (fun () -> run_d4 scale)
+        | "fig7a" -> Some (fun () -> run_fig7 scale `A)
+        | "fig7b" -> Some (fun () -> run_fig7 scale `B)
+        | "fig7c" -> Some (fun () -> run_fig7 scale `C)
+        | "fig7d" -> Some (fun () -> run_fig7 scale `D)
+        | "fig8" -> Some (fun () -> run_fig8 scale)
+        | "ablate-priority" -> Some (fun () -> run_ablate_priority scale)
+        | "ablate-period" -> Some (fun () -> run_ablate_period scale)
+        | "ablate-fifo" -> Some (fun () -> run_ablate_fifo scale)
+        | "ablate-gate" -> Some (fun () -> run_ablate_gate scale)
+        | "perf" ->
+            Some
+              (fun () ->
+                Perf.run ();
+                [])
+        | other ->
+            Format.eprintf "unknown experiment %S (known: %s, perf)@." other
+              (String.concat ", " all);
+            None
+      in
+      match runner with
+      | None -> ()
+      | Some f ->
+          let t0 = Unix.gettimeofday () in
+          let metrics = f () in
+          let seconds = Unix.gettimeofday () -. t0 in
+          results := (name, seconds, metrics) :: !results)
+    wanted;
+  let results = List.rev !results in
+  write_json !json_path ~scale ~jobs:(Experiments.jobs ()) results;
+  Format.printf "@.wall-clock per experiment:@.";
+  List.iter (fun (name, s, _) -> Format.printf "  %-16s %8.2fs@." name s) results;
+  Format.printf "results written to %s@." !json_path

@@ -27,7 +27,7 @@ let mode_conv =
 
 let apps () = List.map fst Mp5_apps.Sources.all_named
 
-let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_file =
+let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_file jobs runs =
   if list_apps then begin
     List.iter print_endline (apps ());
     exit 0
@@ -51,6 +51,59 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
   in
   let sw = Mp5_core.Switch.create_exn src in
   let config = Mp5_core.Switch.config sw in
+  let trace_for_seed seed =
+    match app with
+    | Some name when List.mem_assoc name Mp5_apps.Sources.all_named ->
+        let pkts = Mp5_workload.Tracegen.flows ~seed ~n_packets ~k ~concurrency:64 () in
+        Mp5_apps.Traces.trace_for name pkts
+    | _ ->
+        Mp5_workload.Tracegen.sensitivity
+          {
+            n_packets;
+            k;
+            pkt_bytes;
+            n_fields = config.Mp5_banzai.Config.n_user_fields;
+            index_fields = List.init config.Mp5_banzai.Config.n_user_fields Fun.id;
+            reg_size = 512;
+            pattern = (if skewed then Mp5_workload.Tracegen.Skewed else Uniform);
+            n_ports = 64;
+            seed;
+          }
+  in
+  (* Multi-seed mode: [--runs R] repeats the whole experiment on R
+     independently seeded traces (seed, seed+1, ...), spread over [--jobs]
+     domains.  Compiled switches are immutable at runtime, and each
+     Sim.run builds its own state, so runs are independent; the pool's
+     order-preserving map keeps the report identical at any job count. *)
+  if runs > 1 && trace_file = None && not recirc then begin
+    let pool = if jobs > 1 then Some (Mp5_util.Pool.create ~jobs) else None in
+    let one i =
+      let trace = trace_for_seed (seed + i) in
+      let params = { (Mp5_core.Sim.default_params ~k) with mode } in
+      let r, rep = Mp5_core.Switch.verify ~params ~k sw trace in
+      (seed + i, r.Mp5_core.Sim.normalized_throughput, r.Mp5_core.Sim.dropped,
+       Mp5_core.Equiv.equivalent rep)
+    in
+    let results =
+      match pool with
+      | Some p -> Mp5_util.Pool.init p runs one
+      | None -> Array.init runs one
+    in
+    Option.iter Mp5_util.Pool.shutdown pool;
+    Array.iter
+      (fun (s, thr, dropped, equiv) ->
+        Format.printf "seed %d: throughput %.3f, dropped %d%s@." s thr dropped
+          (if equiv then "" else " NOT-EQUIVALENT"))
+      results;
+    let mean =
+      Array.fold_left (fun acc (_, t, _, _) -> acc +. t) 0.0 results
+      /. float_of_int runs
+    in
+    Format.printf "%d pipelines, %d runs x %d packets (%d domains): mean throughput %.3f@." k
+      runs n_packets jobs mean;
+    let all_equiv = Array.for_all (fun (_, _, _, e) -> e) results in
+    exit (if all_equiv || mode <> Mp5_core.Sim.Mp5 then 0 else 1)
+  end;
   (* Index fields: every user field that feeds a register index. *)
   let trace =
     match trace_file with
@@ -60,27 +113,7 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
         | Error e ->
             Format.eprintf "%s: %s@." path e;
             exit 1)
-    | None ->
-    match app with
-    | Some name when List.mem_assoc name Mp5_apps.Sources.all_named ->
-        let pkts =
-          Mp5_workload.Tracegen.flows ~seed ~n_packets ~k ~concurrency:64 ()
-        in
-        Mp5_apps.Traces.trace_for name pkts
-    | _ ->
-        Mp5_workload.Tracegen.sensitivity
-          {
-            n_packets;
-            k;
-            pkt_bytes;
-            n_fields = config.Mp5_banzai.Config.n_user_fields;
-            index_fields =
-              List.init config.Mp5_banzai.Config.n_user_fields Fun.id;
-            reg_size = 512;
-            pattern = (if skewed then Mp5_workload.Tracegen.Skewed else Uniform);
-            n_ports = 64;
-            seed;
-          }
+    | None -> trace_for_seed seed
   in
   if recirc then begin
     let golden = Mp5_core.Switch.golden sw trace in
@@ -130,12 +163,26 @@ let trace_arg =
     & info [ "trace-file" ] ~docv:"FILE"
         ~doc:"Replay a packet trace (lines of: time port field...).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:"Domains for multi-seed runs (see --runs); results are \
+              independent of N.")
+
+let runs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "runs" ] ~docv:"R"
+        ~doc:"Repeat on R generated traces seeded seed, seed+1, ... and \
+              report per-run and mean throughput (generated traces only).")
+
 let cmd =
   let doc = "simulate packet-processing programs on MP5" in
   Cmd.v
     (Cmd.info "mp5sim" ~doc)
     Term.(
       const run $ app_arg $ file_arg $ k_arg $ mode_arg $ n_arg $ bytes_arg $ skew_arg
-      $ seed_arg $ recirc_arg $ list_arg $ trace_arg)
+      $ seed_arg $ recirc_arg $ list_arg $ trace_arg $ jobs_arg $ runs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -21,3 +21,9 @@ let due t ~now =
       items
 
 let pending t = t.count
+
+let next_due t =
+  Hashtbl.fold
+    (fun at _ acc ->
+      match acc with Some best when best <= at -> acc | _ -> Some at)
+    t.buckets None

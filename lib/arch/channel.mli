@@ -20,3 +20,7 @@ val due : 'a t -> now:int -> 'a list
 
 val pending : 'a t -> int
 (** Number of in-flight deliveries. *)
+
+val next_due : 'a t -> int option
+(** Earliest cycle with a scheduled delivery, if any.  Lets the simulator
+    fast-forward over idle cycles instead of polling each one. *)

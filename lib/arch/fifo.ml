@@ -93,18 +93,23 @@ let purge_ring t ring =
   in
   go ()
 
+(* [head] and [pop_data] run several times per (stage, pipeline) per
+   simulated cycle; plain loops reusing the [peek]ed option (physically
+   the stored cell) keep them allocation-free. *)
 let head t =
-  Array.iteri (fun i _ -> purge_ring t i) t.rings;
+  let n = Array.length t.rings in
+  for i = 0 to n - 1 do
+    purge_ring t i
+  done;
   let best = ref None in
-  Array.iter
-    (fun rb ->
-      match Ring_buffer.peek rb with
-      | None -> ()
-      | Some entry -> (
-          match !best with
-          | Some (e : _ entry) when e.ts <= entry.ts -> ()
-          | _ -> best := Some entry))
-    t.rings;
+  for i = 0 to n - 1 do
+    match Ring_buffer.peek t.rings.(i) with
+    | None -> ()
+    | Some entry as s -> (
+        match !best with
+        | Some (e : _ entry) when e.ts <= entry.ts -> ()
+        | _ -> best := s)
+  done;
   match !best with
   | None -> `Empty
   | Some entry -> (
@@ -116,20 +121,22 @@ let pop_data t =
   (* Re-locate the minimum head; heads cannot have changed since [head]
      because callers pop within the same cycle step. *)
   let best = ref None in
-  Array.iteri
-    (fun i rb ->
-      match Ring_buffer.peek rb with
-      | None -> ()
-      | Some entry -> (
-          match !best with
-          | Some (_, (e : _ entry)) when e.ts <= entry.ts -> ()
-          | _ -> best := Some (i, entry)))
-    t.rings;
+  let best_ring = ref (-1) in
+  for i = 0 to Array.length t.rings - 1 do
+    match Ring_buffer.peek t.rings.(i) with
+    | None -> ()
+    | Some entry as s -> (
+        match !best with
+        | Some (e : _ entry) when e.ts <= entry.ts -> ()
+        | _ ->
+            best := s;
+            best_ring := i)
+  done;
   match !best with
-  | Some (ring, entry) -> (
+  | Some entry -> (
       match entry.data with
       | Some v ->
-          ignore (Ring_buffer.pop t.rings.(ring));
+          ignore (Ring_buffer.pop t.rings.(!best_ring));
           Hashtbl.remove t.directory entry.key;
           t.data_count <- t.data_count - 1;
           v

@@ -21,8 +21,8 @@ let stateful ~reg ~index ?guard ?update ?(outputs = []) () =
   | _ -> ());
   { reg; index; guard; update; outputs }
 
-let exec_stateless ?(tables = [||]) ~fields op =
-  fields.(op.dst) <- Expr.eval ~tables ~fields ~state:None op.rhs
+let exec_stateless ~tables ~fields op =
+  fields.(op.dst) <- Expr.eval_raw tables fields None op.rhs
 
 type access_result = {
   accessed : bool;
@@ -37,16 +37,24 @@ let clamp_index v size =
   let m = v mod size in
   if m < 0 then m + size else m
 
-let resolve_index ?(tables = [||]) ~fields ~size atom =
-  clamp_index (Expr.eval ~tables ~fields ~state:None atom.index) size
+let resolve_index ~tables ~fields ~size atom =
+  clamp_index (Expr.eval_raw tables fields None atom.index) size
 
-let exec_stateful ?(tables = [||]) ~fields ~reg_array atom =
+(* Top-level recursion: a [List.iter] closure here would capture the two
+   values and allocate on every stateful execution. *)
+let rec write_outputs fields old_value new_value = function
+  | [] -> ()
+  | (dst, src) :: tl ->
+      fields.(dst) <- (match src with Old_value -> old_value | New_value -> new_value);
+      write_outputs fields old_value new_value tl
+
+let exec_stateful ~tables ~fields ~reg_array atom =
   let size = Array.length reg_array in
   let cell = resolve_index ~tables ~fields ~size atom in
   let accessed =
     match atom.guard with
     | None -> true
-    | Some g -> Expr.truthy (Expr.eval ~tables ~fields ~state:None g)
+    | Some g -> Expr.truthy (Expr.eval_raw tables fields None g)
   in
   if not accessed then { accessed = false; cell; old_value = reg_array.(cell); new_value = reg_array.(cell) }
   else begin
@@ -54,13 +62,10 @@ let exec_stateful ?(tables = [||]) ~fields ~reg_array atom =
     let new_value =
       match atom.update with
       | None -> old_value
-      | Some u -> Expr.eval ~tables ~fields ~state:(Some old_value) u
+      | Some u -> Expr.eval_raw tables fields (Some old_value) u
     in
     reg_array.(cell) <- new_value;
-    List.iter
-      (fun (dst, src) ->
-        fields.(dst) <- (match src with Old_value -> old_value | New_value -> new_value))
-      atom.outputs;
+    write_outputs fields old_value new_value atom.outputs;
     { accessed = true; cell; old_value; new_value }
   end
 

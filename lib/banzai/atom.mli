@@ -36,7 +36,7 @@ val stateful :
   stateful
 (** Checked constructor: rejects [State_val] in [index] and [guard]. *)
 
-val exec_stateless : ?tables:Table.t array -> fields:int array -> stateless_op -> unit
+val exec_stateless : tables:Table.t array -> fields:int array -> stateless_op -> unit
 (** Applies the header rewrite in place. *)
 
 type access_result = {
@@ -47,13 +47,13 @@ type access_result = {
 }
 
 val exec_stateful :
-  ?tables:Table.t array -> fields:int array -> reg_array:int array -> stateful -> access_result
+  tables:Table.t array -> fields:int array -> reg_array:int array -> stateful -> access_result
 (** Evaluates the guard; when truthy performs the read-modify-write on
     [reg_array] and applies outputs to [fields].  Cell indices are reduced
     modulo the array size (hardware wraps the address bus), so every access
     is in range. *)
 
-val resolve_index : ?tables:Table.t array -> fields:int array -> size:int -> stateful -> int
+val resolve_index : tables:Table.t array -> fields:int array -> size:int -> stateful -> int
 (** The cell the atom would touch for this header — the computation MP5's
     address-resolution stage performs preemptively. *)
 

@@ -44,7 +44,10 @@ let eval_binop op a b =
   | Log_and -> of_bool (truthy a && truthy b)
   | Log_or -> of_bool (truthy a || truthy b)
 
-let rec eval ?(tables = [||]) ~fields ~state e =
+(* The evaluator runs for every access of every packet in the cycle-level
+   simulator, so the recursion passes plain arguments — re-supplying the
+   optional [?tables] per node would box a [Some] at every step. *)
+let rec eval_loop tables fields state e =
   match e with
   | Const c -> norm32 c
   | Field i ->
@@ -57,23 +60,33 @@ let rec eval ?(tables = [||]) ~fields ~state e =
       | None -> invalid_arg "Expr.eval: State_val outside a stateful atom")
   | Binop (Log_and, a, b) ->
       (* Short-circuit, like the C semantics Domino inherits. *)
-      if truthy (eval ~tables ~fields ~state a) then of_bool (truthy (eval ~tables ~fields ~state b)) else 0
+      if truthy (eval_loop tables fields state a) then
+        of_bool (truthy (eval_loop tables fields state b))
+      else 0
   | Binop (Log_or, a, b) ->
-      if truthy (eval ~tables ~fields ~state a) then 1 else of_bool (truthy (eval ~tables ~fields ~state b))
-  | Binop (op, a, b) -> eval_binop op (eval ~tables ~fields ~state a) (eval ~tables ~fields ~state b)
-  | Unop (Neg, a) -> norm32 (-eval ~tables ~fields ~state a)
-  | Unop (Log_not, a) -> of_bool (not (truthy (eval ~tables ~fields ~state a)))
-  | Unop (Bit_not, a) -> norm32 (lnot (eval ~tables ~fields ~state a))
+      if truthy (eval_loop tables fields state a) then 1
+      else of_bool (truthy (eval_loop tables fields state b))
+  | Binop (op, a, b) ->
+      eval_binop op (eval_loop tables fields state a) (eval_loop tables fields state b)
+  | Unop (Neg, a) -> norm32 (-eval_loop tables fields state a)
+  | Unop (Log_not, a) -> of_bool (not (truthy (eval_loop tables fields state a)))
+  | Unop (Bit_not, a) -> norm32 (lnot (eval_loop tables fields state a))
   | Ternary (c, a, b) ->
-      if truthy (eval ~tables ~fields ~state c) then eval ~tables ~fields ~state a
-      else eval ~tables ~fields ~state b
+      if truthy (eval_loop tables fields state c) then eval_loop tables fields state a
+      else eval_loop tables fields state b
+  | Hash [ a ] ->
+      (* Single-key hashes (the common case) skip the argument list. *)
+      Mp5_util.Hashing.fnv1a1 (eval_loop tables fields state a) land 0x7FFFFFFF
   | Hash args ->
-      let vs = List.map (eval ~tables ~fields ~state) args in
+      let vs = List.map (eval_loop tables fields state) args in
       Mp5_util.Hashing.fnv1a vs land 0x7FFFFFFF
   | Lookup (id, keys) ->
       if id < 0 || id >= Array.length tables then
         invalid_arg (Printf.sprintf "Expr.eval: table %d out of range" id);
-      norm32 (Table.lookup tables.(id) (List.map (eval ~tables ~fields ~state) keys))
+      norm32 (Table.lookup tables.(id) (List.map (eval_loop tables fields state) keys))
+
+let eval ?(tables = [||]) ~fields ~state e = eval_loop tables fields state e
+let eval_raw = eval_loop
 
 let rec uses_state = function
   | Const _ | Field _ -> false

@@ -42,6 +42,11 @@ val eval : ?tables:Table.t array -> fields:int array -> state:int option -> t ->
     [State_val] is reached with [state = None], a field id or table id is
     out of range — all indicate compiler bugs, not program errors. *)
 
+val eval_raw : Table.t array -> int array -> int option -> t -> int
+(** [eval_raw tables fields state e] is {!eval} with plain positional
+    arguments: no optional-argument boxing per call, for evaluation in
+    simulator hot loops. *)
+
 val uses_state : t -> bool
 (** Does the expression mention [State_val]? *)
 

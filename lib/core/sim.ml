@@ -5,6 +5,7 @@ module Store = Mp5_banzai.Store
 module Machine = Mp5_banzai.Machine
 module Fifo = Mp5_arch.Fifo
 module Channel = Mp5_arch.Channel
+module Vec = Mp5_util.Vec
 
 type mode = Mp5 | Static_shard | No_d4 | Naive_single | Ideal
 
@@ -111,9 +112,16 @@ type sim = {
   slots : packet option array array;       (* [stage][pipeline] *)
   channel : delivery Channel.t;
   doomed : (int, unit) Hashtbl.t;
-  head_watch : (int * int) array array;    (* [stage][pipeline]: head key, since cycle *)
-  (* per-cycle transfer lists, [stage] indexed, filled during movement *)
-  mutable transfers : transfer list array;
+  (* starvation guard: watched head key (-1 = none) and the cycle it was
+     first seen, [stage][pipeline]; two int matrices so the per-cycle
+     refresh allocates nothing *)
+  hw_key : int array array;
+  hw_since : int array array;
+  (* per-cycle transfer buffers, [stage] indexed, refilled during
+     movement and drained (then cleared, keeping capacity) on apply *)
+  transfers : transfer Vec.t array;
+  (* scratch for movement_phase crossbar claims, cleared each cycle *)
+  claimed : bool array array;
   (* metrics *)
   mutable delivered : int;
   mutable dropped : int;
@@ -199,8 +207,10 @@ let create params prog =
       slots = Array.make_matrix n_stages params.k None;
       channel = Channel.create ();
       doomed = Hashtbl.create 64;
-      head_watch = Array.init n_stages (fun _ -> Array.make params.k (-1, 0));
-      transfers = Array.make n_stages [];
+      hw_key = Array.make_matrix n_stages params.k (-1);
+      hw_since = Array.make_matrix n_stages params.k 0;
+      transfers = Array.init n_stages (fun _ -> Vec.create ());
+      claimed = Array.make_matrix n_stages params.k false;
       delivered = 0;
       dropped = 0;
       dropped_stateless = 0;
@@ -231,18 +241,20 @@ let release_inflight sim rt =
 
 let uses_phantoms sim = match sim.p.mode with No_d4 -> false | _ -> true
 
-(* Will the packet be queued at [stage]?  Yes when it has any access there
-   whose guard is not known false. *)
-let queued_accs sim pkt stage =
-  List.filter
-    (fun id -> pkt.accs.(id).guard_known <> Some false)
-    sim.accs_by_stage.(stage)
+(* First access that will queue the packet at [stage]: one whose guard is
+   not known false.  Returns the acc id, or -1 when the packet passes the
+   stage statelessly — an int so the hot loop allocates no list. *)
+let queued_acc sim pkt stage =
+  let rec go = function
+    | [] -> -1
+    | id :: tl -> if pkt.accs.(id).guard_known <> Some false then id else go tl
+  in
+  go sim.accs_by_stage.(stage)
 
-let drop_packet sim now pkt at_stage =
+let drop_packet sim pkt at_stage =
   sim.dropped <- sim.dropped + 1;
   sim.in_flight <- sim.in_flight - 1;
   Hashtbl.replace sim.doomed pkt.seq ();
-  ignore now;
   Array.iter
     (fun rt ->
       if not rt.done_ then begin
@@ -276,12 +288,12 @@ let resolve sim now entry_pipeline pkt =
       | Transform.G_always -> rt.guard_known <- Some true
       | Transform.G_resolved g ->
           rt.guard_known <-
-            Some (Expr.truthy (Expr.eval ~tables ~fields:pkt.fields ~state:None g))
+            Some (Expr.truthy (Expr.eval_raw tables pkt.fields None g))
       | Transform.G_unresolved -> rt.guard_known <- None);
       (match plan.Transform.index with
       | Transform.I_resolved idx ->
           let size = Index_map.size map in
-          let v = Expr.eval ~tables ~fields:pkt.fields ~state:None idx in
+          let v = Expr.eval_raw tables pkt.fields None idx in
           let cell = ((v mod size) + size) mod size in
           rt.cell <- cell;
           rt.dest <- Index_map.pipeline_of map cell
@@ -327,19 +339,38 @@ let deliver_phantoms sim now =
 
 (* Age of the blocked/queued head of a logical FIFO, for the starvation
    guard.  Updated once per cycle from the pop phase. *)
+let watch_key sim now stage p key =
+  if key = -1 then begin
+    if sim.hw_key.(stage).(p) <> -1 then sim.hw_key.(stage).(p) <- -1
+  end
+  else if key <> sim.hw_key.(stage).(p) then begin
+    sim.hw_key.(stage).(p) <- key;
+    sim.hw_since.(stage).(p) <- now
+  end
+
 let update_head_watch sim now stage p =
   match sim.fifos.(stage).(p) with
   | Some (Logical f) -> (
-      let cur, _since = sim.head_watch.(stage).(p) in
       match Fifo.head f with
-      | `Empty -> sim.head_watch.(stage).(p) <- (-1, now)
-      | `Blocked key | `Data (key, _) ->
-          if key <> cur then sim.head_watch.(stage).(p) <- (key, now))
+      | `Empty -> watch_key sim now stage p (-1)
+      | `Blocked key | `Data (key, _) -> watch_key sim now stage p key)
   | _ -> ()
 
 let head_age sim now stage p =
-  let key, since = sim.head_watch.(stage).(p) in
-  if key < 0 then 0 else now - since
+  if sim.hw_key.(stage).(p) < 0 then 0 else now - sim.hw_since.(stage).(p)
+
+(* The ring (and, in Ideal mode, the per-cell bookkeeping to refresh on a
+   successful push) behind a stateful stage input. *)
+let stage_queue sim stage ~dest ~cell =
+  match sim.fifos.(stage).(dest) with
+  | Some (Logical f) -> (f, None)
+  | Some (Per_cell pc) -> (cell_fifo sim pc cell, Some pc)
+  | None -> invalid_arg "stateful transfer to a stateless stage"
+
+let notify_ready pc cell =
+  Hashtbl.replace pc.pc_ready cell ();
+  let f = Hashtbl.find pc.pc_cells cell in
+  pc.pc_high <- max pc.pc_high (Fifo.max_occupancy f)
 
 let insert_stateful sim now stage pkt ~dest ~src ~cell =
   let push_or_insert f =
@@ -351,48 +382,30 @@ let insert_stateful sim now stage pkt ~dest ~src ~cell =
       | `Ok -> `Ok
       | `Dropped -> `No_phantom
   in
-  let f, notify_ready =
-    match sim.fifos.(stage).(dest) with
-    | Some (Logical f) -> (f, fun () -> ())
-    | Some (Per_cell pc) ->
-        ( cell_fifo sim pc cell,
-          fun () ->
-            Hashtbl.replace pc.pc_ready cell ();
-            let f = Hashtbl.find pc.pc_cells cell in
-            pc.pc_high <- max pc.pc_high (Fifo.max_occupancy f) )
-    | None -> invalid_arg "stateful transfer to a stateless stage"
-  in
+  let f, pc = stage_queue sim stage ~dest ~cell in
   match push_or_insert f with
   | `Ok -> (
-      notify_ready ();
+      Option.iter (fun pc -> notify_ready pc cell) pc;
       match sim.p.ecn_threshold with
       | Some thr when Fifo.data_length f > thr -> pkt.ecn <- true
       | _ -> ())
-  | `No_phantom -> drop_packet sim now pkt (stage - 1)
+  | `No_phantom -> drop_packet sim pkt (stage - 1)
 
 let apply_transfers sim now =
   Array.iteri
     (fun stage ts ->
-      List.iter
+      (* Reverse order reproduces the consing order of the transfer lists
+         this buffer replaced, keeping replays bit-identical. *)
+      Vec.iter_rev
         (fun t ->
           match t with
           | T_stateful (pkt, dest, src, cell) ->
               insert_stateful sim now stage pkt ~dest ~src ~cell
           | T_queued (pkt, dest, src) -> (
-              let f, notify_ready =
-                match sim.fifos.(stage).(dest) with
-                | Some (Logical f) -> (f, fun () -> ())
-                | Some (Per_cell pc) ->
-                    ( cell_fifo sim pc (-1),
-                      fun () ->
-                        Hashtbl.replace pc.pc_ready (-1) ();
-                        let f = Hashtbl.find pc.pc_cells (-1) in
-                        pc.pc_high <- max pc.pc_high (Fifo.max_occupancy f) )
-                | None -> invalid_arg "T_queued at a stateless stage"
-              in
+              let f, pc = stage_queue sim stage ~dest ~cell:(-1) in
               match Fifo.push_data f ~ring:src ~ts:pkt.seq ~key:pkt.seq pkt with
-              | `Ok -> notify_ready ()
-              | `Dropped -> drop_packet sim now pkt (stage - 1))
+              | `Ok -> Option.iter (fun pc -> notify_ready pc (-1)) pc
+              | `Dropped -> drop_packet sim pkt (stage - 1))
           | T_stateless (pkt, dest) -> (
               (* Starvation guard: sacrifice the stateless packet when the
                  queued head has waited too long (§3.4). *)
@@ -404,27 +417,32 @@ let apply_transfers sim now =
               in
               if starve then begin
                 sim.dropped_stateless <- sim.dropped_stateless + 1;
-                drop_packet sim now pkt (stage - 1)
+                drop_packet sim pkt (stage - 1)
               end
               else begin
                 assert (sim.slots.(stage).(dest) = None);
                 sim.slots.(stage).(dest) <- Some pkt
               end))
         ts;
-      sim.transfers.(stage) <- [])
+      Vec.clear ts)
     sim.transfers
 
 let pop_phase sim now =
   for stage = 0 to sim.n_stages - 1 do
     if sim.stateful_stage.(stage) then
       for p = 0 to sim.p.k - 1 do
-        (if sim.slots.(stage).(p) = None then
-           match sim.fifos.(stage).(p) with
-           | Some (Logical f) -> (
-               match Fifo.head f with
-               | `Data (_, _) -> sim.slots.(stage).(p) <- Some (Fifo.pop_data f)
-               | `Blocked _ | `Empty -> ())
-           | Some (Per_cell pc) ->
+        if sim.slots.(stage).(p) = None then begin
+          match sim.fifos.(stage).(p) with
+          | Some (Logical f) -> (
+              (* One [Fifo.head] feeds both the pop decision and the
+                 starvation watch; only a pop invalidates it. *)
+              match Fifo.head f with
+              | `Data (_, _) ->
+                  sim.slots.(stage).(p) <- Some (Fifo.pop_data f);
+                  update_head_watch sim now stage p
+              | `Blocked key -> watch_key sim now stage p key
+              | `Empty -> watch_key sim now stage p (-1))
+          | Some (Per_cell pc) ->
                (* Choose the ready head with the smallest timestamp among
                   cells flagged ready; phantoms block only their own cell.
                   Iteration order does not matter: timestamps are unique,
@@ -452,8 +470,9 @@ let pop_phase sim now =
                    (* The next entry of this cell may already be data. *)
                    Hashtbl.replace pc.pc_ready cell ()
                | None -> ())
-           | None -> ());
-        update_head_watch sim now stage p
+          | None -> ()
+        end
+        else update_head_watch sim now stage p
       done
   done
 
@@ -462,12 +481,18 @@ let log_access sim reg cell seq =
   let prev = try Hashtbl.find sim.access_seqs key with Not_found -> [] in
   Hashtbl.replace sim.access_seqs key (seq :: prev)
 
-let process_stage sim pkt stage pipeline =
-  let s = sim.config.Config.stages.(stage) in
-  let tables = sim.config.Config.tables in
-  List.iter (fun op -> Atom.exec_stateless ~tables ~fields:pkt.fields op) s.stateless;
-  List.iter
-    (fun acc_id ->
+(* Top-level recursion instead of [List.iter] closures: the closures
+   would capture [sim]/[pkt]/[tables] and allocate once per stage per
+   packet per cycle. *)
+let rec run_stateless tables fields = function
+  | [] -> ()
+  | op :: tl ->
+      Atom.exec_stateless ~tables ~fields op;
+      run_stateless tables fields tl
+
+let rec run_accs sim pkt tables pipeline = function
+  | [] -> ()
+  | acc_id :: tl ->
       let rt = pkt.accs.(acc_id) in
       let atom = sim.accesses.(acc_id).Transform.atom in
       let reg_array = Store.array sim.stores.(pipeline) ~reg:atom.Atom.reg in
@@ -478,8 +503,14 @@ let process_stage sim pkt stage pipeline =
         log_access sim atom.Atom.reg r.Atom.cell pkt.seq
       end;
       rt.done_ <- true;
-      release_inflight sim rt)
-    sim.accs_by_stage.(stage)
+      release_inflight sim rt;
+      run_accs sim pkt tables pipeline tl
+
+let process_stage sim pkt stage pipeline =
+  let s = sim.config.Config.stages.(stage) in
+  let tables = sim.config.Config.tables in
+  run_stateless tables pkt.fields s.stateless;
+  run_accs sim pkt tables pipeline sim.accs_by_stage.(stage)
 
 let exec_phase sim now =
   for stage = 0 to sim.n_stages - 1 do
@@ -493,8 +524,11 @@ let exec_phase sim now =
   ignore now
 
 let movement_phase sim now =
-  (* Claims for stateless movers entering each stage next cycle. *)
-  let claimed = Array.make_matrix sim.n_stages sim.p.k false in
+  (* Claims for stateless movers entering each stage next cycle; the
+     scratch matrix lives in the sim record so the loop allocates
+     nothing. *)
+  let claimed = sim.claimed in
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) false) claimed;
   for stage = sim.n_stages - 1 downto 0 do
     for p = 0 to sim.p.k - 1 do
       match sim.slots.(stage).(p) with
@@ -516,31 +550,32 @@ let movement_phase sim now =
               :: sim.exits
           end
           else begin
-            match queued_accs sim pkt next with
-            | acc_id :: _ ->
-                let rt = pkt.accs.(acc_id) in
-                sim.transfers.(next) <-
-                  T_stateful (pkt, rt.dest, p, rt.cell) :: sim.transfers.(next)
-            | [] when sim.stateful_stage.(next) && not sim.p.stateless_priority ->
-                (* Invariant 2 disabled: stateless packets take their place
-                   in the queue like everybody else. *)
-                sim.transfers.(next) <- T_queued (pkt, p, p) :: sim.transfers.(next)
-            | [] ->
-                (* Stateless at [next]: the crossbar steers it to a free
-                   pipeline, preferring the current one. *)
-                let dest =
-                  if not claimed.(next).(p) then p
-                  else begin
-                    let d = ref (-1) in
-                    for q = sim.p.k - 1 downto 0 do
-                      if not claimed.(next).(q) then d := q
-                    done;
-                    !d
-                  end
-                in
-                assert (dest >= 0);
-                claimed.(next).(dest) <- true;
-                sim.transfers.(next) <- T_stateless (pkt, dest) :: sim.transfers.(next)
+            let acc_id = queued_acc sim pkt next in
+            if acc_id >= 0 then begin
+              let rt = pkt.accs.(acc_id) in
+              Vec.push sim.transfers.(next) (T_stateful (pkt, rt.dest, p, rt.cell))
+            end
+            else if sim.stateful_stage.(next) && not sim.p.stateless_priority then
+              (* Invariant 2 disabled: stateless packets take their place
+                 in the queue like everybody else. *)
+              Vec.push sim.transfers.(next) (T_queued (pkt, p, p))
+            else begin
+              (* Stateless at [next]: the crossbar steers it to a free
+                 pipeline, preferring the current one. *)
+              let dest =
+                if not claimed.(next).(p) then p
+                else begin
+                  let d = ref (-1) in
+                  for q = sim.p.k - 1 downto 0 do
+                    if not claimed.(next).(q) then d := q
+                  done;
+                  !d
+                end
+              in
+              assert (dest >= 0);
+              claimed.(next).(dest) <- true;
+              Vec.push sim.transfers.(next) (T_stateless (pkt, dest))
+            end
           end
     done
   done
@@ -667,7 +702,25 @@ let run ?observer params prog trace =
     if score > last_score then last_progress := (score, t)
     else if t - last_t > 200_000 then
       failwith "Sim.run: no progress for 200000 cycles (deadlock?)";
-    now := t + 1
+    (* Idle fast-forward: with nothing in flight the switch is inert, so
+       jump to the next event — the next arrival, the next phantom
+       delivery (deliveries of doomed packets, drained as no-ops), or the
+       next remap boundary (a remap can move cells even while idle, so
+       boundaries must still be visited to keep results bit-identical
+       with the cycle-by-cycle loop). *)
+    if sim.in_flight > 0 || !cursor >= Array.length trace then now := t + 1
+    else begin
+      let next = ref (max (t + 1) trace.(!cursor).Machine.time) in
+      (match Channel.next_due sim.channel with
+      | Some d -> next := min !next (max (t + 1) d)
+      | None -> ());
+      if params.remap_period > 0 then begin
+        let period = params.remap_period in
+        let boundary = t + period - ((t - first_arrival) mod period) in
+        next := min !next boundary
+      end;
+      now := !next
+    end
   done;
   let last_arrival = trace.(Array.length trace - 1).Machine.time in
   let input_span = last_arrival - first_arrival + 1 in
@@ -680,11 +733,14 @@ let run ?observer params prog trace =
         (float_of_int sim.delivered *. float_of_int input_span
         /. (float_of_int n *. float_of_int output_span))
   in
-  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) sim.access_seqs [] in
-  List.iter
-    (fun k -> Hashtbl.replace sim.access_seqs k (List.rev (Hashtbl.find sim.access_seqs k)))
-    keys;
-  let exits = List.rev sim.exits in
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) sim.access_seqs;
+  (* sim.exits is newest-first; one left fold rebuilds all three
+     exit-ordered series without materialising intermediate lists. *)
+  let headers_out, exit_order, latencies =
+    List.fold_left
+      (fun (hs, os, ls) (seq, h, l) -> ((seq, h) :: hs, seq :: os, (seq, l) :: ls))
+      ([], [], []) sim.exits
+  in
   {
     delivered = sim.delivered;
     dropped = sim.dropped;
@@ -695,8 +751,8 @@ let run ?observer params prog trace =
     normalized_throughput;
     max_queue = max_queue_depth sim;
     store = merge_stores sim;
-    headers_out = List.map (fun (seq, h, _) -> (seq, h)) exits;
+    headers_out;
     access_seqs = sim.access_seqs;
-    exit_order = List.map (fun (seq, _, _) -> seq) exits;
-    latencies = List.map (fun (seq, _, l) -> (seq, l)) exits;
+    exit_order;
+    latencies;
   }

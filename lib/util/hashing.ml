@@ -1,19 +1,48 @@
-let fnv_offset = 0xCBF29CE484222325L
-let fnv_prime = 0x100000001B3L
+(* FNV-1a over the 8 little-endian bytes of each int, on the full 64-bit
+   state.  The state is kept as two 32-bit halves in native ints so the
+   hot loop allocates nothing (Int64 arithmetic boxes every intermediate,
+   which dominated the simulator's allocation profile).  The halves
+   computation is exact: with prime = 2^40 + 0x1B3,
+     h * prime mod 2^64 = (h * 0x1B3 + (lo h) * 2^40) mod 2^64
+   and both products fit in 62 bits when split by halves. *)
 
-let feed_int h x =
-  let h = ref h in
+let fnv_offset_hi = 0xCBF29CE4 (* of 0xCBF29CE484222325 *)
+let fnv_offset_lo = 0x84222325
+let fnv_prime_low = 0x1B3 (* prime = 2^40 + 0x1B3 *)
+let mask32 = 0xFFFFFFFF
+
+(* One byte of input: state is (hi, lo); returns via the two refs. *)
+let feed_int_halves hi lo x =
+  let h = ref hi and l = ref lo in
   for shift = 0 to 7 do
     let byte = (x lsr (shift * 8)) land 0xFF in
-    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
+    let l0 = !l lxor byte in
+    let pl = l0 * fnv_prime_low in
+    let ph = ((!h * fnv_prime_low) + (pl lsr 32) + (l0 lsl 8)) land mask32 in
+    h := ph;
+    l := pl land mask32
   done;
-  !h
+  (!h, !l)
+
+(* 62-bit result, identical to the old
+   [Int64.to_int h land 0x3FFF_FFFF_FFFF_FFFF]. *)
+let finish (hi, lo) = ((hi land 0x3FFFFFFF) lsl 32) lor lo
 
 let fnv1a_seeded ~seed xs =
-  let h = List.fold_left feed_int (feed_int fnv_offset seed) xs in
-  Int64.to_int h land 0x3FFF_FFFF_FFFF_FFFF
+  let hi, lo = feed_int_halves fnv_offset_hi fnv_offset_lo seed in
+  let state =
+    List.fold_left (fun (hi, lo) x -> feed_int_halves hi lo x) (hi, lo) xs
+  in
+  finish state
 
 let fnv1a xs = fnv1a_seeded ~seed:0 xs
+
+let fnv1a1 x =
+  (* [fnv1a [x]] without the list: the expression evaluator's single-key
+     [hash(...)] fast path. *)
+  let hi, lo = feed_int_halves fnv_offset_hi fnv_offset_lo 0 in
+  let hi, lo = feed_int_halves hi lo x in
+  finish (hi, lo)
 
 let crc_table =
   lazy

@@ -9,6 +9,10 @@ val fnv1a : int list -> int
 (** FNV-1a over the little-endian bytes of each integer; result is a
     non-negative 62-bit value. *)
 
+val fnv1a1 : int -> int
+(** [fnv1a1 x] is [fnv1a [x]] without allocating the list — the
+    single-key fast path of the expression evaluator's [hash(...)]. *)
+
 val fnv1a_seeded : seed:int -> int list -> int
 (** Like {!fnv1a} but mixed with [seed] first; gives independent hash
     functions for multi-hash sketches. *)

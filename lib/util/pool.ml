@@ -1,0 +1,143 @@
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  work_cv : Condition.t;              (* workers: queue non-empty or shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable workers : unit Domain.t array;
+  mutable stopped : bool;
+}
+
+(* Per-map bookkeeping: tasks left, and the failure with the smallest
+   input index seen so far.  Guarded by the pool mutex. *)
+type job = {
+  pool : t;
+  done_cv : Condition.t;
+  mutable remaining : int;
+  mutable failed : (int * exn * Printexc.raw_backtrace) option;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  let rec next () =
+    if t.stopped then begin
+      Mutex.unlock t.m;
+      None
+    end
+    else
+      match Queue.take_opt t.queue with
+      | Some task ->
+          Mutex.unlock t.m;
+          Some task
+      | None ->
+          Condition.wait t.work_cv t.m;
+          next ()
+  in
+  match next () with
+  | None -> ()
+  | Some task ->
+      task ();
+      worker_loop t
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      queue = Queue.create ();
+      workers = [||];
+      stopped = false;
+    }
+  in
+  t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  if jobs > 1 then
+    at_exit (fun () ->
+        (* Workers must be joined before the main domain exits. *)
+        if not t.stopped then begin
+          Mutex.lock t.m;
+          t.stopped <- true;
+          Condition.broadcast t.work_cv;
+          Mutex.unlock t.m;
+          Array.iter Domain.join t.workers;
+          t.workers <- [||]
+        end);
+  t
+
+let size t = t.jobs
+
+let shutdown t =
+  if not t.stopped then begin
+    Mutex.lock t.m;
+    t.stopped <- true;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let record_failure job idx exn bt =
+  match job.failed with
+  | Some (i, _, _) when i <= idx -> ()
+  | _ -> job.failed <- Some (idx, exn, bt)
+
+(* One task: compute f on the slice [lo, hi), writing results in place. *)
+let run_chunk job f src dst lo hi () =
+  (try
+     for i = lo to hi - 1 do
+       dst.(i) <- Some (f src.(i))
+     done
+   with exn ->
+     let bt = Printexc.get_raw_backtrace () in
+     Mutex.lock job.pool.m;
+     record_failure job lo exn bt;
+     Mutex.unlock job.pool.m);
+  Mutex.lock job.pool.m;
+  job.remaining <- job.remaining - 1;
+  if job.remaining = 0 then Condition.broadcast job.done_cv;
+  Mutex.unlock job.pool.m
+
+let map_array t f src =
+  let n = Array.length src in
+  if t.jobs = 1 || t.stopped || n <= 1 then Array.map f src
+  else begin
+    let dst = Array.make n None in
+    (* Chunk so each domain gets several pieces — cheap insurance against
+       uneven task costs — while keeping scheduling overhead negligible. *)
+    let chunks = min n (t.jobs * 4) in
+    let per = (n + chunks - 1) / chunks in
+    let job = { pool = t; done_cv = Condition.create (); remaining = 0; failed = None } in
+    Mutex.lock t.m;
+    let lo = ref 0 in
+    while !lo < n do
+      let hi = min n (!lo + per) in
+      Queue.add (run_chunk job f src dst !lo hi) t.queue;
+      job.remaining <- job.remaining + 1;
+      lo := hi
+    done;
+    Condition.broadcast t.work_cv;
+    (* The caller works the queue too, then sleeps until the last task
+       (possibly running on a worker) completes. *)
+    let rec drain () =
+      if job.remaining > 0 then
+        match Queue.take_opt t.queue with
+        | Some task ->
+            Mutex.unlock t.m;
+            task ();
+            Mutex.lock t.m;
+            drain ()
+        | None ->
+            Condition.wait job.done_cv t.m;
+            drain ()
+    in
+    drain ();
+    let failed = job.failed in
+    Mutex.unlock t.m;
+    match failed with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None ->
+        Array.map (function Some v -> v | None -> assert false) dst
+  end
+
+let map_list t f l = Array.to_list (map_array t f (Array.of_list l))
+let init t n f = map_array t f (Array.init n Fun.id)

@@ -1,0 +1,40 @@
+(** A fixed pool of OCaml 5 domains for embarrassingly parallel maps.
+
+    The experiment harness averages many independent simulation runs; each
+    run owns its seeded RNG, so runs can execute on any domain in any
+    order without changing the numbers.  The pool provides deterministic
+    [map_array]/[map_list]: results are returned in input order and any
+    exception raised by [f] is re-raised in the caller (the one from the
+    lowest input index wins when several tasks fail).
+
+    [create ~jobs:1] spawns no domains and runs every map inline, so a
+    [--jobs 1] run is byte-for-byte the sequential code path.  The caller
+    of a map participates in executing tasks, so a pool created with
+    [~jobs:n] uses at most [n] domains' worth of CPU in total. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1], or
+    [Invalid_argument]).  Workers idle on a condition variable between
+    maps.  The pool registers an [at_exit] hook that shuts the workers
+    down so the process can terminate cleanly. *)
+
+val size : t -> int
+(** The [jobs] the pool was created with. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array t f a] is [Array.map f a], computed by up to [size t]
+    domains.  Result order matches input order.  If [f] raises on one or
+    more elements, the exception raised on the smallest index is
+    re-raised after all tasks have finished. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** List analogue of {!map_array}. *)
+
+val init : t -> int -> (int -> 'a) -> 'a array
+(** [init t n f] is [Array.init n f] computed in parallel. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains.  Idempotent; maps submitted
+    after shutdown run inline on the caller. *)

@@ -1,0 +1,32 @@
+(** Reusable growable buffer for allocation-free hot loops.
+
+    The simulator refills one of these per stage every cycle; [clear] just
+    resets the length, so after warm-up the cycle loop performs no
+    allocation for transfer bookkeeping.  Note that [clear] keeps the
+    backing array (and therefore the references it holds) alive until the
+    slots are overwritten — fine for the simulator's small per-stage
+    buffers, not a general-purpose container. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Append, doubling the backing array when full. *)
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument when out of range. *)
+
+val clear : 'a t -> unit
+(** Reset the length to zero without shrinking the backing array. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** In push order. *)
+
+val iter_rev : ('a -> unit) -> 'a t -> unit
+(** In reverse push order — matches the consing order of the [list]-based
+    code this replaced, for bit-identical replay. *)
+
+val to_list : 'a t -> 'a list

@@ -10,7 +10,7 @@ let check = Alcotest.(check bool)
 let test_stateless_exec () =
   let fields = [| 1; 2; 0 |] in
   let op = Atom.stateless_op ~dst:2 ~rhs:(Expr.Binop (Expr.Add, Expr.Field 0, Expr.Field 1)) in
-  Atom.exec_stateless ~fields op;
+  Atom.exec_stateless ~tables:[||] ~fields op;
   check_int "dst written" 3 fields.(2)
 
 let test_stateless_rejects_state () =
@@ -24,7 +24,7 @@ let test_stateful_read () =
   let atom =
     Atom.stateful ~reg:0 ~index:(Expr.Field 0) ~outputs:[ (1, Atom.Old_value) ] ()
   in
-  let r = Atom.exec_stateful ~fields ~reg_array atom in
+  let r = Atom.exec_stateful ~tables:[||] ~fields ~reg_array atom in
   check "accessed" true r.Atom.accessed;
   check_int "cell" 2 r.Atom.cell;
   check_int "old into field" 30 fields.(1);
@@ -39,7 +39,7 @@ let test_stateful_rmw () =
       ~outputs:[ (0, Atom.New_value) ]
       ()
   in
-  let r = Atom.exec_stateful ~fields ~reg_array atom in
+  let r = Atom.exec_stateful ~tables:[||] ~fields ~reg_array atom in
   check_int "updated" 105 reg_array.(0);
   check_int "new value out" 105 fields.(0);
   check_int "old in result" 100 r.Atom.old_value;
@@ -52,7 +52,7 @@ let test_stateful_guard_false () =
     Atom.stateful ~reg:0 ~index:(Expr.Const 0) ~guard:(Expr.Const 0)
       ~update:(Expr.Const 99) ~outputs:[ (0, Atom.New_value) ] ()
   in
-  let r = Atom.exec_stateful ~fields ~reg_array atom in
+  let r = Atom.exec_stateful ~tables:[||] ~fields ~reg_array atom in
   check "not accessed" false r.Atom.accessed;
   check_int "register untouched" 7 reg_array.(0);
   check_int "field untouched" 0 fields.(0)
@@ -65,23 +65,23 @@ let test_stateful_guard_on_fields () =
       ~update:(Expr.Binop (Expr.Mul, Expr.State_val, Expr.Const 2))
       ()
   in
-  ignore (Atom.exec_stateful ~fields:[| 6 |] ~reg_array atom);
+  ignore (Atom.exec_stateful ~tables:[||] ~fields:[| 6 |] ~reg_array atom);
   check_int "guard true fires" 2 reg_array.(0);
-  ignore (Atom.exec_stateful ~fields:[| 3 |] ~reg_array atom);
+  ignore (Atom.exec_stateful ~tables:[||] ~fields:[| 3 |] ~reg_array atom);
   check_int "guard false skips" 2 reg_array.(0)
 
 let test_index_clamping () =
   let reg_array = [| 0; 0; 0; 0 |] in
   let atom = Atom.stateful ~reg:0 ~index:(Expr.Field 0) ~update:(Expr.Const 1) () in
-  ignore (Atom.exec_stateful ~fields:[| 6 |] ~reg_array atom);
+  ignore (Atom.exec_stateful ~tables:[||] ~fields:[| 6 |] ~reg_array atom);
   check_int "wraps mod size" 1 reg_array.(2);
-  ignore (Atom.exec_stateful ~fields:[| -1 |] ~reg_array atom);
+  ignore (Atom.exec_stateful ~tables:[||] ~fields:[| -1 |] ~reg_array atom);
   check_int "negative wraps into range" 1 reg_array.(3)
 
 let test_resolve_index () =
   let atom = Atom.stateful ~reg:0 ~index:(Expr.Binop (Expr.Add, Expr.Field 0, Expr.Const 1)) () in
-  check_int "resolution" 3 (Atom.resolve_index ~fields:[| 2 |] ~size:8 atom);
-  check_int "resolution wraps" 1 (Atom.resolve_index ~fields:[| 8 |] ~size:8 atom)
+  check_int "resolution" 3 (Atom.resolve_index ~tables:[||] ~fields:[| 2 |] ~size:8 atom);
+  check_int "resolution wraps" 1 (Atom.resolve_index ~tables:[||] ~fields:[| 8 |] ~size:8 atom)
 
 let test_constructor_validation () =
   Alcotest.check_raises "index uses state"
@@ -94,7 +94,7 @@ let test_constructor_validation () =
 let test_read_only_atom_keeps_value () =
   let reg_array = [| 42 |] in
   let atom = Atom.stateful ~reg:0 ~index:(Expr.Const 0) () in
-  let r = Atom.exec_stateful ~fields:[||] ~reg_array atom in
+  let r = Atom.exec_stateful ~tables:[||] ~fields:[||] ~reg_array atom in
   check_int "old = new for read" r.Atom.old_value r.Atom.new_value;
   check_int "unchanged" 42 reg_array.(0)
 
@@ -107,7 +107,7 @@ let test_multiple_outputs () =
       ~outputs:[ (0, Atom.Old_value); (1, Atom.New_value) ]
       ()
   in
-  ignore (Atom.exec_stateful ~fields ~reg_array atom);
+  ignore (Atom.exec_stateful ~tables:[||] ~fields ~reg_array atom);
   check_int "old output" 10 fields.(0);
   check_int "new output" 11 fields.(1)
 

@@ -1,0 +1,133 @@
+(* The domain pool must be a drop-in for sequential maps: same order,
+   same exceptions, same simulation numbers at any job count. *)
+
+module Pool = Mp5_util.Pool
+module Sim = Mp5_core.Sim
+module Switch = Mp5_core.Switch
+module Store = Mp5_banzai.Store
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_pool ~jobs f =
+  let p = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let test_map_ordering () =
+  with_pool ~jobs:4 (fun p ->
+      let n = 1000 in
+      let out = Pool.map_array p (fun x -> x * x) (Array.init n Fun.id) in
+      Alcotest.(check (array int)) "squares in order" (Array.init n (fun i -> i * i)) out;
+      let lst = Pool.map_list p string_of_int [ 5; 3; 9; 1 ] in
+      Alcotest.(check (list string)) "list order" [ "5"; "3"; "9"; "1" ] lst;
+      let ini = Pool.init p 17 (fun i -> 2 * i) in
+      Alcotest.(check (array int)) "init" (Array.init 17 (fun i -> 2 * i)) ini)
+
+let test_jobs_one_inline () =
+  (* jobs = 1 must not spawn domains and still satisfy the same API. *)
+  with_pool ~jobs:1 (fun p ->
+      check_int "size" 1 (Pool.size p);
+      let out = Pool.map_array p succ [| 1; 2; 3 |] in
+      Alcotest.(check (array int)) "inline map" [| 2; 3; 4 |] out)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  with_pool ~jobs:4 (fun p ->
+      (* Several tasks fail; the smallest failing index must win, so the
+         caller sees a deterministic error regardless of scheduling. *)
+      let raised =
+        try
+          ignore
+            (Pool.map_array p
+               (fun x -> if x mod 7 = 3 then raise (Boom x) else x)
+               (Array.init 100 Fun.id));
+          None
+        with Boom x -> Some x
+      in
+      Alcotest.(check (option int)) "lowest failing index" (Some 3) raised;
+      (* The pool survives a failed map. *)
+      let out = Pool.map_array p succ [| 10; 20 |] in
+      Alcotest.(check (array int)) "pool alive after failure" [| 11; 21 |] out)
+
+let test_invalid_jobs () =
+  check "jobs=0 rejected" true
+    (try
+       ignore (Pool.create ~jobs:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_shutdown_inline () =
+  let p = Pool.create ~jobs:3 in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* idempotent *)
+  let out = Pool.map_array p succ [| 1; 2 |] in
+  Alcotest.(check (array int)) "post-shutdown maps run inline" [| 2; 3 |] out
+
+(* --- simulator determinism under the pool --- *)
+
+let heavy_trace ~seed =
+  Mp5_workload.Tracegen.sensitivity
+    {
+      Mp5_workload.Tracegen.n_packets = 2_000;
+      k = 4;
+      pkt_bytes = 64;
+      n_fields = 2;
+      index_fields = [ 0 ];
+      reg_size = 512;
+      pattern = Mp5_workload.Tracegen.Skewed;
+      n_ports = 64;
+      seed;
+    }
+
+let run_one sw seed =
+  let r = Switch.run ~k:4 sw (heavy_trace ~seed) in
+  (r.Sim.normalized_throughput, r.Sim.exit_order, r.Sim.delivered, r.Sim.store)
+
+let test_sim_deterministic_repeat () =
+  (* The same trace twice through the simulator gives identical results —
+     the precondition for comparing sequential and parallel runs at all. *)
+  let sw = Switch.create_exn Mp5_apps.Sources.heavy_hitter in
+  let t1, o1, d1, s1 = run_one sw 42 in
+  let t2, o2, d2, s2 = run_one sw 42 in
+  check "throughput" true (t1 = t2);
+  check "exit order" true (o1 = o2);
+  check_int "delivered" d1 d2;
+  check "store" true (Store.equal s1 s2)
+
+let test_sim_parallel_matches_sequential () =
+  (* The tentpole invariant: pool-parallel experiment runs produce the
+     same numbers as the sequential loop, element for element. *)
+  let sw = Switch.create_exn Mp5_apps.Sources.heavy_hitter in
+  let seeds = Array.init 6 (fun i -> 100 + i) in
+  let seq = Array.map (run_one sw) seeds in
+  with_pool ~jobs:4 (fun p ->
+      let par = Pool.map_array p (run_one sw) seeds in
+      Array.iteri
+        (fun i (t, o, d, s) ->
+          let t', o', d', s' = par.(i) in
+          check "throughput" true (t = t');
+          check "exit order" true (o = o');
+          check_int "delivered" d d';
+          check "store" true (Store.equal s s'))
+        seq)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map ordering" `Quick test_map_ordering;
+          Alcotest.test_case "jobs=1 runs inline" `Quick test_jobs_one_inline;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "invalid jobs rejected" `Quick test_invalid_jobs;
+          Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_inline;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same trace, same result" `Quick test_sim_deterministic_repeat;
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_sim_parallel_matches_sequential;
+        ] );
+    ]
