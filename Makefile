@@ -9,10 +9,13 @@ test:
 	dune runtest
 
 # Tiny CI-sized subset: two domains exercise the parallel runner, the
-# smoke scale keeps it under a minute on one core.
+# smoke scale keeps it under a minute on one core.  sim-micro times the
+# compiled-kernel vs AST-interpreter engines on the same traces and
+# exits non-zero if their results ever differ; perf records the bechamel
+# estimates (including sim:heavy-hitter-2k and its :interp twin).
 bench-smoke:
 	dune exec bench/main.exe -- --smoke --jobs 2 --json BENCH_results.json \
-	  d2 d3 fig7a ablate-fifo ablate-gate
+	  d2 d3 fig7a ablate-fifo ablate-gate sim-micro perf
 
 bench:
 	dune exec bench/main.exe

@@ -28,6 +28,13 @@ let full = { n_packets = 60_000; runs = 10 }
    nested): the per-run arrays, or the per-point sweeps whose inner
    [averaged] stays sequential. *)
 
+(* Execution engine for every simulator invocation below: compiled
+   closure kernels (default) or the AST interpreter (--no-compile).
+   Both produce bit-identical results — see [sim_micro], which enforces
+   it — so the choice only affects wall-clock. *)
+let compiled = ref true
+let set_compiled b = compiled := b
+
 let pool : Pool.t option ref = ref None
 
 let set_jobs n =
@@ -83,7 +90,7 @@ let throughput ?(mode = Sim.Mp5) ?(shard_init = `Round_robin) ?(finite_fifos = f
     if finite_fifos then { params with Sim.fifo_capacity = 8; adaptive_fifos = false }
     else params
   in
-  (Sim.run params sw.Switch.prog trace).Sim.normalized_throughput
+  (Sim.run ~compiled:!compiled params sw.Switch.prog trace).Sim.normalized_throughput
 
 (* Average over [runs] independent traces. *)
 let averaged scale setup mode =
@@ -194,7 +201,7 @@ let d4 scale =
           { (Sim.default_params ~k:setup.k) with
             mode = m; fifo_capacity = 16; adaptive_fifos = false }
         in
-        let r = Sim.run params sw.Switch.prog trace in
+        let r = Sim.run ~compiled:!compiled params sw.Switch.prog trace in
         violations r.Sim.access_seqs r.Sim.headers_out r.Sim.store r.Sim.exit_order
     | `Recirc ->
         let r = Recirc.run ~k:setup.k ~shard_seed:(500 + i) ~sharding:`Cell sw.Switch.prog trace in
@@ -260,7 +267,7 @@ let fig8_one scale name =
               Tracegen.flows ~seed:(800 + i) ~n_packets:scale.n_packets ~k ~concurrency:128 ()
             in
             let trace = Traces.trace_for name pkts in
-            let r, rep = Switch.verify ~k sw trace in
+            let r, rep = Switch.verify ~compiled:!compiled ~k sw trace in
             let lats = Array.of_list (List.map (fun (_, l) -> float_of_int l) r.Sim.latencies) in
             ( r.Sim.normalized_throughput,
               r.Sim.max_queue,
@@ -307,7 +314,7 @@ let ablate_priority scale =
           }
       in
       let stats params =
-        let r = Sim.run params sw.Switch.prog trace in
+        let r = Sim.run ~compiled:!compiled params sw.Switch.prog trace in
         let lats = Array.of_list (List.map (fun (_, l) -> float_of_int l) r.Sim.latencies) in
         (r.Sim.normalized_throughput, Stats.percentile lats 50.0)
       in
@@ -329,7 +336,9 @@ let ablate_gate scale =
       let params =
         { (Sim.default_params ~k:setup.k) with remap_noise_gate = false }
       in
-      let verbatim = (Sim.run params sw.Switch.prog trace).Sim.normalized_throughput in
+      let verbatim =
+        (Sim.run ~compiled:!compiled params sw.Switch.prog trace).Sim.normalized_throughput
+      in
       (gated, verbatim))
 
 (* Remap period sweep. *)
@@ -348,7 +357,8 @@ let ablate_period scale =
                 shard_init = `Random (1100 + i);
               }
             in
-            (Sim.run params sw.Switch.prog trace).Sim.normalized_throughput)
+            (Sim.run ~compiled:!compiled params sw.Switch.prog trace)
+              .Sim.normalized_throughput)
       in
       (period, Stats.mean samples))
     [ 0; 50; 100; 200; 400; 1600 ]
@@ -363,6 +373,75 @@ let ablate_fifo scale =
       let params =
         { (Sim.default_params ~k:setup.k) with fifo_capacity = capacity; adaptive_fifos = false }
       in
-      let r = Sim.run params sw.Switch.prog trace in
+      let r = Sim.run ~compiled:!compiled params sw.Switch.prog trace in
       (capacity, r.Sim.dropped, r.Sim.normalized_throughput))
     [ 2; 4; 8; 16; 32; 64 ]
+
+(* --- kernel vs interpreter micro-benchmark ---
+
+   The heavy-hitter workload from bench/perf.ml, run back-to-back on both
+   execution engines.  Interleaved min-of-N timing cancels machine drift;
+   the bit-identical check is a hard failure (CI gates on it), not a
+   statistic. *)
+
+type micro = {
+  mi_reps : int;
+  mi_interp_ns : float;  (** min wall-clock per [Sim.run], AST interpreter *)
+  mi_kernel_ns : float;  (** min wall-clock per [Sim.run], closure kernels *)
+}
+
+let micro_speedup m = m.mi_interp_ns /. m.mi_kernel_ns
+
+let sim_micro scale =
+  let sw = Switch.create_exn Sources.heavy_hitter in
+  let trace =
+    Tracegen.sensitivity
+      {
+        Tracegen.n_packets = 2000;
+        k = 4;
+        pkt_bytes = 64;
+        n_fields = 2;
+        index_fields = [ 0 ];
+        reg_size = 512;
+        pattern = Tracegen.Uniform;
+        n_ports = 64;
+        seed = 3;
+      }
+  in
+  let params = Sim.default_params ~k:4 in
+  let run ~compiled () = Sim.run ~compiled params sw.Switch.prog trace in
+  (* Correctness first: the two engines must agree on every observable
+     field before either number means anything. *)
+  let ref_kernel = run ~compiled:true () in
+  if not (Sim.results_equal (run ~compiled:false ()) ref_kernel) then
+    failwith "sim-micro: compiled kernels diverge from the AST interpreter";
+  let reps = max 5 scale.runs in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    ((Unix.gettimeofday () -. t0) *. 1e9, r)
+  in
+  let interp_ns = ref infinity and kernel_ns = ref infinity in
+  for rep = 1 to reps do
+    (* Alternate which engine runs first: a [Sim.run] inherits the heap
+       the previous one grew, which systematically taxes whichever engine
+       always went second. *)
+    let measure ~compiled =
+      Gc.minor ();
+      let t, r = time (run ~compiled) in
+      let slot = if compiled then kernel_ns else interp_ns in
+      slot := Float.min !slot t;
+      r
+    in
+    let ri, rk =
+      if rep land 1 = 0 then
+        let ri = measure ~compiled:false in
+        (ri, measure ~compiled:true)
+      else
+        let rk = measure ~compiled:true in
+        (measure ~compiled:false, rk)
+    in
+    if not (Sim.results_equal ri rk) then
+      failwith "sim-micro: compiled kernels diverge from the AST interpreter"
+  done;
+  { mi_reps = reps; mi_interp_ns = !interp_ns; mi_kernel_ns = !kernel_ns }

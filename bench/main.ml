@@ -172,6 +172,20 @@ let run_ablate_fifo scale =
         (Printf.sprintf "cap=%d/dropped" cap, float_of_int dropped) ])
     rows
 
+let run_sim_micro scale =
+  let m = Experiments.sim_micro scale in
+  let speedup = Experiments.micro_speedup m in
+  Format.printf "@.sim-micro: heavy-hitter, 2000-packet trace, k=4 (min over %d reps)@."
+    m.Experiments.mi_reps;
+  Format.printf "  AST interpreter: %12.0f ns/run@." m.Experiments.mi_interp_ns;
+  Format.printf "  closure kernels: %12.0f ns/run@." m.Experiments.mi_kernel_ns;
+  Format.printf "  speedup: %.2fx (outputs bit-identical)@." speedup;
+  [
+    ("heavy-hitter-2k/interp_ns", m.Experiments.mi_interp_ns);
+    ("heavy-hitter-2k/kernel_ns", m.Experiments.mi_kernel_ns);
+    ("heavy-hitter-2k/speedup", speedup);
+  ]
+
 let run_fig7 scale which =
   let title, xlabel, series =
     match which with
@@ -233,7 +247,17 @@ let write_json path ~scale ~jobs results =
 
 let all =
   [ "table1"; "sram"; "d2"; "d3"; "d4"; "fig7a"; "fig7b"; "fig7c"; "fig7d"; "fig8";
-    "ablate-priority"; "ablate-period"; "ablate-fifo"; "ablate-gate" ]
+    "ablate-priority"; "ablate-period"; "ablate-fifo"; "ablate-gate"; "sim-micro" ]
+
+(* Timing experiments must not share the process with an idle worker
+   domain: every minor collection then pays a stop-the-world rendezvous,
+   which inflates the simulator micro-benchmarks by ~40% on an otherwise
+   idle machine.  Tear the pool down for the measurement and restore it
+   afterwards. *)
+let serially f =
+  let j = Experiments.jobs () in
+  Experiments.set_jobs 1;
+  Fun.protect ~finally:(fun () -> Experiments.set_jobs j) f
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -253,6 +277,9 @@ let () =
             exit 2)
     | "--json" :: path :: rest ->
         json_path := path;
+        parse acc rest
+    | "--no-compile" :: rest ->
+        Experiments.set_compiled false;
         parse acc rest
     | a :: rest -> parse (a :: acc) rest
   in
@@ -291,11 +318,8 @@ let () =
         | "ablate-period" -> Some (fun () -> run_ablate_period scale)
         | "ablate-fifo" -> Some (fun () -> run_ablate_fifo scale)
         | "ablate-gate" -> Some (fun () -> run_ablate_gate scale)
-        | "perf" ->
-            Some
-              (fun () ->
-                Perf.run ();
-                [])
+        | "sim-micro" -> Some (fun () -> serially (fun () -> run_sim_micro scale))
+        | "perf" -> Some (fun () -> serially Perf.run)
         | other ->
             Format.eprintf "unknown experiment %S (known: %s, perf)@." other
               (String.concat ", " all);

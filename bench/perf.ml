@@ -48,6 +48,27 @@ let sim_test =
   Test.make ~name:"sim:heavy-hitter-2k"
     (Staged.stage (fun () -> Mp5_core.Switch.run ~k:4 sw trace))
 
+(* Same workload through the AST-interpreter escape hatch: the pair
+   quantifies what the kernel compilation buys on the hot path. *)
+let sim_interp_test =
+  let sw = Mp5_core.Switch.create_exn Mp5_apps.Sources.heavy_hitter in
+  let trace =
+    Mp5_workload.Tracegen.sensitivity
+      {
+        Mp5_workload.Tracegen.n_packets = 2000;
+        k = 4;
+        pkt_bytes = 64;
+        n_fields = 2;
+        index_fields = [ 0 ];
+        reg_size = 512;
+        pattern = Mp5_workload.Tracegen.Uniform;
+        n_ports = 64;
+        seed = 3;
+      }
+  in
+  Test.make ~name:"sim:heavy-hitter-2k:interp"
+    (Staged.stage (fun () -> Mp5_core.Switch.run ~compiled:false ~k:4 sw trace))
+
 let fifo_test =
   Test.make ~name:"fifo:push-insert-pop"
     (Staged.stage (fun () ->
@@ -79,7 +100,7 @@ let table_tests =
 
 let all_tests =
   Test.make_grouped ~name:"mp5"
-    ([ compile_test; golden_test; sim_test; fifo_test ] @ table_tests)
+    ([ compile_test; golden_test; sim_test; sim_interp_test; fifo_test ] @ table_tests)
 
 let run () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
@@ -89,9 +110,15 @@ let run () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   Format.printf "@.Bechamel micro-benchmarks (monotonic clock):@.";
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  List.iter
+  (* Print as before, and return the estimates so main.ml records them
+     in BENCH_results.json. *)
+  List.filter_map
     (fun (name, ols) ->
       match Analyze.OLS.estimates ols with
-      | Some [ est ] -> Format.printf "  %-28s %12.0f ns/run@." name est
-      | _ -> Format.printf "  %-28s (no estimate)@." name)
+      | Some [ est ] ->
+          Format.printf "  %-28s %12.0f ns/run@." name est;
+          Some (name, est)
+      | _ ->
+          Format.printf "  %-28s (no estimate)@." name;
+          None)
     (List.sort compare rows)

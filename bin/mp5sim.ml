@@ -27,7 +27,9 @@ let mode_conv =
 
 let apps () = List.map fst Mp5_apps.Sources.all_named
 
-let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_file jobs runs =
+let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_file jobs runs
+    no_compile =
+  let compiled = not no_compile in
   if list_apps then begin
     List.iter print_endline (apps ());
     exit 0
@@ -80,7 +82,7 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
     let one i =
       let trace = trace_for_seed (seed + i) in
       let params = { (Mp5_core.Sim.default_params ~k) with mode } in
-      let r, rep = Mp5_core.Switch.verify ~params ~k sw trace in
+      let r, rep = Mp5_core.Switch.verify ~compiled ~params ~k sw trace in
       (seed + i, r.Mp5_core.Sim.normalized_throughput, r.Mp5_core.Sim.dropped,
        Mp5_core.Equiv.equivalent rep)
     in
@@ -128,7 +130,7 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
     exit 0
   end;
   let params = { (Mp5_core.Sim.default_params ~k) with mode } in
-  let r, rep = Mp5_core.Switch.verify ~params ~k sw trace in
+  let r, rep = Mp5_core.Switch.verify ~compiled ~params ~k sw trace in
   Format.printf
     "%d pipelines, %d packets: throughput %.3f, max queue %d, dropped %d@.%a@." k
     (Array.length trace) r.normalized_throughput r.max_queue r.dropped Mp5_core.Equiv.pp rep;
@@ -177,12 +179,19 @@ let runs_arg =
         ~doc:"Repeat on R generated traces seeded seed, seed+1, ... and \
               report per-run and mean throughput (generated traces only).")
 
+let no_compile_arg =
+  Arg.(
+    value & flag
+    & info [ "no-compile" ]
+        ~doc:"Execute stages with the AST interpreter instead of the \
+              compiled closure kernels (slower; bit-identical results).")
+
 let cmd =
   let doc = "simulate packet-processing programs on MP5" in
   Cmd.v
     (Cmd.info "mp5sim" ~doc)
     Term.(
       const run $ app_arg $ file_arg $ k_arg $ mode_arg $ n_arg $ bytes_arg $ skew_arg
-      $ seed_arg $ recirc_arg $ list_arg $ trace_arg $ jobs_arg $ runs_arg)
+      $ seed_arg $ recirc_arg $ list_arg $ trace_arg $ jobs_arg $ runs_arg $ no_compile_arg)
 
 let () = exit (Cmd.eval cmd)

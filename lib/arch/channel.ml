@@ -1,29 +1,77 @@
+module Vec = Mp5_util.Vec
+
+(* Calendar queue: deliveries live in a circular array of per-cycle
+   buckets.  The distance between a [schedule]'s [at] and the oldest
+   pending cycle is bounded by the pipeline depth (a phantom travels at
+   most [n_stages] cycles), so the bucket window stays small; it doubles
+   if a delivery ever lands beyond the current horizon.  Compared to a
+   hashtable keyed by cycle this makes [schedule]/[due] array indexing
+   with no per-delivery allocation beyond the bucket's own storage. *)
 type 'a t = {
-  buckets : (int, 'a list ref) Hashtbl.t;
+  mutable buckets : 'a Vec.t array;  (* power-of-two length; cycle c lives at c land (len-1) *)
+  mutable base : int;                (* lower bound on pending cycles *)
   mutable count : int;
 }
 
-let create () = { buckets = Hashtbl.create 64; count = 0 }
+let create () = { buckets = Array.init 16 (fun _ -> Vec.create ()); base = 0; count = 0 }
+
+(* Every pending cycle lies in [base, base + length buckets), so each
+   bucket holds deliveries of exactly one cycle. *)
+
+let grow t ~until =
+  let old = t.buckets in
+  let old_len = Array.length old in
+  let len = ref (2 * old_len) in
+  while until - t.base >= !len do len := 2 * !len done;
+  let buckets = Array.init !len (fun _ -> Vec.create ()) in
+  for d = 0 to old_len - 1 do
+    let c = t.base + d in
+    buckets.(c land (!len - 1)) <- old.(c land (old_len - 1))
+  done;
+  t.buckets <- buckets
 
 let schedule t ~at v =
-  (match Hashtbl.find_opt t.buckets at with
-  | Some l -> l := v :: !l
-  | None -> Hashtbl.add t.buckets at (ref [ v ]));
+  if t.count = 0 then t.base <- at
+  else if at < t.base then begin
+    (* Window slides down; keep the previous upper edge reachable. *)
+    let hi = t.base + Array.length t.buckets - 1 in
+    t.base <- at;
+    if hi - at >= Array.length t.buckets then grow t ~until:hi
+  end;
+  if at - t.base >= Array.length t.buckets then grow t ~until:at;
+  Vec.push t.buckets.(at land (Array.length t.buckets - 1)) v;
   t.count <- t.count + 1
 
+let bucket_at t ~now =
+  if t.count = 0 || now < t.base || now - t.base >= Array.length t.buckets then None
+  else Some t.buckets.(now land (Array.length t.buckets - 1))
+
 let due t ~now =
-  match Hashtbl.find_opt t.buckets now with
+  match bucket_at t ~now with
   | None -> []
-  | Some l ->
-      Hashtbl.remove t.buckets now;
-      let items = List.rev !l in
-      t.count <- t.count - List.length items;
+  | Some b ->
+      let items = Vec.to_list b in
+      t.count <- t.count - Vec.length b;
+      Vec.clear b;
       items
+
+let drain t ~now f =
+  match bucket_at t ~now with
+  | None -> ()
+  | Some b ->
+      t.count <- t.count - Vec.length b;
+      Vec.iter f b;
+      Vec.clear b
 
 let pending t = t.count
 
 let next_due t =
-  Hashtbl.fold
-    (fun at _ acc ->
-      match acc with Some best when best <= at -> acc | _ -> Some at)
-    t.buckets None
+  if t.count = 0 then None
+  else begin
+    let mask = Array.length t.buckets - 1 in
+    let c = ref t.base in
+    while Vec.is_empty t.buckets.(!c land mask) do incr c done;
+    (* Tighten the lower bound so later scans restart here. *)
+    t.base <- !c;
+    Some !c
+  end

@@ -18,6 +18,11 @@ val due : 'a t -> now:int -> 'a list
 (** All deliveries scheduled for cycle [now], in scheduling order; they
     are removed from the channel. *)
 
+val drain : 'a t -> now:int -> ('a -> unit) -> unit
+(** [due] without materialising the list: applies the function to each
+    delivery scheduled for cycle [now], in scheduling order, removing
+    them.  The callback must not [schedule] back into cycle [now]. *)
+
 val pending : 'a t -> int
 (** Number of in-flight deliveries. *)
 

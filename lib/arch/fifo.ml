@@ -1,4 +1,5 @@
 module Ring_buffer = Mp5_util.Ring_buffer
+module Int_table = Mp5_util.Int_table
 
 type 'a entry = {
   ts : int;
@@ -9,20 +10,25 @@ type 'a entry = {
 
 type 'a t = {
   rings : 'a entry Ring_buffer.t array;
-  directory : (int, int * int) Hashtbl.t;  (* key -> (ring, stable seq) *)
+  (* key -> (stable seq lsl 6) lor ring: packing the location into one
+     immediate int keeps directory updates free of tuple allocation *)
+  directory : Int_table.t;
   adaptive : bool;
   mutable data_count : int;
   mutable high_water : int;
+  mutable cancelled_count : int;  (* queued entries marked cancelled *)
 }
 
 let create ~k ~capacity ~adaptive =
   if k <= 0 then invalid_arg "Fifo.create: k must be positive";
+  if k > 64 then invalid_arg "Fifo.create: k must be at most 64";
   {
     rings = Array.init k (fun _ -> Ring_buffer.create ~capacity);
-    directory = Hashtbl.create 32;
+    directory = Int_table.create ();
     adaptive;
     data_count = 0;
     high_water = 0;
+    cancelled_count = 0;
   }
 
 let push_entry t ~ring entry =
@@ -34,7 +40,7 @@ let push_entry t ~ring entry =
     let seq = Ring_buffer.head_seq rb + Ring_buffer.length rb in
     let ok = Ring_buffer.push rb entry in
     assert ok;
-    Hashtbl.replace t.directory entry.key (ring, seq);
+    Int_table.replace t.directory entry.key ((seq lsl 6) lor ring);
     `Ok
   end
 
@@ -52,29 +58,45 @@ let push_data t ~ring ~ts ~key v =
       `Ok
   | `Dropped -> `Dropped
 
+(* Raises [Not_found] when [key] is not (or no longer) queued; a stale
+   directory entry (phantom already popped/overwritten) is removed on the
+   way out.  Exception-based so the found path allocates nothing. *)
 let find_entry t key =
-  match Hashtbl.find_opt t.directory key with
-  | None -> None
-  | Some (ring, seq) -> (
-      match Ring_buffer.get_seq t.rings.(ring) seq with
-      | Some entry when entry.key = key -> Some entry
-      | _ ->
-          (* Stale directory entry (phantom already popped/overwritten). *)
-          Hashtbl.remove t.directory key;
-          None)
+  let packed = Int_table.find t.directory key in
+  let rb = t.rings.(packed land 63) in
+  let i = (packed lsr 6) - Ring_buffer.head_seq rb in
+  if i >= 0 && i < Ring_buffer.length rb then begin
+    let entry = Ring_buffer.get rb i in
+    if entry.key = key then entry
+    else begin
+      Int_table.remove t.directory key;
+      raise Not_found
+    end
+  end
+  else begin
+    Int_table.remove t.directory key;
+    raise Not_found
+  end
 
 let insert_data t ~key v =
   match find_entry t key with
-  | Some entry when entry.data = None && not entry.cancelled ->
-      entry.data <- Some v;
-      bump_data t;
-      `Ok
-  | _ -> `No_phantom
+  | entry -> (
+      match entry.data with
+      | None when not entry.cancelled ->
+          entry.data <- Some v;
+          bump_data t;
+          `Ok
+      | _ -> `No_phantom)
+  | exception Not_found -> `No_phantom
 
 let cancel t ~key =
   match find_entry t key with
-  | Some entry -> entry.cancelled <- true
-  | None -> ()
+  | entry ->
+      if not entry.cancelled then begin
+        entry.cancelled <- true;
+        t.cancelled_count <- t.cancelled_count + 1
+      end
+  | exception Not_found -> ()
 
 (* Purge cancelled entries sitting at ring heads: they cost nothing (the
    hardware skips them when updating head pointers). *)
@@ -85,7 +107,8 @@ let purge_ring t ring =
     | Some entry when entry.cancelled ->
         (match Ring_buffer.pop rb with
         | Some e ->
-            Hashtbl.remove t.directory e.key;
+            Int_table.remove t.directory e.key;
+            t.cancelled_count <- t.cancelled_count - 1;
             if e.data <> None then t.data_count <- t.data_count - 1
         | None -> ());
         go ()
@@ -93,16 +116,21 @@ let purge_ring t ring =
   in
   go ()
 
-(* [head] and [pop_data] run several times per (stage, pipeline) per
-   simulated cycle; plain loops reusing the [peek]ed option (physically
-   the stored cell) keep them allocation-free. *)
+(* Cancellations only happen on drops, so the common case is a single
+   integer test instead of peeking every ring. *)
+let purge_all t =
+  if t.cancelled_count > 0 then
+    for i = 0 to Array.length t.rings - 1 do
+      purge_ring t i
+    done
+
+(* [head], [pop_data] and [take] run several times per (stage, pipeline)
+   per simulated cycle; plain loops reusing the [peek]ed option
+   (physically the stored cell) keep them allocation-free. *)
 let head t =
-  let n = Array.length t.rings in
-  for i = 0 to n - 1 do
-    purge_ring t i
-  done;
+  purge_all t;
   let best = ref None in
-  for i = 0 to n - 1 do
+  for i = 0 to Array.length t.rings - 1 do
     match Ring_buffer.peek t.rings.(i) with
     | None -> ()
     | Some entry as s -> (
@@ -137,11 +165,38 @@ let pop_data t =
       match entry.data with
       | Some v ->
           ignore (Ring_buffer.pop t.rings.(!best_ring));
-          Hashtbl.remove t.directory entry.key;
+          Int_table.remove t.directory entry.key;
           t.data_count <- t.data_count - 1;
           v
       | None -> invalid_arg "Fifo.pop_data: head is a phantom")
   | None -> invalid_arg "Fifo.pop_data: empty"
+
+(* [head] fused with the pop that follows a [`Data] answer: one ring scan
+   instead of the two [head]+[pop_data] would make. *)
+let take t =
+  purge_all t;
+  let best = ref None in
+  let best_ring = ref (-1) in
+  for i = 0 to Array.length t.rings - 1 do
+    match Ring_buffer.peek t.rings.(i) with
+    | None -> ()
+    | Some entry as s -> (
+        match !best with
+        | Some (e : _ entry) when e.ts <= entry.ts -> ()
+        | _ ->
+            best := s;
+            best_ring := i)
+  done;
+  match !best with
+  | None -> `Empty
+  | Some entry -> (
+      match entry.data with
+      | None -> `Blocked entry.key
+      | Some v ->
+          ignore (Ring_buffer.pop t.rings.(!best_ring));
+          Int_table.remove t.directory entry.key;
+          t.data_count <- t.data_count - 1;
+          `Data (entry.key, v))
 
 let length t = Array.fold_left (fun acc rb -> acc + Ring_buffer.length rb) 0 t.rings
 

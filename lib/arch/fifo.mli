@@ -24,7 +24,8 @@ type 'a t
 
 val create : k:int -> capacity:int -> adaptive:bool -> 'a t
 (** [adaptive] makes full rings grow instead of dropping — the paper's
-    simulator mode for loss-free experiments. *)
+    simulator mode for loss-free experiments.  [k] is limited to 64 so a
+    queued entry's location packs into one immediate int. *)
 
 val push_phantom : 'a t -> ring:int -> ts:int -> key:int -> [ `Ok | `Dropped ]
 (** Enqueue a placeholder for packet [key] ([key] is unique per FIFO:
@@ -49,6 +50,12 @@ val head : 'a t -> [ `Empty | `Blocked of int | `Data of int * 'a ]
 val pop_data : 'a t -> 'a
 (** Dequeues the head previously reported as [`Data].
     @raise Invalid_argument if the head is not ready data. *)
+
+val take : 'a t -> [ `Empty | `Blocked of int | `Data of int * 'a ]
+(** {!head} fused with the {!pop_data} that follows a [`Data] answer, in
+    a single scan of the ring heads: when the logical head is ready data
+    it is dequeued and returned, otherwise the FIFO is untouched.  For
+    the simulator's per-cycle pop phase. *)
 
 val length : 'a t -> int
 (** Queued entries across all rings (including phantoms). *)

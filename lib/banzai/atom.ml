@@ -69,6 +69,59 @@ let exec_stateful ~tables ~fields ~reg_array atom =
     { accessed = true; cell; old_value; new_value }
   end
 
+(* --- kernel compilation ---
+
+   Compile-once counterparts of [exec_stateless]/[exec_stateful]: the
+   returned closures never touch an [Expr.t] and allocate nothing, which
+   is what lets the cycle-level simulator drop AST interpretation from
+   its hot loop.  Results are bit-identical to the exec_* functions. *)
+
+let compile_stateless ~tables op =
+  let k = Expr.compile tables ~state:None op.rhs in
+  let dst = op.dst in
+  fun fields -> fields.(dst) <- k fields
+
+let compile_stateful ~tables atom =
+  let index_k = Expr.compile tables ~state:None atom.index in
+  let guard_k =
+    match atom.guard with
+    | None -> None
+    | Some g -> Some (Expr.compile tables ~state:None g)
+  in
+  (* The update closure reads the old cell value through this ref — see
+     {!Expr.compile}; the kernel below stores it there before the call. *)
+  let state_cell = ref 0 in
+  let update_k =
+    match atom.update with
+    | None -> (fun _ -> !state_cell)
+    | Some u -> Expr.compile tables ~state:(Some state_cell) u
+  in
+  (* Outputs split into parallel arrays: reading them in the per-packet
+     loop allocates nothing. *)
+  let outs = Array.of_list atom.outputs in
+  let out_dst = Array.map fst outs in
+  let out_old = Array.map (fun (_, src) -> src = Old_value) outs in
+  let n_out = Array.length outs in
+  fun fields reg_array cell_hint ->
+    let cell =
+      if cell_hint >= 0 then cell_hint
+      else clamp_index (index_k fields) (Array.length reg_array)
+    in
+    let accessed =
+      match guard_k with None -> true | Some g -> Expr.truthy (g fields)
+    in
+    if not accessed then -1
+    else begin
+      let old_value = Array.unsafe_get reg_array cell in
+      state_cell := old_value;
+      let new_value = update_k fields in
+      Array.unsafe_set reg_array cell new_value;
+      for i = 0 to n_out - 1 do
+        fields.(out_dst.(i)) <- (if out_old.(i) then old_value else new_value)
+      done;
+      cell
+    end
+
 let pp_stateless ppf op = Format.fprintf ppf "f%d := %a" op.dst Expr.pp op.rhs
 
 let pp_output ppf (dst, src) =

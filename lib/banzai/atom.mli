@@ -57,5 +57,27 @@ val resolve_index : tables:Table.t array -> fields:int array -> size:int -> stat
 (** The cell the atom would touch for this header — the computation MP5's
     address-resolution stage performs preemptively. *)
 
+val compile_stateless : tables:Table.t array -> stateless_op -> (int array -> unit)
+(** Compile-once counterpart of {!exec_stateless}: the returned closure
+    applies the header rewrite without touching the expression AST and
+    without allocating.  Bit-identical to [exec_stateless]. *)
+
+val compile_stateful :
+  tables:Table.t array -> stateful -> (int array -> int array -> int -> int)
+(** Compile-once counterpart of {!exec_stateful}.
+    [k fields reg_array cell_hint] performs the guarded read-modify-write
+    and output writes exactly like [exec_stateful] and returns the
+    accessed cell, or [-1] when the guard evaluated falsy (in which case
+    nothing was written) — an int instead of an {!access_result} record
+    so the per-packet path allocates nothing.  A non-negative [cell_hint]
+    is taken as the already-resolved cell index, skipping the index
+    recomputation: the simulator resolves every resolvable index at
+    arrival (and steers the packet by that cell), so re-deriving it at
+    execution time would redo the same hash.  Pass [-1] to compute the
+    index from the current fields.  The returned closure carries the
+    mutable cell-value ref the update expression reads through, so it
+    must not be shared across domains; compile one kernel per simulator
+    instance. *)
+
 val pp_stateless : Format.formatter -> stateless_op -> unit
 val pp_stateful : Format.formatter -> stateful -> unit

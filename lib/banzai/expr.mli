@@ -47,6 +47,20 @@ val eval_raw : Table.t array -> int array -> int option -> t -> int
     arguments: no optional-argument boxing per call, for evaluation in
     simulator hot loops. *)
 
+val compile : Table.t array -> state:int ref option -> t -> (int array -> int)
+(** [compile tables ~state e] compiles [e] once into a closed arity-1
+    closure [fun fields -> v] that is bit-identical to
+    [eval_raw tables fields st e], where [st] is [Some !cell] read at
+    call time when [state = Some cell] and [None] when [state = None]
+    (a *reached* [State_val] then raises the same [Invalid_argument] as
+    the interpreter).  The [int ref] threads the register cell value
+    without a second closure argument: unknown arity-1 applications are
+    a single indirect call in native code, where two-argument ones go
+    through [caml_apply2].  Constructor and operator dispatch, constant
+    operands, and single/two-key hashes are all specialized away at
+    compile time, so the returned closure performs no AST traversal and
+    no allocation. *)
+
 val uses_state : t -> bool
 (** Does the expression mention [State_val]? *)
 

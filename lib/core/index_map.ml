@@ -5,6 +5,9 @@ type t = {
   pipelines : int array;
   counts : int array;
   inflights : int array;
+  (* per-pipeline sums of [counts], maintained incrementally so the remap
+     heuristic's load reads are O(k) instead of an O(size) scan *)
+  loads : int array;
 }
 
 let create ~k ~reg ~size ~sharded ~pinned_to ~init =
@@ -19,14 +22,25 @@ let create ~k ~reg ~size ~sharded ~pinned_to ~init =
           let block = (size + k - 1) / k in
           Array.init size (fun i -> i / block)
   in
-  { k; reg; sharded; pipelines; counts = Array.make size 0; inflights = Array.make size 0 }
+  {
+    k;
+    reg;
+    sharded;
+    pipelines;
+    counts = Array.make size 0;
+    inflights = Array.make size 0;
+    loads = Array.make k 0;
+  }
 
 let k t = t.k
 let size t = Array.length t.pipelines
 let sharded t = t.sharded
 let pipeline_of t cell = t.pipelines.(cell)
 
-let note_access t cell = t.counts.(cell) <- t.counts.(cell) + 1
+let note_access t cell =
+  t.counts.(cell) <- t.counts.(cell) + 1;
+  let p = t.pipelines.(cell) in
+  t.loads.(p) <- t.loads.(p) + 1
 let incr_inflight t cell = t.inflights.(cell) <- t.inflights.(cell) + 1
 
 let decr_inflight t cell =
@@ -36,15 +50,18 @@ let decr_inflight t cell =
 let inflight t cell = t.inflights.(cell)
 let access_count t cell = t.counts.(cell)
 
-let per_pipeline_load t =
-  let load = Array.make t.k 0 in
-  Array.iteri (fun cell p -> load.(p) <- load.(p) + t.counts.(cell)) t.pipelines;
-  load
+let per_pipeline_load t = Array.copy t.loads
 
-let reset_counts t = Array.fill t.counts 0 (Array.length t.counts) 0
+let reset_counts t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  Array.fill t.loads 0 t.k 0
 
 let move t ~cell ~to_ =
   if not t.sharded then invalid_arg "Index_map.move: array is pinned";
+  let c = t.counts.(cell) in
+  let from_ = t.pipelines.(cell) in
+  t.loads.(from_) <- t.loads.(from_) - c;
+  t.loads.(to_) <- t.loads.(to_) + c;
   t.pipelines.(cell) <- to_
 
 let cells_of_pipeline t p =

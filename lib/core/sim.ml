@@ -60,18 +60,26 @@ type result = {
 
 (* --- runtime packet state --- *)
 
+(* Guard resolution outcome, as an immediate variant rather than a
+   [bool option] so refreshing it on a recycled packet allocates
+   nothing. *)
+type gk = Gk_unknown | Gk_false | Gk_true
+
 type rt_access = {
   plan : Transform.access;
-  mutable guard_known : bool option;  (* resolved at arrival; None = unknown *)
+  mutable guard_known : gk;           (* resolved at arrival *)
   mutable cell : int;                 (* -1 when the index is unresolvable *)
   mutable dest : int;                 (* destination pipeline for this access *)
   mutable done_ : bool;
   mutable counted : bool;             (* holds an in-flight counter *)
 }
 
+(* [seq]/[time_in] are mutable only so exited packets can be recycled
+   through the arena; a packet's identity is fixed while it is in
+   flight. *)
 type packet = {
-  seq : int;
-  time_in : int;
+  mutable seq : int;
+  mutable time_in : int;
   fields : int array;
   accs : rt_access array;
   mutable ecn : bool;
@@ -91,20 +99,27 @@ type queue = Logical of packet Fifo.t | Per_cell of per_cell
 
 type delivery = { d_seq : int; d_stage : int; d_dest : int; d_ring : int; d_cell : int }
 
-type transfer =
-  | T_stateless of packet * int  (* destination pipeline; stage implied by list *)
-  | T_stateful of packet * int * int * int  (* dest pipeline, source pipeline, cell *)
-  | T_queued of packet * int * int
-      (* stateless packet queued at a stateful stage (dest, source):
-         Invariant 2 ablation, stateless_priority = false *)
+(* A transfer is a packet plus a packed descriptor int:
+   bits 0-1 tag (0 = stateless, 1 = stateful, 2 = queued),
+   bits 2-7 destination pipeline, bits 8-13 source pipeline,
+   bits 14+ cell + 1 (so the unresolved cell -1 packs non-negatively).
+   Packing instead of a variant record keeps the movement phase from
+   allocating one block per packet per stage per cycle. *)
+let t_stateless = 0
+and t_stateful = 1
+and t_queued = 2
+
+let pack_transfer ~tag ~dest ~src ~cell =
+  tag lor (dest lsl 2) lor (src lsl 8) lor ((cell + 1) lsl 14)
 
 type sim = {
   p : params;
   prog : Transform.t;
   config : Config.t;
+  kernel : Kernel.t;                       (* compiled (or interpreter-backed) stage kernels *)
   n_stages : int;
   accesses : Transform.access array;
-  accs_by_stage : int list array;          (* acc ids per stage *)
+  accs_by_stage : int array array;         (* acc ids per stage *)
   stateful_stage : bool array;
   stores : Store.t array;                  (* one per pipeline *)
   maps : Index_map.t array;                (* one per register array *)
@@ -117,11 +132,21 @@ type sim = {
      refresh allocates nothing *)
   hw_key : int array array;
   hw_since : int array array;
+  watch_heads : bool;                      (* starvation guard active? *)
   (* per-cycle transfer buffers, [stage] indexed, refilled during
-     movement and drained (then cleared, keeping capacity) on apply *)
-  transfers : transfer Vec.t array;
-  (* scratch for movement_phase crossbar claims, cleared each cycle *)
+     movement and drained (then cleared, keeping capacity) on apply;
+     parallel vectors of packets and packed descriptors *)
+  t_pkts : packet Vec.t array;
+  t_descs : int Vec.t array;
+  (* scratch for movement_phase crossbar claims; only meaningful within
+     one movement phase, so it is cleared lazily — only when the
+     previous phase actually set a claim *)
   claimed : bool array array;
+  mutable claims_dirty : bool;
+  (* packet arena: exited/dropped packets are recycled here so
+     steady-state arrival allocates no packet, fields array or rt_access
+     records *)
+  arena : packet Vec.t;
   (* metrics *)
   mutable delivered : int;
   mutable dropped : int;
@@ -130,8 +155,19 @@ type sim = {
   mutable in_flight : int;
   mutable first_exit : int;
   mutable last_exit : int;
-  access_seqs : (int * int, int list) Hashtbl.t;
-  mutable exits : (int * int array * int) list;  (* seq, headers, latency; reversed *)
+  (* access log keyed by [reg lsl 32 lor cell] (no tuple allocation per
+     lookup), accumulated into a Vec per key; the open-addressing table
+     maps each key to its slot in the parallel key/vec vectors.
+     Converted to the result's (reg, cell) -> seq list table in [run]'s
+     epilogue *)
+  access_log : Mp5_util.Int_table.t;
+  log_keys : int Vec.t;
+  log_vecs : int Vec.t Vec.t;
+  (* exit records as three parallel vectors in exit order: rebuilding the
+     result's lists walks contiguous arrays instead of a cons chain *)
+  exit_seqs : int Vec.t;
+  exit_headers : int array Vec.t;
+  exit_lats : int Vec.t;
 }
 
 let new_fifo sim =
@@ -150,7 +186,7 @@ let cell_fifo sim pc cell =
       Hashtbl.add pc.pc_cells cell f;
       f
 
-let create params prog =
+let create ?(compiled = true) params prog =
   let config = prog.Transform.config in
   let n_stages = Array.length config.Config.stages in
   let accesses = prog.Transform.accesses in
@@ -159,8 +195,8 @@ let create params prog =
     (fun (a : Transform.access) ->
       accs_by_stage.(a.stage) <- a.acc_id :: accs_by_stage.(a.stage))
     accesses;
-  let accs_by_stage = Array.map List.rev accs_by_stage in
-  let stateful_stage = Array.map (fun l -> l <> []) accs_by_stage in
+  let accs_by_stage = Array.map (fun l -> Array.of_list (List.rev l)) accs_by_stage in
+  let stateful_stage = Array.map (fun l -> l <> [||]) accs_by_stage in
   let rng =
     match params.shard_init with
     | `Random seed -> Some (Mp5_util.Rng.create seed)
@@ -197,6 +233,7 @@ let create params prog =
       p = params;
       prog;
       config;
+      kernel = Kernel.create ~compiled prog;
       n_stages;
       accesses;
       accs_by_stage;
@@ -209,8 +246,12 @@ let create params prog =
       doomed = Hashtbl.create 64;
       hw_key = Array.make_matrix n_stages params.k (-1);
       hw_since = Array.make_matrix n_stages params.k 0;
-      transfers = Array.init n_stages (fun _ -> Vec.create ());
+      watch_heads = params.starvation_threshold <> None;
+      t_pkts = Array.init n_stages (fun _ -> Vec.create ());
+      t_descs = Array.init n_stages (fun _ -> Vec.create ());
       claimed = Array.make_matrix n_stages params.k false;
+      claims_dirty = false;
+      arena = Vec.create ();
       delivered = 0;
       dropped = 0;
       dropped_stateless = 0;
@@ -218,8 +259,12 @@ let create params prog =
       in_flight = 0;
       first_exit = -1;
       last_exit = 0;
-      access_seqs = Hashtbl.create 64;
-      exits = [];
+      access_log = Mp5_util.Int_table.create ();
+      log_keys = Vec.create ();
+      log_vecs = Vec.create ();
+      exit_seqs = Vec.create ();
+      exit_headers = Vec.create ();
+      exit_lats = Vec.create ();
     }
   in
   Array.iteri
@@ -245,11 +290,15 @@ let uses_phantoms sim = match sim.p.mode with No_d4 -> false | _ -> true
    not known false.  Returns the acc id, or -1 when the packet passes the
    stage statelessly — an int so the hot loop allocates no list. *)
 let queued_acc sim pkt stage =
-  let rec go = function
-    | [] -> -1
-    | id :: tl -> if pkt.accs.(id).guard_known <> Some false then id else go tl
+  let accs = sim.accs_by_stage.(stage) in
+  let n = Array.length accs in
+  let rec go i =
+    if i = n then -1
+    else
+      let id = Array.unsafe_get accs i in
+      if pkt.accs.(id).guard_known <> Gk_false then id else go (i + 1)
   in
-  go sim.accs_by_stage.(stage)
+  go 0
 
 let drop_packet sim pkt at_stage =
   sim.dropped <- sim.dropped + 1;
@@ -262,7 +311,7 @@ let drop_packet sim pkt at_stage =
         release_inflight sim rt;
         (* Cancel phantoms parked at later stages (already-delivered ones;
            undelivered ones are filtered by the doomed set on delivery). *)
-        if rt.plan.Transform.stage > at_stage && rt.guard_known <> Some false then
+        if rt.plan.Transform.stage > at_stage && rt.guard_known <> Gk_false then
           match sim.fifos.(rt.plan.Transform.stage).(rt.dest) with
           | Some (Logical f) -> Fifo.cancel f ~key:pkt.seq
           | Some (Per_cell pc) -> (
@@ -274,33 +323,30 @@ let drop_packet sim pkt at_stage =
               | None -> ())
           | None -> ()
       end)
-    pkt.accs
+    pkt.accs;
+  (* The packet now lives nowhere but this frame: recycle it. *)
+  Vec.push sim.arena pkt
 
 (* --- address resolution (stage 0, performed on arrival; §3.3) --- *)
 
 let resolve sim now entry_pipeline pkt =
-  let tables = sim.config.Config.tables in
-  Array.iter
-    (fun rt ->
+  Array.iteri
+    (fun i rt ->
       let plan = rt.plan in
       let map = sim.maps.(plan.Transform.reg) in
-      (match plan.Transform.guard with
-      | Transform.G_always -> rt.guard_known <- Some true
-      | Transform.G_resolved g ->
-          rt.guard_known <-
-            Some (Expr.truthy (Expr.eval_raw tables pkt.fields None g))
-      | Transform.G_unresolved -> rt.guard_known <- None);
-      (match plan.Transform.index with
-      | Transform.I_resolved idx ->
-          let size = Index_map.size map in
-          let v = Expr.eval_raw tables pkt.fields None idx in
-          let cell = ((v mod size) + size) mod size in
+      (match sim.kernel.Kernel.guard.(i) with
+      | Kernel.G_true -> rt.guard_known <- Gk_true
+      | Kernel.G_pred p -> rt.guard_known <- (if p pkt.fields then Gk_true else Gk_false)
+      | Kernel.G_unknown -> rt.guard_known <- Gk_unknown);
+      (match sim.kernel.Kernel.index.(i) with
+      | Kernel.I_cell f ->
+          let cell = f pkt.fields in
           rt.cell <- cell;
           rt.dest <- Index_map.pipeline_of map cell
-      | Transform.I_unresolved ->
+      | Kernel.I_none ->
           rt.cell <- -1;
           rt.dest <- Index_map.pipeline_of map 0);
-      if rt.guard_known <> Some false then begin
+      if rt.guard_known <> Gk_false then begin
         (* Count the resolved access and pin the cell against remaps. *)
         if rt.cell >= 0 then begin
           Index_map.note_access map rt.cell;
@@ -325,8 +371,7 @@ let resolve sim now entry_pipeline pkt =
 (* --- per-cycle phases --- *)
 
 let deliver_phantoms sim now =
-  List.iter
-    (fun d ->
+  Channel.drain sim.channel ~now (fun d ->
       if not (Hashtbl.mem sim.doomed d.d_seq) then
         match sim.fifos.(d.d_stage).(d.d_dest) with
         | Some (Logical f) ->
@@ -335,26 +380,32 @@ let deliver_phantoms sim now =
             let f = cell_fifo sim pc d.d_cell in
             ignore (Fifo.push_phantom f ~ring:d.d_ring ~ts:d.d_seq ~key:d.d_seq)
         | None -> invalid_arg "phantom destined to a stateless stage")
-    (Channel.due sim.channel ~now)
 
 (* Age of the blocked/queued head of a logical FIFO, for the starvation
-   guard.  Updated once per cycle from the pop phase. *)
+   guard.  Updated once per cycle from the pop phase.  The watch is only
+   ever read through [head_age] when [starvation_threshold] is set, so
+   with the guard disabled (the default) both maintainers are no-ops —
+   in particular [update_head_watch] then skips a whole [Fifo.head]
+   ring scan per stateful (stage, pipeline) per cycle. *)
 let watch_key sim now stage p key =
-  if key = -1 then begin
-    if sim.hw_key.(stage).(p) <> -1 then sim.hw_key.(stage).(p) <- -1
-  end
-  else if key <> sim.hw_key.(stage).(p) then begin
-    sim.hw_key.(stage).(p) <- key;
-    sim.hw_since.(stage).(p) <- now
+  if sim.watch_heads then begin
+    if key = -1 then begin
+      if sim.hw_key.(stage).(p) <> -1 then sim.hw_key.(stage).(p) <- -1
+    end
+    else if key <> sim.hw_key.(stage).(p) then begin
+      sim.hw_key.(stage).(p) <- key;
+      sim.hw_since.(stage).(p) <- now
+    end
   end
 
 let update_head_watch sim now stage p =
-  match sim.fifos.(stage).(p) with
-  | Some (Logical f) -> (
-      match Fifo.head f with
-      | `Empty -> watch_key sim now stage p (-1)
-      | `Blocked key | `Data (key, _) -> watch_key sim now stage p key)
-  | _ -> ()
+  if sim.watch_heads then
+    match sim.fifos.(stage).(p) with
+    | Some (Logical f) -> (
+        match Fifo.head f with
+        | `Empty -> watch_key sim now stage p (-1)
+        | `Blocked key | `Data (key, _) -> watch_key sim now stage p key)
+    | _ -> ()
 
 let head_age sim now stage p =
   if sim.hw_key.(stage).(p) < 0 then 0 else now - sim.hw_since.(stage).(p)
@@ -392,53 +443,60 @@ let insert_stateful sim now stage pkt ~dest ~src ~cell =
   | `No_phantom -> drop_packet sim pkt (stage - 1)
 
 let apply_transfers sim now =
-  Array.iteri
-    (fun stage ts ->
-      (* Reverse order reproduces the consing order of the transfer lists
-         this buffer replaced, keeping replays bit-identical. *)
-      Vec.iter_rev
-        (fun t ->
-          match t with
-          | T_stateful (pkt, dest, src, cell) ->
-              insert_stateful sim now stage pkt ~dest ~src ~cell
-          | T_queued (pkt, dest, src) -> (
-              let f, pc = stage_queue sim stage ~dest ~cell:(-1) in
-              match Fifo.push_data f ~ring:src ~ts:pkt.seq ~key:pkt.seq pkt with
-              | `Ok -> Option.iter (fun pc -> notify_ready pc (-1)) pc
-              | `Dropped -> drop_packet sim pkt (stage - 1))
-          | T_stateless (pkt, dest) -> (
-              (* Starvation guard: sacrifice the stateless packet when the
-                 queued head has waited too long (§3.4). *)
-              let starve =
-                match sim.p.starvation_threshold with
-                | Some thr ->
-                    sim.stateful_stage.(stage) && head_age sim now stage dest > thr
-                | None -> false
-              in
-              if starve then begin
-                sim.dropped_stateless <- sim.dropped_stateless + 1;
-                drop_packet sim pkt (stage - 1)
-              end
-              else begin
-                assert (sim.slots.(stage).(dest) = None);
-                sim.slots.(stage).(dest) <- Some pkt
-              end))
-        ts;
-      Vec.clear ts)
-    sim.transfers
+  for stage = 0 to sim.n_stages - 1 do
+    let pkts = sim.t_pkts.(stage) and descs = sim.t_descs.(stage) in
+    (* Reverse order reproduces the consing order of the transfer lists
+       this buffer replaced, keeping replays bit-identical. *)
+    for i = Vec.length pkts - 1 downto 0 do
+      let pkt = Vec.get pkts i in
+      let desc = Vec.get descs i in
+      let dest = (desc lsr 2) land 63 in
+      let src = (desc lsr 8) land 63 in
+      match desc land 3 with
+      | 1 (* stateful *) ->
+          insert_stateful sim now stage pkt ~dest ~src ~cell:((desc lsr 14) - 1)
+      | 2 (* queued *) -> (
+          let f, pc = stage_queue sim stage ~dest ~cell:(-1) in
+          match Fifo.push_data f ~ring:src ~ts:pkt.seq ~key:pkt.seq pkt with
+          | `Ok -> Option.iter (fun pc -> notify_ready pc (-1)) pc
+          | `Dropped -> drop_packet sim pkt (stage - 1))
+      | _ (* stateless *) ->
+          (* Starvation guard: sacrifice the stateless packet when the
+             queued head has waited too long (§3.4). *)
+          let starve =
+            match sim.p.starvation_threshold with
+            | Some thr ->
+                sim.stateful_stage.(stage) && head_age sim now stage dest > thr
+            | None -> false
+          in
+          if starve then begin
+            sim.dropped_stateless <- sim.dropped_stateless + 1;
+            drop_packet sim pkt (stage - 1)
+          end
+          else begin
+            assert (Option.is_none sim.slots.(stage).(dest));
+            sim.slots.(stage).(dest) <- Some pkt
+          end
+    done;
+    Vec.clear pkts;
+    Vec.clear descs
+  done
 
 let pop_phase sim now =
   for stage = 0 to sim.n_stages - 1 do
     if sim.stateful_stage.(stage) then
       for p = 0 to sim.p.k - 1 do
-        if sim.slots.(stage).(p) = None then begin
+        match sim.slots.(stage).(p) with
+        | Some _ -> update_head_watch sim now stage p
+        | None -> (
           match sim.fifos.(stage).(p) with
           | Some (Logical f) -> (
-              (* One [Fifo.head] feeds both the pop decision and the
-                 starvation watch; only a pop invalidates it. *)
-              match Fifo.head f with
-              | `Data (_, _) ->
-                  sim.slots.(stage).(p) <- Some (Fifo.pop_data f);
+              (* One [Fifo.take] both decides and performs the pop; its
+                 answer feeds the starvation watch, which only needs a
+                 fresh [head] after a pop invalidated it. *)
+              match Fifo.take f with
+              | `Data (_, pkt) ->
+                  sim.slots.(stage).(p) <- Some pkt;
                   update_head_watch sim now stage p
               | `Blocked key -> watch_key sim now stage p key
               | `Empty -> watch_key sim now stage p (-1))
@@ -470,55 +528,57 @@ let pop_phase sim now =
                    (* The next entry of this cell may already be data. *)
                    Hashtbl.replace pc.pc_ready cell ()
                | None -> ())
-          | None -> ()
-        end
-        else update_head_watch sim now stage p
+          | None -> ())
       done
   done
 
+(* The key packs (reg, cell) into one int so the per-access lookup
+   allocates no tuple; [Int_table.find]'s Not_found (an exception, not an
+   option) keeps the found path allocation-free too. *)
 let log_access sim reg cell seq =
-  let key = (reg, cell) in
-  let prev = try Hashtbl.find sim.access_seqs key with Not_found -> [] in
-  Hashtbl.replace sim.access_seqs key (seq :: prev)
+  let key = (reg lsl 32) lor cell in
+  match Mp5_util.Int_table.find sim.access_log key with
+  | i -> Vec.push (Vec.get sim.log_vecs i) seq
+  | exception Not_found ->
+      let v = Vec.create () in
+      Vec.push v seq;
+      Mp5_util.Int_table.replace sim.access_log key (Vec.length sim.log_keys);
+      Vec.push sim.log_keys key;
+      Vec.push sim.log_vecs v
 
-(* Top-level recursion instead of [List.iter] closures: the closures
-   would capture [sim]/[pkt]/[tables] and allocate once per stage per
-   packet per cycle. *)
-let rec run_stateless tables fields = function
-  | [] -> ()
-  | op :: tl ->
-      Atom.exec_stateless ~tables ~fields op;
-      run_stateless tables fields tl
-
-let rec run_accs sim pkt tables pipeline = function
-  | [] -> ()
-  | acc_id :: tl ->
-      let rt = pkt.accs.(acc_id) in
-      let atom = sim.accesses.(acc_id).Transform.atom in
-      let reg_array = Store.array sim.stores.(pipeline) ~reg:atom.Atom.reg in
-      let r = Atom.exec_stateful ~tables ~fields:pkt.fields ~reg_array atom in
-      if r.Atom.accessed then begin
-        assert (rt.cell < 0 || rt.cell = r.Atom.cell);
-        assert (rt.dest = pipeline);
-        log_access sim atom.Atom.reg r.Atom.cell pkt.seq
-      end;
-      rt.done_ <- true;
-      release_inflight sim rt;
-      run_accs sim pkt tables pipeline tl
+(* A plain indexed loop: no closure allocation, and the kernels
+   themselves (closures built once at [create]) walk no AST and allocate
+   nothing.  [rt.cell] resolved at arrival is handed to the kernel so a
+   resolvable index is hashed once per packet, not twice; the
+   interpreter-backed kernel recomputes it and the assert cross-checks
+   the two derivations. *)
+let run_accs sim pkt pipeline accs =
+  for i = 0 to Array.length accs - 1 do
+    let acc_id = Array.unsafe_get accs i in
+    let rt = pkt.accs.(acc_id) in
+    let reg = sim.accesses.(acc_id).Transform.reg in
+    let reg_array = Store.array sim.stores.(pipeline) ~reg in
+    let cell = sim.kernel.Kernel.exec.(acc_id) pkt.fields reg_array rt.cell in
+    if cell >= 0 then begin
+      assert (rt.cell < 0 || rt.cell = cell);
+      assert (rt.dest = pipeline);
+      log_access sim reg cell pkt.seq
+    end;
+    rt.done_ <- true;
+    release_inflight sim rt
+  done
 
 let process_stage sim pkt stage pipeline =
-  let s = sim.config.Config.stages.(stage) in
-  let tables = sim.config.Config.tables in
-  run_stateless tables pkt.fields s.stateless;
-  run_accs sim pkt tables pipeline sim.accs_by_stage.(stage)
+  sim.kernel.Kernel.stateless.(stage) pkt.fields;
+  run_accs sim pkt pipeline sim.accs_by_stage.(stage)
 
 let exec_phase sim now =
-  for stage = 0 to sim.n_stages - 1 do
+  (* stage 0 is address resolution, performed on arrival *)
+  for stage = 1 to sim.n_stages - 1 do
     for p = 0 to sim.p.k - 1 do
       match sim.slots.(stage).(p) with
       | None -> ()
-      | Some pkt -> if stage > 0 then process_stage sim pkt stage p
-      (* stage 0 is address resolution, performed on arrival *)
+      | Some pkt -> process_stage sim pkt stage p
     done
   done;
   ignore now
@@ -528,7 +588,10 @@ let movement_phase sim now =
      scratch matrix lives in the sim record so the loop allocates
      nothing. *)
   let claimed = sim.claimed in
-  Array.iter (fun row -> Array.fill row 0 (Array.length row) false) claimed;
+  if sim.claims_dirty then begin
+    Array.iter (fun row -> Array.fill row 0 (Array.length row) false) claimed;
+    sim.claims_dirty <- false
+  end;
   for stage = sim.n_stages - 1 downto 0 do
     for p = 0 to sim.p.k - 1 do
       match sim.slots.(stage).(p) with
@@ -543,22 +606,28 @@ let movement_phase sim now =
             if pkt.ecn then sim.marked <- sim.marked + 1;
             if sim.first_exit < 0 then sim.first_exit <- now;
             sim.last_exit <- now;
-            sim.exits <-
-              ( pkt.seq,
-                Array.sub pkt.fields 0 sim.config.Config.n_user_fields,
-                now - pkt.time_in )
-              :: sim.exits
+            Vec.push sim.exit_seqs pkt.seq;
+            Vec.push sim.exit_headers (Array.sub pkt.fields 0 sim.config.Config.n_user_fields);
+            Vec.push sim.exit_lats (now - pkt.time_in);
+            (* The user headers are copied out above; the frame itself is
+               free to be recycled. *)
+            Vec.push sim.arena pkt
           end
           else begin
             let acc_id = queued_acc sim pkt next in
             if acc_id >= 0 then begin
               let rt = pkt.accs.(acc_id) in
-              Vec.push sim.transfers.(next) (T_stateful (pkt, rt.dest, p, rt.cell))
+              Vec.push sim.t_pkts.(next) pkt;
+              Vec.push sim.t_descs.(next)
+                (pack_transfer ~tag:t_stateful ~dest:rt.dest ~src:p ~cell:rt.cell)
             end
-            else if sim.stateful_stage.(next) && not sim.p.stateless_priority then
+            else if sim.stateful_stage.(next) && not sim.p.stateless_priority then begin
               (* Invariant 2 disabled: stateless packets take their place
                  in the queue like everybody else. *)
-              Vec.push sim.transfers.(next) (T_queued (pkt, p, p))
+              Vec.push sim.t_pkts.(next) pkt;
+              Vec.push sim.t_descs.(next)
+                (pack_transfer ~tag:t_queued ~dest:p ~src:p ~cell:(-1))
+            end
             else begin
               (* Stateless at [next]: the crossbar steers it to a free
                  pipeline, preferring the current one. *)
@@ -574,11 +643,49 @@ let movement_phase sim now =
               in
               assert (dest >= 0);
               claimed.(next).(dest) <- true;
-              Vec.push sim.transfers.(next) (T_stateless (pkt, dest))
+              sim.claims_dirty <- true;
+              Vec.push sim.t_pkts.(next) pkt;
+              Vec.push sim.t_descs.(next)
+                (pack_transfer ~tag:t_stateless ~dest ~src:p ~cell:(-1))
             end
           end
     done
   done
+
+(* Fetch a packet frame from the arena (resetting it in place) or build a
+   fresh one; in steady state every arrival reuses a recycled frame and
+   allocates nothing. *)
+let alloc_packet sim ~seq ~now headers =
+  let n_fields = Array.length sim.config.Config.fields in
+  let n_copy = min (Array.length headers) sim.config.Config.n_user_fields in
+  if Vec.is_empty sim.arena then begin
+    let fields = Array.make n_fields 0 in
+    Array.blit headers 0 fields 0 n_copy;
+    let accs =
+      Array.map
+        (fun plan ->
+          { plan; guard_known = Gk_unknown; cell = -1; dest = 0; done_ = false; counted = false })
+        sim.accesses
+    in
+    { seq; time_in = now; fields; accs; ecn = false }
+  end
+  else begin
+    let pkt = Vec.pop sim.arena in
+    pkt.seq <- seq;
+    pkt.time_in <- now;
+    pkt.ecn <- false;
+    Array.fill pkt.fields 0 n_fields 0;
+    Array.blit headers 0 pkt.fields 0 n_copy;
+    Array.iter
+      (fun rt ->
+        rt.guard_known <- Gk_unknown;
+        rt.cell <- -1;
+        rt.dest <- 0;
+        rt.done_ <- false;
+        rt.counted <- false)
+      pkt.accs;
+    pkt
+  end
 
 let arrival_phase sim now trace cursor =
   (* Admit up to one packet per pipeline into the address-resolution
@@ -593,16 +700,7 @@ let arrival_phase sim now trace cursor =
     let input = trace.(!cursor) in
     let seq = !cursor in
     incr cursor;
-    let fields = Array.make (Array.length sim.config.Config.fields) 0 in
-    Array.blit input.Machine.headers 0 fields 0
-      (min (Array.length input.Machine.headers) sim.config.Config.n_user_fields);
-    let accs =
-      Array.map
-        (fun plan ->
-          { plan; guard_known = None; cell = -1; dest = 0; done_ = false; counted = false })
-        sim.accesses
-    in
-    let pkt = { seq; time_in = now; fields; accs; ecn = false } in
+    let pkt = alloc_packet sim ~seq ~now input.Machine.headers in
     let pipeline = !accepted in
     resolve sim now pipeline pkt;
     sim.slots.(0).(pipeline) <- Some pkt;
@@ -678,13 +776,13 @@ let observe sim now observer =
       in
       f { occ_cycle = now; occ_slots; occ_queues }
 
-let run ?observer params prog trace =
+let run ?observer ?(compiled = true) params prog trace =
   if Array.length trace = 0 then invalid_arg "Sim.run: empty trace";
-  let sim = create params prog in
+  let sim = create ~compiled params prog in
   let cursor = ref 0 in
   let now = ref trace.(0).Machine.time in
   let first_arrival = !now in
-  let last_progress = ref (0, !now) in
+  let last_score = ref 0 and last_progress_t = ref !now in
   while !cursor < Array.length trace || sim.in_flight > 0 do
     let t = !now in
     deliver_phantoms sim t;
@@ -698,9 +796,11 @@ let run ?observer params prog trace =
     then remap_phase sim;
     (* Progress guard against simulator deadlock bugs. *)
     let score = sim.delivered + sim.dropped + !cursor in
-    let last_score, last_t = !last_progress in
-    if score > last_score then last_progress := (score, t)
-    else if t - last_t > 200_000 then
+    if score > !last_score then begin
+      last_score := score;
+      last_progress_t := t
+    end
+    else if t - !last_progress_t > 200_000 then
       failwith "Sim.run: no progress for 200000 cycles (deadlock?)";
     (* Idle fast-forward: with nothing in flight the switch is inert, so
        jump to the next event — the next arrival, the next phantom
@@ -733,14 +833,26 @@ let run ?observer params prog trace =
         (float_of_int sim.delivered *. float_of_int input_span
         /. (float_of_int n *. float_of_int output_span))
   in
-  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) sim.access_seqs;
-  (* sim.exits is newest-first; one left fold rebuilds all three
-     exit-ordered series without materialising intermediate lists. *)
-  let headers_out, exit_order, latencies =
-    List.fold_left
-      (fun (hs, os, ls) (seq, h, l) -> ((seq, h) :: hs, seq :: os, (seq, l) :: ls))
-      ([], [], []) sim.exits
-  in
+  (* Unpack the int-keyed Vec access log into the result's
+     (reg, cell) -> seq list table; Vec push order is chronological, so
+     no reversal is needed. *)
+  let access_seqs = Hashtbl.create (Vec.length sim.log_keys) in
+  for i = 0 to Vec.length sim.log_keys - 1 do
+    let key = Vec.get sim.log_keys i in
+    Hashtbl.replace access_seqs
+      (key lsr 32, key land 0xFFFFFFFF)
+      (Vec.to_list (Vec.get sim.log_vecs i))
+  done;
+  (* The exit vectors are in exit order; one backward walk over the
+     contiguous arrays rebuilds all three exit-ordered lists. *)
+  let headers_out = ref [] and exit_order = ref [] and latencies = ref [] in
+  for i = Vec.length sim.exit_seqs - 1 downto 0 do
+    let seq = Vec.get sim.exit_seqs i in
+    headers_out := (seq, Vec.get sim.exit_headers i) :: !headers_out;
+    exit_order := seq :: !exit_order;
+    latencies := (seq, Vec.get sim.exit_lats i) :: !latencies
+  done;
+  let headers_out = !headers_out and exit_order = !exit_order and latencies = !latencies in
   {
     delivered = sim.delivered;
     dropped = sim.dropped;
@@ -752,7 +864,22 @@ let run ?observer params prog trace =
     max_queue = max_queue_depth sim;
     store = merge_stores sim;
     headers_out;
-    access_seqs = sim.access_seqs;
+    access_seqs;
     exit_order;
     latencies;
   }
+
+(* Exact equality of two results, for the kernel-vs-interpreter
+   differential harnesses.  Hashtables are compared by sorted contents,
+   not structurally (bucket layout is an implementation detail). *)
+let results_equal (a : result) (b : result) =
+  let tbl_sorted t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] |> List.sort compare in
+  a.delivered = b.delivered && a.dropped = b.dropped
+  && a.dropped_stateless = b.dropped_stateless
+  && a.marked = b.marked && a.cycles = b.cycles && a.input_span = b.input_span
+  && a.normalized_throughput = b.normalized_throughput
+  && a.max_queue = b.max_queue
+  && Store.equal a.store b.store
+  && a.headers_out = b.headers_out && a.exit_order = b.exit_order
+  && a.latencies = b.latencies
+  && tbl_sorted a.access_seqs = tbl_sorted b.access_seqs

@@ -82,10 +82,24 @@ type result = {
 
 val run :
   ?observer:(occupancy -> unit) ->
+  ?compiled:bool ->
   params ->
   Transform.t ->
   Mp5_banzai.Machine.input array ->
   result
 (** [run params program trace] simulates the (sorted) trace to completion:
     all packets either delivered or dropped.  [observer] is called once
-    per cycle after FIFO pops, with the stage occupancy. *)
+    per cycle after FIFO pops, with the stage occupancy.
+
+    [compiled] (default [true]) selects the execution engine: the stage
+    programs are lowered to closed closure kernels at construction time
+    (see {!Kernel}), so the per-cycle path walks no expression ASTs and
+    — together with the packet arena — allocates nothing in steady
+    state.  [~compiled:false] is the AST-interpreter escape hatch; both
+    engines produce bit-identical results (enforced by differential
+    tests). *)
+
+val results_equal : result -> result -> bool
+(** Exact equality of every observable field of two results — stores,
+    headers, access sequences, exit order, latencies, and all counters.
+    The check behind the kernel-vs-interpreter bit-identical guarantee. *)

@@ -42,11 +42,19 @@ val table : t -> string -> Mp5_banzai.Table.t
 val golden : t -> Mp5_banzai.Machine.input array -> Mp5_banzai.Machine.result
 (** Run the logical single-pipeline reference. *)
 
-val run : ?params:Sim.params -> k:int -> t -> Mp5_banzai.Machine.input array -> Sim.result
-(** Run the MP5 simulator ([params] defaults to {!Sim.default_params}). *)
+val run :
+  ?params:Sim.params ->
+  ?compiled:bool ->
+  k:int ->
+  t ->
+  Mp5_banzai.Machine.input array ->
+  Sim.result
+(** Run the MP5 simulator ([params] defaults to {!Sim.default_params};
+    [compiled] as in {!Sim.run}). *)
 
 val verify :
   ?params:Sim.params ->
+  ?compiled:bool ->
   k:int ->
   ?flow_of:(int -> int) ->
   t ->

@@ -44,6 +44,14 @@ let fnv1a1 x =
   let hi, lo = feed_int_halves hi lo x in
   finish (hi, lo)
 
+let fnv1a2 x y =
+  (* [fnv1a [x; y]] without the list: the two-key fast path of the
+     compiled [hash(...)] kernels. *)
+  let hi, lo = feed_int_halves fnv_offset_hi fnv_offset_lo 0 in
+  let hi, lo = feed_int_halves hi lo x in
+  let hi, lo = feed_int_halves hi lo y in
+  finish (hi, lo)
+
 let crc_table =
   lazy
     (Array.init 256 (fun n ->

@@ -13,6 +13,10 @@ val fnv1a1 : int -> int
 (** [fnv1a1 x] is [fnv1a [x]] without allocating the list — the
     single-key fast path of the expression evaluator's [hash(...)]. *)
 
+val fnv1a2 : int -> int -> int
+(** [fnv1a2 x y] is [fnv1a [x; y]] without allocating the list — the
+    two-key fast path of compiled [hash(...)] kernels. *)
+
 val fnv1a_seeded : seed:int -> int list -> int
 (** Like {!fnv1a} but mixed with [seed] first; gives independent hash
     functions for multi-hash sketches. *)

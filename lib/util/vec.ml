@@ -13,23 +13,30 @@ let push t x =
     Array.blit t.data 0 data 0 t.len;
     t.data <- data
   end;
-  t.data.(t.len) <- x;
+  (* In range by construction: [t.len < length t.data] after the growth
+     check above. *)
+  Array.unsafe_set t.data t.len x;
   t.len <- t.len + 1
 
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of range";
   t.data.(i)
 
+let pop t =
+  if t.len = 0 then invalid_arg "Vec.pop: empty";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
 let clear t = t.len <- 0
 
 let iter f t =
   for i = 0 to t.len - 1 do
-    f t.data.(i)
+    f (Array.unsafe_get t.data i)
   done
 
 let iter_rev f t =
   for i = t.len - 1 downto 0 do
-    f t.data.(i)
+    f (Array.unsafe_get t.data i)
   done
 
 let to_list t =

@@ -19,6 +19,11 @@ val push : 'a t -> 'a -> unit
 val get : 'a t -> int -> 'a
 (** @raise Invalid_argument when out of range. *)
 
+val pop : 'a t -> 'a
+(** Remove and return the last element.  Like {!clear}, the vacated slot
+    keeps its reference alive until overwritten.
+    @raise Invalid_argument when empty. *)
+
 val clear : 'a t -> unit
 (** Reset the length to zero without shrinking the backing array. *)
 

@@ -279,6 +279,38 @@ let prop_ring_buffer_model =
             | _ -> false)
         ops)
 
+let prop_int_table_model =
+  (* Open addressing with backward-shift deletion behaves like Hashtbl;
+     a small key range forces probe-chain collisions and deletions in
+     the middle of chains. *)
+  QCheck.Test.make ~name:"Int_table = Hashtbl model" ~count:200 QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create (seed + 909) in
+      let t = Mp5_util.Int_table.create () in
+      let h : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let find_opt key =
+        match Mp5_util.Int_table.find t key with
+        | v -> Some v
+        | exception Not_found -> None
+      in
+      let ok = ref true in
+      for _ = 1 to 400 do
+        let key = Rng.int rng 48 - 8 in
+        match Rng.int rng 4 with
+        | 0 | 1 ->
+            let v = Rng.int rng 1000 in
+            Mp5_util.Int_table.replace t key v;
+            Hashtbl.replace h key v
+        | 2 ->
+            Mp5_util.Int_table.remove t key;
+            Hashtbl.remove h key
+        | _ -> if find_opt key <> Hashtbl.find_opt h key then ok := false
+      done;
+      for key = -8 to 40 do
+        if find_opt key <> Hashtbl.find_opt h key then ok := false
+      done;
+      !ok && Mp5_util.Int_table.length t = Hashtbl.length h)
+
 let prop_sort_trace_sorted =
   QCheck.Test.make ~name:"sort_trace orders by (time, port)" ~count:200
     QCheck.(list (pair (QCheck.int_range 0 20) (QCheck.int_range 0 7)))
@@ -344,6 +376,7 @@ let () =
       ("pretty", q [ prop_pretty_roundtrip ]);
       ("simplify", q [ prop_simplify_preserves_eval; prop_simplify_never_grows ]);
       ( "structures",
-        q [ prop_ring_buffer_model; prop_sort_trace_sorted; prop_expr_eval_in_range;
+        q [ prop_ring_buffer_model; prop_int_table_model; prop_sort_trace_sorted;
+            prop_expr_eval_in_range;
             prop_dist_in_support ] );
     ]
