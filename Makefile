@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke perf clean
+.PHONY: all build test bench bench-smoke metrics-smoke perf clean
 
 all: build
 
@@ -15,7 +15,13 @@ test:
 # estimates (including sim:heavy-hitter-2k and its :interp twin).
 bench-smoke:
 	dune exec bench/main.exe -- --smoke --jobs 2 --json BENCH_results.json \
+	  --metrics-dir BENCH_metrics \
 	  d2 d3 fig7a ablate-fifo ablate-gate sim-micro perf
+
+# Cram test of the mp5sim telemetry surface (--metrics / --metrics-prom /
+# --trace / --report): exact CLI output, schema tags, event counts.
+metrics-smoke:
+	dune build @metrics
 
 bench:
 	dune exec bench/main.exe

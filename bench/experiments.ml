@@ -377,6 +377,108 @@ let ablate_fifo scale =
       (capacity, r.Sim.dropped, r.Sim.normalized_throughput))
     [ 2; 4; 8; 16; 32; 64 ]
 
+(* --- per-experiment telemetry probes (--metrics-dir) ---
+
+   One instrumented representative run per experiment: the same switch,
+   workload and parameters as the experiment's first sample, re-run once
+   with a [Mp5_obs.Metrics.t] attached, so every BENCH_results.json entry
+   can ship a telemetry snapshot explaining *why* its throughput came out
+   as it did (stall attribution, drops by cause, remap activity).  A
+   probe is one [Sim.run] — cheap next to the experiment itself — and
+   runs sequentially after it, off the domain pool. *)
+
+module Obs_metrics = Mp5_obs.Metrics
+
+let metrics_probe scale name =
+  let simulate ?(mode = Sim.Mp5) ?(shard_init = `Round_robin) ?(finite_fifos = false) sw trace
+      ~k =
+    let stages =
+      Array.length sw.Switch.prog.Mp5_core.Transform.config.Mp5_banzai.Config.stages
+    in
+    let m = Obs_metrics.create ~stages ~k in
+    let params = { (Sim.default_params ~k) with mode; shard_init } in
+    let params =
+      if finite_fifos then { params with Sim.fifo_capacity = 8; adaptive_fifos = false }
+      else params
+    in
+    ignore (Sim.run ~compiled:!compiled ~metrics:m params sw.Switch.prog trace);
+    m
+  in
+  let sensitivity ?mode ?shard_init ?finite_fifos setup ~seed =
+    let sw = switch_for setup in
+    let trace = trace_for setup ~n:scale.n_packets ~seed in
+    simulate ?mode ?shard_init ?finite_fifos sw trace ~k:setup.k
+  in
+  match name with
+  | "d2" ->
+      Some
+        (sensitivity
+           { default_setup with pattern = Tracegen.Skewed }
+           ~shard_init:`Blocked ~finite_fifos:true ~seed:200)
+  | "d3" -> Some (sensitivity default_setup ~seed:600)
+  | "d4" -> Some (sensitivity default_setup ~mode:Sim.No_d4 ~seed:400)
+  | "fig7a" | "fig7b" | "fig7d" -> Some (sensitivity default_setup ~seed:100)
+  | "fig7c" ->
+      Some (sensitivity { default_setup with pattern = Tracegen.Skewed } ~seed:100)
+  | "fig8" ->
+      let app = "flowlet" in
+      let sw = Switch.create_exn (List.assoc app Sources.all_named) in
+      let pkts =
+        Tracegen.flows ~seed:800 ~n_packets:scale.n_packets ~k:4 ~concurrency:128 ()
+      in
+      Some (simulate sw (Traces.trace_for app pkts) ~k:4)
+  | "ablate-priority" ->
+      (* The guarded program makes ~half the packets stateless at each
+         array, so this probe is the one that exercises the
+         stateless-priority claim counters. *)
+      let setup = { default_setup with reg_size = 32 } in
+      let sw =
+        Switch.create_exn ~pad_to_stages:16
+          (Sources.sensitivity_program_guarded ~stateful:setup.stateful
+             ~reg_size:setup.reg_size)
+      in
+      let trace =
+        Tracegen.sensitivity
+          {
+            Tracegen.n_packets = scale.n_packets;
+            k = setup.k;
+            pkt_bytes = setup.pkt_bytes;
+            n_fields = (2 * setup.stateful) + 2;
+            index_fields = List.init setup.stateful Fun.id;
+            reg_size = setup.reg_size;
+            pattern = setup.pattern;
+            n_ports = 64;
+            seed = 900;
+          }
+      in
+      Some (simulate sw trace ~k:setup.k)
+  | "ablate-gate" ->
+      Some (sensitivity { default_setup with reg_size = 64 } ~seed:950)
+  | "ablate-period" ->
+      Some
+        (sensitivity
+           { default_setup with pattern = Tracegen.Skewed }
+           ~shard_init:(`Random 1100) ~seed:1000)
+  | "ablate-fifo" -> Some (sensitivity default_setup ~finite_fifos:true ~seed:1200)
+  | "sim-micro" ->
+      let sw = Switch.create_exn Sources.heavy_hitter in
+      let trace =
+        Tracegen.sensitivity
+          {
+            Tracegen.n_packets = 2000;
+            k = 4;
+            pkt_bytes = 64;
+            n_fields = 2;
+            index_fields = [ 0 ];
+            reg_size = 512;
+            pattern = Tracegen.Uniform;
+            n_ports = 64;
+            seed = 3;
+          }
+      in
+      Some (simulate sw trace ~k:4)
+  | _ -> None (* table1, sram, perf: no cycle simulator involved *)
+
 (* --- kernel vs interpreter micro-benchmark ---
 
    The heavy-hitter workload from bench/perf.ml, run back-to-back on both

@@ -265,6 +265,7 @@ let () =
      experiment-name filter. *)
   let jobs = ref 1 in
   let json_path = ref "BENCH_results.json" in
+  let metrics_dir = ref None in
   let rec parse acc = function
     | [] -> List.rev acc
     | "--jobs" :: n :: rest -> (
@@ -277,6 +278,9 @@ let () =
             exit 2)
     | "--json" :: path :: rest ->
         json_path := path;
+        parse acc rest
+    | "--metrics-dir" :: dir :: rest ->
+        metrics_dir := Some dir;
         parse acc rest
     | "--no-compile" :: rest ->
         Experiments.set_compiled false;
@@ -299,6 +303,36 @@ let () =
       (if smoke then "smoke" else "reduced")
       scale.Experiments.n_packets scale.Experiments.runs;
   if !jobs > 1 then Format.printf "(running with %d domains)@." (Experiments.jobs ());
+  (match !metrics_dir with
+  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+  | _ -> ());
+  let telemetry_ok = ref true in
+  (* One instrumented representative run per experiment, written next to
+     BENCH_results.json and schema-validated on the spot (CI gates on
+     it).  Probes run off the domain pool; a single extra run per
+     experiment. *)
+  let write_probe name =
+    match !metrics_dir with
+    | None -> ()
+    | Some dir -> (
+        match Experiments.metrics_probe scale name with
+        | None -> ()
+        | Some m ->
+            let path = Filename.concat dir (name ^ ".metrics.json") in
+            let s = Mp5_obs.Metrics.json_string m in
+            let check label = function
+              | Ok () -> ()
+              | Error e ->
+                  Format.eprintf "%s: telemetry %s check failed: %s@." name label e;
+                  telemetry_ok := false
+            in
+            check "invariant" (Mp5_obs.Metrics.validate m);
+            check "schema" (Mp5_obs.Metrics.validate_json s);
+            let oc = open_out path in
+            output_string oc s;
+            output_char oc '\n';
+            close_out oc)
+  in
   let results = ref [] in
   List.iter
     (fun name ->
@@ -331,10 +365,15 @@ let () =
           let t0 = Unix.gettimeofday () in
           let metrics = f () in
           let seconds = Unix.gettimeofday () -. t0 in
-          results := (name, seconds, metrics) :: !results)
+          results := (name, seconds, metrics) :: !results;
+          write_probe name)
     wanted;
   let results = List.rev !results in
   write_json !json_path ~scale ~jobs:(Experiments.jobs ()) results;
   Format.printf "@.wall-clock per experiment:@.";
   List.iter (fun (name, s, _) -> Format.printf "  %-16s %8.2fs@." name s) results;
-  Format.printf "results written to %s@." !json_path
+  Format.printf "results written to %s@." !json_path;
+  (match !metrics_dir with
+  | Some dir -> Format.printf "telemetry snapshots written to %s/@." dir
+  | None -> ());
+  if not !telemetry_ok then exit 3

@@ -27,8 +27,12 @@ let mode_conv =
 
 let apps () = List.map fst Mp5_apps.Sources.all_named
 
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
+
 let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_file jobs runs
-    no_compile =
+    no_compile metrics_file metrics_prom trace_out trace_packets trace_cap report =
   let compiled = not no_compile in
   if list_apps then begin
     List.iter print_endline (apps ());
@@ -130,10 +134,43 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
     exit 0
   end;
   let params = { (Mp5_core.Sim.default_params ~k) with mode } in
-  let r, rep = Mp5_core.Switch.verify ~compiled ~params ~k sw trace in
+  let metrics =
+    if metrics_file <> None || metrics_prom <> None || report then
+      let stages =
+        Array.length sw.Mp5_core.Switch.prog.Mp5_core.Transform.config.Mp5_banzai.Config.stages
+      in
+      Some (Mp5_obs.Metrics.create ~stages ~k)
+    else None
+  in
+  let events =
+    match trace_out with
+    | None -> None
+    | Some _ ->
+        let packets = match trace_packets with [] -> None | ids -> Some ids in
+        Some (Mp5_obs.Trace.create ~capacity:trace_cap ?packets ())
+  in
+  let r, rep = Mp5_core.Switch.verify ~compiled ~params ?metrics ?events ~k sw trace in
   Format.printf
     "%d pipelines, %d packets: throughput %.3f, max queue %d, dropped %d@.%a@." k
     (Array.length trace) r.normalized_throughput r.max_queue r.dropped Mp5_core.Equiv.pp rep;
+  (match metrics with
+  | None -> ()
+  | Some m ->
+      (match Mp5_obs.Metrics.validate m with
+      | Ok () -> ()
+      | Error e ->
+          Format.eprintf "metrics invariant violation: %s@." e;
+          exit 2);
+      Option.iter
+        (fun path -> with_out path (fun oc -> output_string oc (Mp5_obs.Metrics.json_string m)))
+        metrics_file;
+      Option.iter
+        (fun path -> with_out path (fun oc -> output_string oc (Mp5_obs.Metrics.to_prometheus m)))
+        metrics_prom;
+      if report then Format.printf "%a" Mp5_obs.Metrics.pp m);
+  (match (events, trace_out) with
+  | Some tr, Some path -> with_out path (fun oc -> Mp5_obs.Trace.write_jsonl tr oc)
+  | _ -> ());
   exit (if Mp5_core.Equiv.equivalent rep || mode <> Mp5_core.Sim.Mp5 then 0 else 1)
 
 let app_arg =
@@ -186,12 +223,60 @@ let no_compile_arg =
         ~doc:"Execute stages with the AST interpreter instead of the \
               compiled closure kernels (slower; bit-identical results).")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write per-run telemetry (utilization, stall attribution, \
+              latency/occupancy histograms) as mp5-metrics/1 JSON. \
+              Single-run mode only.")
+
+let metrics_prom_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-prom" ] ~docv:"FILE"
+        ~doc:"Write the same telemetry in Prometheus text exposition format.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Write a structured packet-event trace (mp5-trace/1 JSONL: \
+              arrivals, stage entries, crossbar transfers, phantom \
+              blocks/deliveries, deliveries, drops, remaps).")
+
+let trace_packets_arg =
+  Arg.(
+    value & opt (list int) []
+    & info [ "trace-packets" ] ~docv:"IDS"
+        ~doc:"Restrict --trace to these packet ids (comma-separated); \
+              system events such as remaps are always recorded.")
+
+let trace_cap_arg =
+  Arg.(
+    value & opt int 65536
+    & info [ "trace-cap" ] ~docv:"N"
+        ~doc:"Event-trace ring capacity; older events are overwritten \
+              beyond this (the JSONL header reports truncation).")
+
+let report_arg =
+  Arg.(
+    value & flag
+    & info [ "report" ]
+        ~doc:"Print a one-screen run report (utilization, stall \
+              attribution, latency percentiles, drops by cause).")
+
 let cmd =
   let doc = "simulate packet-processing programs on MP5" in
   Cmd.v
     (Cmd.info "mp5sim" ~doc)
     Term.(
       const run $ app_arg $ file_arg $ k_arg $ mode_arg $ n_arg $ bytes_arg $ skew_arg
-      $ seed_arg $ recirc_arg $ list_arg $ trace_arg $ jobs_arg $ runs_arg $ no_compile_arg)
+      $ seed_arg $ recirc_arg $ list_arg $ trace_arg $ jobs_arg $ runs_arg $ no_compile_arg
+      $ metrics_arg $ metrics_prom_arg $ trace_out_arg $ trace_packets_arg $ trace_cap_arg
+      $ report_arg)
 
 let () = exit (Cmd.eval cmd)

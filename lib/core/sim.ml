@@ -6,6 +6,8 @@ module Machine = Mp5_banzai.Machine
 module Fifo = Mp5_arch.Fifo
 module Channel = Mp5_arch.Channel
 module Vec = Mp5_util.Vec
+module Metrics = Mp5_obs.Metrics
+module Etrace = Mp5_obs.Trace
 
 type mode = Mp5 | Static_shard | No_d4 | Naive_single | Ideal
 
@@ -168,6 +170,12 @@ type sim = {
   exit_seqs : int Vec.t;
   exit_headers : int array Vec.t;
   exit_lats : int Vec.t;
+  (* telemetry (lib/obs): [None] when disabled, so every instrumentation
+     site below costs one immediate-branch and the instrumented state
+     lives entirely outside the simulated machine — results are
+     bit-identical with telemetry on or off *)
+  ms : Metrics.t option;
+  tr : Etrace.t option;
 }
 
 let new_fifo sim =
@@ -186,9 +194,15 @@ let cell_fifo sim pc cell =
       Hashtbl.add pc.pc_cells cell f;
       f
 
-let create ?(compiled = true) params prog =
+let create ?(compiled = true) ?metrics ?events params prog =
   let config = prog.Transform.config in
   let n_stages = Array.length config.Config.stages in
+  (match metrics with
+  | Some m when m.Metrics.m_stages <> n_stages || m.Metrics.m_k <> params.k ->
+      invalid_arg
+        (Printf.sprintf "Sim.create: metrics sized %d stages x %d, machine is %d x %d"
+           m.Metrics.m_stages m.Metrics.m_k n_stages params.k)
+  | _ -> ());
   let accesses = prog.Transform.accesses in
   let accs_by_stage = Array.make n_stages [] in
   Array.iter
@@ -265,6 +279,8 @@ let create ?(compiled = true) params prog =
       exit_seqs = Vec.create ();
       exit_headers = Vec.create ();
       exit_lats = Vec.create ();
+      ms = metrics;
+      tr = events;
     }
   in
   Array.iteri
@@ -300,9 +316,21 @@ let queued_acc sim pkt stage =
   in
   go 0
 
-let drop_packet sim pkt at_stage =
+(* Encoding of [Metrics.drop_cause] for trace [aux] fields. *)
+let cause_code = function
+  | Metrics.Fifo_full -> 0
+  | Metrics.No_phantom -> 1
+  | Metrics.Starved -> 2
+
+let drop_packet sim now pkt at_stage cause =
   sim.dropped <- sim.dropped + 1;
   sim.in_flight <- sim.in_flight - 1;
+  (match sim.ms with Some m -> Metrics.drop m cause | None -> ());
+  (match sim.tr with
+  | Some tr ->
+      Etrace.emit tr ~kind:Etrace.Drop ~cycle:now ~seq:pkt.seq ~stage:at_stage ~pipe:0
+        ~aux:(cause_code cause)
+  | None -> ());
   Hashtbl.replace sim.doomed pkt.seq ();
   Array.iter
     (fun rt ->
@@ -355,7 +383,8 @@ let resolve sim now entry_pipeline pkt =
             rt.counted <- true
           end
         end;
-        if uses_phantoms sim then
+        if uses_phantoms sim then begin
+          (match sim.ms with Some m -> Metrics.phantom_scheduled m | None -> ());
           Channel.schedule sim.channel
             ~at:(now + plan.Transform.stage)
             {
@@ -365,6 +394,7 @@ let resolve sim now entry_pipeline pkt =
               d_ring = entry_pipeline;
               d_cell = rt.cell;
             }
+        end
       end)
     pkt.accs
 
@@ -372,14 +402,31 @@ let resolve sim now entry_pipeline pkt =
 
 let deliver_phantoms sim now =
   Channel.drain sim.channel ~now (fun d ->
-      if not (Hashtbl.mem sim.doomed d.d_seq) then
-        match sim.fifos.(d.d_stage).(d.d_dest) with
-        | Some (Logical f) ->
-            ignore (Fifo.push_phantom f ~ring:d.d_ring ~ts:d.d_seq ~key:d.d_seq)
-        | Some (Per_cell pc) ->
-            let f = cell_fifo sim pc d.d_cell in
-            ignore (Fifo.push_phantom f ~ring:d.d_ring ~ts:d.d_seq ~key:d.d_seq)
-        | None -> invalid_arg "phantom destined to a stateless stage")
+      if Hashtbl.mem sim.doomed d.d_seq then begin
+        (* Suppressed: the packet was dropped upstream. *)
+        (match sim.ms with Some m -> Metrics.phantom_doomed m | None -> ());
+        match sim.tr with
+        | Some tr ->
+            Etrace.emit tr ~kind:Etrace.Phantom_deliver ~cycle:now ~seq:d.d_seq
+              ~stage:d.d_stage ~pipe:d.d_dest ~aux:1
+        | None -> ()
+      end
+      else begin
+        let f =
+          match sim.fifos.(d.d_stage).(d.d_dest) with
+          | Some (Logical f) -> f
+          | Some (Per_cell pc) -> cell_fifo sim pc d.d_cell
+          | None -> invalid_arg "phantom destined to a stateless stage"
+        in
+        (match Fifo.push_phantom f ~ring:d.d_ring ~ts:d.d_seq ~key:d.d_seq with
+        | `Ok -> ( match sim.ms with Some m -> Metrics.phantom_delivered m | None -> ())
+        | `Dropped -> ( match sim.ms with Some m -> Metrics.phantom_dropped m | None -> ()));
+        match sim.tr with
+        | Some tr ->
+            Etrace.emit tr ~kind:Etrace.Phantom_deliver ~cycle:now ~seq:d.d_seq
+              ~stage:d.d_stage ~pipe:d.d_dest ~aux:0
+        | None -> ()
+      end)
 
 (* Age of the blocked/queued head of a logical FIFO, for the starvation
    guard.  Updated once per cycle from the pop phase.  The watch is only
@@ -440,7 +487,11 @@ let insert_stateful sim now stage pkt ~dest ~src ~cell =
       match sim.p.ecn_threshold with
       | Some thr when Fifo.data_length f > thr -> pkt.ecn <- true
       | _ -> ())
-  | `No_phantom -> drop_packet sim pkt (stage - 1)
+  | `No_phantom ->
+      (* With phantoms, a miss means the phantom was dropped by a full
+         ring; without, the data push itself hit a full ring. *)
+      drop_packet sim now pkt (stage - 1)
+        (if uses_phantoms sim then Metrics.No_phantom else Metrics.Fifo_full)
 
 let apply_transfers sim now =
   for stage = 0 to sim.n_stages - 1 do
@@ -452,6 +503,14 @@ let apply_transfers sim now =
       let desc = Vec.get descs i in
       let dest = (desc lsr 2) land 63 in
       let src = (desc lsr 8) land 63 in
+      (match sim.ms with
+      | Some m -> Metrics.transfer m ~stage ~cross:(dest <> src)
+      | None -> ());
+      (match sim.tr with
+      | Some tr ->
+          Etrace.emit tr ~kind:Etrace.Crossbar ~cycle:now ~seq:pkt.seq ~stage ~pipe:dest
+            ~aux:src
+      | None -> ());
       match desc land 3 with
       | 1 (* stateful *) ->
           insert_stateful sim now stage pkt ~dest ~src ~cell:((desc lsr 14) - 1)
@@ -459,7 +518,7 @@ let apply_transfers sim now =
           let f, pc = stage_queue sim stage ~dest ~cell:(-1) in
           match Fifo.push_data f ~ring:src ~ts:pkt.seq ~key:pkt.seq pkt with
           | `Ok -> Option.iter (fun pc -> notify_ready pc (-1)) pc
-          | `Dropped -> drop_packet sim pkt (stage - 1))
+          | `Dropped -> drop_packet sim now pkt (stage - 1) Metrics.Fifo_full)
       | _ (* stateless *) ->
           (* Starvation guard: sacrifice the stateless packet when the
              queued head has waited too long (§3.4). *)
@@ -471,11 +530,16 @@ let apply_transfers sim now =
           in
           if starve then begin
             sim.dropped_stateless <- sim.dropped_stateless + 1;
-            drop_packet sim pkt (stage - 1)
+            drop_packet sim now pkt (stage - 1) Metrics.Starved
           end
           else begin
             assert (Option.is_none sim.slots.(stage).(dest));
-            sim.slots.(stage).(dest) <- Some pkt
+            sim.slots.(stage).(dest) <- Some pkt;
+            match sim.tr with
+            | Some tr ->
+                Etrace.emit tr ~kind:Etrace.Stage_entry ~cycle:now ~seq:pkt.seq ~stage
+                  ~pipe:dest ~aux:1
+            | None -> ()
           end
     done;
     Vec.clear pkts;
@@ -487,19 +551,44 @@ let pop_phase sim now =
     if sim.stateful_stage.(stage) then
       for p = 0 to sim.p.k - 1 do
         match sim.slots.(stage).(p) with
-        | Some _ -> update_head_watch sim now stage p
+        | Some _ ->
+            (* Occupied before the pop: a stateless-priority packet claimed
+               the slot (Invariant 2) — busy, attributed to the claim. *)
+            (match sim.ms with Some m -> Metrics.claimed m ~stage ~pipe:p | None -> ());
+            update_head_watch sim now stage p
         | None -> (
           match sim.fifos.(stage).(p) with
           | Some (Logical f) -> (
               (* One [Fifo.take] both decides and performs the pop; its
                  answer feeds the starvation watch, which only needs a
-                 fresh [head] after a pop invalidated it. *)
+                 fresh [head] after a pop invalidated it.  The same answer
+                 classifies the slot's cycle for free: data popped = busy,
+                 phantom in front = blocked, nothing queued = idle. *)
               match Fifo.take f with
               | `Data (_, pkt) ->
                   sim.slots.(stage).(p) <- Some pkt;
+                  (match sim.ms with Some m -> Metrics.busy m ~stage ~pipe:p | None -> ());
+                  (match sim.tr with
+                  | Some tr ->
+                      Etrace.emit tr ~kind:Etrace.Stage_entry ~cycle:now ~seq:pkt.seq ~stage
+                        ~pipe:p ~aux:0
+                  | None -> ());
                   update_head_watch sim now stage p
-              | `Blocked key -> watch_key sim now stage p key
-              | `Empty -> watch_key sim now stage p (-1))
+              | `Blocked key ->
+                  (match sim.ms with
+                  | Some m -> Metrics.stall_phantom m ~stage ~pipe:p
+                  | None -> ());
+                  (match sim.tr with
+                  | Some tr ->
+                      Etrace.emit tr ~kind:Etrace.Phantom_block ~cycle:now ~seq:key ~stage
+                        ~pipe:p ~aux:0
+                  | None -> ());
+                  watch_key sim now stage p key
+              | `Empty ->
+                  (match sim.ms with
+                  | Some m -> Metrics.stall_empty m ~stage ~pipe:p
+                  | None -> ());
+                  watch_key sim now stage p (-1))
           | Some (Per_cell pc) ->
                (* Choose the ready head with the smallest timestamp among
                   cells flagged ready; phantoms block only their own cell.
@@ -524,11 +613,57 @@ let pop_phase sim now =
                  candidates;
                (match !best with
                | Some (_, f, cell) ->
-                   sim.slots.(stage).(p) <- Some (Fifo.pop_data f);
+                   let pkt = Fifo.pop_data f in
+                   sim.slots.(stage).(p) <- Some pkt;
+                   (match sim.ms with Some m -> Metrics.busy m ~stage ~pipe:p | None -> ());
+                   (match sim.tr with
+                   | Some tr ->
+                       Etrace.emit tr ~kind:Etrace.Stage_entry ~cycle:now ~seq:pkt.seq ~stage
+                         ~pipe:p ~aux:0
+                   | None -> ());
                    (* The next entry of this cell may already be data. *)
                    Hashtbl.replace pc.pc_ready cell ()
-               | None -> ())
+               | None -> (
+                   (* Metrics-only walk: anything still queued in any cell
+                      means the stall is head-of-line blocking, not an
+                      empty queue. *)
+                   match sim.ms with
+                   | Some m ->
+                       let queued =
+                         Hashtbl.fold (fun _ f acc -> acc || Fifo.length f > 0) pc.pc_cells false
+                       in
+                       if queued then Metrics.stall_phantom m ~stage ~pipe:p
+                       else Metrics.stall_empty m ~stage ~pipe:p
+                   | None -> ()))
           | None -> ())
+      done
+  done
+
+(* Completes the cycle classification the pop phase started (metrics-on
+   only, called right after it): stateless stages have no queue to pop,
+   so their slots classify directly — occupied = busy, vacant = idle —
+   and stateful stages get their post-pop queue depth sampled into the
+   occupancy histogram.  Together with the pop phase this visits every
+   (stage, pipeline) exactly once per cycle, which is what makes
+   busy + idle + blocked = stages * k * cycles hold by construction. *)
+let metrics_sweep sim m =
+  for stage = 0 to sim.n_stages - 1 do
+    if sim.stateful_stage.(stage) then
+      for p = 0 to sim.p.k - 1 do
+        let depth =
+          match sim.fifos.(stage).(p) with
+          | Some (Logical f) -> Fifo.data_length f
+          | Some (Per_cell pc) ->
+              Hashtbl.fold (fun _ f acc -> acc + Fifo.data_length f) pc.pc_cells 0
+          | None -> 0
+        in
+        Metrics.occupancy m ~stage ~pipe:p ~depth
+      done
+    else
+      for p = 0 to sim.p.k - 1 do
+        match sim.slots.(stage).(p) with
+        | Some _ -> Metrics.busy m ~stage ~pipe:p
+        | None -> Metrics.stall_empty m ~stage ~pipe:p
       done
   done
 
@@ -604,6 +739,14 @@ let movement_phase sim now =
             sim.delivered <- sim.delivered + 1;
             sim.in_flight <- sim.in_flight - 1;
             if pkt.ecn then sim.marked <- sim.marked + 1;
+            (match sim.ms with
+            | Some m -> Metrics.delivered m ~latency:(now - pkt.time_in) ~ecn:pkt.ecn
+            | None -> ());
+            (match sim.tr with
+            | Some tr ->
+                Etrace.emit tr ~kind:Etrace.Deliver ~cycle:now ~seq:pkt.seq ~stage ~pipe:p
+                  ~aux:(now - pkt.time_in)
+            | None -> ());
             if sim.first_exit < 0 then sim.first_exit <- now;
             sim.last_exit <- now;
             Vec.push sim.exit_seqs pkt.seq;
@@ -702,14 +845,46 @@ let arrival_phase sim now trace cursor =
     incr cursor;
     let pkt = alloc_packet sim ~seq ~now input.Machine.headers in
     let pipeline = !accepted in
+    (match sim.ms with Some m -> Metrics.arrival m | None -> ());
+    (match sim.tr with
+    | Some tr ->
+        Etrace.emit tr ~kind:Etrace.Arrival ~cycle:now ~seq ~stage:0 ~pipe:pipeline ~aux:0
+    | None -> ());
     resolve sim now pipeline pkt;
     sim.slots.(0).(pipeline) <- Some pkt;
     sim.in_flight <- sim.in_flight + 1;
     incr accepted
   done
 
-let remap_phase sim =
+let remap_phase sim now =
+  (match sim.ms with Some m -> Metrics.remap_period m | None -> ());
   let dynamic = match sim.p.mode with Mp5 | No_d4 -> true | _ -> false in
+  (* Pipeline load spread (max - min of aggregate access counters) around
+     each applied move; metrics-on only, and read before [reset_counts]
+     zeroes the counters the spread is computed from. *)
+  let imbalance map =
+    let loads = Index_map.per_pipeline_load map in
+    let mx = ref loads.(0) and mn = ref loads.(0) in
+    Array.iter
+      (fun l ->
+        if l > !mx then mx := l;
+        if l < !mn then mn := l)
+      loads;
+    !mx - !mn
+  in
+  let apply_move map r (mv : Sharding.move) =
+    (match sim.ms with
+    | Some m ->
+        let before = imbalance map in
+        Sharding.apply map ~stores:sim.stores ~reg:r mv;
+        Metrics.remap_move m ~before ~after:(imbalance map)
+    | None -> Sharding.apply map ~stores:sim.stores ~reg:r mv);
+    match sim.tr with
+    | Some tr ->
+        Etrace.emit tr ~kind:Etrace.Remap ~cycle:now ~seq:(-1) ~stage:r ~pipe:mv.Sharding.to_
+          ~aux:mv.Sharding.cell
+    | None -> ()
+  in
   Array.iteri
     (fun r map ->
       if Index_map.sharded map then
@@ -718,12 +893,10 @@ let remap_phase sim =
             (* The ideal packer sees cumulative access counts — perfect
                knowledge of the access distribution — so its assignment
                converges instead of chasing per-period noise. *)
-            List.iter
-              (fun m -> Sharding.apply map ~stores:sim.stores ~reg:r m)
-              (Sharding.lpt_remap map)
+            List.iter (fun m -> apply_move map r m) (Sharding.lpt_remap map)
         | _ when dynamic ->
             (match Sharding.remap_step ~noise_gate:sim.p.remap_noise_gate map with
-            | Some m -> Sharding.apply map ~stores:sim.stores ~reg:r m
+            | Some m -> apply_move map r m
             | None -> ());
             Index_map.reset_counts map
         | _ -> Index_map.reset_counts map)
@@ -776,24 +949,26 @@ let observe sim now observer =
       in
       f { occ_cycle = now; occ_slots; occ_queues }
 
-let run ?observer ?(compiled = true) params prog trace =
+let run ?observer ?metrics ?events ?(compiled = true) params prog trace =
   if Array.length trace = 0 then invalid_arg "Sim.run: empty trace";
-  let sim = create ~compiled params prog in
+  let sim = create ~compiled ?metrics ?events params prog in
   let cursor = ref 0 in
   let now = ref trace.(0).Machine.time in
   let first_arrival = !now in
   let last_score = ref 0 and last_progress_t = ref !now in
   while !cursor < Array.length trace || sim.in_flight > 0 do
     let t = !now in
+    (match sim.ms with Some m -> Metrics.on_cycle m | None -> ());
     deliver_phantoms sim t;
     apply_transfers sim t;
     arrival_phase sim t trace cursor;
     pop_phase sim t;
+    (match sim.ms with Some m -> metrics_sweep sim m | None -> ());
     observe sim t observer;
     exec_phase sim t;
     movement_phase sim t;
     if params.remap_period > 0 && t > first_arrival && (t - first_arrival) mod params.remap_period = 0
-    then remap_phase sim;
+    then remap_phase sim t;
     (* Progress guard against simulator deadlock bugs. *)
     let score = sim.delivered + sim.dropped + !cursor in
     if score > !last_score then begin
@@ -822,6 +997,28 @@ let run ?observer ?(compiled = true) params prog trace =
       now := !next
     end
   done;
+  (* The loop ends as soon as nothing is in flight, which can leave
+     phantom deliveries still pending in the channel — all of them for
+     packets dropped upstream (a live packet keeps the loop running past
+     every delivery it scheduled).  Drain them into the suppressed-
+     delivery accounting so phantom conservation holds in the snapshot. *)
+  (match (sim.ms, sim.tr) with
+  | None, None -> ()
+  | _ ->
+      let rec flush () =
+        match Channel.next_due sim.channel with
+        | None -> ()
+        | Some at ->
+            Channel.drain sim.channel ~now:at (fun d ->
+                (match sim.ms with Some m -> Metrics.phantom_doomed m | None -> ());
+                match sim.tr with
+                | Some tr ->
+                    Etrace.emit tr ~kind:Etrace.Phantom_deliver ~cycle:at ~seq:d.d_seq
+                      ~stage:d.d_stage ~pipe:d.d_dest ~aux:1
+                | None -> ());
+            flush ()
+      in
+      flush ());
   let last_arrival = trace.(Array.length trace - 1).Machine.time in
   let input_span = last_arrival - first_arrival + 1 in
   let n = Array.length trace in

@@ -82,6 +82,8 @@ type result = {
 
 val run :
   ?observer:(occupancy -> unit) ->
+  ?metrics:Mp5_obs.Metrics.t ->
+  ?events:Mp5_obs.Trace.t ->
   ?compiled:bool ->
   params ->
   Transform.t ->
@@ -90,6 +92,16 @@ val run :
 (** [run params program trace] simulates the (sorted) trace to completion:
     all packets either delivered or dropped.  [observer] is called once
     per cycle after FIFO pops, with the stage occupancy.
+
+    [metrics] accumulates per-cycle counters (utilization, stall
+    attribution, crossbar traffic, phantom accounting, latency and
+    occupancy histograms) into the caller's [Mp5_obs.Metrics.t], which
+    must be sized [stages x k] to match the program and params
+    (@raise Invalid_argument otherwise).  [events] records a structured
+    packet-event trace into the caller's ring ({!Mp5_obs.Trace}).  Both
+    are pure observers: the simulated machine never reads them, so the
+    [result] is bit-identical with instrumentation on or off, and a
+    disabled instrument costs one branch per site.
 
     [compiled] (default [true]) selects the execution engine: the stage
     programs are lowered to closed closure kernels at construction time

@@ -44,16 +44,20 @@ val golden : t -> Mp5_banzai.Machine.input array -> Mp5_banzai.Machine.result
 
 val run :
   ?params:Sim.params ->
+  ?metrics:Mp5_obs.Metrics.t ->
+  ?events:Mp5_obs.Trace.t ->
   ?compiled:bool ->
   k:int ->
   t ->
   Mp5_banzai.Machine.input array ->
   Sim.result
 (** Run the MP5 simulator ([params] defaults to {!Sim.default_params};
-    [compiled] as in {!Sim.run}). *)
+    [metrics], [events] and [compiled] as in {!Sim.run}). *)
 
 val verify :
   ?params:Sim.params ->
+  ?metrics:Mp5_obs.Metrics.t ->
+  ?events:Mp5_obs.Trace.t ->
   ?compiled:bool ->
   k:int ->
   ?flow_of:(int -> int) ->

@@ -11,7 +11,7 @@ let letter seq =
 
 let lower s = String.lowercase_ascii s
 
-let capture ?(max_cycles = 24) params prog trace =
+let capture ?(max_cycles = 24) ?metrics ?events params prog trace =
   let snapshots = ref [] in
   let count = ref 0 in
   let observer occ =
@@ -20,7 +20,7 @@ let capture ?(max_cycles = 24) params prog trace =
       snapshots := occ :: !snapshots
     end
   in
-  let result = Sim.run ~observer params prog trace in
+  let result = Sim.run ~observer ?metrics ?events params prog trace in
   let snapshots = Array.of_list (List.rev !snapshots) in
   let n_stages = Array.length prog.Transform.config.Mp5_banzai.Config.stages in
   let k = params.Sim.k in

@@ -15,13 +15,17 @@ type t = {
 
 val capture :
   ?max_cycles:int ->
+  ?metrics:Mp5_obs.Metrics.t ->
+  ?events:Mp5_obs.Trace.t ->
   Sim.params ->
   Transform.t ->
   Mp5_banzai.Machine.input array ->
   t * Sim.result
 (** Simulates and captures up to [max_cycles] columns (default 24),
     starting at the first arrival.  Stage 0 (address resolution) is
-    omitted from the rows, matching the paper's figures. *)
+    omitted from the rows, matching the paper's figures.  [metrics] and
+    [events] as in {!Sim.run} — a timeline and a run report come from
+    the same simulation. *)
 
 val render : t -> string
 (** Plain-text table. *)

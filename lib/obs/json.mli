@@ -1,0 +1,29 @@
+(** Minimal JSON tree: enough to emit the telemetry snapshots and to
+    parse them back for schema validation (bench and CI check the
+    artifacts they just wrote without external tooling).  Not a general
+    JSON library — no unicode escapes beyond [\uXXXX] pass-through, and
+    numbers are OCaml [int]/[float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Recursive-descent parse of one JSON value (surrounding whitespace
+    allowed).  Errors carry the byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)
+
+val to_int : t -> int option
+(** [Int n] and integral [Float]s. *)

@@ -1,0 +1,133 @@
+type kind =
+  | Arrival
+  | Stage_entry
+  | Crossbar
+  | Phantom_block
+  | Phantom_deliver
+  | Deliver
+  | Drop
+  | Remap
+
+let kind_tag = function
+  | Arrival -> 0
+  | Stage_entry -> 1
+  | Crossbar -> 2
+  | Phantom_block -> 3
+  | Phantom_deliver -> 4
+  | Deliver -> 5
+  | Drop -> 6
+  | Remap -> 7
+
+let kind_of_tag = function
+  | 0 -> Arrival
+  | 1 -> Stage_entry
+  | 2 -> Crossbar
+  | 3 -> Phantom_block
+  | 4 -> Phantom_deliver
+  | 5 -> Deliver
+  | 6 -> Drop
+  | 7 -> Remap
+  | t -> invalid_arg (Printf.sprintf "Trace.kind_of_tag: %d" t)
+
+let kind_name = function
+  | Arrival -> "arrival"
+  | Stage_entry -> "stage_entry"
+  | Crossbar -> "crossbar"
+  | Phantom_block -> "phantom_block"
+  | Phantom_deliver -> "phantom_deliver"
+  | Deliver -> "deliver"
+  | Drop -> "drop"
+  | Remap -> "remap"
+
+(* Fields per packed event: kind, cycle, seq, stage, pipe, aux. *)
+let fields = 6
+
+type t = {
+  cap : int;                         (* events, not ints *)
+  buf : int array;                   (* cap * fields, ring *)
+  mutable seen : int;                (* events accepted by the filter *)
+  filter : (int, unit) Hashtbl.t option;
+}
+
+let create ?(capacity = 65536) ?packets () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  let filter =
+    match packets with
+    | None | Some [] -> None
+    | Some ids ->
+        let h = Hashtbl.create (List.length ids) in
+        List.iter (fun id -> Hashtbl.replace h id ()) ids;
+        Some h
+  in
+  { cap = capacity; buf = Array.make (capacity * fields) 0; seen = 0; filter }
+
+let emit t ~kind ~cycle ~seq ~stage ~pipe ~aux =
+  let pass =
+    match t.filter with
+    | None -> true
+    | Some h -> seq < 0 (* system events carry no packet id *) || Hashtbl.mem h seq
+  in
+  if pass then begin
+    let at = t.seen mod t.cap * fields in
+    t.buf.(at) <- kind_tag kind;
+    t.buf.(at + 1) <- cycle;
+    t.buf.(at + 2) <- seq;
+    t.buf.(at + 3) <- stage;
+    t.buf.(at + 4) <- pipe;
+    t.buf.(at + 5) <- aux;
+    t.seen <- t.seen + 1
+  end
+
+let seen t = t.seen
+let recorded t = min t.seen t.cap
+let truncated t = t.seen > t.cap
+
+let iter f t =
+  let n = recorded t in
+  let first = t.seen - n in
+  for i = first to t.seen - 1 do
+    let at = i mod t.cap * fields in
+    f ~kind:(kind_of_tag t.buf.(at)) ~cycle:t.buf.(at + 1) ~seq:t.buf.(at + 2)
+      ~stage:t.buf.(at + 3) ~pipe:t.buf.(at + 4) ~aux:t.buf.(at + 5)
+  done
+
+let schema_id = "mp5-trace/1"
+
+let header t =
+  Json.Obj
+    [
+      ("schema", Json.String schema_id);
+      ("events", Json.Int (seen t));
+      ("recorded", Json.Int (recorded t));
+      ("truncated", Json.Bool (truncated t));
+    ]
+
+let event_json ~kind ~cycle ~seq ~stage ~pipe ~aux =
+  Json.Obj
+    [
+      ("t", Json.Int cycle);
+      ("ev", Json.String (kind_name kind));
+      ("pkt", Json.Int seq);
+      ("stage", Json.Int stage);
+      ("pipe", Json.Int pipe);
+      ("aux", Json.Int aux);
+    ]
+
+let write_buf t buf =
+  Json.to_buffer buf (header t);
+  Buffer.add_char buf '\n';
+  iter
+    (fun ~kind ~cycle ~seq ~stage ~pipe ~aux ->
+      Json.to_buffer buf (event_json ~kind ~cycle ~seq ~stage ~pipe ~aux);
+      Buffer.add_char buf '\n')
+    t
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  write_buf t buf;
+  Buffer.contents buf
+
+let write_jsonl t oc =
+  let buf = Buffer.create 65536 in
+  write_buf t buf;
+  Buffer.output_buffer oc buf

@@ -1,0 +1,56 @@
+(** Opt-in structured event trace for the simulator.
+
+    A bounded ring of packed events: when the ring fills, the oldest
+    events are overwritten (the JSONL header reports the truncation), so
+    a trace never grows a long run's memory unboundedly.  Each event is
+    six ints stored flat in one [int array] — recording allocates
+    nothing, and a disabled trace costs the simulator one [option] branch
+    per site.
+
+    Events can be filtered at record time by packet id
+    ([~packets]), which is how [mp5sim --trace-packets 17,42] follows a
+    few packets through the machine without drowning in neighbours.
+    System events (remaps), which carry no packet id, always pass the
+    filter. *)
+
+type kind =
+  | Arrival          (** packet admitted into address resolution; [pipe] = entry pipeline *)
+  | Stage_entry      (** packet starts executing a stage; [aux] 0 = popped
+                         from the FIFO, 1 = stateless pass-through slot *)
+  | Crossbar         (** transfer into [stage]; [pipe] = destination, [aux] = source pipeline *)
+  | Phantom_block    (** a phantom at the logical FIFO head blocked (stage,
+                         pipe) this cycle; [seq] = the phantom's packet *)
+  | Phantom_deliver  (** phantom reached its stage; [aux] 1 = suppressed
+                         because the packet was already dropped *)
+  | Deliver          (** packet exited; [aux] = latency in cycles *)
+  | Drop             (** packet dropped; [aux]: 0 fifo_full, 1 no_phantom, 2 starved *)
+  | Remap            (** sharding move; [seq] = -1, [stage] = register,
+                         [aux] = cell, [pipe] = destination pipeline *)
+
+val kind_name : kind -> string
+
+type t
+
+val create : ?capacity:int -> ?packets:int list -> unit -> t
+(** [capacity] is the maximum retained events (default 65536);
+    [packets] restricts recording to those packet ids (default: all). *)
+
+val emit : t -> kind:kind -> cycle:int -> seq:int -> stage:int -> pipe:int -> aux:int -> unit
+(** Record one event (allocation-free; drops the oldest event when full). *)
+
+val seen : t -> int
+(** Events that passed the filter, including overwritten ones. *)
+
+val recorded : t -> int
+(** Events currently held (<= capacity). *)
+
+val truncated : t -> bool
+
+val iter : (kind:kind -> cycle:int -> seq:int -> stage:int -> pipe:int -> aux:int -> unit) -> t -> unit
+(** Oldest first. *)
+
+val write_jsonl : t -> out_channel -> unit
+(** One JSON object per line: a [mp5-trace/1] header describing the run,
+    then the retained events oldest-first. *)
+
+val to_jsonl : t -> string

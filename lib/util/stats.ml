@@ -22,7 +22,10 @@ let percentile xs p =
   if n = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  (* Float.compare, not polymorphic compare: the generic version goes
+     through the polymorphic runtime path on every element and orders
+     nan inconsistently against itself. *)
+  Array.sort Float.compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) in
   let hi = int_of_float (ceil rank) in
@@ -42,16 +45,21 @@ type summary = {
 }
 
 let summarize xs =
-  let lo, hi = min_max xs in
-  {
-    n = Array.length xs;
-    mean = mean xs;
-    stddev = stddev xs;
-    min = lo;
-    max = hi;
-    p50 = percentile xs 50.0;
-    p99 = percentile xs 99.0;
-  }
+  if Array.length xs = 0 then
+    (* Total on empty input: an experiment with zero samples reports a
+       zero summary instead of blowing up the whole bench run. *)
+    { n = 0; mean = 0.0; stddev = 0.0; min = 0.0; max = 0.0; p50 = 0.0; p99 = 0.0 }
+  else
+    let lo, hi = min_max xs in
+    {
+      n = Array.length xs;
+      mean = mean xs;
+      stddev = stddev xs;
+      min = lo;
+      max = hi;
+      p50 = percentile xs 50.0;
+      p99 = percentile xs 99.0;
+    }
 
 let pp_summary ppf s =
   Format.fprintf ppf "n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f p50=%.4f p99=%.4f"

@@ -20,6 +20,8 @@ type summary = {
 }
 
 val summarize : float array -> summary
+(** Total on the empty array: every field of the summary is zero. *)
+
 val pp_summary : Format.formatter -> summary -> unit
 
 type counter
@@ -30,4 +32,7 @@ val add : counter -> float -> unit
 val count : counter -> int
 val total : counter -> float
 val maximum : counter -> float
-(** Max of added values; 0 when empty. *)
+(** Max of added values.  The running maximum starts at [0.0], so an
+    empty counter answers [0.0] — and so does one fed only negative
+    values; callers tracking quantities that can be negative must keep
+    their own maximum. *)

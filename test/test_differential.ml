@@ -57,10 +57,25 @@ let run_seed seed =
   let k = 2 + (seed mod 3) in
   let trace = Progen.trace ~seed ~k ~n:n_packets in
   let params = Sim.default_params ~k in
-  let kernel = Sim.run ~compiled:true params prog trace in
-  let interp = Sim.run ~compiled:false params prog trace in
+  (* Both engines run instrumented: telemetry is a pure observer, so the
+     results must still match the oracle, and the two engines must emit
+     counter-for-counter and event-for-event identical telemetry. *)
+  let stages = Array.length prog.Mp5_core.Transform.config.Mp5_banzai.Config.stages in
+  let mk = Mp5_obs.Metrics.create ~stages ~k in
+  let mi = Mp5_obs.Metrics.create ~stages ~k in
+  let tk = Mp5_obs.Trace.create () in
+  let ti = Mp5_obs.Trace.create () in
+  let kernel = Sim.run ~compiled:true ~metrics:mk ~events:tk params prog trace in
+  let interp = Sim.run ~compiled:false ~metrics:mi ~events:ti params prog trace in
   if not (Sim.results_equal kernel interp) then
     Alcotest.failf "seed %d: kernel and interpreter engines diverge on:\n%s" seed src;
+  (match Mp5_obs.Metrics.validate mk with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "seed %d: telemetry invariant violated: %s\nprogram:\n%s" seed e src);
+  if not (Mp5_obs.Metrics.equal mk mi) then
+    Alcotest.failf "seed %d: kernel and interpreter telemetry diverge on:\n%s" seed src;
+  if Mp5_obs.Trace.to_jsonl tk <> Mp5_obs.Trace.to_jsonl ti then
+    Alcotest.failf "seed %d: kernel and interpreter event traces diverge on:\n%s" seed src;
   if kernel.Sim.dropped = 0 then begin
     (* the oracle has no drop model, so only compare complete deliveries *)
     let ref_regs, ref_headers = Interp.interp t.Compile.env trace in

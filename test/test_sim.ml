@@ -279,6 +279,40 @@ let test_bursty_arrivals () =
   let _, rep = verify ~k:4 sw trace in
   check "equivalent with gaps" true (Equiv.equivalent rep)
 
+let test_observer_contract () =
+  (* The observer must fire exactly once per visited cycle (cross-checked
+     against an attached Metrics.t's cycle counter), hand over
+     consistently-shaped snapshots, and — being a pure observer — must
+     not perturb the simulation result. *)
+  let sw = Switch.create_exn Mp5_apps.Sources.heavy_hitter in
+  let rng = Rng.create 16 in
+  let k = 4 in
+  let trace = line_rate_trace ~k ~n:1500 ~fields:2 (fun _ _ -> Rng.int rng 1000) in
+  let stages = Array.length sw.Switch.prog.Mp5_core.Transform.config.Mp5_banzai.Config.stages in
+  let params = Sim.default_params ~k in
+  let m = Mp5_obs.Metrics.create ~stages ~k in
+  let calls = ref 0 and last = ref min_int in
+  let observer occ =
+    incr calls;
+    if occ.Sim.occ_cycle <= !last then
+      Alcotest.failf "observer cycle %d not strictly increasing (prev %d)" occ.Sim.occ_cycle
+        !last;
+    last := occ.Sim.occ_cycle;
+    if Array.length occ.Sim.occ_slots <> stages || Array.length occ.Sim.occ_queues <> stages
+    then Alcotest.fail "occupancy snapshot has wrong stage count";
+    Array.iter
+      (fun row -> if Array.length row <> k then Alcotest.fail "occ_slots row <> k")
+      occ.Sim.occ_slots;
+    Array.iter
+      (fun row -> if Array.length row <> k then Alcotest.fail "occ_queues row <> k")
+      occ.Sim.occ_queues
+  in
+  let observed = Sim.run ~observer ~metrics:m params sw.Switch.prog trace in
+  let bare = Sim.run params sw.Switch.prog trace in
+  check "observer fired" true (!calls > 0);
+  check_int "observer called once per visited cycle" m.Mp5_obs.Metrics.m_cycles !calls;
+  check "observer and metrics do not perturb the result" true (Sim.results_equal observed bare)
+
 let () =
   Alcotest.run "sim"
     [
@@ -316,5 +350,6 @@ let () =
             test_flow_order_dummy_stage_fixes_reordering;
           Alcotest.test_case "remap period 0" `Quick test_remap_period_zero_ok;
           Alcotest.test_case "empty trace" `Quick test_empty_trace_rejected;
+          Alcotest.test_case "observer contract" `Quick test_observer_contract;
         ] );
     ]

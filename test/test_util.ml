@@ -275,6 +275,25 @@ let test_stats_summary () =
   check_int "n" 3 s.Stats.n;
   check "p50" true (s.Stats.p50 = 2.0)
 
+let test_stats_summary_empty () =
+  (* summarize is total: zero samples answer a zero summary rather than
+     raising from the percentile path. *)
+  let s = Stats.summarize [||] in
+  check_int "n" 0 s.Stats.n;
+  check "all-zero fields" true
+    (s.Stats.mean = 0.0 && s.Stats.stddev = 0.0 && s.Stats.min = 0.0 && s.Stats.max = 0.0
+   && s.Stats.p50 = 0.0 && s.Stats.p99 = 0.0)
+
+let test_stats_percentile_total_order () =
+  (* The sort must use Float.compare: with polymorphic compare, nan
+     poisons the order and percentiles of clean data shifted around it
+     become garbage.  Float.compare totals the order (nan sorts first),
+     so percentiles over the clean suffix stay sane. *)
+  let xs = [| 3.0; Float.nan; 1.0; 2.0 |] in
+  check "p100 ignores nan position" true (Stats.percentile xs 100.0 = 3.0);
+  (* Untouched input: percentile copies before sorting. *)
+  check "input not mutated" true (xs.(0) = 3.0 && xs.(2) = 1.0)
+
 let test_stats_counter () =
   let c = Stats.counter () in
   Stats.add c 3.0;
@@ -283,6 +302,16 @@ let test_stats_counter () =
   check_int "count" 3 (Stats.count c);
   check "total" true (Stats.total c = 9.0);
   check "max" true (Stats.maximum c = 5.0)
+
+let test_stats_counter_max_quirk () =
+  (* Documented quirk: the running maximum starts at 0.0, so both an
+     empty counter and a negative-only one answer 0.0. *)
+  let c = Stats.counter () in
+  check "empty maximum is 0" true (Stats.maximum c = 0.0);
+  Stats.add c (-2.0);
+  Stats.add c (-7.5);
+  check "negative-only maximum still 0" true (Stats.maximum c = 0.0);
+  check "count and total unaffected" true (Stats.count c = 2 && Stats.total c = -9.5)
 
 (* --- Hashing --- *)
 
@@ -344,7 +373,10 @@ let () =
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "summary of empty" `Quick test_stats_summary_empty;
+          Alcotest.test_case "percentile total order" `Quick test_stats_percentile_total_order;
           Alcotest.test_case "counter" `Quick test_stats_counter;
+          Alcotest.test_case "counter maximum quirk" `Quick test_stats_counter_max_quirk;
         ] );
       ( "hashing",
         [
