@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke metrics-smoke perf clean
+.PHONY: all build test bench bench-smoke metrics-smoke fault-smoke perf clean
 
 all: build
 
@@ -22,6 +22,16 @@ bench-smoke:
 # --trace / --report): exact CLI output, schema tags, event counts.
 metrics-smoke:
 	dune build @metrics
+
+# Degraded-mode smoke: a pipeline dies mid-run with the invariant
+# monitor attached (a violation exits 3 and leaves its diagnostic in
+# MONITOR_verdict.txt for CI to upload), then the degraded bench
+# experiment measures the recovery against static sharding.
+fault-smoke:
+	dune exec bin/mp5sim.exe -- --app flowlet --pipelines 4 --packets 3000 --seed 3 \
+	  --fault-plan 'seed 7; down @300 pipe=1; up @2400 pipe=1' \
+	  --monitor --monitor-dump MONITOR_verdict.txt --report
+	dune exec bench/main.exe -- --smoke degraded --json BENCH_degraded.json
 
 bench:
 	dune exec bench/main.exe

@@ -377,6 +377,39 @@ let ablate_fifo scale =
       (capacity, r.Sim.dropped, r.Sim.normalized_throughput))
     [ 2; 4; 8; 16; 32; 64 ]
 
+(* --- degraded-mode operation (fault injection) --- *)
+
+(* One pipeline of four goes down early and never comes back.  The
+   dynamic modes evacuate its resident cells at the next remap boundary
+   and settle at ~(k-1)/k of the healthy rate; a static placement keeps
+   steering a quarter of the stateful packets at a dead pipeline for the
+   rest of the run.  Each row is (healthy, mp5 degraded, static
+   degraded) normalized throughput on the same trace and plan; the MP5
+   run carries a fail-fast invariant monitor, so a conservation or
+   affinity violation during the fault aborts the experiment rather
+   than shipping a wrong number. *)
+let degraded scale =
+  let setup = default_setup in
+  let sw = switch_for setup in
+  par_init scale.runs (fun i ->
+      let trace = trace_for setup ~n:scale.n_packets ~seed:(1300 + i) in
+      let plan =
+        let src = Printf.sprintf "seed %d; down @200 pipe=1" (1400 + i) in
+        match Mp5_fault.Fault.parse src with
+        | Ok p -> p
+        | Error e -> failwith ("degraded: bad fault plan: " ^ e)
+      in
+      let run ?(mode = Sim.Mp5) ?fault ?monitor () =
+        let params = Sim.default_params ~k:setup.k in
+        (Sim.run ~compiled:!compiled ?fault ?monitor { params with mode } sw.Switch.prog
+           trace)
+          .Sim.normalized_throughput
+      in
+      let healthy = run () in
+      let mp5 = run ~fault:plan ~monitor:(Mp5_fault.Monitor.create ()) () in
+      let static = run ~mode:Sim.Static_shard ~fault:plan () in
+      (healthy, mp5, static))
+
 (* --- per-experiment telemetry probes (--metrics-dir) ---
 
    One instrumented representative run per experiment: the same switch,
@@ -460,6 +493,25 @@ let metrics_probe scale name =
            { default_setup with pattern = Tracegen.Skewed }
            ~shard_init:(`Random 1100) ~seed:1000)
   | "ablate-fifo" -> Some (sensitivity default_setup ~finite_fifos:true ~seed:1200)
+  | "degraded" ->
+      (* The one probe whose snapshot shows the fault counters: drops by
+         Pipeline_down, evacuation moves, pipeline-down cycle totals. *)
+      let setup = default_setup in
+      let sw = switch_for setup in
+      let trace = trace_for setup ~n:scale.n_packets ~seed:1300 in
+      let plan =
+        match Mp5_fault.Fault.parse "seed 1400; down @200 pipe=1" with
+        | Ok p -> p
+        | Error e -> failwith ("degraded probe: " ^ e)
+      in
+      let stages =
+        Array.length sw.Switch.prog.Mp5_core.Transform.config.Mp5_banzai.Config.stages
+      in
+      let m = Obs_metrics.create ~stages ~k:setup.k in
+      ignore
+        (Sim.run ~compiled:!compiled ~metrics:m ~fault:plan
+           (Sim.default_params ~k:setup.k) sw.Switch.prog trace);
+      Some m
   | "sim-micro" ->
       let sw = Switch.create_exn Sources.heavy_hitter in
       let trace =

@@ -172,6 +172,26 @@ let run_ablate_fifo scale =
         (Printf.sprintf "cap=%d/dropped" cap, float_of_int dropped) ])
     rows
 
+let run_degraded scale =
+  let rows = Experiments.degraded scale in
+  Format.printf
+    "@.Degraded mode: pipeline 1 of 4 down at cycle 200, never recovers (%d runs)@."
+    (Array.length rows);
+  Array.iteri
+    (fun i (healthy, mp5, static) ->
+      Format.printf
+        "  run %2d: healthy %.3f   MP5 degraded %.3f (%.0f%% of the 3/4 bound)   static %.3f@."
+        i healthy mp5
+        (100.0 *. mp5 /. (0.75 *. healthy))
+        static)
+    rows;
+  Format.printf
+    "  dynamic sharding evacuates the dead pipeline's cells at the next remap;@.";
+  Format.printf "  a static placement keeps steering packets at it for the whole run@.";
+  indexed "healthy" (Array.map (fun (h, _, _) -> h) rows)
+  @ indexed "mp5" (Array.map (fun (_, m, _) -> m) rows)
+  @ indexed "static" (Array.map (fun (_, _, s) -> s) rows)
+
 let run_sim_micro scale =
   let m = Experiments.sim_micro scale in
   let speedup = Experiments.micro_speedup m in
@@ -247,7 +267,8 @@ let write_json path ~scale ~jobs results =
 
 let all =
   [ "table1"; "sram"; "d2"; "d3"; "d4"; "fig7a"; "fig7b"; "fig7c"; "fig7d"; "fig8";
-    "ablate-priority"; "ablate-period"; "ablate-fifo"; "ablate-gate"; "sim-micro" ]
+    "ablate-priority"; "ablate-period"; "ablate-fifo"; "ablate-gate"; "degraded";
+    "sim-micro" ]
 
 (* Timing experiments must not share the process with an idle worker
    domain: every minor collection then pays a stop-the-world rendezvous,
@@ -275,7 +296,7 @@ let () =
             parse acc rest
         | _ ->
             Format.eprintf "--jobs expects a positive integer, got %S@." n;
-            exit 2)
+            exit 1)
     | "--json" :: path :: rest ->
         json_path := path;
         parse acc rest
@@ -298,6 +319,18 @@ let () =
   Experiments.set_jobs !jobs;
   let wanted = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
   let wanted = if wanted = [] then all else wanted in
+  (* Exit-code contract (see README): unknown experiment names are a
+     usage error, caught before anything runs. *)
+  let known = "perf" :: all in
+  (match List.filter (fun n -> not (List.mem n known)) wanted with
+  | [] -> ()
+  | unknown ->
+      List.iter
+        (fun other ->
+          Format.eprintf "unknown experiment %S (known: %s, perf)@." other
+            (String.concat ", " all))
+        unknown;
+      exit 1);
   if not full then
     Format.printf "(%s scale: %d packets, %d runs per point; pass --full for paper scale)@."
       (if smoke then "smoke" else "reduced")
@@ -307,6 +340,8 @@ let () =
   | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
   | _ -> ());
   let telemetry_ok = ref true in
+  let failed = ref false in
+  Printexc.record_backtrace true;
   (* One instrumented representative run per experiment, written next to
      BENCH_results.json and schema-validated on the spot (CI gates on
      it).  Probes run off the domain pool; a single extra run per
@@ -352,21 +387,28 @@ let () =
         | "ablate-period" -> Some (fun () -> run_ablate_period scale)
         | "ablate-fifo" -> Some (fun () -> run_ablate_fifo scale)
         | "ablate-gate" -> Some (fun () -> run_ablate_gate scale)
+        | "degraded" -> Some (fun () -> run_degraded scale)
         | "sim-micro" -> Some (fun () -> serially (fun () -> run_sim_micro scale))
         | "perf" -> Some (fun () -> serially Perf.run)
-        | other ->
-            Format.eprintf "unknown experiment %S (known: %s, perf)@." other
-              (String.concat ", " all);
-            None
+        | _ -> None (* unreachable: names validated above *)
       in
       match runner with
       | None -> ()
-      | Some f ->
+      | Some f -> (
           let t0 = Unix.gettimeofday () in
-          let metrics = f () in
-          let seconds = Unix.gettimeofday () -. t0 in
-          results := (name, seconds, metrics) :: !results;
-          write_probe name)
+          (* A raising experiment (including a task failure surfaced by
+             the domain pool) aborts only itself: the remaining
+             experiments still run and the process exits 3 at the end. *)
+          match f () with
+          | metrics ->
+              let seconds = Unix.gettimeofday () -. t0 in
+              results := (name, seconds, metrics) :: !results;
+              write_probe name
+          | exception exn ->
+              Format.eprintf "experiment %s failed: %s@.%s@." name
+                (Printexc.to_string exn)
+                (Printexc.get_backtrace ());
+              failed := true))
     wanted;
   let results = List.rev !results in
   write_json !json_path ~scale ~jobs:(Experiments.jobs ()) results;
@@ -376,4 +418,4 @@ let () =
   (match !metrics_dir with
   | Some dir -> Format.printf "telemetry snapshots written to %s/@." dir
   | None -> ());
-  if not !telemetry_ok then exit 3
+  if !failed || not !telemetry_ok then exit 3

@@ -32,7 +32,8 @@ let with_out path f =
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
 
 let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_file jobs runs
-    no_compile metrics_file metrics_prom trace_out trace_packets trace_cap report =
+    no_compile metrics_file metrics_prom trace_out trace_packets trace_cap report fault_plan
+    monitor monitor_epoch monitor_dump =
   let compiled = not no_compile in
   if list_apps then begin
     List.iter print_endline (apps ());
@@ -45,7 +46,7 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
         | Some src -> src
         | None ->
             Format.eprintf "unknown app %S; try --list-apps@." name;
-            exit 1)
+            exit 2)
     | None, Some path ->
         let ic = open_in_bin path in
         Fun.protect
@@ -57,6 +58,30 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
   in
   let sw = Mp5_core.Switch.create_exn src in
   let config = Mp5_core.Switch.config sw in
+  (* --fault-plan accepts a plan file or an inline ;-separated event
+     list; parse errors are input errors (exit 2). *)
+  let plan =
+    match fault_plan with
+    | None -> None
+    | Some arg -> (
+        let parsed =
+          if Sys.file_exists arg then Mp5_fault.Fault.load ~path:arg
+          else Mp5_fault.Fault.parse arg
+        in
+        match parsed with
+        | Ok p -> Some p
+        | Error e ->
+            Format.eprintf "mp5sim: bad fault plan: %s@." e;
+            exit 2)
+  in
+  if Option.is_some plan && runs > 1 then begin
+    Format.eprintf "mp5sim: --fault-plan applies to single runs only (drop --runs)@.";
+    exit 1
+  end;
+  if Option.is_some plan && recirc then begin
+    Format.eprintf "mp5sim: --fault-plan is not supported by the --recirc baseline@.";
+    exit 1
+  end;
   let trace_for_seed seed =
     match app with
     | Some name when List.mem_assoc name Mp5_apps.Sources.all_named ->
@@ -108,7 +133,7 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
     Format.printf "%d pipelines, %d runs x %d packets (%d domains): mean throughput %.3f@." k
       runs n_packets jobs mean;
     let all_equiv = Array.for_all (fun (_, _, _, e) -> e) results in
-    exit (if all_equiv || mode <> Mp5_core.Sim.Mp5 then 0 else 1)
+    exit (if all_equiv || mode <> Mp5_core.Sim.Mp5 then 0 else 3)
   end;
   (* Index fields: every user field that feeds a register index. *)
   let trace =
@@ -117,8 +142,8 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
         match Mp5_workload.Trace_io.load ~path with
         | Ok trace -> Mp5_banzai.Machine.sort_trace trace
         | Error e ->
-            Format.eprintf "%s: %s@." path e;
-            exit 1)
+            Format.eprintf "%s@." e;
+            exit 2)
     | None -> trace_for_seed seed
   in
   if recirc then begin
@@ -135,7 +160,9 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
   end;
   let params = { (Mp5_core.Sim.default_params ~k) with mode } in
   let metrics =
-    if metrics_file <> None || metrics_prom <> None || report then
+    if metrics_file <> None || metrics_prom <> None || report || monitor
+       || monitor_dump <> None
+    then
       let stages =
         Array.length sw.Mp5_core.Switch.prog.Mp5_core.Transform.config.Mp5_banzai.Config.stages
       in
@@ -149,10 +176,36 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
         let packets = match trace_packets with [] -> None | ids -> Some ids in
         Some (Mp5_obs.Trace.create ~capacity:trace_cap ?packets ())
   in
-  let r, rep = Mp5_core.Switch.verify ~compiled ~params ?metrics ?events ~k sw trace in
+  let mon =
+    if monitor || monitor_dump <> None then
+      Some (Mp5_fault.Monitor.create ~epoch:monitor_epoch ?events ())
+    else None
+  in
+  let dump_monitor () =
+    match (mon, monitor_dump) with
+    | Some m, Some path ->
+        with_out path (fun oc ->
+            output_string oc (Mp5_fault.Monitor.summary m);
+            output_char oc '\n')
+    | _ -> ()
+  in
+  let r, rep =
+    try Mp5_core.Switch.verify ~compiled ~params ?metrics ?events ?fault:plan ?monitor:mon ~k sw trace
+    with Mp5_fault.Monitor.Violation diag ->
+      Format.eprintf "%s@." diag;
+      dump_monitor ();
+      (match (events, trace_out) with
+      | Some tr, Some path -> with_out path (fun oc -> Mp5_obs.Trace.write_jsonl tr oc)
+      | _ -> ());
+      exit 3
+  in
   Format.printf
     "%d pipelines, %d packets: throughput %.3f, max queue %d, dropped %d@.%a@." k
     (Array.length trace) r.normalized_throughput r.max_queue r.dropped Mp5_core.Equiv.pp rep;
+  (match mon with
+  | Some m -> Format.printf "%s@." (Mp5_fault.Monitor.summary m)
+  | None -> ());
+  dump_monitor ();
   (match metrics with
   | None -> ()
   | Some m ->
@@ -160,7 +213,7 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
       | Ok () -> ()
       | Error e ->
           Format.eprintf "metrics invariant violation: %s@." e;
-          exit 2);
+          exit 3);
       Option.iter
         (fun path -> with_out path (fun oc -> output_string oc (Mp5_obs.Metrics.json_string m)))
         metrics_file;
@@ -171,7 +224,14 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
   (match (events, trace_out) with
   | Some tr, Some path -> with_out path (fun oc -> Mp5_obs.Trace.write_jsonl tr oc)
   | _ -> ());
-  exit (if Mp5_core.Equiv.equivalent rep || mode <> Mp5_core.Sim.Mp5 then 0 else 1)
+  (* A fault plan makes the run intentionally lossy, so functional
+     equivalence against the unfaulted golden switch is not enforced;
+     a monitor violation would already have exited 3 above. *)
+  if match mon with Some m -> not (Mp5_fault.Monitor.ok m) | None -> false then exit 3;
+  exit
+    (if Mp5_core.Equiv.equivalent rep || mode <> Mp5_core.Sim.Mp5 || Option.is_some plan
+     then 0
+     else 3)
 
 let app_arg =
   Arg.(value & opt (some string) None & info [ "app" ] ~docv:"NAME" ~doc:"Built-in program name.")
@@ -262,6 +322,39 @@ let trace_cap_arg =
         ~doc:"Event-trace ring capacity; older events are overwritten \
               beyond this (the JSONL header reports truncation).")
 
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:"Inject faults from PLAN: a plan file, or an inline \
+              ;-separated event list (e.g. 'seed 7; down @800 pipe=1; \
+              up @2400 pipe=1').  See lib/fault for the format.  \
+              Single-run mode only; functional equivalence is not \
+              enforced under injected faults.")
+
+let monitor_arg =
+  Arg.(
+    value & flag
+    & info [ "monitor" ]
+        ~doc:"Attach the runtime invariant monitor (packet conservation, \
+              flow affinity, FIFO bounds, phantom accounting); a \
+              violation aborts the run with a diagnostic and exit code 3.")
+
+let monitor_epoch_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "monitor-epoch" ] ~docv:"CYCLES"
+        ~doc:"Cycles between monitor check passes.")
+
+let monitor_dump_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "monitor-dump" ] ~docv:"FILE"
+        ~doc:"Write the monitor verdict (and the last diagnostic, if \
+              any) to FILE; implies --monitor.")
+
 let report_arg =
   Arg.(
     value & flag
@@ -271,12 +364,24 @@ let report_arg =
 
 let cmd =
   let doc = "simulate packet-processing programs on MP5" in
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on success.";
+      Cmd.Exit.info 1 ~doc:"on usage errors (missing program, bad flag combinations).";
+      Cmd.Exit.info 2
+        ~doc:"on input errors (unknown app, malformed trace file or fault plan).";
+      Cmd.Exit.info 3
+        ~doc:
+          "on validation failures (functional non-equivalence, metrics or \
+           runtime-monitor invariant violations).";
+    ]
+  in
   Cmd.v
-    (Cmd.info "mp5sim" ~doc)
+    (Cmd.info "mp5sim" ~doc ~exits)
     Term.(
       const run $ app_arg $ file_arg $ k_arg $ mode_arg $ n_arg $ bytes_arg $ skew_arg
       $ seed_arg $ recirc_arg $ list_arg $ trace_arg $ jobs_arg $ runs_arg $ no_compile_arg
       $ metrics_arg $ metrics_prom_arg $ trace_out_arg $ trace_packets_arg $ trace_cap_arg
-      $ report_arg)
+      $ report_arg $ fault_plan_arg $ monitor_arg $ monitor_epoch_arg $ monitor_dump_arg)
 
 let () = exit (Cmd.eval cmd)

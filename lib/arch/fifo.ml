@@ -212,4 +212,14 @@ let snapshot t =
 
 let data_length t = t.data_count
 
+let iter_data t f =
+  Array.iter
+    (fun rb ->
+      Ring_buffer.iter
+        (fun e ->
+          if not e.cancelled then
+            match e.data with Some v -> f ~key:e.key v | None -> ())
+        rb)
+    t.rings
+
 let max_occupancy t = t.high_water

@@ -68,6 +68,12 @@ val data_length : 'a t -> int
 val max_occupancy : 'a t -> int
 (** High-water mark of {!data_length}. *)
 
+val iter_data : 'a t -> (key:int -> 'a -> unit) -> unit
+(** Apply [f] to every live (non-cancelled) data entry, ring by ring in
+    ring order — deterministic, but {e not} logical (timestamp) order.
+    For whole-queue sweeps: fault-injection spills and the runtime
+    invariant monitor's conservation/affinity census. *)
+
 val snapshot : 'a t -> (int * bool) list
 (** Queued entries in logical (timestamp) order as [(key, is_data)],
     cancelled entries skipped — for visualisation and debugging. *)

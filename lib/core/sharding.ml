@@ -1,57 +1,85 @@
 type move = { cell : int; from_ : int; to_ : int }
 
-let argminmax load =
+(* [down] excludes pipelines from consideration; [None] must reproduce
+   the historical all-pipelines arithmetic exactly (the no-fault path is
+   bit-identical by contract). *)
+let live_of = function
+  | None -> fun _ -> true
+  | Some d -> fun p -> not d.(p)
+
+let argminmax ?down load =
+  let live = live_of down in
   let k = Array.length load in
-  let hi = ref 0 and lo = ref 0 in
-  for p = 1 to k - 1 do
-    if load.(p) > load.(!hi) then hi := p;
-    if load.(p) < load.(!lo) then lo := p
+  let hi = ref (-1) and lo = ref (-1) in
+  for p = 0 to k - 1 do
+    if live p then begin
+      if !hi = -1 || load.(p) > load.(!hi) then hi := p;
+      if !lo = -1 || load.(p) < load.(!lo) then lo := p
+    end
   done;
   (!hi, !lo)
 
-let remap_step ?(noise_gate = true) map =
+let remap_step ?(noise_gate = true) ?down map =
   if not (Index_map.sharded map) then None
   else begin
     let load = Index_map.per_pipeline_load map in
-    let h, l = argminmax load in
-    (* Idle when the imbalance is within the sampling noise of one remap
-       period: per-index counters measure the past, and under balanced
-       load moving the "largest counter below C" shifts more expected
-       load than the gap it is meant to close, drifting away from a good
-       placement (cf. §3.5.2's "the heuristic leaves some performance on
-       the table" — this gate removes the noise-chasing part).  Disable
-       it to run the heuristic verbatim as in Figure 6. *)
-    let total = Array.fold_left ( + ) 0 load in
-    let avg = float_of_int total /. float_of_int (Array.length load) in
-    let gated =
-      noise_gate
-      && float_of_int load.(h) <= avg +. max (0.05 *. avg) (3.0 *. sqrt avg)
-    in
-    if h = l || load.(h) = load.(l) || gated then None
+    let h, l = argminmax ?down load in
+    if h < 0 || l < 0 || h = l then None
     else begin
-      let threshold = (load.(h) - load.(l)) / 2 in
-      (* Largest access counter strictly below the threshold, in-flight 0. *)
-      let best = ref None in
-      for cell = 0 to Index_map.size map - 1 do
-        if Index_map.pipeline_of map cell = h then begin
-          let c = Index_map.access_count map cell in
-          if c < threshold && Index_map.inflight map cell = 0 then
-            match !best with
-            | Some (_, bc) when bc >= c -> ()
-            | _ -> best := Some (cell, c)
-        end
-      done;
-      match !best with
-      | Some (cell, _) -> Some { cell; from_ = h; to_ = l }
-      | None -> None
+      (* Idle when the imbalance is within the sampling noise of one remap
+         period: per-index counters measure the past, and under balanced
+         load moving the "largest counter below C" shifts more expected
+         load than the gap it is meant to close, drifting away from a good
+         placement (cf. §3.5.2's "the heuristic leaves some performance on
+         the table" — this gate removes the noise-chasing part).  Disable
+         it to run the heuristic verbatim as in Figure 6. *)
+      let live = live_of down in
+      let n_live = ref 0 and total = ref 0 in
+      Array.iteri
+        (fun p l ->
+          if live p then begin
+            incr n_live;
+            total := !total + l
+          end)
+        load;
+      let avg = float_of_int !total /. float_of_int !n_live in
+      let gated =
+        noise_gate
+        && float_of_int load.(h) <= avg +. max (0.05 *. avg) (3.0 *. sqrt avg)
+      in
+      if load.(h) = load.(l) || gated then None
+      else begin
+        let threshold = (load.(h) - load.(l)) / 2 in
+        (* Largest access counter strictly below the threshold, in-flight 0. *)
+        let best = ref None in
+        for cell = 0 to Index_map.size map - 1 do
+          if Index_map.pipeline_of map cell = h then begin
+            let c = Index_map.access_count map cell in
+            if c < threshold && Index_map.inflight map cell = 0 then
+              match !best with
+              | Some (_, bc) when bc >= c -> ()
+              | _ -> best := Some (cell, c)
+          end
+        done;
+        match !best with
+        | Some (cell, _) -> Some { cell; from_ = h; to_ = l }
+        | None -> None
+      end
     end
   end
 
-let lpt_remap map =
+let lpt_remap ?down map =
   if not (Index_map.sharded map) then []
   else begin
+    let live = live_of down in
     let k = Index_map.k map in
     let n = Index_map.size map in
+    let n_live = ref 0 in
+    for p = 0 to k - 1 do
+      if live p then incr n_live
+    done;
+    if !n_live = 0 then []
+    else begin
     let current = Index_map.per_pipeline_load map in
     let current_max = Array.fold_left max 0 current in
     let total = Array.fold_left ( + ) 0 current in
@@ -59,12 +87,12 @@ let lpt_remap map =
        perfectly balanced is left alone — repacking a balanced map only
        disturbs in-flight traffic.  The slack is 3 standard deviations of a
        Poisson count plus 5%, so small samples do not trigger thrash. *)
-    let avg = float_of_int total /. float_of_int k in
+    let avg = float_of_int total /. float_of_int !n_live in
     if total = 0 || float_of_int current_max <= avg +. max (0.05 *. avg) (3.0 *. sqrt avg)
     then []
     else begin
     (* Sort indices by decreasing access count, assign each to the least
-       loaded pipeline; cells with packets in flight stay put. *)
+       loaded live pipeline; cells with packets in flight stay put. *)
     let movable = ref [] in
     let load = Array.make k 0 in
     for cell = 0 to n - 1 do
@@ -80,16 +108,47 @@ let lpt_remap map =
     let moves = ref [] in
     Array.iter
       (fun cell ->
-        let best = ref 0 in
-        for p = 1 to k - 1 do
-          if load.(p) < load.(!best) then best := p
+        let best = ref (-1) in
+        for p = k - 1 downto 0 do
+          if live p && (!best = -1 || load.(p) <= load.(!best)) then best := p
         done;
-        load.(!best) <- load.(!best) + Index_map.access_count map cell;
+        let best = !best in
+        load.(best) <- load.(best) + Index_map.access_count map cell;
         let from_ = Index_map.pipeline_of map cell in
-        if from_ <> !best then moves := { cell; from_; to_ = !best } :: !moves)
+        if from_ <> best then moves := { cell; from_; to_ = best } :: !moves)
       movable;
     List.rev !moves
     end
+    end
+  end
+
+(* Degraded-mode mass migration: every cell resident on a downed pipeline
+   moves to the least-loaded live pipeline, in-flight counters ignored —
+   packets pinned to a dead pipeline are doomed anyway, and leaving their
+   cells stranded would black-hole the flow until the pipeline returns.
+   The caller carries the register values via [apply], i.e. through the
+   same remap path ordinary rebalancing uses. *)
+let evacuate map ~down =
+  if not (Index_map.sharded map) then []
+  else begin
+    let k = Index_map.k map in
+    let load = Array.copy (Index_map.per_pipeline_load map) in
+    let moves = ref [] in
+    for cell = 0 to Index_map.size map - 1 do
+      let p = Index_map.pipeline_of map cell in
+      if down.(p) then begin
+        let best = ref (-1) in
+        for q = k - 1 downto 0 do
+          if (not down.(q)) && (!best = -1 || load.(q) <= load.(!best)) then best := q
+        done;
+        match !best with
+        | -1 -> ()  (* no live pipeline: refused upstream by Fault *)
+        | q ->
+            load.(q) <- load.(q) + Index_map.access_count map cell;
+            moves := { cell; from_ = p; to_ = q } :: !moves
+      end
+    done;
+    List.rev !moves
   end
 
 let apply map ~stores ~reg m =

@@ -8,7 +8,7 @@
 
 type move = { cell : int; from_ : int; to_ : int }
 
-val remap_step : ?noise_gate:bool -> Index_map.t -> move option
+val remap_step : ?noise_gate:bool -> ?down:bool array -> Index_map.t -> move option
 (** One execution of the Figure 6 heuristic for one register array.
     Returns the move to apply (the caller must copy the register value and
     call [Index_map.move]), or [None] when no eligible index exists.
@@ -19,13 +19,27 @@ val remap_step : ?noise_gate:bool -> Index_map.t -> move option
     Figure 6 chases noise on balanced workloads because past per-index
     counters over-estimate the future load of the cell it moves.  Pass
     [false] for the paper-verbatim behaviour (the [ablate-gate] bench
-    quantifies the difference). *)
+    quantifies the difference).
 
-val lpt_remap : Index_map.t -> move list
+    [down] (degraded mode, lib/fault) excludes downed pipelines from
+    both ends of the heuristic — a dead pipeline has zero capacity, so
+    it is neither a source worth balancing nor a valid destination.
+    Omitted, the arithmetic is exactly the historical all-pipelines
+    version. *)
+
+val lpt_remap : ?down:bool array -> Index_map.t -> move list
 (** The "ideal MP5" packer (§4.3.3's baseline without heuristic
     limitations): longest-processing-time greedy re-assignment of every
     idle index.  Near-optimal for makespan, far beyond what switch
-    hardware could do per period. *)
+    hardware could do per period.  [down] as in {!remap_step}. *)
+
+val evacuate : Index_map.t -> down:bool array -> move list
+(** Degraded-mode mass migration: a move for every cell resident on a
+    downed pipeline, targeting the least-loaded live pipeline (running
+    totals, so a large spill spreads).  Ignores in-flight counters —
+    packets bound to a dead pipeline are dropped, and a stranded cell
+    would black-hole its flow.  Apply each move with {!apply}: state
+    travels the same remap/crossbar path as ordinary rebalancing. *)
 
 val apply : Index_map.t -> stores:Mp5_banzai.Store.t array -> reg:int -> move -> unit
 (** Copy the register value from the source pipeline's physical array to

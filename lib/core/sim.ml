@@ -8,6 +8,8 @@ module Channel = Mp5_arch.Channel
 module Vec = Mp5_util.Vec
 module Metrics = Mp5_obs.Metrics
 module Etrace = Mp5_obs.Trace
+module Fault = Mp5_fault.Fault
+module Monitor = Mp5_fault.Monitor
 
 type mode = Mp5 | Static_shard | No_d4 | Naive_single | Ideal
 
@@ -176,6 +178,17 @@ type sim = {
      bit-identical with telemetry on or off *)
   ms : Metrics.t option;
   tr : Etrace.t option;
+  (* fault injection and runtime invariant monitor (lib/fault): same
+     discipline as the telemetry above — [None] costs one branch per
+     site and leaves results bit-identical *)
+  flt : Fault.t option;
+  mon : Monitor.t option;
+  (* ghost packets from crossbar duplication get fresh seqs starting at
+     the trace length; [max_int] (never reached) when no plan is
+     attached, so the one hot-loop compare that guards ghosts from
+     executing stateful accesses is always-true on the no-fault path *)
+  mutable dup_base : int;
+  mutable dup_next : int;
 }
 
 let new_fifo sim =
@@ -194,9 +207,15 @@ let cell_fifo sim pc cell =
       Hashtbl.add pc.pc_cells cell f;
       f
 
-let create ?(compiled = true) ?metrics ?events params prog =
+let create ?(compiled = true) ?metrics ?events ?fault ?monitor params prog =
   let config = prog.Transform.config in
   let n_stages = Array.length config.Config.stages in
+  let flt =
+    match fault with
+    | Some plan when not (Fault.is_empty plan) ->
+        Some (Fault.start plan ~k:params.k ~stages:n_stages)
+    | _ -> None
+  in
   (match metrics with
   | Some m when m.Metrics.m_stages <> n_stages || m.Metrics.m_k <> params.k ->
       invalid_arg
@@ -281,6 +300,10 @@ let create ?(compiled = true) ?metrics ?events params prog =
       exit_lats = Vec.create ();
       ms = metrics;
       tr = events;
+      flt;
+      mon = monitor;
+      dup_base = max_int;
+      dup_next = max_int;
     }
   in
   Array.iteri
@@ -321,6 +344,8 @@ let cause_code = function
   | Metrics.Fifo_full -> 0
   | Metrics.No_phantom -> 1
   | Metrics.Starved -> 2
+  | Metrics.Pipeline_down -> 3
+  | Metrics.Injected -> 4
 
 let drop_packet sim now pkt at_stage cause =
   sim.dropped <- sim.dropped + 1;
@@ -355,9 +380,263 @@ let drop_packet sim now pkt at_stage cause =
   (* The packet now lives nowhere but this frame: recycle it. *)
   Vec.push sim.arena pkt
 
+(* Fetch a packet frame from the arena (resetting it in place) or build a
+   fresh one; in steady state every arrival reuses a recycled frame and
+   allocates nothing. *)
+let alloc_packet sim ~seq ~now headers =
+  let n_fields = Array.length sim.config.Config.fields in
+  let n_copy = min (Array.length headers) sim.config.Config.n_user_fields in
+  if Vec.is_empty sim.arena then begin
+    let fields = Array.make n_fields 0 in
+    Array.blit headers 0 fields 0 n_copy;
+    let accs =
+      Array.map
+        (fun plan ->
+          { plan; guard_known = Gk_unknown; cell = -1; dest = 0; done_ = false; counted = false })
+        sim.accesses
+    in
+    { seq; time_in = now; fields; accs; ecn = false }
+  end
+  else begin
+    let pkt = Vec.pop sim.arena in
+    pkt.seq <- seq;
+    pkt.time_in <- now;
+    pkt.ecn <- false;
+    Array.fill pkt.fields 0 n_fields 0;
+    Array.blit headers 0 pkt.fields 0 n_copy;
+    Array.iter
+      (fun rt ->
+        rt.guard_known <- Gk_unknown;
+        rt.cell <- -1;
+        rt.dest <- 0;
+        rt.done_ <- false;
+        rt.counted <- false)
+      pkt.accs;
+    pkt
+  end
+
+(* --- fault application (lib/fault) --- *)
+
+(* A stateful transfer created before a remap boundary can reference a
+   cell that was evacuated off its destination while the packet sat in
+   the transfer buffer (only [Sharding.evacuate] ignores the in-flight
+   pins, and only for downed pipelines).  Such a packet is doomed:
+   inserting it would break flow affinity, so the apply phase drops it. *)
+let misrouted sim pkt stage dest =
+  let a = queued_acc sim pkt stage in
+  a >= 0
+  &&
+  let rt = pkt.accs.(a) in
+  rt.cell >= 0
+  && Index_map.pipeline_of sim.maps.(rt.plan.Transform.reg) rt.cell <> dest
+
+(* Crossbar duplication: the ghost copy is a fresh packet carrying the
+   original's current header contents.  Its accesses are pre-completed
+   with guards known false, so it travels the remaining stages
+   statelessly and exits as a visible duplicate without touching state
+   or scheduling phantoms.  Ghost seqs start at the trace length
+   ([dup_base]); [process_stage] skips [run_accs] for them via one
+   always-predictable [seq < dup_base] compare. *)
+let spawn_dup sim now src_pkt stage =
+  (* A free, unclaimed slot at [stage] on a live pipeline, smallest
+     index first; none free squashes the duplicate silently. *)
+  let dest = ref (-1) in
+  for q = sim.p.k - 1 downto 0 do
+    if
+      Option.is_none sim.slots.(stage).(q)
+      && (not sim.claimed.(stage).(q))
+      && (match sim.flt with Some f -> not (Fault.is_down f q) | None -> true)
+    then dest := q
+  done;
+  match !dest with
+  | -1 -> ()
+  | q ->
+      sim.claimed.(stage).(q) <- true;
+      sim.claims_dirty <- true;
+      let seq = sim.dup_next in
+      sim.dup_next <- seq + 1;
+      let g = alloc_packet sim ~seq ~now:src_pkt.time_in [||] in
+      Array.blit src_pkt.fields 0 g.fields 0 (Array.length g.fields);
+      g.ecn <- src_pkt.ecn;
+      Array.iter
+        (fun rt ->
+          rt.done_ <- true;
+          rt.guard_known <- Gk_false)
+        g.accs;
+      sim.slots.(stage).(q) <- Some g;
+      sim.in_flight <- sim.in_flight + 1;
+      (match sim.ms with Some m -> Metrics.dup_packet m | None -> ());
+      (match sim.tr with
+      | Some tr ->
+          Etrace.emit tr ~kind:Etrace.Stage_entry ~cycle:now ~seq ~stage ~pipe:q ~aux:2
+      | None -> ())
+
+(* A pipeline going down loses everything resident on it: slot
+   occupants and queued data packets drop with cause [Pipeline_down],
+   the queues themselves are replaced wholesale (phantoms parked there
+   are lost with the hardware).  Replacing before dropping makes the
+   victims' own phantom cancellations no-op against the fresh queues. *)
+let spill_pipeline sim now p =
+  for s = 0 to sim.n_stages - 1 do
+    (match sim.slots.(s).(p) with
+    | Some pkt ->
+        sim.slots.(s).(p) <- None;
+        drop_packet sim now pkt s Metrics.Pipeline_down
+    | None -> ());
+    sim.hw_key.(s).(p) <- -1;
+    match sim.fifos.(s).(p) with
+    | None -> ()
+    | Some q ->
+        let victims = ref [] in
+        (match q with
+        | Logical f -> Fifo.iter_data f (fun ~key:_ pkt -> victims := pkt :: !victims)
+        | Per_cell pc ->
+            Hashtbl.iter
+              (fun _ f -> Fifo.iter_data f (fun ~key:_ pkt -> victims := pkt :: !victims))
+              pc.pc_cells);
+        sim.fifos.(s).(p) <- Some (make_queue sim);
+        List.iter (fun pkt -> drop_packet sim now pkt (s - 1) Metrics.Pipeline_down) !victims
+  done
+
+(* FIFO slot loss: the ready head entry vanishes.  A blocked or empty
+   head loses nothing, and Ideal's per-cell queues have no shared slots
+   to lose, so both are no-ops. *)
+let fifo_loss sim now s p =
+  match sim.fifos.(s).(p) with
+  | Some (Logical f) -> (
+      match Fifo.take f with
+      | `Data (_, pkt) -> drop_packet sim now pkt (s - 1) Metrics.Injected
+      | `Blocked _ | `Empty -> ())
+  | Some (Per_cell _) | None -> ()
+
+(* One call per cycle whose [Fault.next_edge] has been reached: process
+   the edges, count each started event, and apply the point actions. *)
+let fault_edges sim f t =
+  if t >= Fault.next_edge f then begin
+    let before = Fault.applied f in
+    let actions = Fault.on_cycle f ~now:t in
+    (match sim.ms with
+    | Some m ->
+        for _ = before + 1 to Fault.applied f do
+          Metrics.fault_event m
+        done
+    | None -> ());
+    List.iter
+      (fun (a : Fault.action) ->
+        match a with
+        | Fault.Down p -> spill_pipeline sim t p
+        | Fault.Up _ -> ()
+        | Fault.Loss (s, p) -> fifo_loss sim t s p)
+      actions
+  end;
+  if Fault.any_down f then
+    match sim.ms with
+    | Some m -> Metrics.pipe_down_cycles m (Fault.n_down f)
+    | None -> ()
+
+(* --- runtime invariant monitor (lib/fault) --- *)
+
+(* Re-derive the architecture's invariants from live machine state.
+   Runs at the top of the cycle loop (and once after it), where the
+   movement phase has emptied every slot into the transfer buffers, so
+   in-flight = FIFO data entries + pending transfers (+ slots, counted
+   anyway so the check also holds for a mid-cycle caller). *)
+let monitor_phase sim mon now =
+  Monitor.mark mon ~now;
+  let fail fmt = Printf.ksprintf (fun s -> Monitor.report mon ~cycle:now s) fmt in
+  let counted = ref 0 in
+  (* A queued data packet must sit at the pipeline its queued access
+     resolved to, and that pipeline must still hold its cell's state
+     (D2 flow affinity) — remaps are pinned off cells with packets in
+     flight, so a mismatch means sharding routed state and packet
+     apart. *)
+  let check_affinity stage p ~key:_ pkt =
+    let a = queued_acc sim pkt stage in
+    if a >= 0 then begin
+      let rt = pkt.accs.(a) in
+      if rt.dest <> p then
+        fail "flow affinity: packet %d queued at stage %d pipe %d but resolved to pipe %d"
+          pkt.seq stage p rt.dest;
+      if rt.cell >= 0 then begin
+        let home = Index_map.pipeline_of sim.maps.(rt.plan.Transform.reg) rt.cell in
+        if home <> p then
+          fail "flow affinity: packet %d queued at stage %d pipe %d but cell %d lives on pipe %d"
+            pkt.seq stage p rt.cell home
+      end
+    end
+  in
+  for stage = 0 to sim.n_stages - 1 do
+    for p = 0 to sim.p.k - 1 do
+      (match sim.slots.(stage).(p) with Some _ -> incr counted | None -> ());
+      match sim.fifos.(stage).(p) with
+      | None -> ()
+      | Some (Logical f) ->
+          counted := !counted + Fifo.data_length f;
+          if (not sim.p.adaptive_fifos) && Fifo.length f > sim.p.k * sim.p.fifo_capacity
+          then
+            fail "FIFO occupancy: stage %d pipe %d holds %d entries, bound %d" stage p
+              (Fifo.length f)
+              (sim.p.k * sim.p.fifo_capacity);
+          Fifo.iter_data f (check_affinity stage p)
+      | Some (Per_cell pc) ->
+          Hashtbl.iter
+            (fun _ f ->
+              counted := !counted + Fifo.data_length f;
+              Fifo.iter_data f (check_affinity stage p))
+            pc.pc_cells
+    done
+  done;
+  for stage = 0 to sim.n_stages - 1 do
+    let pkts = sim.t_pkts.(stage) and descs = sim.t_descs.(stage) in
+    counted := !counted + Vec.length pkts;
+    (* Pending stateful transfers must still be headed to their cell's
+       pipeline.  Under a fault plan a stale destination is legal — the
+       apply phase is guaranteed to drop it (downed destination or the
+       misroute guard) before it could execute anywhere wrong — so the
+       check is only a live invariant on fault-free runs. *)
+    match sim.flt with
+    | Some _ -> ()
+    | None ->
+        for i = 0 to Vec.length pkts - 1 do
+          let desc = Vec.get descs i in
+          if desc land 3 = t_stateful && (desc lsr 14) - 1 >= 0 then begin
+            let pkt = Vec.get pkts i in
+            let dest = (desc lsr 2) land 63 in
+            if misrouted sim pkt stage dest then
+              fail "flow affinity: packet %d in transfer to stage %d pipe %d, cell moved away"
+                pkt.seq stage dest
+          end
+        done
+  done;
+  if !counted <> sim.in_flight then
+    fail "conservation: %d packets found in slots/FIFOs/transfers, %d in flight" !counted
+      sim.in_flight;
+  match sim.ms with
+  | None -> ()
+  | Some m ->
+      let b = Metrics.total m.Metrics.m_busy
+      and i = Metrics.total m.Metrics.m_idle
+      and bl = Metrics.total m.Metrics.m_blocked in
+      let expect = sim.n_stages * sim.p.k * m.Metrics.m_cycles in
+      if b + i + bl <> expect then
+        fail "cycle classification: busy %d + idle %d + blocked %d <> stages*k*cycles %d" b i
+          bl expect;
+      let sched = m.Metrics.m_phantom_scheduled in
+      let accounted =
+        m.Metrics.m_phantom_delivered + m.Metrics.m_phantom_doomed
+        + m.Metrics.m_phantom_dropped + Channel.pending sim.channel
+      in
+      if sched <> accounted then
+        fail "phantom conservation: %d scheduled, %d delivered+doomed+dropped+pending" sched
+          accounted
+
 (* --- address resolution (stage 0, performed on arrival; §3.3) --- *)
 
 let resolve sim now entry_pipeline pkt =
+  (* Injected phantom-delivery delay: phantoms scheduled while the
+     window is open arrive late, violating Invariant 1's preemptive
+     ordering — the data packet finds no phantom and is dropped. *)
+  let extra = match sim.flt with Some f -> Fault.phantom_delay f | None -> 0 in
   Array.iteri
     (fun i rt ->
       let plan = rt.plan in
@@ -386,7 +665,7 @@ let resolve sim now entry_pipeline pkt =
         if uses_phantoms sim then begin
           (match sim.ms with Some m -> Metrics.phantom_scheduled m | None -> ());
           Channel.schedule sim.channel
-            ~at:(now + plan.Transform.stage)
+            ~at:(now + plan.Transform.stage + extra)
             {
               d_seq = pkt.seq;
               d_stage = plan.Transform.stage;
@@ -409,6 +688,19 @@ let deliver_phantoms sim now =
         | Some tr ->
             Etrace.emit tr ~kind:Etrace.Phantom_deliver ~cycle:now ~seq:d.d_seq
               ~stage:d.d_stage ~pipe:d.d_dest ~aux:1
+        | None -> ()
+      end
+      else if
+        match sim.flt with Some f -> Fault.is_down f d.d_dest | None -> false
+      then begin
+        (* Destination pipeline is down: the phantom is lost with it.
+           Its data packet, if it survives elsewhere, is dropped on
+           transfer; accounting stays conserved via phantom_dropped. *)
+        (match sim.ms with Some m -> Metrics.phantom_dropped m | None -> ());
+        match sim.tr with
+        | Some tr ->
+            Etrace.emit tr ~kind:Etrace.Phantom_deliver ~cycle:now ~seq:d.d_seq
+              ~stage:d.d_stage ~pipe:d.d_dest ~aux:2
         | None -> ()
       end
       else begin
@@ -503,44 +795,66 @@ let apply_transfers sim now =
       let desc = Vec.get descs i in
       let dest = (desc lsr 2) land 63 in
       let src = (desc lsr 8) land 63 in
-      (match sim.ms with
-      | Some m -> Metrics.transfer m ~stage ~cross:(dest <> src)
-      | None -> ());
-      (match sim.tr with
-      | Some tr ->
-          Etrace.emit tr ~kind:Etrace.Crossbar ~cycle:now ~seq:pkt.seq ~stage ~pipe:dest
-            ~aux:src
-      | None -> ());
-      match desc land 3 with
-      | 1 (* stateful *) ->
-          insert_stateful sim now stage pkt ~dest ~src ~cell:((desc lsr 14) - 1)
-      | 2 (* queued *) -> (
-          let f, pc = stage_queue sim stage ~dest ~cell:(-1) in
-          match Fifo.push_data f ~ring:src ~ts:pkt.seq ~key:pkt.seq pkt with
-          | `Ok -> Option.iter (fun pc -> notify_ready pc (-1)) pc
-          | `Dropped -> drop_packet sim now pkt (stage - 1) Metrics.Fifo_full)
-      | _ (* stateless *) ->
-          (* Starvation guard: sacrifice the stateless packet when the
-             queued head has waited too long (§3.4). *)
-          let starve =
-            match sim.p.starvation_threshold with
-            | Some thr ->
-                sim.stateful_stage.(stage) && head_age sim now stage dest > thr
-            | None -> false
-          in
-          if starve then begin
-            sim.dropped_stateless <- sim.dropped_stateless + 1;
-            drop_packet sim now pkt (stage - 1) Metrics.Starved
-          end
-          else begin
-            assert (Option.is_none sim.slots.(stage).(dest));
-            sim.slots.(stage).(dest) <- Some pkt;
-            match sim.tr with
-            | Some tr ->
-                Etrace.emit tr ~kind:Etrace.Stage_entry ~cycle:now ~seq:pkt.seq ~stage
-                  ~pipe:dest ~aux:1
-            | None -> ()
-          end
+      (* Fault gate: 0 = deliver, 1 = drop (downed destination or the
+         post-evacuation misroute guard), 2 = injected crossbar drop,
+         3 = deliver and duplicate.  The drop draw precedes the dup
+         draw — the order is part of the deterministic replay — and
+         duplication only applies to stateless transfers. *)
+      let fate =
+        match sim.flt with
+        | None -> 0
+        | Some f ->
+            if Fault.is_down f dest then 1
+            else if desc land 3 = t_stateful && misrouted sim pkt stage dest then 1
+            else if Fault.drop_transfer f then 2
+            else if desc land 3 = t_stateless && Fault.dup_transfer f then 3
+            else 0
+      in
+      if fate = 1 then drop_packet sim now pkt (stage - 1) Metrics.Pipeline_down
+      else if fate = 2 then drop_packet sim now pkt (stage - 1) Metrics.Injected
+      else begin
+        (match sim.ms with
+        | Some m -> Metrics.transfer m ~stage ~cross:(dest <> src)
+        | None -> ());
+        (match sim.tr with
+        | Some tr ->
+            Etrace.emit tr ~kind:Etrace.Crossbar ~cycle:now ~seq:pkt.seq ~stage ~pipe:dest
+              ~aux:src
+        | None -> ());
+        (match desc land 3 with
+        | 1 (* stateful *) ->
+            insert_stateful sim now stage pkt ~dest ~src ~cell:((desc lsr 14) - 1)
+        | 2 (* queued *) -> (
+            let f, pc = stage_queue sim stage ~dest ~cell:(-1) in
+            match Fifo.push_data f ~ring:src ~ts:pkt.seq ~key:pkt.seq pkt with
+            | `Ok -> Option.iter (fun pc -> notify_ready pc (-1)) pc
+            | `Dropped -> drop_packet sim now pkt (stage - 1) Metrics.Fifo_full)
+        | _ (* stateless *) ->
+            (* Starvation guard: sacrifice the stateless packet when the
+               queued head has waited too long (§3.4). *)
+            let starve =
+              match sim.p.starvation_threshold with
+              | Some thr ->
+                  sim.stateful_stage.(stage) && head_age sim now stage dest > thr
+              | None -> false
+            in
+            if starve then begin
+              sim.dropped_stateless <- sim.dropped_stateless + 1;
+              drop_packet sim now pkt (stage - 1) Metrics.Starved
+            end
+            else begin
+              assert (Option.is_none sim.slots.(stage).(dest));
+              sim.slots.(stage).(dest) <- Some pkt;
+              (match sim.tr with
+              | Some tr ->
+                  Etrace.emit tr ~kind:Etrace.Stage_entry ~cycle:now ~seq:pkt.seq ~stage
+                    ~pipe:dest ~aux:1
+              | None -> ());
+              (* Duplicate only a packet that actually went through —
+                 a starved one just recycled its frame. *)
+              if fate = 3 then spawn_dup sim now pkt stage
+            end)
+      end
     done;
     Vec.clear pkts;
     Vec.clear descs
@@ -556,7 +870,20 @@ let pop_phase sim now =
                the slot (Invariant 2) — busy, attributed to the claim. *)
             (match sim.ms with Some m -> Metrics.claimed m ~stage ~pipe:p | None -> ());
             update_head_watch sim now stage p
-        | None -> (
+        | None ->
+            let fault_blocked =
+              match sim.flt with
+              | None -> false
+              | Some f -> Fault.is_down f p || Fault.is_stalled f ~stage ~pipe:p
+            in
+            if fault_blocked then (
+              (* Downed or stalled pipeline: no pops this cycle.  The
+                 slot-cycle is classified blocked so the cycle totals
+                 stay exact. *)
+              match sim.ms with
+              | Some m -> Metrics.fault_stall m ~stage ~pipe:p
+              | None -> ())
+            else (
           match sim.fifos.(stage).(p) with
           | Some (Logical f) -> (
               (* One [Fifo.take] both decides and performs the pop; its
@@ -705,7 +1032,10 @@ let run_accs sim pkt pipeline accs =
 
 let process_stage sim pkt stage pipeline =
   sim.kernel.Kernel.stateless.(stage) pkt.fields;
-  run_accs sim pkt pipeline sim.accs_by_stage.(stage)
+  (* Ghost packets (crossbar duplicates, seqs >= dup_base) never touch
+     state; [dup_base] is [max_int] on the no-fault path, so the
+     compare is always-true there. *)
+  if pkt.seq < sim.dup_base then run_accs sim pkt pipeline sim.accs_by_stage.(stage)
 
 let exec_phase sim now =
   (* stage 0 is address resolution, performed on arrival *)
@@ -727,6 +1057,20 @@ let movement_phase sim now =
     Array.iter (fun row -> Array.fill row 0 (Array.length row) false) claimed;
     sim.claims_dirty <- false
   end;
+  (* Downed pipelines take no stateless traffic: pre-claim their slots
+     so the crossbar steers around them.  Slots on downed pipelines are
+     always empty (spilled on the down edge, nothing admitted since),
+     so at most k - n_down movers compete for k - n_down live slots and
+     the steering below still always finds a destination. *)
+  (match sim.flt with
+  | Some f when Fault.any_down f ->
+      for s = 0 to sim.n_stages - 1 do
+        for p = 0 to sim.p.k - 1 do
+          if Fault.is_down f p then claimed.(s).(p) <- true
+        done
+      done;
+      sim.claims_dirty <- true
+  | _ -> ());
   for stage = sim.n_stages - 1 downto 0 do
     for p = 0 to sim.p.k - 1 do
       match sim.slots.(stage).(p) with
@@ -795,56 +1139,29 @@ let movement_phase sim now =
     done
   done
 
-(* Fetch a packet frame from the arena (resetting it in place) or build a
-   fresh one; in steady state every arrival reuses a recycled frame and
-   allocates nothing. *)
-let alloc_packet sim ~seq ~now headers =
-  let n_fields = Array.length sim.config.Config.fields in
-  let n_copy = min (Array.length headers) sim.config.Config.n_user_fields in
-  if Vec.is_empty sim.arena then begin
-    let fields = Array.make n_fields 0 in
-    Array.blit headers 0 fields 0 n_copy;
-    let accs =
-      Array.map
-        (fun plan ->
-          { plan; guard_known = Gk_unknown; cell = -1; dest = 0; done_ = false; counted = false })
-        sim.accesses
-    in
-    { seq; time_in = now; fields; accs; ecn = false }
-  end
-  else begin
-    let pkt = Vec.pop sim.arena in
-    pkt.seq <- seq;
-    pkt.time_in <- now;
-    pkt.ecn <- false;
-    Array.fill pkt.fields 0 n_fields 0;
-    Array.blit headers 0 pkt.fields 0 n_copy;
-    Array.iter
-      (fun rt ->
-        rt.guard_known <- Gk_unknown;
-        rt.cell <- -1;
-        rt.dest <- 0;
-        rt.done_ <- false;
-        rt.counted <- false)
-      pkt.accs;
-    pkt
-  end
-
 let arrival_phase sim now trace cursor =
   (* Admit up to one packet per pipeline into the address-resolution
-     stage; the Naive_single baseline funnels everything into pipeline 0. *)
+     stage; the Naive_single baseline funnels everything into pipeline
+     0, and a downed pipeline admits nothing (degraded capacity is
+     (k - n_down)/k of ideal by construction). *)
   let max_accept = match sim.p.mode with Naive_single -> 1 | _ -> sim.p.k in
-  let accepted = ref 0 in
+  let entry = ref 0 in
+  let skip_down () =
+    match sim.flt with
+    | Some f -> while !entry < max_accept && Fault.is_down f !entry do incr entry done
+    | None -> ()
+  in
+  skip_down ();
   while
-    !cursor < Array.length trace
+    !entry < max_accept
+    && !cursor < Array.length trace
     && trace.(!cursor).Machine.time <= now
-    && !accepted < max_accept
   do
     let input = trace.(!cursor) in
     let seq = !cursor in
     incr cursor;
     let pkt = alloc_packet sim ~seq ~now input.Machine.headers in
-    let pipeline = !accepted in
+    let pipeline = !entry in
     (match sim.ms with Some m -> Metrics.arrival m | None -> ());
     (match sim.tr with
     | Some tr ->
@@ -853,7 +1170,8 @@ let arrival_phase sim now trace cursor =
     resolve sim now pipeline pkt;
     sim.slots.(0).(pipeline) <- Some pkt;
     sim.in_flight <- sim.in_flight + 1;
-    incr accepted
+    incr entry;
+    skip_down ()
   done
 
 let remap_phase sim now =
@@ -885,21 +1203,40 @@ let remap_phase sim now =
           ~aux:mv.Sharding.cell
     | None -> ()
   in
+  (* Degraded mode: dynamic modes exclude downed pipelines from the
+     heuristics and first evacuate every resident cell off them — mass
+     migration through the same remap path.  [Static_shard] gets
+     neither (its map is frozen), which is exactly why it cannot
+     recover from a pipeline loss. *)
+  let down =
+    match sim.flt with
+    | Some f when Fault.any_down f -> Some (Fault.down_mask f)
+    | _ -> None
+  in
   Array.iteri
     (fun r map ->
-      if Index_map.sharded map then
+      if Index_map.sharded map then begin
+        (match (down, sim.p.mode) with
+        | Some d, (Mp5 | No_d4 | Ideal) ->
+            List.iter
+              (fun m ->
+                apply_move map r m;
+                match sim.ms with Some ms -> Metrics.evac_move ms | None -> ())
+              (Sharding.evacuate map ~down:d)
+        | _ -> ());
         match sim.p.mode with
         | Ideal ->
             (* The ideal packer sees cumulative access counts — perfect
                knowledge of the access distribution — so its assignment
                converges instead of chasing per-period noise. *)
-            List.iter (fun m -> apply_move map r m) (Sharding.lpt_remap map)
+            List.iter (fun m -> apply_move map r m) (Sharding.lpt_remap ?down map)
         | _ when dynamic ->
-            (match Sharding.remap_step ~noise_gate:sim.p.remap_noise_gate map with
+            (match Sharding.remap_step ~noise_gate:sim.p.remap_noise_gate ?down map with
             | Some m -> apply_move map r m
             | None -> ());
             Index_map.reset_counts map
-        | _ -> Index_map.reset_counts map)
+        | _ -> Index_map.reset_counts map
+      end)
     sim.maps
 
 (* --- main loop --- *)
@@ -949,15 +1286,24 @@ let observe sim now observer =
       in
       f { occ_cycle = now; occ_slots; occ_queues }
 
-let run ?observer ?metrics ?events ?(compiled = true) params prog trace =
+let run ?observer ?metrics ?events ?fault ?monitor ?(compiled = true) params prog trace =
   if Array.length trace = 0 then invalid_arg "Sim.run: empty trace";
-  let sim = create ~compiled ?metrics ?events params prog in
+  let sim = create ~compiled ?metrics ?events ?fault ?monitor params prog in
+  (match sim.flt with
+  | Some _ ->
+      sim.dup_base <- Array.length trace;
+      sim.dup_next <- Array.length trace
+  | None -> ());
   let cursor = ref 0 in
   let now = ref trace.(0).Machine.time in
   let first_arrival = !now in
   let last_score = ref 0 and last_progress_t = ref !now in
   while !cursor < Array.length trace || sim.in_flight > 0 do
     let t = !now in
+    (match sim.mon with
+    | Some mon when Monitor.due mon ~now:t -> monitor_phase sim mon t
+    | _ -> ());
+    (match sim.flt with Some f -> fault_edges sim f t | None -> ());
     (match sim.ms with Some m -> Metrics.on_cycle m | None -> ());
     deliver_phantoms sim t;
     apply_transfers sim t;
@@ -994,6 +1340,13 @@ let run ?observer ?metrics ?events ?(compiled = true) params prog trace =
         let boundary = t + period - ((t - first_arrival) mod period) in
         next := min !next boundary
       end;
+      (* Fault edges change machine state even while idle (a pipeline
+         coming back up, a window opening), so they bound the jump. *)
+      (match sim.flt with
+      | Some f ->
+          let e = Fault.next_edge f in
+          if e < max_int then next := min !next (max (t + 1) e)
+      | None -> ());
       now := !next
     end
   done;
@@ -1019,6 +1372,9 @@ let run ?observer ?metrics ?events ?(compiled = true) params prog trace =
             flush ()
       in
       flush ());
+  (* One final full check after the drain, so a run that ends between
+     epochs is still verified in its terminal state. *)
+  (match sim.mon with Some mon -> monitor_phase sim mon !now | None -> ());
   let last_arrival = trace.(Array.length trace - 1).Machine.time in
   let input_span = last_arrival - first_arrival + 1 in
   let n = Array.length trace in

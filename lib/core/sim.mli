@@ -84,6 +84,8 @@ val run :
   ?observer:(occupancy -> unit) ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
+  ?fault:Mp5_fault.Fault.plan ->
+  ?monitor:Mp5_fault.Monitor.t ->
   ?compiled:bool ->
   params ->
   Transform.t ->
@@ -102,6 +104,24 @@ val run :
     are pure observers: the simulated machine never reads them, so the
     [result] is bit-identical with instrumentation on or off, and a
     disabled instrument costs one branch per site.
+
+    [fault] attaches a deterministic fault plan ({!Mp5_fault.Fault}):
+    pipelines going down and recovering (with FIFO spill, crossbar drop
+    of in-transit packets and — in the dynamic modes — mass evacuation
+    of resident cells at the next remap boundary), per-stage stall
+    windows, probabilistic crossbar transfer drop/duplication, FIFO
+    slot loss, and phantom-delivery delay.  An empty plan attaches
+    nothing; without a plan the fault hooks cost one branch per site
+    and results are bit-identical to an unfaulted build
+    (@raise Invalid_argument when the plan fails validation;
+    @raise Failure when a plan takes down the last live pipeline).
+
+    [monitor] re-derives runtime invariants from live machine state
+    every [Monitor.epoch] cycles — packet conservation, D2 flow
+    affinity, FIFO occupancy bounds, and (when [metrics] is also
+    attached) phantom conservation and the cycle-classification total —
+    raising {!Mp5_fault.Monitor.Violation} with a diagnostic snapshot
+    when one fails (or counting silently for a non-fail-fast monitor).
 
     [compiled] (default [true]) selects the execution engine: the stage
     programs are lowered to closed closure kernels at construction time

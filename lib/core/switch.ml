@@ -33,13 +33,13 @@ let table t name =
 
 let golden t trace = Mp5_banzai.Machine.run (config t) trace
 
-let run ?params ?metrics ?events ?compiled ~k t trace =
+let run ?params ?metrics ?events ?fault ?monitor ?compiled ~k t trace =
   let params = match params with Some p -> p | None -> Sim.default_params ~k in
-  Sim.run ?metrics ?events ?compiled params t.prog trace
+  Sim.run ?metrics ?events ?fault ?monitor ?compiled params t.prog trace
 
-let verify ?params ?metrics ?events ?compiled ~k ?flow_of t trace =
+let verify ?params ?metrics ?events ?fault ?monitor ?compiled ~k ?flow_of t trace =
   let golden_result = golden t trace in
-  let r = run ?params ?metrics ?events ?compiled ~k t trace in
+  let r = run ?params ?metrics ?events ?fault ?monitor ?compiled ~k t trace in
   let report =
     Equiv.compare ~golden:golden_result ~n_packets:(Array.length trace) ~store:r.Sim.store
       ~headers_out:r.Sim.headers_out ~access_seqs:r.Sim.access_seqs ?flow_of

@@ -46,18 +46,23 @@ val run :
   ?params:Sim.params ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
+  ?fault:Mp5_fault.Fault.plan ->
+  ?monitor:Mp5_fault.Monitor.t ->
   ?compiled:bool ->
   k:int ->
   t ->
   Mp5_banzai.Machine.input array ->
   Sim.result
 (** Run the MP5 simulator ([params] defaults to {!Sim.default_params};
-    [metrics], [events] and [compiled] as in {!Sim.run}). *)
+    [metrics], [events], [fault], [monitor] and [compiled] as in
+    {!Sim.run}). *)
 
 val verify :
   ?params:Sim.params ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
+  ?fault:Mp5_fault.Fault.plan ->
+  ?monitor:Mp5_fault.Monitor.t ->
   ?compiled:bool ->
   k:int ->
   ?flow_of:(int -> int) ->

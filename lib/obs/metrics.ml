@@ -1,4 +1,4 @@
-type drop_cause = Fifo_full | No_phantom | Starved
+type drop_cause = Fifo_full | No_phantom | Starved | Pipeline_down | Injected
 
 let lat_bins = 512
 let occ_bins = 64
@@ -21,6 +21,13 @@ type t = {
   mutable m_drop_fifo_full : int;
   mutable m_drop_no_phantom : int;
   mutable m_drop_starved : int;
+  mutable m_drop_pipeline_down : int;
+  mutable m_drop_injected : int;
+  mutable m_fault_events : int;
+  mutable m_fault_stall_cycles : int;
+  mutable m_pipe_down_cycles : int;
+  mutable m_evac_moves : int;
+  mutable m_dup_packets : int;
   mutable m_phantom_scheduled : int;
   mutable m_phantom_delivered : int;
   mutable m_phantom_doomed : int;
@@ -56,6 +63,13 @@ let create ~stages ~k =
     m_drop_fifo_full = 0;
     m_drop_no_phantom = 0;
     m_drop_starved = 0;
+    m_drop_pipeline_down = 0;
+    m_drop_injected = 0;
+    m_fault_events = 0;
+    m_fault_stall_cycles = 0;
+    m_pipe_down_cycles = 0;
+    m_evac_moves = 0;
+    m_dup_packets = 0;
     m_phantom_scheduled = 0;
     m_phantom_delivered = 0;
     m_phantom_doomed = 0;
@@ -118,6 +132,21 @@ let drop m cause =
   | Fifo_full -> m.m_drop_fifo_full <- m.m_drop_fifo_full + 1
   | No_phantom -> m.m_drop_no_phantom <- m.m_drop_no_phantom + 1
   | Starved -> m.m_drop_starved <- m.m_drop_starved + 1
+  | Pipeline_down -> m.m_drop_pipeline_down <- m.m_drop_pipeline_down + 1
+  | Injected -> m.m_drop_injected <- m.m_drop_injected + 1
+
+(* --- fault/recovery counters (lib/fault integration) --- *)
+
+let fault_event m = m.m_fault_events <- m.m_fault_events + 1
+
+let fault_stall m ~stage ~pipe =
+  let i = slot m ~stage ~pipe in
+  m.m_blocked.(i) <- m.m_blocked.(i) + 1;
+  m.m_fault_stall_cycles <- m.m_fault_stall_cycles + 1
+
+let pipe_down_cycles m n = m.m_pipe_down_cycles <- m.m_pipe_down_cycles + n
+let evac_move m = m.m_evac_moves <- m.m_evac_moves + 1
+let dup_packet m = m.m_dup_packets <- m.m_dup_packets + 1
 
 let phantom_scheduled m = m.m_phantom_scheduled <- m.m_phantom_scheduled + 1
 let phantom_delivered m = m.m_phantom_delivered <- m.m_phantom_delivered + 1
@@ -134,7 +163,11 @@ let remap_move m ~before ~after =
 
 let cell arr m ~stage ~pipe = arr.(slot m ~stage ~pipe)
 let total = Array.fold_left ( + ) 0
-let dropped_total m = m.m_drop_fifo_full + m.m_drop_no_phantom + m.m_drop_starved
+let dropped_total m =
+  m.m_drop_fifo_full + m.m_drop_no_phantom + m.m_drop_starved + m.m_drop_pipeline_down
+  + m.m_drop_injected
+
+let faulted m = m.m_fault_events > 0
 let lat_mass m = total m.m_lat_hist
 
 let hist_percentile hist count p =
@@ -171,7 +204,12 @@ let equal a b =
   && a.m_xfer_cross = b.m_xfer_cross && a.m_arrivals = b.m_arrivals
   && a.m_delivered = b.m_delivered && a.m_ecn_marked = b.m_ecn_marked
   && a.m_drop_fifo_full = b.m_drop_fifo_full && a.m_drop_no_phantom = b.m_drop_no_phantom
-  && a.m_drop_starved = b.m_drop_starved && a.m_phantom_scheduled = b.m_phantom_scheduled
+  && a.m_drop_starved = b.m_drop_starved
+  && a.m_drop_pipeline_down = b.m_drop_pipeline_down
+  && a.m_drop_injected = b.m_drop_injected && a.m_fault_events = b.m_fault_events
+  && a.m_fault_stall_cycles = b.m_fault_stall_cycles
+  && a.m_pipe_down_cycles = b.m_pipe_down_cycles && a.m_evac_moves = b.m_evac_moves
+  && a.m_dup_packets = b.m_dup_packets && a.m_phantom_scheduled = b.m_phantom_scheduled
   && a.m_phantom_delivered = b.m_phantom_delivered && a.m_phantom_doomed = b.m_phantom_doomed
   && a.m_phantom_dropped = b.m_phantom_dropped && a.m_remap_periods = b.m_remap_periods
   && a.m_remap_moves = b.m_remap_moves && a.m_imb_before = b.m_imb_before
@@ -256,7 +294,18 @@ let to_json m =
                   ("fifo_full", Json.Int m.m_drop_fifo_full);
                   ("no_phantom", Json.Int m.m_drop_no_phantom);
                   ("starved", Json.Int m.m_drop_starved);
+                  ("pipeline_down", Json.Int m.m_drop_pipeline_down);
+                  ("injected", Json.Int m.m_drop_injected);
                 ] );
+          ] );
+      ( "faults",
+        Json.Obj
+          [
+            ("events", Json.Int m.m_fault_events);
+            ("stall_cycles", Json.Int m.m_fault_stall_cycles);
+            ("pipe_down_cycles", Json.Int m.m_pipe_down_cycles);
+            ("evac_moves", Json.Int m.m_evac_moves);
+            ("dup_packets", Json.Int m.m_dup_packets);
           ] );
       ( "cycle_states",
         Json.Obj
@@ -404,6 +453,14 @@ let to_prometheus m =
   out "mp5_drops{cause=\"fifo_full\"} %d\n" m.m_drop_fifo_full;
   out "mp5_drops{cause=\"no_phantom\"} %d\n" m.m_drop_no_phantom;
   out "mp5_drops{cause=\"starved\"} %d\n" m.m_drop_starved;
+  out "mp5_drops{cause=\"pipeline_down\"} %d\n" m.m_drop_pipeline_down;
+  out "mp5_drops{cause=\"injected\"} %d\n" m.m_drop_injected;
+  out "# HELP mp5_faults Injected-fault activity.\n# TYPE mp5_faults counter\n";
+  out "mp5_faults{event=\"applied\"} %d\n" m.m_fault_events;
+  out "mp5_faults{event=\"stall_cycles\"} %d\n" m.m_fault_stall_cycles;
+  out "mp5_faults{event=\"pipe_down_cycles\"} %d\n" m.m_pipe_down_cycles;
+  out "mp5_faults{event=\"evac_moves\"} %d\n" m.m_evac_moves;
+  out "mp5_faults{event=\"dup_packets\"} %d\n" m.m_dup_packets;
   out "# HELP mp5_phantoms Phantom-channel events.\n# TYPE mp5_phantoms counter\n";
   out "mp5_phantoms{event=\"scheduled\"} %d\n" m.m_phantom_scheduled;
   out "mp5_phantoms{event=\"delivered\"} %d\n" m.m_phantom_delivered;
@@ -439,9 +496,19 @@ let pp ppf m =
   let claimed = total m.m_claimed in
   Format.fprintf ppf "run: %d cycles, %d stages x %d pipelines@." m.m_cycles m.m_stages m.m_k;
   Format.fprintf ppf
-    "packets: %d arrived, %d delivered, %d dropped (fifo_full %d, no_phantom %d, starved %d), %d ECN-marked@."
+    "packets: %d arrived, %d delivered, %d dropped (fifo_full %d, no_phantom %d, starved %d%s), %d ECN-marked@."
     m.m_arrivals m.m_delivered (dropped_total m) m.m_drop_fifo_full m.m_drop_no_phantom
-    m.m_drop_starved m.m_ecn_marked;
+    m.m_drop_starved
+    (if m.m_drop_pipeline_down = 0 && m.m_drop_injected = 0 then ""
+     else
+       Printf.sprintf ", pipeline_down %d, injected %d" m.m_drop_pipeline_down
+         m.m_drop_injected)
+    m.m_ecn_marked;
+  if faulted m then
+    Format.fprintf ppf
+      "faults: %d events, %d stall cycles, %d pipeline-down cycles, %d evacuation moves, %d duplicated packets@."
+      m.m_fault_events m.m_fault_stall_cycles m.m_pipe_down_cycles m.m_evac_moves
+      m.m_dup_packets;
   if m.m_lat_count > 0 then
     Format.fprintf ppf "latency: mean %.1f  p50 %d  p99 %d  max %d cycles@."
       (float_of_int m.m_lat_sum /. float_of_int m.m_lat_count)

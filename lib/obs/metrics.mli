@@ -24,7 +24,10 @@
     taken by a stateless-priority packet (Invariant 2) rather than a
     queue pop — the third stall cause for the queue behind it. *)
 
-type drop_cause = Fifo_full | No_phantom | Starved
+type drop_cause = Fifo_full | No_phantom | Starved | Pipeline_down | Injected
+(** [Pipeline_down]: spilled from (or routed to) a downed pipeline;
+    [Injected]: dropped by an explicit fault-plan event (crossbar drop,
+    FIFO slot loss). *)
 
 val lat_bins : int
 (** Latency histogram bins; bin [lat_bins - 1] collects the overflow. *)
@@ -53,6 +56,14 @@ type t = {
   mutable m_drop_fifo_full : int;
   mutable m_drop_no_phantom : int;
   mutable m_drop_starved : int;
+  mutable m_drop_pipeline_down : int;
+  mutable m_drop_injected : int;
+  (* fault injection / degraded-mode recovery (lib/fault) *)
+  mutable m_fault_events : int;        (* fault-plan events applied *)
+  mutable m_fault_stall_cycles : int;  (* slot-cycles lost to down/stalled pipes *)
+  mutable m_pipe_down_cycles : int;    (* summed (down pipelines x cycles) *)
+  mutable m_evac_moves : int;          (* cells evacuated off downed pipelines *)
+  mutable m_dup_packets : int;         (* ghost packets from crossbar duplication *)
   mutable m_phantom_scheduled : int;
   mutable m_phantom_delivered : int;
   mutable m_phantom_doomed : int;   (* deliveries suppressed: packet already dropped *)
@@ -90,6 +101,17 @@ val phantom_doomed : t -> unit
 val phantom_dropped : t -> unit
 val remap_period : t -> unit
 val remap_move : t -> before:int -> after:int -> unit
+val fault_event : t -> unit
+
+val fault_stall : t -> stage:int -> pipe:int -> unit
+(** A slot-cycle lost to a downed or stalled pipeline; classifies the
+    slot as blocked (so the cycle total stays exact) and counts it. *)
+
+val pipe_down_cycles : t -> int -> unit
+(** Add [n_down] for one cycle spent with [n_down] pipelines down. *)
+
+val evac_move : t -> unit
+val dup_packet : t -> unit
 
 (* --- accessors for tests and reports --- *)
 
@@ -98,6 +120,10 @@ val cell : int array -> t -> stage:int -> pipe:int -> int
 
 val total : int array -> int
 val dropped_total : t -> int
+
+val faulted : t -> bool
+(** True once any fault-plan event has been applied to the run. *)
+
 val lat_mass : t -> int
 (** Total count held by the latency histogram (= deliveries). *)
 

@@ -7,13 +7,11 @@ type t = {
   mutable stopped : bool;
 }
 
-(* Per-map bookkeeping: tasks left, and the failure with the smallest
-   input index seen so far.  Guarded by the pool mutex. *)
+(* Per-map bookkeeping: tasks left.  Guarded by the pool mutex. *)
 type job = {
   pool : t;
   done_cv : Condition.t;
   mutable remaining : int;
-  mutable failed : (int * exn * Printexc.raw_backtrace) option;
 }
 
 let rec worker_loop t =
@@ -76,37 +74,38 @@ let shutdown t =
     t.workers <- [||]
   end
 
-let record_failure job idx exn bt =
-  match job.failed with
-  | Some (i, _, _) when i <= idx -> ()
-  | _ -> job.failed <- Some (idx, exn, bt)
-
-(* One task: compute f on the slice [lo, hi), writing results in place. *)
+(* One task: compute f on the slice [lo, hi), writing per-element
+   results in place.  A raising element is captured as [Error] with its
+   backtrace and the rest of the slice still computes — one poisoned
+   input never aborts the chunk, let alone the whole map. *)
 let run_chunk job f src dst lo hi () =
-  (try
-     for i = lo to hi - 1 do
-       dst.(i) <- Some (f src.(i))
-     done
-   with exn ->
-     let bt = Printexc.get_raw_backtrace () in
-     Mutex.lock job.pool.m;
-     record_failure job lo exn bt;
-     Mutex.unlock job.pool.m);
+  for i = lo to hi - 1 do
+    dst.(i) <-
+      Some
+        (match f src.(i) with
+        | v -> Ok v
+        | exception exn -> Error (exn, Printexc.get_raw_backtrace ()))
+  done;
   Mutex.lock job.pool.m;
   job.remaining <- job.remaining - 1;
   if job.remaining = 0 then Condition.broadcast job.done_cv;
   Mutex.unlock job.pool.m
 
-let map_array t f src =
+let map_array_result t f src =
   let n = Array.length src in
-  if t.jobs = 1 || t.stopped || n <= 1 then Array.map f src
+  let one x =
+    match f x with
+    | v -> Ok v
+    | exception exn -> Error (exn, Printexc.get_raw_backtrace ())
+  in
+  if t.jobs = 1 || t.stopped || n <= 1 then Array.map one src
   else begin
     let dst = Array.make n None in
     (* Chunk so each domain gets several pieces — cheap insurance against
        uneven task costs — while keeping scheduling overhead negligible. *)
     let chunks = min n (t.jobs * 4) in
     let per = (n + chunks - 1) / chunks in
-    let job = { pool = t; done_cv = Condition.create (); remaining = 0; failed = None } in
+    let job = { pool = t; done_cv = Condition.create (); remaining = 0 } in
     Mutex.lock t.m;
     let lo = ref 0 in
     while !lo < n do
@@ -131,12 +130,21 @@ let map_array t f src =
             drain ()
     in
     drain ();
-    let failed = job.failed in
     Mutex.unlock t.m;
-    match failed with
-    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
-    | None ->
-        Array.map (function Some v -> v | None -> assert false) dst
+    Array.map (function Some r -> r | None -> assert false) dst
+  end
+
+let map_array t f src =
+  let n = Array.length src in
+  if t.jobs = 1 || t.stopped || n <= 1 then Array.map f src
+  else begin
+    let rs = map_array_result t f src in
+    (* Every task ran and every domain joined; re-raise the failure of
+       the smallest input index, with its original backtrace. *)
+    Array.iter
+      (function Error (exn, bt) -> Printexc.raise_with_backtrace exn bt | Ok _ -> ())
+      rs;
+    Array.map (function Ok v -> v | Error _ -> assert false) rs
   end
 
 let map_list t f l = Array.to_list (map_array t f (Array.of_list l))

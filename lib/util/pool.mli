@@ -26,8 +26,16 @@ val size : t -> int
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array t f a] is [Array.map f a], computed by up to [size t]
     domains.  Result order matches input order.  If [f] raises on one or
-    more elements, the exception raised on the smallest index is
-    re-raised after all tasks have finished. *)
+    more elements, every other element still computes, all domains
+    join, and then the exception from the smallest failing index is
+    re-raised in the caller with its original backtrace. *)
+
+val map_array_result :
+  t -> ('a -> 'b) -> 'a array -> ('b, exn * Printexc.raw_backtrace) result array
+(** Like {!map_array}, but failures surface in-band: element [i] is
+    [Error (exn, backtrace)] when [f a.(i)] raised.  One poisoned input
+    thus costs exactly its own slot — the experiment harness reports it
+    as a per-task failure and keeps the rest of the batch. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** List analogue of {!map_array}. *)

@@ -18,37 +18,47 @@ let to_string trace =
   Buffer.contents buf
 
 let of_string s =
+  let len = String.length s in
   let packets = ref [] in
   let arity = ref (-1) in
   let error = ref None in
-  String.split_on_char '\n' s
-  |> List.iteri (fun lineno line ->
-         if !error = None then
-           let line = String.trim line in
-           if line <> "" && line.[0] <> '#' then
-             match
-               String.split_on_char ' ' line
-               |> List.filter (fun t -> t <> "")
-               |> List.map int_of_string
-             with
-             | exception Failure _ ->
-                 error := Some (Printf.sprintf "line %d: not an integer" (lineno + 1))
-             | time :: port :: fields ->
-                 let n = List.length fields in
-                 if !arity = -1 then arity := n;
-                 if n <> !arity then
-                   error :=
-                     Some
-                       (Printf.sprintf "line %d: %d fields, expected %d" (lineno + 1) n !arity)
-                 else
-                   packets :=
-                     { Machine.time; port; headers = Array.of_list fields } :: !packets
-             | _ ->
-                 error :=
-                   Some (Printf.sprintf "line %d: need at least time and port" (lineno + 1)));
+  let pos = ref 0 in
+  let lineno = ref 0 in
+  (* Manual line scan so errors can be positioned by byte offset — the
+     anchor a binary-searching eye (or [dd]) can actually use on a
+     multi-megabyte capture, where line numbers alone are no help. *)
+  while !error = None && !pos < len do
+    incr lineno;
+    let start = !pos in
+    let nl = match String.index_from_opt s start '\n' with Some i -> i | None -> len in
+    pos := nl + 1;
+    let line = String.trim (String.sub s start (nl - start)) in
+    if line <> "" && line.[0] <> '#' then begin
+      let err fmt =
+        Printf.ksprintf
+          (fun msg ->
+            error := Some (Printf.sprintf "byte %d (line %d): %s" start !lineno msg))
+          fmt
+      in
+      match
+        String.split_on_char ' ' line
+        |> List.filter (fun t -> t <> "")
+        |> List.map int_of_string
+      with
+      | exception Failure _ -> err "not an integer"
+      | time :: port :: fields ->
+          let n = List.length fields in
+          if !arity = -1 then arity := n;
+          if n <> !arity then err "%d fields, expected %d (truncated line?)" n !arity
+          else packets := { Machine.time; port; headers = Array.of_list fields } :: !packets
+      | _ -> err "need at least time and port"
+    end
+  done;
   match !error with
   | Some e -> Error e
-  | None -> Ok (Array.of_list (List.rev !packets))
+  | None ->
+      if !packets = [] then Error "no packets in trace"
+      else Ok (Array.of_list (List.rev !packets))
 
 let save ~path trace =
   let oc = open_out_bin path in
@@ -62,4 +72,7 @@ let load ~path =
   | ic ->
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+        (fun () ->
+          match of_string (really_input_string ic (in_channel_length ic)) with
+          | Ok trace -> Ok trace
+          | Error e -> Error (Printf.sprintf "%s: %s" path e))

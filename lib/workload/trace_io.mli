@@ -12,8 +12,13 @@
 val to_string : Mp5_banzai.Machine.input array -> string
 
 val of_string : string -> (Mp5_banzai.Machine.input array, string) result
-(** Error messages carry the offending line number. *)
+(** Malformed input — non-integer tokens, a line with fewer than two
+    tokens, a field-count mismatch (the usual shape of a truncated
+    capture), or no packets at all — is rejected with a positioned
+    error: [byte OFFSET (line N): reason]. *)
 
 val save : path:string -> Mp5_banzai.Machine.input array -> unit
 
 val load : path:string -> (Mp5_banzai.Machine.input array, string) result
+(** {!of_string} on the file's contents; errors are prefixed with the
+    path, i.e. [path: byte OFFSET (line N): reason]. *)

@@ -1,0 +1,58 @@
+The exit-code contract shared by mp5sim and the bench driver (see
+README): 0 success, 1 usage error, 2 input error, 3 validation or
+invariant failure.
+
+Success is 0:
+
+  $ ../../bin/mp5sim.exe --app packet_counter --packets 500 --seed 3 > /dev/null; echo "exit $?"
+  exit 0
+
+Usage errors are 1 — a missing program, or flag combinations that make
+no sense:
+
+  $ ../../bin/mp5sim.exe
+  pass --app NAME or --file FILE
+  [1]
+  $ ../../bin/mp5sim.exe --app flowlet --runs 2 --fault-plan 'seed 1; down @10 pipe=0'
+  mp5sim: --fault-plan applies to single runs only (drop --runs)
+  [1]
+  $ ../../bench/main.exe --jobs nope
+  --jobs expects a positive integer, got "nope"
+  [1]
+  $ ../../bench/main.exe --smoke no-such-experiment 2>&1 | tail -1
+  unknown experiment "no-such-experiment" (known: table1, sram, d2, d3, d4, fig7a, fig7b, fig7c, fig7d, fig8, ablate-priority, ablate-period, ablate-fifo, ablate-gate, degraded, sim-micro, perf)
+  $ ../../bench/main.exe --smoke no-such-experiment > /dev/null 2>&1; echo "exit $?"
+  exit 1
+
+Input errors are 2 — an unknown app, a malformed replay trace (with a
+positioned reason), a fault plan that does not parse:
+
+  $ ../../bin/mp5sim.exe --app no-such-app
+  unknown app "no-such-app"; try --list-apps
+  [2]
+  $ ../../bin/mp5sim.exe --app flowlet --trace-file bad.trace
+  bad.trace: byte 56 (line 3): 1 fields, expected 2 (truncated line?)
+  [2]
+  $ ../../bin/mp5sim.exe --app flowlet --fault-plan 'seed 1; frobnicate @10'
+  mp5sim: bad fault plan: line 1: unknown fault event "frobnicate"
+  [2]
+
+Validation failures are 3: functional non-equivalence of an MP5-mode
+run, a telemetry invariant violation, or a runtime-monitor violation.
+On a healthy build these paths are deliberately unreachable — they are
+regression detectors; the monitor's fail-fast exit is exercised by
+test/test_fault.ml.  The contract is part of the manual:
+
+  $ ../../bin/mp5sim.exe --help=plain | sed -n '/EXIT STATUS/,$p'
+  EXIT STATUS
+         mp5sim exits with:
+  
+         0   on success.
+  
+         1   on usage errors (missing program, bad flag combinations).
+  
+         2   on input errors (unknown app, malformed trace file or fault plan).
+  
+         3   on validation failures (functional non-equivalence, metrics or
+             runtime-monitor invariant violations).
+  

@@ -69,6 +69,18 @@ let run_seed seed =
   let interp = Sim.run ~compiled:false ~metrics:mi ~events:ti params prog trace in
   if not (Sim.results_equal kernel interp) then
     Alcotest.failf "seed %d: kernel and interpreter engines diverge on:\n%s" seed src;
+  (* An empty fault plan plus an attached invariant monitor must be
+     invisible: the fault hooks' no-plan path is bit-identical to an
+     unfaulted build, and the monitor is a pure observer. *)
+  let mon = Mp5_fault.Monitor.create () in
+  let faulted =
+    Sim.run ~compiled:true ~fault:Mp5_fault.Fault.empty ~monitor:mon params prog trace
+  in
+  if not (Sim.results_equal kernel faulted) then
+    Alcotest.failf "seed %d: empty fault plan + monitor changes the result on:\n%s" seed src;
+  if not (Mp5_fault.Monitor.ok mon) then
+    Alcotest.failf "seed %d: monitor violation on an unfaulted run:\n%s\n%s" seed src
+      (Mp5_fault.Monitor.summary mon);
   (match Mp5_obs.Metrics.validate mk with
   | Ok () -> ()
   | Error e -> Alcotest.failf "seed %d: telemetry invariant violated: %s\nprogram:\n%s" seed e src);

@@ -50,6 +50,36 @@ let test_exception_propagation () =
       let out = Pool.map_array p succ [| 10; 20 |] in
       Alcotest.(check (array int)) "pool alive after failure" [| 11; 21 |] out)
 
+let test_map_array_result () =
+  with_pool ~jobs:4 (fun p ->
+      (* Per-task failure surface: raising tasks come back as [Error]
+         without poisoning their neighbours, and every non-raising task
+         still completes with its value. *)
+      let rs =
+        Pool.map_array_result p
+          (fun x -> if x mod 7 = 3 then raise (Boom x) else x * 10)
+          (Array.init 30 Fun.id)
+      in
+      check_int "all results present" 30 (Array.length rs);
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v ->
+              check "ok only at non-raising index" true (i mod 7 <> 3);
+              check_int "value" (i * 10) v
+          | Error (Boom x, _) ->
+              check "error only at raising index" true (i mod 7 = 3);
+              check_int "error carries its index" i x
+          | Error (exn, _) -> Alcotest.failf "unexpected exception %s" (Printexc.to_string exn))
+        rs;
+      (* The pool survives and the sequential (jobs-irrelevant) path
+         agrees shape-for-shape. *)
+      let seq =
+        Pool.map_array_result p (fun x -> if x = 0 then raise (Boom 0) else x) [| 0 |]
+      in
+      check "sequential path also catches" true
+        (match seq.(0) with Error (Boom 0, _) -> true | _ -> false))
+
 let test_invalid_jobs () =
   check "jobs=0 rejected" true
     (try
@@ -121,6 +151,7 @@ let () =
           Alcotest.test_case "map ordering" `Quick test_map_ordering;
           Alcotest.test_case "jobs=1 runs inline" `Quick test_jobs_one_inline;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "per-task results" `Quick test_map_array_result;
           Alcotest.test_case "invalid jobs rejected" `Quick test_invalid_jobs;
           Alcotest.test_case "shutdown is idempotent" `Quick test_shutdown_inline;
         ] );

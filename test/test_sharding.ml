@@ -118,6 +118,86 @@ let test_apply_moves_register_value () =
   check_int "value copied" 77 (Store.get stores.(1) ~reg:0 ~idx:2);
   check_int "map updated" 1 (Index_map.pipeline_of m 2)
 
+(* --- property: remaps never break flow affinity, even under faults ---
+
+   Across 100 seeded random fault plans (pipelines dying and recovering,
+   stalls, crossbar drop/duplication, FIFO losses, phantom delays), the
+   runtime monitor's affinity check — every FIFO-resident stateful
+   packet sits at the pipeline that currently holds its cell — must stay
+   green.  This covers the ordinary Figure-6 moves, the LPT packer, and
+   the fault-triggered mass evacuations in one oracle. *)
+
+module Rng = Mp5_util.Rng
+module Switch = Mp5_core.Switch
+module Tracegen = Mp5_workload.Tracegen
+module Fault = Mp5_fault.Fault
+module Monitor = Mp5_fault.Monitor
+
+let random_plan rng seed =
+  let b = Buffer.create 128 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "seed %d" seed;
+  (* Always one pipeline-down episode: that is the mass-migration case
+     the property is really about. *)
+  let pipe = Rng.int rng 4 in
+  let down_at = 100 + Rng.int rng 400 in
+  add "; down @%d pipe=%d" down_at pipe;
+  if Rng.bool rng then add "; up @%d pipe=%d" (down_at + 200 + Rng.int rng 800) pipe;
+  if Rng.bool rng then begin
+    let a = 50 + Rng.int rng 400 in
+    add "; stall @%d..%d stage=%d pipe=%d" a
+      (a + 50 + Rng.int rng 200)
+      (Rng.int rng 4)
+      ((pipe + 1) mod 4)
+  end;
+  if Rng.bool rng then
+    add "; xbar-drop @%d..%d p=%.2f" (Rng.int rng 300) (400 + Rng.int rng 400)
+      (0.01 +. (0.2 *. Rng.float rng 1.0));
+  if Rng.bool rng then
+    add "; xbar-dup @%d..%d p=%.2f" (Rng.int rng 300) (400 + Rng.int rng 400)
+      (0.01 +. (0.1 *. Rng.float rng 1.0));
+  if Rng.bool rng then add "; fifo-loss @%d stage=%d pipe=%d" (150 + Rng.int rng 300) (Rng.int rng 4) pipe;
+  if Rng.bool rng then
+    add "; phantom-delay @%d..%d extra=%d" (Rng.int rng 300) (350 + Rng.int rng 300)
+      (1 + Rng.int rng 4);
+  Buffer.contents b
+
+let test_affinity_under_fault_plans () =
+  let sw =
+    Switch.create_exn ~pad_to_stages:16
+      (Mp5_apps.Sources.sensitivity_program ~stateful:4 ~reg_size:64)
+  in
+  let rng = Rng.create 0xfa1 in
+  for seed = 0 to 99 do
+    let src = random_plan rng seed in
+    let plan =
+      match Fault.parse src with
+      | Ok p -> p
+      | Error e -> Alcotest.failf "seed %d: plan %S does not parse: %s" seed src e
+    in
+    let trace =
+      Tracegen.sensitivity
+        {
+          Tracegen.n_packets = 1_200;
+          k = 4;
+          pkt_bytes = 64;
+          n_fields = 6;
+          index_fields = [ 0; 1; 2; 3 ];
+          reg_size = 64;
+          pattern = (if seed mod 2 = 0 then Tracegen.Skewed else Tracegen.Uniform);
+          n_ports = 64;
+          seed = 2000 + seed;
+        }
+    in
+    let mon = Monitor.create () in
+    (match Switch.run ~k:4 ~fault:plan ~monitor:mon sw trace with
+    | _ -> ()
+    | exception Monitor.Violation diag ->
+        Alcotest.failf "seed %d: invariant violated under plan %S:\n%s" seed src diag);
+    check "monitor ran" true (Monitor.checks mon > 0);
+    check "zero violations" true (Monitor.ok mon)
+  done
+
 let () =
   Alcotest.run "sharding"
     [
@@ -137,5 +217,10 @@ let () =
           Alcotest.test_case "hysteresis" `Quick test_lpt_hysteresis;
           Alcotest.test_case "respects in-flight" `Quick test_lpt_respects_inflight;
           Alcotest.test_case "apply moves value" `Quick test_apply_moves_register_value;
+        ] );
+      ( "fault plans",
+        [
+          Alcotest.test_case "affinity holds across 100 seeded plans" `Quick
+            test_affinity_under_fault_plans;
         ] );
     ]

@@ -192,11 +192,25 @@ let test_trace_io_parsing () =
       check_int "field" 6 t.(0).Machine.headers.(1)
   | Error e -> Alcotest.fail e);
   (match Mp5_workload.Trace_io.of_string "0 1 5\n0 1 5 6\n" with
-  | Error e -> check "arity error mentions line" true (String.length e > 0)
+  | Error e ->
+      check "arity error positioned at byte 6" true
+        (String.length e >= 6 && String.sub e 0 6 = "byte 6");
+      check "arity error carries line 2" true
+        (let re = "(line 2)" in
+         let rec has i =
+           i + String.length re <= String.length e
+           && (String.sub e i (String.length re) = re || has (i + 1))
+         in
+         has 0)
   | Ok _ -> Alcotest.fail "expected arity error");
-  match Mp5_workload.Trace_io.of_string "0 x 5\n" with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "expected integer error"
+  (match Mp5_workload.Trace_io.of_string "0 x 5\n" with
+  | Error e ->
+      check "integer error positioned at byte 0" true
+        (String.length e >= 6 && String.sub e 0 6 = "byte 0")
+  | Ok _ -> Alcotest.fail "expected integer error");
+  match Mp5_workload.Trace_io.of_string "# only a comment\n\n" with
+  | Error e -> check "empty trace rejected" true (e = "no packets in trace")
+  | Ok _ -> Alcotest.fail "expected empty-trace error"
 
 let () =
   Alcotest.run "workload"
