@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke metrics-smoke fault-smoke perf clean
+.PHONY: all build test bench bench-smoke metrics-smoke fault-smoke longrun-smoke perf clean
 
 all: build
 
@@ -32,6 +32,23 @@ fault-smoke:
 	  --fault-plan 'seed 7; down @300 pipe=1; up @2400 pipe=1' \
 	  --monitor --monitor-dump MONITOR_verdict.txt --report
 	dune exec bench/main.exe -- --smoke degraded --json BENCH_degraded.json
+
+# Streaming + checkpoint/resume smoke.  The longrun bench experiment
+# drains a pull-based source through several suspend/resume chunks and
+# compares against the uninterrupted run; it executes under a hard
+# 512 MB address-space ceiling to pin the constant-memory claim (the
+# OCaml 5 runtime reserves large virtual areas up front, so the ceiling
+# cannot go much lower — what matters is that it does not move with the
+# packet count).  The CLI round-trip then snapshots a run mid-flight and
+# resumes it, leaving the snapshot as a CI artifact.
+longrun-smoke:
+	dune build bench/main.exe bin/mp5sim.exe
+	bash -c 'ulimit -v 524288; \
+	  ./_build/default/bench/main.exe --smoke longrun --json BENCH_longrun.json'
+	dune exec bin/mp5sim.exe -- --app flowlet --pipelines 4 --packets 3000 --seed 3 \
+	  --checkpoint-every 150 --snapshot LONGRUN_snapshot.bin
+	dune exec bin/mp5sim.exe -- --app flowlet --pipelines 4 --packets 3000 --seed 3 \
+	  --resume LONGRUN_snapshot.bin
 
 bench:
 	dune exec bench/main.exe

@@ -8,6 +8,7 @@ module Switch = Mp5_core.Switch
 module Equiv = Mp5_core.Equiv
 module Recirc = Mp5_core.Recirc
 module Tracegen = Mp5_workload.Tracegen
+module Psource = Mp5_workload.Packet_source
 module Sources = Mp5_apps.Sources
 module Traces = Mp5_apps.Traces
 module Stats = Mp5_util.Stats
@@ -69,36 +70,70 @@ let switch_for setup =
   Switch.create_exn ~pad_to_stages:16
     (Sources.sensitivity_program ~stateful:setup.stateful ~reg_size:setup.reg_size)
 
-let trace_for setup ~n ~seed =
-  Tracegen.sensitivity
-    {
-      Tracegen.n_packets = n;
-      k = setup.k;
-      pkt_bytes = setup.pkt_bytes;
-      n_fields = max 2 (setup.stateful + 2);
-      index_fields = List.init setup.stateful Fun.id;
-      reg_size = setup.reg_size;
-      pattern = setup.pattern;
-      n_ports = 64;
-      seed;
-    }
+let spec_for setup ~n ~seed =
+  {
+    Tracegen.n_packets = n;
+    k = setup.k;
+    pkt_bytes = setup.pkt_bytes;
+    n_fields = max 2 (setup.stateful + 2);
+    index_fields = List.init setup.stateful Fun.id;
+    reg_size = setup.reg_size;
+    pattern = setup.pattern;
+    n_ports = 64;
+    seed;
+  }
 
-let throughput ?(mode = Sim.Mp5) ?(shard_init = `Round_robin) ?(finite_fifos = false) setup sw
-    trace =
+let trace_for setup ~n ~seed = Tracegen.sensitivity (spec_for setup ~n ~seed)
+
+(* Constant-memory twin of [trace_for]: the same generator, pulled one
+   packet at a time, so an experiment's peak RSS no longer scales with
+   its packet count.  Re-creating a source with the same spec replays
+   the identical packet sequence. *)
+let source_for setup ~n ~seed = Tracegen.sensitivity_source (spec_for setup ~n ~seed)
+
+let sim_params ?(mode = Sim.Mp5) ?(shard_init = `Round_robin) ?(finite_fifos = false)
+    ?remap_period ?remap_noise_gate setup =
   let params = { (Sim.default_params ~k:setup.k) with mode; shard_init } in
   let params =
     if finite_fifos then { params with Sim.fifo_capacity = 8; adaptive_fifos = false }
     else params
   in
+  let params =
+    match remap_period with None -> params | Some p -> { params with Sim.remap_period = p }
+  in
+  match remap_noise_gate with
+  | None -> params
+  | Some g -> { params with Sim.remap_noise_gate = g }
+
+let throughput ?mode ?shard_init ?finite_fifos setup sw trace =
+  let params = sim_params ?mode ?shard_init ?finite_fifos setup in
   (Sim.run ~compiled:!compiled params sw.Switch.prog trace).Sim.normalized_throughput
 
-(* Average over [runs] independent traces. *)
+(* Streamed run of one generated workload; the cycle loop is the same as
+   [Sim.run]'s, so the throughput matches the array path exactly. *)
+let summary_source ?mode ?shard_init ?finite_fifos ?remap_period ?remap_noise_gate setup sw
+    ~n ~seed =
+  let params =
+    sim_params ?mode ?shard_init ?finite_fifos ?remap_period ?remap_noise_gate setup
+  in
+  match
+    Sim.run_source ~compiled:!compiled params sw.Switch.prog (source_for setup ~n ~seed)
+  with
+  | Sim.Completed s -> s
+  | Sim.Suspended _ -> assert false (* no cycle budget *)
+
+let throughput_source ?mode ?shard_init ?finite_fifos ?remap_period ?remap_noise_gate setup sw
+    ~n ~seed =
+  (summary_source ?mode ?shard_init ?finite_fifos ?remap_period ?remap_noise_gate setup sw ~n
+     ~seed)
+    .Sim.s_normalized_throughput
+
+(* Average over [runs] independent workloads. *)
 let averaged scale setup mode =
   let sw = switch_for setup in
   let samples =
     Array.init scale.runs (fun i ->
-        let trace = trace_for setup ~n:scale.n_packets ~seed:(100 + i) in
-        throughput ~mode setup sw trace)
+        throughput_source ~mode setup sw ~n:scale.n_packets ~seed:(100 + i))
   in
   Stats.mean samples
 
@@ -157,7 +192,7 @@ let d2 scale =
     par_init scale.runs (fun i ->
         let pattern = List.nth patterns (i mod List.length patterns) in
         let setup = { default_setup with pattern } in
-        let trace = trace_for setup ~n:scale.n_packets ~seed:(200 + i) in
+        let n = scale.n_packets and seed = 200 + i in
         (* The paper does not pin down the compile-time placement; range
            partitioning (blocks) is the natural hardware layout and the
            worst case for a contiguous hot set, per-cell random the
@@ -166,9 +201,10 @@ let d2 scale =
         (* Hardware-faithful depth-8 FIFOs: with unbounded queues an
            overloaded cell always has packets in flight and the Figure 6
            guard can never move it (see EXPERIMENTS.md). *)
-        let dynamic = throughput ~shard_init ~finite_fifos:true setup sw trace in
+        let dynamic = throughput_source ~shard_init ~finite_fifos:true setup sw ~n ~seed in
         let static =
-          throughput ~mode:Sim.Static_shard ~shard_init ~finite_fifos:true setup sw trace
+          throughput_source ~mode:Sim.Static_shard ~shard_init ~finite_fifos:true setup sw ~n
+            ~seed
         in
         dynamic /. static)
   in
@@ -331,14 +367,9 @@ let ablate_gate scale =
   let setup = { default_setup with reg_size = 64 } in
   let sw = switch_for setup in
   par_init scale.runs (fun i ->
-      let trace = trace_for setup ~n:scale.n_packets ~seed:(950 + i) in
-      let gated = throughput setup sw trace in
-      let params =
-        { (Sim.default_params ~k:setup.k) with remap_noise_gate = false }
-      in
-      let verbatim =
-        (Sim.run ~compiled:!compiled params sw.Switch.prog trace).Sim.normalized_throughput
-      in
+      let n = scale.n_packets and seed = 950 + i in
+      let gated = throughput_source setup sw ~n ~seed in
+      let verbatim = throughput_source ~remap_noise_gate:false setup sw ~n ~seed in
       (gated, verbatim))
 
 (* Remap period sweep. *)
@@ -349,16 +380,8 @@ let ablate_period scale =
     (fun period ->
       let samples =
         Array.init scale.runs (fun i ->
-            let trace = trace_for setup ~n:scale.n_packets ~seed:(1000 + i) in
-            let params =
-              {
-                (Sim.default_params ~k:setup.k) with
-                remap_period = period;
-                shard_init = `Random (1100 + i);
-              }
-            in
-            (Sim.run ~compiled:!compiled params sw.Switch.prog trace)
-              .Sim.normalized_throughput)
+            throughput_source ~remap_period:period ~shard_init:(`Random (1100 + i)) setup sw
+              ~n:scale.n_packets ~seed:(1000 + i))
       in
       (period, Stats.mean samples))
     [ 0; 50; 100; 200; 400; 1600 ]
@@ -369,12 +392,18 @@ let ablate_fifo scale =
   let sw = switch_for setup in
   par_map
     (fun capacity ->
-      let trace = trace_for setup ~n:scale.n_packets ~seed:1200 in
       let params =
         { (Sim.default_params ~k:setup.k) with fifo_capacity = capacity; adaptive_fifos = false }
       in
-      let r = Sim.run ~compiled:!compiled params sw.Switch.prog trace in
-      (capacity, r.Sim.dropped, r.Sim.normalized_throughput))
+      let s =
+        match
+          Sim.run_source ~compiled:!compiled params sw.Switch.prog
+            (source_for setup ~n:scale.n_packets ~seed:1200)
+        with
+        | Sim.Completed s -> s
+        | Sim.Suspended _ -> assert false
+      in
+      (capacity, s.Sim.s_dropped, s.Sim.s_normalized_throughput))
     [ 2; 4; 8; 16; 32; 64 ]
 
 (* --- degraded-mode operation (fault injection) --- *)
@@ -599,3 +628,100 @@ let sim_micro scale =
       failwith "sim-micro: compiled kernels diverge from the AST interpreter"
   done;
   { mi_reps = reps; mi_interp_ns = !interp_ns; mi_kernel_ns = !kernel_ns }
+
+(* --- longrun: multi-megapacket streamed run with chunked resume ---
+
+   The memory-scaling demonstration: one pull-based source drained
+   across several checkpoint/resume chunks, so a 10M-packet run (at
+   --full) holds one packet of trace and one machine of state at a time.
+   Each chunk runs for a bounded number of cycles, suspends into an
+   mp5-snap/1 snapshot, and the next chunk resumes in-process from that
+   snapshot with the same (already positioned) source.  At the smaller
+   scales the same workload is also run straight through and the two
+   summaries compared — checkpoint/resume must be invisible in every
+   counter and digest. *)
+
+type longrun = {
+  lo_packets : int;
+  lo_chunks : int;
+  lo_throughput : float;
+  lo_exit_digest : int;
+  lo_access_digest : int;
+  lo_seconds : float;       (** wall-clock of the chunked run *)
+  lo_top_heap_mb : float;   (** GC top-of-heap across the whole process *)
+  lo_parity : bool option;  (** chunked = straight (checked below --full scale) *)
+}
+
+let longrun scale =
+  (* 128 B packets, not the default 64: at 64 B the offered load is
+     exactly 1.0 and the stage FIFOs random-walk upward for the whole
+     run (max queue grows with the packet count), so the machine state
+     itself is unbounded and no memory ceiling can hold.  At half load
+     the queues are a few entries deep forever — the regime in which
+     "memory bounded by machine state" is a meaningful claim. *)
+  let setup = { default_setup with pkt_bytes = 128 } in
+  let sw = switch_for setup in
+  let n =
+    if scale.n_packets >= full.n_packets then 10_000_000
+    else if scale.n_packets >= quick.n_packets then 1_000_000
+    else 100_000
+  in
+  let seed = 1500 in
+  let params = Sim.default_params ~k:setup.k in
+  (* Aim for a handful of chunks on the small scales, but cap the chunk
+     length: each resume boundary collects the previous chunk's floating
+     garbage, so a bounded chunk bounds the peak heap no matter how many
+     packets the whole run drains. *)
+  let chunk_cycles = max 10_000 (min 250_000 (n / (setup.k * 4))) in
+  let source = source_for setup ~n ~seed in
+  let t0 = Unix.gettimeofday () in
+  let chunks = ref 1 in
+  let rec go = function
+    | Sim.Completed s -> s
+    | Sim.Suspended snap -> (
+        incr chunks;
+        match
+          Sim.resume ~compiled:!compiled ~cycle_budget:chunk_cycles ~snapshot:snap
+            sw.Switch.prog source
+        with
+        | Ok o -> go o
+        | Error (Sim.Corrupt m) -> failwith ("longrun: corrupt snapshot: " ^ m)
+        | Error (Sim.Mismatch m) -> failwith ("longrun: snapshot mismatch: " ^ m))
+  in
+  let s =
+    go
+      (Sim.run_source ~compiled:!compiled ~cycle_budget:chunk_cycles params sw.Switch.prog
+         source)
+  in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let top_heap_mb =
+    float_of_int (Gc.quick_stat ()).Gc.top_heap_words
+    *. float_of_int (Sys.word_size / 8)
+    /. (1024. *. 1024.)
+  in
+  let parity =
+    if n >= 10_000_000 then None
+    else
+      let straight =
+        match
+          Sim.run_source ~compiled:!compiled params sw.Switch.prog
+            (source_for setup ~n ~seed)
+        with
+        | Sim.Completed s -> s
+        | Sim.Suspended _ -> assert false
+      in
+      Some (Sim.summary_equal s straight)
+  in
+  (match parity with
+  | Some false -> failwith "longrun: chunked resume diverged from the uninterrupted run"
+  | _ -> ());
+  {
+    lo_packets = s.Sim.s_packets;
+    lo_chunks = !chunks;
+    lo_throughput = s.Sim.s_normalized_throughput;
+    lo_exit_digest = s.Sim.s_digests.Sim.dg_exits;
+    lo_access_digest = s.Sim.s_digests.Sim.dg_access;
+    lo_seconds = seconds;
+    lo_top_heap_mb = top_heap_mb;
+    lo_parity = parity;
+  }

@@ -206,6 +206,29 @@ let run_sim_micro scale =
     ("heavy-hitter-2k/speedup", speedup);
   ]
 
+let run_longrun scale =
+  let r = Experiments.longrun scale in
+  Format.printf "@.longrun: streamed source + chunked checkpoint/resume@.";
+  Format.printf "  %d packets in %d chunks: throughput %.3f, %.1f ns/packet, %.2fs@."
+    r.Experiments.lo_packets r.Experiments.lo_chunks r.Experiments.lo_throughput
+    (r.Experiments.lo_seconds *. 1e9 /. float_of_int r.Experiments.lo_packets)
+    r.Experiments.lo_seconds;
+  Format.printf "  top heap %.1f MB (bounded by machine state, not run length)@."
+    r.Experiments.lo_top_heap_mb;
+  Format.printf "  digests: exits %016x, access %016x@." r.Experiments.lo_exit_digest
+    r.Experiments.lo_access_digest;
+  (match r.Experiments.lo_parity with
+  | Some true -> Format.printf "  chunked run = uninterrupted run (all counters and digests)@."
+  | Some false -> assert false (* longrun raises on divergence *)
+  | None -> Format.printf "  (parity vs uninterrupted run checked below --full scale)@.");
+  [
+    ("packets", float_of_int r.Experiments.lo_packets);
+    ("chunks", float_of_int r.Experiments.lo_chunks);
+    ("throughput", r.Experiments.lo_throughput);
+    ("ns_per_packet", r.Experiments.lo_seconds *. 1e9 /. float_of_int r.Experiments.lo_packets);
+    ("top_heap_mb", r.Experiments.lo_top_heap_mb);
+  ]
+
 let run_fig7 scale which =
   let title, xlabel, series =
     match which with
@@ -268,7 +291,7 @@ let write_json path ~scale ~jobs results =
 let all =
   [ "table1"; "sram"; "d2"; "d3"; "d4"; "fig7a"; "fig7b"; "fig7c"; "fig7d"; "fig8";
     "ablate-priority"; "ablate-period"; "ablate-fifo"; "ablate-gate"; "degraded";
-    "sim-micro" ]
+    "sim-micro"; "longrun" ]
 
 (* Timing experiments must not share the process with an idle worker
    domain: every minor collection then pays a stop-the-world rendezvous,
@@ -389,6 +412,7 @@ let () =
         | "ablate-gate" -> Some (fun () -> run_ablate_gate scale)
         | "degraded" -> Some (fun () -> run_degraded scale)
         | "sim-micro" -> Some (fun () -> serially (fun () -> run_sim_micro scale))
+        | "longrun" -> Some (fun () -> serially (fun () -> run_longrun scale))
         | "perf" -> Some (fun () -> serially Perf.run)
         | _ -> None (* unreachable: names validated above *)
       in

@@ -33,7 +33,7 @@ let with_out path f =
 
 let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_file jobs runs
     no_compile metrics_file metrics_prom trace_out trace_packets trace_cap report fault_plan
-    monitor monitor_epoch monitor_dump =
+    monitor monitor_epoch monitor_dump stream checkpoint_every snapshot_path resume_file =
   let compiled = not no_compile in
   if list_apps then begin
     List.iter print_endline (apps ());
@@ -81,6 +81,32 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
   if Option.is_some plan && recirc then begin
     Format.eprintf "mp5sim: --fault-plan is not supported by the --recirc baseline@.";
     exit 1
+  end;
+  (* Streaming mode: drive the run from a pull-based packet source
+     instead of a materialized array — constant memory at any packet
+     count, with optional periodic checkpoints and snapshot resume. *)
+  let streaming = stream || checkpoint_every <> None || resume_file <> None in
+  if streaming then begin
+    if recirc then begin
+      Format.eprintf "mp5sim: streaming runs do not support --recirc@.";
+      exit 1
+    end;
+    if runs > 1 then begin
+      Format.eprintf "mp5sim: streaming runs are single runs (drop --runs)@.";
+      exit 1
+    end;
+    (match checkpoint_every with
+    | Some n when n <= 0 ->
+        Format.eprintf "mp5sim: --checkpoint-every expects a positive cycle count@.";
+        exit 1
+    | Some _ when snapshot_path = None ->
+        Format.eprintf "mp5sim: --checkpoint-every requires --snapshot FILE@.";
+        exit 1
+    | _ -> ());
+    if resume_file <> None && Option.is_some plan then begin
+      Format.eprintf "mp5sim: --resume takes its fault plan from the snapshot (drop --fault-plan)@.";
+      exit 1
+    end
   end;
   let trace_for_seed seed =
     match app with
@@ -135,18 +161,21 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
     let all_equiv = Array.for_all (fun (_, _, _, e) -> e) results in
     exit (if all_equiv || mode <> Mp5_core.Sim.Mp5 then 0 else 3)
   end;
-  (* Index fields: every user field that feeds a register index. *)
+  (* Index fields: every user field that feeds a register index.
+     Lazy so streaming runs never materialize the array. *)
   let trace =
-    match trace_file with
-    | Some path -> (
-        match Mp5_workload.Trace_io.load ~path with
-        | Ok trace -> Mp5_banzai.Machine.sort_trace trace
-        | Error e ->
-            Format.eprintf "%s@." e;
-            exit 2)
-    | None -> trace_for_seed seed
+    lazy
+      (match trace_file with
+      | Some path -> (
+          match Mp5_workload.Trace_io.load ~path with
+          | Ok trace -> Mp5_banzai.Machine.sort_trace trace
+          | Error e ->
+              Format.eprintf "%s@." e;
+              exit 2)
+      | None -> trace_for_seed seed)
   in
   if recirc then begin
+    let trace = Lazy.force trace in
     let golden = Mp5_core.Switch.golden sw trace in
     let r = Mp5_core.Recirc.run ~k sw.prog trace in
     let rep =
@@ -189,6 +218,130 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
             output_char oc '\n')
     | _ -> ()
   in
+  let emit_instruments () =
+    (match mon with
+    | Some m -> Format.printf "%s@." (Mp5_fault.Monitor.summary m)
+    | None -> ());
+    dump_monitor ();
+    (match metrics with
+    | None -> ()
+    | Some m ->
+        (match Mp5_obs.Metrics.validate m with
+        | Ok () -> ()
+        | Error e ->
+            Format.eprintf "metrics invariant violation: %s@." e;
+            exit 3);
+        Option.iter
+          (fun path ->
+            with_out path (fun oc -> output_string oc (Mp5_obs.Metrics.json_string m)))
+          metrics_file;
+        Option.iter
+          (fun path ->
+            with_out path (fun oc -> output_string oc (Mp5_obs.Metrics.to_prometheus m)))
+          metrics_prom;
+        if report then Format.printf "%a" Mp5_obs.Metrics.pp m);
+    match (events, trace_out) with
+    | Some tr, Some path -> with_out path (fun oc -> Mp5_obs.Trace.write_jsonl tr oc)
+    | _ -> ()
+  in
+  if streaming then begin
+    let source () =
+      match trace_file with
+      | Some "-" -> Mp5_workload.Trace_io.stream_channel ~path:"<stdin>" stdin
+      | Some path -> (
+          match Mp5_workload.Trace_io.stream ~path with
+          | Ok s -> s
+          | Error e ->
+              Format.eprintf "%s@." e;
+              exit 2)
+      | None -> (
+          match app with
+          | Some name when List.mem_assoc name Mp5_apps.Sources.all_named ->
+              Mp5_workload.Tracegen.flow_source ~seed ~n_packets ~k ~concurrency:64
+                ~fill:(Mp5_apps.Traces.fill name) ()
+          | _ ->
+              Mp5_workload.Tracegen.sensitivity_source
+                {
+                  n_packets;
+                  k;
+                  pkt_bytes;
+                  n_fields = config.Mp5_banzai.Config.n_user_fields;
+                  index_fields = List.init config.Mp5_banzai.Config.n_user_fields Fun.id;
+                  reg_size = 512;
+                  pattern = (if skewed then Mp5_workload.Tracegen.Skewed else Uniform);
+                  n_ports = 64;
+                  seed;
+                })
+    in
+    let on_checkpoint =
+      Option.map
+        (fun path ~cycle:_ snap ->
+          (* Atomic replace: a kill mid-write never leaves a torn file
+             where the last good checkpoint used to be. *)
+          let tmp = path ^ ".tmp" in
+          let oc = open_out_bin tmp in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc snap);
+          Sys.rename tmp path)
+        snapshot_path
+    in
+    let outcome =
+      try
+        match resume_file with
+        | Some path -> (
+            let snap =
+              try
+                let ic = open_in_bin path in
+                Fun.protect
+                  ~finally:(fun () -> close_in_noerr ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+              with Sys_error e ->
+                Format.eprintf "mp5sim: cannot read snapshot: %s@." e;
+                exit 2
+            in
+            match
+              Mp5_core.Switch.resume ?metrics ?events ?monitor:mon ~compiled ?checkpoint_every
+                ?on_checkpoint ~snapshot:snap sw (source ())
+            with
+            | Ok o -> o
+            | Error (Mp5_core.Sim.Corrupt msg) ->
+                Format.eprintf "mp5sim: corrupt snapshot: %s@." msg;
+                exit 2
+            | Error (Mp5_core.Sim.Mismatch msg) ->
+                Format.eprintf "mp5sim: snapshot mismatch: %s@." msg;
+                exit 3)
+        | None ->
+            Mp5_core.Switch.run_source ~params ?metrics ?events ?fault:plan ?monitor:mon
+              ~compiled ?checkpoint_every ?on_checkpoint ~k sw (source ())
+      with
+      | Mp5_fault.Monitor.Violation diag ->
+          Format.eprintf "%s@." diag;
+          dump_monitor ();
+          (match (events, trace_out) with
+          | Some tr, Some path -> with_out path (fun oc -> Mp5_obs.Trace.write_jsonl tr oc)
+          | _ -> ());
+          exit 3
+      | Mp5_workload.Packet_source.Error msg ->
+          Format.eprintf "%s@." msg;
+          exit 2
+    in
+    (match outcome with
+    | Mp5_core.Sim.Suspended _ ->
+        (* No --cycle-budget surface: streaming CLI runs go to completion. *)
+        assert false
+    | Mp5_core.Sim.Completed s ->
+        Format.printf
+          "%d pipelines, %d packets (streamed): throughput %.3f, max queue %d, dropped %d@." k
+          s.Mp5_core.Sim.s_packets s.Mp5_core.Sim.s_normalized_throughput
+          s.Mp5_core.Sim.s_max_queue s.Mp5_core.Sim.s_dropped;
+        Format.printf "digests: exits %016x, access %016x@."
+          s.Mp5_core.Sim.s_digests.Mp5_core.Sim.dg_exits
+          s.Mp5_core.Sim.s_digests.Mp5_core.Sim.dg_access);
+    emit_instruments ();
+    exit (if match mon with Some m -> not (Mp5_fault.Monitor.ok m) | None -> false then 3 else 0)
+  end;
+  let trace = Lazy.force trace in
   let r, rep =
     try Mp5_core.Switch.verify ~compiled ~params ?metrics ?events ?fault:plan ?monitor:mon ~k sw trace
     with Mp5_fault.Monitor.Violation diag ->
@@ -202,28 +355,7 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
   Format.printf
     "%d pipelines, %d packets: throughput %.3f, max queue %d, dropped %d@.%a@." k
     (Array.length trace) r.normalized_throughput r.max_queue r.dropped Mp5_core.Equiv.pp rep;
-  (match mon with
-  | Some m -> Format.printf "%s@." (Mp5_fault.Monitor.summary m)
-  | None -> ());
-  dump_monitor ();
-  (match metrics with
-  | None -> ()
-  | Some m ->
-      (match Mp5_obs.Metrics.validate m with
-      | Ok () -> ()
-      | Error e ->
-          Format.eprintf "metrics invariant violation: %s@." e;
-          exit 3);
-      Option.iter
-        (fun path -> with_out path (fun oc -> output_string oc (Mp5_obs.Metrics.json_string m)))
-        metrics_file;
-      Option.iter
-        (fun path -> with_out path (fun oc -> output_string oc (Mp5_obs.Metrics.to_prometheus m)))
-        metrics_prom;
-      if report then Format.printf "%a" Mp5_obs.Metrics.pp m);
-  (match (events, trace_out) with
-  | Some tr, Some path -> with_out path (fun oc -> Mp5_obs.Trace.write_jsonl tr oc)
-  | _ -> ());
+  emit_instruments ();
   (* A fault plan makes the run intentionally lossy, so functional
      equivalence against the unfaulted golden switch is not enforced;
      a monitor violation would already have exited 3 above. *)
@@ -258,9 +390,11 @@ let list_arg = Arg.(value & flag & info [ "list-apps" ] ~doc:"List built-in prog
 let trace_arg =
   Arg.(
     value
-    & opt (some non_dir_file) None
+    & opt (some string) None
     & info [ "trace-file" ] ~docv:"FILE"
-        ~doc:"Replay a packet trace (lines of: time port field...).")
+        ~doc:"Replay a packet trace (lines of: time port field...).  With \
+              --stream, '-' reads the trace from stdin in constant memory \
+              (times must be nondecreasing).")
 
 let jobs_arg =
   Arg.(
@@ -362,6 +496,47 @@ let report_arg =
         ~doc:"Print a one-screen run report (utilization, stall \
               attribution, latency percentiles, drops by cause).")
 
+let stream_arg =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:"Drive the run from a pull-based packet source instead of a \
+              materialized trace: memory stays constant at any packet \
+              count.  Implied by --checkpoint-every and --resume.  \
+              Functional equivalence against the golden switch is not \
+              checked (the trace is never held in memory); the run \
+              reports exit/access digests instead.")
+
+let checkpoint_every_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "checkpoint-every" ] ~docv:"CYCLES"
+        ~doc:"Write a full machine snapshot to --snapshot every CYCLES \
+              simulated cycles (atomic replace; the file always holds \
+              the last completed checkpoint).")
+
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:"Snapshot file written by --checkpoint-every (format \
+              mp5-snap/1: versioned, length- and checksum-framed).")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:"Restore machine state from FILE and continue the run; the \
+              result is bit-identical to the uninterrupted run.  The \
+              packet source is rebuilt from the same flags (or trace \
+              file) and its consumed prefix is replayed and checked \
+              against the snapshot's input digest.  Corrupt snapshots \
+              exit 2; snapshots for a different program, trace or \
+              instrumentation exit 3.")
+
 let cmd =
   let doc = "simulate packet-processing programs on MP5" in
   let exits =
@@ -382,6 +557,7 @@ let cmd =
       const run $ app_arg $ file_arg $ k_arg $ mode_arg $ n_arg $ bytes_arg $ skew_arg
       $ seed_arg $ recirc_arg $ list_arg $ trace_arg $ jobs_arg $ runs_arg $ no_compile_arg
       $ metrics_arg $ metrics_prom_arg $ trace_out_arg $ trace_packets_arg $ trace_cap_arg
-      $ report_arg $ fault_plan_arg $ monitor_arg $ monitor_epoch_arg $ monitor_dump_arg)
+      $ report_arg $ fault_plan_arg $ monitor_arg $ monitor_epoch_arg $ monitor_dump_arg
+      $ stream_arg $ checkpoint_every_arg $ snapshot_arg $ resume_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -52,7 +52,7 @@ let due t ~now =
   | Some b ->
       let items = Vec.to_list b in
       t.count <- t.count - Vec.length b;
-      Vec.clear b;
+      Vec.scrub b;
       items
 
 let drain t ~now f =
@@ -61,9 +61,29 @@ let drain t ~now f =
   | Some b ->
       t.count <- t.count - Vec.length b;
       Vec.iter f b;
-      Vec.clear b
+      (* [scrub], not [clear]: drained deliveries are dead the moment the
+         callback returns, and stale bucket slots must not keep them
+         reachable — over a gigapacket run that promotion leak grows the
+         major heap linearly with the packet count. *)
+      Vec.scrub b
 
 let pending t = t.count
+
+(* Pending deliveries as (cycle, value), cycles ascending from [base],
+   per-cycle in scheduling order.  Replaying [schedule] over this list
+   rebuilds an observationally identical channel: [due]/[drain] return
+   per-cycle deliveries in push order, and that order is preserved. *)
+let dump t =
+  if t.count = 0 then []
+  else begin
+    let mask = Array.length t.buckets - 1 in
+    let out = ref [] in
+    for d = Array.length t.buckets - 1 downto 0 do
+      let c = t.base + d in
+      Vec.iter_rev (fun v -> out := (c, v) :: !out) t.buckets.(c land mask)
+    done;
+    !out
+  end
 
 let next_due t =
   if t.count = 0 then None

@@ -26,6 +26,13 @@ val drain : 'a t -> now:int -> ('a -> unit) -> unit
 val pending : 'a t -> int
 (** Number of in-flight deliveries. *)
 
+val dump : 'a t -> (int * 'a) list
+(** All pending deliveries as [(cycle, value)], cycles ascending,
+    same-cycle deliveries in scheduling order.  Replaying {!schedule}
+    over the list into a fresh channel reproduces the observable state
+    exactly — this is how simulator checkpoints serialize the phantom
+    channel. *)
+
 val next_due : 'a t -> int option
 (** Earliest cycle with a scheduled delivery, if any.  Lets the simulator
     fast-forward over idle cycles instead of polling each one. *)

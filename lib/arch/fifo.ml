@@ -223,3 +223,69 @@ let iter_data t f =
     t.rings
 
 let max_occupancy t = t.high_water
+
+(* --- snapshot support ---
+
+   A dump captures everything observable about the queue: per-ring
+   contents head-to-tail (with stable head sequence numbers, which the
+   directory packing depends on), capacities (adaptive rings may have
+   grown), and the high-water mark.  The directory itself is not dumped:
+   it is a cache over the rings — any entry it has that the rings don't
+   is stale and [find_entry] treats it as absent — so rebuilding it from
+   the live entries is observationally equivalent. *)
+
+type 'a ring_dump = {
+  rd_capacity : int;
+  rd_head_seq : int;
+  rd_entries : (int * int * bool * 'a option) list;  (* ts, key, cancelled, data *)
+}
+
+type 'a dump = { d_rings : 'a ring_dump array; d_high_water : int }
+
+let dump t =
+  {
+    d_rings =
+      Array.map
+        (fun rb ->
+          {
+            rd_capacity = Ring_buffer.capacity rb;
+            rd_head_seq = Ring_buffer.head_seq rb;
+            rd_entries =
+              List.map
+                (fun e -> (e.ts, e.key, e.cancelled, e.data))
+                (Ring_buffer.to_list rb);
+          })
+        t.rings;
+    d_high_water = t.high_water;
+  }
+
+let restore ~adaptive d =
+  let t =
+    {
+      rings =
+        Array.map
+          (fun rd ->
+            Ring_buffer.restore ~capacity:rd.rd_capacity ~head_seq:rd.rd_head_seq
+              (List.map
+                 (fun (ts, key, cancelled, data) -> { ts; key; data; cancelled })
+                 rd.rd_entries))
+          d.d_rings;
+      directory = Int_table.create ();
+      adaptive;
+      data_count = 0;
+      high_water = d.d_high_water;
+      cancelled_count = 0;
+    }
+  in
+  Array.iteri
+    (fun ring rb ->
+      let seq = ref (Ring_buffer.head_seq rb) in
+      Ring_buffer.iter
+        (fun e ->
+          Int_table.replace t.directory e.key ((!seq lsl 6) lor ring);
+          incr seq;
+          if e.data <> None then t.data_count <- t.data_count + 1;
+          if e.cancelled then t.cancelled_count <- t.cancelled_count + 1)
+        rb)
+    t.rings;
+  t

@@ -77,3 +77,26 @@ val iter_data : 'a t -> (key:int -> 'a -> unit) -> unit
 val snapshot : 'a t -> (int * bool) list
 (** Queued entries in logical (timestamp) order as [(key, is_data)],
     cancelled entries skipped — for visualisation and debugging. *)
+
+(** {2 Checkpointing}
+
+    {!dump} captures the complete observable queue state — per-ring
+    contents with stable sequence numbers, grown capacities, high-water
+    mark — and {!restore} rebuilds a FIFO that behaves identically (the
+    key directory is reconstructed from the entries; stale cache entries
+    of the original are semantically absent either way). *)
+
+type 'a ring_dump = {
+  rd_capacity : int;
+  rd_head_seq : int;
+  rd_entries : (int * int * bool * 'a option) list;
+      (** (ts, key, cancelled, data), head to tail *)
+}
+
+type 'a dump = { d_rings : 'a ring_dump array; d_high_water : int }
+
+val dump : 'a t -> 'a dump
+
+val restore : adaptive:bool -> 'a dump -> 'a t
+(** [adaptive] is configuration, not state, so the caller re-supplies it
+    (the simulator knows it from the run parameters). *)

@@ -64,6 +64,28 @@ let move t ~cell ~to_ =
   t.loads.(to_) <- t.loads.(to_) + c;
   t.pipelines.(cell) <- to_
 
+let access_counts t = Array.copy t.counts
+let inflight_counts t = Array.copy t.inflights
+let pipeline_assignment t = Array.copy t.pipelines
+
+let load_state t ~pipelines ~counts ~inflights =
+  let size = Array.length t.pipelines in
+  if
+    Array.length pipelines <> size
+    || Array.length counts <> size
+    || Array.length inflights <> size
+  then invalid_arg "Index_map.load_state: size mismatch";
+  Array.blit pipelines 0 t.pipelines 0 size;
+  Array.blit counts 0 t.counts 0 size;
+  Array.blit inflights 0 t.inflights 0 size;
+  (* [loads] is the per-pipeline aggregation of [counts]; recompute it
+     rather than trusting a serialized copy. *)
+  Array.fill t.loads 0 t.k 0;
+  for cell = 0 to size - 1 do
+    let p = t.pipelines.(cell) in
+    t.loads.(p) <- t.loads.(p) + t.counts.(cell)
+  done
+
 let cells_of_pipeline t p =
   let out = ref [] in
   Array.iteri (fun cell q -> if q = p then out := cell :: !out) t.pipelines;

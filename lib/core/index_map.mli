@@ -53,3 +53,20 @@ val move : t -> cell:int -> to_:int -> unit
     value between the pipelines' physical arrays. *)
 
 val cells_of_pipeline : t -> int -> int list
+
+(** {2 Checkpointing} *)
+
+val pipeline_assignment : t -> int array
+(** Copy of the per-cell pipeline assignment. *)
+
+val access_counts : t -> int array
+(** Copy of the per-cell access counters. *)
+
+val inflight_counts : t -> int array
+(** Copy of the per-cell in-flight counters. *)
+
+val load_state : t -> pipelines:int array -> counts:int array -> inflights:int array -> unit
+(** Overwrite the map's mutable state from snapshot arrays (each of
+    length {!size}); the per-pipeline load aggregates are recomputed from
+    [counts] rather than deserialized.  Raises [Invalid_argument] on a
+    size mismatch. *)

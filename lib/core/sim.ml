@@ -10,6 +10,9 @@ module Metrics = Mp5_obs.Metrics
 module Etrace = Mp5_obs.Trace
 module Fault = Mp5_fault.Fault
 module Monitor = Mp5_fault.Monitor
+module Psource = Mp5_workload.Packet_source
+module Binio = Mp5_util.Binio
+module Hashing = Mp5_util.Hashing
 
 type mode = Mp5 | Static_shard | No_d4 | Naive_single | Ideal
 
@@ -61,6 +64,40 @@ type result = {
   exit_order : int list;
   latencies : (int * int) list;
 }
+
+(* --- streaming summaries (the bounded-memory counterpart of [result]) --- *)
+
+(* 62 bits so digest sums stay within the OCaml int range on 64-bit. *)
+let digest_mask = 0x3FFF_FFFF_FFFF_FFFF
+
+type digests = {
+  dg_exits : int;
+      (* FNV-1a over (seq, latency, user headers) of every exit, in exit
+         order *)
+  dg_access : int;
+      (* per-(reg, cell) FNV-1a over the access sequence (seeded with the
+         packed key), the finished per-cell digests combined by masked
+         sum — commutative, so the value is independent of first-touch
+         order and survives checkpoint legs *)
+}
+
+type summary = {
+  s_delivered : int;
+  s_dropped : int;
+  s_dropped_stateless : int;
+  s_marked : int;
+  s_cycles : int;
+  s_input_span : int;
+  s_normalized_throughput : float;
+  s_max_queue : int;
+  s_packets : int;                  (* packets consumed from the source *)
+  s_store : Store.t;
+  s_digests : digests;
+}
+
+type outcome = Completed of summary | Suspended of string
+
+type resume_error = Corrupt of string | Mismatch of string
 
 (* --- runtime packet state --- *)
 
@@ -167,6 +204,16 @@ type sim = {
   access_log : Mp5_util.Int_table.t;
   log_keys : int Vec.t;
   log_vecs : int Vec.t Vec.t;
+  (* [collect] selects what accumulates per exit/access: the array path
+     keeps full per-packet records (the vectors above and below), the
+     streaming path folds everything into constant-size FNV digest
+     state — [ed_hi]/[ed_lo] for exits, [dig_hi]/[dig_lo] (parallel to
+     [log_keys]) for per-cell access sequences *)
+  collect : bool;
+  mutable ed_hi : int;
+  mutable ed_lo : int;
+  dig_hi : int Vec.t;
+  dig_lo : int Vec.t;
   (* exit records as three parallel vectors in exit order: rebuilding the
      result's lists walks contiguous arrays instead of a cons chain *)
   exit_seqs : int Vec.t;
@@ -180,8 +227,11 @@ type sim = {
   tr : Etrace.t option;
   (* fault injection and runtime invariant monitor (lib/fault): same
      discipline as the telemetry above — [None] costs one branch per
-     site and leaves results bit-identical *)
-  flt : Fault.t option;
+     site and leaves results bit-identical.  [flt] is mutable only so
+     [resume] can swap in a runtime rebuilt from a snapshot; [fplan]
+     keeps the plan itself for embedding in snapshots. *)
+  mutable flt : Fault.t option;
+  fplan : Fault.plan option;
   mon : Monitor.t option;
   (* ghost packets from crossbar duplication get fresh seqs starting at
      the trace length; [max_int] (never reached) when no plan is
@@ -207,14 +257,16 @@ let cell_fifo sim pc cell =
       Hashtbl.add pc.pc_cells cell f;
       f
 
-let create ?(compiled = true) ?metrics ?events ?fault ?monitor params prog =
+let create ?(compiled = true) ?(collect = true) ?metrics ?events ?fault ?monitor params prog =
   let config = prog.Transform.config in
   let n_stages = Array.length config.Config.stages in
+  let fplan =
+    match fault with Some plan when not (Fault.is_empty plan) -> Some plan | _ -> None
+  in
   let flt =
-    match fault with
-    | Some plan when not (Fault.is_empty plan) ->
-        Some (Fault.start plan ~k:params.k ~stages:n_stages)
-    | _ -> None
+    match fplan with
+    | Some plan -> Some (Fault.start plan ~k:params.k ~stages:n_stages)
+    | None -> None
   in
   (match metrics with
   | Some m when m.Metrics.m_stages <> n_stages || m.Metrics.m_k <> params.k ->
@@ -295,12 +347,18 @@ let create ?(compiled = true) ?metrics ?events ?fault ?monitor params prog =
       access_log = Mp5_util.Int_table.create ();
       log_keys = Vec.create ();
       log_vecs = Vec.create ();
+      collect;
+      ed_hi = Hashing.fnv_offset_hi;
+      ed_lo = Hashing.fnv_offset_lo;
+      dig_hi = Vec.create ();
+      dig_lo = Vec.create ();
       exit_seqs = Vec.create ();
       exit_headers = Vec.create ();
       exit_lats = Vec.create ();
       ms = metrics;
       tr = events;
       flt;
+      fplan;
       mon = monitor;
       dup_base = max_int;
       dup_next = max_int;
@@ -996,17 +1054,43 @@ let metrics_sweep sim m =
 
 (* The key packs (reg, cell) into one int so the per-access lookup
    allocates no tuple; [Int_table.find]'s Not_found (an exception, not an
-   option) keeps the found path allocation-free too. *)
+   option) keeps the found path allocation-free too.  In streaming mode
+   ([collect = false]) the per-cell record is two ints of FNV state
+   instead of a growing seq vector, so memory stays proportional to the
+   register file, not to the packet count. *)
 let log_access sim reg cell seq =
   let key = (reg lsl 32) lor cell in
   match Mp5_util.Int_table.find sim.access_log key with
-  | i -> Vec.push (Vec.get sim.log_vecs i) seq
+  | i ->
+      if sim.collect then Vec.push (Vec.get sim.log_vecs i) seq
+      else begin
+        let hi, lo = Hashing.feed_int_halves (Vec.get sim.dig_hi i) (Vec.get sim.dig_lo i) seq in
+        Vec.set sim.dig_hi i hi;
+        Vec.set sim.dig_lo i lo
+      end
   | exception Not_found ->
-      let v = Vec.create () in
-      Vec.push v seq;
       Mp5_util.Int_table.replace sim.access_log key (Vec.length sim.log_keys);
       Vec.push sim.log_keys key;
-      Vec.push sim.log_vecs v
+      if sim.collect then begin
+        let v = Vec.create () in
+        Vec.push v seq;
+        Vec.push sim.log_vecs v
+      end
+      else begin
+        let hi, lo = Hashing.feed_int_halves Hashing.fnv_offset_hi Hashing.fnv_offset_lo key in
+        let hi, lo = Hashing.feed_int_halves hi lo seq in
+        Vec.push sim.dig_hi hi;
+        Vec.push sim.dig_lo lo
+      end
+
+(* Masked commutative sum of the finished per-cell digests. *)
+let access_digest sim =
+  let acc = ref 0 in
+  for i = 0 to Vec.length sim.log_keys - 1 do
+    acc :=
+      (!acc + Hashing.finish (Vec.get sim.dig_hi i, Vec.get sim.dig_lo i)) land digest_mask
+  done;
+  !acc
 
 (* A plain indexed loop: no closure allocation, and the kernels
    themselves (closures built once at [create]) walk no AST and allocate
@@ -1093,9 +1177,28 @@ let movement_phase sim now =
             | None -> ());
             if sim.first_exit < 0 then sim.first_exit <- now;
             sim.last_exit <- now;
-            Vec.push sim.exit_seqs pkt.seq;
-            Vec.push sim.exit_headers (Array.sub pkt.fields 0 sim.config.Config.n_user_fields);
-            Vec.push sim.exit_lats (now - pkt.time_in);
+            if sim.collect then begin
+              Vec.push sim.exit_seqs pkt.seq;
+              Vec.push sim.exit_headers (Array.sub pkt.fields 0 sim.config.Config.n_user_fields);
+              Vec.push sim.exit_lats (now - pkt.time_in)
+            end
+            else begin
+              (* Streaming: fold the exit record into the running digest
+                 instead of keeping it. *)
+              let hi = ref sim.ed_hi and lo = ref sim.ed_lo in
+              let feed x =
+                let h, l = Hashing.feed_int_halves !hi !lo x in
+                hi := h;
+                lo := l
+              in
+              feed pkt.seq;
+              feed (now - pkt.time_in);
+              for f = 0 to sim.config.Config.n_user_fields - 1 do
+                feed pkt.fields.(f)
+              done;
+              sim.ed_hi <- !hi;
+              sim.ed_lo <- !lo
+            end;
             (* The user headers are copied out above; the frame itself is
                free to be recycled. *)
             Vec.push sim.arena pkt
@@ -1139,7 +1242,36 @@ let movement_phase sim now =
     done
   done
 
-let arrival_phase sim now trace cursor =
+(* Per-leg loop bookkeeping, shared by [run], [run_source] and [resume]
+   and serialized whole into snapshots.  [sd_hi]/[sd_lo] digest every
+   packet consumed from the source ([track_src] gates the cost to runs
+   that can checkpoint), so a resume that replays the source from the
+   start can prove it is feeding the same packets. *)
+type loop_state = {
+  mutable now : int;
+  first_arrival : int;
+  mutable last_score : int;
+  mutable last_progress_t : int;
+  mutable visited : int;          (* cycles simulated in this leg *)
+  mutable sd_hi : int;
+  mutable sd_lo : int;
+  track_src : bool;
+}
+
+let fold_src_digest hi lo (input : Machine.input) =
+  let hi = ref hi and lo = ref lo in
+  let feed x =
+    let h, l = Hashing.feed_int_halves !hi !lo x in
+    hi := h;
+    lo := l
+  in
+  feed input.Machine.time;
+  feed input.Machine.port;
+  feed (Array.length input.Machine.headers);
+  Array.iter feed input.Machine.headers;
+  (!hi, !lo)
+
+let arrival_phase sim now source st =
   (* Admit up to one packet per pipeline into the address-resolution
      stage; the Naive_single baseline funnels everything into pipeline
      0, and a downed pipeline admits nothing (degraded capacity is
@@ -1152,26 +1284,33 @@ let arrival_phase sim now trace cursor =
     | None -> ()
   in
   skip_down ();
-  while
-    !entry < max_accept
-    && !cursor < Array.length trace
-    && trace.(!cursor).Machine.time <= now
-  do
-    let input = trace.(!cursor) in
-    let seq = !cursor in
-    incr cursor;
-    let pkt = alloc_packet sim ~seq ~now input.Machine.headers in
-    let pipeline = !entry in
-    (match sim.ms with Some m -> Metrics.arrival m | None -> ());
-    (match sim.tr with
-    | Some tr ->
-        Etrace.emit tr ~kind:Etrace.Arrival ~cycle:now ~seq ~stage:0 ~pipe:pipeline ~aux:0
-    | None -> ());
-    resolve sim now pipeline pkt;
-    sim.slots.(0).(pipeline) <- Some pkt;
-    sim.in_flight <- sim.in_flight + 1;
-    incr entry;
-    skip_down ()
+  let admitting = ref true in
+  while !admitting do
+    if !entry >= max_accept then admitting := false
+    else
+      match Psource.peek source with
+      | Some input when input.Machine.time <= now ->
+          ignore (Psource.next source : Machine.input option);
+          let seq = Psource.consumed source - 1 in
+          if st.track_src then begin
+            let hi, lo = fold_src_digest st.sd_hi st.sd_lo input in
+            st.sd_hi <- hi;
+            st.sd_lo <- lo
+          end;
+          let pkt = alloc_packet sim ~seq ~now input.Machine.headers in
+          let pipeline = !entry in
+          (match sim.ms with Some m -> Metrics.arrival m | None -> ());
+          (match sim.tr with
+          | Some tr ->
+              Etrace.emit tr ~kind:Etrace.Arrival ~cycle:now ~seq ~stage:0 ~pipe:pipeline
+                ~aux:0
+          | None -> ());
+          resolve sim now pipeline pkt;
+          sim.slots.(0).(pipeline) <- Some pkt;
+          sim.in_flight <- sim.in_flight + 1;
+          incr entry;
+          skip_down ()
+      | _ -> admitting := false
   done
 
 let remap_phase sim now =
@@ -1286,95 +1425,582 @@ let observe sim now observer =
       in
       f { occ_cycle = now; occ_slots; occ_queues }
 
+(* --- snapshots (mp5-snap/1) --- *)
+
+let snap_magic = "mp5-snap/1"
+
+let mode_tag = function
+  | Mp5 -> 0
+  | Static_shard -> 1
+  | No_d4 -> 2
+  | Naive_single -> 3
+  | Ideal -> 4
+
+let mode_of_tag = function
+  | 0 -> Mp5
+  | 1 -> Static_shard
+  | 2 -> No_d4
+  | 3 -> Naive_single
+  | 4 -> Ideal
+  | t -> failwith (Printf.sprintf "snapshot: unknown mode %d" t)
+
+let w_params b (p : params) =
+  Binio.w_int b p.k;
+  Binio.w_int b (mode_tag p.mode);
+  Binio.w_int b p.fifo_capacity;
+  Binio.w_bool b p.adaptive_fifos;
+  Binio.w_int b p.remap_period;
+  (match p.shard_init with
+  | `Round_robin -> Binio.w_int b 0
+  | `Blocked -> Binio.w_int b 1
+  | `Random seed ->
+      Binio.w_int b 2;
+      Binio.w_int b seed);
+  Binio.w_bool b p.remap_noise_gate;
+  Binio.w_bool b p.stateless_priority;
+  Binio.w_opt_int b p.starvation_threshold;
+  Binio.w_opt_int b p.ecn_threshold
+
+let r_params r =
+  let k = Binio.r_int r in
+  let mode = mode_of_tag (Binio.r_int r) in
+  let fifo_capacity = Binio.r_int r in
+  let adaptive_fifos = Binio.r_bool r in
+  let remap_period = Binio.r_int r in
+  let shard_init =
+    match Binio.r_int r with
+    | 0 -> `Round_robin
+    | 1 -> `Blocked
+    | 2 -> `Random (Binio.r_int r)
+    | t -> failwith (Printf.sprintf "snapshot: unknown shard placement %d" t)
+  in
+  let remap_noise_gate = Binio.r_bool r in
+  let stateless_priority = Binio.r_bool r in
+  let starvation_threshold = Binio.r_opt_int r in
+  let ecn_threshold = Binio.r_opt_int r in
+  {
+    k;
+    mode;
+    fifo_capacity;
+    adaptive_fifos;
+    remap_period;
+    shard_init;
+    remap_noise_gate;
+    stateless_priority;
+    starvation_threshold;
+    ecn_threshold;
+  }
+
+(* Structural digest of the transformed program: resuming under a
+   different program would silently misinterpret every serialized cell
+   and access id, so the snapshot pins the machine shape its state
+   belongs to. *)
+let prog_digest (prog : Transform.t) =
+  let config = prog.Transform.config in
+  let hi = ref Hashing.fnv_offset_hi and lo = ref Hashing.fnv_offset_lo in
+  let feed x =
+    let h, l = Hashing.feed_int_halves !hi !lo x in
+    hi := h;
+    lo := l
+  in
+  feed (Array.length config.Config.stages);
+  feed (Array.length config.Config.fields);
+  feed config.Config.n_user_fields;
+  feed (Array.length config.Config.regs);
+  Array.iter (fun (reg : Config.reg) -> feed reg.Config.size) config.Config.regs;
+  feed (Array.length prog.Transform.accesses);
+  Array.iter
+    (fun (a : Transform.access) ->
+      feed a.Transform.stage;
+      feed a.Transform.reg)
+    prog.Transform.accesses;
+  Array.iter (fun s -> feed (if s then 1 else 0)) prog.Transform.sharded;
+  Hashing.finish (!hi, !lo)
+
+let w_packet b pkt =
+  Binio.w_int b pkt.seq;
+  Binio.w_int b pkt.time_in;
+  Binio.w_bool b pkt.ecn;
+  Binio.w_int_array b pkt.fields;
+  Array.iter
+    (fun rt ->
+      Binio.w_int b (match rt.guard_known with Gk_unknown -> 0 | Gk_false -> 1 | Gk_true -> 2);
+      Binio.w_int b rt.cell;
+      Binio.w_int b rt.dest;
+      Binio.w_bool b rt.done_;
+      Binio.w_bool b rt.counted)
+    pkt.accs
+
+let r_packet r sim =
+  let seq = Binio.r_int r in
+  let time_in = Binio.r_int r in
+  let ecn = Binio.r_bool r in
+  let fields = Binio.r_int_array r in
+  if Array.length fields <> Array.length sim.config.Config.fields then
+    failwith "snapshot: packet field count does not match the program";
+  let read_acc plan =
+    let guard_known =
+      match Binio.r_int r with
+      | 0 -> Gk_unknown
+      | 1 -> Gk_false
+      | 2 -> Gk_true
+      | t -> failwith (Printf.sprintf "snapshot: unknown guard state %d" t)
+    in
+    let cell = Binio.r_int r in
+    let dest = Binio.r_int r in
+    let done_ = Binio.r_bool r in
+    let counted = Binio.r_bool r in
+    { plan; guard_known; cell; dest; done_; counted }
+  in
+  let n = Array.length sim.accesses in
+  let accs =
+    if n = 0 then [||]
+    else begin
+      (* Explicit order: every [read_acc] is a sequence of reads. *)
+      let a = Array.make n (read_acc sim.accesses.(0)) in
+      for i = 1 to n - 1 do
+        a.(i) <- read_acc sim.accesses.(i)
+      done;
+      a
+    end
+  in
+  { seq; time_in; fields; accs; ecn }
+
+let w_fifo b (f : packet Fifo.t) =
+  let d = Fifo.dump f in
+  Binio.w_int b d.Fifo.d_high_water;
+  Binio.w_int b (Array.length d.Fifo.d_rings);
+  Array.iter
+    (fun (rd : packet Fifo.ring_dump) ->
+      Binio.w_int b rd.Fifo.rd_capacity;
+      Binio.w_int b rd.Fifo.rd_head_seq;
+      Binio.w_int b (List.length rd.Fifo.rd_entries);
+      List.iter
+        (fun (ts, key, cancelled, data) ->
+          Binio.w_int b ts;
+          Binio.w_int b key;
+          Binio.w_bool b cancelled;
+          match data with
+          | None -> Binio.w_bool b false
+          | Some pkt ->
+              Binio.w_bool b true;
+              w_packet b pkt)
+        rd.Fifo.rd_entries)
+    d.Fifo.d_rings
+
+let r_fifo r sim =
+  let d_high_water = Binio.r_int r in
+  let n = Binio.r_int r in
+  if n <> sim.p.k then failwith "snapshot: FIFO ring count does not match k";
+  let read_ring () =
+    let rd_capacity = Binio.r_int r in
+    let rd_head_seq = Binio.r_int r in
+    let n_entries = Binio.r_int r in
+    let rec entries n acc =
+      if n = 0 then List.rev acc
+      else begin
+        let ts = Binio.r_int r in
+        let key = Binio.r_int r in
+        let cancelled = Binio.r_bool r in
+        let data = if Binio.r_bool r then Some (r_packet r sim) else None in
+        entries (n - 1) ((ts, key, cancelled, data) :: acc)
+      end
+    in
+    { Fifo.rd_capacity; rd_head_seq; rd_entries = entries n_entries [] }
+  in
+  let d_rings = Array.make n (read_ring ()) in
+  for i = 1 to n - 1 do
+    d_rings.(i) <- read_ring ()
+  done;
+  Fifo.restore ~adaptive:sim.p.adaptive_fifos { Fifo.d_rings; d_high_water }
+
+let w_queue b q =
+  match q with
+  | None -> Binio.w_int b 0
+  | Some (Logical f) ->
+      Binio.w_int b 1;
+      w_fifo b f
+  | Some (Per_cell pc) ->
+      Binio.w_int b 2;
+      let cells =
+        Hashtbl.fold (fun c f acc -> (c, f) :: acc) pc.pc_cells []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      Binio.w_int b (List.length cells);
+      List.iter
+        (fun (c, f) ->
+          Binio.w_int b c;
+          w_fifo b f)
+        cells;
+      let ready =
+        Hashtbl.fold (fun c () acc -> c :: acc) pc.pc_ready [] |> List.sort compare
+      in
+      Binio.w_int_array b (Array.of_list ready);
+      Binio.w_int b pc.pc_high
+
+let r_queue r sim stage pipe =
+  let kind = Binio.r_int r in
+  match (kind, sim.fifos.(stage).(pipe)) with
+  | 0, None -> ()
+  | 1, Some (Logical _) -> sim.fifos.(stage).(pipe) <- Some (Logical (r_fifo r sim))
+  | 2, Some (Per_cell _) ->
+      let n = Binio.r_int r in
+      let pc =
+        { pc_cells = Hashtbl.create (max 8 n); pc_ready = Hashtbl.create (max 8 n); pc_high = 0 }
+      in
+      for _ = 1 to n do
+        let c = Binio.r_int r in
+        Hashtbl.replace pc.pc_cells c (r_fifo r sim)
+      done;
+      Array.iter (fun c -> Hashtbl.replace pc.pc_ready c ()) (Binio.r_int_array r);
+      pc.pc_high <- Binio.r_int r;
+      sim.fifos.(stage).(pipe) <- Some (Per_cell pc)
+  | _ ->
+      failwith
+        (Printf.sprintf "snapshot: queue kind %d at stage %d pipe %d does not match the machine"
+           kind stage pipe)
+
+let w_plan b (plan : Fault.plan) =
+  Binio.w_int b plan.Fault.seed;
+  Binio.w_int b (List.length plan.Fault.events);
+  List.iter
+    (fun (e : Fault.event) ->
+      Binio.w_int b e.Fault.from_;
+      Binio.w_int b e.Fault.until_;
+      match e.Fault.kind with
+      | Fault.Pipe_down p ->
+          Binio.w_int b 0;
+          Binio.w_int b p
+      | Fault.Pipe_up p ->
+          Binio.w_int b 1;
+          Binio.w_int b p
+      | Fault.Fifo_loss { stage; pipe } ->
+          Binio.w_int b 2;
+          Binio.w_int b stage;
+          Binio.w_int b pipe
+      | Fault.Stall { stage; pipe } ->
+          Binio.w_int b 3;
+          Binio.w_int b stage;
+          Binio.w_int b pipe
+      | Fault.Xbar_drop p ->
+          Binio.w_int b 4;
+          Binio.w_i64 b (Int64.bits_of_float p)
+      | Fault.Xbar_dup p ->
+          Binio.w_int b 5;
+          Binio.w_i64 b (Int64.bits_of_float p)
+      | Fault.Phantom_delay e ->
+          Binio.w_int b 6;
+          Binio.w_int b e)
+    plan.Fault.events
+
+let r_plan r =
+  let seed = Binio.r_int r in
+  let n = Binio.r_int r in
+  let rec events n acc =
+    if n = 0 then List.rev acc
+    else begin
+      let from_ = Binio.r_int r in
+      let until_ = Binio.r_int r in
+      let kind =
+        match Binio.r_int r with
+        | 0 -> Fault.Pipe_down (Binio.r_int r)
+        | 1 -> Fault.Pipe_up (Binio.r_int r)
+        | 2 ->
+            let stage = Binio.r_int r in
+            let pipe = Binio.r_int r in
+            Fault.Fifo_loss { stage; pipe }
+        | 3 ->
+            let stage = Binio.r_int r in
+            let pipe = Binio.r_int r in
+            Fault.Stall { stage; pipe }
+        | 4 -> Fault.Xbar_drop (Int64.float_of_bits (Binio.r_i64 r))
+        | 5 -> Fault.Xbar_dup (Int64.float_of_bits (Binio.r_i64 r))
+        | 6 -> Fault.Phantom_delay (Binio.r_int r)
+        | t -> failwith (Printf.sprintf "snapshot: unknown fault kind %d" t)
+      in
+      events (n - 1) ({ Fault.from_; until_; kind } :: acc)
+    end
+  in
+  { Fault.seed; events = events n [] }
+
+(* In-flight packets live in exactly three places at a cycle boundary:
+   stage slots (all empty — the movement phase just ran), FIFO data
+   entries, and the pending transfer buffers.  The same census the
+   monitor takes, used to cross-check a decoded snapshot. *)
+let count_in_flight sim =
+  let counted = ref 0 in
+  Array.iter
+    (fun row -> Array.iter (function Some _ -> incr counted | None -> ()) row)
+    sim.slots;
+  Array.iter
+    (fun row ->
+      Array.iter
+        (function
+          | Some (Logical f) -> counted := !counted + Fifo.data_length f
+          | Some (Per_cell pc) ->
+              Hashtbl.iter (fun _ f -> counted := !counted + Fifo.data_length f) pc.pc_cells
+          | None -> ())
+        row)
+    sim.fifos;
+  Array.iter (fun v -> counted := !counted + Vec.length v) sim.t_pkts;
+  !counted
+
+(* Serialize the machine at a top-of-cycle boundary.  Slots are not
+   serialized: the movement phase empties every one of them each cycle,
+   so at the boundary all in-flight packets sit in FIFOs or transfer
+   buffers.  [st.now] is the next cycle to visit, so resuming replays
+   that cycle in full — bit-identically to the uninterrupted run. *)
+let encode sim st source =
+  let b = Binio.writer () in
+  Binio.w_tag b 1;
+  w_params b sim.p;
+  Binio.w_tag b 2;
+  Binio.w_int b (prog_digest sim.prog);
+  Binio.w_tag b 3;
+  Binio.w_int b st.now;
+  Binio.w_int b st.first_arrival;
+  Binio.w_int b st.last_score;
+  Binio.w_int b st.last_progress_t;
+  Binio.w_int b sim.delivered;
+  Binio.w_int b sim.dropped;
+  Binio.w_int b sim.dropped_stateless;
+  Binio.w_int b sim.marked;
+  Binio.w_int b sim.in_flight;
+  Binio.w_int b sim.first_exit;
+  Binio.w_int b sim.last_exit;
+  Binio.w_int b sim.dup_base;
+  Binio.w_int b sim.dup_next;
+  Binio.w_tag b 4;
+  Binio.w_int b (Psource.consumed source);
+  Binio.w_int b (Psource.last_time source);
+  Binio.w_int b st.sd_hi;
+  Binio.w_int b st.sd_lo;
+  Binio.w_tag b 5;
+  (match (sim.fplan, sim.flt) with
+  | Some plan, Some f ->
+      Binio.w_bool b true;
+      w_plan b plan;
+      let saved = Fault.save f in
+      Binio.w_int b (Array.length saved.Fault.sv_rng);
+      Array.iter (fun w -> Binio.w_i64 b w) saved.Fault.sv_rng;
+      Binio.w_int b saved.Fault.sv_next_i;
+      Binio.w_int_array b (Array.of_list saved.Fault.sv_active)
+  | _ -> Binio.w_bool b false);
+  Binio.w_tag b 6;
+  (match sim.ms with
+  | Some m ->
+      Binio.w_bool b true;
+      Binio.w_int_array b (Metrics.dump m)
+  | None -> Binio.w_bool b false);
+  Binio.w_tag b 7;
+  for p = 0 to sim.p.k - 1 do
+    for reg = 0 to Array.length sim.config.Config.regs - 1 do
+      Binio.w_int_array b (Store.array sim.stores.(p) ~reg)
+    done
+  done;
+  Binio.w_tag b 8;
+  Array.iter
+    (fun map ->
+      Binio.w_int_array b (Index_map.pipeline_assignment map);
+      Binio.w_int_array b (Index_map.access_counts map);
+      Binio.w_int_array b (Index_map.inflight_counts map))
+    sim.maps;
+  Binio.w_tag b 9;
+  for s = 0 to sim.n_stages - 1 do
+    for p = 0 to sim.p.k - 1 do
+      w_queue b sim.fifos.(s).(p)
+    done
+  done;
+  Binio.w_tag b 10;
+  for s = 0 to sim.n_stages - 1 do
+    let pkts = sim.t_pkts.(s) and descs = sim.t_descs.(s) in
+    Binio.w_int b (Vec.length pkts);
+    for i = 0 to Vec.length pkts - 1 do
+      Binio.w_int b (Vec.get descs i);
+      w_packet b (Vec.get pkts i)
+    done
+  done;
+  Binio.w_tag b 11;
+  let pending = Channel.dump sim.channel in
+  Binio.w_int b (List.length pending);
+  List.iter
+    (fun (at, d) ->
+      Binio.w_int b at;
+      Binio.w_int b d.d_seq;
+      Binio.w_int b d.d_stage;
+      Binio.w_int b d.d_dest;
+      Binio.w_int b d.d_ring;
+      Binio.w_int b d.d_cell)
+    pending;
+  Binio.w_tag b 12;
+  (* Doomed seqs matter only while a pending delivery can still look one
+     up, so the set is pruned to the channel's contents — this is also
+     what keeps a multi-leg run's memory bounded: each leg restarts with
+     only the live residue of the table. *)
+  let doomed =
+    List.filter_map
+      (fun (_, d) -> if Hashtbl.mem sim.doomed d.d_seq then Some d.d_seq else None)
+      pending
+    |> List.sort_uniq compare
+  in
+  Binio.w_int_array b (Array.of_list doomed);
+  Binio.w_tag b 13;
+  Array.iter (fun row -> Binio.w_int_array b row) sim.hw_key;
+  Array.iter (fun row -> Binio.w_int_array b row) sim.hw_since;
+  (* Claims persist across the boundary: [spawn_dup] reads them during
+     the next apply phase. *)
+  Array.iter
+    (fun row -> Binio.w_int_array b (Array.map (fun c -> if c then 1 else 0) row))
+    sim.claimed;
+  Binio.w_bool b sim.claims_dirty;
+  Binio.w_tag b 14;
+  Binio.w_int b sim.ed_hi;
+  Binio.w_int b sim.ed_lo;
+  Binio.w_int b (Vec.length sim.log_keys);
+  for i = 0 to Vec.length sim.log_keys - 1 do
+    Binio.w_int b (Vec.get sim.log_keys i);
+    Binio.w_int b (Vec.get sim.dig_hi i);
+    Binio.w_int b (Vec.get sim.dig_lo i)
+  done;
+  Binio.w_tag b 15;
+  Binio.to_string ~magic:snap_magic b
+
+(* --- the cycle loop, shared by [run], [run_source] and [resume] --- *)
+
+let drive sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget =
+  let params = sim.p in
+  let has_next () = match Psource.peek source with Some _ -> true | None -> false in
+  let suspended = ref None in
+  let running = ref true in
+  while !running && (sim.in_flight > 0 || has_next ()) do
+    match cycle_budget with
+    | Some budget when st.visited >= budget ->
+        (* Pause at the cycle boundary: nothing of cycle [st.now] has
+           run yet, so the snapshot resumes it from the top. *)
+        suspended := Some (encode sim st source);
+        running := false
+    | _ ->
+        let t = st.now in
+        (match sim.mon with
+        | Some mon when Monitor.due mon ~now:t -> monitor_phase sim mon t
+        | _ -> ());
+        (match sim.flt with Some f -> fault_edges sim f t | None -> ());
+        (match sim.ms with Some m -> Metrics.on_cycle m | None -> ());
+        deliver_phantoms sim t;
+        apply_transfers sim t;
+        arrival_phase sim t source st;
+        pop_phase sim t;
+        (match sim.ms with Some m -> metrics_sweep sim m | None -> ());
+        observe sim t observer;
+        exec_phase sim t;
+        movement_phase sim t;
+        if
+          params.remap_period > 0 && t > st.first_arrival
+          && (t - st.first_arrival) mod params.remap_period = 0
+        then remap_phase sim t;
+        (* Progress guard against simulator deadlock bugs. *)
+        let score = sim.delivered + sim.dropped + Psource.consumed source in
+        if score > st.last_score then begin
+          st.last_score <- score;
+          st.last_progress_t <- t
+        end
+        else if t - st.last_progress_t > 200_000 then
+          failwith "Sim.run: no progress for 200000 cycles (deadlock?)";
+        (* Idle fast-forward: with nothing in flight the switch is inert,
+           so jump to the next event — the next arrival, the next phantom
+           delivery (deliveries of doomed packets, drained as no-ops), or
+           the next remap boundary (a remap can move cells even while
+           idle, so boundaries must still be visited to keep results
+           bit-identical with the cycle-by-cycle loop). *)
+        (if sim.in_flight > 0 || not (has_next ()) then st.now <- t + 1
+         else begin
+           let arrival =
+             match Psource.peek source with Some i -> i.Machine.time | None -> assert false
+           in
+           let next = ref (max (t + 1) arrival) in
+           (match Channel.next_due sim.channel with
+           | Some d -> next := min !next (max (t + 1) d)
+           | None -> ());
+           if params.remap_period > 0 then begin
+             let period = params.remap_period in
+             let boundary = t + period - ((t - st.first_arrival) mod period) in
+             next := min !next boundary
+           end;
+           (* Fault edges change machine state even while idle (a pipeline
+              coming back up, a window opening), so they bound the jump. *)
+           (match sim.flt with
+           | Some f ->
+               let e = Fault.next_edge f in
+               if e < max_int then next := min !next (max (t + 1) e)
+           | None -> ());
+           st.now <- !next
+         end);
+        st.visited <- st.visited + 1;
+        (match (checkpoint_every, on_checkpoint) with
+        | Some n, Some emit when st.visited mod n = 0 ->
+            emit ~cycle:st.now (encode sim st source)
+        | _ -> ())
+  done;
+  match !suspended with
+  | Some snap -> `Suspended snap
+  | None ->
+      (* The loop ends as soon as nothing is in flight, which can leave
+         phantom deliveries still pending in the channel — all of them
+         for packets dropped upstream (a live packet keeps the loop
+         running past every delivery it scheduled).  Drain them into the
+         suppressed-delivery accounting so phantom conservation holds in
+         the snapshot. *)
+      (match (sim.ms, sim.tr) with
+      | None, None -> ()
+      | _ ->
+          let rec flush () =
+            match Channel.next_due sim.channel with
+            | None -> ()
+            | Some at ->
+                Channel.drain sim.channel ~now:at (fun d ->
+                    (match sim.ms with Some m -> Metrics.phantom_doomed m | None -> ());
+                    match sim.tr with
+                    | Some tr ->
+                        Etrace.emit tr ~kind:Etrace.Phantom_deliver ~cycle:at ~seq:d.d_seq
+                          ~stage:d.d_stage ~pipe:d.d_dest ~aux:1
+                    | None -> ());
+                flush ()
+          in
+          flush ());
+      (* One final full check after the drain, so a run that ends between
+         epochs is still verified in its terminal state. *)
+      (match sim.mon with Some mon -> monitor_phase sim mon st.now | None -> ());
+      `Done
+
+let fresh_loop_state ~start ~track_src =
+  {
+    now = start;
+    first_arrival = start;
+    last_score = 0;
+    last_progress_t = start;
+    visited = 0;
+    sd_hi = Hashing.fnv_offset_hi;
+    sd_lo = Hashing.fnv_offset_lo;
+    track_src;
+  }
+
 let run ?observer ?metrics ?events ?fault ?monitor ?(compiled = true) params prog trace =
   if Array.length trace = 0 then invalid_arg "Sim.run: empty trace";
-  let sim = create ~compiled ?metrics ?events ?fault ?monitor params prog in
+  let source = Psource.of_array trace in
+  let sim = create ~compiled ~collect:true ?metrics ?events ?fault ?monitor params prog in
   (match sim.flt with
   | Some _ ->
       sim.dup_base <- Array.length trace;
       sim.dup_next <- Array.length trace
   | None -> ());
-  let cursor = ref 0 in
-  let now = ref trace.(0).Machine.time in
-  let first_arrival = !now in
-  let last_score = ref 0 and last_progress_t = ref !now in
-  while !cursor < Array.length trace || sim.in_flight > 0 do
-    let t = !now in
-    (match sim.mon with
-    | Some mon when Monitor.due mon ~now:t -> monitor_phase sim mon t
-    | _ -> ());
-    (match sim.flt with Some f -> fault_edges sim f t | None -> ());
-    (match sim.ms with Some m -> Metrics.on_cycle m | None -> ());
-    deliver_phantoms sim t;
-    apply_transfers sim t;
-    arrival_phase sim t trace cursor;
-    pop_phase sim t;
-    (match sim.ms with Some m -> metrics_sweep sim m | None -> ());
-    observe sim t observer;
-    exec_phase sim t;
-    movement_phase sim t;
-    if params.remap_period > 0 && t > first_arrival && (t - first_arrival) mod params.remap_period = 0
-    then remap_phase sim t;
-    (* Progress guard against simulator deadlock bugs. *)
-    let score = sim.delivered + sim.dropped + !cursor in
-    if score > !last_score then begin
-      last_score := score;
-      last_progress_t := t
-    end
-    else if t - !last_progress_t > 200_000 then
-      failwith "Sim.run: no progress for 200000 cycles (deadlock?)";
-    (* Idle fast-forward: with nothing in flight the switch is inert, so
-       jump to the next event — the next arrival, the next phantom
-       delivery (deliveries of doomed packets, drained as no-ops), or the
-       next remap boundary (a remap can move cells even while idle, so
-       boundaries must still be visited to keep results bit-identical
-       with the cycle-by-cycle loop). *)
-    if sim.in_flight > 0 || !cursor >= Array.length trace then now := t + 1
-    else begin
-      let next = ref (max (t + 1) trace.(!cursor).Machine.time) in
-      (match Channel.next_due sim.channel with
-      | Some d -> next := min !next (max (t + 1) d)
-      | None -> ());
-      if params.remap_period > 0 then begin
-        let period = params.remap_period in
-        let boundary = t + period - ((t - first_arrival) mod period) in
-        next := min !next boundary
-      end;
-      (* Fault edges change machine state even while idle (a pipeline
-         coming back up, a window opening), so they bound the jump. *)
-      (match sim.flt with
-      | Some f ->
-          let e = Fault.next_edge f in
-          if e < max_int then next := min !next (max (t + 1) e)
-      | None -> ());
-      now := !next
-    end
-  done;
-  (* The loop ends as soon as nothing is in flight, which can leave
-     phantom deliveries still pending in the channel — all of them for
-     packets dropped upstream (a live packet keeps the loop running past
-     every delivery it scheduled).  Drain them into the suppressed-
-     delivery accounting so phantom conservation holds in the snapshot. *)
-  (match (sim.ms, sim.tr) with
-  | None, None -> ()
-  | _ ->
-      let rec flush () =
-        match Channel.next_due sim.channel with
-        | None -> ()
-        | Some at ->
-            Channel.drain sim.channel ~now:at (fun d ->
-                (match sim.ms with Some m -> Metrics.phantom_doomed m | None -> ());
-                match sim.tr with
-                | Some tr ->
-                    Etrace.emit tr ~kind:Etrace.Phantom_deliver ~cycle:at ~seq:d.d_seq
-                      ~stage:d.d_stage ~pipe:d.d_dest ~aux:1
-                | None -> ());
-            flush ()
-      in
-      flush ());
-  (* One final full check after the drain, so a run that ends between
-     epochs is still verified in its terminal state. *)
-  (match sim.mon with Some mon -> monitor_phase sim mon !now | None -> ());
+  let st = fresh_loop_state ~start:trace.(0).Machine.time ~track_src:false in
+  (match
+     drive sim st source ~observer ~checkpoint_every:None ~on_checkpoint:None
+       ~cycle_budget:None
+   with
+  | `Suspended _ -> assert false
+  | `Done -> ());
+  let first_arrival = st.first_arrival in
   let last_arrival = trace.(Array.length trace - 1).Machine.time in
   let input_span = last_arrival - first_arrival + 1 in
   let n = Array.length trace in
@@ -1436,3 +2062,343 @@ let results_equal (a : result) (b : result) =
   && a.headers_out = b.headers_out && a.exit_order = b.exit_order
   && a.latencies = b.latencies
   && tbl_sorted a.access_seqs = tbl_sorted b.access_seqs
+
+(* --- streaming entry points --- *)
+
+let finish_summary sim st source =
+  let consumed = Psource.consumed source in
+  let input_span = Psource.last_time source - st.first_arrival + 1 in
+  let output_span = if sim.first_exit < 0 then 1 else sim.last_exit - sim.first_exit + 1 in
+  let normalized_throughput =
+    if sim.delivered = 0 then 0.0
+    else
+      min 1.0
+        (float_of_int sim.delivered *. float_of_int input_span
+        /. (float_of_int consumed *. float_of_int output_span))
+  in
+  {
+    s_delivered = sim.delivered;
+    s_dropped = sim.dropped;
+    s_dropped_stateless = sim.dropped_stateless;
+    s_marked = sim.marked;
+    s_cycles = sim.last_exit - st.first_arrival + 1;
+    s_input_span = input_span;
+    s_normalized_throughput = normalized_throughput;
+    s_max_queue = max_queue_depth sim;
+    s_packets = consumed;
+    s_store = merge_stores sim;
+    s_digests =
+      { dg_exits = Hashing.finish (sim.ed_hi, sim.ed_lo); dg_access = access_digest sim };
+  }
+
+let run_source ?observer ?metrics ?events ?fault ?monitor ?(compiled = true)
+    ?checkpoint_every ?on_checkpoint ?cycle_budget params prog source =
+  (match checkpoint_every with
+  | Some n when n <= 0 -> invalid_arg "Sim.run_source: checkpoint_every must be positive"
+  | _ -> ());
+  let start_time =
+    match Psource.peek source with
+    | Some i -> i.Machine.time
+    | None -> invalid_arg "Sim.run_source: empty source"
+  in
+  if Psource.consumed source > 0 then
+    invalid_arg "Sim.run_source: source already partially consumed";
+  let sim = create ~compiled ~collect:false ?metrics ?events ?fault ?monitor params prog in
+  (match sim.flt with
+  | Some _ ->
+      (* Ghost seqs must not collide with trace seqs; with the total
+         unknown, reserve them far above any realistic stream. *)
+      let base = match Psource.total_hint source with Some n -> n | None -> 1 lsl 40 in
+      sim.dup_base <- base;
+      sim.dup_next <- base
+  | None -> ());
+  let st =
+    fresh_loop_state ~start:start_time
+      ~track_src:(checkpoint_every <> None || cycle_budget <> None)
+  in
+  match drive sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget with
+  | `Suspended snap -> Suspended snap
+  | `Done -> Completed (finish_summary sim st source)
+
+exception Resume_mismatch of string
+
+let resume ?observer ?metrics ?events ?monitor ?(compiled = true) ?checkpoint_every
+    ?on_checkpoint ?cycle_budget ~snapshot prog source =
+  (* A resume boundary is a cold point by definition, and chunked
+     gigapacket runs pass through one every few hundred thousand cycles.
+     Collecting here releases the previous chunk's machine plus the
+     floating garbage the cycle loop promoted (OCaml 5.1 has no
+     compaction, so unpaced float ratchets the major heap), which is
+     what keeps a chunked run's peak heap bounded by one chunk's churn
+     instead of the whole run's. *)
+  Gc.full_major ();
+  match Binio.of_string ~magic:snap_magic snapshot with
+  | Error msg -> Error (Corrupt msg)
+  | Ok r -> (
+      let decode () =
+        Binio.r_tag r ~expect:1 ~what:"params section";
+        let params = r_params r in
+        Binio.r_tag r ~expect:2 ~what:"program section";
+        let pdig = Binio.r_int r in
+        if pdig <> prog_digest prog then
+          raise (Resume_mismatch "snapshot was taken against a different program");
+        Binio.r_tag r ~expect:3 ~what:"loop section";
+        let now = Binio.r_int r in
+        let first_arrival = Binio.r_int r in
+        let last_score = Binio.r_int r in
+        let last_progress_t = Binio.r_int r in
+        let delivered = Binio.r_int r in
+        let dropped = Binio.r_int r in
+        let dropped_stateless = Binio.r_int r in
+        let marked = Binio.r_int r in
+        let in_flight = Binio.r_int r in
+        let first_exit = Binio.r_int r in
+        let last_exit = Binio.r_int r in
+        let dup_base = Binio.r_int r in
+        let dup_next = Binio.r_int r in
+        Binio.r_tag r ~expect:4 ~what:"source section";
+        let consumed = Binio.r_int r in
+        let _src_last_time = Binio.r_int r in
+        let sd_hi = Binio.r_int r in
+        let sd_lo = Binio.r_int r in
+        Binio.r_tag r ~expect:5 ~what:"fault section";
+        let fault_state =
+          if Binio.r_bool r then begin
+            let plan = r_plan r in
+            let n = Binio.r_int r in
+            let rng = Array.make (max n 1) 0L in
+            for i = 0 to n - 1 do
+              rng.(i) <- Binio.r_i64 r
+            done;
+            let rng = Array.sub rng 0 n in
+            let sv_next_i = Binio.r_int r in
+            let sv_active = Array.to_list (Binio.r_int_array r) in
+            Some (plan, { Fault.sv_rng = rng; sv_next_i; sv_active })
+          end
+          else None
+        in
+        Binio.r_tag r ~expect:6 ~what:"metrics section";
+        let mdump = if Binio.r_bool r then Some (Binio.r_int_array r) else None in
+        (match (mdump, metrics) with
+        | Some _, None ->
+            raise
+              (Resume_mismatch "snapshot carries metrics; resume with ~metrics to receive them")
+        | None, Some _ -> raise (Resume_mismatch "snapshot has no metrics, but ~metrics was passed")
+        | Some d, Some m -> Metrics.restore_into m d
+        | None, None -> ());
+        let sim =
+          create ~compiled ~collect:false ?metrics ?events
+            ?fault:(Option.map fst fault_state) ?monitor params prog
+        in
+        (match (fault_state, sim.flt) with
+        | Some (plan, saved), Some _ ->
+            sim.flt <- Some (Fault.restore plan ~k:params.k ~stages:sim.n_stages ~now saved)
+        | None, None -> ()
+        | _ -> assert false);
+        Binio.r_tag r ~expect:7 ~what:"store section";
+        for p = 0 to params.k - 1 do
+          for reg = 0 to Array.length sim.config.Config.regs - 1 do
+            let arr = Binio.r_int_array r in
+            let dst = Store.array sim.stores.(p) ~reg in
+            if Array.length arr <> Array.length dst then
+              failwith "snapshot: register array size does not match the program";
+            Array.blit arr 0 dst 0 (Array.length arr)
+          done
+        done;
+        Binio.r_tag r ~expect:8 ~what:"index map section";
+        Array.iter
+          (fun map ->
+            let pipelines = Binio.r_int_array r in
+            let counts = Binio.r_int_array r in
+            let inflights = Binio.r_int_array r in
+            Index_map.load_state map ~pipelines ~counts ~inflights)
+          sim.maps;
+        Binio.r_tag r ~expect:9 ~what:"queue section";
+        for s = 0 to sim.n_stages - 1 do
+          for p = 0 to params.k - 1 do
+            r_queue r sim s p
+          done
+        done;
+        Binio.r_tag r ~expect:10 ~what:"transfer section";
+        for s = 0 to sim.n_stages - 1 do
+          let n = Binio.r_int r in
+          for _ = 1 to n do
+            let desc = Binio.r_int r in
+            let pkt = r_packet r sim in
+            Vec.push sim.t_descs.(s) desc;
+            Vec.push sim.t_pkts.(s) pkt
+          done
+        done;
+        Binio.r_tag r ~expect:11 ~what:"channel section";
+        let n_pending = Binio.r_int r in
+        for _ = 1 to n_pending do
+          let at = Binio.r_int r in
+          let d_seq = Binio.r_int r in
+          let d_stage = Binio.r_int r in
+          let d_dest = Binio.r_int r in
+          let d_ring = Binio.r_int r in
+          let d_cell = Binio.r_int r in
+          Channel.schedule sim.channel ~at { d_seq; d_stage; d_dest; d_ring; d_cell }
+        done;
+        Binio.r_tag r ~expect:12 ~what:"doomed section";
+        Array.iter (fun seq -> Hashtbl.replace sim.doomed seq ()) (Binio.r_int_array r);
+        Binio.r_tag r ~expect:13 ~what:"watch section";
+        let read_matrix dst what =
+          Array.iter
+            (fun row ->
+              let arr = Binio.r_int_array r in
+              if Array.length arr <> Array.length row then
+                failwith (Printf.sprintf "snapshot: %s row size mismatch" what);
+              Array.blit arr 0 row 0 (Array.length arr))
+            dst
+        in
+        read_matrix sim.hw_key "head watch";
+        read_matrix sim.hw_since "head watch";
+        Array.iter
+          (fun row ->
+            let arr = Binio.r_int_array r in
+            if Array.length arr <> Array.length row then
+              failwith "snapshot: claim row size mismatch";
+            Array.iteri (fun i v -> row.(i) <- v <> 0) arr)
+          sim.claimed;
+        sim.claims_dirty <- Binio.r_bool r;
+        Binio.r_tag r ~expect:14 ~what:"digest section";
+        sim.ed_hi <- Binio.r_int r;
+        sim.ed_lo <- Binio.r_int r;
+        let n_keys = Binio.r_int r in
+        for i = 0 to n_keys - 1 do
+          let key = Binio.r_int r in
+          Mp5_util.Int_table.replace sim.access_log key i;
+          Vec.push sim.log_keys key;
+          Vec.push sim.dig_hi (Binio.r_int r);
+          Vec.push sim.dig_lo (Binio.r_int r)
+        done;
+        Binio.r_tag r ~expect:15 ~what:"end marker";
+        if Binio.remaining r <> 0 then failwith "snapshot: trailing data after end marker";
+        sim.delivered <- delivered;
+        sim.dropped <- dropped;
+        sim.dropped_stateless <- dropped_stateless;
+        sim.marked <- marked;
+        sim.first_exit <- first_exit;
+        sim.last_exit <- last_exit;
+        sim.dup_base <- dup_base;
+        sim.dup_next <- dup_next;
+        let counted = count_in_flight sim in
+        if counted <> in_flight then
+          raise
+            (Resume_mismatch
+               (Printf.sprintf "snapshot inconsistent: %d packets serialized, %d in flight"
+                  counted in_flight));
+        sim.in_flight <- in_flight;
+        (* Position the source.  A source already at the checkpoint's
+           cursor (in-process chunked resume) is used as-is; a fresh
+           source replays the consumed prefix under the digest, proving
+           it feeds the same packets the checkpointed run saw. *)
+        (match Psource.consumed source with
+        | c when c = consumed -> ()
+        | 0 ->
+            let hi = ref Hashing.fnv_offset_hi and lo = ref Hashing.fnv_offset_lo in
+            for i = 0 to consumed - 1 do
+              match Psource.next source with
+              | None ->
+                  raise
+                    (Resume_mismatch
+                       (Printf.sprintf "source ended after %d packets; snapshot consumed %d" i
+                          consumed))
+              | Some input ->
+                  let h, l = fold_src_digest !hi !lo input in
+                  hi := h;
+                  lo := l
+            done;
+            if !hi <> sd_hi || !lo <> sd_lo then
+              raise (Resume_mismatch "source does not replay the checkpointed run's packets")
+        | c ->
+            raise
+              (Resume_mismatch
+                 (Printf.sprintf
+                    "source already consumed %d packets; snapshot expects 0 (replay) or %d \
+                     (positioned)"
+                    c consumed)));
+        let st =
+          {
+            now;
+            first_arrival;
+            last_score;
+            last_progress_t;
+            visited = 0;
+            sd_hi;
+            sd_lo;
+            track_src = true;
+          }
+        in
+        (sim, st)
+      in
+      match decode () with
+      | exception Resume_mismatch msg -> Error (Mismatch msg)
+      | exception Binio.Corrupt { pos; reason } ->
+          Error (Corrupt (Binio.corrupt_message ~pos ~reason))
+      | exception Failure msg -> Error (Corrupt msg)
+      | exception Invalid_argument msg -> Error (Corrupt ("snapshot: " ^ msg))
+      | sim, st -> (
+          match drive sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget with
+          | `Suspended snap -> Ok (Suspended snap)
+          | `Done -> Ok (Completed (finish_summary sim st source))))
+
+(* --- summary parity with collected results (the differential pin) --- *)
+
+let digests_of_result (r : result) =
+  let hi = ref Hashing.fnv_offset_hi and lo = ref Hashing.fnv_offset_lo in
+  let feed x =
+    let h, l = Hashing.feed_int_halves !hi !lo x in
+    hi := h;
+    lo := l
+  in
+  List.iter2
+    (fun (seq, headers) (seq', lat) ->
+      assert (seq = seq');
+      feed seq;
+      feed lat;
+      Array.iter feed headers)
+    r.headers_out r.latencies;
+  let dg_exits = Hashing.finish (!hi, !lo) in
+  let dg_access =
+    Hashtbl.fold
+      (fun (reg, cell) seqs acc ->
+        let key = (reg lsl 32) lor cell in
+        let hi = ref Hashing.fnv_offset_hi and lo = ref Hashing.fnv_offset_lo in
+        let feed x =
+          let h, l = Hashing.feed_int_halves !hi !lo x in
+          hi := h;
+          lo := l
+        in
+        feed key;
+        List.iter feed seqs;
+        (acc + Hashing.finish (!hi, !lo)) land digest_mask)
+      r.access_seqs 0
+  in
+  { dg_exits; dg_access }
+
+let summary_of_result ~packets (r : result) =
+  {
+    s_delivered = r.delivered;
+    s_dropped = r.dropped;
+    s_dropped_stateless = r.dropped_stateless;
+    s_marked = r.marked;
+    s_cycles = r.cycles;
+    s_input_span = r.input_span;
+    s_normalized_throughput = r.normalized_throughput;
+    s_max_queue = r.max_queue;
+    s_packets = packets;
+    s_store = r.store;
+    s_digests = digests_of_result r;
+  }
+
+let summary_equal (a : summary) (b : summary) =
+  a.s_delivered = b.s_delivered && a.s_dropped = b.s_dropped
+  && a.s_dropped_stateless = b.s_dropped_stateless
+  && a.s_marked = b.s_marked && a.s_cycles = b.s_cycles
+  && a.s_input_span = b.s_input_span
+  && a.s_normalized_throughput = b.s_normalized_throughput
+  && a.s_max_queue = b.s_max_queue && a.s_packets = b.s_packets
+  && Store.equal a.s_store b.s_store
+  && a.s_digests = b.s_digests

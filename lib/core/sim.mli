@@ -135,3 +135,126 @@ val results_equal : result -> result -> bool
 (** Exact equality of every observable field of two results — stores,
     headers, access sequences, exit order, latencies, and all counters.
     The check behind the kernel-vs-interpreter bit-identical guarantee. *)
+
+(** {2 Streaming runs}
+
+    {!run} holds the whole trace and full per-packet logs in memory; for
+    gigapacket workloads that is the bottleneck.  {!run_source} instead
+    pulls packets one at a time from a {!Mp5_workload.Packet_source.t}
+    and folds every per-packet observable into running FNV-1a digests,
+    so memory stays bounded by machine state, not run length. *)
+
+type digests = {
+  dg_exits : int;
+      (** folds (packet id, latency, user headers) in exit order *)
+  dg_access : int;
+      (** per-(reg, cell) access-order digests, combined commutatively *)
+}
+(** Order-sensitive condensation of the per-packet observables that
+    {!result} stores as lists.  Two runs with equal digests (and equal
+    stores/counters) are bit-identical as far as any {!result}-level
+    check can tell; {!digests_of_result} computes the same digests from
+    a collected result for differential pinning. *)
+
+type summary = {
+  s_delivered : int;
+  s_dropped : int;
+  s_dropped_stateless : int;
+  s_marked : int;
+  s_cycles : int;
+  s_input_span : int;
+  s_normalized_throughput : float;
+  s_max_queue : int;
+  s_packets : int;                  (** packets consumed from the source *)
+  s_store : Mp5_banzai.Store.t;
+  s_digests : digests;
+}
+(** The streaming counterpart of {!result}: every aggregate field, plus
+    digests in place of the unbounded lists. *)
+
+type outcome =
+  | Completed of summary
+  | Suspended of string
+      (** the run hit [cycle_budget]; the payload is a snapshot (byte
+          string, magic ["mp5-snap/1"]) accepted by {!resume} *)
+
+type resume_error =
+  | Corrupt of string   (** snapshot damaged; positioned ["byte N: ..."] message *)
+  | Mismatch of string  (** well-formed snapshot inconsistent with this
+                            program, source, or instrumentation *)
+
+val run_source :
+  ?observer:(occupancy -> unit) ->
+  ?metrics:Mp5_obs.Metrics.t ->
+  ?events:Mp5_obs.Trace.t ->
+  ?fault:Mp5_fault.Fault.plan ->
+  ?monitor:Mp5_fault.Monitor.t ->
+  ?compiled:bool ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(cycle:int -> string -> unit) ->
+  ?cycle_budget:int ->
+  params ->
+  Transform.t ->
+  Mp5_workload.Packet_source.t ->
+  outcome
+(** [run_source params program source] drains the source to completion
+    (or until [cycle_budget] simulated cycles have run, yielding
+    [Suspended snapshot]).  The machine executes the exact same cycle
+    loop as {!run} — a streamed run and an array run over the same
+    packets produce equal counters, stores, and digests.
+
+    [checkpoint_every] (positive; @raise Invalid_argument otherwise)
+    calls [on_checkpoint ~cycle snapshot] every N visited cycles with a
+    serialized snapshot of the complete machine state: register stores,
+    per-stage FIFO rings and in-flight packets, phantom-channel
+    schedule, sharding maps, fault-plan RNG cursors, metrics counters,
+    and the streaming digests.  Snapshots are self-validating (length,
+    checksum, program digest) and versioned (["mp5-snap/1"]).
+
+    The source must be fresh (nothing consumed;
+    @raise Invalid_argument otherwise) and non-empty. *)
+
+val resume :
+  ?observer:(occupancy -> unit) ->
+  ?metrics:Mp5_obs.Metrics.t ->
+  ?events:Mp5_obs.Trace.t ->
+  ?monitor:Mp5_fault.Monitor.t ->
+  ?compiled:bool ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(cycle:int -> string -> unit) ->
+  ?cycle_budget:int ->
+  snapshot:string ->
+  Transform.t ->
+  Mp5_workload.Packet_source.t ->
+  (outcome, resume_error) Stdlib.result
+(** [resume ~snapshot program source] restores the machine from a
+    snapshot produced by {!run_source}/{!resume} and continues the run;
+    the continuation is bit-identical to the uninterrupted run — same
+    final store, counters, and digests.
+
+    The snapshot embeds its fault plan, so there is no [?fault]
+    parameter.  [?metrics] must be passed iff the snapshot was taken
+    with metrics attached ([Error (Mismatch _)] otherwise); restored
+    counters continue accumulating in the caller's [Metrics.t].
+
+    The source must either be positioned exactly at the snapshot's
+    cursor (in-process chunked runs) or fresh — a fresh source has its
+    consumed prefix replayed and checked against the snapshot's input
+    digest, so resuming against the wrong trace is detected rather than
+    silently diverging.
+
+    Damaged input — bad magic, truncated payload, checksum or framing
+    failure — returns [Error (Corrupt msg)] with a byte-positioned
+    message; a well-formed snapshot for a different program, source, or
+    instrumentation returns [Error (Mismatch msg)]. *)
+
+val digests_of_result : result -> digests
+(** Compute {!digests} from a collected {!result} — the bridge that lets
+    differential tests pin streamed runs against array runs. *)
+
+val summary_of_result : packets:int -> result -> summary
+(** Project a collected {!result} onto a {!summary} ([packets] is the
+    trace length, which [result] does not record). *)
+
+val summary_equal : summary -> summary -> bool
+(** Exact equality, including stores and digests. *)

@@ -37,6 +37,17 @@ let run ?params ?metrics ?events ?fault ?monitor ?compiled ~k t trace =
   let params = match params with Some p -> p | None -> Sim.default_params ~k in
   Sim.run ?metrics ?events ?fault ?monitor ?compiled params t.prog trace
 
+let run_source ?params ?metrics ?events ?fault ?monitor ?compiled ?checkpoint_every
+    ?on_checkpoint ?cycle_budget ~k t source =
+  let params = match params with Some p -> p | None -> Sim.default_params ~k in
+  Sim.run_source ?metrics ?events ?fault ?monitor ?compiled ?checkpoint_every ?on_checkpoint
+    ?cycle_budget params t.prog source
+
+let resume ?metrics ?events ?monitor ?compiled ?checkpoint_every ?on_checkpoint
+    ?cycle_budget ~snapshot t source =
+  Sim.resume ?metrics ?events ?monitor ?compiled ?checkpoint_every ?on_checkpoint ?cycle_budget
+    ~snapshot t.prog source
+
 let verify ?params ?metrics ?events ?fault ?monitor ?compiled ~k ?flow_of t trace =
   let golden_result = golden t trace in
   let r = run ?params ?metrics ?events ?fault ?monitor ?compiled ~k t trace in

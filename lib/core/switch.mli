@@ -57,6 +57,39 @@ val run :
     [metrics], [events], [fault], [monitor] and [compiled] as in
     {!Sim.run}). *)
 
+val run_source :
+  ?params:Sim.params ->
+  ?metrics:Mp5_obs.Metrics.t ->
+  ?events:Mp5_obs.Trace.t ->
+  ?fault:Mp5_fault.Fault.plan ->
+  ?monitor:Mp5_fault.Monitor.t ->
+  ?compiled:bool ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(cycle:int -> string -> unit) ->
+  ?cycle_budget:int ->
+  k:int ->
+  t ->
+  Mp5_workload.Packet_source.t ->
+  Sim.outcome
+(** Streaming counterpart of {!run}: pull packets from a
+    {!Mp5_workload.Packet_source.t} in constant memory, with optional
+    periodic checkpoints and a cycle budget (see {!Sim.run_source}). *)
+
+val resume :
+  ?metrics:Mp5_obs.Metrics.t ->
+  ?events:Mp5_obs.Trace.t ->
+  ?monitor:Mp5_fault.Monitor.t ->
+  ?compiled:bool ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(cycle:int -> string -> unit) ->
+  ?cycle_budget:int ->
+  snapshot:string ->
+  t ->
+  Mp5_workload.Packet_source.t ->
+  (Sim.outcome, Sim.resume_error) result
+(** Restore from a {!run_source} checkpoint and continue (see
+    {!Sim.resume}; params and fault plan come from the snapshot). *)
+
 val verify :
   ?params:Sim.params ->
   ?metrics:Mp5_obs.Metrics.t ->

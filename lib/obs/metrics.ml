@@ -216,6 +216,121 @@ let equal a b =
   && a.m_imb_after = b.m_imb_after && a.m_lat_hist = b.m_lat_hist
   && a.m_lat_count = b.m_lat_count && a.m_lat_sum = b.m_lat_sum && a.m_lat_max = b.m_lat_max
 
+(* --- checkpoint flattening ---
+
+   A fixed-layout int array: stages, k, cycles, the five per-slot arrays,
+   the occupancy histogram, the two per-stage crossbar arrays, every
+   scalar counter in declaration order, then the latency histogram and
+   its three scalars.  [restore_into] refuses a dump whose shape
+   (stages/k, hence total length) does not match the target. *)
+
+let dump m =
+  let slots = m.m_stages * m.m_k in
+  let n = 3 + (5 * slots) + occ_bins + (2 * m.m_stages) + 21 + lat_bins + 3 in
+  let out = Array.make n 0 in
+  let i = ref 0 in
+  let add x =
+    out.(!i) <- x;
+    incr i
+  in
+  let add_arr a = Array.iter add a in
+  add m.m_stages;
+  add m.m_k;
+  add m.m_cycles;
+  add_arr m.m_busy;
+  add_arr m.m_idle;
+  add_arr m.m_blocked;
+  add_arr m.m_claimed;
+  add_arr m.m_occ_hwm;
+  add_arr m.m_occ_hist;
+  add_arr m.m_xfer;
+  add_arr m.m_xfer_cross;
+  add m.m_arrivals;
+  add m.m_delivered;
+  add m.m_ecn_marked;
+  add m.m_drop_fifo_full;
+  add m.m_drop_no_phantom;
+  add m.m_drop_starved;
+  add m.m_drop_pipeline_down;
+  add m.m_drop_injected;
+  add m.m_fault_events;
+  add m.m_fault_stall_cycles;
+  add m.m_pipe_down_cycles;
+  add m.m_evac_moves;
+  add m.m_dup_packets;
+  add m.m_phantom_scheduled;
+  add m.m_phantom_delivered;
+  add m.m_phantom_doomed;
+  add m.m_phantom_dropped;
+  add m.m_remap_periods;
+  add m.m_remap_moves;
+  add m.m_imb_before;
+  add m.m_imb_after;
+  add_arr m.m_lat_hist;
+  add m.m_lat_count;
+  add m.m_lat_sum;
+  add m.m_lat_max;
+  assert (!i = n);
+  out
+
+let restore_into m d =
+  let slots = m.m_stages * m.m_k in
+  let expect = 3 + (5 * slots) + occ_bins + (2 * m.m_stages) + 21 + lat_bins + 3 in
+  if Array.length d < 2 then invalid_arg "Metrics.restore_into: dump too short";
+  if d.(0) <> m.m_stages || d.(1) <> m.m_k then
+    invalid_arg
+      (Printf.sprintf "Metrics.restore_into: dump is %d stages x %d pipelines, target is %d x %d"
+         d.(0) d.(1) m.m_stages m.m_k);
+  if Array.length d <> expect then
+    invalid_arg
+      (Printf.sprintf "Metrics.restore_into: dump has %d words, expected %d" (Array.length d)
+         expect);
+  let i = ref 2 in
+  let get () =
+    let v = d.(!i) in
+    incr i;
+    v
+  in
+  let get_arr a =
+    for j = 0 to Array.length a - 1 do
+      a.(j) <- get ()
+    done
+  in
+  m.m_cycles <- get ();
+  get_arr m.m_busy;
+  get_arr m.m_idle;
+  get_arr m.m_blocked;
+  get_arr m.m_claimed;
+  get_arr m.m_occ_hwm;
+  get_arr m.m_occ_hist;
+  get_arr m.m_xfer;
+  get_arr m.m_xfer_cross;
+  m.m_arrivals <- get ();
+  m.m_delivered <- get ();
+  m.m_ecn_marked <- get ();
+  m.m_drop_fifo_full <- get ();
+  m.m_drop_no_phantom <- get ();
+  m.m_drop_starved <- get ();
+  m.m_drop_pipeline_down <- get ();
+  m.m_drop_injected <- get ();
+  m.m_fault_events <- get ();
+  m.m_fault_stall_cycles <- get ();
+  m.m_pipe_down_cycles <- get ();
+  m.m_evac_moves <- get ();
+  m.m_dup_packets <- get ();
+  m.m_phantom_scheduled <- get ();
+  m.m_phantom_delivered <- get ();
+  m.m_phantom_doomed <- get ();
+  m.m_phantom_dropped <- get ();
+  m.m_remap_periods <- get ();
+  m.m_remap_moves <- get ();
+  m.m_imb_before <- get ();
+  m.m_imb_after <- get ();
+  get_arr m.m_lat_hist;
+  m.m_lat_count <- get ();
+  m.m_lat_sum <- get ();
+  m.m_lat_max <- get ()
+
 (* --- invariants --- *)
 
 let check_invariants ~stages ~k ~cycles ~busy ~idle ~blocked ~claimed ~delivered ~lat_count

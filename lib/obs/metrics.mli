@@ -141,6 +141,16 @@ val validate : t -> (unit, string) result
 (** Internal invariants: cycle classification totals, latency mass vs
     deliveries, drop causes vs totals, phantom conservation. *)
 
+(* --- checkpointing --- *)
+
+val dump : t -> int array
+(** Every counter and histogram flattened into one fixed-layout int
+    array, for embedding in simulator snapshots. *)
+
+val restore_into : t -> int array -> unit
+(** Overwrite [t]'s counters from a {!dump}.  Raises [Invalid_argument]
+    when the dump's shape (stages, k) does not match [t]'s. *)
+
 (* --- exporters --- *)
 
 val to_json : t -> Json.t

@@ -1,0 +1,169 @@
+(* Versioned binary framing for machine snapshots.
+
+   A file is: the magic line (schema id + '\n'), an 8-byte little-endian
+   payload length, an 8-byte FNV-1a checksum of the payload, then the
+   payload itself.  Values inside the payload are fixed-width 64-bit
+   little-endian integers (OCaml ints sign-extend through [Int64] and
+   round-trip exactly), single-byte booleans and tags, and
+   length-prefixed strings/arrays.  Every reader failure is positioned
+   by absolute byte offset in the file, the anchor [dd]/[xxd] can
+   actually use on a multi-megabyte snapshot. *)
+
+exception Corrupt of { pos : int; reason : string }
+
+let corrupt_message ~pos ~reason = Printf.sprintf "byte %d: %s" pos reason
+
+(* --- writing --- *)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 4096
+let w_i64 b x = Buffer.add_int64_le b x
+let w_int b x = Buffer.add_int64_le b (Int64.of_int x)
+let w_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let w_tag b t =
+  if t < 0 || t > 255 then invalid_arg "Binio.w_tag: tag out of range";
+  Buffer.add_char b (Char.chr t)
+
+let w_string b s =
+  w_int b (String.length s);
+  Buffer.add_string b s
+
+let w_int_array b a =
+  w_int b (Array.length a);
+  Array.iter (w_int b) a
+
+let w_opt_int b = function
+  | None -> w_bool b false
+  | Some v ->
+      w_bool b true;
+      w_int b v
+
+(* FNV-1a over the payload bytes.  Cold path (once per snapshot), so the
+   boxed [Int64] arithmetic is fine here. *)
+let checksum s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    s;
+  !h
+
+let to_string ~magic (b : writer) =
+  let payload = Buffer.contents b in
+  let out = Buffer.create (String.length payload + String.length magic + 17) in
+  Buffer.add_string out magic;
+  Buffer.add_char out '\n';
+  Buffer.add_int64_le out (Int64.of_int (String.length payload));
+  Buffer.add_int64_le out (checksum payload);
+  Buffer.add_string out payload;
+  Buffer.contents out
+
+let to_file ~magic ~path (b : writer) =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ~magic b))
+
+(* --- reading --- *)
+
+type reader = { data : string; base : int; mutable pos : int }
+(* [base] is the absolute file offset of [data].(0), so error positions
+   refer to the file, not the payload. *)
+
+let fail r reason = raise (Corrupt { pos = r.base + r.pos; reason })
+
+let need r n =
+  if r.pos + n > String.length r.data then
+    raise (Corrupt { pos = r.base + String.length r.data; reason = "unexpected end of snapshot" })
+
+let r_i64 r =
+  need r 8;
+  let v = String.get_int64_le r.data r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let r_int r = Int64.to_int (r_i64 r)
+
+let r_bool r =
+  need r 1;
+  let c = r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  match c with
+  | '\000' -> false
+  | '\001' -> true
+  | c -> fail { r with pos = r.pos - 1 } (Printf.sprintf "bad boolean byte 0x%02x" (Char.code c))
+
+let r_tag r ~expect ~what =
+  need r 1;
+  let t = Char.code r.data.[r.pos] in
+  if t <> expect then
+    fail r (Printf.sprintf "bad section tag %d for %s (expected %d)" t what expect);
+  r.pos <- r.pos + 1
+
+let r_len r ~what =
+  let n = r_int r in
+  if n < 0 || n > String.length r.data - r.pos then
+    fail r (Printf.sprintf "implausible %s length %d" what n);
+  n
+
+let r_string r =
+  let n = r_len r ~what:"string" in
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let r_int_array r =
+  let n = r_int r in
+  if n < 0 || n > (String.length r.data - r.pos) / 8 then
+    fail r (Printf.sprintf "implausible array length %d" n);
+  Array.init n (fun _ -> r_int r)
+
+let r_opt_int r = if r_bool r then Some (r_int r) else None
+
+let remaining r = String.length r.data - r.pos
+
+(* Parse the framing of an encoded snapshot: magic line, payload length,
+   checksum.  Returns a reader positioned at the payload start. *)
+let of_string ~magic s =
+  let err pos reason = Error (corrupt_message ~pos ~reason) in
+  let mlen = String.length magic in
+  if String.length s < mlen + 1 || String.sub s 0 mlen <> magic || s.[mlen] <> '\n' then begin
+    (* Distinguish a recognisable-but-wrong version from garbage. *)
+    match String.index_opt s '\n' with
+    | Some i
+      when i <= 32
+           && String.length s > 8
+           && String.sub s 0 (min 8 i) = String.sub magic 0 (min 8 (String.length magic)) ->
+        err 0 (Printf.sprintf "snapshot version %S, expected %S" (String.sub s 0 i) magic)
+    | _ -> err 0 (Printf.sprintf "bad magic, expected %S" magic)
+  end
+  else begin
+    let hdr = mlen + 1 in
+    if String.length s < hdr + 16 then err (String.length s) "unexpected end of snapshot"
+    else begin
+      let len = Int64.to_int (String.get_int64_le s hdr) in
+      let sum = String.get_int64_le s (hdr + 8) in
+      let body_at = hdr + 16 in
+      if len < 0 || String.length s - body_at < len then
+        err (String.length s) "truncated payload"
+      else if String.length s - body_at > len then
+        err (body_at + len) "trailing bytes after payload"
+      else
+        let payload = String.sub s body_at len in
+        if checksum payload <> sum then err hdr "checksum mismatch (corrupt snapshot)"
+        else Ok { data = payload; base = body_at; pos = 0 }
+    end
+  end
+
+let of_file ~magic ~path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let s = really_input_string ic (in_channel_length ic) in
+          match of_string ~magic s with
+          | Ok r -> Ok r
+          | Error e -> Error (Printf.sprintf "%s: %s" path e))

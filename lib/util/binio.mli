@@ -1,0 +1,63 @@
+(** Versioned binary framing for machine snapshots ([mp5-snap/1]).
+
+    The on-disk shape is [magic '\n' length:8 checksum:8 payload]; inside
+    the payload every integer is a fixed-width 64-bit little-endian word
+    (OCaml ints round-trip exactly through [Int64]), booleans and section
+    tags are single bytes, and strings/arrays are length-prefixed.
+    Reader failures — truncation, checksum mismatch, a wrong tag — raise
+    {!Corrupt} with the absolute byte offset in the file, so the error a
+    user sees ("byte N: reason") points at the damage. *)
+
+exception Corrupt of { pos : int; reason : string }
+
+val corrupt_message : pos:int -> reason:string -> string
+(** ["byte N: reason"] — the uniform shape of every snapshot error. *)
+
+(** {2 Writing} *)
+
+type writer
+
+val writer : unit -> writer
+val w_int : writer -> int -> unit
+val w_i64 : writer -> int64 -> unit
+val w_bool : writer -> bool -> unit
+
+val w_tag : writer -> int -> unit
+(** One byte, [0..255]; pairs with {!r_tag} to catch section misalignment
+    early instead of decoding garbage. *)
+
+val w_string : writer -> string -> unit
+val w_int_array : writer -> int array -> unit
+val w_opt_int : writer -> int option -> unit
+
+val to_string : magic:string -> writer -> string
+(** The complete framed snapshot (magic line + length + checksum +
+    payload). *)
+
+val to_file : magic:string -> path:string -> writer -> unit
+
+(** {2 Reading} *)
+
+type reader
+
+val r_int : reader -> int
+val r_i64 : reader -> int64
+val r_bool : reader -> bool
+
+val r_tag : reader -> expect:int -> what:string -> unit
+(** Consume one tag byte; @raise Corrupt when it is not [expect]. *)
+
+val r_string : reader -> string
+val r_int_array : reader -> int array
+val r_opt_int : reader -> int option
+
+val remaining : reader -> int
+
+val of_string : magic:string -> string -> (reader, string) result
+(** Validate the framing (magic, version, length, checksum) and return a
+    reader positioned at the payload.  All errors — including a
+    recognisable-but-wrong schema version — are positioned strings. *)
+
+val of_file : magic:string -> path:string -> (reader, string) result
+(** {!of_string} on a file's contents; errors are prefixed with the
+    path. *)

@@ -24,3 +24,27 @@ val fnv1a_seeded : seed:int -> int list -> int
 val crc32 : int list -> int
 (** CRC-32 (IEEE polynomial) over the same byte stream, as switch hardware
     commonly provides.  Result fits in 32 bits. *)
+
+(** {2 Incremental FNV-1a}
+
+    The same hash as {!fnv1a}, exposed as an explicit fold so callers can
+    digest unbounded streams (the simulator's streaming run summaries)
+    without materializing a list.  The state is the 64-bit FNV accumulator
+    split into two unboxed 32-bit halves, so a fold step allocates only
+    the returned pair.  [finish (List.fold_left (fun (h,l) x ->
+    feed_int_halves h l x) (fnv_offset_hi, fnv_offset_lo) xs)] equals
+    [fnv1a (0 :: xs)]'s tail behaviour — concretely, seeding with the
+    offsets and feeding the same ints gives the same 62-bit result as the
+    list API. *)
+
+val fnv_offset_hi : int
+val fnv_offset_lo : int
+(** FNV-1a 64-bit offset basis, split into high/low 32-bit halves. *)
+
+val feed_int_halves : int -> int -> int -> int * int
+(** [feed_int_halves hi lo x] feeds the 8 little-endian bytes of [x] into
+    the state [(hi, lo)]. *)
+
+val finish : int * int -> int
+(** Collapse a fold state to the non-negative 62-bit result (identical to
+    what {!fnv1a} returns for the same byte stream). *)

@@ -70,6 +70,14 @@ let grow t =
   t.data <- data;
   t.head <- 0
 
+let restore ~capacity ~head_seq entries =
+  if capacity <= 0 then invalid_arg "Ring_buffer.restore: capacity must be positive";
+  let n = List.length entries in
+  if n > capacity then invalid_arg "Ring_buffer.restore: more entries than capacity";
+  let data = Array.make capacity None in
+  List.iteri (fun i x -> data.(i) <- Some x) entries;
+  { data; head = 0; len = n; head_seq }
+
 let iter f t =
   for i = 0 to t.len - 1 do
     f (get t i)

@@ -53,6 +53,14 @@ val grow : 'a t -> unit
     simulator "dynamically adapting per-stage FIFO sizes" to study
     loss-free behaviour (§4.3.1). *)
 
+val restore : capacity:int -> head_seq:int -> 'a list -> 'a t
+(** [restore ~capacity ~head_seq entries] rebuilds a buffer from snapshot
+    data: [entries] are the live elements head-to-tail and [head_seq] is
+    the stable address of the first one.  The physical layout (head at
+    slot 0) may differ from the original buffer's, but every observable —
+    contents, order, capacity, stable addresses — is identical.  Raises
+    [Invalid_argument] if [capacity <= 0] or [entries] exceed it. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 (** Head-to-tail iteration. *)
 

@@ -16,6 +16,12 @@ let create seed =
   let s3 = splitmix64 state in
   { s0; s1; s2; s3 }
 
+let state t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let of_state a =
+  if Array.length a <> 4 then invalid_arg "Rng.of_state: expected 4 words";
+  { s0 = a.(0); s1 = a.(1); s2 = a.(2); s3 = a.(3) }
+
 let rotl x k = Int64.(logor (shift_left x k) (shift_right_logical x (64 - k)))
 
 let int64 t =

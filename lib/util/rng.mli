@@ -11,6 +11,14 @@ type t
 val create : int -> t
 (** [create seed] builds a generator from a 63-bit seed. *)
 
+val state : t -> int64 array
+(** The four xoshiro256** state words, for checkpointing.  Always length
+    4; {!of_state} on the result reproduces the generator exactly. *)
+
+val of_state : int64 array -> t
+(** Rebuild a generator from {!state} output.  Raises [Invalid_argument]
+    unless given exactly 4 words. *)
+
 val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t].
     Used to give each subsystem (trace generator, sharding, ...) its own

@@ -22,12 +22,22 @@ let get t i =
   if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of range";
   t.data.(i)
 
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of range";
+  t.data.(i) <- x
+
 let pop t =
   if t.len = 0 then invalid_arg "Vec.pop: empty";
   t.len <- t.len - 1;
   t.data.(t.len)
 
 let clear t = t.len <- 0
+
+let scrub t =
+  t.len <- 0;
+  let data = t.data in
+  let n = Array.length data in
+  if n > 1 then Array.fill data 1 (n - 1) (Array.unsafe_get data 0)
 
 let iter f t =
   for i = 0 to t.len - 1 do

@@ -19,6 +19,10 @@ val push : 'a t -> 'a -> unit
 val get : 'a t -> int -> 'a
 (** @raise Invalid_argument when out of range. *)
 
+val set : 'a t -> int -> 'a -> unit
+(** Overwrite an existing element.
+    @raise Invalid_argument when out of range. *)
+
 val pop : 'a t -> 'a
 (** Remove and return the last element.  Like {!clear}, the vacated slot
     keeps its reference alive until overwritten.
@@ -26,6 +30,15 @@ val pop : 'a t -> 'a
 
 val clear : 'a t -> unit
 (** Reset the length to zero without shrinking the backing array. *)
+
+val scrub : 'a t -> unit
+(** [clear], then overwrite every backing slot with the first element, so
+    the emptied vector pins at most one element against the GC.  Use for
+    high-churn buffers of short-lived heap values: with plain [clear] the
+    stale references in rarely-overwritten tail slots keep dead elements
+    reachable across minor collections, and on multi-megapacket runs that
+    steady promotion leak inflates the major heap without bound (the
+    phantom-channel calendar was the observed case). *)
 
 val iter : ('a -> unit) -> 'a t -> unit
 (** In push order. *)

@@ -60,6 +60,77 @@ let of_string s =
       if !packets = [] then Error "no packets in trace"
       else Ok (Array.of_list (List.rev !packets))
 
+(* Streaming reader: same grammar and error shape as [of_string], but one
+   line in memory at a time.  Errors surface as [Packet_source.Error]
+   mid-stream (the pull happens long after the open), positioned exactly
+   like the batch reader's.  Arrival times must be nondecreasing — the
+   batch path tolerates disorder because the whole trace is visible, but
+   the simulator's idle fast-forward trusts [peek] to bound the next
+   arrival, which only a sorted stream can promise. *)
+let stream_channel ?path ic =
+  let prefix = match path with None -> "" | Some p -> p ^ ": " in
+  let pos = ref 0 in
+  let lineno = ref 0 in
+  let arity = ref (-1) in
+  let last_time = ref min_int in
+  let fail at fmt =
+    Printf.ksprintf
+      (fun msg ->
+        raise
+          (Packet_source.Error
+             (Printf.sprintf "%sbyte %d (line %d): %s" prefix at !lineno msg)))
+      fmt
+  in
+  let rec pull () =
+    match input_line ic with
+    | exception End_of_file -> None
+    | raw ->
+        incr lineno;
+        let start = !pos in
+        pos := !pos + String.length raw + 1;
+        let line = String.trim raw in
+        if line = "" || line.[0] = '#' then pull ()
+        else begin
+          match
+            String.split_on_char ' ' line
+            |> List.filter (fun t -> t <> "")
+            |> List.map int_of_string
+          with
+          | exception Failure _ -> fail start "not an integer"
+          | time :: port :: fields ->
+              let n = List.length fields in
+              if !arity = -1 then arity := n;
+              if n <> !arity then
+                fail start "%d fields, expected %d (truncated line?)" n !arity
+              else if time < !last_time then
+                fail start "arrival time %d before previous packet's %d (streamed traces must be time-sorted)"
+                  time !last_time
+              else begin
+                last_time := time;
+                Some { Machine.time; port; headers = Array.of_list fields }
+              end
+          | _ -> fail start "need at least time and port"
+        end
+  in
+  Packet_source.of_pull pull
+
+let stream ~path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      (* Closed at EOF by the pull itself: a source has no explicit close,
+         and the channel must outlive this function. *)
+      let src = stream_channel ~path ic in
+      let closing =
+        Packet_source.of_pull (fun () ->
+            match Packet_source.next src with
+            | Some _ as r -> r
+            | None ->
+                close_in_noerr ic;
+                None)
+      in
+      Ok closing
+
 let save ~path trace =
   let oc = open_out_bin path in
   Fun.protect

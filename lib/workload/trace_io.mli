@@ -17,6 +17,18 @@ val of_string : string -> (Mp5_banzai.Machine.input array, string) result
     capture), or no packets at all — is rejected with a positioned
     error: [byte OFFSET (line N): reason]. *)
 
+val stream_channel : ?path:string -> in_channel -> Packet_source.t
+(** Constant-memory reader over an open channel (e.g. [stdin]) in the
+    same line format.  Packets are parsed as they are pulled; a malformed
+    line raises {!Packet_source.Error} with the batch reader's positioned
+    message (prefixed with [path] when given).  Unlike {!of_string},
+    arrival times must be nondecreasing: a stream is single-pass, so the
+    simulator relies on each peeked packet bounding the next arrival. *)
+
+val stream : path:string -> (Packet_source.t, string) result
+(** {!stream_channel} on a file; the file is closed when the source is
+    exhausted.  [Error] only for failure to open. *)
+
 val save : path:string -> Mp5_banzai.Machine.input array -> unit
 
 val load : path:string -> (Mp5_banzai.Machine.input array, string) result

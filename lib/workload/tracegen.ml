@@ -27,7 +27,12 @@ let arrival_time ~k ~bytes i =
      stay exact: t_i = floor(i * bytes / (64 * k)). *)
   i * bytes / (64 * k)
 
-let sensitivity spec =
+(* The generator closure is the single source of truth for the draw
+   sequence; the array builder below materializes it with an explicit
+   in-order loop.  That construction — rather than two parallel
+   [Array.init] bodies — is what makes "streamed runs are byte-identical
+   to array runs" true without relying on evaluation-order folklore. *)
+let sensitivity_gen spec =
   let rng = Rng.create spec.seed in
   let dist = pattern_dist spec.pattern ~n:spec.reg_size in
   (* Independent index streams per field, so different arrays see
@@ -53,14 +58,39 @@ let sensitivity spec =
           (start + (h / 10 mod active)) mod n
         else idx
   in
-  Array.init spec.n_packets (fun i ->
-      let headers = Array.init spec.n_fields (fun _ -> Rng.int rng 1024) in
+  let next = ref 0 in
+  fun () ->
+    if !next >= spec.n_packets then None
+    else begin
+      let i = !next in
+      incr next;
+      let headers = Array.make spec.n_fields 0 in
+      for f = 0 to spec.n_fields - 1 do
+        headers.(f) <- Rng.int rng 1024
+      done;
       List.iter (fun (f, frng) -> headers.(f) <- place i f (Dist.sample frng dist)) field_rngs;
-      {
-        Machine.time = arrival_time ~k:spec.k ~bytes:spec.pkt_bytes i;
-        port = i mod spec.n_ports;
-        headers;
-      })
+      Some
+        {
+          Machine.time = arrival_time ~k:spec.k ~bytes:spec.pkt_bytes i;
+          port = i mod spec.n_ports;
+          headers;
+        }
+    end
+
+let sensitivity_source spec =
+  Packet_source.of_pull ~total:spec.n_packets (sensitivity_gen spec)
+
+let materialize n gen =
+  match gen () with
+  | None -> [||]
+  | Some first ->
+      let a = Array.make n first in
+      for i = 1 to n - 1 do
+        a.(i) <- (match gen () with Some p -> p | None -> assert false)
+      done;
+      a
+
+let sensitivity spec = materialize spec.n_packets (sensitivity_gen spec)
 
 type flow_packet = {
   flow : int;
@@ -86,7 +116,13 @@ type active_flow = {
   mutable af_sent : int;
 }
 
-let flows ~seed ~n_packets ~k ~concurrency ?(sizes = bimodal_datacenter) ?(n_ports = 64) () =
+let flows_gen ~seed ~n_packets ~k ~concurrency ?(sizes = bimodal_datacenter)
+    ?(n_ports = 64) ?(flow_sizes = `Websearch) () =
+  let sample_flow_packets =
+    match flow_sizes with
+    | `Websearch -> Websearch.sample_flow_packets
+    | `Datamining -> Datamining.sample_flow_packets
+  in
   let rng = Rng.create seed in
   let mean = Dist.mean_bimodal sizes in
   let next_id = ref 0 in
@@ -99,13 +135,22 @@ let flows ~seed ~n_packets ~k ~concurrency ?(sizes = bimodal_datacenter) ?(n_por
       af_dst = Rng.int rng 0x1000000;
       af_sport = 1024 + Rng.int rng 60000;
       af_dport = Rng.int rng 1024;
-      af_remaining = Websearch.sample_flow_packets rng ~mean_pkt_bytes:mean;
+      af_remaining = sample_flow_packets rng ~mean_pkt_bytes:mean;
       af_sent = 0;
     }
   in
-  let active = Array.init (max 1 concurrency) (fun _ -> fresh_flow ()) in
+  (* Slot 0's flow is drawn first, then 1..n-1 — the same order
+     [Array.init] used when this was the array builder. *)
+  let active = Array.make (max 1 concurrency) (fresh_flow ()) in
+  for slot = 1 to Array.length active - 1 do
+    active.(slot) <- fresh_flow ()
+  done;
   let total_bytes = ref 0 in
-  Array.init n_packets (fun _ ->
+  let emitted = ref 0 in
+  fun () ->
+    if !emitted >= n_packets then None
+    else begin
+      incr emitted;
       let slot = Rng.int rng (Array.length active) in
       let f = active.(slot) in
       let bytes = Dist.sample_bimodal rng sizes in
@@ -127,7 +172,26 @@ let flows ~seed ~n_packets ~k ~concurrency ?(sizes = bimodal_datacenter) ?(n_por
       f.af_sent <- f.af_sent + 1;
       f.af_remaining <- f.af_remaining - 1;
       if f.af_remaining <= 0 then active.(slot) <- fresh_flow ();
-      pkt)
+      Some pkt
+    end
+
+let flows ~seed ~n_packets ~k ~concurrency ?sizes ?n_ports () =
+  let gen = flows_gen ~seed ~n_packets ~k ~concurrency ?sizes ?n_ports () in
+  match gen () with
+  | None -> [||]
+  | Some first ->
+      let a = Array.make n_packets first in
+      for i = 1 to n_packets - 1 do
+        a.(i) <- (match gen () with Some p -> p | None -> assert false)
+      done;
+      a
+
+let flow_source ~seed ~n_packets ~k ~concurrency ?sizes ?n_ports ?flow_sizes ~fill () =
+  let gen = flows_gen ~seed ~n_packets ~k ~concurrency ?sizes ?n_ports ?flow_sizes () in
+  Packet_source.of_pull ~total:n_packets (fun () ->
+      match gen () with
+      | None -> None
+      | Some p -> Some { Machine.time = p.time; port = p.port; headers = fill p })
 
 let headers_of_flows pkts ~fill =
   Array.map

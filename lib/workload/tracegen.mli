@@ -40,6 +40,11 @@ val sensitivity : sensitivity_spec -> Mp5_banzai.Machine.input array
 (** Line-rate arrival stream whose index fields follow the access
     pattern; remaining fields are uniform small integers. *)
 
+val sensitivity_source : sensitivity_spec -> Packet_source.t
+(** The same stream as {!sensitivity}, generated one packet at a time in
+    constant memory.  Both are materializations of one generator, so the
+    packet sequences are identical by construction. *)
+
 (** {2 Flow-level traffic (§4.4)} *)
 
 type flow_packet = {
@@ -71,6 +76,23 @@ val flows :
     active flows whose sizes follow the web-search distribution; finished
     flows are replaced by fresh ones.  Arrival times keep the aggregate
     byte rate at line rate. *)
+
+val flow_source :
+  seed:int ->
+  n_packets:int ->
+  k:int ->
+  concurrency:int ->
+  ?sizes:Mp5_util.Dist.bimodal ->
+  ?n_ports:int ->
+  ?flow_sizes:[ `Websearch | `Datamining ] ->
+  fill:(flow_packet -> int array) ->
+  unit ->
+  Packet_source.t
+(** Constant-memory equivalent of {!flows} + {!headers_of_flows}: each
+    pull draws one flow packet and adapts it through [fill].  With
+    [?flow_sizes] defaulting to [`Websearch] the draw sequence matches
+    {!flows} exactly; [`Datamining] swaps in the heavier-tailed
+    data-mining flow-size distribution. *)
 
 val headers_of_flows :
   flow_packet array -> fill:(flow_packet -> int array) -> Mp5_banzai.Machine.input array

@@ -88,6 +88,25 @@ let run_seed seed =
     Alcotest.failf "seed %d: kernel and interpreter telemetry diverge on:\n%s" seed src;
   if Mp5_obs.Trace.to_jsonl tk <> Mp5_obs.Trace.to_jsonl ti then
     Alcotest.failf "seed %d: kernel and interpreter event traces diverge on:\n%s" seed src;
+  (* Streaming parity: the same packets pulled from a source one at a
+     time must be bit-identical to the array run on both engines — every
+     counter, the merged store, and the exit/access digests
+     ([Sim.digests_of_result] condenses the array run's per-packet lists
+     into the digests the streaming path maintains online). *)
+  let stream ~compiled =
+    match
+      Sim.run_source ~compiled params prog (Mp5_workload.Packet_source.of_array trace)
+    with
+    | Sim.Completed s -> s
+    | Sim.Suspended _ -> Alcotest.failf "seed %d: streamed run suspended without a budget" seed
+  in
+  let want = Sim.summary_of_result ~packets:(Array.length trace) kernel in
+  if not (Sim.summary_equal want (stream ~compiled:true)) then
+    Alcotest.failf "seed %d: streamed source diverges from the array run (kernel):\n%s" seed
+      src;
+  if not (Sim.summary_equal want (stream ~compiled:false)) then
+    Alcotest.failf "seed %d: streamed source diverges from the array run (interp):\n%s" seed
+      src;
   if kernel.Sim.dropped = 0 then begin
     (* the oracle has no drop model, so only compare complete deliveries *)
     let ref_regs, ref_headers = Interp.interp t.Compile.env trace in

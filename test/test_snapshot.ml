@@ -1,0 +1,235 @@
+(* Checkpoint/resume property tests.
+
+   For 100 random Domino programs (lib/fuzz/progen), a streamed run is
+   suspended at a pseudo-random cycle via [cycle_budget], serialized to
+   an mp5-snap/1 snapshot, and resumed — possibly through several more
+   suspend/resume chunks, each against a fresh source whose consumed
+   prefix must replay under the input digest.  The final summary
+   (counters, merged store, exit/access digests) must equal the
+   uninterrupted run's exactly: checkpointing must be invisible.
+
+   A third of the seeds run under an active fault plan (pipeline
+   down/up, probabilistic crossbar drop/duplication — the RNG cursor
+   crosses the snapshot), half with metrics attached (the counters ride
+   the snapshot and must come back equal), a fifth with the runtime
+   invariant monitor.
+
+   Damaged snapshots — truncated, bit-flipped, version-bumped, padded —
+   must be rejected with a positioned [Corrupt] error, never applied;
+   well-formed snapshots resumed against the wrong program, trace or
+   instrumentation must be rejected as [Mismatch]. *)
+
+module Sim = Mp5_core.Sim
+module Store = Mp5_banzai.Store
+module Psource = Mp5_workload.Packet_source
+module Progen = Mp5_fuzz.Progen
+open Mp5_domino
+
+let limits = Progen.limits
+let n_seeds = 100
+let n_packets = 200
+
+let prog_for seed =
+  let src = Progen.generate seed in
+  match Compile.compile ~limits src with
+  | Ok t -> (src, Mp5_core.Transform.transform ~limits t.Compile.config)
+  | Error e ->
+      Alcotest.failf "seed %d: generated program failed to compile:\n%s\n%a" seed src
+        Compile.pp_error e
+
+let plan_for seed k =
+  let src =
+    Printf.sprintf
+      "seed %d; down @30 pipe=%d; up @90 pipe=%d; xbar-drop @10..120 p=0.05; xbar-dup \
+       @10..120 p=0.03"
+      (7000 + seed) (1 mod k) (1 mod k)
+  in
+  match Mp5_fault.Fault.parse src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "seed %d: bad fault plan: %s" seed e
+
+let metrics_for prog k =
+  let stages = Array.length prog.Mp5_core.Transform.config.Mp5_banzai.Config.stages in
+  Mp5_obs.Metrics.create ~stages ~k
+
+let completed seed = function
+  | Sim.Completed s -> s
+  | Sim.Suspended _ -> Alcotest.failf "seed %d: run suspended without a budget" seed
+
+(* One seed: uninterrupted vs chunked-through-snapshots. *)
+let run_seed seed =
+  let src, prog = prog_for seed in
+  let k = 2 + (seed mod 3) in
+  let trace = Progen.trace ~seed ~k ~n:n_packets in
+  let params = Sim.default_params ~k in
+  let fault = if seed mod 3 = 0 then Some (plan_for seed k) else None in
+  let with_metrics = seed mod 2 = 0 in
+  let with_monitor = seed mod 5 = 1 in
+  let monitor () = if with_monitor then Some (Mp5_fault.Monitor.create ()) else None in
+  let straight_metrics = if with_metrics then Some (metrics_for prog k) else None in
+  let straight =
+    completed seed
+      (Sim.run_source ?metrics:straight_metrics ?fault ?monitor:(monitor ()) params prog
+         (Psource.of_array trace))
+  in
+  (* Suspend somewhere inside the run (or past its end for the largest
+     budgets — then the chunk completes and resume is never needed,
+     which is itself a valid degenerate case). *)
+  let budget = 5 + (seed * 13 mod 160) in
+  let chunk_metrics = if with_metrics then Some (metrics_for prog k) else None in
+  let first =
+    Sim.run_source ?metrics:chunk_metrics ?fault ?monitor:(monitor ()) ~cycle_budget:budget
+      params prog (Psource.of_array trace)
+  in
+  let chunks = ref 1 in
+  let last_metrics = ref chunk_metrics in
+  let rec go = function
+    | Sim.Completed s -> s
+    | Sim.Suspended snap -> (
+        incr chunks;
+        if !chunks > 200 then Alcotest.failf "seed %d: resume loop does not converge" seed;
+        (* Every chunk resumes against a *fresh* source: the consumed
+           prefix is replayed and checked against the snapshot's input
+           digest each time. *)
+        let m = if with_metrics then Some (metrics_for prog k) else None in
+        last_metrics := m;
+        match
+          Sim.resume ?metrics:m ?monitor:(monitor ()) ~cycle_budget:budget ~snapshot:snap
+            prog (Psource.of_array trace)
+        with
+        | Ok o -> go o
+        | Error (Sim.Corrupt msg) ->
+            Alcotest.failf "seed %d: fresh snapshot rejected as corrupt: %s\n%s" seed msg src
+        | Error (Sim.Mismatch msg) ->
+            Alcotest.failf "seed %d: fresh snapshot rejected as mismatch: %s\n%s" seed msg src)
+  in
+  let chunked = go first in
+  if not (Sim.summary_equal straight chunked) then
+    Alcotest.failf
+      "seed %d (k=%d, budget=%d, %d chunks%s%s): chunked resume diverges from the \
+       uninterrupted run on:\n\
+       %s"
+      seed k budget !chunks
+      (if fault <> None then ", faulted" else "")
+      (if with_metrics then ", metered" else "")
+      src;
+  match (straight_metrics, !last_metrics) with
+  | Some a, Some b ->
+      if not (Mp5_obs.Metrics.equal a b) then
+        Alcotest.failf "seed %d: restored metrics diverge from the uninterrupted run's" seed
+  | _ -> ()
+
+let test_resume_invisible () =
+  for seed = 0 to n_seeds - 1 do
+    run_seed seed
+  done
+
+(* --- rejection of damaged and mismatched snapshots --- *)
+
+(* A real snapshot to damage: suspend a small run early. *)
+let snapshot_fixture () =
+  let _, prog = prog_for 3 in
+  let trace = Progen.trace ~seed:3 ~k:2 ~n:n_packets in
+  let params = Sim.default_params ~k:2 in
+  match Sim.run_source ~cycle_budget:20 params prog (Psource.of_array trace) with
+  | Sim.Suspended snap -> (prog, trace, params, snap)
+  | Sim.Completed _ -> Alcotest.fail "fixture run completed inside a 20-cycle budget"
+
+let resume_err snap prog trace =
+  match Sim.resume ~snapshot:snap prog (Psource.of_array trace) with
+  | Ok _ -> None
+  | Error e -> Some e
+
+let contains msg needle =
+  let n = String.length needle and m = String.length msg in
+  let rec at i = i + n <= m && (String.sub msg i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+let check_corrupt what snap prog trace needle =
+  match resume_err snap prog trace with
+  | Some (Sim.Corrupt msg) ->
+      let has_pos =
+        (* positioned: every corruption message names a byte offset *)
+        String.length msg >= 5 && String.sub msg 0 5 = "byte "
+      in
+      if not has_pos then Alcotest.failf "%s: message not positioned: %s" what msg;
+      if not (contains msg needle) then
+        Alcotest.failf "%s: expected %S in: %s" what needle msg
+  | Some (Sim.Mismatch msg) -> Alcotest.failf "%s: rejected as mismatch, not corrupt: %s" what msg
+  | None -> Alcotest.failf "%s: damaged snapshot was accepted" what
+
+let test_rejects_damage () =
+  let prog, trace, _params, snap = snapshot_fixture () in
+  (* sanity: the pristine snapshot resumes fine *)
+  (match Sim.resume ~snapshot:snap prog (Psource.of_array trace) with
+  | Ok (Sim.Completed _) -> ()
+  | Ok (Sim.Suspended _) -> Alcotest.fail "pristine resume suspended without a budget"
+  | Error (Sim.Corrupt m) | Error (Sim.Mismatch m) ->
+      Alcotest.failf "pristine snapshot rejected: %s" m);
+  check_corrupt "truncated" (String.sub snap 0 (String.length snap / 2)) prog trace
+    "truncated";
+  check_corrupt "trailing garbage" (snap ^ "xx") prog trace "trailing";
+  (let b = Bytes.of_string snap in
+   let mid = String.length snap / 2 in
+   Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0xff));
+   check_corrupt "bit flip" (Bytes.to_string b) prog trace "checksum");
+  (let bumped = "mp5-snap/2" ^ String.sub snap 10 (String.length snap - 10) in
+   check_corrupt "version bump" bumped prog trace "version");
+  check_corrupt "empty" "" prog trace "magic";
+  (* Truncation landing exactly on a section boundary passes the framing
+     only if the length header agrees — cut the payload *and* rewrite
+     nothing, so the checksum catches it wherever the cut lands. *)
+  for cut = 1 to 16 do
+    let len = String.length snap - cut in
+    match resume_err (String.sub snap 0 len) prog trace with
+    | Some (Sim.Corrupt _) -> ()
+    | Some (Sim.Mismatch m) -> Alcotest.failf "cut %d: mismatch, want corrupt: %s" cut m
+    | None -> Alcotest.failf "cut %d: truncated snapshot accepted" cut
+  done
+
+let test_rejects_mismatch () =
+  let prog, trace, _params, snap = snapshot_fixture () in
+  let expect what needle = function
+    | Some (Sim.Mismatch msg) ->
+        if not (contains msg needle) then
+          Alcotest.failf "%s: expected %S in: %s" what needle msg
+    | Some (Sim.Corrupt msg) -> Alcotest.failf "%s: corrupt, want mismatch: %s" what msg
+    | None -> Alcotest.failf "%s: mismatched resume accepted" what
+  in
+  (* different program *)
+  let _, other_prog = prog_for 4 in
+  expect "wrong program" "different program" (resume_err snap other_prog trace);
+  (* different trace: same shape, different contents *)
+  let other_trace = Progen.trace ~seed:77 ~k:2 ~n:n_packets in
+  expect "wrong trace" "does not replay" (resume_err snap prog other_trace);
+  (* source shorter than the snapshot's cursor *)
+  let short = Array.sub trace 0 5 in
+  expect "short source" "ended after" (resume_err snap prog short);
+  (* metrics attached on resume, but the snapshot carries none *)
+  let stages = Array.length prog.Mp5_core.Transform.config.Mp5_banzai.Config.stages in
+  let m = Mp5_obs.Metrics.create ~stages ~k:2 in
+  expect "unexpected metrics" "no metrics"
+    (match Sim.resume ~metrics:m ~snapshot:snap prog (Psource.of_array trace) with
+    | Ok _ -> None
+    | Error e -> Some e);
+  (* a partially consumed source that is not at the snapshot's cursor *)
+  let s = Psource.of_array trace in
+  ignore (Psource.next s : Mp5_banzai.Machine.input option);
+  expect "misaligned source" "already consumed"
+    (match Sim.resume ~snapshot:snap prog s with Ok _ -> None | Error e -> Some e)
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "resume",
+        [
+          Alcotest.test_case "checkpoint/resume is invisible (100 programs)" `Quick
+            test_resume_invisible;
+        ] );
+      ( "rejection",
+        [
+          Alcotest.test_case "damaged snapshots are rejected, positioned" `Quick
+            test_rejects_damage;
+          Alcotest.test_case "mismatched snapshots are rejected" `Quick test_rejects_mismatch;
+        ] );
+    ]
