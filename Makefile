@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke metrics-smoke fault-smoke longrun-smoke perf clean
+.PHONY: all build test bench bench-smoke metrics-smoke fault-smoke longrun-smoke perf perf-smoke clean
 
 all: build
 
@@ -49,6 +49,19 @@ longrun-smoke:
 	  --checkpoint-every 150 --snapshot LONGRUN_snapshot.bin
 	dune exec bin/mp5sim.exe -- --app flowlet --pipelines 4 --packets 3000 --seed 3 \
 	  --resume LONGRUN_snapshot.bin
+
+# Engine parity + performance gate: sim-micro times compiled kernels vs
+# the AST interpreter, sim-par times the sequential vs parallel cycle
+# engines at jobs = 1, 2, 4, 8 (k = 8) and appends both rows to
+# BENCH_results.json.  Either experiment exits non-zero the moment the
+# engines' outputs differ; sim-par additionally fails if the parallel
+# engine is slower than the sequential one at jobs >= 4 — but only on
+# hosts whose Domain.recommended_domain_count can actually run 4
+# domains, so a 1-core CI container still proves bit-identity without
+# flagging barrier overhead it cannot amortize.
+perf-smoke:
+	dune build bench/main.exe
+	./_build/default/bench/main.exe --smoke sim-micro sim-par --json BENCH_results.json
 
 bench:
 	dune exec bench/main.exe

@@ -36,6 +36,21 @@ let full = { n_packets = 60_000; runs = 10 }
 let compiled = ref true
 let set_compiled b = compiled := b
 
+(* Cycle engine for every simulator invocation below: the sequential
+   loop (default) or the domain-parallel engine (--engine par), which
+   advances each pipeline's stage chain on its own domain of one
+   persistent [Pool.Team].  Bit-identical by construction (enforced by
+   [sim_par]), so the choice only affects wall-clock.  A team is not
+   re-entrant, so the driver keeps the run-level pool off when a team
+   is installed. *)
+let cycle_team : Pool.Team.t option ref = ref None
+
+let set_engine_par ~jobs =
+  (match !cycle_team with Some tm -> Pool.Team.shutdown tm | None -> ());
+  cycle_team := Some (Pool.Team.create ~jobs:(max 1 jobs))
+
+let team () = !cycle_team
+
 let pool : Pool.t option ref = ref None
 
 let set_jobs n =
@@ -43,6 +58,12 @@ let set_jobs n =
   pool := (if n <= 1 then None else Some (Pool.create ~jobs:n))
 
 let jobs () = match !pool with None -> 1 | Some p -> Pool.size p
+
+(* Timing sections: park the worker domains (idle workers still join
+   every stop-the-world minor-GC rendezvous) without retiring the pool;
+   the next parallel map respawns them lazily.  See the policy note in
+   lib/util/pool.mli. *)
+let quiesce_pool () = match !pool with Some p -> Pool.quiesce p | None -> ()
 
 (* Parallel [Array.init]. *)
 let par_init n f =
@@ -107,7 +128,7 @@ let sim_params ?(mode = Sim.Mp5) ?(shard_init = `Round_robin) ?(finite_fifos = f
 
 let throughput ?mode ?shard_init ?finite_fifos setup sw trace =
   let params = sim_params ?mode ?shard_init ?finite_fifos setup in
-  (Sim.run ~compiled:!compiled params sw.Switch.prog trace).Sim.normalized_throughput
+  (Sim.run ?team:(team ()) ~compiled:!compiled params sw.Switch.prog trace).Sim.normalized_throughput
 
 (* Streamed run of one generated workload; the cycle loop is the same as
    [Sim.run]'s, so the throughput matches the array path exactly. *)
@@ -117,7 +138,8 @@ let summary_source ?mode ?shard_init ?finite_fifos ?remap_period ?remap_noise_ga
     sim_params ?mode ?shard_init ?finite_fifos ?remap_period ?remap_noise_gate setup
   in
   match
-    Sim.run_source ~compiled:!compiled params sw.Switch.prog (source_for setup ~n ~seed)
+    Sim.run_source ?team:(team ()) ~compiled:!compiled params sw.Switch.prog
+      (source_for setup ~n ~seed)
   with
   | Sim.Completed s -> s
   | Sim.Suspended _ -> assert false (* no cycle budget *)
@@ -237,7 +259,7 @@ let d4 scale =
           { (Sim.default_params ~k:setup.k) with
             mode = m; fifo_capacity = 16; adaptive_fifos = false }
         in
-        let r = Sim.run ~compiled:!compiled params sw.Switch.prog trace in
+        let r = Sim.run ?team:(team ()) ~compiled:!compiled params sw.Switch.prog trace in
         violations r.Sim.access_seqs r.Sim.headers_out r.Sim.store r.Sim.exit_order
     | `Recirc ->
         let r = Recirc.run ~k:setup.k ~shard_seed:(500 + i) ~sharding:`Cell sw.Switch.prog trace in
@@ -303,7 +325,7 @@ let fig8_one scale name =
               Tracegen.flows ~seed:(800 + i) ~n_packets:scale.n_packets ~k ~concurrency:128 ()
             in
             let trace = Traces.trace_for name pkts in
-            let r, rep = Switch.verify ~compiled:!compiled ~k sw trace in
+            let r, rep = Switch.verify ?team:(team ()) ~compiled:!compiled ~k sw trace in
             let lats = Array.of_list (List.map (fun (_, l) -> float_of_int l) r.Sim.latencies) in
             ( r.Sim.normalized_throughput,
               r.Sim.max_queue,
@@ -350,7 +372,7 @@ let ablate_priority scale =
           }
       in
       let stats params =
-        let r = Sim.run ~compiled:!compiled params sw.Switch.prog trace in
+        let r = Sim.run ?team:(team ()) ~compiled:!compiled params sw.Switch.prog trace in
         let lats = Array.of_list (List.map (fun (_, l) -> float_of_int l) r.Sim.latencies) in
         (r.Sim.normalized_throughput, Stats.percentile lats 50.0)
       in
@@ -397,7 +419,7 @@ let ablate_fifo scale =
       in
       let s =
         match
-          Sim.run_source ~compiled:!compiled params sw.Switch.prog
+          Sim.run_source ?team:(team ()) ~compiled:!compiled params sw.Switch.prog
             (source_for setup ~n:scale.n_packets ~seed:1200)
         with
         | Sim.Completed s -> s
@@ -430,8 +452,8 @@ let degraded scale =
       in
       let run ?(mode = Sim.Mp5) ?fault ?monitor () =
         let params = Sim.default_params ~k:setup.k in
-        (Sim.run ~compiled:!compiled ?fault ?monitor { params with mode } sw.Switch.prog
-           trace)
+        (Sim.run ?team:(team ()) ~compiled:!compiled ?fault ?monitor { params with mode }
+           sw.Switch.prog trace)
           .Sim.normalized_throughput
       in
       let healthy = run () in
@@ -463,7 +485,7 @@ let metrics_probe scale name =
       if finite_fifos then { params with Sim.fifo_capacity = 8; adaptive_fifos = false }
       else params
     in
-    ignore (Sim.run ~compiled:!compiled ~metrics:m params sw.Switch.prog trace);
+    ignore (Sim.run ?team:(team ()) ~compiled:!compiled ~metrics:m params sw.Switch.prog trace);
     m
   in
   let sensitivity ?mode ?shard_init ?finite_fifos setup ~seed =
@@ -629,6 +651,91 @@ let sim_micro scale =
   done;
   { mi_reps = reps; mi_interp_ns = !interp_ns; mi_kernel_ns = !kernel_ns }
 
+(* --- parallel vs sequential cycle engine ---
+
+   The tentpole scaling curve: one heavy-hitter trace at k = 8, run on
+   the sequential cycle engine and on the parallel engine with teams of
+   jobs = 1, 2, 4, 8 domains.  Output divergence at any job count is a
+   hard failure (same contract as [sim_micro]); timing is min-of-N with
+   the team torn down between legs so idle members never tax the other
+   engine's collector.  [pe_host_domains] records what the host can
+   actually run in parallel: the wall-clock gate below only binds where
+   the hardware can show a speedup, while the parity check always runs
+   — a 1-core container still proves bit-identity, it just cannot prove
+   scaling. *)
+
+type par_point = {
+  pp_jobs : int;
+  pp_ns : float;       (** min wall-clock per [Sim.run] with this team *)
+  pp_speedup : float;  (** sequential-engine time / this time *)
+}
+
+type par_micro = {
+  pe_reps : int;
+  pe_seq_ns : float;
+  pe_points : par_point list;
+  pe_host_domains : int;
+}
+
+let sim_par scale =
+  let sw = Switch.create_exn Sources.heavy_hitter in
+  let trace =
+    Tracegen.sensitivity
+      {
+        Tracegen.n_packets = max 2000 scale.n_packets;
+        k = 8;
+        pkt_bytes = 64;
+        n_fields = 2;
+        index_fields = [ 0 ];
+        reg_size = 512;
+        pattern = Tracegen.Uniform;
+        n_ports = 64;
+        seed = 3;
+      }
+  in
+  let params = Sim.default_params ~k:8 in
+  let run ?team () = Sim.run ?team ~compiled:!compiled params sw.Switch.prog trace in
+  let reps = max 5 scale.runs in
+  (* First (untimed) call warms the heap and is the parity witness. *)
+  let time_min f =
+    let r0 = f () in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      Gc.minor ();
+      let t0 = Unix.gettimeofday () in
+      ignore (f () : Sim.result);
+      best := Float.min !best ((Unix.gettimeofday () -. t0) *. 1e9)
+    done;
+    (!best, r0)
+  in
+  let seq_ns, ref_r = time_min (fun () -> run ()) in
+  let points =
+    List.map
+      (fun jobs ->
+        let team = Pool.Team.create ~jobs in
+        let ns, r =
+          Fun.protect
+            ~finally:(fun () -> Pool.Team.shutdown team)
+            (fun () -> time_min (fun () -> run ~team ()))
+        in
+        if not (Sim.results_equal r ref_r) then
+          failwith (Printf.sprintf "sim-par: parallel engine diverges at jobs=%d" jobs);
+        { pp_jobs = jobs; pp_ns = ns; pp_speedup = seq_ns /. ns })
+      [ 1; 2; 4; 8 ]
+  in
+  let host = Domain.recommended_domain_count () in
+  (* CI gate: where the host can actually run 4 domains, the parallel
+     engine must not lose to the sequential one at jobs >= 4. *)
+  if host >= 4 then
+    List.iter
+      (fun p ->
+        if p.pp_jobs >= 4 && p.pp_jobs <= host && p.pp_speedup < 1.0 then
+          failwith
+            (Printf.sprintf "sim-par: parallel engine slower than sequential at jobs=%d (%.2fx)"
+               p.pp_jobs p.pp_speedup))
+      points;
+  { pe_reps = reps; pe_seq_ns = seq_ns; pe_points = points; pe_host_domains = host }
+
 (* --- longrun: multi-megapacket streamed run with chunked resume ---
 
    The memory-scaling demonstration: one pull-based source drained
@@ -681,8 +788,8 @@ let longrun scale =
     | Sim.Suspended snap -> (
         incr chunks;
         match
-          Sim.resume ~compiled:!compiled ~cycle_budget:chunk_cycles ~snapshot:snap
-            sw.Switch.prog source
+          Sim.resume ?team:(team ()) ~compiled:!compiled ~cycle_budget:chunk_cycles
+            ~snapshot:snap sw.Switch.prog source
         with
         | Ok o -> go o
         | Error (Sim.Corrupt m) -> failwith ("longrun: corrupt snapshot: " ^ m)
@@ -690,8 +797,8 @@ let longrun scale =
   in
   let s =
     go
-      (Sim.run_source ~compiled:!compiled ~cycle_budget:chunk_cycles params sw.Switch.prog
-         source)
+      (Sim.run_source ?team:(team ()) ~compiled:!compiled ~cycle_budget:chunk_cycles params
+         sw.Switch.prog source)
   in
   let seconds = Unix.gettimeofday () -. t0 in
   let top_heap_mb =
@@ -704,7 +811,7 @@ let longrun scale =
     else
       let straight =
         match
-          Sim.run_source ~compiled:!compiled params sw.Switch.prog
+          Sim.run_source ?team:(team ()) ~compiled:!compiled params sw.Switch.prog
             (source_for setup ~n ~seed)
         with
         | Sim.Completed s -> s

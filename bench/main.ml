@@ -206,6 +206,29 @@ let run_sim_micro scale =
     ("heavy-hitter-2k/speedup", speedup);
   ]
 
+let run_sim_par scale =
+  let r = Experiments.sim_par scale in
+  Format.printf
+    "@.sim-par: heavy-hitter, k=8, sequential vs parallel cycle engine (min over %d reps)@."
+    r.Experiments.pe_reps;
+  Format.printf "  host offers %d domain(s)@." r.Experiments.pe_host_domains;
+  Format.printf "  engine seq:          %12.0f ns/run@." r.Experiments.pe_seq_ns;
+  List.iter
+    (fun (p : Experiments.par_point) ->
+      Format.printf "  engine par, jobs=%d:  %12.0f ns/run  (%.2fx vs seq)@."
+        p.Experiments.pp_jobs p.Experiments.pp_ns p.Experiments.pp_speedup)
+    r.Experiments.pe_points;
+  Format.printf "  outputs bit-identical at every job count@.";
+  ("host_domains", float_of_int r.Experiments.pe_host_domains)
+  :: ("seq_ns", r.Experiments.pe_seq_ns)
+  :: List.concat_map
+       (fun (p : Experiments.par_point) ->
+         [
+           (Printf.sprintf "jobs=%d/ns" p.Experiments.pp_jobs, p.Experiments.pp_ns);
+           (Printf.sprintf "jobs=%d/speedup" p.Experiments.pp_jobs, p.Experiments.pp_speedup);
+         ])
+       r.Experiments.pe_points
+
 let run_longrun scale =
   let r = Experiments.longrun scale in
   Format.printf "@.longrun: streamed source + chunked checkpoint/resume@.";
@@ -291,17 +314,16 @@ let write_json path ~scale ~jobs results =
 let all =
   [ "table1"; "sram"; "d2"; "d3"; "d4"; "fig7a"; "fig7b"; "fig7c"; "fig7d"; "fig8";
     "ablate-priority"; "ablate-period"; "ablate-fifo"; "ablate-gate"; "degraded";
-    "sim-micro"; "longrun" ]
+    "sim-micro"; "sim-par"; "longrun" ]
 
 (* Timing experiments must not share the process with an idle worker
    domain: every minor collection then pays a stop-the-world rendezvous,
    which inflates the simulator micro-benchmarks by ~40% on an otherwise
-   idle machine.  Tear the pool down for the measurement and restore it
-   afterwards. *)
+   idle machine.  Quiesce (not shutdown) the pool for the measurement;
+   the next parallel map respawns the workers lazily. *)
 let serially f =
-  let j = Experiments.jobs () in
-  Experiments.set_jobs 1;
-  Fun.protect ~finally:(fun () -> Experiments.set_jobs j) f
+  Experiments.quiesce_pool ();
+  f ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -310,8 +332,20 @@ let () =
   let jobs = ref 1 in
   let json_path = ref "BENCH_results.json" in
   let metrics_dir = ref None in
+  let engine = ref `Seq in
   let rec parse acc = function
     | [] -> List.rev acc
+    | "--engine" :: e :: rest -> (
+        match e with
+        | "seq" ->
+            engine := `Seq;
+            parse acc rest
+        | "par" ->
+            engine := `Par;
+            parse acc rest
+        | _ ->
+            Format.eprintf "--engine expects seq or par, got %S@." e;
+            exit 1)
     | "--jobs" :: n :: rest -> (
         match int_of_string_opt n with
         | Some n when n >= 1 ->
@@ -339,7 +373,15 @@ let () =
     else if smoke then Experiments.smoke
     else Experiments.quick
   in
-  Experiments.set_jobs !jobs;
+  (* --engine par moves the parallelism inside each run (one domain per
+     pipeline, cycle-boundary barrier): [--jobs] then sizes the team,
+     and the run-level pool stays off — a [Pool.Team] is not re-entrant,
+     so the two levels must not nest. *)
+  (match !engine with
+  | `Seq -> Experiments.set_jobs !jobs
+  | `Par ->
+      Experiments.set_jobs 1;
+      Experiments.set_engine_par ~jobs:(max !jobs 2));
   let wanted = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
   let wanted = if wanted = [] then all else wanted in
   (* Exit-code contract (see README): unknown experiment names are a
@@ -358,7 +400,10 @@ let () =
     Format.printf "(%s scale: %d packets, %d runs per point; pass --full for paper scale)@."
       (if smoke then "smoke" else "reduced")
       scale.Experiments.n_packets scale.Experiments.runs;
-  if !jobs > 1 then Format.printf "(running with %d domains)@." (Experiments.jobs ());
+  (match !engine with
+  | `Par -> Format.printf "(parallel cycle engine: %d domains per run)@." (max !jobs 2)
+  | `Seq ->
+      if !jobs > 1 then Format.printf "(running with %d domains)@." (Experiments.jobs ()));
   (match !metrics_dir with
   | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
   | _ -> ());
@@ -412,6 +457,7 @@ let () =
         | "ablate-gate" -> Some (fun () -> run_ablate_gate scale)
         | "degraded" -> Some (fun () -> run_degraded scale)
         | "sim-micro" -> Some (fun () -> serially (fun () -> run_sim_micro scale))
+        | "sim-par" -> Some (fun () -> serially (fun () -> run_sim_par scale))
         | "longrun" -> Some (fun () -> serially (fun () -> run_longrun scale))
         | "perf" -> Some (fun () -> serially Perf.run)
         | _ -> None (* unreachable: names validated above *)

@@ -32,8 +32,9 @@ let with_out path f =
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
 
 let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_file jobs runs
-    no_compile metrics_file metrics_prom trace_out trace_packets trace_cap report fault_plan
-    monitor monitor_epoch monitor_dump stream checkpoint_every snapshot_path resume_file =
+    no_compile engine metrics_file metrics_prom trace_out trace_packets trace_cap report
+    fault_plan monitor monitor_epoch monitor_dump stream checkpoint_every snapshot_path
+    resume_file =
   let compiled = not no_compile in
   if list_apps then begin
     List.iter print_endline (apps ());
@@ -78,6 +79,23 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
     Format.eprintf "mp5sim: --fault-plan applies to single runs only (drop --runs)@.";
     exit 1
   end;
+  (* --engine par: advance each pipeline's stage chain on its own domain
+     of a persistent team sized by --jobs.  Results are bit-identical to
+     the sequential engine (the cram tests pin the digests), so this is
+     purely a throughput switch for single runs. *)
+  if engine = `Par && runs > 1 then begin
+    Format.eprintf "mp5sim: --engine par applies to single runs (drop --runs)@.";
+    exit 1
+  end;
+  if engine = `Par && recirc then begin
+    Format.eprintf "mp5sim: --engine par does not apply to the --recirc baseline@.";
+    exit 1
+  end;
+  let team =
+    match engine with
+    | `Seq -> None
+    | `Par -> Some (Mp5_util.Pool.Team.create ~jobs:(max jobs 1))
+  in
   if Option.is_some plan && recirc then begin
     Format.eprintf "mp5sim: --fault-plan is not supported by the --recirc baseline@.";
     exit 1
@@ -301,8 +319,8 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
                 exit 2
             in
             match
-              Mp5_core.Switch.resume ?metrics ?events ?monitor:mon ~compiled ?checkpoint_every
-                ?on_checkpoint ~snapshot:snap sw (source ())
+              Mp5_core.Switch.resume ?team ?metrics ?events ?monitor:mon ~compiled
+                ?checkpoint_every ?on_checkpoint ~snapshot:snap sw (source ())
             with
             | Ok o -> o
             | Error (Mp5_core.Sim.Corrupt msg) ->
@@ -312,8 +330,8 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
                 Format.eprintf "mp5sim: snapshot mismatch: %s@." msg;
                 exit 3)
         | None ->
-            Mp5_core.Switch.run_source ~params ?metrics ?events ?fault:plan ?monitor:mon
-              ~compiled ?checkpoint_every ?on_checkpoint ~k sw (source ())
+            Mp5_core.Switch.run_source ?team ~params ?metrics ?events ?fault:plan
+              ?monitor:mon ~compiled ?checkpoint_every ?on_checkpoint ~k sw (source ())
       with
       | Mp5_fault.Monitor.Violation diag ->
           Format.eprintf "%s@." diag;
@@ -343,7 +361,9 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
   end;
   let trace = Lazy.force trace in
   let r, rep =
-    try Mp5_core.Switch.verify ~compiled ~params ?metrics ?events ?fault:plan ?monitor:mon ~k sw trace
+    try
+      Mp5_core.Switch.verify ?team ~compiled ~params ?metrics ?events ?fault:plan ?monitor:mon
+        ~k sw trace
     with Mp5_fault.Monitor.Violation diag ->
       Format.eprintf "%s@." diag;
       dump_monitor ();
@@ -400,7 +420,8 @@ let jobs_arg =
   Arg.(
     value & opt int 1
     & info [ "jobs" ] ~docv:"N"
-        ~doc:"Domains for multi-seed runs (see --runs); results are \
+        ~doc:"Domains for multi-seed runs (see --runs) or for the \
+              parallel cycle engine (see --engine); results are \
               independent of N.")
 
 let runs_arg =
@@ -409,6 +430,18 @@ let runs_arg =
     & info [ "runs" ] ~docv:"R"
         ~doc:"Repeat on R generated traces seeded seed, seed+1, ... and \
               report per-run and mean throughput (generated traces only).")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("seq", `Seq); ("par", `Par) ]) `Seq
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Cycle engine: 'seq' (default) or 'par', which advances each \
+              pipeline's stage chain on its own domain (sized by --jobs) \
+              with a cycle-boundary barrier.  Results are bit-identical; \
+              runs that attach --fault-plan, --trace, disable adaptive \
+              FIFOs or arm the starvation guard fall back to seq \
+              automatically.")
 
 let no_compile_arg =
   Arg.(
@@ -556,7 +589,8 @@ let cmd =
     Term.(
       const run $ app_arg $ file_arg $ k_arg $ mode_arg $ n_arg $ bytes_arg $ skew_arg
       $ seed_arg $ recirc_arg $ list_arg $ trace_arg $ jobs_arg $ runs_arg $ no_compile_arg
-      $ metrics_arg $ metrics_prom_arg $ trace_out_arg $ trace_packets_arg $ trace_cap_arg
+      $ engine_arg $ metrics_arg $ metrics_prom_arg $ trace_out_arg $ trace_packets_arg
+      $ trace_cap_arg
       $ report_arg $ fault_plan_arg $ monitor_arg $ monitor_epoch_arg $ monitor_dump_arg
       $ stream_arg $ checkpoint_every_arg $ snapshot_arg $ resume_arg)
 

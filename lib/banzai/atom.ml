@@ -79,7 +79,7 @@ let exec_stateful ~tables ~fields ~reg_array atom =
 let compile_stateless ~tables op =
   let k = Expr.compile tables ~state:None op.rhs in
   let dst = op.dst in
-  fun fields -> fields.(dst) <- k fields
+  fun frame -> Expr.setf frame dst (k frame)
 
 let compile_stateful ~tables atom =
   let index_k = Expr.compile tables ~state:None atom.index in
@@ -102,22 +102,22 @@ let compile_stateful ~tables atom =
   let out_dst = Array.map fst outs in
   let out_old = Array.map (fun (_, src) -> src = Old_value) outs in
   let n_out = Array.length outs in
-  fun fields reg_array cell_hint ->
+  fun frame reg_array cell_hint ->
     let cell =
       if cell_hint >= 0 then cell_hint
-      else clamp_index (index_k fields) (Array.length reg_array)
+      else clamp_index (index_k frame) (Array.length reg_array)
     in
     let accessed =
-      match guard_k with None -> true | Some g -> Expr.truthy (g fields)
+      match guard_k with None -> true | Some g -> Expr.truthy (g frame)
     in
     if not accessed then -1
     else begin
       let old_value = Array.unsafe_get reg_array cell in
       state_cell := old_value;
-      let new_value = update_k fields in
+      let new_value = update_k frame in
       Array.unsafe_set reg_array cell new_value;
       for i = 0 to n_out - 1 do
-        fields.(out_dst.(i)) <- (if out_old.(i) then old_value else new_value)
+        Expr.setf frame out_dst.(i) (if out_old.(i) then old_value else new_value)
       done;
       cell
     end

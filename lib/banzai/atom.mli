@@ -57,15 +57,16 @@ val resolve_index : tables:Table.t array -> fields:int array -> size:int -> stat
 (** The cell the atom would touch for this header — the computation MP5's
     address-resolution stage performs preemptively. *)
 
-val compile_stateless : tables:Table.t array -> stateless_op -> (int array -> unit)
+val compile_stateless : tables:Table.t array -> stateless_op -> (Expr.frame -> unit)
 (** Compile-once counterpart of {!exec_stateless}: the returned closure
-    applies the header rewrite without touching the expression AST and
-    without allocating.  Bit-identical to [exec_stateless]. *)
+    applies the header rewrite to the fields windowed by the frame,
+    without touching the expression AST and without allocating.
+    Bit-identical to [exec_stateless]. *)
 
 val compile_stateful :
-  tables:Table.t array -> stateful -> (int array -> int array -> int -> int)
+  tables:Table.t array -> stateful -> (Expr.frame -> int array -> int -> int)
 (** Compile-once counterpart of {!exec_stateful}.
-    [k fields reg_array cell_hint] performs the guarded read-modify-write
+    [k frame reg_array cell_hint] performs the guarded read-modify-write
     and output writes exactly like [exec_stateful] and returns the
     accessed cell, or [-1] when the guard evaluated falsy (in which case
     nothing was written) — an int instead of an {!access_result} record

@@ -100,17 +100,33 @@ let eval_raw = eval_loop
 
 (* Without flambda an unknown 2-argument application goes through
    [caml_apply2], which is what makes naive closure trees *slower* than a
-   tight interpreter.  So compiled closures are arity-1 ([int array ->
-   int]); the register cell value is threaded through an [int ref] the
-   atom kernel writes before invoking the update closure; and the binop
+   tight interpreter.  So compiled closures are arity-1 ([frame -> int]);
+   the register cell value is threaded through an [int ref] the atom
+   kernel writes before invoking the update closure; and the binop
    dispatch happens once here, at compile time, with the arithmetic
    inline in the returned closure — an interior node costs one cheap
-   arity-1 indirect call, not a [caml_apply2] chain. *)
+   arity-1 indirect call, not a [caml_apply2] chain.
 
-let getf fields i =
-  if i < 0 || i >= Array.length fields then
+   The frame is a window into flat memory: [base.(off .. off+len-1)] are
+   this packet's header fields.  With the struct-of-arrays packet slab
+   the simulator retargets one scratch frame per packet (two stores)
+   instead of allocating or copying a per-packet array; a standalone
+   [int array] is viewed via [frame_of_array]. *)
+
+type frame = { mutable base : int array; mutable off : int; mutable len : int }
+
+let frame_of_array a = { base = a; off = 0; len = Array.length a }
+
+let getf f i =
+  if i < 0 || i >= f.len then
     invalid_arg (Printf.sprintf "Expr.eval: field %d out of range" i);
-  Array.unsafe_get fields i
+  Array.unsafe_get f.base (f.off + i)
+
+(* Bounds failure matches [fields.(i) <- v] on a plain array, which is
+   what the compiled stateless path historically did. *)
+let setf f i v =
+  if i < 0 || i >= f.len then invalid_arg "index out of bounds";
+  Array.unsafe_set f.base (f.off + i) v
 
 (* Operand evaluation order matches [eval_raw]: left, then right (OCaml's
    own [e1 op e2] order is unspecified, hence the explicit lets). *)
@@ -190,7 +206,7 @@ let fuse_l op a kb =
    [State_val] compiles to the same [Invalid_argument] the interpreter
    raises — but only if actually reached, so dead branches behave
    identically. *)
-let rec comp tables ~state e : int array -> int =
+let rec comp tables ~state e : frame -> int =
   match e with
   | Const c ->
       let v = norm32 c in

@@ -47,19 +47,39 @@ val eval_raw : Table.t array -> int array -> int option -> t -> int
     arguments: no optional-argument boxing per call, for evaluation in
     simulator hot loops. *)
 
-val compile : Table.t array -> state:int ref option -> t -> (int array -> int)
+type frame = { mutable base : int array; mutable off : int; mutable len : int }
+(** A window into flat memory: the packet's header fields live at
+    [base.(off) .. base.(off + len - 1)].  Compiled closures read and
+    write fields through a frame so the simulator's struct-of-arrays
+    packet slab can retarget one scratch frame per packet (two stores)
+    instead of materialising a per-packet array.  Mutable on purpose:
+    the hot path re-points [base]/[off] between calls. *)
+
+val frame_of_array : int array -> frame
+(** View a standalone header array as a frame ([off = 0],
+    [len = Array.length a]).  The array is aliased, not copied. *)
+
+val getf : frame -> int -> int
+(** Bounds-checked field read; raises the interpreter's own
+    [Invalid_argument] message on a bad field id. *)
+
+val setf : frame -> int -> int -> unit
+(** Bounds-checked field write; raises [Invalid_argument "index out of
+    bounds"], matching [fields.(i) <- v] on a plain array. *)
+
+val compile : Table.t array -> state:int ref option -> t -> (frame -> int)
 (** [compile tables ~state e] compiles [e] once into a closed arity-1
-    closure [fun fields -> v] that is bit-identical to
-    [eval_raw tables fields st e], where [st] is [Some !cell] read at
-    call time when [state = Some cell] and [None] when [state = None]
-    (a *reached* [State_val] then raises the same [Invalid_argument] as
-    the interpreter).  The [int ref] threads the register cell value
-    without a second closure argument: unknown arity-1 applications are
-    a single indirect call in native code, where two-argument ones go
-    through [caml_apply2].  Constructor and operator dispatch, constant
-    operands, and single/two-key hashes are all specialized away at
-    compile time, so the returned closure performs no AST traversal and
-    no allocation. *)
+    closure [fun frame -> v] that is bit-identical to
+    [eval_raw tables fields st e] on the fields the frame windows, where
+    [st] is [Some !cell] read at call time when [state = Some cell] and
+    [None] when [state = None] (a *reached* [State_val] then raises the
+    same [Invalid_argument] as the interpreter).  The [int ref] threads
+    the register cell value without a second closure argument: unknown
+    arity-1 applications are a single indirect call in native code,
+    where two-argument ones go through [caml_apply2].  Constructor and
+    operator dispatch, constant operands, and single/two-key hashes are
+    all specialized away at compile time, so the returned closure
+    performs no AST traversal and no allocation. *)
 
 val uses_state : t -> bool
 (** Does the expression mention [State_val]? *)

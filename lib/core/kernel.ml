@@ -2,19 +2,30 @@ module Expr = Mp5_banzai.Expr
 module Atom = Mp5_banzai.Atom
 module Config = Mp5_banzai.Config
 
-type guard = G_true | G_pred of (int array -> bool) | G_unknown
+type guard = G_true | G_pred of (Expr.frame -> bool) | G_unknown
 
-type index = I_cell of (int array -> int) | I_none
+type index = I_cell of (Expr.frame -> int) | I_none
 
 type t = {
   compiled : bool;
-  stateless : (int array -> unit) array;
-  exec : (int array -> int array -> int -> int) array;
+  stateless : (Expr.frame -> unit) array;
+  exec : (Expr.frame -> int array -> int -> int) array;
   guard : guard array;
   index : index array;
 }
 
-let nop (_ : int array) = ()
+let nop (_ : Expr.frame) = ()
+
+(* Bridge for the interpreter fallback, which walks ASTs over a plain
+   [int array]: materialise the frame's window (no copy when the frame
+   covers a whole array, the [--no-compile] steady state) ... *)
+let frame_fields (f : Expr.frame) =
+  if f.Expr.off = 0 && f.Expr.len = Array.length f.Expr.base then f.Expr.base
+  else Array.sub f.Expr.base f.Expr.off f.Expr.len
+
+(* ... and write mutations back when a copy was taken. *)
+let frame_writeback (f : Expr.frame) fields =
+  if fields != f.Expr.base then Array.blit fields 0 f.Expr.base f.Expr.off f.Expr.len
 
 (* Fuse a stage's compiled stateless ops into one closure; the 0/1-op
    shapes skip the dispatch loop entirely. *)
@@ -37,7 +48,13 @@ let interp_stateless tables ops =
         Atom.exec_stateless ~tables ~fields op;
         go fields tl
   in
-  match ops with [] -> nop | ops -> fun fields -> go fields ops
+  match ops with
+  | [] -> nop
+  | ops ->
+      fun frame ->
+        let fields = frame_fields frame in
+        go fields ops;
+        frame_writeback frame fields
 
 let clamp v size =
   let m = v mod size in
@@ -62,8 +79,10 @@ let create ~compiled (prog : Transform.t) =
           (* The interpreter reference deliberately ignores the resolved
              cell hint and recomputes the index from the expression — the
              assert in the simulator's exec step cross-checks the two. *)
-          fun fields reg_array (_cell_hint : int) ->
+          fun frame reg_array (_cell_hint : int) ->
+            let fields = frame_fields frame in
             let r = Atom.exec_stateful ~tables ~fields ~reg_array atom in
+            frame_writeback frame fields;
             if r.Atom.accessed then r.Atom.cell else -1)
       prog.Transform.accesses
   in
@@ -75,9 +94,11 @@ let create ~compiled (prog : Transform.t) =
         | Transform.G_resolved g ->
             if compiled then begin
               let k = Expr.compile tables ~state:None g in
-              G_pred (fun fields -> Expr.truthy (k fields))
+              G_pred (fun frame -> Expr.truthy (k frame))
             end
-            else G_pred (fun fields -> Expr.truthy (Expr.eval_raw tables fields None g))
+            else
+              G_pred
+                (fun frame -> Expr.truthy (Expr.eval_raw tables (frame_fields frame) None g))
         | Transform.G_unresolved -> G_unknown)
       prog.Transform.accesses
   in
@@ -89,9 +110,11 @@ let create ~compiled (prog : Transform.t) =
         | Transform.I_resolved idx ->
             if compiled then begin
               let k = Expr.compile tables ~state:None idx in
-              I_cell (fun fields -> clamp (k fields) size)
+              I_cell (fun frame -> clamp (k frame) size)
             end
-            else I_cell (fun fields -> clamp (Expr.eval_raw tables fields None idx) size)
+            else
+              I_cell
+                (fun frame -> clamp (Expr.eval_raw tables (frame_fields frame) None idx) size)
         | Transform.I_unresolved -> I_none)
       prog.Transform.accesses
   in

@@ -15,22 +15,23 @@
     path. *)
 
 type guard =
-  | G_true                          (** [Transform.G_always] *)
-  | G_pred of (int array -> bool)   (** resolvable guard over arrival headers *)
-  | G_unknown                       (** [Transform.G_unresolved] *)
+  | G_true                               (** [Transform.G_always] *)
+  | G_pred of (Mp5_banzai.Expr.frame -> bool)
+      (** resolvable guard over arrival headers *)
+  | G_unknown                            (** [Transform.G_unresolved] *)
 
 type index =
-  | I_cell of (int array -> int)
+  | I_cell of (Mp5_banzai.Expr.frame -> int)
       (** resolvable index; the closure returns the cell already reduced
           into the register's range, exactly like [Sim]'s resolution *)
   | I_none  (** [Transform.I_unresolved] (pinned arrays) *)
 
 type t = {
   compiled : bool;
-  stateless : (int array -> unit) array;
+  stateless : (Mp5_banzai.Expr.frame -> unit) array;
       (** per stage: all stateless ops of the stage, fused *)
-  exec : (int array -> int array -> int -> int) array;
-      (** per access id: [k fields reg_array cell_hint] performs the
+  exec : (Mp5_banzai.Expr.frame -> int array -> int -> int) array;
+      (** per access id: [k frame reg_array cell_hint] performs the
           guarded read-modify-write and returns the cell, or [-1] when
           the guard was falsy.  A non-negative [cell_hint] is the cell
           already resolved at arrival, saving the index recomputation;

@@ -10,6 +10,7 @@ module Metrics = Mp5_obs.Metrics
 module Etrace = Mp5_obs.Trace
 module Fault = Mp5_fault.Fault
 module Monitor = Mp5_fault.Monitor
+module Pool = Mp5_util.Pool
 module Psource = Mp5_workload.Packet_source
 module Binio = Mp5_util.Binio
 module Hashing = Mp5_util.Hashing
@@ -101,33 +102,24 @@ type resume_error = Corrupt of string | Mismatch of string
 
 (* --- runtime packet state --- *)
 
-(* Guard resolution outcome, as an immediate variant rather than a
-   [bool option] so refreshing it on a recycled packet allocates
-   nothing. *)
-type gk = Gk_unknown | Gk_false | Gk_true
+(* A packet in flight is an arena-slot number into the struct-of-arrays
+   slab ([Slab.t]): headers, seq/time-in/ECN and per-access resolution
+   state all live in flat int arrays keyed by the slot.  FIFOs, stage
+   slots and transfer buffers therefore carry plain ints, and the
+   compiled kernels read header fields through a frame window into the
+   slab — no boxed packet record exists anywhere on the hot path. *)
 
-type rt_access = {
-  plan : Transform.access;
-  mutable guard_known : gk;           (* resolved at arrival *)
-  mutable cell : int;                 (* -1 when the index is unresolvable *)
-  mutable dest : int;                 (* destination pipeline for this access *)
-  mutable done_ : bool;
-  mutable counted : bool;             (* holds an in-flight counter *)
-}
+(* Guard resolution outcome, stored in [Slab.gk] with the same encoding
+   snapshots use: 0 = unknown, 1 = known false, 2 = known true. *)
+let gk_unknown = 0
+and gk_false = 1
+and gk_true = 2
 
-(* [seq]/[time_in] are mutable only so exited packets can be recycled
-   through the arena; a packet's identity is fixed while it is in
-   flight. *)
-type packet = {
-  mutable seq : int;
-  mutable time_in : int;
-  fields : int array;
-  accs : rt_access array;
-  mutable ecn : bool;
-}
+(* Empty stage slot. *)
+let no_pkt = -1
 
 type per_cell = {
-  pc_cells : (int, packet Fifo.t) Hashtbl.t;
+  pc_cells : (int, int Fifo.t) Hashtbl.t;
   pc_ready : (int, unit) Hashtbl.t;
   mutable pc_high : int;  (* high-water mark surviving retired cell FIFOs *)
       (* cells whose head may be ready data: refreshed on insert, on pop
@@ -136,7 +128,7 @@ type per_cell = {
          number of ready heads rather than to every blocked phantom. *)
 }
 
-type queue = Logical of packet Fifo.t | Per_cell of per_cell
+type queue = Logical of int Fifo.t | Per_cell of per_cell
 
 type delivery = { d_seq : int; d_stage : int; d_dest : int; d_ring : int; d_cell : int }
 
@@ -158,14 +150,19 @@ type sim = {
   prog : Transform.t;
   config : Config.t;
   kernel : Kernel.t;                       (* compiled (or interpreter-backed) stage kernels *)
+  (* scratch frame retargeted at a packet's header fields before each
+     kernel call: kernels read flat memory through the frame window, so
+     no per-packet array is passed around (see {!Expr.frame}) *)
+  frame : Expr.frame;
   n_stages : int;
   accesses : Transform.access array;
   accs_by_stage : int array array;         (* acc ids per stage *)
   stateful_stage : bool array;
   stores : Store.t array;                  (* one per pipeline *)
   maps : Index_map.t array;                (* one per register array *)
+  sl : Slab.t;                             (* struct-of-arrays packet state *)
   fifos : queue option array array;        (* [stage][pipeline] *)
-  slots : packet option array array;       (* [stage][pipeline] *)
+  slots : int array array;                 (* [stage][pipeline]; slab slot or [no_pkt] *)
   channel : delivery Channel.t;
   doomed : (int, unit) Hashtbl.t;
   (* starvation guard: watched head key (-1 = none) and the cycle it was
@@ -177,17 +174,13 @@ type sim = {
   (* per-cycle transfer buffers, [stage] indexed, refilled during
      movement and drained (then cleared, keeping capacity) on apply;
      parallel vectors of packets and packed descriptors *)
-  t_pkts : packet Vec.t array;
+  t_pkts : int Vec.t array;
   t_descs : int Vec.t array;
   (* scratch for movement_phase crossbar claims; only meaningful within
      one movement phase, so it is cleared lazily — only when the
      previous phase actually set a claim *)
   claimed : bool array array;
   mutable claims_dirty : bool;
-  (* packet arena: exited/dropped packets are recycled here so
-     steady-state arrival allocates no packet, fields array or rt_access
-     records *)
-  arena : packet Vec.t;
   (* metrics *)
   mutable delivered : int;
   mutable dropped : int;
@@ -319,14 +312,19 @@ let create ?(compiled = true) ?(collect = true) ?metrics ?events ?fault ?monitor
       prog;
       config;
       kernel = Kernel.create ~compiled prog;
+      frame = Expr.frame_of_array [||];
       n_stages;
       accesses;
       accs_by_stage;
       stateful_stage;
       stores = Array.init params.k (fun _ -> Store.create config);
       maps;
+      sl =
+        Slab.create
+          ~nf:(Array.length config.Config.fields)
+          ~na:(Array.length accesses);
       fifos = Array.make_matrix n_stages params.k None;
-      slots = Array.make_matrix n_stages params.k None;
+      slots = Array.make_matrix n_stages params.k no_pkt;
       channel = Channel.create ();
       doomed = Hashtbl.create 64;
       hw_key = Array.make_matrix n_stages params.k (-1);
@@ -336,7 +334,6 @@ let create ?(compiled = true) ?(collect = true) ?metrics ?events ?fault ?monitor
       t_descs = Array.init n_stages (fun _ -> Vec.create ());
       claimed = Array.make_matrix n_stages params.k false;
       claims_dirty = false;
-      arena = Vec.create ();
       delivered = 0;
       dropped = 0;
       dropped_stateless = 0;
@@ -375,10 +372,14 @@ let create ?(compiled = true) ?(collect = true) ?metrics ?events ?fault ?monitor
 
 (* --- helpers --- *)
 
-let release_inflight sim rt =
-  if rt.counted then begin
-    rt.counted <- false;
-    Index_map.decr_inflight sim.maps.(rt.plan.Transform.reg) rt.cell
+(* Release the in-flight pin access [acc_id] of slab slot [pkt] holds.
+   Pin state lives at slab index [pkt * na + acc_id]. *)
+let release_inflight sim pkt acc_id =
+  let sl = sim.sl in
+  let ai = (pkt * sl.Slab.na) + acc_id in
+  if sl.Slab.counted.(ai) <> 0 then begin
+    sl.Slab.counted.(ai) <- 0;
+    Index_map.decr_inflight sim.maps.(sim.accesses.(acc_id).Transform.reg) sl.Slab.cell.(ai)
   end
 
 let uses_phantoms sim = match sim.p.mode with No_d4 -> false | _ -> true
@@ -389,11 +390,13 @@ let uses_phantoms sim = match sim.p.mode with No_d4 -> false | _ -> true
 let queued_acc sim pkt stage =
   let accs = sim.accs_by_stage.(stage) in
   let n = Array.length accs in
+  let sl = sim.sl in
+  let ab = pkt * sl.Slab.na in
   let rec go i =
     if i = n then -1
     else
       let id = Array.unsafe_get accs i in
-      if pkt.accs.(id).guard_known <> Gk_false then id else go (i + 1)
+      if sl.Slab.gk.(ab + id) <> gk_false then id else go (i + 1)
   in
   go 0
 
@@ -406,72 +409,63 @@ let cause_code = function
   | Metrics.Injected -> 4
 
 let drop_packet sim now pkt at_stage cause =
+  let sl = sim.sl in
+  let seq = sl.Slab.seq.(pkt) in
   sim.dropped <- sim.dropped + 1;
   sim.in_flight <- sim.in_flight - 1;
   (match sim.ms with Some m -> Metrics.drop m cause | None -> ());
   (match sim.tr with
   | Some tr ->
-      Etrace.emit tr ~kind:Etrace.Drop ~cycle:now ~seq:pkt.seq ~stage:at_stage ~pipe:0
+      Etrace.emit tr ~kind:Etrace.Drop ~cycle:now ~seq ~stage:at_stage ~pipe:0
         ~aux:(cause_code cause)
   | None -> ());
-  Hashtbl.replace sim.doomed pkt.seq ();
-  Array.iter
-    (fun rt ->
-      if not rt.done_ then begin
-        rt.done_ <- true;
-        release_inflight sim rt;
-        (* Cancel phantoms parked at later stages (already-delivered ones;
-           undelivered ones are filtered by the doomed set on delivery). *)
-        if rt.plan.Transform.stage > at_stage && rt.guard_known <> Gk_false then
-          match sim.fifos.(rt.plan.Transform.stage).(rt.dest) with
-          | Some (Logical f) -> Fifo.cancel f ~key:pkt.seq
-          | Some (Per_cell pc) -> (
-              match Hashtbl.find_opt pc.pc_cells rt.cell with
-              | Some f ->
-                  Fifo.cancel f ~key:pkt.seq;
-                  (* Purging the cancelled phantom may expose ready data. *)
-                  Hashtbl.replace pc.pc_ready rt.cell ()
-              | None -> ())
-          | None -> ()
-      end)
-    pkt.accs;
-  (* The packet now lives nowhere but this frame: recycle it. *)
-  Vec.push sim.arena pkt
+  Hashtbl.replace sim.doomed seq ();
+  let ab = pkt * sl.Slab.na in
+  for i = 0 to sl.Slab.na - 1 do
+    if sl.Slab.done_.(ab + i) = 0 then begin
+      sl.Slab.done_.(ab + i) <- 1;
+      release_inflight sim pkt i;
+      (* Cancel phantoms parked at later stages (already-delivered ones;
+         undelivered ones are filtered by the doomed set on delivery). *)
+      let plan = sim.accesses.(i) in
+      if plan.Transform.stage > at_stage && sl.Slab.gk.(ab + i) <> gk_false then
+        match sim.fifos.(plan.Transform.stage).(sl.Slab.dest.(ab + i)) with
+        | Some (Logical f) -> Fifo.cancel f ~key:seq
+        | Some (Per_cell pc) -> (
+            let cell = sl.Slab.cell.(ab + i) in
+            match Hashtbl.find_opt pc.pc_cells cell with
+            | Some f ->
+                Fifo.cancel f ~key:seq;
+                (* Purging the cancelled phantom may expose ready data. *)
+                Hashtbl.replace pc.pc_ready cell ()
+            | None -> ())
+        | None -> ()
+    end
+  done;
+  (* The packet now lives nowhere but this slot: recycle it. *)
+  Slab.release sl pkt
 
-(* Fetch a packet frame from the arena (resetting it in place) or build a
-   fresh one; in steady state every arrival reuses a recycled frame and
-   allocates nothing. *)
+(* Claim a slab slot and reset it to a fresh packet; in steady state
+   every arrival reuses a recycled slot and allocates nothing. *)
 let alloc_packet sim ~seq ~now headers =
-  let n_fields = Array.length sim.config.Config.fields in
   let n_copy = min (Array.length headers) sim.config.Config.n_user_fields in
-  if Vec.is_empty sim.arena then begin
-    let fields = Array.make n_fields 0 in
-    Array.blit headers 0 fields 0 n_copy;
-    let accs =
-      Array.map
-        (fun plan ->
-          { plan; guard_known = Gk_unknown; cell = -1; dest = 0; done_ = false; counted = false })
-        sim.accesses
-    in
-    { seq; time_in = now; fields; accs; ecn = false }
-  end
-  else begin
-    let pkt = Vec.pop sim.arena in
-    pkt.seq <- seq;
-    pkt.time_in <- now;
-    pkt.ecn <- false;
-    Array.fill pkt.fields 0 n_fields 0;
-    Array.blit headers 0 pkt.fields 0 n_copy;
-    Array.iter
-      (fun rt ->
-        rt.guard_known <- Gk_unknown;
-        rt.cell <- -1;
-        rt.dest <- 0;
-        rt.done_ <- false;
-        rt.counted <- false)
-      pkt.accs;
-    pkt
-  end
+  let pkt = Slab.alloc sim.sl in
+  let sl = sim.sl in
+  sl.Slab.seq.(pkt) <- seq;
+  sl.Slab.time_in.(pkt) <- now;
+  sl.Slab.ecn.(pkt) <- 0;
+  let fb = pkt * sl.Slab.nf in
+  Array.fill sl.Slab.fields fb sl.Slab.nf 0;
+  Array.blit headers 0 sl.Slab.fields fb n_copy;
+  let ab = pkt * sl.Slab.na in
+  for i = 0 to sl.Slab.na - 1 do
+    sl.Slab.gk.(ab + i) <- gk_unknown;
+    sl.Slab.cell.(ab + i) <- -1;
+    sl.Slab.dest.(ab + i) <- 0;
+    sl.Slab.done_.(ab + i) <- 0;
+    sl.Slab.counted.(ab + i) <- 0
+  done;
+  pkt
 
 (* --- fault application (lib/fault) --- *)
 
@@ -484,9 +478,9 @@ let misrouted sim pkt stage dest =
   let a = queued_acc sim pkt stage in
   a >= 0
   &&
-  let rt = pkt.accs.(a) in
-  rt.cell >= 0
-  && Index_map.pipeline_of sim.maps.(rt.plan.Transform.reg) rt.cell <> dest
+  let sl = sim.sl in
+  let cell = sl.Slab.cell.((pkt * sl.Slab.na) + a) in
+  cell >= 0 && Index_map.pipeline_of sim.maps.(sim.accesses.(a).Transform.reg) cell <> dest
 
 (* Crossbar duplication: the ghost copy is a fresh packet carrying the
    original's current header contents.  Its accesses are pre-completed
@@ -501,7 +495,7 @@ let spawn_dup sim now src_pkt stage =
   let dest = ref (-1) in
   for q = sim.p.k - 1 downto 0 do
     if
-      Option.is_none sim.slots.(stage).(q)
+      sim.slots.(stage).(q) = no_pkt
       && (not sim.claimed.(stage).(q))
       && (match sim.flt with Some f -> not (Fault.is_down f q) | None -> true)
     then dest := q
@@ -513,15 +507,20 @@ let spawn_dup sim now src_pkt stage =
       sim.claims_dirty <- true;
       let seq = sim.dup_next in
       sim.dup_next <- seq + 1;
-      let g = alloc_packet sim ~seq ~now:src_pkt.time_in [||] in
-      Array.blit src_pkt.fields 0 g.fields 0 (Array.length g.fields);
-      g.ecn <- src_pkt.ecn;
-      Array.iter
-        (fun rt ->
-          rt.done_ <- true;
-          rt.guard_known <- Gk_false)
-        g.accs;
-      sim.slots.(stage).(q) <- Some g;
+      (* [alloc_packet] may grow the slab: read the source's metadata
+         before and its arrays after. *)
+      let src_time_in = sim.sl.Slab.time_in.(src_pkt) in
+      let g = alloc_packet sim ~seq ~now:src_time_in [||] in
+      let sl = sim.sl in
+      Array.blit sl.Slab.fields (src_pkt * sl.Slab.nf) sl.Slab.fields (g * sl.Slab.nf)
+        sl.Slab.nf;
+      sl.Slab.ecn.(g) <- sl.Slab.ecn.(src_pkt);
+      let ab = g * sl.Slab.na in
+      for i = 0 to sl.Slab.na - 1 do
+        sl.Slab.done_.(ab + i) <- 1;
+        sl.Slab.gk.(ab + i) <- gk_false
+      done;
+      sim.slots.(stage).(q) <- g;
       sim.in_flight <- sim.in_flight + 1;
       (match sim.ms with Some m -> Metrics.dup_packet m | None -> ());
       (match sim.tr with
@@ -536,11 +535,11 @@ let spawn_dup sim now src_pkt stage =
    victims' own phantom cancellations no-op against the fresh queues. *)
 let spill_pipeline sim now p =
   for s = 0 to sim.n_stages - 1 do
-    (match sim.slots.(s).(p) with
-    | Some pkt ->
-        sim.slots.(s).(p) <- None;
-        drop_packet sim now pkt s Metrics.Pipeline_down
-    | None -> ());
+    (let pkt = sim.slots.(s).(p) in
+     if pkt <> no_pkt then begin
+       sim.slots.(s).(p) <- no_pkt;
+       drop_packet sim now pkt s Metrics.Pipeline_down
+     end);
     sim.hw_key.(s).(p) <- -1;
     match sim.fifos.(s).(p) with
     | None -> ()
@@ -611,21 +610,24 @@ let monitor_phase sim mon now =
   let check_affinity stage p ~key:_ pkt =
     let a = queued_acc sim pkt stage in
     if a >= 0 then begin
-      let rt = pkt.accs.(a) in
-      if rt.dest <> p then
+      let sl = sim.sl in
+      let ai = (pkt * sl.Slab.na) + a in
+      let seq = sl.Slab.seq.(pkt) in
+      let dest = sl.Slab.dest.(ai) and cell = sl.Slab.cell.(ai) in
+      if dest <> p then
         fail "flow affinity: packet %d queued at stage %d pipe %d but resolved to pipe %d"
-          pkt.seq stage p rt.dest;
-      if rt.cell >= 0 then begin
-        let home = Index_map.pipeline_of sim.maps.(rt.plan.Transform.reg) rt.cell in
+          seq stage p dest;
+      if cell >= 0 then begin
+        let home = Index_map.pipeline_of sim.maps.(sim.accesses.(a).Transform.reg) cell in
         if home <> p then
           fail "flow affinity: packet %d queued at stage %d pipe %d but cell %d lives on pipe %d"
-            pkt.seq stage p rt.cell home
+            seq stage p cell home
       end
     end
   in
   for stage = 0 to sim.n_stages - 1 do
     for p = 0 to sim.p.k - 1 do
-      (match sim.slots.(stage).(p) with Some _ -> incr counted | None -> ());
+      if sim.slots.(stage).(p) <> no_pkt then incr counted;
       match sim.fifos.(stage).(p) with
       | None -> ()
       | Some (Logical f) ->
@@ -662,7 +664,7 @@ let monitor_phase sim mon now =
             let dest = (desc lsr 2) land 63 in
             if misrouted sim pkt stage dest then
               fail "flow affinity: packet %d in transfer to stage %d pipe %d, cell moved away"
-                pkt.seq stage dest
+                sim.sl.Slab.seq.(pkt) stage dest
           end
         done
   done;
@@ -690,50 +692,64 @@ let monitor_phase sim mon now =
 
 (* --- address resolution (stage 0, performed on arrival; §3.3) --- *)
 
+(* Retarget the scratch frame at a packet's header window in the slab:
+   three stores, no allocation. *)
+let aim sim pkt =
+  let f = sim.frame in
+  let sl = sim.sl in
+  f.Expr.base <- sl.Slab.fields;
+  f.Expr.off <- pkt * sl.Slab.nf;
+  f.Expr.len <- sl.Slab.nf;
+  f
+
 let resolve sim now entry_pipeline pkt =
   (* Injected phantom-delivery delay: phantoms scheduled while the
      window is open arrive late, violating Invariant 1's preemptive
      ordering — the data packet finds no phantom and is dropped. *)
   let extra = match sim.flt with Some f -> Fault.phantom_delay f | None -> 0 in
-  Array.iteri
-    (fun i rt ->
-      let plan = rt.plan in
-      let map = sim.maps.(plan.Transform.reg) in
-      (match sim.kernel.Kernel.guard.(i) with
-      | Kernel.G_true -> rt.guard_known <- Gk_true
-      | Kernel.G_pred p -> rt.guard_known <- (if p pkt.fields then Gk_true else Gk_false)
-      | Kernel.G_unknown -> rt.guard_known <- Gk_unknown);
-      (match sim.kernel.Kernel.index.(i) with
-      | Kernel.I_cell f ->
-          let cell = f pkt.fields in
-          rt.cell <- cell;
-          rt.dest <- Index_map.pipeline_of map cell
-      | Kernel.I_none ->
-          rt.cell <- -1;
-          rt.dest <- Index_map.pipeline_of map 0);
-      if rt.guard_known <> Gk_false then begin
-        (* Count the resolved access and pin the cell against remaps. *)
-        if rt.cell >= 0 then begin
-          Index_map.note_access map rt.cell;
-          if Index_map.sharded map then begin
-            Index_map.incr_inflight map rt.cell;
-            rt.counted <- true
-          end
-        end;
-        if uses_phantoms sim then begin
-          (match sim.ms with Some m -> Metrics.phantom_scheduled m | None -> ());
-          Channel.schedule sim.channel
-            ~at:(now + plan.Transform.stage + extra)
-            {
-              d_seq = pkt.seq;
-              d_stage = plan.Transform.stage;
-              d_dest = rt.dest;
-              d_ring = entry_pipeline;
-              d_cell = rt.cell;
-            }
+  let frame = aim sim pkt in
+  let sl = sim.sl in
+  let ab = pkt * sl.Slab.na in
+  let seq = sl.Slab.seq.(pkt) in
+  for i = 0 to sl.Slab.na - 1 do
+    let plan = sim.accesses.(i) in
+    let map = sim.maps.(plan.Transform.reg) in
+    (match sim.kernel.Kernel.guard.(i) with
+    | Kernel.G_true -> sl.Slab.gk.(ab + i) <- gk_true
+    | Kernel.G_pred p -> sl.Slab.gk.(ab + i) <- (if p frame then gk_true else gk_false)
+    | Kernel.G_unknown -> sl.Slab.gk.(ab + i) <- gk_unknown);
+    (match sim.kernel.Kernel.index.(i) with
+    | Kernel.I_cell f ->
+        let cell = f frame in
+        sl.Slab.cell.(ab + i) <- cell;
+        sl.Slab.dest.(ab + i) <- Index_map.pipeline_of map cell
+    | Kernel.I_none ->
+        sl.Slab.cell.(ab + i) <- -1;
+        sl.Slab.dest.(ab + i) <- Index_map.pipeline_of map 0);
+    if sl.Slab.gk.(ab + i) <> gk_false then begin
+      (* Count the resolved access and pin the cell against remaps. *)
+      let cell = sl.Slab.cell.(ab + i) in
+      if cell >= 0 then begin
+        Index_map.note_access map cell;
+        if Index_map.sharded map then begin
+          Index_map.incr_inflight map cell;
+          sl.Slab.counted.(ab + i) <- 1
         end
-      end)
-    pkt.accs
+      end;
+      if uses_phantoms sim then begin
+        (match sim.ms with Some m -> Metrics.phantom_scheduled m | None -> ());
+        Channel.schedule sim.channel
+          ~at:(now + plan.Transform.stage + extra)
+          {
+            d_seq = seq;
+            d_stage = plan.Transform.stage;
+            d_dest = sl.Slab.dest.(ab + i);
+            d_ring = entry_pipeline;
+            d_cell = cell;
+          }
+      end
+    end
+  done
 
 (* --- per-cycle phases --- *)
 
@@ -821,12 +837,11 @@ let notify_ready pc cell =
   pc.pc_high <- max pc.pc_high (Fifo.max_occupancy f)
 
 let insert_stateful sim now stage pkt ~dest ~src ~cell =
+  let seq = sim.sl.Slab.seq.(pkt) in
   let push_or_insert f =
-    if uses_phantoms sim then Fifo.insert_data f ~key:pkt.seq pkt
+    if uses_phantoms sim then Fifo.insert_data f ~key:seq pkt
     else
-      match
-        Fifo.push_data f ~ring:src ~ts:((now lsl 22) lor pkt.seq) ~key:pkt.seq pkt
-      with
+      match Fifo.push_data f ~ring:src ~ts:((now lsl 22) lor seq) ~key:seq pkt with
       | `Ok -> `Ok
       | `Dropped -> `No_phantom
   in
@@ -835,7 +850,7 @@ let insert_stateful sim now stage pkt ~dest ~src ~cell =
   | `Ok -> (
       Option.iter (fun pc -> notify_ready pc cell) pc;
       match sim.p.ecn_threshold with
-      | Some thr when Fifo.data_length f > thr -> pkt.ecn <- true
+      | Some thr when Fifo.data_length f > thr -> sim.sl.Slab.ecn.(pkt) <- 1
       | _ -> ())
   | `No_phantom ->
       (* With phantoms, a miss means the phantom was dropped by a full
@@ -876,15 +891,16 @@ let apply_transfers sim now =
         | None -> ());
         (match sim.tr with
         | Some tr ->
-            Etrace.emit tr ~kind:Etrace.Crossbar ~cycle:now ~seq:pkt.seq ~stage ~pipe:dest
-              ~aux:src
+            Etrace.emit tr ~kind:Etrace.Crossbar ~cycle:now ~seq:sim.sl.Slab.seq.(pkt) ~stage
+              ~pipe:dest ~aux:src
         | None -> ());
         (match desc land 3 with
         | 1 (* stateful *) ->
             insert_stateful sim now stage pkt ~dest ~src ~cell:((desc lsr 14) - 1)
         | 2 (* queued *) -> (
             let f, pc = stage_queue sim stage ~dest ~cell:(-1) in
-            match Fifo.push_data f ~ring:src ~ts:pkt.seq ~key:pkt.seq pkt with
+            let seq = sim.sl.Slab.seq.(pkt) in
+            match Fifo.push_data f ~ring:src ~ts:seq ~key:seq pkt with
             | `Ok -> Option.iter (fun pc -> notify_ready pc (-1)) pc
             | `Dropped -> drop_packet sim now pkt (stage - 1) Metrics.Fifo_full)
         | _ (* stateless *) ->
@@ -901,12 +917,12 @@ let apply_transfers sim now =
               drop_packet sim now pkt (stage - 1) Metrics.Starved
             end
             else begin
-              assert (Option.is_none sim.slots.(stage).(dest));
-              sim.slots.(stage).(dest) <- Some pkt;
+              assert (sim.slots.(stage).(dest) = no_pkt);
+              sim.slots.(stage).(dest) <- pkt;
               (match sim.tr with
               | Some tr ->
-                  Etrace.emit tr ~kind:Etrace.Stage_entry ~cycle:now ~seq:pkt.seq ~stage
-                    ~pipe:dest ~aux:1
+                  Etrace.emit tr ~kind:Etrace.Stage_entry ~cycle:now
+                    ~seq:sim.sl.Slab.seq.(pkt) ~stage ~pipe:dest ~aux:1
               | None -> ());
               (* Duplicate only a packet that actually went through —
                  a starved one just recycled its frame. *)
@@ -922,13 +938,13 @@ let pop_phase sim now =
   for stage = 0 to sim.n_stages - 1 do
     if sim.stateful_stage.(stage) then
       for p = 0 to sim.p.k - 1 do
-        match sim.slots.(stage).(p) with
-        | Some _ ->
-            (* Occupied before the pop: a stateless-priority packet claimed
-               the slot (Invariant 2) — busy, attributed to the claim. *)
-            (match sim.ms with Some m -> Metrics.claimed m ~stage ~pipe:p | None -> ());
-            update_head_watch sim now stage p
-        | None ->
+        if sim.slots.(stage).(p) <> no_pkt then begin
+          (* Occupied before the pop: a stateless-priority packet claimed
+             the slot (Invariant 2) — busy, attributed to the claim. *)
+          (match sim.ms with Some m -> Metrics.claimed m ~stage ~pipe:p | None -> ());
+          update_head_watch sim now stage p
+        end
+        else
             let fault_blocked =
               match sim.flt with
               | None -> false
@@ -951,12 +967,12 @@ let pop_phase sim now =
                  phantom in front = blocked, nothing queued = idle. *)
               match Fifo.take f with
               | `Data (_, pkt) ->
-                  sim.slots.(stage).(p) <- Some pkt;
+                  sim.slots.(stage).(p) <- pkt;
                   (match sim.ms with Some m -> Metrics.busy m ~stage ~pipe:p | None -> ());
                   (match sim.tr with
                   | Some tr ->
-                      Etrace.emit tr ~kind:Etrace.Stage_entry ~cycle:now ~seq:pkt.seq ~stage
-                        ~pipe:p ~aux:0
+                      Etrace.emit tr ~kind:Etrace.Stage_entry ~cycle:now
+                        ~seq:sim.sl.Slab.seq.(pkt) ~stage ~pipe:p ~aux:0
                   | None -> ());
                   update_head_watch sim now stage p
               | `Blocked key ->
@@ -999,12 +1015,12 @@ let pop_phase sim now =
                (match !best with
                | Some (_, f, cell) ->
                    let pkt = Fifo.pop_data f in
-                   sim.slots.(stage).(p) <- Some pkt;
+                   sim.slots.(stage).(p) <- pkt;
                    (match sim.ms with Some m -> Metrics.busy m ~stage ~pipe:p | None -> ());
                    (match sim.tr with
                    | Some tr ->
-                       Etrace.emit tr ~kind:Etrace.Stage_entry ~cycle:now ~seq:pkt.seq ~stage
-                         ~pipe:p ~aux:0
+                       Etrace.emit tr ~kind:Etrace.Stage_entry ~cycle:now
+                         ~seq:sim.sl.Slab.seq.(pkt) ~stage ~pipe:p ~aux:0
                    | None -> ());
                    (* The next entry of this cell may already be data. *)
                    Hashtbl.replace pc.pc_ready cell ()
@@ -1046,9 +1062,8 @@ let metrics_sweep sim m =
       done
     else
       for p = 0 to sim.p.k - 1 do
-        match sim.slots.(stage).(p) with
-        | Some _ -> Metrics.busy m ~stage ~pipe:p
-        | None -> Metrics.stall_empty m ~stage ~pipe:p
+        if sim.slots.(stage).(p) <> no_pkt then Metrics.busy m ~stage ~pipe:p
+        else Metrics.stall_empty m ~stage ~pipe:p
       done
   done
 
@@ -1094,40 +1109,43 @@ let access_digest sim =
 
 (* A plain indexed loop: no closure allocation, and the kernels
    themselves (closures built once at [create]) walk no AST and allocate
-   nothing.  [rt.cell] resolved at arrival is handed to the kernel so a
+   nothing.  The cell resolved at arrival is handed to the kernel so a
    resolvable index is hashed once per packet, not twice; the
    interpreter-backed kernel recomputes it and the assert cross-checks
    the two derivations. *)
 let run_accs sim pkt pipeline accs =
+  let frame = aim sim pkt in
+  let sl = sim.sl in
+  let ab = pkt * sl.Slab.na in
+  let seq = sl.Slab.seq.(pkt) in
   for i = 0 to Array.length accs - 1 do
     let acc_id = Array.unsafe_get accs i in
-    let rt = pkt.accs.(acc_id) in
     let reg = sim.accesses.(acc_id).Transform.reg in
     let reg_array = Store.array sim.stores.(pipeline) ~reg in
-    let cell = sim.kernel.Kernel.exec.(acc_id) pkt.fields reg_array rt.cell in
+    let cell = sim.kernel.Kernel.exec.(acc_id) frame reg_array sl.Slab.cell.(ab + acc_id) in
     if cell >= 0 then begin
-      assert (rt.cell < 0 || rt.cell = cell);
-      assert (rt.dest = pipeline);
-      log_access sim reg cell pkt.seq
+      assert (sl.Slab.cell.(ab + acc_id) < 0 || sl.Slab.cell.(ab + acc_id) = cell);
+      assert (sl.Slab.dest.(ab + acc_id) = pipeline);
+      log_access sim reg cell seq
     end;
-    rt.done_ <- true;
-    release_inflight sim rt
+    sl.Slab.done_.(ab + acc_id) <- 1;
+    release_inflight sim pkt acc_id
   done
 
 let process_stage sim pkt stage pipeline =
-  sim.kernel.Kernel.stateless.(stage) pkt.fields;
+  sim.kernel.Kernel.stateless.(stage) (aim sim pkt);
   (* Ghost packets (crossbar duplicates, seqs >= dup_base) never touch
      state; [dup_base] is [max_int] on the no-fault path, so the
      compare is always-true there. *)
-  if pkt.seq < sim.dup_base then run_accs sim pkt pipeline sim.accs_by_stage.(stage)
+  if sim.sl.Slab.seq.(pkt) < sim.dup_base then
+    run_accs sim pkt pipeline sim.accs_by_stage.(stage)
 
 let exec_phase sim now =
   (* stage 0 is address resolution, performed on arrival *)
   for stage = 1 to sim.n_stages - 1 do
     for p = 0 to sim.p.k - 1 do
-      match sim.slots.(stage).(p) with
-      | None -> ()
-      | Some pkt -> process_stage sim pkt stage p
+      let pkt = sim.slots.(stage).(p) in
+      if pkt <> no_pkt then process_stage sim pkt stage p
     done
   done;
   ignore now
@@ -1157,30 +1175,35 @@ let movement_phase sim now =
   | _ -> ());
   for stage = sim.n_stages - 1 downto 0 do
     for p = 0 to sim.p.k - 1 do
-      match sim.slots.(stage).(p) with
-      | None -> ()
-      | Some pkt ->
-          sim.slots.(stage).(p) <- None;
+      let pkt = sim.slots.(stage).(p) in
+      if pkt <> no_pkt then begin
+          sim.slots.(stage).(p) <- no_pkt;
           let next = stage + 1 in
           if next = sim.n_stages then begin
             (* Exit the pipeline. *)
+            let sl = sim.sl in
+            let seq = sl.Slab.seq.(pkt) in
+            let time_in = sl.Slab.time_in.(pkt) in
+            let ecn = sl.Slab.ecn.(pkt) <> 0 in
+            let fb = pkt * sl.Slab.nf in
             sim.delivered <- sim.delivered + 1;
             sim.in_flight <- sim.in_flight - 1;
-            if pkt.ecn then sim.marked <- sim.marked + 1;
+            if ecn then sim.marked <- sim.marked + 1;
             (match sim.ms with
-            | Some m -> Metrics.delivered m ~latency:(now - pkt.time_in) ~ecn:pkt.ecn
+            | Some m -> Metrics.delivered m ~latency:(now - time_in) ~ecn
             | None -> ());
             (match sim.tr with
             | Some tr ->
-                Etrace.emit tr ~kind:Etrace.Deliver ~cycle:now ~seq:pkt.seq ~stage ~pipe:p
-                  ~aux:(now - pkt.time_in)
+                Etrace.emit tr ~kind:Etrace.Deliver ~cycle:now ~seq ~stage ~pipe:p
+                  ~aux:(now - time_in)
             | None -> ());
             if sim.first_exit < 0 then sim.first_exit <- now;
             sim.last_exit <- now;
             if sim.collect then begin
-              Vec.push sim.exit_seqs pkt.seq;
-              Vec.push sim.exit_headers (Array.sub pkt.fields 0 sim.config.Config.n_user_fields);
-              Vec.push sim.exit_lats (now - pkt.time_in)
+              Vec.push sim.exit_seqs seq;
+              Vec.push sim.exit_headers
+                (Array.sub sl.Slab.fields fb sim.config.Config.n_user_fields);
+              Vec.push sim.exit_lats (now - time_in)
             end
             else begin
               (* Streaming: fold the exit record into the running digest
@@ -1191,25 +1214,27 @@ let movement_phase sim now =
                 hi := h;
                 lo := l
               in
-              feed pkt.seq;
-              feed (now - pkt.time_in);
+              feed seq;
+              feed (now - time_in);
               for f = 0 to sim.config.Config.n_user_fields - 1 do
-                feed pkt.fields.(f)
+                feed sl.Slab.fields.(fb + f)
               done;
               sim.ed_hi <- !hi;
               sim.ed_lo <- !lo
             end;
-            (* The user headers are copied out above; the frame itself is
+            (* The user headers are copied out above; the slot itself is
                free to be recycled. *)
-            Vec.push sim.arena pkt
+            Slab.release sl pkt
           end
           else begin
             let acc_id = queued_acc sim pkt next in
             if acc_id >= 0 then begin
-              let rt = pkt.accs.(acc_id) in
+              let sl = sim.sl in
+              let ai = (pkt * sl.Slab.na) + acc_id in
               Vec.push sim.t_pkts.(next) pkt;
               Vec.push sim.t_descs.(next)
-                (pack_transfer ~tag:t_stateful ~dest:rt.dest ~src:p ~cell:rt.cell)
+                (pack_transfer ~tag:t_stateful ~dest:sl.Slab.dest.(ai) ~src:p
+                   ~cell:sl.Slab.cell.(ai))
             end
             else if sim.stateful_stage.(next) && not sim.p.stateless_priority then begin
               (* Invariant 2 disabled: stateless packets take their place
@@ -1239,6 +1264,7 @@ let movement_phase sim now =
                 (pack_transfer ~tag:t_stateless ~dest ~src:p ~cell:(-1))
             end
           end
+      end
     done
   done
 
@@ -1306,7 +1332,7 @@ let arrival_phase sim now source st =
                 ~aux:0
           | None -> ());
           resolve sim now pipeline pkt;
-          sim.slots.(0).(pipeline) <- Some pkt;
+          sim.slots.(0).(pipeline) <- pkt;
           sim.in_flight <- sim.in_flight + 1;
           incr entry;
           skip_down ()
@@ -1411,7 +1437,9 @@ let observe sim now observer =
   | None -> ()
   | Some f ->
       let occ_slots =
-        Array.map (Array.map (Option.map (fun pkt -> pkt.seq))) sim.slots
+        Array.map
+          (Array.map (fun pkt -> if pkt = no_pkt then None else Some sim.sl.Slab.seq.(pkt)))
+          sim.slots
       in
       let occ_queues =
         Array.map
@@ -1424,6 +1452,329 @@ let observe sim now observer =
           sim.fifos
       in
       f { occ_cycle = now; occ_slots; occ_queues }
+
+(* --- parallel cycle engine ---
+
+   Each pipeline's deliver -> apply -> pop -> sweep -> exec chain
+   touches only state keyed by that pipeline (its FIFO column, its slot
+   column, its store, the inflight counters of cells it homes), so the
+   chains for different pipelines can run on different domains between
+   two sequential sections:
+
+   - prefix (caller only): monitor epoch, cycle tick, calendar drain
+     into per-destination buffers, arrivals (the only slab allocation);
+   - fan-out: domain [j] runs the chain for every pipeline [p] with
+     [p mod jobs = j];
+   - barrier (caller only): replay buffered access-log entries in the
+     sequential engine's exec order, absorb per-domain metric shards,
+     check transfer conservation, clear the cycle buffers.  Movement and
+     remap stay in the sequential suffix (crossbar steering is global).
+
+   The fan-out is only taken under a gate that excludes everything that
+   could drop or free a packet mid-cycle (fault plans, bounded rings,
+   the starvation guard) or that observes mid-cycle state in sequential
+   order (event traces, observers), so the parallel sections never
+   release slab slots and never race the shared drop/trace paths.  Under
+   the gate the chains write disjoint state, the barrier re-serializes
+   the only shared logs, and every merge is order-independent
+   (commutative counter sums, max-merged high-water marks) — which is
+   the determinism argument for bit-identical results at any [jobs]. *)
+
+type par_state = {
+  ps_team : Pool.Team.t;
+  ps_jobs : int;
+  (* per-domain kernel clones: compiled stateful kernels thread their
+     match state through a captured ref, so domains must not share one *)
+  ps_kernels : Kernel.t array;
+  ps_frames : Expr.frame array;
+  (* per-domain metrics shards, absorbed at the barrier; [||] when the
+     run is unmetered *)
+  ps_shards : Metrics.t array;
+  (* phantom deliveries due this cycle, bucketed by destination
+     pipeline in the prefix drain *)
+  ps_dbuf : delivery Vec.t array;
+  (* buffered access-log entries per (stage, pipeline), three ints
+     (reg, cell, seq) per access, replayed at the barrier *)
+  ps_log : int Vec.t array array;
+  (* per-pipeline applied-transfer counts for the conservation check *)
+  ps_applied : int array;
+}
+
+let make_par_state sim team =
+  let jobs = Pool.Team.size team in
+  {
+    ps_team = team;
+    ps_jobs = jobs;
+    ps_kernels =
+      Array.init jobs (fun j ->
+          if j = 0 then sim.kernel
+          else Kernel.create ~compiled:sim.kernel.Kernel.compiled sim.prog);
+    ps_frames = Array.init jobs (fun j -> if j = 0 then sim.frame else Expr.frame_of_array [||]);
+    ps_shards =
+      (match sim.ms with
+      | Some _ -> Array.init jobs (fun _ -> Metrics.create ~stages:sim.n_stages ~k:sim.p.k)
+      | None -> [||]);
+    ps_dbuf = Array.init sim.p.k (fun _ -> Vec.create ());
+    ps_log = Array.init sim.n_stages (fun _ -> Array.init sim.p.k (fun _ -> Vec.create ()));
+    ps_applied = Array.make sim.p.k 0;
+  }
+
+(* [deliver_phantoms] for one pipeline's pre-drained bucket.  The gate
+   guarantees no fault plan (no downed destinations) and no event trace,
+   so only the live branches remain. *)
+let par_deliver sim ms dbuf =
+  for i = 0 to Vec.length dbuf - 1 do
+    let d = Vec.get dbuf i in
+    if Hashtbl.mem sim.doomed d.d_seq then (
+      match ms with Some m -> Metrics.phantom_doomed m | None -> ())
+    else begin
+      let f =
+        match sim.fifos.(d.d_stage).(d.d_dest) with
+        | Some (Logical f) -> f
+        | Some (Per_cell pc) -> cell_fifo sim pc d.d_cell
+        | None -> invalid_arg "phantom destined to a stateless stage"
+      in
+      match Fifo.push_phantom f ~ring:d.d_ring ~ts:d.d_seq ~key:d.d_seq with
+      | `Ok -> ( match ms with Some m -> Metrics.phantom_delivered m | None -> ())
+      | `Dropped -> ( match ms with Some m -> Metrics.phantom_dropped m | None -> ())
+    end
+  done
+
+let par_insert_stateful sim now stage pkt ~dest ~src ~cell =
+  let seq = sim.sl.Slab.seq.(pkt) in
+  let push_or_insert f =
+    if uses_phantoms sim then Fifo.insert_data f ~key:seq pkt
+    else
+      match Fifo.push_data f ~ring:src ~ts:((now lsl 22) lor seq) ~key:seq pkt with
+      | `Ok -> `Ok
+      | `Dropped -> `No_phantom
+  in
+  let f, pc = stage_queue sim stage ~dest ~cell in
+  match push_or_insert f with
+  | `Ok -> (
+      Option.iter (fun pc -> notify_ready pc cell) pc;
+      match sim.p.ecn_threshold with
+      | Some thr when Fifo.data_length f > thr -> sim.sl.Slab.ecn.(pkt) <- 1
+      | _ -> ())
+  | `No_phantom ->
+      (* Unreachable under the parallel gate: adaptive rings never drop
+         a push, and fault-free Invariant 1 guarantees the phantom
+         precedes its data packet. *)
+      assert false
+
+(* [apply_transfers] for one destination pipeline: walk the shared
+   buffers in the sequential order (stage ascending, index descending)
+   and take only the descriptors steered here.  Same-destination
+   relative order — the only order a FIFO can see — is preserved.
+   Returns the number applied, for the barrier conservation check. *)
+let par_apply sim ms now pipe =
+  let applied = ref 0 in
+  for stage = 0 to sim.n_stages - 1 do
+    let pkts = sim.t_pkts.(stage) and descs = sim.t_descs.(stage) in
+    for i = Vec.length pkts - 1 downto 0 do
+      let desc = Vec.get descs i in
+      let dest = (desc lsr 2) land 63 in
+      if dest = pipe then begin
+        let pkt = Vec.get pkts i in
+        let src = (desc lsr 8) land 63 in
+        incr applied;
+        (match ms with
+        | Some m -> Metrics.transfer m ~stage ~cross:(dest <> src)
+        | None -> ());
+        match desc land 3 with
+        | 1 (* stateful *) ->
+            par_insert_stateful sim now stage pkt ~dest ~src ~cell:((desc lsr 14) - 1)
+        | 2 (* queued *) -> (
+            let f, pc = stage_queue sim stage ~dest ~cell:(-1) in
+            let seq = sim.sl.Slab.seq.(pkt) in
+            match Fifo.push_data f ~ring:src ~ts:seq ~key:seq pkt with
+            | `Ok -> Option.iter (fun pc -> notify_ready pc (-1)) pc
+            | `Dropped -> assert false (* adaptive rings never drop *))
+        | _ (* stateless *) ->
+            (* No starvation guard under the gate (threshold = None). *)
+            assert (sim.slots.(stage).(dest) = no_pkt);
+            sim.slots.(stage).(dest) <- pkt
+      end
+    done
+  done;
+  !applied
+
+(* [pop_phase] for one pipeline.  The head watch is inert under the
+   gate ([watch_heads] is false), fault stalls cannot occur, and there
+   is no event trace — only the live branches remain. *)
+let par_pop sim ms p =
+  for stage = 0 to sim.n_stages - 1 do
+    if sim.stateful_stage.(stage) then begin
+      if sim.slots.(stage).(p) <> no_pkt then (
+        match ms with Some m -> Metrics.claimed m ~stage ~pipe:p | None -> ())
+      else
+        match sim.fifos.(stage).(p) with
+        | Some (Logical f) -> (
+            match Fifo.take f with
+            | `Data (_, pkt) -> (
+                sim.slots.(stage).(p) <- pkt;
+                match ms with Some m -> Metrics.busy m ~stage ~pipe:p | None -> ())
+            | `Blocked _ -> (
+                match ms with Some m -> Metrics.stall_phantom m ~stage ~pipe:p | None -> ())
+            | `Empty -> (
+                match ms with Some m -> Metrics.stall_empty m ~stage ~pipe:p | None -> ()))
+        | Some (Per_cell pc) -> (
+            let best = ref None in
+            let candidates = Hashtbl.fold (fun cell () acc -> cell :: acc) pc.pc_ready [] in
+            List.iter
+              (fun cell ->
+                match Hashtbl.find_opt pc.pc_cells cell with
+                | None -> Hashtbl.remove pc.pc_ready cell
+                | Some f -> (
+                    match Fifo.head f with
+                    | `Empty ->
+                        Hashtbl.remove pc.pc_cells cell;
+                        Hashtbl.remove pc.pc_ready cell
+                    | `Blocked _ -> Hashtbl.remove pc.pc_ready cell
+                    | `Data (key, _) -> (
+                        match !best with
+                        | Some (bkey, _, _) when bkey <= key -> ()
+                        | _ -> best := Some (key, f, cell))))
+              candidates;
+            match !best with
+            | Some (_, f, cell) ->
+                let pkt = Fifo.pop_data f in
+                sim.slots.(stage).(p) <- pkt;
+                (match ms with Some m -> Metrics.busy m ~stage ~pipe:p | None -> ());
+                Hashtbl.replace pc.pc_ready cell ()
+            | None -> (
+                match ms with
+                | Some m ->
+                    let queued =
+                      Hashtbl.fold (fun _ f acc -> acc || Fifo.length f > 0) pc.pc_cells false
+                    in
+                    if queued then Metrics.stall_phantom m ~stage ~pipe:p
+                    else Metrics.stall_empty m ~stage ~pipe:p
+                | None -> ()))
+        | None -> ()
+    end
+  done
+
+(* [metrics_sweep] for one pipeline, into a shard. *)
+let par_sweep sim m p =
+  for stage = 0 to sim.n_stages - 1 do
+    if sim.stateful_stage.(stage) then begin
+      let depth =
+        match sim.fifos.(stage).(p) with
+        | Some (Logical f) -> Fifo.data_length f
+        | Some (Per_cell pc) ->
+            Hashtbl.fold (fun _ f acc -> acc + Fifo.data_length f) pc.pc_cells 0
+        | None -> 0
+      in
+      Metrics.occupancy m ~stage ~pipe:p ~depth
+    end
+    else if sim.slots.(stage).(p) <> no_pkt then Metrics.busy m ~stage ~pipe:p
+    else Metrics.stall_empty m ~stage ~pipe:p
+  done
+
+let par_aim frame sim pkt =
+  let sl = sim.sl in
+  frame.Expr.base <- sl.Slab.fields;
+  frame.Expr.off <- pkt * sl.Slab.nf;
+  frame.Expr.len <- sl.Slab.nf;
+  frame
+
+(* [run_accs] with a per-domain kernel and frame; accesses are buffered
+   into [logbuf] instead of touching the shared access log. *)
+let par_run_accs sim kernel frame logbuf pkt pipeline accs =
+  let frame = par_aim frame sim pkt in
+  let sl = sim.sl in
+  let ab = pkt * sl.Slab.na in
+  let seq = sl.Slab.seq.(pkt) in
+  for i = 0 to Array.length accs - 1 do
+    let acc_id = Array.unsafe_get accs i in
+    let reg = sim.accesses.(acc_id).Transform.reg in
+    let reg_array = Store.array sim.stores.(pipeline) ~reg in
+    let cell = kernel.Kernel.exec.(acc_id) frame reg_array sl.Slab.cell.(ab + acc_id) in
+    if cell >= 0 then begin
+      assert (sl.Slab.cell.(ab + acc_id) < 0 || sl.Slab.cell.(ab + acc_id) = cell);
+      assert (sl.Slab.dest.(ab + acc_id) = pipeline);
+      Vec.push logbuf reg;
+      Vec.push logbuf cell;
+      Vec.push logbuf seq
+    end;
+    sl.Slab.done_.(ab + acc_id) <- 1;
+    release_inflight sim pkt acc_id
+  done
+
+let par_exec sim ps j p =
+  let kernel = ps.ps_kernels.(j) and frame = ps.ps_frames.(j) in
+  for stage = 1 to sim.n_stages - 1 do
+    let pkt = sim.slots.(stage).(p) in
+    if pkt <> no_pkt then begin
+      kernel.Kernel.stateless.(stage) (par_aim frame sim pkt);
+      if sim.sl.Slab.seq.(pkt) < sim.dup_base then
+        par_run_accs sim kernel frame ps.ps_log.(stage).(p) pkt p sim.accs_by_stage.(stage)
+    end
+  done
+
+(* One parallel cycle: everything [drive]'s sequential arm does from
+   the monitor epoch through [exec_phase], leaving movement and remap
+   to the shared sequential suffix. *)
+let par_cycle sim ps now source st =
+  (* sequential prefix *)
+  (match sim.mon with
+  | Some mon when Monitor.due mon ~now -> monitor_phase sim mon now
+  | _ -> ());
+  (match sim.ms with Some m -> Metrics.on_cycle m | None -> ());
+  Channel.drain sim.channel ~now (fun d -> Vec.push ps.ps_dbuf.(d.d_dest) d);
+  (* Arrivals hoisted before the fan-out: under the gate the arrival
+     phase touches only stage-0 slots, the slab allocator and the
+     phantom calendar — none of which deliver/apply read or write — so
+     hoisting is behavior-preserving and keeps every slab allocation
+     (the arrays may move when they grow) in sequential code. *)
+  arrival_phase sim now source st;
+  let k = sim.p.k and jobs = ps.ps_jobs in
+  Pool.Team.run ps.ps_team (fun j ->
+      let ms = if ps.ps_shards = [||] then None else Some ps.ps_shards.(j) in
+      let p = ref j in
+      while !p < k do
+        let pipe = !p in
+        par_deliver sim ms ps.ps_dbuf.(pipe);
+        ps.ps_applied.(pipe) <- par_apply sim ms now pipe;
+        par_pop sim ms pipe;
+        (match ms with Some m -> par_sweep sim m pipe | None -> ());
+        par_exec sim ps j pipe;
+        p := !p + jobs
+      done);
+  (* barrier: re-serialize the shared logs in deterministic order *)
+  for stage = 1 to sim.n_stages - 1 do
+    for p = 0 to k - 1 do
+      let b = ps.ps_log.(stage).(p) in
+      let n = Vec.length b in
+      let i = ref 0 in
+      while !i < n do
+        log_access sim (Vec.get b !i) (Vec.get b (!i + 1)) (Vec.get b (!i + 2));
+        i := !i + 3
+      done;
+      Vec.clear b
+    done
+  done;
+  (match sim.ms with
+  | Some m -> Array.iter (fun shard -> Metrics.absorb m shard) ps.ps_shards
+  | None -> ());
+  (* Packet conservation across the merge: the transfer buffers are
+     consumed but not cleared by the fan-out, so they still count the
+     descriptors that were pending at the top of the cycle.  Nothing
+     drops under the gate. *)
+  (match sim.mon with
+  | Some mon ->
+      let transfers = ref 0 in
+      Array.iter (fun v -> transfers := !transfers + Vec.length v) sim.t_pkts;
+      let applied = Array.fold_left ( + ) 0 ps.ps_applied in
+      Monitor.barrier mon ~cycle:now ~transfers:!transfers ~applied ~dropped:0
+  | None -> ());
+  Array.fill ps.ps_applied 0 k 0;
+  Array.iter Vec.clear ps.ps_dbuf;
+  for stage = 0 to sim.n_stages - 1 do
+    Vec.clear sim.t_pkts.(stage);
+    Vec.clear sim.t_descs.(stage)
+  done
 
 (* --- snapshots (mp5-snap/1) --- *)
 
@@ -1517,19 +1868,23 @@ let prog_digest (prog : Transform.t) =
   Array.iter (fun s -> feed (if s then 1 else 0)) prog.Transform.sharded;
   Hashing.finish (!hi, !lo)
 
-let w_packet b pkt =
-  Binio.w_int b pkt.seq;
-  Binio.w_int b pkt.time_in;
-  Binio.w_bool b pkt.ecn;
-  Binio.w_int_array b pkt.fields;
-  Array.iter
-    (fun rt ->
-      Binio.w_int b (match rt.guard_known with Gk_unknown -> 0 | Gk_false -> 1 | Gk_true -> 2);
-      Binio.w_int b rt.cell;
-      Binio.w_int b rt.dest;
-      Binio.w_bool b rt.done_;
-      Binio.w_bool b rt.counted)
-    pkt.accs
+(* The wire layout of a packet is unchanged from the boxed-record era:
+   guard state was already encoded 0/1/2 (now the [gk_*] constants
+   verbatim), so slab-era snapshots stay byte-identical. *)
+let w_packet b sim pkt =
+  let sl = sim.sl in
+  Binio.w_int b sl.Slab.seq.(pkt);
+  Binio.w_int b sl.Slab.time_in.(pkt);
+  Binio.w_bool b (sl.Slab.ecn.(pkt) <> 0);
+  Binio.w_int_array b (Array.sub sl.Slab.fields (pkt * sl.Slab.nf) sl.Slab.nf);
+  let ab = pkt * sl.Slab.na in
+  for i = 0 to sl.Slab.na - 1 do
+    Binio.w_int b sl.Slab.gk.(ab + i);
+    Binio.w_int b sl.Slab.cell.(ab + i);
+    Binio.w_int b sl.Slab.dest.(ab + i);
+    Binio.w_bool b (sl.Slab.done_.(ab + i) <> 0);
+    Binio.w_bool b (sl.Slab.counted.(ab + i) <> 0)
+  done
 
 let r_packet r sim =
   let seq = Binio.r_int r in
@@ -1538,40 +1893,32 @@ let r_packet r sim =
   let fields = Binio.r_int_array r in
   if Array.length fields <> Array.length sim.config.Config.fields then
     failwith "snapshot: packet field count does not match the program";
-  let read_acc plan =
-    let guard_known =
-      match Binio.r_int r with
-      | 0 -> Gk_unknown
-      | 1 -> Gk_false
-      | 2 -> Gk_true
-      | t -> failwith (Printf.sprintf "snapshot: unknown guard state %d" t)
-    in
-    let cell = Binio.r_int r in
-    let dest = Binio.r_int r in
-    let done_ = Binio.r_bool r in
-    let counted = Binio.r_bool r in
-    { plan; guard_known; cell; dest; done_; counted }
-  in
-  let n = Array.length sim.accesses in
-  let accs =
-    if n = 0 then [||]
-    else begin
-      (* Explicit order: every [read_acc] is a sequence of reads. *)
-      let a = Array.make n (read_acc sim.accesses.(0)) in
-      for i = 1 to n - 1 do
-        a.(i) <- read_acc sim.accesses.(i)
-      done;
-      a
-    end
-  in
-  { seq; time_in; fields; accs; ecn }
+  let pkt = Slab.alloc sim.sl in
+  let sl = sim.sl in
+  sl.Slab.seq.(pkt) <- seq;
+  sl.Slab.time_in.(pkt) <- time_in;
+  sl.Slab.ecn.(pkt) <- (if ecn then 1 else 0);
+  Array.blit fields 0 sl.Slab.fields (pkt * sl.Slab.nf) sl.Slab.nf;
+  let ab = pkt * sl.Slab.na in
+  for i = 0 to sl.Slab.na - 1 do
+    (* Explicit order: each component is a separate sequenced read. *)
+    let gk = Binio.r_int r in
+    if gk <> gk_unknown && gk <> gk_false && gk <> gk_true then
+      failwith (Printf.sprintf "snapshot: unknown guard state %d" gk);
+    sl.Slab.gk.(ab + i) <- gk;
+    sl.Slab.cell.(ab + i) <- Binio.r_int r;
+    sl.Slab.dest.(ab + i) <- Binio.r_int r;
+    sl.Slab.done_.(ab + i) <- (if Binio.r_bool r then 1 else 0);
+    sl.Slab.counted.(ab + i) <- (if Binio.r_bool r then 1 else 0)
+  done;
+  pkt
 
-let w_fifo b (f : packet Fifo.t) =
+let w_fifo b sim (f : int Fifo.t) =
   let d = Fifo.dump f in
   Binio.w_int b d.Fifo.d_high_water;
   Binio.w_int b (Array.length d.Fifo.d_rings);
   Array.iter
-    (fun (rd : packet Fifo.ring_dump) ->
+    (fun (rd : int Fifo.ring_dump) ->
       Binio.w_int b rd.Fifo.rd_capacity;
       Binio.w_int b rd.Fifo.rd_head_seq;
       Binio.w_int b (List.length rd.Fifo.rd_entries);
@@ -1584,7 +1931,7 @@ let w_fifo b (f : packet Fifo.t) =
           | None -> Binio.w_bool b false
           | Some pkt ->
               Binio.w_bool b true;
-              w_packet b pkt)
+              w_packet b sim pkt)
         rd.Fifo.rd_entries)
     d.Fifo.d_rings
 
@@ -1614,12 +1961,12 @@ let r_fifo r sim =
   done;
   Fifo.restore ~adaptive:sim.p.adaptive_fifos { Fifo.d_rings; d_high_water }
 
-let w_queue b q =
+let w_queue b sim q =
   match q with
   | None -> Binio.w_int b 0
   | Some (Logical f) ->
       Binio.w_int b 1;
-      w_fifo b f
+      w_fifo b sim f
   | Some (Per_cell pc) ->
       Binio.w_int b 2;
       let cells =
@@ -1630,7 +1977,7 @@ let w_queue b q =
       List.iter
         (fun (c, f) ->
           Binio.w_int b c;
-          w_fifo b f)
+          w_fifo b sim f)
         cells;
       let ready =
         Hashtbl.fold (fun c () acc -> c :: acc) pc.pc_ready [] |> List.sort compare
@@ -1730,7 +2077,7 @@ let r_plan r =
 let count_in_flight sim =
   let counted = ref 0 in
   Array.iter
-    (fun row -> Array.iter (function Some _ -> incr counted | None -> ()) row)
+    (fun row -> Array.iter (fun pkt -> if pkt <> no_pkt then incr counted) row)
     sim.slots;
   Array.iter
     (fun row ->
@@ -1808,7 +2155,7 @@ let encode sim st source =
   Binio.w_tag b 9;
   for s = 0 to sim.n_stages - 1 do
     for p = 0 to sim.p.k - 1 do
-      w_queue b sim.fifos.(s).(p)
+      w_queue b sim sim.fifos.(s).(p)
     done
   done;
   Binio.w_tag b 10;
@@ -1817,7 +2164,7 @@ let encode sim st source =
     Binio.w_int b (Vec.length pkts);
     for i = 0 to Vec.length pkts - 1 do
       Binio.w_int b (Vec.get descs i);
-      w_packet b (Vec.get pkts i)
+      w_packet b sim (Vec.get pkts i)
     done
   done;
   Binio.w_tag b 11;
@@ -1867,8 +2214,24 @@ let encode sim st source =
 
 (* --- the cycle loop, shared by [run], [run_source] and [resume] --- *)
 
-let drive sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget =
+let drive ?team sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget =
   let params = sim.p in
+  (* The parallel gate: fan out only when a real team was passed and
+     nothing attached to the run can drop/free a packet mid-cycle
+     (fault plans, bounded rings, the starvation guard) or observe
+     mid-cycle state in sequential order (event traces, observers).
+     Anything else — including every jobs=1 team — takes the sequential
+     arm below, byte for byte. *)
+  let pstate =
+    match team with
+    | Some tm
+      when Pool.Team.size tm > 1
+           && Option.is_none sim.flt && Option.is_none sim.tr && Option.is_none observer
+           && sim.p.adaptive_fifos
+           && sim.p.starvation_threshold = None ->
+        Some (make_par_state sim tm)
+    | _ -> None
+  in
   let has_next () = match Psource.peek source with Some _ -> true | None -> false in
   let suspended = ref None in
   let running = ref true in
@@ -1881,18 +2244,21 @@ let drive sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget
         running := false
     | _ ->
         let t = st.now in
-        (match sim.mon with
-        | Some mon when Monitor.due mon ~now:t -> monitor_phase sim mon t
-        | _ -> ());
-        (match sim.flt with Some f -> fault_edges sim f t | None -> ());
-        (match sim.ms with Some m -> Metrics.on_cycle m | None -> ());
-        deliver_phantoms sim t;
-        apply_transfers sim t;
-        arrival_phase sim t source st;
-        pop_phase sim t;
-        (match sim.ms with Some m -> metrics_sweep sim m | None -> ());
-        observe sim t observer;
-        exec_phase sim t;
+        (match pstate with
+        | Some ps -> par_cycle sim ps t source st
+        | None ->
+            (match sim.mon with
+            | Some mon when Monitor.due mon ~now:t -> monitor_phase sim mon t
+            | _ -> ());
+            (match sim.flt with Some f -> fault_edges sim f t | None -> ());
+            (match sim.ms with Some m -> Metrics.on_cycle m | None -> ());
+            deliver_phantoms sim t;
+            apply_transfers sim t;
+            arrival_phase sim t source st;
+            pop_phase sim t;
+            (match sim.ms with Some m -> metrics_sweep sim m | None -> ());
+            observe sim t observer;
+            exec_phase sim t);
         movement_phase sim t;
         if
           params.remap_period > 0 && t > st.first_arrival
@@ -1984,7 +2350,8 @@ let fresh_loop_state ~start ~track_src =
     track_src;
   }
 
-let run ?observer ?metrics ?events ?fault ?monitor ?(compiled = true) params prog trace =
+let run ?team ?observer ?metrics ?events ?fault ?monitor ?(compiled = true) params prog trace
+    =
   if Array.length trace = 0 then invalid_arg "Sim.run: empty trace";
   let source = Psource.of_array trace in
   let sim = create ~compiled ~collect:true ?metrics ?events ?fault ?monitor params prog in
@@ -1995,7 +2362,7 @@ let run ?observer ?metrics ?events ?fault ?monitor ?(compiled = true) params pro
   | None -> ());
   let st = fresh_loop_state ~start:trace.(0).Machine.time ~track_src:false in
   (match
-     drive sim st source ~observer ~checkpoint_every:None ~on_checkpoint:None
+     drive ?team sim st source ~observer ~checkpoint_every:None ~on_checkpoint:None
        ~cycle_budget:None
    with
   | `Suspended _ -> assert false
@@ -2091,7 +2458,7 @@ let finish_summary sim st source =
       { dg_exits = Hashing.finish (sim.ed_hi, sim.ed_lo); dg_access = access_digest sim };
   }
 
-let run_source ?observer ?metrics ?events ?fault ?monitor ?(compiled = true)
+let run_source ?team ?observer ?metrics ?events ?fault ?monitor ?(compiled = true)
     ?checkpoint_every ?on_checkpoint ?cycle_budget params prog source =
   (match checkpoint_every with
   | Some n when n <= 0 -> invalid_arg "Sim.run_source: checkpoint_every must be positive"
@@ -2116,13 +2483,14 @@ let run_source ?observer ?metrics ?events ?fault ?monitor ?(compiled = true)
     fresh_loop_state ~start:start_time
       ~track_src:(checkpoint_every <> None || cycle_budget <> None)
   in
-  match drive sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget with
+  match drive ?team sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget
+  with
   | `Suspended snap -> Suspended snap
   | `Done -> Completed (finish_summary sim st source)
 
 exception Resume_mismatch of string
 
-let resume ?observer ?metrics ?events ?monitor ?(compiled = true) ?checkpoint_every
+let resume ?team ?observer ?metrics ?events ?monitor ?(compiled = true) ?checkpoint_every
     ?on_checkpoint ?cycle_budget ~snapshot prog source =
   (* A resume boundary is a cold point by definition, and chunked
      gigapacket runs pass through one every few hundred thousand cycles.
@@ -2340,7 +2708,9 @@ let resume ?observer ?metrics ?events ?monitor ?(compiled = true) ?checkpoint_ev
       | exception Failure msg -> Error (Corrupt msg)
       | exception Invalid_argument msg -> Error (Corrupt ("snapshot: " ^ msg))
       | sim, st -> (
-          match drive sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget with
+          match
+            drive ?team sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget
+          with
           | `Suspended snap -> Ok (Suspended snap)
           | `Done -> Ok (Completed (finish_summary sim st source))))
 

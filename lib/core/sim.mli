@@ -81,6 +81,7 @@ type result = {
 }
 
 val run :
+  ?team:Mp5_util.Pool.Team.t ->
   ?observer:(occupancy -> unit) ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
@@ -94,6 +95,18 @@ val run :
 (** [run params program trace] simulates the (sorted) trace to completion:
     all packets either delivered or dropped.  [observer] is called once
     per cycle after FIFO pops, with the stage occupancy.
+
+    [team] selects the parallel cycle engine: each pipeline's
+    deliver/apply/pop/exec chain advances on its own domain of the team
+    ({!Mp5_util.Pool.Team}), with a cycle-boundary barrier that merges
+    the shared logs back in sequential order — results are bit-identical
+    to the sequential engine for any team size (enforced by differential
+    tests).  Runs that attach a fault plan, an event trace or an
+    observer, disable adaptive FIFOs, or arm the starvation guard fall
+    back to the sequential engine automatically (correctness first: those
+    paths can drop packets or observe mid-cycle state in sequential
+    order).  A jobs=1 team, or no team, is byte-for-byte the sequential
+    code path.
 
     [metrics] accumulates per-cycle counters (utilization, stall
     attribution, crossbar traffic, phantom accounting, latency and
@@ -184,6 +197,7 @@ type resume_error =
                             program, source, or instrumentation *)
 
 val run_source :
+  ?team:Mp5_util.Pool.Team.t ->
   ?observer:(occupancy -> unit) ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
@@ -201,7 +215,11 @@ val run_source :
     (or until [cycle_budget] simulated cycles have run, yielding
     [Suspended snapshot]).  The machine executes the exact same cycle
     loop as {!run} — a streamed run and an array run over the same
-    packets produce equal counters, stores, and digests.
+    packets produce equal counters, stores, and digests.  [team] selects
+    the parallel cycle engine exactly as in {!run}, with the same
+    automatic sequential fallback and the same bit-identical guarantee —
+    including across checkpoints: a snapshot records no engine choice,
+    so a run checkpointed under either engine resumes under either.
 
     [checkpoint_every] (positive; @raise Invalid_argument otherwise)
     calls [on_checkpoint ~cycle snapshot] every N visited cycles with a
@@ -215,6 +233,7 @@ val run_source :
     @raise Invalid_argument otherwise) and non-empty. *)
 
 val resume :
+  ?team:Mp5_util.Pool.Team.t ->
   ?observer:(occupancy -> unit) ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
@@ -230,7 +249,9 @@ val resume :
 (** [resume ~snapshot program source] restores the machine from a
     snapshot produced by {!run_source}/{!resume} and continues the run;
     the continuation is bit-identical to the uninterrupted run — same
-    final store, counters, and digests.
+    final store, counters, and digests.  [team] selects the parallel
+    cycle engine as in {!run_source}; snapshots record no engine choice,
+    so a sequential checkpoint resumes under a team and vice versa.
 
     The snapshot embeds its fault plan, so there is no [?fault]
     parameter.  [?metrics] must be passed iff the snapshot was taken

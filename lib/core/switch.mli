@@ -43,6 +43,7 @@ val golden : t -> Mp5_banzai.Machine.input array -> Mp5_banzai.Machine.result
 (** Run the logical single-pipeline reference. *)
 
 val run :
+  ?team:Mp5_util.Pool.Team.t ->
   ?params:Sim.params ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
@@ -54,10 +55,11 @@ val run :
   Mp5_banzai.Machine.input array ->
   Sim.result
 (** Run the MP5 simulator ([params] defaults to {!Sim.default_params};
-    [metrics], [events], [fault], [monitor] and [compiled] as in
+    [team], [metrics], [events], [fault], [monitor] and [compiled] as in
     {!Sim.run}). *)
 
 val run_source :
+  ?team:Mp5_util.Pool.Team.t ->
   ?params:Sim.params ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
@@ -76,6 +78,7 @@ val run_source :
     periodic checkpoints and a cycle budget (see {!Sim.run_source}). *)
 
 val resume :
+  ?team:Mp5_util.Pool.Team.t ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
   ?monitor:Mp5_fault.Monitor.t ->
@@ -91,6 +94,7 @@ val resume :
     {!Sim.resume}; params and fault plan come from the snapshot). *)
 
 val verify :
+  ?team:Mp5_util.Pool.Team.t ->
   ?params:Sim.params ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->

@@ -46,3 +46,51 @@ val init : t -> int -> (int -> 'a) -> 'a array
 val shutdown : t -> unit
 (** Terminate and join the worker domains.  Idempotent; maps submitted
     after shutdown run inline on the caller. *)
+
+val quiesce : t -> unit
+(** Join the worker domains {e without} retiring the pool: the next
+    parallel map respawns them lazily.
+
+    Policy for timing code: an idle worker domain still participates in
+    every stop-the-world minor-GC rendezvous, which inflates single-run
+    micro-benchmarks by tens of percent.  A measurement section should
+    therefore call [quiesce] first and simply keep using the same pool
+    afterwards, instead of the old shutdown-and-recreate dance (or
+    running the whole experiment pool-free).  Respawning on the next map
+    costs one [Domain.spawn] per worker — noise for the batch workloads
+    the pool exists for. *)
+
+(** A fixed team of domains for repeated fork-join rounds over the {e
+    same} mutable state — the simulator's parallel cycle engine, where
+    every simulated cycle fans one closure out over pipeline slices and
+    must rejoin at the cycle boundary.
+
+    Unlike the work-queue maps above, [run] hands every member the same
+    closure with its member index; the caller participates as member 0.
+    Members are persistent (spawned once at [create]), so a run's
+    per-cycle cost is two condition-variable handshakes, not a domain
+    spawn.  [create ~jobs:1] spawns nothing and [run] is a plain inline
+    call — the jobs=1 team is byte-for-byte the sequential code path.
+
+    Exceptions raised by members are re-raised in the caller after the
+    round completes (the one from the smallest member index wins). *)
+module Team : sig
+  type t
+
+  val create : jobs:int -> t
+  (** Spawn [jobs - 1] member domains ([jobs >= 1], or
+      [Invalid_argument]).  Registers an [at_exit] hook that shuts the
+      members down. *)
+
+  val size : t -> int
+
+  val run : t -> (int -> unit) -> unit
+  (** [run t f] executes [f 0 .. f (size t - 1)] concurrently (member 0
+      on the caller) and returns when all have finished.  Not
+      re-entrant. *)
+
+  val shutdown : t -> unit
+  (** Join the member domains.  Idempotent; [run] after shutdown executes
+      [f 0] inline only — callers should not race [shutdown] with an
+      in-flight [run]. *)
+end

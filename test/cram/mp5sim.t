@@ -16,3 +16,19 @@ Known programs are listed:
   packet_counter
   sequencer
   flowlet
+
+The parallel cycle engine produces bit-identical digests to the
+sequential engine (same seed, same program, any job count):
+
+  $ ../../bin/mp5sim.exe --app flowlet --pipelines 8 --packets 4000 --seed 11 --stream --engine seq | grep digests
+  digests: exits 17b2de4ec5f2c87f, access 113d004e27adb3a3
+  $ ../../bin/mp5sim.exe --app flowlet --pipelines 8 --packets 4000 --seed 11 --stream --engine par --jobs 2 | grep digests
+  digests: exits 17b2de4ec5f2c87f, access 113d004e27adb3a3
+  $ ../../bin/mp5sim.exe --app flowlet --pipelines 8 --packets 4000 --seed 11 --stream --engine par --jobs 8 | grep digests
+  digests: exits 17b2de4ec5f2c87f, access 113d004e27adb3a3
+
+The parallel engine refuses flag combinations it cannot honor:
+
+  $ ../../bin/mp5sim.exe --app flowlet --engine par --runs 2
+  mp5sim: --engine par applies to single runs (drop --runs)
+  [1]

@@ -8,7 +8,13 @@
    order, latencies, counters).  This is the enforcement half of the
    bit-identical guarantee documented in Sim.run.
 
-   Both engines are additionally checked against the independent
+   Each seed is additionally replayed under the domain-parallel cycle
+   engine (a [Pool.Team] of 1/2/4/8 members, cycling across the corpus)
+   and must be bit-identical to the sequential run — results, telemetry,
+   streaming digests, and snapshots taken under one engine and resumed
+   under the other.
+
+   Both execution engines are additionally checked against the independent
    reference interpreter (lib/fuzz/interp), which executes the untyped
    AST directly with C semantics and knows nothing about stages, kernels
    or pipelines: final register state and per-packet output headers must
@@ -16,6 +22,7 @@
 
 module Store = Mp5_banzai.Store
 module Sim = Mp5_core.Sim
+module Pool = Mp5_util.Pool
 open Mp5_domino
 module Progen = Mp5_fuzz.Progen
 module Interp = Mp5_fuzz.Interp
@@ -23,6 +30,11 @@ module Interp = Mp5_fuzz.Interp
 let limits = Progen.limits
 let n_programs = 220
 let n_packets = 100
+
+(* One persistent team per job count, shared across the whole corpus so
+   the 220 seeds pay domain spawn once, not 220 times.  [Team.create]
+   registers an [at_exit] shutdown hook. *)
+let teams = lazy (Array.map (fun jobs -> Pool.Team.create ~jobs) [| 1; 2; 4; 8 |])
 
 let compile_gen seed =
   let src = Progen.generate seed in
@@ -69,18 +81,51 @@ let run_seed seed =
   let interp = Sim.run ~compiled:false ~metrics:mi ~events:ti params prog trace in
   if not (Sim.results_equal kernel interp) then
     Alcotest.failf "seed %d: kernel and interpreter engines diverge on:\n%s" seed src;
+  (* Parallel cycle engine: a team of any size must be bit-identical to
+     the sequential engine — result and telemetry both.  Job counts
+     cycle through {1,2,4,8} across the corpus, and the engine choice is
+     orthogonal to the kernel/interpreter choice, so that alternates
+     too. *)
+  let team = (Lazy.force teams).(seed mod 4) in
+  let jobs = Pool.Team.size team in
+  let mp = Mp5_obs.Metrics.create ~stages ~k in
+  let par = Sim.run ~team ~compiled:(seed mod 2 = 0) ~metrics:mp params prog trace in
+  if not (Sim.results_equal kernel par) then
+    Alcotest.failf "seed %d: parallel engine (jobs=%d) diverges on:\n%s" seed jobs src;
+  if not (Mp5_obs.Metrics.equal mk mp) then
+    Alcotest.failf "seed %d: parallel engine (jobs=%d) telemetry diverges on:\n%s" seed jobs
+      src;
   (* An empty fault plan plus an attached invariant monitor must be
      invisible: the fault hooks' no-plan path is bit-identical to an
-     unfaulted build, and the monitor is a pure observer. *)
+     unfaulted build, and the monitor is a pure observer.  An empty plan
+     does not close the parallel gate, so attaching the team here also
+     exercises the cycle-barrier conservation check
+     ([Monitor.barrier]). *)
   let mon = Mp5_fault.Monitor.create () in
   let faulted =
-    Sim.run ~compiled:true ~fault:Mp5_fault.Fault.empty ~monitor:mon params prog trace
+    Sim.run ~team ~compiled:true ~fault:Mp5_fault.Fault.empty ~monitor:mon params prog
+      trace
   in
   if not (Sim.results_equal kernel faulted) then
     Alcotest.failf "seed %d: empty fault plan + monitor changes the result on:\n%s" seed src;
   if not (Mp5_fault.Monitor.ok mon) then
     Alcotest.failf "seed %d: monitor violation on an unfaulted run:\n%s\n%s" seed src
       (Mp5_fault.Monitor.summary mon);
+  (* A non-empty plan closes the gate: the run falls back to the
+     sequential engine automatically, and a team must not change the
+     faulted results. *)
+  if seed mod 7 = 0 then begin
+    let plan =
+      {
+        Mp5_fault.Fault.seed = (7 * seed) + 1;
+        events = [ Mp5_fault.Fault.window ~from_:5 ~until_:60 (Mp5_fault.Fault.Xbar_drop 0.25) ];
+      }
+    in
+    let fs = Sim.run ~compiled:true ~fault:plan params prog trace in
+    let fp = Sim.run ~team ~compiled:true ~fault:plan params prog trace in
+    if not (Sim.results_equal fs fp) then
+      Alcotest.failf "seed %d: faulted fallback (jobs=%d) diverges on:\n%s" seed jobs src
+  end;
   (match Mp5_obs.Metrics.validate mk with
   | Ok () -> ()
   | Error e -> Alcotest.failf "seed %d: telemetry invariant violated: %s\nprogram:\n%s" seed e src);
@@ -93,20 +138,50 @@ let run_seed seed =
      counter, the merged store, and the exit/access digests
      ([Sim.digests_of_result] condenses the array run's per-packet lists
      into the digests the streaming path maintains online). *)
-  let stream ~compiled =
+  let stream ?team ~compiled () =
     match
-      Sim.run_source ~compiled params prog (Mp5_workload.Packet_source.of_array trace)
+      Sim.run_source ?team ~compiled params prog (Mp5_workload.Packet_source.of_array trace)
     with
     | Sim.Completed s -> s
     | Sim.Suspended _ -> Alcotest.failf "seed %d: streamed run suspended without a budget" seed
   in
   let want = Sim.summary_of_result ~packets:(Array.length trace) kernel in
-  if not (Sim.summary_equal want (stream ~compiled:true)) then
+  if not (Sim.summary_equal want (stream ~compiled:true ())) then
     Alcotest.failf "seed %d: streamed source diverges from the array run (kernel):\n%s" seed
       src;
-  if not (Sim.summary_equal want (stream ~compiled:false)) then
+  if not (Sim.summary_equal want (stream ~compiled:false ())) then
     Alcotest.failf "seed %d: streamed source diverges from the array run (interp):\n%s" seed
       src;
+  if not (Sim.summary_equal want (stream ~team ~compiled:true ())) then
+    Alcotest.failf "seed %d: streamed source diverges from the array run (par jobs=%d):\n%s"
+      seed jobs src;
+  (* Cross-engine checkpoint/resume on a corpus slice: a snapshot taken
+     under either engine must resume under the other and land on the
+     uninterrupted run's summary — snapshots record no engine choice. *)
+  if seed mod 23 = 0 then begin
+    let cross t1 t2 =
+      match
+        Sim.run_source ?team:t1 ~cycle_budget:25 params prog
+          (Mp5_workload.Packet_source.of_array trace)
+      with
+      | Sim.Completed s -> s (* finished inside the budget; nothing to cross *)
+      | Sim.Suspended snap -> (
+          match
+            Sim.resume ?team:t2 ~snapshot:snap prog
+              (Mp5_workload.Packet_source.of_array trace)
+          with
+          | Ok (Sim.Completed s) -> s
+          | Ok (Sim.Suspended _) ->
+              Alcotest.failf "seed %d: resume suspended without a budget" seed
+          | Error _ -> Alcotest.failf "seed %d: cross-engine resume rejected" seed)
+    in
+    if not (Sim.summary_equal want (cross (Some team) None)) then
+      Alcotest.failf "seed %d: par checkpoint -> seq resume diverges (jobs=%d):\n%s" seed
+        jobs src;
+    if not (Sim.summary_equal want (cross None (Some team))) then
+      Alcotest.failf "seed %d: seq checkpoint -> par resume diverges (jobs=%d):\n%s" seed
+        jobs src
+  end;
   if kernel.Sim.dropped = 0 then begin
     (* the oracle has no drop model, so only compare complete deliveries *)
     let ref_regs, ref_headers = Interp.interp t.Compile.env trace in
@@ -126,6 +201,6 @@ let () =
   Alcotest.run "differential"
     [
       ( "engines",
-        [ Alcotest.test_case "kernel = interpreter = oracle (220 programs)" `Quick
+        [ Alcotest.test_case "kernel = interpreter = parallel = oracle (220 programs)" `Quick
             test_engines_agree ] );
     ]

@@ -89,7 +89,7 @@ let assert_same ?(tables = tables) ~fields ~state e =
   let cell = Option.map ref state in
   let compiled =
     match outcome (fun () -> Expr.compile tables ~state:cell e) with
-    | Ok k -> outcome (fun () -> k fields)
+    | Ok k -> outcome (fun () -> k (Expr.frame_of_array fields))
     | Error m -> Error m
   in
   if interp <> compiled then
@@ -200,7 +200,7 @@ let test_stateless_parity () =
     let interp = outcome (fun () -> Atom.exec_stateless ~tables ~fields:fa op) in
     let compiled =
       match outcome (fun () -> Atom.compile_stateless ~tables op) with
-      | Ok k -> outcome (fun () -> k fb)
+      | Ok k -> outcome (fun () -> k (Expr.frame_of_array fb))
       | Error m -> Error m
     in
     check "same outcome" true
@@ -233,7 +233,7 @@ let test_stateful_parity () =
     let ra = Array.copy base_reg and rb = Array.copy base_reg in
     let r = Atom.exec_stateful ~tables ~fields:fa ~reg_array:ra atom in
     let k = Atom.compile_stateful ~tables atom in
-    let cell = k fb rb (-1) in
+    let cell = k (Expr.frame_of_array fb) rb (-1) in
     check_int "returned cell" (if r.Atom.accessed then r.Atom.cell else -1) cell;
     check "fields identical" true (fa = fb);
     check "registers identical" true (ra = rb)
@@ -252,8 +252,8 @@ let test_stateful_cell_hint () =
     let k = Atom.compile_stateful ~tables atom in
     let fa = Array.copy base_fields and fb = Array.copy base_fields in
     let ra = Array.copy base_reg and rb = Array.copy base_reg in
-    let ca = k fa ra (-1) in
-    let cb = k fb rb hint in
+    let ca = k (Expr.frame_of_array fa) ra (-1) in
+    let cb = k (Expr.frame_of_array fb) rb hint in
     check_int "same cell" ca cb;
     check "fields identical" true (fa = fb);
     check "registers identical" true (ra = rb)

@@ -170,6 +170,64 @@ let prop_recirc_k1_equivalent =
         QCheck.Test.fail_reportf "program:\n%s\n%s" src (Format.asprintf "%a" Equiv.pp rep);
       true)
 
+(* One persistent team per job count, shared across all property
+   iterations ([Team.create] registers an [at_exit] shutdown hook). *)
+let par_teams = lazy (Array.map (fun jobs -> Mp5_util.Pool.Team.create ~jobs) [| 1; 2; 4; 8 |])
+
+let prop_par_engine_bit_identical =
+  (* The domain-parallel cycle engine is bit-identical to the sequential
+     one for random programs at jobs in {1,2,4,8}; a fault plan closes
+     the parallel gate and the automatic sequential fallback must be
+     invisible; and a checkpoint taken under either engine resumes under
+     the other onto the uninterrupted run's summary. *)
+  QCheck.Test.make ~name:"parallel cycle engine bit-identical to sequential" ~count:100
+    QCheck.(small_nat)
+    (fun seed ->
+      let src, t = compile_gen seed in
+      let prog = Mp5_core.Transform.transform ~limits t.Compile.config in
+      let k = 2 + (seed mod 4) in
+      let trace = gen_trace ~seed ~k ~n:200 in
+      let params = Sim.default_params ~k in
+      let team = (Lazy.force par_teams).(seed mod 4) in
+      let jobs = Mp5_util.Pool.Team.size team in
+      let seq = Sim.run params prog trace in
+      let par = Sim.run ~team params prog trace in
+      if not (Sim.results_equal seq par) then
+        QCheck.Test.fail_reportf "parallel engine (jobs=%d) diverges on:\n%s" jobs src;
+      let plan =
+        {
+          Mp5_fault.Fault.seed = seed + 17;
+          events = [ Mp5_fault.Fault.window ~from_:3 ~until_:50 (Mp5_fault.Fault.Xbar_drop 0.2) ];
+        }
+      in
+      let fs = Sim.run ~fault:plan params prog trace in
+      let fp = Sim.run ~team ~fault:plan params prog trace in
+      if not (Sim.results_equal fs fp) then
+        QCheck.Test.fail_reportf "faulted fallback (jobs=%d) diverges on:\n%s" jobs src;
+      let want = Sim.summary_of_result ~packets:(Array.length trace) seq in
+      let cross t1 t2 =
+        match
+          Sim.run_source ?team:t1 ~cycle_budget:30 params prog
+            (Mp5_workload.Packet_source.of_array trace)
+        with
+        | Sim.Completed s -> s (* finished inside the budget; nothing to cross *)
+        | Sim.Suspended snap -> (
+            match
+              Sim.resume ?team:t2 ~snapshot:snap prog
+                (Mp5_workload.Packet_source.of_array trace)
+            with
+            | Ok (Sim.Completed s) -> s
+            | Ok (Sim.Suspended _) -> QCheck.Test.fail_report "resume suspended without a budget"
+            | Error _ -> QCheck.Test.fail_report "cross-engine resume rejected")
+      in
+      if not (Sim.summary_equal want (cross (Some team) None)) then
+        QCheck.Test.fail_reportf "par checkpoint -> seq resume diverges (jobs=%d):\n%s" jobs
+          src;
+      if not (Sim.summary_equal want (cross None (Some team))) then
+        QCheck.Test.fail_reportf "seq checkpoint -> par resume diverges (jobs=%d):\n%s" jobs
+          src;
+      true)
+
 let prop_sim_deterministic =
   QCheck.Test.make ~name:"simulator runs are deterministic" ~count:25
     QCheck.(small_nat)
@@ -371,6 +429,7 @@ let () =
             prop_transform_invariants;
             prop_finite_fifo_accounting;
             prop_recirc_k1_equivalent;
+            prop_par_engine_bit_identical;
             prop_sim_deterministic;
           ] );
       ("pretty", q [ prop_pretty_roundtrip ]);
