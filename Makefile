@@ -59,9 +59,13 @@ longrun-smoke:
 # hosts whose Domain.recommended_domain_count can actually run 4
 # domains, so a 1-core CI container still proves bit-identity without
 # flagging barrier overhead it cannot amortize.
+# scripts/perf_gate.sh additionally compares the fresh
+# heavy-hitter-2k/kernel_ns against the baseline committed in git HEAD
+# (+/-25% band: above fails as a regression, well below warns that the
+# baseline should be refreshed; no committed baseline skips the
+# comparison with a warning).
 perf-smoke:
-	dune build bench/main.exe
-	./_build/default/bench/main.exe --smoke sim-micro sim-par --json BENCH_results.json
+	sh scripts/perf_gate.sh
 
 bench:
 	dune exec bench/main.exe

@@ -36,6 +36,28 @@ let full = { n_packets = 60_000; runs = 10 }
 let compiled = ref true
 let set_compiled b = compiled := b
 
+(* Cycle-loop variant for every simulator invocation below: Auto
+   (default) takes the specialized fast loop on bare runs and the
+   instrumented generic loop otherwise; --loop generic/fast pins the
+   choice for differential timing.  Bit-identical either way (enforced
+   by test_differential and the parity checks below), so the variant
+   only affects wall-clock. *)
+let loop = ref Sim.Auto
+let set_loop l = loop := l
+
+(* [--loop fast] pins the loop only where the invocation is
+   fast-eligible; structurally ineligible runs (metrics or a fault plan
+   attached, finite FIFOs, ideal mode) fall back to Auto — i.e. the
+   generic loop — instead of aborting the whole suite. *)
+let loop_for ~eligible = match !loop with Sim.Fast when not eligible -> Sim.Auto | l -> l
+
+(* The sim-par jobs sweep stops at the host's real parallelism by
+   default: a 1-core container recording jobs=8 at 0.19x is barrier
+   overhead, not a scaling result.  --oversubscribe restores the full
+   curve for when the overhead itself is the measurement. *)
+let oversubscribe = ref false
+let set_oversubscribe b = oversubscribe := b
+
 (* Cycle engine for every simulator invocation below: the sequential
    loop (default) or the domain-parallel engine (--engine par), which
    advances each pipeline's stage chain on its own domain of one
@@ -126,9 +148,14 @@ let sim_params ?(mode = Sim.Mp5) ?(shard_init = `Round_robin) ?(finite_fifos = f
   | None -> params
   | Some g -> { params with Sim.remap_noise_gate = g }
 
+let eligible_params (params : Sim.params) =
+  params.Sim.adaptive_fifos && params.Sim.mode <> Sim.Ideal
+
 let throughput ?mode ?shard_init ?finite_fifos setup sw trace =
   let params = sim_params ?mode ?shard_init ?finite_fifos setup in
-  (Sim.run ?team:(team ()) ~compiled:!compiled params sw.Switch.prog trace).Sim.normalized_throughput
+  (Sim.run ?team:(team ()) ~loop:(loop_for ~eligible:(eligible_params params))
+     ~compiled:!compiled params sw.Switch.prog trace)
+    .Sim.normalized_throughput
 
 (* Streamed run of one generated workload; the cycle loop is the same as
    [Sim.run]'s, so the throughput matches the array path exactly. *)
@@ -138,7 +165,8 @@ let summary_source ?mode ?shard_init ?finite_fifos ?remap_period ?remap_noise_ga
     sim_params ?mode ?shard_init ?finite_fifos ?remap_period ?remap_noise_gate setup
   in
   match
-    Sim.run_source ?team:(team ()) ~compiled:!compiled params sw.Switch.prog
+    Sim.run_source ?team:(team ()) ~loop:(loop_for ~eligible:(eligible_params params))
+      ~compiled:!compiled params sw.Switch.prog
       (source_for setup ~n ~seed)
   with
   | Sim.Completed s -> s
@@ -259,7 +287,10 @@ let d4 scale =
           { (Sim.default_params ~k:setup.k) with
             mode = m; fifo_capacity = 16; adaptive_fifos = false }
         in
-        let r = Sim.run ?team:(team ()) ~compiled:!compiled params sw.Switch.prog trace in
+        let r =
+          Sim.run ?team:(team ()) ~loop:(loop_for ~eligible:false) ~compiled:!compiled params
+            sw.Switch.prog trace
+        in
         violations r.Sim.access_seqs r.Sim.headers_out r.Sim.store r.Sim.exit_order
     | `Recirc ->
         let r = Recirc.run ~k:setup.k ~shard_seed:(500 + i) ~sharding:`Cell sw.Switch.prog trace in
@@ -325,7 +356,9 @@ let fig8_one scale name =
               Tracegen.flows ~seed:(800 + i) ~n_packets:scale.n_packets ~k ~concurrency:128 ()
             in
             let trace = Traces.trace_for name pkts in
-            let r, rep = Switch.verify ?team:(team ()) ~compiled:!compiled ~k sw trace in
+            let r, rep =
+              Switch.verify ?team:(team ()) ~loop:!loop ~compiled:!compiled ~k sw trace
+            in
             let lats = Array.of_list (List.map (fun (_, l) -> float_of_int l) r.Sim.latencies) in
             ( r.Sim.normalized_throughput,
               r.Sim.max_queue,
@@ -372,7 +405,9 @@ let ablate_priority scale =
           }
       in
       let stats params =
-        let r = Sim.run ?team:(team ()) ~compiled:!compiled params sw.Switch.prog trace in
+        let r =
+          Sim.run ?team:(team ()) ~loop:!loop ~compiled:!compiled params sw.Switch.prog trace
+        in
         let lats = Array.of_list (List.map (fun (_, l) -> float_of_int l) r.Sim.latencies) in
         (r.Sim.normalized_throughput, Stats.percentile lats 50.0)
       in
@@ -419,7 +454,8 @@ let ablate_fifo scale =
       in
       let s =
         match
-          Sim.run_source ?team:(team ()) ~compiled:!compiled params sw.Switch.prog
+          Sim.run_source ?team:(team ()) ~loop:(loop_for ~eligible:false)
+            ~compiled:!compiled params sw.Switch.prog
             (source_for setup ~n:scale.n_packets ~seed:1200)
         with
         | Sim.Completed s -> s
@@ -452,8 +488,9 @@ let degraded scale =
       in
       let run ?(mode = Sim.Mp5) ?fault ?monitor () =
         let params = Sim.default_params ~k:setup.k in
-        (Sim.run ?team:(team ()) ~compiled:!compiled ?fault ?monitor { params with mode }
-           sw.Switch.prog trace)
+        let eligible = fault = None && monitor = None in
+        (Sim.run ?team:(team ()) ~loop:(loop_for ~eligible) ~compiled:!compiled ?fault
+           ?monitor { params with mode } sw.Switch.prog trace)
           .Sim.normalized_throughput
       in
       let healthy = run () in
@@ -485,7 +522,9 @@ let metrics_probe scale name =
       if finite_fifos then { params with Sim.fifo_capacity = 8; adaptive_fifos = false }
       else params
     in
-    ignore (Sim.run ?team:(team ()) ~compiled:!compiled ~metrics:m params sw.Switch.prog trace);
+    ignore
+      (Sim.run ?team:(team ()) ~loop:(loop_for ~eligible:false) ~compiled:!compiled
+         ~metrics:m params sw.Switch.prog trace);
     m
   in
   let sensitivity ?mode ?shard_init ?finite_fifos setup ~seed =
@@ -560,7 +599,7 @@ let metrics_probe scale name =
       in
       let m = Obs_metrics.create ~stages ~k:setup.k in
       ignore
-        (Sim.run ~compiled:!compiled ~metrics:m ~fault:plan
+        (Sim.run ~loop:(loop_for ~eligible:false) ~compiled:!compiled ~metrics:m ~fault:plan
            (Sim.default_params ~k:setup.k) sw.Switch.prog trace);
       Some m
   | "sim-micro" ->
@@ -614,7 +653,7 @@ let sim_micro scale =
       }
   in
   let params = Sim.default_params ~k:4 in
-  let run ~compiled () = Sim.run ~compiled params sw.Switch.prog trace in
+  let run ~compiled () = Sim.run ~loop:!loop ~compiled params sw.Switch.prog trace in
   (* Correctness first: the two engines must agree on every observable
      field before either number means anything. *)
   let ref_kernel = run ~compiled:true () in
@@ -694,7 +733,7 @@ let sim_par scale =
       }
   in
   let params = Sim.default_params ~k:8 in
-  let run ?team () = Sim.run ?team ~compiled:!compiled params sw.Switch.prog trace in
+  let run ?team () = Sim.run ?team ~loop:!loop ~compiled:!compiled params sw.Switch.prog trace in
   let reps = max 5 scale.runs in
   (* First (untimed) call warms the heap and is the parity witness. *)
   let time_min f =
@@ -709,6 +748,17 @@ let sim_par scale =
     (!best, r0)
   in
   let seq_ns, ref_r = time_min (fun () -> run ()) in
+  let host = Domain.recommended_domain_count () in
+  (* Default sweep stops at the host's real parallelism (see
+     [set_oversubscribe]); the parity check runs at every recorded
+     point either way. *)
+  let sweep =
+    if !oversubscribe then [ 1; 2; 4; 8 ]
+    else
+      match List.filter (fun j -> j <= host) [ 1; 2; 4; 8 ] with
+      | [] -> [ 1 ]
+      | l -> l
+  in
   let points =
     List.map
       (fun jobs ->
@@ -721,9 +771,8 @@ let sim_par scale =
         if not (Sim.results_equal r ref_r) then
           failwith (Printf.sprintf "sim-par: parallel engine diverges at jobs=%d" jobs);
         { pp_jobs = jobs; pp_ns = ns; pp_speedup = seq_ns /. ns })
-      [ 1; 2; 4; 8 ]
+      sweep
   in
-  let host = Domain.recommended_domain_count () in
   (* CI gate: where the host can actually run 4 domains, the parallel
      engine must not lose to the sequential one at jobs >= 4. *)
   if host >= 4 then
@@ -788,8 +837,8 @@ let longrun scale =
     | Sim.Suspended snap -> (
         incr chunks;
         match
-          Sim.resume ?team:(team ()) ~compiled:!compiled ~cycle_budget:chunk_cycles
-            ~snapshot:snap sw.Switch.prog source
+          Sim.resume ?team:(team ()) ~loop:!loop ~compiled:!compiled
+            ~cycle_budget:chunk_cycles ~snapshot:snap sw.Switch.prog source
         with
         | Ok o -> go o
         | Error (Sim.Corrupt m) -> failwith ("longrun: corrupt snapshot: " ^ m)
@@ -797,8 +846,8 @@ let longrun scale =
   in
   let s =
     go
-      (Sim.run_source ?team:(team ()) ~compiled:!compiled ~cycle_budget:chunk_cycles params
-         sw.Switch.prog source)
+      (Sim.run_source ?team:(team ()) ~loop:!loop ~compiled:!compiled
+         ~cycle_budget:chunk_cycles params sw.Switch.prog source)
   in
   let seconds = Unix.gettimeofday () -. t0 in
   let top_heap_mb =
@@ -811,7 +860,7 @@ let longrun scale =
     else
       let straight =
         match
-          Sim.run_source ?team:(team ()) ~compiled:!compiled params sw.Switch.prog
+          Sim.run_source ?team:(team ()) ~loop:!loop ~compiled:!compiled params sw.Switch.prog
             (source_for setup ~n ~seed)
         with
         | Sim.Completed s -> s

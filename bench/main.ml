@@ -363,6 +363,23 @@ let () =
     | "--no-compile" :: rest ->
         Experiments.set_compiled false;
         parse acc rest
+    | "--loop" :: l :: rest -> (
+        match l with
+        | "auto" ->
+            Experiments.set_loop Mp5_core.Sim.Auto;
+            parse acc rest
+        | "generic" ->
+            Experiments.set_loop Mp5_core.Sim.Generic;
+            parse acc rest
+        | "fast" ->
+            Experiments.set_loop Mp5_core.Sim.Fast;
+            parse acc rest
+        | _ ->
+            Format.eprintf "--loop expects auto, generic or fast, got %S@." l;
+            exit 1)
+    | "--oversubscribe" :: rest ->
+        Experiments.set_oversubscribe true;
+        parse acc rest
     | a :: rest -> parse (a :: acc) rest
   in
   let args = parse [] args in

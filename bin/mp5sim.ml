@@ -32,7 +32,7 @@ let with_out path f =
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> f oc)
 
 let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_file jobs runs
-    no_compile engine metrics_file metrics_prom trace_out trace_packets trace_cap report
+    no_compile engine loop metrics_file metrics_prom trace_out trace_packets trace_cap report
     fault_plan monitor monitor_epoch monitor_dump stream checkpoint_every snapshot_path
     resume_file =
   let compiled = not no_compile in
@@ -155,7 +155,7 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
     let one i =
       let trace = trace_for_seed (seed + i) in
       let params = { (Mp5_core.Sim.default_params ~k) with mode } in
-      let r, rep = Mp5_core.Switch.verify ~compiled ~params ~k sw trace in
+      let r, rep = Mp5_core.Switch.verify ~compiled ~loop ~params ~k sw trace in
       (seed + i, r.Mp5_core.Sim.normalized_throughput, r.Mp5_core.Sim.dropped,
        Mp5_core.Equiv.equivalent rep)
     in
@@ -319,7 +319,7 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
                 exit 2
             in
             match
-              Mp5_core.Switch.resume ?team ?metrics ?events ?monitor:mon ~compiled
+              Mp5_core.Switch.resume ?team ~loop ?metrics ?events ?monitor:mon ~compiled
                 ?checkpoint_every ?on_checkpoint ~snapshot:snap sw (source ())
             with
             | Ok o -> o
@@ -330,9 +330,13 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
                 Format.eprintf "mp5sim: snapshot mismatch: %s@." msg;
                 exit 3)
         | None ->
-            Mp5_core.Switch.run_source ?team ~params ?metrics ?events ?fault:plan
+            Mp5_core.Switch.run_source ?team ~loop ~params ?metrics ?events ?fault:plan
               ?monitor:mon ~compiled ?checkpoint_every ?on_checkpoint ~k sw (source ())
       with
+      | Invalid_argument msg ->
+          (* --loop fast on a run that attaches instrumentation. *)
+          Format.eprintf "mp5sim: %s@." msg;
+          exit 1
       | Mp5_fault.Monitor.Violation diag ->
           Format.eprintf "%s@." diag;
           dump_monitor ();
@@ -362,9 +366,14 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
   let trace = Lazy.force trace in
   let r, rep =
     try
-      Mp5_core.Switch.verify ?team ~compiled ~params ?metrics ?events ?fault:plan ?monitor:mon
-        ~k sw trace
-    with Mp5_fault.Monitor.Violation diag ->
+      Mp5_core.Switch.verify ?team ~compiled ~loop ~params ?metrics ?events ?fault:plan
+        ?monitor:mon ~k sw trace
+    with
+    | Invalid_argument msg ->
+        (* --loop fast on a run that attaches instrumentation. *)
+        Format.eprintf "mp5sim: %s@." msg;
+        exit 1
+    | Mp5_fault.Monitor.Violation diag ->
       Format.eprintf "%s@." diag;
       dump_monitor ();
       (match (events, trace_out) with
@@ -442,6 +451,27 @@ let engine_arg =
               runs that attach --fault-plan, --trace, disable adaptive \
               FIFOs or arm the starvation guard fall back to seq \
               automatically.")
+
+let loop_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("auto", Mp5_core.Sim.Auto);
+             ("generic", Mp5_core.Sim.Generic);
+             ("fast", Mp5_core.Sim.Fast);
+           ])
+        Mp5_core.Sim.Auto
+    & info [ "loop" ] ~docv:"LOOP"
+        ~doc:"Cycle-loop variant: 'auto' (default) picks the specialized \
+              fast loop when the run is bare (no metrics, trace, fault \
+              plan, monitor, finite FIFOs, starvation guard, or ideal \
+              mode) and the instrumented generic loop otherwise; \
+              'generic' pins the oracle loop for differential runs; \
+              'fast' forces the fast loop and fails (exit 1) when the \
+              run is not eligible.  Results are bit-identical across \
+              variants.")
 
 let no_compile_arg =
   Arg.(
@@ -589,7 +619,7 @@ let cmd =
     Term.(
       const run $ app_arg $ file_arg $ k_arg $ mode_arg $ n_arg $ bytes_arg $ skew_arg
       $ seed_arg $ recirc_arg $ list_arg $ trace_arg $ jobs_arg $ runs_arg $ no_compile_arg
-      $ engine_arg $ metrics_arg $ metrics_prom_arg $ trace_out_arg $ trace_packets_arg
+      $ engine_arg $ loop_arg $ metrics_arg $ metrics_prom_arg $ trace_out_arg $ trace_packets_arg
       $ trace_cap_arg
       $ report_arg $ fault_plan_arg $ monitor_arg $ monitor_epoch_arg $ monitor_dump_arg
       $ stream_arg $ checkpoint_every_arg $ snapshot_arg $ resume_arg)

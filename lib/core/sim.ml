@@ -100,6 +100,50 @@ type outcome = Completed of summary | Suspended of string
 
 type resume_error = Corrupt of string | Mismatch of string
 
+(* --- cycle-loop variants --- *)
+
+type loop = Auto | Generic | Fast
+
+(* The variant lattice, selected once per run (not per cycle).  The
+   *fast* loops are compiled for the bare configuration: every
+   instrumentation site (metrics, event trace, fault hooks, monitor,
+   observer) is statically absent from the loop body, FIFOs are known
+   adaptive (pushes cannot drop), the starvation guard is known off, and
+   each pipeline's deliver/apply/pop/exec chain is fused into one closed
+   closure.  The *generic* loops are the PR 1-6 code paths, kept
+   verbatim as the differential oracle.
+
+   [Ideal] mode is excluded from the fast gate for two reasons: its
+   per-cell queues need the [Per_cell] machinery the fused chains
+   unwrap away, and its LPT re-packer reads *cumulative* access counts,
+   so idle remap boundaries are observable and the quiescence
+   fast-forward below would change results.  Every other mode resets
+   the counters at each boundary, and [Sharding.remap_step] provably
+   returns no move when all counters are zero — which is what makes
+   skipping clean idle boundaries safe. *)
+let select_loop ~loop ~jobs ~metrics ~events ~fault ~monitor ~observer (p : params) =
+  let fast_ok =
+    (not metrics) && (not events) && (not fault) && (not monitor) && (not observer)
+    && p.adaptive_fifos
+    && p.starvation_threshold = None
+    && p.mode <> Ideal
+  in
+  let par_ok =
+    jobs > 1 && (not fault) && (not events) && (not observer) && p.adaptive_fifos
+    && p.starvation_threshold = None
+  in
+  match loop with
+  | Fast when not fast_ok ->
+      invalid_arg
+        "Sim: ~loop:Fast requested, but the run is not fast-eligible (instrumentation \
+         attached, finite FIFOs, starvation guard, or Ideal mode)"
+  | Fast -> if jobs > 1 then `Fast_par else `Fast_seq
+  | Generic -> if par_ok then `Generic_par else `Generic_seq
+  | Auto ->
+      if fast_ok then (if jobs > 1 then `Fast_par else `Fast_seq)
+      else if par_ok then `Generic_par
+      else `Generic_seq
+
 (* --- runtime packet state --- *)
 
 (* A packet in flight is an arena-slot number into the struct-of-arrays
@@ -848,7 +892,9 @@ let insert_stateful sim now stage pkt ~dest ~src ~cell =
   let f, pc = stage_queue sim stage ~dest ~cell in
   match push_or_insert f with
   | `Ok -> (
-      Option.iter (fun pc -> notify_ready pc cell) pc;
+      (* A direct match: [Option.iter f] would allocate the closure
+         [fun pc -> ...] on every successful insert. *)
+      (match pc with Some pc -> notify_ready pc cell | None -> ());
       match sim.p.ecn_threshold with
       | Some thr when Fifo.data_length f > thr -> sim.sl.Slab.ecn.(pkt) <- 1
       | _ -> ())
@@ -901,7 +947,7 @@ let apply_transfers sim now =
             let f, pc = stage_queue sim stage ~dest ~cell:(-1) in
             let seq = sim.sl.Slab.seq.(pkt) in
             match Fifo.push_data f ~ring:src ~ts:seq ~key:seq pkt with
-            | `Ok -> Option.iter (fun pc -> notify_ready pc (-1)) pc
+            | `Ok -> ( match pc with Some pc -> notify_ready pc (-1) | None -> ())
             | `Dropped -> drop_packet sim now pkt (stage - 1) Metrics.Fifo_full)
         | _ (* stateless *) ->
             (* Starvation guard: sacrifice the stateless packet when the
@@ -1552,7 +1598,7 @@ let par_insert_stateful sim now stage pkt ~dest ~src ~cell =
   let f, pc = stage_queue sim stage ~dest ~cell in
   match push_or_insert f with
   | `Ok -> (
-      Option.iter (fun pc -> notify_ready pc cell) pc;
+      (match pc with Some pc -> notify_ready pc cell | None -> ());
       match sim.p.ecn_threshold with
       | Some thr when Fifo.data_length f > thr -> sim.sl.Slab.ecn.(pkt) <- 1
       | _ -> ())
@@ -1588,7 +1634,7 @@ let par_apply sim ms now pipe =
             let f, pc = stage_queue sim stage ~dest ~cell:(-1) in
             let seq = sim.sl.Slab.seq.(pkt) in
             match Fifo.push_data f ~ring:src ~ts:seq ~key:seq pkt with
-            | `Ok -> Option.iter (fun pc -> notify_ready pc (-1)) pc
+            | `Ok -> ( match pc with Some pc -> notify_ready pc (-1) | None -> ())
             | `Dropped -> assert false (* adaptive rings never drop *))
         | _ (* stateless *) ->
             (* No starvation guard under the gate (threshold = None). *)
@@ -1775,6 +1821,615 @@ let par_cycle sim ps now source st =
     Vec.clear sim.t_pkts.(stage);
     Vec.clear sim.t_descs.(stage)
   done
+
+(* --- specialized fast cycle loop (the bare variant) ---
+
+   Selected by [select_loop] when nothing is attached to the run:
+   no metrics, no event trace, no fault plan, no monitor, no observer,
+   adaptive FIFOs, no starvation guard, and a non-Ideal mode.  Under
+   that gate the cycle body collapses:
+
+   - every [match sim.ms / sim.tr / sim.flt / sim.mon with ...] site is
+     statically absent instead of a branch per site;
+   - all queues are [Logical] (Ideal is excluded), so the FIFO matrix is
+     unwrapped once into [int Fifo.t option array array] and the
+     per-event [queue] match disappears;
+   - adaptive rings never drop a push and Invariant 1 holds fault-free,
+     so every drop path is an [assert false], [doomed] stays empty and
+     [dup_base] stays [max_int] — ghosts cannot exist, so the per-access
+     ghost compare is gone too;
+   - the deliver/apply/pop/exec/movement phases are fused into a single
+     stage sweep over pre-resolved structures: the unwrapped FIFO
+     matrix, each store's backing arrays ([Store.array] is stable:
+     remaps move values between arrays, never replace them), each
+     access's register id, and the kernel's closure tables.
+
+   Two arms share the machinery.  The sequential arm runs one
+   stage-major sweep — apply(s), pop(s), exec(s), movement(s) for s
+   ascending — with [log_access] called directly, so its access-log
+   order is the generic [exec_phase] order by construction.  Fusing
+   movement needs ping-pong transfer buffers: movement(s) writes the
+   next cycle's transfers into a shadow buffer for stage s+1 (swapped
+   into [sim.t_pkts]/[t_descs] at the end of the sweep, so snapshots
+   and variant switches see the generic representation), because
+   apply(s+1) — which runs *after* movement(s) in the fused order —
+   must consume only the previous cycle's entries.  Order is otherwise
+   preserved: each transfer buffer t.(s+1) receives pushes from exactly
+   one source stage (s), in pipe-ascending order under both sweeps;
+   exits happen only at stage n-1, so the exit digest / collect order
+   and the slab freelist order are sweep-invariant; the crossbar claim
+   row for stage s+1 is written and read only by movement(s) within a
+   cycle ([spawn_dup], the only other reader, needs a fault plan).
+
+   The parallel arm fuses each pipeline's chain into a closed
+   per-pipeline closure fanned out on a [Pool.Team] (one kernel clone
+   per domain), buffers access-log writes per (stage, pipeline), and
+   replays them stage-major/pipe-minor at the cycle barrier — again the
+   exact sequential order.  Movement stays in [drive]'s shared suffix
+   there (the crossbar steers across pipelines, so it is inherently
+   sequential).  The fused interleaving is bit-identical to the generic
+   phase order by the PR 6 argument: apply(s)/pop(s)/exec(s) touch only
+   stage-s structures of one pipeline, stages are swept ascending, and
+   exec at stage s runs after pop at stage s exactly as the generic
+   pop-all-stages-then-exec-all-stages does within one cycle. *)
+
+(* Arrivals prefetched in batches: [Psource.next] per admitted packet
+   becomes one buffer refill per [fast_chunk] packets.  Only legal when
+   the leg can never checkpoint ([track_src] off): the buffer runs the
+   source cursor ahead of the machine, which would break the snapshot's
+   consumed-count/input-digest contract. *)
+let fast_chunk = 64
+
+type fast_state = {
+  fs_deliver : int -> unit;
+      (* drain the phantom calendar for cycle [now]: straight into the
+         rings (sequential arm) or into per-destination buckets the
+         chains empty (parallel arm) *)
+  fs_body : int -> unit;
+      (* the fused apply/pop/exec sweep (plus movement on the
+         sequential arm; fan-out, log replay and buffer clears on the
+         parallel arm) *)
+  fs_moved : bool;
+      (* movement is fused into [fs_body]: [drive] must skip the shared
+         [movement_phase] (sequential arm only) *)
+  mutable fs_dirty : bool;
+      (* some index map may hold nonzero access counters: remap
+         boundaries must be visited while idle.  Set on every admission,
+         cleared when a boundary's [remap_phase] has reset the counters;
+         initialized true because a resumed leg restores counters. *)
+  fs_chunked : bool;
+  fs_buf : Machine.input Vec.t;
+  mutable fs_cur : int;
+  mutable fs_eof : bool;
+  mutable fs_seq : int;               (* seq of the next admitted packet *)
+}
+
+let fast_refill fs source =
+  Vec.clear fs.fs_buf;
+  fs.fs_cur <- 0;
+  let n = ref 0 in
+  while (not fs.fs_eof) && !n < fast_chunk do
+    match Psource.next source with
+    | Some i ->
+        Vec.push fs.fs_buf i;
+        incr n
+    | None -> fs.fs_eof <- true
+  done
+
+let fast_peek fs source =
+  if fs.fs_cur < Vec.length fs.fs_buf then Some (Vec.get fs.fs_buf fs.fs_cur)
+  else if fs.fs_eof then None
+  else begin
+    fast_refill fs source;
+    if Vec.length fs.fs_buf = 0 then None else Some (Vec.get fs.fs_buf 0)
+  end
+
+(* [arrival_phase] against the prefetch buffer.  No fault plan under the
+   gate, so the downed-pipeline skip is gone; seqs come from the local
+   counter because the source cursor runs ahead of the machine. *)
+let fast_arrival sim fs source now =
+  let max_accept = match sim.p.mode with Naive_single -> 1 | _ -> sim.p.k in
+  let entry = ref 0 in
+  let admitting = ref true in
+  while !admitting do
+    if !entry >= max_accept then admitting := false
+    else
+      match fast_peek fs source with
+      | Some input when input.Machine.time <= now ->
+          fs.fs_cur <- fs.fs_cur + 1;
+          let seq = fs.fs_seq in
+          fs.fs_seq <- seq + 1;
+          let pkt = alloc_packet sim ~seq ~now input.Machine.headers in
+          resolve sim now !entry pkt;
+          sim.slots.(0).(!entry) <- pkt;
+          sim.in_flight <- sim.in_flight + 1;
+          incr entry
+      | _ -> admitting := false
+  done
+
+(* Build the fused cycle body.  Must run *after* a resume has decoded
+   the snapshot ([r_queue] replaces the FIFO objects); under the fast
+   gate nothing ever replaces them afterwards (only the fault paths do),
+   so the unwrapped matrix stays valid for the whole leg. *)
+let make_fast_state sim team ~chunked ~consumed =
+  let k = sim.p.k and n_stages = sim.n_stages in
+  let cols =
+    Array.init n_stages (fun s ->
+        Array.init k (fun p ->
+            match sim.fifos.(s).(p) with
+            | Some (Logical f) -> Some f
+            | None -> None
+            | Some (Per_cell _) -> assert false (* Ideal excluded by the gate *)))
+  in
+  (* [Store.array] returns the stable backing array: sharding moves cell
+     values between arrays, never replaces the arrays. *)
+  let n_regs = Array.length sim.config.Config.regs in
+  let regs =
+    Array.init k (fun p -> Array.init n_regs (fun reg -> Store.array sim.stores.(p) ~reg))
+  in
+  let acc_reg = Array.map (fun (a : Transform.access) -> a.Transform.reg) sim.accesses in
+  let slots = sim.slots in
+  let t_pkts = sim.t_pkts and t_descs = sim.t_descs in
+  let doomed = sim.doomed in
+  let accs_by_stage = sim.accs_by_stage in
+  let stateful = sim.stateful_stage in
+  let phantoms = uses_phantoms sim in
+  let ecn = match sim.p.ecn_threshold with Some t -> t | None -> max_int in
+  let deliver, body, moved =
+    match team with
+    | None ->
+        (* Sequential arm: deliveries straight into the rings in calendar
+           (drain) order — the generic [deliver_phantoms] order — and one
+           stage-major sweep (apply/pop/exec/movement per stage) with
+           [log_access] inline. *)
+        let deliver_one d =
+          (* [doomed] is provably empty under the gate (nothing can
+             drop), but the membership test is kept: it is one hash
+             probe per delivery, and it turns a violated assumption into
+             a visible differential failure instead of silent state
+             corruption. *)
+          if not (Hashtbl.mem doomed d.d_seq) then
+            match cols.(d.d_stage).(d.d_dest) with
+            | Some f ->
+                ignore
+                  (Fifo.push_phantom f ~ring:d.d_ring ~ts:d.d_seq ~key:d.d_seq
+                    : [ `Ok | `Dropped ])
+            | None -> invalid_arg "phantom destined to a stateless stage"
+        in
+        let kernel = sim.kernel in
+        let exec = kernel.Kernel.exec and stateless = kernel.Kernel.stateless in
+        let frame = sim.frame in
+        let claimed = sim.claimed in
+        let stateless_priority = sim.p.stateless_priority in
+        let collect = sim.collect in
+        let n_user = sim.config.Config.n_user_fields in
+        (* Ping-pong shadows for the transfer buffers: movement(s) fills
+           the shadow of stage s+1 while apply(s+1) — later in the same
+           sweep — consumes the live buffer; the end-of-sweep swap makes
+           the shadows live, so snapshots taken at the cycle boundary
+           see the generic representation. *)
+        let nx_pkts = Array.init n_stages (fun _ -> Vec.create ()) in
+        let nx_descs = Array.init n_stages (fun _ -> Vec.create ()) in
+        let maps = sim.maps in
+        let body now =
+          (* Hoist the slab columns once per cycle: the arrays move only
+             on slab growth, and the only allocation site (arrival) runs
+             before the body.  Field loads through [sim.sl] cannot be
+             CSE'd across the FIFO/kernel calls below, so this saves two
+             loads per array touch across the whole sweep. *)
+          let sl = sim.sl in
+          let fields = sl.Slab.fields in
+          let nf = sl.Slab.nf and na = sl.Slab.na in
+          let seqs = sl.Slab.seq and gks = sl.Slab.gk in
+          let dests = sl.Slab.dest and cells = sl.Slab.cell in
+          let dones = sl.Slab.done_ and counted = sl.Slab.counted in
+          let times = sl.Slab.time_in and ecns = sl.Slab.ecn in
+          frame.Expr.base <- fields;
+          frame.Expr.len <- nf;
+          (* The crossbar claim matrix resets once per cycle; the
+             generic loop does it at the top of [movement_phase], but
+             under the gate nothing reads claims between the phases
+             ([spawn_dup] needs a fault plan), so resetting at sweep
+             start is unobservable. *)
+          if sim.claims_dirty then begin
+            Array.iter (fun row -> Array.fill row 0 (Array.length row) false) claimed;
+            sim.claims_dirty <- false
+          end;
+          for stage = 0 to n_stages - 1 do
+            let colrow = cols.(stage) in
+            let srow = slots.(stage) in
+            (* apply(stage): one reverse scan (the generic order),
+               dispatching by destination directly. *)
+            (let pkts = t_pkts.(stage) and descs = t_descs.(stage) in
+             let n = Vec.length pkts in
+             if n > 0 then begin
+               for i = n - 1 downto 0 do
+                 let pkt = Vec.unsafe_get pkts i in
+                 let desc = Vec.unsafe_get descs i in
+                 let dest = (desc lsr 2) land 63 in
+                 match desc land 3 with
+                 | 1 (* stateful *) -> (
+                     let f =
+                       match colrow.(dest) with Some f -> f | None -> assert false
+                     in
+                     let seq = Array.unsafe_get seqs pkt in
+                     let pushed =
+                       if phantoms then Fifo.insert_data f ~key:seq pkt
+                       else
+                         match
+                           Fifo.push_data f
+                             ~ring:((desc lsr 8) land 63)
+                             ~ts:((now lsl 22) lor seq)
+                             ~key:seq pkt
+                         with
+                         | `Ok -> `Ok
+                         | `Dropped -> `No_phantom
+                     in
+                     match pushed with
+                     | `Ok ->
+                         if Fifo.data_length f > ecn then Array.unsafe_set ecns pkt 1
+                     | `No_phantom -> assert false (* adaptive + Invariant 1 *))
+                 | 2 (* queued *) -> (
+                     let f =
+                       match colrow.(dest) with Some f -> f | None -> assert false
+                     in
+                     let seq = Array.unsafe_get seqs pkt in
+                     match
+                       Fifo.push_data f ~ring:((desc lsr 8) land 63) ~ts:seq ~key:seq pkt
+                     with
+                     | `Ok -> ()
+                     | `Dropped -> assert false (* adaptive rings never drop *))
+                 | _ (* stateless *) -> Array.unsafe_set srow dest pkt
+               done;
+               Vec.clear pkts;
+               Vec.clear descs
+             end);
+            (* pop(stage): only stateful stages have ring columns *)
+            if Array.unsafe_get stateful stage then
+              for p = 0 to k - 1 do
+                if Array.unsafe_get srow p = no_pkt then
+                  match colrow.(p) with
+                  | Some f -> (
+                      match Fifo.take f with
+                      | `Data (_, pkt) -> Array.unsafe_set srow p pkt
+                      | `Blocked _ | `Empty -> ())
+                  | None -> ()
+              done;
+            (* exec(stage): stage 0 is address resolution, done on
+               arrival.  No [dup_base] compare: ghosts need a fault
+               plan. *)
+            if stage > 0 then begin
+              let accs = accs_by_stage.(stage) in
+              let n_acc = Array.length accs in
+              let st_fn = stateless.(stage) in
+              for p = 0 to k - 1 do
+                let pkt = Array.unsafe_get srow p in
+                if pkt <> no_pkt then begin
+                  frame.Expr.off <- pkt * nf;
+                  st_fn frame;
+                  if n_acc > 0 then begin
+                    let regs_p = regs.(p) in
+                    let ab = pkt * na in
+                    let seq = Array.unsafe_get seqs pkt in
+                    for i = 0 to n_acc - 1 do
+                      let acc_id = Array.unsafe_get accs i in
+                      let reg = Array.unsafe_get acc_reg acc_id in
+                      let ai = ab + acc_id in
+                      let cell =
+                        exec.(acc_id) frame regs_p.(reg) (Array.unsafe_get cells ai)
+                      in
+                      if cell >= 0 then log_access sim reg cell seq;
+                      Array.unsafe_set dones ai 1;
+                      (* [release_inflight] inlined against the
+                         captures *)
+                      if Array.unsafe_get counted ai <> 0 then begin
+                        Array.unsafe_set counted ai 0;
+                        Index_map.decr_inflight maps.(reg) (Array.unsafe_get cells ai)
+                      end
+                    done
+                  end
+                end
+              done
+            end;
+            (* movement(stage): vacate every occupied slot — into the
+               shadow buffer of stage+1 or out of the pipeline.  The
+               moving packet's own slab state is final (its exec just
+               ran; later stages touch other packets), so reading the
+               guards here matches the generic all-exec-then-move
+               order. *)
+            let next = stage + 1 in
+            if next = n_stages then
+              for p = 0 to k - 1 do
+                let pkt = Array.unsafe_get srow p in
+                if pkt <> no_pkt then begin
+                  Array.unsafe_set srow p no_pkt;
+                  let seq = Array.unsafe_get seqs pkt in
+                  let time_in = Array.unsafe_get times pkt in
+                  let fb = pkt * nf in
+                  sim.delivered <- sim.delivered + 1;
+                  sim.in_flight <- sim.in_flight - 1;
+                  if Array.unsafe_get ecns pkt <> 0 then sim.marked <- sim.marked + 1;
+                  if sim.first_exit < 0 then sim.first_exit <- now;
+                  sim.last_exit <- now;
+                  if collect then begin
+                    Vec.push sim.exit_seqs seq;
+                    Vec.push sim.exit_headers (Array.sub fields fb n_user);
+                    Vec.push sim.exit_lats (now - time_in)
+                  end
+                  else begin
+                    (* Streaming: fold the exit record into the running
+                       digest — same feed order as the generic exit. *)
+                    let hi = ref sim.ed_hi and lo = ref sim.ed_lo in
+                    (let h, l = Hashing.feed_int_halves !hi !lo seq in
+                     hi := h;
+                     lo := l);
+                    (let h, l = Hashing.feed_int_halves !hi !lo (now - time_in) in
+                     hi := h;
+                     lo := l);
+                    for f = 0 to n_user - 1 do
+                      let h, l =
+                        Hashing.feed_int_halves !hi !lo
+                          (Array.unsafe_get fields (fb + f))
+                      in
+                      hi := h;
+                      lo := l
+                    done;
+                    sim.ed_hi <- !hi;
+                    sim.ed_lo <- !lo
+                  end;
+                  Slab.release sl pkt
+                end
+              done
+            else begin
+              let npk = nx_pkts.(next) and nds = nx_descs.(next) in
+              let accs = accs_by_stage.(next) in
+              let n_qa = Array.length accs in
+              let crow = claimed.(next) in
+              let next_stateful = Array.unsafe_get stateful next in
+              for p = 0 to k - 1 do
+                let pkt = Array.unsafe_get srow p in
+                if pkt <> no_pkt then begin
+                  Array.unsafe_set srow p no_pkt;
+                  (* [queued_acc] inlined against the captures: first
+                     access at [next] whose guard is not known false. *)
+                  let ab = pkt * na in
+                  let acc_id = ref (-1) in
+                  (let i = ref 0 in
+                   while !acc_id < 0 && !i < n_qa do
+                     let id = Array.unsafe_get accs !i in
+                     if Array.unsafe_get gks (ab + id) <> gk_false then acc_id := id
+                     else incr i
+                   done);
+                  let a = !acc_id in
+                  if a >= 0 then begin
+                    let ai = ab + a in
+                    Vec.push npk pkt;
+                    Vec.push nds
+                      (pack_transfer ~tag:t_stateful
+                         ~dest:(Array.unsafe_get dests ai)
+                         ~src:p
+                         ~cell:(Array.unsafe_get cells ai))
+                  end
+                  else if next_stateful && not stateless_priority then begin
+                    Vec.push npk pkt;
+                    Vec.push nds (pack_transfer ~tag:t_queued ~dest:p ~src:p ~cell:(-1))
+                  end
+                  else begin
+                    let dest =
+                      if not (Array.unsafe_get crow p) then p
+                      else begin
+                        let d = ref (-1) in
+                        for q = k - 1 downto 0 do
+                          if not (Array.unsafe_get crow q) then d := q
+                        done;
+                        !d
+                      end
+                    in
+                    assert (dest >= 0);
+                    crow.(dest) <- true;
+                    sim.claims_dirty <- true;
+                    Vec.push npk pkt;
+                    Vec.push nds (pack_transfer ~tag:t_stateless ~dest ~src:p ~cell:(-1))
+                  end
+                end
+              done
+            end
+          done;
+          (* Swap: the shadows become the live transfer buffers (the
+             consumed live ones, already cleared by apply, become next
+             cycle's shadows). *)
+          for s = 0 to n_stages - 1 do
+            let tp = t_pkts.(s) in
+            t_pkts.(s) <- nx_pkts.(s);
+            nx_pkts.(s) <- tp;
+            let td = t_descs.(s) in
+            t_descs.(s) <- nx_descs.(s);
+            nx_descs.(s) <- td
+          done
+        in
+        ((fun now -> Channel.drain sim.channel ~now deliver_one), body, true)
+    | Some tm ->
+        (* Parallel arm: compiled stateful kernels thread match state
+           through a captured ref, so each domain needs its own clone
+           (domain 0 reuses the sim's own kernel and frame, exactly as
+           the generic parallel engine). *)
+        let jobs = Pool.Team.size tm in
+        let kernels =
+          Array.init jobs (fun j ->
+              if j = 0 then sim.kernel
+              else Kernel.create ~compiled:sim.kernel.Kernel.compiled sim.prog)
+        in
+        let frames =
+          Array.init jobs (fun j -> if j = 0 then sim.frame else Expr.frame_of_array [||])
+        in
+        let dbuf = Array.init k (fun _ -> Vec.create ()) in
+        let logs = Array.init n_stages (fun _ -> Array.init k (fun _ -> Vec.create ())) in
+        let chains =
+          Array.init k (fun pipe ->
+              let kernel = kernels.(pipe mod jobs) and frame = frames.(pipe mod jobs) in
+              let exec = kernel.Kernel.exec and stateless = kernel.Kernel.stateless in
+              let regs_p = regs.(pipe) in
+              let col = Array.init n_stages (fun s -> cols.(s).(pipe)) in
+              let logcol = Array.init n_stages (fun s -> logs.(s).(pipe)) in
+              let db = dbuf.(pipe) in
+              fun now ->
+                (* deliver: this pipeline's pre-drained phantom bucket
+                   (same defensive [doomed] probe as the sequential
+                   arm) *)
+                for i = 0 to Vec.length db - 1 do
+                  let d = Vec.unsafe_get db i in
+                  if not (Hashtbl.mem doomed d.d_seq) then
+                    match col.(d.d_stage) with
+                    | Some f ->
+                        ignore
+                          (Fifo.push_phantom f ~ring:d.d_ring ~ts:d.d_seq ~key:d.d_seq
+                            : [ `Ok | `Dropped ])
+                    | None -> invalid_arg "phantom destined to a stateless stage"
+                done;
+                (* fused apply(s) -> pop(s) -> exec(s), one stage sweep *)
+                for stage = 0 to n_stages - 1 do
+                  (let pkts = t_pkts.(stage) and descs = t_descs.(stage) in
+                   for i = Vec.length pkts - 1 downto 0 do
+                     let desc = Vec.unsafe_get descs i in
+                     if (desc lsr 2) land 63 = pipe then begin
+                       let pkt = Vec.unsafe_get pkts i in
+                       let sl = sim.sl in
+                       match desc land 3 with
+                       | 1 (* stateful *) -> (
+                           let f =
+                             match col.(stage) with Some f -> f | None -> assert false
+                           in
+                           let seq = sl.Slab.seq.(pkt) in
+                           let pushed =
+                             if phantoms then Fifo.insert_data f ~key:seq pkt
+                             else
+                               match
+                                 Fifo.push_data f
+                                   ~ring:((desc lsr 8) land 63)
+                                   ~ts:((now lsl 22) lor seq)
+                                   ~key:seq pkt
+                               with
+                               | `Ok -> `Ok
+                               | `Dropped -> `No_phantom
+                           in
+                           match pushed with
+                           | `Ok ->
+                               if Fifo.data_length f > ecn then sl.Slab.ecn.(pkt) <- 1
+                           | `No_phantom -> assert false (* adaptive + Invariant 1 *))
+                       | 2 (* queued *) -> (
+                           let f =
+                             match col.(stage) with Some f -> f | None -> assert false
+                           in
+                           let seq = sl.Slab.seq.(pkt) in
+                           match
+                             Fifo.push_data f
+                               ~ring:((desc lsr 8) land 63)
+                               ~ts:seq ~key:seq pkt
+                           with
+                           | `Ok -> ()
+                           | `Dropped -> assert false (* adaptive rings never drop *))
+                       | _ (* stateless *) ->
+                           assert (slots.(stage).(pipe) = no_pkt);
+                           slots.(stage).(pipe) <- pkt
+                     end
+                   done);
+                  (match col.(stage) with
+                  | Some f when slots.(stage).(pipe) = no_pkt -> (
+                      match Fifo.take f with
+                      | `Data (_, pkt) -> slots.(stage).(pipe) <- pkt
+                      | `Blocked _ | `Empty -> ())
+                  | _ -> ());
+                  if stage > 0 then begin
+                    let pkt = slots.(stage).(pipe) in
+                    if pkt <> no_pkt then begin
+                      let sl = sim.sl in
+                      frame.Expr.base <- sl.Slab.fields;
+                      frame.Expr.off <- pkt * sl.Slab.nf;
+                      frame.Expr.len <- sl.Slab.nf;
+                      stateless.(stage) frame;
+                      let accs = accs_by_stage.(stage) in
+                      let n = Array.length accs in
+                      if n > 0 then begin
+                        let logbuf = logcol.(stage) in
+                        let ab = pkt * sl.Slab.na in
+                        let seq = sl.Slab.seq.(pkt) in
+                        for i = 0 to n - 1 do
+                          let acc_id = Array.unsafe_get accs i in
+                          let reg = Array.unsafe_get acc_reg acc_id in
+                          let cell =
+                            exec.(acc_id) frame regs_p.(reg) sl.Slab.cell.(ab + acc_id)
+                          in
+                          if cell >= 0 then begin
+                            Vec.push logbuf reg;
+                            Vec.push logbuf cell;
+                            Vec.push logbuf seq
+                          end;
+                          sl.Slab.done_.(ab + acc_id) <- 1;
+                          release_inflight sim pkt acc_id
+                        done
+                      end
+                    end
+                  end
+                done)
+        in
+        let bucket d = Vec.push dbuf.(d.d_dest) d in
+        let body now =
+          Pool.Team.run tm (fun j ->
+              let p = ref j in
+              while !p < k do
+                chains.(!p) now;
+                p := !p + jobs
+              done);
+          (* barrier: replay the buffered logs stage-major/pipe-minor —
+             the sequential [exec_phase] order — so the shared access
+             log (and with it result tables, digests and snapshot bytes)
+             is loop-invariant *)
+          for stage = 1 to n_stages - 1 do
+            for p = 0 to k - 1 do
+              let b = logs.(stage).(p) in
+              let n = Vec.length b in
+              let i = ref 0 in
+              while !i < n do
+                log_access sim (Vec.unsafe_get b !i)
+                  (Vec.unsafe_get b (!i + 1))
+                  (Vec.unsafe_get b (!i + 2));
+                i := !i + 3
+              done;
+              Vec.clear b
+            done
+          done;
+          Array.iter Vec.clear dbuf;
+          for stage = 0 to n_stages - 1 do
+            Vec.clear t_pkts.(stage);
+            Vec.clear t_descs.(stage)
+          done
+        in
+        ((fun now -> Channel.drain sim.channel ~now bucket), body, false)
+  in
+  {
+    fs_deliver = deliver;
+    fs_body = body;
+    fs_moved = moved;
+    fs_dirty = true;
+    fs_chunked = chunked;
+    fs_buf = Vec.create ();
+    fs_cur = 0;
+    fs_eof = false;
+    fs_seq = consumed;
+  }
+
+(* One fast cycle: drain the calendar, admit arrivals (the only slab
+   allocation — the arrays may move, so the body re-reads [sim.sl] after
+   it), run the fused sweep.  The sequential sweep includes movement
+   ([fs_moved]); remap stays in [drive]'s shared suffix. *)
+let fast_cycle sim fs now source st =
+  fs.fs_deliver now;
+  let before = sim.in_flight in
+  if fs.fs_chunked then fast_arrival sim fs source now
+  else arrival_phase sim now source st;
+  if sim.in_flight > before then fs.fs_dirty <- true;
+  fs.fs_body now
+
 
 (* --- snapshots (mp5-snap/1) --- *)
 
@@ -2214,25 +2869,50 @@ let encode sim st source =
 
 (* --- the cycle loop, shared by [run], [run_source] and [resume] --- *)
 
-let drive ?team sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget =
+let drive ?team ?(loop = Auto) sim st source ~observer ~checkpoint_every ~on_checkpoint
+    ~cycle_budget =
   let params = sim.p in
-  (* The parallel gate: fan out only when a real team was passed and
-     nothing attached to the run can drop/free a packet mid-cycle
-     (fault plans, bounded rings, the starvation guard) or observe
-     mid-cycle state in sequential order (event traces, observers).
-     Anything else — including every jobs=1 team — takes the sequential
-     arm below, byte for byte. *)
-  let pstate =
-    match team with
-    | Some tm
-      when Pool.Team.size tm > 1
-           && Option.is_none sim.flt && Option.is_none sim.tr && Option.is_none observer
-           && sim.p.adaptive_fifos
-           && sim.p.starvation_threshold = None ->
-        Some (make_par_state sim tm)
+  (* Variant selection, once per leg.  [`Fast_*] is the bare loop
+     (select_loop's gate guarantees nothing is attached that could drop
+     a packet or observe mid-cycle state); [`Generic_par] is the PR 6
+     parallel engine behind its own gate — fault plans, event traces,
+     observers, bounded rings and the starvation guard all fall back to
+     the sequential generic arm, byte for byte. *)
+  let jobs = match team with Some tm -> Pool.Team.size tm | None -> 1 in
+  let choice =
+    select_loop ~loop ~jobs ~metrics:(Option.is_some sim.ms)
+      ~events:(Option.is_some sim.tr) ~fault:(Option.is_some sim.flt)
+      ~monitor:(Option.is_some sim.mon) ~observer:(Option.is_some observer) params
+  in
+  let fstate =
+    match choice with
+    | `Fast_seq | `Fast_par ->
+        let team = if choice = `Fast_par then team else None in
+        (* Chunked admission only when this leg can never checkpoint:
+           [track_src] is armed exactly when it can ([checkpoint_every]
+           or [cycle_budget] on [run_source], always on [resume]). *)
+        Some
+          (make_fast_state sim team ~chunked:(not st.track_src)
+             ~consumed:(Psource.consumed source))
     | _ -> None
   in
-  let has_next () = match Psource.peek source with Some _ -> true | None -> false in
+  let pstate =
+    match (choice, team) with
+    | `Generic_par, Some tm -> Some (make_par_state sim tm)
+    | _ -> None
+  in
+  let has_next () =
+    match fstate with
+    | Some fs when fs.fs_chunked -> (
+        match fast_peek fs source with Some _ -> true | None -> false)
+    | _ -> ( match Psource.peek source with Some _ -> true | None -> false)
+  in
+  let next_arrival_time () =
+    match fstate with
+    | Some fs when fs.fs_chunked -> (
+        match fast_peek fs source with Some i -> i.Machine.time | None -> assert false)
+    | _ -> ( match Psource.peek source with Some i -> i.Machine.time | None -> assert false)
+  in
   let suspended = ref None in
   let running = ref true in
   while !running && (sim.in_flight > 0 || has_next ()) do
@@ -2244,28 +2924,45 @@ let drive ?team sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_
         running := false
     | _ ->
         let t = st.now in
-        (match pstate with
-        | Some ps -> par_cycle sim ps t source st
-        | None ->
-            (match sim.mon with
-            | Some mon when Monitor.due mon ~now:t -> monitor_phase sim mon t
-            | _ -> ());
-            (match sim.flt with Some f -> fault_edges sim f t | None -> ());
-            (match sim.ms with Some m -> Metrics.on_cycle m | None -> ());
-            deliver_phantoms sim t;
-            apply_transfers sim t;
-            arrival_phase sim t source st;
-            pop_phase sim t;
-            (match sim.ms with Some m -> metrics_sweep sim m | None -> ());
-            observe sim t observer;
-            exec_phase sim t);
-        movement_phase sim t;
+        (match fstate with
+        | Some fs -> fast_cycle sim fs t source st
+        | None -> (
+            match pstate with
+            | Some ps -> par_cycle sim ps t source st
+            | None ->
+                (match sim.mon with
+                | Some mon when Monitor.due mon ~now:t -> monitor_phase sim mon t
+                | _ -> ());
+                (match sim.flt with Some f -> fault_edges sim f t | None -> ());
+                (match sim.ms with Some m -> Metrics.on_cycle m | None -> ());
+                deliver_phantoms sim t;
+                apply_transfers sim t;
+                arrival_phase sim t source st;
+                pop_phase sim t;
+                (match sim.ms with Some m -> metrics_sweep sim m | None -> ());
+                observe sim t observer;
+                exec_phase sim t));
+        (match fstate with
+        | Some fs when fs.fs_moved -> () (* fused into the sweep *)
+        | _ -> movement_phase sim t);
         if
           params.remap_period > 0 && t > st.first_arrival
           && (t - st.first_arrival) mod params.remap_period = 0
-        then remap_phase sim t;
-        (* Progress guard against simulator deadlock bugs. *)
-        let score = sim.delivered + sim.dropped + Psource.consumed source in
+        then begin
+          remap_phase sim t;
+          (* The boundary reset every (non-Ideal) counter; until the
+             next admission, idle boundaries are provably no-ops. *)
+          match fstate with Some fs -> fs.fs_dirty <- false | None -> ()
+        end;
+        (* Progress guard against simulator deadlock bugs.  Chunked
+           admission runs the source cursor ahead of the machine, so
+           count admitted packets instead of consumed ones there. *)
+        let admitted =
+          match fstate with
+          | Some fs when fs.fs_chunked -> fs.fs_seq
+          | _ -> Psource.consumed source
+        in
+        let score = sim.delivered + sim.dropped + admitted in
         if score > st.last_score then begin
           st.last_score <- score;
           st.last_progress_t <- t
@@ -2277,17 +2974,32 @@ let drive ?team sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_
            delivery (deliveries of doomed packets, drained as no-ops), or
            the next remap boundary (a remap can move cells even while
            idle, so boundaries must still be visited to keep results
-           bit-identical with the cycle-by-cycle loop). *)
+           bit-identical with the cycle-by-cycle loop).
+
+           The fast variant generalizes this to a whole-machine
+           quiescence jump: with the access counters known clean
+           ([fs_dirty] off — no admission since the last boundary reset
+           them), an idle remap boundary is provably a no-op
+           ([Sharding.remap_step] moves nothing when every counter is
+           zero, and [Index_map.reset_counts] on zeros is the identity;
+           Ideal, whose packer reads cumulative counts, is excluded from
+           the gate), so the jump goes straight to the next arrival.
+           The phantom-calendar bound still applies in both variants —
+           under the fast gate the calendar is provably empty at
+           in-flight 0 (nothing drops, so every pending delivery belongs
+           to a live packet), but the bound is two reads per idle jump
+           and keeps a violated assumption bit-visible. *)
         (if sim.in_flight > 0 || not (has_next ()) then st.now <- t + 1
          else begin
-           let arrival =
-             match Psource.peek source with Some i -> i.Machine.time | None -> assert false
-           in
+           let arrival = next_arrival_time () in
            let next = ref (max (t + 1) arrival) in
            (match Channel.next_due sim.channel with
            | Some d -> next := min !next (max (t + 1) d)
            | None -> ());
-           if params.remap_period > 0 then begin
+           let skip_boundaries =
+             match fstate with Some fs -> not fs.fs_dirty | None -> false
+           in
+           if params.remap_period > 0 && not skip_boundaries then begin
              let period = params.remap_period in
              let boundary = t + period - ((t - st.first_arrival) mod period) in
              next := min !next boundary
@@ -2350,8 +3062,8 @@ let fresh_loop_state ~start ~track_src =
     track_src;
   }
 
-let run ?team ?observer ?metrics ?events ?fault ?monitor ?(compiled = true) params prog trace
-    =
+let run ?team ?loop ?observer ?metrics ?events ?fault ?monitor ?(compiled = true) params prog
+    trace =
   if Array.length trace = 0 then invalid_arg "Sim.run: empty trace";
   let source = Psource.of_array trace in
   let sim = create ~compiled ~collect:true ?metrics ?events ?fault ?monitor params prog in
@@ -2362,7 +3074,7 @@ let run ?team ?observer ?metrics ?events ?fault ?monitor ?(compiled = true) para
   | None -> ());
   let st = fresh_loop_state ~start:trace.(0).Machine.time ~track_src:false in
   (match
-     drive ?team sim st source ~observer ~checkpoint_every:None ~on_checkpoint:None
+     drive ?team ?loop sim st source ~observer ~checkpoint_every:None ~on_checkpoint:None
        ~cycle_budget:None
    with
   | `Suspended _ -> assert false
@@ -2458,7 +3170,7 @@ let finish_summary sim st source =
       { dg_exits = Hashing.finish (sim.ed_hi, sim.ed_lo); dg_access = access_digest sim };
   }
 
-let run_source ?team ?observer ?metrics ?events ?fault ?monitor ?(compiled = true)
+let run_source ?team ?loop ?observer ?metrics ?events ?fault ?monitor ?(compiled = true)
     ?checkpoint_every ?on_checkpoint ?cycle_budget params prog source =
   (match checkpoint_every with
   | Some n when n <= 0 -> invalid_arg "Sim.run_source: checkpoint_every must be positive"
@@ -2483,15 +3195,16 @@ let run_source ?team ?observer ?metrics ?events ?fault ?monitor ?(compiled = tru
     fresh_loop_state ~start:start_time
       ~track_src:(checkpoint_every <> None || cycle_budget <> None)
   in
-  match drive ?team sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget
+  match
+    drive ?team ?loop sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget
   with
   | `Suspended snap -> Suspended snap
   | `Done -> Completed (finish_summary sim st source)
 
 exception Resume_mismatch of string
 
-let resume ?team ?observer ?metrics ?events ?monitor ?(compiled = true) ?checkpoint_every
-    ?on_checkpoint ?cycle_budget ~snapshot prog source =
+let resume ?team ?loop ?observer ?metrics ?events ?monitor ?(compiled = true)
+    ?checkpoint_every ?on_checkpoint ?cycle_budget ~snapshot prog source =
   (* A resume boundary is a cold point by definition, and chunked
      gigapacket runs pass through one every few hundred thousand cycles.
      Collecting here releases the previous chunk's machine plus the
@@ -2709,7 +3422,8 @@ let resume ?team ?observer ?metrics ?events ?monitor ?(compiled = true) ?checkpo
       | exception Invalid_argument msg -> Error (Corrupt ("snapshot: " ^ msg))
       | sim, st -> (
           match
-            drive ?team sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget
+            drive ?team ?loop sim st source ~observer ~checkpoint_every ~on_checkpoint
+              ~cycle_budget
           with
           | `Suspended snap -> Ok (Suspended snap)
           | `Done -> Ok (Completed (finish_summary sim st source))))

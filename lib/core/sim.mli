@@ -80,8 +80,59 @@ type result = {
   latencies : (int * int) list;     (** (packet id, cycles in switch), exit order *)
 }
 
+(** {2 Cycle-loop variants}
+
+    The simulator carries two implementations of its cycle loop,
+    selected once per run:
+
+    - the {e generic} loop — the instrumented code path, one branch per
+      metrics/trace/fault/monitor/observer site, kept as the
+      differential oracle (and, behind its own gate, the
+      domain-parallel engine of [?team]);
+    - the {e fast} loop — compiled for the bare configuration: every
+      instrumentation branch statically absent, each pipeline's
+      deliver/apply/pop/exec chain fused into a single closed closure
+      over its FIFO column, register arrays and kernel, a whole-machine
+      quiescence fast-forward (idle remap boundaries with clean access
+      counters are provably no-ops and are skipped outright), and
+      chunked source admission on runs that never checkpoint.
+
+    Results are bit-identical between the variants (enforced across the
+    differential corpus); only wall-clock and the number of {e visited}
+    cycles differ — a budgeted or checkpointed run may suspend at
+    different machine cycles under each variant, but lands on the same
+    final summary. *)
+
+type loop =
+  | Auto     (** fast when eligible, generic otherwise (the default) *)
+  | Generic  (** force the oracle loop *)
+  | Fast     (** force the bare loop;
+                 @raise Invalid_argument when the run is not eligible *)
+
+val select_loop :
+  loop:loop ->
+  jobs:int ->
+  metrics:bool ->
+  events:bool ->
+  fault:bool ->
+  monitor:bool ->
+  observer:bool ->
+  params ->
+  [ `Fast_seq | `Fast_par | `Generic_seq | `Generic_par ]
+(** The (pure) variant-selection function {!run}/{!run_source}/{!resume}
+    apply to their own arguments.  Fast eligibility: no metrics, events,
+    fault plan, monitor or observer attached, adaptive FIFOs, no
+    starvation guard, and a mode other than [Ideal] (whose LPT packer
+    reads cumulative access counters, making idle remap boundaries
+    observable).  [jobs > 1] selects the parallel arm of whichever
+    variant wins; the generic parallel arm additionally requires its PR 6
+    gate (no fault/events/observer, adaptive FIFOs, no starvation guard)
+    and otherwise degrades to [`Generic_seq].
+    @raise Invalid_argument for [~loop:Fast] on an ineligible run. *)
+
 val run :
   ?team:Mp5_util.Pool.Team.t ->
+  ?loop:loop ->
   ?observer:(occupancy -> unit) ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
@@ -198,6 +249,7 @@ type resume_error =
 
 val run_source :
   ?team:Mp5_util.Pool.Team.t ->
+  ?loop:loop ->
   ?observer:(occupancy -> unit) ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
@@ -234,6 +286,7 @@ val run_source :
 
 val resume :
   ?team:Mp5_util.Pool.Team.t ->
+  ?loop:loop ->
   ?observer:(occupancy -> unit) ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->

@@ -44,6 +44,7 @@ val golden : t -> Mp5_banzai.Machine.input array -> Mp5_banzai.Machine.result
 
 val run :
   ?team:Mp5_util.Pool.Team.t ->
+  ?loop:Sim.loop ->
   ?params:Sim.params ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
@@ -55,11 +56,12 @@ val run :
   Mp5_banzai.Machine.input array ->
   Sim.result
 (** Run the MP5 simulator ([params] defaults to {!Sim.default_params};
-    [team], [metrics], [events], [fault], [monitor] and [compiled] as in
-    {!Sim.run}). *)
+    [team], [loop], [metrics], [events], [fault], [monitor] and [compiled]
+    as in {!Sim.run}). *)
 
 val run_source :
   ?team:Mp5_util.Pool.Team.t ->
+  ?loop:Sim.loop ->
   ?params:Sim.params ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
@@ -79,6 +81,7 @@ val run_source :
 
 val resume :
   ?team:Mp5_util.Pool.Team.t ->
+  ?loop:Sim.loop ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
   ?monitor:Mp5_fault.Monitor.t ->
@@ -95,6 +98,7 @@ val resume :
 
 val verify :
   ?team:Mp5_util.Pool.Team.t ->
+  ?loop:Sim.loop ->
   ?params:Sim.params ->
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->

@@ -22,6 +22,8 @@ let get t i =
   if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of range";
   t.data.(i)
 
+let unsafe_get t i = Array.unsafe_get t.data i
+
 let set t i x =
   if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of range";
   t.data.(i) <- x

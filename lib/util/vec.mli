@@ -19,6 +19,10 @@ val push : 'a t -> 'a -> unit
 val get : 'a t -> int -> 'a
 (** @raise Invalid_argument when out of range. *)
 
+val unsafe_get : 'a t -> int -> 'a
+(** [get] without the range check — undefined behaviour out of range.
+    For hot loops that have already established [0 <= i < length t]. *)
+
 val set : 'a t -> int -> 'a -> unit
 (** Overwrite an existing element.
     @raise Invalid_argument when out of range. *)

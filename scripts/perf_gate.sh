@@ -1,0 +1,83 @@
+#!/bin/sh
+# Performance regression gate for the simulator hot path.
+#
+# Reads the committed BENCH_results.json baseline (the copy in git HEAD
+# — the working-tree file is overwritten by every bench run), runs the
+# sim-micro smoke, and compares the fresh heavy-hitter-2k/kernel_ns
+# against the baseline:
+#
+#   new > 1.25 x baseline  ->  hard fail (regression)
+#   new < 0.75 x baseline  ->  warn: the loop got faster, refresh and
+#                              commit the baseline so the gate tightens
+#
+# The harness already takes the min over 5 interleaved repetitions,
+# but shared runners also swing between whole invocations (observed
+# 1.5x spikes under co-tenant load), so the gate retries: up to 3
+# bench invocations, comparing the minimum, and passes as soon as one
+# lands inside the band.  A real regression fails all three; a load
+# spike has to survive ~30 s of wall clock to false-fail.  No baseline
+# in HEAD (first run, or a shallow checkout without the file) skips
+# the comparison with a warning rather than failing: the gate must not
+# brick CI on the commit that introduces it.
+#
+# POSIX sh + awk only; run from the repo root (make perf-smoke does).
+set -eu
+
+RESULTS=BENCH_results.json
+KEY='heavy-hitter-2k/kernel_ns'
+
+extract() {
+  # Pull a bare number out of  "<key>": <float>  without a JSON parser.
+  awk -v key="\"$KEY\":" '
+    {
+      while (match($0, key " *[0-9][0-9.eE+-]*")) {
+        s = substr($0, RSTART, RLENGTH)
+        sub(/^.*: */, "", s)
+        print s
+        exit
+      }
+    }'
+}
+
+baseline=$(git show "HEAD:$RESULTS" 2>/dev/null | extract || true)
+
+dune build bench/main.exe
+
+best=
+attempt=1
+while [ "$attempt" -le 3 ]; do
+  ./_build/default/bench/main.exe --smoke sim-micro sim-par --json "$RESULTS"
+  new=$(extract < "$RESULTS")
+  if [ -z "$new" ]; then
+    echo "perf-gate: FAIL: $KEY missing from fresh $RESULTS" >&2
+    exit 1
+  fi
+  if [ -z "$best" ] || awk -v a="$new" -v b="$best" 'BEGIN { exit !(a < b) }'; then
+    best=$new
+  fi
+  if [ -z "$baseline" ]; then
+    echo "perf-gate: no committed baseline ($RESULTS not in HEAD or key absent); skipping comparison" >&2
+    echo "perf-gate: measured $KEY = $new ns (commit $RESULTS to arm the gate)"
+    exit 0
+  fi
+  if awk -v new="$best" -v base="$baseline" 'BEGIN { exit !(new <= 1.25 * base) }'; then
+    break
+  fi
+  echo "perf-gate: attempt $attempt: $new ns vs baseline $baseline ns is outside the band; retrying" >&2
+  attempt=$((attempt + 1))
+done
+
+awk -v new="$best" -v base="$baseline" 'BEGIN {
+  ratio = new / base
+  printf "perf-gate: %s: baseline %.0f ns, best of attempts %.0f ns (%.2fx)\n", \
+         "'"$KEY"'", base, new, ratio
+  if (ratio > 1.25) {
+    printf "perf-gate: FAIL: regression beyond the 1.25x band\n" > "/dev/stderr"
+    exit 1
+  }
+  if (ratio < 0.75) {
+    printf "perf-gate: note: >25%% faster than the committed baseline; refresh and commit %s\n", \
+           "'"$RESULTS"'" > "/dev/stderr"
+  }
+  exit 0
+}'

@@ -12,7 +12,9 @@
    engine (a [Pool.Team] of 1/2/4/8 members, cycling across the corpus)
    and must be bit-identical to the sequential run — results, telemetry,
    streaming digests, and snapshots taken under one engine and resumed
-   under the other.
+   under the other.  The bare fast cycle loop (both arms, forced with
+   [~loop:Fast]) is held to the same standard: array and streamed runs,
+   every job count, and resumes that switch loop variants mid-run.
 
    Both execution engines are additionally checked against the independent
    reference interpreter (lib/fuzz/interp), which executes the untyped
@@ -95,6 +97,18 @@ let run_seed seed =
   if not (Mp5_obs.Metrics.equal mk mp) then
     Alcotest.failf "seed %d: parallel engine (jobs=%d) telemetry diverges on:\n%s" seed jobs
       src;
+  (* The bare fast loop (forced, both arms) must be bit-identical to the
+     instrumented generic runs above: telemetry is a pure observer, so
+     stripping it — and fusing the cycle phases — may change nothing
+     observable.  The team cycles jobs through {1,2,4,8} across the
+     corpus, so both fast arms and every job count see all 220
+     programs. *)
+  let fast = Sim.run ~loop:Sim.Fast ~compiled:true params prog trace in
+  if not (Sim.results_equal kernel fast) then
+    Alcotest.failf "seed %d: fast sequential loop diverges on:\n%s" seed src;
+  let fastp = Sim.run ~team ~loop:Sim.Fast ~compiled:(seed mod 2 = 1) params prog trace in
+  if not (Sim.results_equal kernel fastp) then
+    Alcotest.failf "seed %d: fast parallel loop (jobs=%d) diverges on:\n%s" seed jobs src;
   (* An empty fault plan plus an attached invariant monitor must be
      invisible: the fault hooks' no-plan path is bit-identical to an
      unfaulted build, and the monitor is a pure observer.  An empty plan
@@ -138,9 +152,10 @@ let run_seed seed =
      counter, the merged store, and the exit/access digests
      ([Sim.digests_of_result] condenses the array run's per-packet lists
      into the digests the streaming path maintains online). *)
-  let stream ?team ~compiled () =
+  let stream ?team ?loop ~compiled () =
     match
-      Sim.run_source ?team ~compiled params prog (Mp5_workload.Packet_source.of_array trace)
+      Sim.run_source ?team ?loop ~compiled params prog
+        (Mp5_workload.Packet_source.of_array trace)
     with
     | Sim.Completed s -> s
     | Sim.Suspended _ -> Alcotest.failf "seed %d: streamed run suspended without a budget" seed
@@ -155,19 +170,27 @@ let run_seed seed =
   if not (Sim.summary_equal want (stream ~team ~compiled:true ())) then
     Alcotest.failf "seed %d: streamed source diverges from the array run (par jobs=%d):\n%s"
       seed jobs src;
+  (* Streamed fast loop: exercises chunked source admission (no
+     checkpointing armed, so the prefetch buffer is live) and the
+     streaming exit/access digests under the fused sweep. *)
+  if not (Sim.summary_equal want (stream ~loop:Sim.Fast ~compiled:true ())) then
+    Alcotest.failf "seed %d: streamed fast loop diverges from the array run:\n%s" seed src;
+  if not (Sim.summary_equal want (stream ~team ~loop:Sim.Fast ~compiled:true ())) then
+    Alcotest.failf "seed %d: streamed fast parallel loop diverges (jobs=%d):\n%s" seed jobs
+      src;
   (* Cross-engine checkpoint/resume on a corpus slice: a snapshot taken
      under either engine must resume under the other and land on the
      uninterrupted run's summary — snapshots record no engine choice. *)
   if seed mod 23 = 0 then begin
-    let cross t1 t2 =
+    let cross ?l1 ?l2 t1 t2 =
       match
-        Sim.run_source ?team:t1 ~cycle_budget:25 params prog
+        Sim.run_source ?team:t1 ?loop:l1 ~cycle_budget:25 params prog
           (Mp5_workload.Packet_source.of_array trace)
       with
       | Sim.Completed s -> s (* finished inside the budget; nothing to cross *)
       | Sim.Suspended snap -> (
           match
-            Sim.resume ?team:t2 ~snapshot:snap prog
+            Sim.resume ?team:t2 ?loop:l2 ~snapshot:snap prog
               (Mp5_workload.Packet_source.of_array trace)
           with
           | Ok (Sim.Completed s) -> s
@@ -180,7 +203,14 @@ let run_seed seed =
         jobs src;
     if not (Sim.summary_equal want (cross None (Some team))) then
       Alcotest.failf "seed %d: seq checkpoint -> par resume diverges (jobs=%d):\n%s" seed
-        jobs src
+        jobs src;
+    (* Snapshots record no loop-variant choice either: a leg suspended
+       under one cycle-loop variant must resume under the other and land
+       on the uninterrupted summary. *)
+    if not (Sim.summary_equal want (cross ~l1:Sim.Fast ~l2:Sim.Generic None None)) then
+      Alcotest.failf "seed %d: fast checkpoint -> generic resume diverges:\n%s" seed src;
+    if not (Sim.summary_equal want (cross ~l1:Sim.Generic ~l2:Sim.Fast None None)) then
+      Alcotest.failf "seed %d: generic checkpoint -> fast resume diverges:\n%s" seed src
   end;
   if kernel.Sim.dropped = 0 then begin
     (* the oracle has no drop model, so only compare complete deliveries *)
