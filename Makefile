@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke metrics-smoke fault-smoke longrun-smoke perf perf-smoke clean
+.PHONY: all build test bench bench-smoke metrics-smoke profile-smoke fault-smoke longrun-smoke perf perf-smoke clean
 
 all: build
 
@@ -22,6 +22,17 @@ bench-smoke:
 # --trace / --report): exact CLI output, schema tags, event counts.
 metrics-smoke:
 	dune build @metrics
+
+# Profiler smoke: the cram test pins the --profile CLI surface (report
+# shape, snapshot/trace schema tags, exit codes), then a full-profiled
+# heavy-hitter-2k run on the parallel engine writes the mp5-prof/1
+# snapshot (validated before the write; a broken snapshot exits 3) and
+# the Perfetto trace CI uploads as an artifact.
+profile-smoke:
+	dune build @profile
+	dune exec bin/mp5sim.exe -- --app heavy_hitter --pipelines 4 --packets 2000 --seed 3 \
+	  --engine par --jobs 2 --profile=full \
+	  --profile-out PROFILE_snapshot.json --trace-perfetto PROFILE_trace.json
 
 # Degraded-mode smoke: a pipeline dies mid-run with the invariant
 # monitor attached (a violation exits 3 and leaves its diagnostic in

@@ -510,27 +510,31 @@ let degraded scale =
 
 module Obs_metrics = Mp5_obs.Metrics
 
-let metrics_probe scale name =
-  let simulate ?(mode = Sim.Mp5) ?(shard_init = `Round_robin) ?(finite_fifos = false) sw trace
+(* The workload behind a probe, separated from the instrument attached
+   to it: the same representative run backs both the telemetry snapshot
+   (--metrics-dir) and the phase-profile snapshot (--profile-dir). *)
+type probe_target = {
+  pt_sw : Switch.t;
+  pt_trace : Mp5_banzai.Machine.input array;
+  pt_k : int;
+  pt_params : Sim.params;
+  pt_fault : Mp5_fault.Fault.plan option;
+}
+
+let probe_target scale name =
+  let target ?(mode = Sim.Mp5) ?(shard_init = `Round_robin) ?(finite_fifos = false) sw trace
       ~k =
-    let stages =
-      Array.length sw.Switch.prog.Mp5_core.Transform.config.Mp5_banzai.Config.stages
-    in
-    let m = Obs_metrics.create ~stages ~k in
     let params = { (Sim.default_params ~k) with mode; shard_init } in
     let params =
       if finite_fifos then { params with Sim.fifo_capacity = 8; adaptive_fifos = false }
       else params
     in
-    ignore
-      (Sim.run ?team:(team ()) ~loop:(loop_for ~eligible:false) ~compiled:!compiled
-         ~metrics:m params sw.Switch.prog trace);
-    m
+    { pt_sw = sw; pt_trace = trace; pt_k = k; pt_params = params; pt_fault = None }
   in
   let sensitivity ?mode ?shard_init ?finite_fifos setup ~seed =
     let sw = switch_for setup in
     let trace = trace_for setup ~n:scale.n_packets ~seed in
-    simulate ?mode ?shard_init ?finite_fifos sw trace ~k:setup.k
+    target ?mode ?shard_init ?finite_fifos sw trace ~k:setup.k
   in
   match name with
   | "d2" ->
@@ -549,7 +553,7 @@ let metrics_probe scale name =
       let pkts =
         Tracegen.flows ~seed:800 ~n_packets:scale.n_packets ~k:4 ~concurrency:128 ()
       in
-      Some (simulate sw (Traces.trace_for app pkts) ~k:4)
+      Some (target sw (Traces.trace_for app pkts) ~k:4)
   | "ablate-priority" ->
       (* The guarded program makes ~half the packets stateless at each
          array, so this probe is the one that exercises the
@@ -574,7 +578,7 @@ let metrics_probe scale name =
             seed = 900;
           }
       in
-      Some (simulate sw trace ~k:setup.k)
+      Some (target sw trace ~k:setup.k)
   | "ablate-gate" ->
       Some (sensitivity { default_setup with reg_size = 64 } ~seed:950)
   | "ablate-period" ->
@@ -594,14 +598,7 @@ let metrics_probe scale name =
         | Ok p -> p
         | Error e -> failwith ("degraded probe: " ^ e)
       in
-      let stages =
-        Array.length sw.Switch.prog.Mp5_core.Transform.config.Mp5_banzai.Config.stages
-      in
-      let m = Obs_metrics.create ~stages ~k:setup.k in
-      ignore
-        (Sim.run ~loop:(loop_for ~eligible:false) ~compiled:!compiled ~metrics:m ~fault:plan
-           (Sim.default_params ~k:setup.k) sw.Switch.prog trace);
-      Some m
+      Some { (target sw trace ~k:setup.k) with pt_fault = Some plan }
   | "sim-micro" ->
       let sw = Switch.create_exn Sources.heavy_hitter in
       let trace =
@@ -618,8 +615,41 @@ let metrics_probe scale name =
             seed = 3;
           }
       in
-      Some (simulate sw trace ~k:4)
+      Some (target sw trace ~k:4)
   | _ -> None (* table1, sram, perf: no cycle simulator involved *)
+
+(* Run a probe target once with the given instruments attached.  A fault
+   plan implies the sequential engine (the gate falls back anyway, and
+   the un-teamed run matches what the experiment itself measured). *)
+let probe_run ?metrics ?prof pt =
+  ignore
+    (Sim.run
+       ?team:(if pt.pt_fault = None then team () else None)
+       ~loop:(loop_for ~eligible:false) ~compiled:!compiled ?metrics ?prof
+       ?fault:pt.pt_fault pt.pt_params pt.pt_sw.Switch.prog pt.pt_trace)
+
+let metrics_probe scale name =
+  Option.map
+    (fun pt ->
+      let stages =
+        Array.length pt.pt_sw.Switch.prog.Mp5_core.Transform.config.Mp5_banzai.Config.stages
+      in
+      let m = Obs_metrics.create ~stages ~k:pt.pt_k in
+      probe_run ~metrics:m pt;
+      m)
+    (probe_target scale name)
+
+(* Phase-profile twin of [metrics_probe] (--profile-dir): the same
+   representative run with a full-mode span profiler attached, so every
+   BENCH_results.json entry can ship a wall-clock phase breakdown next
+   to its telemetry snapshot. *)
+let profile_probe scale name =
+  Option.map
+    (fun pt ->
+      let pf = Mp5_obs.Prof.create ~mode:Mp5_obs.Prof.Full () in
+      probe_run ~prof:pf pt;
+      pf)
+    (probe_target scale name)
 
 (* --- kernel vs interpreter micro-benchmark ---
 
@@ -705,8 +735,10 @@ let sim_micro scale =
 
 type par_point = {
   pp_jobs : int;
-  pp_ns : float;       (** min wall-clock per [Sim.run] with this team *)
-  pp_speedup : float;  (** sequential-engine time / this time *)
+  pp_ns : float;         (** min wall-clock per [Sim.run] with this team *)
+  pp_median_ns : float;  (** median over the same reps *)
+  pp_spread_ns : float;  (** max - min over the same reps *)
+  pp_speedup : float;    (** sequential-engine min time / this min time *)
 }
 
 type par_micro = {
@@ -735,19 +767,28 @@ let sim_par scale =
   let params = Sim.default_params ~k:8 in
   let run ?team () = Sim.run ?team ~loop:!loop ~compiled:!compiled params sw.Switch.prog trace in
   let reps = max 5 scale.runs in
-  (* First (untimed) call warms the heap and is the parity witness. *)
-  let time_min f =
+  (* First (untimed) call warms the heap and is the parity witness.  All
+     rep timings are kept, not just the best: min is the headline (least
+     machine noise), while median and spread (max - min) record how
+     noisy the host was — a speedup whose spread rivals its min is a
+     scheduling artifact, not a scaling result. *)
+  let time_stats f =
     let r0 = f () in
-    let best = ref infinity in
-    for _ = 1 to reps do
+    let samples = Array.make reps infinity in
+    for i = 0 to reps - 1 do
       Gc.minor ();
       let t0 = Unix.gettimeofday () in
       ignore (f () : Sim.result);
-      best := Float.min !best ((Unix.gettimeofday () -. t0) *. 1e9)
+      samples.(i) <- (Unix.gettimeofday () -. t0) *. 1e9
     done;
-    (!best, r0)
+    Array.sort compare samples;
+    let median =
+      if reps land 1 = 1 then samples.(reps / 2)
+      else (samples.((reps / 2) - 1) +. samples.(reps / 2)) /. 2.0
+    in
+    ((samples.(0), median, samples.(reps - 1) -. samples.(0)), r0)
   in
-  let seq_ns, ref_r = time_min (fun () -> run ()) in
+  let (seq_ns, _, _), ref_r = time_stats (fun () -> run ()) in
   let host = Domain.recommended_domain_count () in
   (* Default sweep stops at the host's real parallelism (see
      [set_oversubscribe]); the parity check runs at every recorded
@@ -763,14 +804,20 @@ let sim_par scale =
     List.map
       (fun jobs ->
         let team = Pool.Team.create ~jobs in
-        let ns, r =
+        let (ns, median, spread), r =
           Fun.protect
             ~finally:(fun () -> Pool.Team.shutdown team)
-            (fun () -> time_min (fun () -> run ~team ()))
+            (fun () -> time_stats (fun () -> run ~team ()))
         in
         if not (Sim.results_equal r ref_r) then
           failwith (Printf.sprintf "sim-par: parallel engine diverges at jobs=%d" jobs);
-        { pp_jobs = jobs; pp_ns = ns; pp_speedup = seq_ns /. ns })
+        {
+          pp_jobs = jobs;
+          pp_ns = ns;
+          pp_median_ns = median;
+          pp_spread_ns = spread;
+          pp_speedup = seq_ns /. ns;
+        })
       sweep
   in
   (* CI gate: where the host can actually run 4 domains, the parallel

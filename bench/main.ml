@@ -215,8 +215,10 @@ let run_sim_par scale =
   Format.printf "  engine seq:          %12.0f ns/run@." r.Experiments.pe_seq_ns;
   List.iter
     (fun (p : Experiments.par_point) ->
-      Format.printf "  engine par, jobs=%d:  %12.0f ns/run  (%.2fx vs seq)@."
-        p.Experiments.pp_jobs p.Experiments.pp_ns p.Experiments.pp_speedup)
+      Format.printf
+        "  engine par, jobs=%d:  %12.0f ns/run  (%.2fx vs seq; median %.0f, spread %.0f)@."
+        p.Experiments.pp_jobs p.Experiments.pp_ns p.Experiments.pp_speedup
+        p.Experiments.pp_median_ns p.Experiments.pp_spread_ns)
     r.Experiments.pe_points;
   Format.printf "  outputs bit-identical at every job count@.";
   ("host_domains", float_of_int r.Experiments.pe_host_domains)
@@ -225,6 +227,11 @@ let run_sim_par scale =
        (fun (p : Experiments.par_point) ->
          [
            (Printf.sprintf "jobs=%d/ns" p.Experiments.pp_jobs, p.Experiments.pp_ns);
+           (Printf.sprintf "jobs=%d/min_ns" p.Experiments.pp_jobs, p.Experiments.pp_ns);
+           (Printf.sprintf "jobs=%d/median_ns" p.Experiments.pp_jobs,
+            p.Experiments.pp_median_ns);
+           (Printf.sprintf "jobs=%d/spread_ns" p.Experiments.pp_jobs,
+            p.Experiments.pp_spread_ns);
            (Printf.sprintf "jobs=%d/speedup" p.Experiments.pp_jobs, p.Experiments.pp_speedup);
          ])
        r.Experiments.pe_points
@@ -332,6 +339,7 @@ let () =
   let jobs = ref 1 in
   let json_path = ref "BENCH_results.json" in
   let metrics_dir = ref None in
+  let profile_dir = ref None in
   let engine = ref `Seq in
   let rec parse acc = function
     | [] -> List.rev acc
@@ -359,6 +367,9 @@ let () =
         parse acc rest
     | "--metrics-dir" :: dir :: rest ->
         metrics_dir := Some dir;
+        parse acc rest
+    | "--profile-dir" :: dir :: rest ->
+        profile_dir := Some dir;
         parse acc rest
     | "--no-compile" :: rest ->
         Experiments.set_compiled false;
@@ -421,9 +432,12 @@ let () =
   | `Par -> Format.printf "(parallel cycle engine: %d domains per run)@." (max !jobs 2)
   | `Seq ->
       if !jobs > 1 then Format.printf "(running with %d domains)@." (Experiments.jobs ()));
-  (match !metrics_dir with
-  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
-  | _ -> ());
+  List.iter
+    (fun dir_ref ->
+      match !dir_ref with
+      | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+      | _ -> ())
+    [ metrics_dir; profile_dir ];
   let telemetry_ok = ref true in
   let failed = ref false in
   Printexc.record_backtrace true;
@@ -448,6 +462,31 @@ let () =
             in
             check "invariant" (Mp5_obs.Metrics.validate m);
             check "schema" (Mp5_obs.Metrics.validate_json s);
+            let oc = open_out path in
+            output_string oc s;
+            output_char oc '\n';
+            close_out oc)
+  in
+  (* Same discipline for the phase-profile snapshots (--profile-dir):
+     one full-mode profiled run per experiment, validated before it is
+     written, so the phase breakdown ships next to BENCH_results.json. *)
+  let write_prof_probe name =
+    match !profile_dir with
+    | None -> ()
+    | Some dir -> (
+        match Experiments.profile_probe scale name with
+        | None -> ()
+        | Some pf ->
+            let path = Filename.concat dir (name ^ ".prof.json") in
+            let s = Mp5_obs.Prof.json_string pf in
+            let check label = function
+              | Ok () -> ()
+              | Error e ->
+                  Format.eprintf "%s: profile %s check failed: %s@." name label e;
+                  telemetry_ok := false
+            in
+            check "invariant" (Mp5_obs.Prof.validate pf);
+            check "schema" (Mp5_obs.Prof.validate_json s);
             let oc = open_out path in
             output_string oc s;
             output_char oc '\n';
@@ -490,7 +529,8 @@ let () =
           | metrics ->
               let seconds = Unix.gettimeofday () -. t0 in
               results := (name, seconds, metrics) :: !results;
-              write_probe name
+              write_probe name;
+              write_prof_probe name
           | exception exn ->
               Format.eprintf "experiment %s failed: %s@.%s@." name
                 (Printexc.to_string exn)
@@ -504,5 +544,8 @@ let () =
   Format.printf "results written to %s@." !json_path;
   (match !metrics_dir with
   | Some dir -> Format.printf "telemetry snapshots written to %s/@." dir
+  | None -> ());
+  (match !profile_dir with
+  | Some dir -> Format.printf "profile snapshots written to %s/@." dir
   | None -> ());
   if !failed || not !telemetry_ok then exit 3

@@ -33,8 +33,8 @@ let with_out path f =
 
 let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_file jobs runs
     no_compile engine loop metrics_file metrics_prom trace_out trace_packets trace_cap report
-    fault_plan monitor monitor_epoch monitor_dump stream checkpoint_every snapshot_path
-    resume_file =
+    profile profile_out trace_perfetto fault_plan monitor monitor_epoch monitor_dump stream
+    checkpoint_every snapshot_path resume_file =
   let compiled = not no_compile in
   if list_apps then begin
     List.iter print_endline (apps ());
@@ -228,6 +228,17 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
       Some (Mp5_fault.Monitor.create ~epoch:monitor_epoch ?events ())
     else None
   in
+  (* --profile-out / --trace-perfetto imply --profile (sampled), the
+     mode that keeps fast-loop eligibility; --profile=full asks for the
+     per-phase split and routes Auto to the generic loop. *)
+  let prof_mode =
+    match profile with
+    | Some _ as m -> m
+    | None ->
+        if profile_out <> None || trace_perfetto <> None then Some Mp5_obs.Prof.Sampled
+        else None
+  in
+  let prof = Option.map (fun mode -> Mp5_obs.Prof.create ~mode ()) prof_mode in
   let dump_monitor () =
     match (mon, monitor_dump) with
     | Some m, Some path ->
@@ -258,6 +269,29 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
             with_out path (fun oc -> output_string oc (Mp5_obs.Metrics.to_prometheus m)))
           metrics_prom;
         if report then Format.printf "%a" Mp5_obs.Metrics.pp m);
+    (match prof with
+    | None -> ()
+    | Some pf ->
+        (match Mp5_obs.Prof.validate pf with
+        | Ok () -> ()
+        | Error e ->
+            Format.eprintf "profile invariant violation: %s@." e;
+            exit 3);
+        (* Re-validate the serialized snapshot before writing it: CI
+           treats the emitted file as already checked. *)
+        let js = Mp5_obs.Prof.json_string pf in
+        (match Mp5_obs.Prof.validate_json js with
+        | Ok () -> ()
+        | Error e ->
+            Format.eprintf "profile snapshot failed validation: %s@." e;
+            exit 3);
+        Option.iter (fun path -> with_out path (fun oc -> output_string oc js)) profile_out;
+        Option.iter
+          (fun path ->
+            with_out path (fun oc -> output_string oc (Mp5_obs.Prof.chrome_string pf)))
+          trace_perfetto;
+        if report || (profile_out = None && trace_perfetto = None) then
+          Format.printf "%a" Mp5_obs.Prof.pp pf);
     match (events, trace_out) with
     | Some tr, Some path -> with_out path (fun oc -> Mp5_obs.Trace.write_jsonl tr oc)
     | _ -> ()
@@ -319,8 +353,8 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
                 exit 2
             in
             match
-              Mp5_core.Switch.resume ?team ~loop ?metrics ?events ?monitor:mon ~compiled
-                ?checkpoint_every ?on_checkpoint ~snapshot:snap sw (source ())
+              Mp5_core.Switch.resume ?team ~loop ?metrics ?events ?monitor:mon ?prof
+                ~compiled ?checkpoint_every ?on_checkpoint ~snapshot:snap sw (source ())
             with
             | Ok o -> o
             | Error (Mp5_core.Sim.Corrupt msg) ->
@@ -331,7 +365,8 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
                 exit 3)
         | None ->
             Mp5_core.Switch.run_source ?team ~loop ~params ?metrics ?events ?fault:plan
-              ?monitor:mon ~compiled ?checkpoint_every ?on_checkpoint ~k sw (source ())
+              ?monitor:mon ?prof ~compiled ?checkpoint_every ?on_checkpoint ~k sw
+              (source ())
       with
       | Invalid_argument msg ->
           (* --loop fast on a run that attaches instrumentation. *)
@@ -367,7 +402,7 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
   let r, rep =
     try
       Mp5_core.Switch.verify ?team ~compiled ~loop ~params ?metrics ?events ?fault:plan
-        ?monitor:mon ~k sw trace
+        ?monitor:mon ?prof ~k sw trace
     with
     | Invalid_argument msg ->
         (* --loop fast on a run that attaches instrumentation. *)
@@ -519,6 +554,49 @@ let trace_cap_arg =
         ~doc:"Event-trace ring capacity; older events are overwritten \
               beyond this (the JSONL header reports truncation).")
 
+let prof_mode_conv =
+  let parse = function
+    | "sampled" -> Ok Mp5_obs.Prof.Sampled
+    | "full" -> Ok Mp5_obs.Prof.Full
+    | s -> Error (`Msg (Printf.sprintf "unknown profile mode %S (expected sampled or full)" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with Mp5_obs.Prof.Sampled -> "sampled" | Mp5_obs.Prof.Full -> "full")
+  in
+  Arg.conv (parse, print)
+
+let profile_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some Mp5_obs.Prof.Sampled) (some prof_mode_conv) None
+    & info [ "profile" ] ~docv:"MODE"
+        ~doc:"Attach the wall-clock span profiler.  'sampled' (the \
+              default) hooks only at cycle edges, so the run stays \
+              eligible for the fast cycle loops; 'full' splits the \
+              per-phase spans (apply/pop/exec) and routes the run to \
+              the generic loop (--loop fast then exits 1).  Results \
+              are bit-identical with profiling on or off.  Prints a \
+              one-screen phase report unless an output file is given.")
+
+let profile_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:"Write the profile as a validated mp5-prof/1 JSON snapshot \
+              (per-phase/per-domain totals, duration histograms, GC \
+              counters); implies --profile.")
+
+let trace_perfetto_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-perfetto" ] ~docv:"FILE"
+        ~doc:"Write the profile as Chrome trace-event JSON loadable in \
+              Perfetto (one track per domain: spans plus instants for \
+              remaps, checkpoints and fault edges); implies --profile.")
+
 let fault_plan_arg =
   Arg.(
     value
@@ -621,7 +699,8 @@ let cmd =
       $ seed_arg $ recirc_arg $ list_arg $ trace_arg $ jobs_arg $ runs_arg $ no_compile_arg
       $ engine_arg $ loop_arg $ metrics_arg $ metrics_prom_arg $ trace_out_arg $ trace_packets_arg
       $ trace_cap_arg
-      $ report_arg $ fault_plan_arg $ monitor_arg $ monitor_epoch_arg $ monitor_dump_arg
+      $ report_arg $ profile_arg $ profile_out_arg $ trace_perfetto_arg
+      $ fault_plan_arg $ monitor_arg $ monitor_epoch_arg $ monitor_dump_arg
       $ stream_arg $ checkpoint_every_arg $ snapshot_arg $ resume_arg)
 
 let () = exit (Cmd.eval cmd)

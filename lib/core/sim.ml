@@ -8,6 +8,7 @@ module Channel = Mp5_arch.Channel
 module Vec = Mp5_util.Vec
 module Metrics = Mp5_obs.Metrics
 module Etrace = Mp5_obs.Trace
+module Prof = Mp5_obs.Prof
 module Fault = Mp5_fault.Fault
 module Monitor = Mp5_fault.Monitor
 module Pool = Mp5_util.Pool
@@ -121,9 +122,17 @@ type loop = Auto | Generic | Fast
    the counters at each boundary, and [Sharding.remap_step] provably
    returns no move when all counters are zero — which is what makes
    skipping clean idle boundaries safe. *)
-let select_loop ~loop ~jobs ~metrics ~events ~fault ~monitor ~observer (p : params) =
+(* A profiler is a pure observer like metrics, but its *sampled* mode
+   hooks only at cycle edges the fast loops already expose (deliver,
+   arrival, the fused sweep, movement/remap/checkpoint in the shared
+   suffix), so it does not close the fast gate.  *Full* mode wants the
+   per-phase spans (apply/pop/exec split out) that only the generic
+   loop's phase structure can time, so it routes Auto to Generic and
+   makes a forced Fast a contract violation. *)
+let select_loop ~loop ~jobs ~metrics ~events ~fault ~monitor ~observer ~prof (p : params) =
   let fast_ok =
     (not metrics) && (not events) && (not fault) && (not monitor) && (not observer)
+    && prof <> Some Prof.Full
     && p.adaptive_fifos
     && p.starvation_threshold = None
     && p.mode <> Ideal
@@ -262,6 +271,11 @@ type sim = {
      bit-identical with telemetry on or off *)
   ms : Metrics.t option;
   tr : Etrace.t option;
+  (* wall-clock span profiler (lib/obs/prof): same pure-observer
+     discipline — [None] costs one branch per site, and all profiler
+     state (clock reads included) lives outside the simulated machine,
+     so results are bit-identical with profiling off/sampled/full *)
+  pf : Prof.t option;
   (* fault injection and runtime invariant monitor (lib/fault): same
      discipline as the telemetry above — [None] costs one branch per
      site and leaves results bit-identical.  [flt] is mutable only so
@@ -294,7 +308,8 @@ let cell_fifo sim pc cell =
       Hashtbl.add pc.pc_cells cell f;
       f
 
-let create ?(compiled = true) ?(collect = true) ?metrics ?events ?fault ?monitor params prog =
+let create ?(compiled = true) ?(collect = true) ?metrics ?events ?fault ?monitor ?prof params
+    prog =
   let config = prog.Transform.config in
   let n_stages = Array.length config.Config.stages in
   let fplan =
@@ -398,6 +413,7 @@ let create ?(compiled = true) ?(collect = true) ?metrics ?events ?fault ?monitor
       exit_lats = Vec.create ();
       ms = metrics;
       tr = events;
+      pf = prof;
       flt;
       fplan;
       mon = monitor;
@@ -1544,6 +1560,11 @@ type par_state = {
   ps_log : int Vec.t array array;
   (* per-pipeline applied-transfer counts for the conservation check *)
   ps_applied : int array;
+  (* per-domain fan-out end timestamps (profiling only): each domain
+     writes its own slot right before leaving [Pool.Team.run], and the
+     join's happens-before makes the reads below race-free.  The caller
+     reconstructs compute = mark - fan and barrier = join - mark. *)
+  ps_marks : int array;
 }
 
 let make_par_state sim team =
@@ -1563,6 +1584,7 @@ let make_par_state sim team =
     ps_dbuf = Array.init sim.p.k (fun _ -> Vec.create ());
     ps_log = Array.init sim.n_stages (fun _ -> Array.init sim.p.k (fun _ -> Vec.create ()));
     ps_applied = Array.make sim.p.k 0;
+    ps_marks = Array.make jobs 0;
   }
 
 (* [deliver_phantoms] for one pipeline's pre-drained bucket.  The gate
@@ -1768,26 +1790,55 @@ let par_cycle sim ps now source st =
   | Some mon when Monitor.due mon ~now -> monitor_phase sim mon now
   | _ -> ());
   (match sim.ms with Some m -> Metrics.on_cycle m | None -> ());
-  Channel.drain sim.channel ~now (fun d -> Vec.push ps.ps_dbuf.(d.d_dest) d);
+  (match sim.pf with
+  | None -> Channel.drain sim.channel ~now (fun d -> Vec.push ps.ps_dbuf.(d.d_dest) d)
+  | Some pf ->
+      let t0 = Prof.now () in
+      Channel.drain sim.channel ~now (fun d -> Vec.push ps.ps_dbuf.(d.d_dest) d);
+      Prof.record pf Prof.Deliver ~t0);
   (* Arrivals hoisted before the fan-out: under the gate the arrival
      phase touches only stage-0 slots, the slab allocator and the
      phantom calendar — none of which deliver/apply read or write — so
      hoisting is behavior-preserving and keeps every slab allocation
      (the arrays may move when they grow) in sequential code. *)
-  arrival_phase sim now source st;
+  (match sim.pf with
+  | None -> arrival_phase sim now source st
+  | Some pf ->
+      let t0 = Prof.now () in
+      arrival_phase sim now source st;
+      Prof.record pf Prof.Source ~t0);
   let k = sim.p.k and jobs = ps.ps_jobs in
-  Pool.Team.run ps.ps_team (fun j ->
-      let ms = if ps.ps_shards = [||] then None else Some ps.ps_shards.(j) in
-      let p = ref j in
-      while !p < k do
-        let pipe = !p in
-        par_deliver sim ms ps.ps_dbuf.(pipe);
-        ps.ps_applied.(pipe) <- par_apply sim ms now pipe;
-        par_pop sim ms pipe;
-        (match ms with Some m -> par_sweep sim m pipe | None -> ());
-        par_exec sim ps j pipe;
-        p := !p + jobs
+  let fan j =
+    let ms = if ps.ps_shards = [||] then None else Some ps.ps_shards.(j) in
+    let p = ref j in
+    while !p < k do
+      let pipe = !p in
+      par_deliver sim ms ps.ps_dbuf.(pipe);
+      ps.ps_applied.(pipe) <- par_apply sim ms now pipe;
+      par_pop sim ms pipe;
+      (match ms with Some m -> par_sweep sim m pipe | None -> ());
+      par_exec sim ps j pipe;
+      p := !p + jobs
+    done
+  in
+  (match sim.pf with
+  | None -> Pool.Team.run ps.ps_team fan
+  | Some pf ->
+      (* Per-domain barrier attribution: each domain stamps its own
+         [ps_marks] slot as it finishes (single writer; the join gives
+         happens-before), so compute(j) = mark(j) - fan and
+         barrier(j) = join - mark(j) partition the fan-out wall time. *)
+      let t_fan = Prof.now () in
+      Pool.Team.run ps.ps_team (fun j ->
+          fan j;
+          ps.ps_marks.(j) <- Prof.now ());
+      let t_join = Prof.now () in
+      for j = 0 to jobs - 1 do
+        let mark = ps.ps_marks.(j) in
+        Prof.add pf ~domain:j Prof.Compute ~ts:t_fan ~dur:(mark - t_fan);
+        Prof.add pf ~domain:j Prof.Barrier ~ts:mark ~dur:(t_join - mark)
       done);
+  let t_replay = match sim.pf with Some _ -> Prof.now () | None -> 0 in
   (* barrier: re-serialize the shared logs in deterministic order *)
   for stage = 1 to sim.n_stages - 1 do
     for p = 0 to k - 1 do
@@ -1820,7 +1871,10 @@ let par_cycle sim ps now source st =
   for stage = 0 to sim.n_stages - 1 do
     Vec.clear sim.t_pkts.(stage);
     Vec.clear sim.t_descs.(stage)
-  done
+  done;
+  match sim.pf with
+  | Some pf -> Prof.record pf Prof.Replay ~t0:t_replay
+  | None -> ()
 
 (* --- specialized fast cycle loop (the bare variant) ---
 
@@ -2373,17 +2427,11 @@ let make_fast_state sim team ~chunked ~consumed =
                 done)
         in
         let bucket d = Vec.push dbuf.(d.d_dest) d in
-        let body now =
-          Pool.Team.run tm (fun j ->
-              let p = ref j in
-              while !p < k do
-                chains.(!p) now;
-                p := !p + jobs
-              done);
-          (* barrier: replay the buffered logs stage-major/pipe-minor —
-             the sequential [exec_phase] order — so the shared access
-             log (and with it result tables, digests and snapshot bytes)
-             is loop-invariant *)
+        (* barrier: replay the buffered logs stage-major/pipe-minor —
+           the sequential [exec_phase] order — so the shared access
+           log (and with it result tables, digests and snapshot bytes)
+           is loop-invariant *)
+        let replay () =
           for stage = 1 to n_stages - 1 do
             for p = 0 to k - 1 do
               let b = logs.(stage).(p) in
@@ -2403,6 +2451,42 @@ let make_fast_state sim team ~chunked ~consumed =
             Vec.clear t_pkts.(stage);
             Vec.clear t_descs.(stage)
           done
+        in
+        let body =
+          match sim.pf with
+          | None ->
+              fun now ->
+                Pool.Team.run tm (fun j ->
+                    let p = ref j in
+                    while !p < k do
+                      chains.(!p) now;
+                      p := !p + jobs
+                    done);
+                replay ()
+          | Some pf ->
+              (* Sampled hooks at the fan-out edges only (the fused
+                 chains run untouched): per-domain end marks give the
+                 same compute/barrier attribution as the generic
+                 parallel engine. *)
+              let marks = Array.make jobs 0 in
+              fun now ->
+                let t_fan = Prof.now () in
+                Pool.Team.run tm (fun j ->
+                    let p = ref j in
+                    while !p < k do
+                      chains.(!p) now;
+                      p := !p + jobs
+                    done;
+                    marks.(j) <- Prof.now ());
+                let t_join = Prof.now () in
+                for j = 0 to jobs - 1 do
+                  let mark = marks.(j) in
+                  Prof.add pf ~domain:j Prof.Compute ~ts:t_fan ~dur:(mark - t_fan);
+                  Prof.add pf ~domain:j Prof.Barrier ~ts:mark ~dur:(t_join - mark)
+                done;
+                let t0 = Prof.now () in
+                replay ();
+                Prof.record pf Prof.Replay ~t0
         in
         ((fun now -> Channel.drain sim.channel ~now bucket), body, false)
   in
@@ -2429,6 +2513,28 @@ let fast_cycle sim fs now source st =
   else arrival_phase sim now source st;
   if sim.in_flight > before then fs.fs_dirty <- true;
   fs.fs_body now
+
+(* The sampled-profiling twin of [fast_cycle]: three spans per cycle at
+   the edges the fast loop already has — calendar drain, admission, and
+   the fused sweep — never per packet or per stage.  A separate
+   function so the unprofiled loop body carries no profiler branch. *)
+(* Adjacent spans share their boundary timestamp (4 clock reads per
+   cycle, not 6) — the clock stub dominates sampled-mode overhead on
+   this loop. *)
+let fast_cycle_prof sim pf fs now source st =
+  let t0 = Prof.now () in
+  fs.fs_deliver now;
+  let t1 = Prof.now () in
+  Prof.add pf Prof.Deliver ~ts:t0 ~dur:(t1 - t0);
+  let before = sim.in_flight in
+  if fs.fs_chunked then fast_arrival sim fs source now
+  else arrival_phase sim now source st;
+  if sim.in_flight > before then fs.fs_dirty <- true;
+  let t2 = Prof.now () in
+  Prof.add pf Prof.Source ~ts:t1 ~dur:(t2 - t1);
+  fs.fs_body now;
+  let t3 = Prof.now () in
+  Prof.add pf Prof.Sweep ~ts:t2 ~dur:(t3 - t2)
 
 
 (* --- snapshots (mp5-snap/1) --- *)
@@ -2882,7 +2988,8 @@ let drive ?team ?(loop = Auto) sim st source ~observer ~checkpoint_every ~on_che
   let choice =
     select_loop ~loop ~jobs ~metrics:(Option.is_some sim.ms)
       ~events:(Option.is_some sim.tr) ~fault:(Option.is_some sim.flt)
-      ~monitor:(Option.is_some sim.mon) ~observer:(Option.is_some observer) params
+      ~monitor:(Option.is_some sim.mon) ~observer:(Option.is_some observer)
+      ~prof:(Option.map Prof.mode sim.pf) params
   in
   let fstate =
     match choice with
@@ -2915,41 +3022,102 @@ let drive ?team ?(loop = Auto) sim st source ~observer ~checkpoint_every ~on_che
   in
   let suspended = ref None in
   let running = ref true in
+  (match sim.pf with Some pf -> Prof.enter pf | None -> ());
   while !running && (sim.in_flight > 0 || has_next ()) do
     match cycle_budget with
     | Some budget when st.visited >= budget ->
         (* Pause at the cycle boundary: nothing of cycle [st.now] has
            run yet, so the snapshot resumes it from the top. *)
-        suspended := Some (encode sim st source);
+        (match sim.pf with
+        | None -> suspended := Some (encode sim st source)
+        | Some pf ->
+            let t0 = Prof.now () in
+            suspended := Some (encode sim st source);
+            Prof.record pf Prof.Checkpoint ~t0;
+            Prof.instant pf Prof.Checkpoint);
         running := false
     | _ ->
         let t = st.now in
         (match fstate with
-        | Some fs -> fast_cycle sim fs t source st
+        | Some fs -> (
+            match sim.pf with
+            | None -> fast_cycle sim fs t source st
+            | Some pf -> fast_cycle_prof sim pf fs t source st)
         | None -> (
             match pstate with
             | Some ps -> par_cycle sim ps t source st
-            | None ->
+            | None -> (
                 (match sim.mon with
                 | Some mon when Monitor.due mon ~now:t -> monitor_phase sim mon t
                 | _ -> ());
-                (match sim.flt with Some f -> fault_edges sim f t | None -> ());
-                (match sim.ms with Some m -> Metrics.on_cycle m | None -> ());
-                deliver_phantoms sim t;
-                apply_transfers sim t;
-                arrival_phase sim t source st;
-                pop_phase sim t;
-                (match sim.ms with Some m -> metrics_sweep sim m | None -> ());
-                observe sim t observer;
-                exec_phase sim t));
+                match sim.pf with
+                | None ->
+                    (match sim.flt with Some f -> fault_edges sim f t | None -> ());
+                    (match sim.ms with Some m -> Metrics.on_cycle m | None -> ());
+                    deliver_phantoms sim t;
+                    apply_transfers sim t;
+                    arrival_phase sim t source st;
+                    pop_phase sim t;
+                    (match sim.ms with Some m -> metrics_sweep sim m | None -> ());
+                    observe sim t observer;
+                    exec_phase sim t
+                | Some pf ->
+                    (* Full-span arm: the generic phase structure is the
+                       only place the apply/pop/exec split exists, so
+                       each phase call gets its own span.  (A sampled
+                       profile on the generic loop takes this arm too —
+                       the spans are per-cycle either way.) *)
+                    (match sim.flt with
+                    | Some f ->
+                        if Fault.next_edge f <= t then Prof.instant pf Prof.Fault;
+                        fault_edges sim f t
+                    | None -> ());
+                    (match sim.ms with Some m -> Metrics.on_cycle m | None -> ());
+                    let t0 = Prof.now () in
+                    deliver_phantoms sim t;
+                    Prof.record pf Prof.Deliver ~t0;
+                    let t0 = Prof.now () in
+                    apply_transfers sim t;
+                    Prof.record pf Prof.Apply ~t0;
+                    let t0 = Prof.now () in
+                    arrival_phase sim t source st;
+                    Prof.record pf Prof.Source ~t0;
+                    let t0 = Prof.now () in
+                    pop_phase sim t;
+                    Prof.record pf Prof.Pop ~t0;
+                    (match sim.ms with
+                    | Some m ->
+                        let t0 = Prof.now () in
+                        metrics_sweep sim m;
+                        Prof.record pf Prof.Sweep ~t0
+                    | None -> ());
+                    observe sim t observer;
+                    let t0 = Prof.now () in
+                    exec_phase sim t;
+                    Prof.record pf Prof.Exec ~t0)));
         (match fstate with
         | Some fs when fs.fs_moved -> () (* fused into the sweep *)
-        | _ -> movement_phase sim t);
+        | _ -> (
+            match sim.pf with
+            | None -> movement_phase sim t
+            | Some pf ->
+                let t0 = Prof.now () in
+                movement_phase sim t;
+                Prof.record pf Prof.Movement ~t0));
         if
           params.remap_period > 0 && t > st.first_arrival
           && (t - st.first_arrival) mod params.remap_period = 0
         then begin
-          remap_phase sim t;
+          (match sim.pf with
+          | None -> remap_phase sim t
+          | Some pf ->
+              let t0 = Prof.now () in
+              remap_phase sim t;
+              Prof.record pf Prof.Remap ~t0;
+              Prof.instant pf Prof.Remap;
+              (* remap boundaries are the profiler's epoch marks: GC
+                 counters are sampled here, never per cycle *)
+              Prof.gc_sample pf);
           (* The boundary reset every (non-Ideal) counter; until the
              next admission, idle boundaries are provably no-ops. *)
           match fstate with Some fs -> fs.fs_dirty <- false | None -> ()
@@ -3015,10 +3183,18 @@ let drive ?team ?(loop = Auto) sim st source ~observer ~checkpoint_every ~on_che
          end);
         st.visited <- st.visited + 1;
         (match (checkpoint_every, on_checkpoint) with
-        | Some n, Some emit when st.visited mod n = 0 ->
-            emit ~cycle:st.now (encode sim st source)
+        | Some n, Some emit when st.visited mod n = 0 -> (
+            match sim.pf with
+            | None -> emit ~cycle:st.now (encode sim st source)
+            | Some pf ->
+                let t0 = Prof.now () in
+                let snap = encode sim st source in
+                Prof.record pf Prof.Checkpoint ~t0;
+                Prof.instant pf Prof.Checkpoint;
+                emit ~cycle:st.now snap)
         | _ -> ())
   done;
+  (match sim.pf with Some pf -> Prof.leave pf | None -> ());
   match !suspended with
   | Some snap -> `Suspended snap
   | None ->
@@ -3062,11 +3238,11 @@ let fresh_loop_state ~start ~track_src =
     track_src;
   }
 
-let run ?team ?loop ?observer ?metrics ?events ?fault ?monitor ?(compiled = true) params prog
-    trace =
+let run ?team ?loop ?observer ?metrics ?events ?fault ?monitor ?prof ?(compiled = true)
+    params prog trace =
   if Array.length trace = 0 then invalid_arg "Sim.run: empty trace";
   let source = Psource.of_array trace in
-  let sim = create ~compiled ~collect:true ?metrics ?events ?fault ?monitor params prog in
+  let sim = create ~compiled ~collect:true ?metrics ?events ?fault ?monitor ?prof params prog in
   (match sim.flt with
   | Some _ ->
       sim.dup_base <- Array.length trace;
@@ -3170,8 +3346,8 @@ let finish_summary sim st source =
       { dg_exits = Hashing.finish (sim.ed_hi, sim.ed_lo); dg_access = access_digest sim };
   }
 
-let run_source ?team ?loop ?observer ?metrics ?events ?fault ?monitor ?(compiled = true)
-    ?checkpoint_every ?on_checkpoint ?cycle_budget params prog source =
+let run_source ?team ?loop ?observer ?metrics ?events ?fault ?monitor ?prof
+    ?(compiled = true) ?checkpoint_every ?on_checkpoint ?cycle_budget params prog source =
   (match checkpoint_every with
   | Some n when n <= 0 -> invalid_arg "Sim.run_source: checkpoint_every must be positive"
   | _ -> ());
@@ -3182,7 +3358,7 @@ let run_source ?team ?loop ?observer ?metrics ?events ?fault ?monitor ?(compiled
   in
   if Psource.consumed source > 0 then
     invalid_arg "Sim.run_source: source already partially consumed";
-  let sim = create ~compiled ~collect:false ?metrics ?events ?fault ?monitor params prog in
+  let sim = create ~compiled ~collect:false ?metrics ?events ?fault ?monitor ?prof params prog in
   (match sim.flt with
   | Some _ ->
       (* Ghost seqs must not collide with trace seqs; with the total
@@ -3203,7 +3379,7 @@ let run_source ?team ?loop ?observer ?metrics ?events ?fault ?monitor ?(compiled
 
 exception Resume_mismatch of string
 
-let resume ?team ?loop ?observer ?metrics ?events ?monitor ?(compiled = true)
+let resume ?team ?loop ?observer ?metrics ?events ?monitor ?prof ?(compiled = true)
     ?checkpoint_every ?on_checkpoint ?cycle_budget ~snapshot prog source =
   (* A resume boundary is a cold point by definition, and chunked
      gigapacket runs pass through one every few hundred thousand cycles.
@@ -3269,7 +3445,7 @@ let resume ?team ?loop ?observer ?metrics ?events ?monitor ?(compiled = true)
         | None, None -> ());
         let sim =
           create ~compiled ~collect:false ?metrics ?events
-            ?fault:(Option.map fst fault_state) ?monitor params prog
+            ?fault:(Option.map fst fault_state) ?monitor ?prof params prog
         in
         (match (fault_state, sim.flt) with
         | Some (plan, saved), Some _ ->

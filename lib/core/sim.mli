@@ -117,18 +117,24 @@ val select_loop :
   fault:bool ->
   monitor:bool ->
   observer:bool ->
+  prof:Mp5_obs.Prof.mode option ->
   params ->
   [ `Fast_seq | `Fast_par | `Generic_seq | `Generic_par ]
 (** The (pure) variant-selection function {!run}/{!run_source}/{!resume}
     apply to their own arguments.  Fast eligibility: no metrics, events,
-    fault plan, monitor or observer attached, adaptive FIFOs, no
-    starvation guard, and a mode other than [Ideal] (whose LPT packer
-    reads cumulative access counters, making idle remap boundaries
-    observable).  [jobs > 1] selects the parallel arm of whichever
-    variant wins; the generic parallel arm additionally requires its PR 6
-    gate (no fault/events/observer, adaptive FIFOs, no starvation guard)
-    and otherwise degrades to [`Generic_seq].
-    @raise Invalid_argument for [~loop:Fast] on an ineligible run. *)
+    fault plan, monitor or observer attached, no full-mode profiler,
+    adaptive FIFOs, no starvation guard, and a mode other than [Ideal]
+    (whose LPT packer reads cumulative access counters, making idle
+    remap boundaries observable).  A {e sampled} profiler keeps fast
+    eligibility: its hooks fire only at cycle edges the fast loops
+    already expose, never per packet; a {e full} profiler needs the
+    generic loop's phase structure, so it routes Auto to the generic
+    variants.  [jobs > 1] selects the parallel arm of whichever variant
+    wins; the generic parallel arm additionally requires its PR 6 gate
+    (no fault/events/observer, adaptive FIFOs, no starvation guard) and
+    otherwise degrades to [`Generic_seq].
+    @raise Invalid_argument for [~loop:Fast] on an ineligible run
+    (full-mode profiling included). *)
 
 val run :
   ?team:Mp5_util.Pool.Team.t ->
@@ -138,6 +144,7 @@ val run :
   ?events:Mp5_obs.Trace.t ->
   ?fault:Mp5_fault.Fault.plan ->
   ?monitor:Mp5_fault.Monitor.t ->
+  ?prof:Mp5_obs.Prof.t ->
   ?compiled:bool ->
   params ->
   Transform.t ->
@@ -179,6 +186,17 @@ val run :
     and results are bit-identical to an unfaulted build
     (@raise Invalid_argument when the plan fails validation;
     @raise Failure when a plan takes down the last live pipeline).
+
+    [prof] attaches the wall-clock span profiler ({!Mp5_obs.Prof}):
+    monotonic-clock spans per cycle phase and (parallel engine) per
+    domain, accumulated entirely outside the simulated machine — the
+    same pure-observer discipline as [metrics], so results are
+    bit-identical with profiling off, sampled, or full.  A sampled
+    profiler keeps the run fast-eligible; a full one routes Auto to the
+    generic loop (see {!select_loop}).  Unlike [metrics], snapshots do
+    not carry profiler state (wall time is host-specific), so a
+    resumed leg simply continues accumulating into the caller's
+    profiler.
 
     [monitor] re-derives runtime invariants from live machine state
     every [Monitor.epoch] cycles — packet conservation, D2 flow
@@ -255,6 +273,7 @@ val run_source :
   ?events:Mp5_obs.Trace.t ->
   ?fault:Mp5_fault.Fault.plan ->
   ?monitor:Mp5_fault.Monitor.t ->
+  ?prof:Mp5_obs.Prof.t ->
   ?compiled:bool ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(cycle:int -> string -> unit) ->
@@ -291,6 +310,7 @@ val resume :
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
   ?monitor:Mp5_fault.Monitor.t ->
+  ?prof:Mp5_obs.Prof.t ->
   ?compiled:bool ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(cycle:int -> string -> unit) ->

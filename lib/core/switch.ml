@@ -33,25 +33,27 @@ let table t name =
 
 let golden t trace = Mp5_banzai.Machine.run (config t) trace
 
-let run ?team ?loop ?params ?metrics ?events ?fault ?monitor ?compiled ~k t trace =
+let run ?team ?loop ?params ?metrics ?events ?fault ?monitor ?prof ?compiled ~k t trace =
   let params = match params with Some p -> p | None -> Sim.default_params ~k in
-  Sim.run ?team ?loop ?metrics ?events ?fault ?monitor ?compiled params t.prog trace
+  Sim.run ?team ?loop ?metrics ?events ?fault ?monitor ?prof ?compiled params t.prog trace
 
-let run_source ?team ?loop ?params ?metrics ?events ?fault ?monitor ?compiled
+let run_source ?team ?loop ?params ?metrics ?events ?fault ?monitor ?prof ?compiled
     ?checkpoint_every ?on_checkpoint ?cycle_budget ~k t source =
   let params = match params with Some p -> p | None -> Sim.default_params ~k in
-  Sim.run_source ?team ?loop ?metrics ?events ?fault ?monitor ?compiled ?checkpoint_every
-    ?on_checkpoint ?cycle_budget params t.prog source
+  Sim.run_source ?team ?loop ?metrics ?events ?fault ?monitor ?prof ?compiled
+    ?checkpoint_every ?on_checkpoint ?cycle_budget params t.prog source
 
-let resume ?team ?loop ?metrics ?events ?monitor ?compiled ?checkpoint_every ?on_checkpoint
-    ?cycle_budget ~snapshot t source =
-  Sim.resume ?team ?loop ?metrics ?events ?monitor ?compiled ?checkpoint_every ?on_checkpoint
-    ?cycle_budget ~snapshot t.prog source
+let resume ?team ?loop ?metrics ?events ?monitor ?prof ?compiled ?checkpoint_every
+    ?on_checkpoint ?cycle_budget ~snapshot t source =
+  Sim.resume ?team ?loop ?metrics ?events ?monitor ?prof ?compiled ?checkpoint_every
+    ?on_checkpoint ?cycle_budget ~snapshot t.prog source
 
-let verify ?team ?loop ?params ?metrics ?events ?fault ?monitor ?compiled ~k ?flow_of t trace
-    =
+let verify ?team ?loop ?params ?metrics ?events ?fault ?monitor ?prof ?compiled ~k ?flow_of
+    t trace =
   let golden_result = golden t trace in
-  let r = run ?team ?loop ?params ?metrics ?events ?fault ?monitor ?compiled ~k t trace in
+  let r =
+    run ?team ?loop ?params ?metrics ?events ?fault ?monitor ?prof ?compiled ~k t trace
+  in
   let report =
     Equiv.compare ~golden:golden_result ~n_packets:(Array.length trace) ~store:r.Sim.store
       ~headers_out:r.Sim.headers_out ~access_seqs:r.Sim.access_seqs ?flow_of

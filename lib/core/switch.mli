@@ -50,14 +50,15 @@ val run :
   ?events:Mp5_obs.Trace.t ->
   ?fault:Mp5_fault.Fault.plan ->
   ?monitor:Mp5_fault.Monitor.t ->
+  ?prof:Mp5_obs.Prof.t ->
   ?compiled:bool ->
   k:int ->
   t ->
   Mp5_banzai.Machine.input array ->
   Sim.result
 (** Run the MP5 simulator ([params] defaults to {!Sim.default_params};
-    [team], [loop], [metrics], [events], [fault], [monitor] and [compiled]
-    as in {!Sim.run}). *)
+    [team], [loop], [metrics], [events], [fault], [monitor], [prof] and
+    [compiled] as in {!Sim.run}). *)
 
 val run_source :
   ?team:Mp5_util.Pool.Team.t ->
@@ -67,6 +68,7 @@ val run_source :
   ?events:Mp5_obs.Trace.t ->
   ?fault:Mp5_fault.Fault.plan ->
   ?monitor:Mp5_fault.Monitor.t ->
+  ?prof:Mp5_obs.Prof.t ->
   ?compiled:bool ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(cycle:int -> string -> unit) ->
@@ -85,6 +87,7 @@ val resume :
   ?metrics:Mp5_obs.Metrics.t ->
   ?events:Mp5_obs.Trace.t ->
   ?monitor:Mp5_fault.Monitor.t ->
+  ?prof:Mp5_obs.Prof.t ->
   ?compiled:bool ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(cycle:int -> string -> unit) ->
@@ -104,6 +107,7 @@ val verify :
   ?events:Mp5_obs.Trace.t ->
   ?fault:Mp5_fault.Fault.plan ->
   ?monitor:Mp5_fault.Monitor.t ->
+  ?prof:Mp5_obs.Prof.t ->
   ?compiled:bool ->
   k:int ->
   ?flow_of:(int -> int) ->

@@ -597,14 +597,43 @@ let validate_json s =
           (Ok 0) xs
     | _ -> Error "missing latency.hist"
   in
-  let* n_slots =
+  (* Walk the per-slot entries once: count them, and sum each state so
+     the per-slot breakdown can be cross-checked against the
+     [cycle_states] scalars — a snapshot whose histogram rows disagree
+     with its own totals must not validate. *)
+  let* n_slots, slot_busy, slot_idle, slot_blocked, slot_claimed =
     match Json.member "slots" j with
-    | Some (Json.List xs) -> Ok (List.length xs)
+    | Some (Json.List xs) ->
+        List.fold_left
+          (fun acc x ->
+            let* n, b, i, bl, c = acc in
+            let* sb = field [ "busy" ] x in
+            let* si = field [ "idle" ] x in
+            let* sbl = field [ "blocked" ] x in
+            let* sc = field [ "claimed" ] x in
+            Ok (n + 1, b + sb, i + si, bl + sbl, c + sc))
+          (Ok (0, 0, 0, 0, 0))
+          xs
     | _ -> Error "missing slots array"
   in
   let* () =
     if n_slots = stages * k then Ok ()
     else Error (Printf.sprintf "slots array has %d entries, expected %d" n_slots (stages * k))
+  in
+  let* () =
+    let check name sum scalar acc =
+      let* () = acc in
+      if sum = scalar then Ok ()
+      else
+        Error
+          (Printf.sprintf "per-slot %s sum %d disagrees with cycle_states.%s %d" name sum
+             name scalar)
+    in
+    Ok ()
+    |> check "busy" slot_busy busy
+    |> check "idle" slot_idle idle
+    |> check "blocked" slot_blocked blocked
+    |> check "claimed" slot_claimed claimed
   in
   check_invariants ~stages ~k ~cycles ~busy ~idle ~blocked ~claimed ~delivered ~lat_count
     ~lat_hist_mass ~phantom_scheduled ~phantom_delivered ~phantom_doomed ~phantom_dropped

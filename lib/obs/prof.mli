@@ -1,0 +1,130 @@
+(** Wall-clock span profiler for the cycle engines.
+
+    Accumulates monotonic-clock (CLOCK_MONOTONIC, nanosecond) spans per
+    (phase, domain): nanosecond totals, span counts, and log2-bucketed
+    duration histograms, plus GC counter deltas sampled at epoch
+    boundaries and a capped raw-event buffer for Chrome trace-event
+    export (loadable in Perfetto, one track per domain).
+
+    Like {!Metrics}, the profiler is a pure observer: the simulated
+    machine never reads it, so results are bit-identical with profiling
+    on or off (enforced by the differential corpus).  Unlike Metrics it
+    measures host wall time, not simulated cycles, so none of its
+    counters are deterministic — only its {e shape} is pinned by tests.
+
+    {b Modes.}  [Sampled] hooks fire only at cycle edges — deliver,
+    source pull, the fused sweep, movement, remap and checkpoint
+    boundaries, and (parallel arms) per-domain fan-out marks — never
+    per packet or per phase inside the fused sweep, so a sampled
+    profile keeps a run eligible for the fast cycle loops.  [Full]
+    additionally wants per-phase spans (apply/pop/exec split out),
+    which only the generic loop can provide: [Sim.select_loop] routes
+    Auto to the generic variants under a full profile and rejects a
+    forced fast loop. *)
+
+type mode = Sampled | Full
+
+type phase =
+  | Deliver     (** phantom-calendar drain into the rings *)
+  | Apply       (** crossbar transfer application (generic loop) *)
+  | Pop         (** FIFO pops into stage slots (generic loop) *)
+  | Exec        (** stage execution (generic loop) *)
+  | Movement    (** crossbar steering sweep *)
+  | Sweep       (** the fused fast-loop cycle body *)
+  | Source      (** arrival admission / source pull *)
+  | Checkpoint  (** snapshot encoding *)
+  | Remap       (** sharding remap at a period boundary *)
+  | Compute     (** per-domain chain work between fan-out and its mark *)
+  | Barrier     (** per-domain wait from its mark to the join *)
+  | Replay      (** sequential access-log replay after the join *)
+  | Fault       (** fault-plan edges (instant events only) *)
+
+val phase_name : phase -> string
+(** Lowercase stable identifier, used in JSON snapshots and traces. *)
+
+val hist_bins : int
+(** Buckets per duration histogram: bucket [i] counts spans with
+    [2^i <= ns < 2^(i+1)] (bucket 0 also absorbs sub-nanosecond). *)
+
+type t
+
+val create : ?mode:mode -> ?max_events:int -> unit -> t
+(** A fresh profiler; [mode] defaults to [Sampled].  [max_events]
+    (default 262144) caps the raw-event buffer backing the Chrome
+    trace; spans beyond the cap still accumulate into the totals and
+    histograms but record no event. *)
+
+val mode : t -> mode
+
+val now : unit -> int
+(** Monotonic nanoseconds ([CLOCK_MONOTONIC] via a noalloc C stub). *)
+
+val enter : t -> unit
+(** Open a wall-clock leg (idempotent while open).  Called by the
+    cycle loop once per leg; wall time accumulates across legs, so a
+    checkpoint/resume chain profiles as one run. *)
+
+val leave : t -> unit
+(** Close the leg: accumulate wall time and take a GC sample. *)
+
+val record : t -> ?domain:int -> phase -> t0:int -> unit
+(** [record t phase ~t0] closes a span opened at [t0 = now ()]:
+    duration [now () - t0] is added to the (phase, domain) total, the
+    span count, the phase histogram, and (capacity permitting) the
+    event buffer. *)
+
+val add : t -> ?domain:int -> phase -> ts:int -> dur:int -> unit
+(** Like {!record} with an explicit duration — used by the parallel
+    barrier attribution, where the caller reconstructs per-domain
+    compute/wait spans from fan-out marks after the join. *)
+
+val instant : t -> ?domain:int -> phase -> unit
+(** Mark a point event (remap, checkpoint, fault edge) at [now ()];
+    appears as an instant in the Chrome trace, not in the totals. *)
+
+val gc_sample : t -> unit
+(** Accumulate GC counter deltas ([Gc.quick_stat]) since the previous
+    sample: minor/major collections and promoted words. *)
+
+val wall_ns : t -> int
+(** Total wall time across closed legs (ns). *)
+
+val total_ns : t -> phase -> int
+(** Sum of the phase's span durations across all domains. *)
+
+val domain_ns : t -> phase -> domain:int -> int
+
+val count : t -> phase -> int
+
+val domains : t -> int
+(** 1 + the highest domain id recorded (at least 1). *)
+
+val validate : t -> (unit, string) result
+(** Internal invariants: no open leg, non-negative totals, and every
+    phase histogram's mass equal to the phase's span count. *)
+
+val to_json : t -> Json.t
+(** Schema-tagged snapshot (["mp5-prof/1"]): mode, wall time, one
+    entry per live (phase, domain) with count and total, per-phase
+    histograms, GC counters, and event-buffer accounting. *)
+
+val json_string : t -> string
+
+val validate_json : string -> (unit, string) result
+(** Re-check a parsed-back snapshot: schema tag, known mode and phase
+    names, non-negative counters, and histogram-mass/count agreement
+    per phase. *)
+
+val to_chrome : t -> Json.t
+(** Chrome trace-event JSON ([{"traceEvents": [...]}]) from the raw
+    event buffer: one complete-span ["X"] event per recorded span and
+    one instant ["i"] per point event, pid 1, one tid per domain (with
+    thread-name metadata), timestamps in microseconds from the first
+    [enter].  Loadable in Perfetto as one track per domain. *)
+
+val chrome_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+(** One-screen report: wall time, per-phase share of wall time with
+    counts, per-domain barrier-stall share (barrier / (compute +
+    barrier)), and the GC counters. *)

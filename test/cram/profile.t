@@ -1,0 +1,87 @@
+--profile attaches the wall-clock span profiler; with no output file
+the run prints a one-screen phase report.  Wall-clock numbers vary by
+host, so only the report's shape is pinned: sampled mode records the
+fused-sweep phases and never the per-phase split (exec) that would
+close the fast-loop gate.
+
+  $ ../../bin/mp5sim.exe --app heavy_hitter --pipelines 4 --packets 2000 --seed 3 --profile > out.txt
+  $ grep -c '^profile (sampled): wall' out.txt
+  1
+  $ grep -o '^  deliver' out.txt
+    deliver
+  $ grep -o '^  sweep' out.txt
+    sweep
+  $ grep -o '^  source' out.txt
+    source
+  $ grep -o '^  exec' out.txt
+  [1]
+  $ grep -c '^  gc:' out.txt
+  1
+
+--profile=full routes the run to the generic loop and splits the
+per-phase spans:
+
+  $ ../../bin/mp5sim.exe --app heavy_hitter --pipelines 4 --packets 2000 --seed 3 --profile=full > out.txt
+  $ grep -c '^profile (full): wall' out.txt
+  1
+  $ grep -o '^  apply' out.txt
+    apply
+  $ grep -o '^  pop' out.txt
+    pop
+  $ grep -o '^  exec' out.txt
+    exec
+  $ grep -o '^  movement' out.txt
+    movement
+
+--profile-out writes a validated mp5-prof/1 snapshot and
+--trace-perfetto the Chrome trace-event JSON; both imply --profile
+(sampled), and with an output file the report is not printed:
+
+  $ ../../bin/mp5sim.exe --app heavy_hitter --pipelines 4 --packets 2000 --seed 3 \
+  >   --profile-out p.json --trace-perfetto p.trace.json > out.txt
+  $ grep -c 'profile' out.txt
+  0
+  [1]
+  $ grep -o '"schema": "mp5-prof/1"' p.json
+  "schema": "mp5-prof/1"
+  $ grep -o '"mode": "sampled"' p.json
+  "mode": "sampled"
+  $ grep -o '"phase": "sweep"' p.json | sort -u
+  "phase": "sweep"
+  $ grep -o '"traceEvents"' p.trace.json
+  "traceEvents"
+  $ grep -o '"name": "thread_name"' p.trace.json | sort -u
+  "name": "thread_name"
+
+A profiled parallel run attributes per-domain compute and barrier-wait
+spans, one Perfetto track per domain:
+
+  $ ../../bin/mp5sim.exe --app heavy_hitter --pipelines 4 --packets 2000 --seed 3 \
+  >   --engine par --jobs 2 --profile-out par.json --trace-perfetto par.trace.json > /dev/null
+  $ grep -o '"domains": 2' par.json
+  "domains": 2
+  $ grep -o '"phase": "compute"' par.json | sort -u
+  "phase": "compute"
+  $ grep -o '"phase": "barrier"' par.json | sort -u
+  "phase": "barrier"
+  $ grep -o '"name": "domain 1"' par.trace.json | sort -u
+  "name": "domain 1"
+
+Sampled profiling keeps a forced fast loop eligible; full profiling
+needs the generic loop's phase structure, so forcing the fast loop is
+a usage error (exit 1), and an unknown mode is a CLI parse error:
+
+  $ ../../bin/mp5sim.exe --app heavy_hitter --packets 500 --seed 3 --loop fast --profile > /dev/null
+  $ ../../bin/mp5sim.exe --app heavy_hitter --packets 500 --seed 3 --loop fast --profile=full
+  mp5sim: Sim: ~loop:Fast requested, but the run is not fast-eligible (instrumentation attached, finite FIFOs, starvation guard, or Ideal mode)
+  [1]
+  $ ../../bin/mp5sim.exe --app heavy_hitter --packets 500 --seed 3 --profile=bogus 2> /dev/null
+  [124]
+
+Streaming runs profile the same way (checkpoint spans land under the
+checkpoint phase):
+
+  $ ../../bin/mp5sim.exe --app heavy_hitter --pipelines 4 --packets 2000 --seed 3 \
+  >   --stream --checkpoint-every 500 --snapshot s.bin --profile-out stream.json > /dev/null
+  $ grep -o '"phase": "checkpoint"' stream.json | sort -u
+  "phase": "checkpoint"

@@ -109,6 +109,29 @@ let run_seed seed =
   let fastp = Sim.run ~team ~loop:Sim.Fast ~compiled:(seed mod 2 = 1) params prog trace in
   if not (Sim.results_equal kernel fastp) then
     Alcotest.failf "seed %d: fast parallel loop (jobs=%d) diverges on:\n%s" seed jobs src;
+  (* The span profiler is a pure observer on host wall time: sampled
+     profiling keeps the fast loops (both arms, every job count via the
+     cycling team) and full profiling routes to the generic loops, and
+     neither may perturb a single observable bit. *)
+  let prof_sampled = Mp5_obs.Prof.create () in
+  let profs =
+    Sim.run ~loop:Sim.Fast ~prof:prof_sampled ~compiled:true params prog trace
+  in
+  if not (Sim.results_equal kernel profs) then
+    Alcotest.failf "seed %d: sampled profiling changes the fast sequential run on:\n%s" seed
+      src;
+  let profp =
+    Sim.run ~team ~loop:Sim.Fast ~prof:(Mp5_obs.Prof.create ()) ~compiled:true params prog
+      trace
+  in
+  if not (Sim.results_equal kernel profp) then
+    Alcotest.failf "seed %d: sampled profiling changes the fast parallel run (jobs=%d) on:\n%s"
+      seed jobs src;
+  let prof_full = Mp5_obs.Prof.create ~mode:Mp5_obs.Prof.Full () in
+  let proff = Sim.run ~team ~prof:prof_full ~compiled:true params prog trace in
+  if not (Sim.results_equal kernel proff) then
+    Alcotest.failf "seed %d: full profiling changes the generic run (jobs=%d) on:\n%s" seed
+      jobs src;
   (* An empty fault plan plus an attached invariant monitor must be
      invisible: the fault hooks' no-plan path is bit-identical to an
      unfaulted build, and the monitor is a pure observer.  An empty plan

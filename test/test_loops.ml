@@ -29,8 +29,8 @@ let variant =
     ( = )
 
 let select ?(loop = Sim.Auto) ?(jobs = 1) ?(metrics = false) ?(events = false)
-    ?(fault = false) ?(monitor = false) ?(observer = false) params =
-  Sim.select_loop ~loop ~jobs ~metrics ~events ~fault ~monitor ~observer params
+    ?(fault = false) ?(monitor = false) ?(observer = false) ?prof params =
+  Sim.select_loop ~loop ~jobs ~metrics ~events ~fault ~monitor ~observer ~prof params
 
 let test_selection_matrix () =
   let p = Sim.default_params ~k:4 in
@@ -60,6 +60,17 @@ let test_selection_matrix () =
   let ideal = { p with Sim.mode = Sim.Ideal } in
   check "ideal seq" `Generic_seq (select ideal);
   check "ideal par" `Generic_par (select ~jobs:4 ideal);
+  (* Profiling: a sampled profiler hooks only at cycle edges the fast
+     loops already expose, so it keeps the fast gate open on both arms;
+     a full profiler needs the generic loop's phase structure, so Auto
+     routes to Generic (and to the parallel generic arm at jobs > 1 —
+     the profiler is a pure observer, like metrics). *)
+  check "sampled prof seq" `Fast_seq (select ~prof:Mp5_obs.Prof.Sampled p);
+  check "sampled prof par" `Fast_par (select ~jobs:4 ~prof:Mp5_obs.Prof.Sampled p);
+  check "full prof seq" `Generic_seq (select ~prof:Mp5_obs.Prof.Full p);
+  check "full prof par" `Generic_par (select ~jobs:4 ~prof:Mp5_obs.Prof.Full p);
+  check "sampled prof + metrics" `Generic_seq
+    (select ~metrics:true ~prof:Mp5_obs.Prof.Sampled p);
   (* Forcing the generic loop always honours the request. *)
   check "forced generic" `Generic_seq (select ~loop:Sim.Generic p);
   check "forced generic par" `Generic_par (select ~loop:Sim.Generic ~jobs:4 p);
@@ -67,6 +78,8 @@ let test_selection_matrix () =
      forcing it on an ineligible one is a loud contract violation. *)
   check "forced fast" `Fast_seq (select ~loop:Sim.Fast p);
   check "forced fast par" `Fast_par (select ~loop:Sim.Fast ~jobs:4 p);
+  check "forced fast + sampled prof" `Fast_seq
+    (select ~loop:Sim.Fast ~prof:Mp5_obs.Prof.Sampled p);
   List.iter
     (fun (name, f) ->
       Alcotest.check_raises name
@@ -80,6 +93,8 @@ let test_selection_matrix () =
       ("forced fast + fault", fun () -> select ~loop:Sim.Fast ~fault:true p);
       ("forced fast + monitor", fun () -> select ~loop:Sim.Fast ~monitor:true p);
       ("forced fast + observer", fun () -> select ~loop:Sim.Fast ~observer:true p);
+      ( "forced fast + full prof",
+        fun () -> select ~loop:Sim.Fast ~prof:Mp5_obs.Prof.Full p );
       ("forced fast + finite fifos", fun () -> select ~loop:Sim.Fast finite);
       ("forced fast + starvation", fun () -> select ~loop:Sim.Fast starve);
       ("forced fast + ideal", fun () -> select ~loop:Sim.Fast ideal);
@@ -100,9 +115,20 @@ let test_forced_fast_rejected () =
   let params = Sim.default_params ~k in
   let stages = Array.length prog.Mp5_core.Transform.config.Mp5_banzai.Config.stages in
   let m = Mp5_obs.Metrics.create ~stages ~k in
-  match Sim.run ~loop:Sim.Fast ~metrics:m params prog trace with
+  (match Sim.run ~loop:Sim.Fast ~metrics:m params prog trace with
   | _ -> Alcotest.fail "forced fast run with metrics attached was not rejected"
-  | exception Invalid_argument _ -> ()
+  | exception Invalid_argument _ -> ());
+  let pf = Mp5_obs.Prof.create ~mode:Mp5_obs.Prof.Full () in
+  (match Sim.run ~loop:Sim.Fast ~prof:pf params prog trace with
+  | _ -> Alcotest.fail "forced fast run with a full profiler was not rejected"
+  | exception Invalid_argument _ -> ());
+  (* ... while a sampled profiler must be admitted under a forced fast
+     loop and still produce the bit-identical result. *)
+  let ps = Mp5_obs.Prof.create () in
+  let profiled = Sim.run ~loop:Sim.Fast ~prof:ps params prog trace in
+  let bare = Sim.run ~loop:Sim.Fast params prog trace in
+  if not (Sim.results_equal profiled bare) then
+    Alcotest.fail "sampled profiling changed a forced-fast result"
 
 (* Quiescence fast-forward: a long arrival gap with everything drained
    crosses hundreds of remap boundaries.  The generic loop visits each

@@ -212,6 +212,46 @@ let test_json_roundtrip () =
   | Ok () -> Alcotest.fail "truncated snapshot accepted"
   | Error _ -> ()
 
+(* The validator must cross-check the per-slot breakdown against the
+   [cycle_states] scalars: a snapshot whose slot sums drift from its own
+   totals (a truncated write, a buggy merge) has to be rejected, not
+   waved through on array length alone. *)
+let test_slot_sum_crosscheck () =
+  let module Json = Mp5_obs.Json in
+  let _, m, _ = run_one () in
+  let j =
+    match Json.of_string (Metrics.json_string m) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "snapshot did not parse: %s" e
+  in
+  (* Bump one slot's busy count by 1: every scalar invariant still
+     holds, only the slots-vs-scalars cross-check can catch it. *)
+  let tamper_slot = function
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (function
+               | "busy", Json.Int n -> ("busy", Json.Int (n + 1))
+               | kv -> kv)
+             fields)
+    | v -> v
+  in
+  let tampered =
+    match j with
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (function
+               | "slots", Json.List (s0 :: rest) ->
+                   ("slots", Json.List (tamper_slot s0 :: rest))
+               | kv -> kv)
+             fields)
+    | _ -> Alcotest.fail "snapshot is not a JSON object"
+  in
+  match Metrics.validate_json (Json.to_string tampered) with
+  | Ok () -> Alcotest.fail "slot/scalar disagreement accepted"
+  | Error e -> check "error names the per-slot sum" true (contains e "per-slot")
+
 let test_prometheus_exposition () =
   let _, m, _ = run_one () in
   let s = Metrics.to_prometheus m in
@@ -309,6 +349,7 @@ let () =
       ( "exporters",
         [
           Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "slot sum cross-check" `Quick test_slot_sum_crosscheck;
           Alcotest.test_case "prometheus" `Quick test_prometheus_exposition;
           Alcotest.test_case "pp report" `Quick test_pp_report;
         ] );

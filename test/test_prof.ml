@@ -1,0 +1,165 @@
+(* Span-profiler invariants (lib/obs/prof).
+
+   Wall-clock measurements are host-dependent, so nothing here pins
+   absolute numbers — only accounting shape: phase spans are disjoint
+   within a leg, so their sum cannot exceed wall time (modulo clock
+   granularity); a profiled parallel run must attribute nonzero
+   per-domain compute and barrier-wait spans whose per-domain sums stay
+   within wall time; snapshots round-trip through their own validator;
+   and the Chrome trace export parses and carries one track per
+   domain. *)
+
+module Sim = Mp5_core.Sim
+module Switch = Mp5_core.Switch
+module Machine = Mp5_banzai.Machine
+module Prof = Mp5_obs.Prof
+module Json = Mp5_obs.Json
+module Rng = Mp5_util.Rng
+module Pool = Mp5_util.Pool
+
+let check = Alcotest.(check bool)
+
+let line_rate_trace ~k ~n ~fields gen =
+  Array.init n (fun i ->
+      { Machine.time = i / k; port = i mod k; headers = Array.init fields (gen i) })
+
+let trace_of ~k ~n ~seed =
+  let rng = Rng.create seed in
+  line_rate_trace ~k ~n ~fields:2 (fun _ _ -> Rng.int rng 1000)
+
+let profiled ?team ?jobs:_ ~mode ~k ~n ~seed () =
+  let sw = Switch.create_exn Mp5_apps.Sources.heavy_hitter in
+  let pf = Prof.create ~mode () in
+  let r = Switch.run ?team ~prof:pf ~k sw (trace_of ~k ~n ~seed) in
+  (r, pf)
+
+let all_phases =
+  [
+    Prof.Deliver;
+    Prof.Apply;
+    Prof.Pop;
+    Prof.Exec;
+    Prof.Movement;
+    Prof.Sweep;
+    Prof.Source;
+    Prof.Checkpoint;
+    Prof.Remap;
+    Prof.Compute;
+    Prof.Barrier;
+    Prof.Replay;
+    Prof.Fault;
+  ]
+
+(* Sequential spans never overlap, so the per-phase sums are bounded by
+   wall time.  Allow 10% + 50µs of slack for clock granularity on very
+   short runs. *)
+let within_wall ~label pf phases =
+  let wall = Prof.wall_ns pf in
+  let sum = List.fold_left (fun acc p -> acc + Prof.total_ns pf p) 0 phases in
+  check (label ^ ": wall time recorded") true (wall > 0);
+  if sum > wall + (wall / 10) + 50_000 then
+    Alcotest.failf "%s: phase spans (%d ns) exceed wall time (%d ns)" label sum wall
+
+let test_full_seq_accounting () =
+  let _, pf = profiled ~mode:Prof.Full ~k:4 ~n:4000 ~seed:41 () in
+  (match Prof.validate pf with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "full profile failed validation: %s" e);
+  check "generic loop recorded exec spans" true (Prof.count pf Prof.Exec > 0);
+  check "generic loop recorded deliver spans" true (Prof.count pf Prof.Deliver > 0);
+  check "movement sweep recorded" true (Prof.count pf Prof.Movement > 0);
+  within_wall ~label:"full seq" pf all_phases
+
+let test_sampled_seq_accounting () =
+  let _, pf = profiled ~mode:Prof.Sampled ~k:4 ~n:4000 ~seed:42 () in
+  (match Prof.validate pf with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "sampled profile failed validation: %s" e);
+  (* The fast loop samples exactly three phases per cycle; the split
+     generic-only phases must stay silent. *)
+  check "sweep spans recorded" true (Prof.count pf Prof.Sweep > 0);
+  check "no per-phase exec spans under sampling" true (Prof.count pf Prof.Exec = 0);
+  within_wall ~label:"sampled seq" pf all_phases
+
+let test_parallel_barrier_attribution () =
+  let jobs = 4 in
+  let team = Pool.Team.create ~jobs in
+  let r, pf = profiled ~team ~mode:Prof.Sampled ~k:4 ~n:6000 ~seed:43 () in
+  let bare = Switch.run ~k:4 (Switch.create_exn Mp5_apps.Sources.heavy_hitter)
+      (trace_of ~k:4 ~n:6000 ~seed:43) in
+  check "profiled parallel result is bit-identical" true (Sim.results_equal r bare);
+  check "one track per domain" true (Prof.domains pf >= jobs);
+  let wall = Prof.wall_ns pf in
+  for j = 0 to jobs - 1 do
+    let compute = Prof.domain_ns pf Prof.Compute ~domain:j in
+    let barrier = Prof.domain_ns pf Prof.Barrier ~domain:j in
+    check (Printf.sprintf "domain %d compute spans nonzero" j) true (compute > 0);
+    check (Printf.sprintf "domain %d barrier spans nonzero" j) true (barrier > 0);
+    (* Each domain's fan-to-join interval is contained in the leg, so
+       its compute + wait cannot exceed wall time. *)
+    if compute + barrier > wall + (wall / 10) + 50_000 then
+      Alcotest.failf "domain %d: compute %d + barrier %d exceeds wall %d" j compute
+        barrier wall
+  done;
+  check "sequential replay recorded" true (Prof.count pf Prof.Replay > 0)
+
+let test_json_roundtrip () =
+  let _, pf = profiled ~mode:Prof.Full ~k:4 ~n:2000 ~seed:44 () in
+  let s = Prof.json_string pf in
+  (match Prof.validate_json s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "serialized profile failed validation: %s" e);
+  (* Histogram mass must agree with span counts: tamper one bucket. *)
+  (match Json.of_string s with
+  | Error e -> Alcotest.failf "profile snapshot did not parse: %s" e
+  | Ok j ->
+      check "schema tag" true (Json.member "schema" j = Some (Json.String "mp5-prof/1")));
+  match Prof.validate_json "{\"schema\":\"mp5-prof/1\"}" with
+  | Ok () -> Alcotest.fail "truncated profile snapshot accepted"
+  | Error _ -> ()
+
+let test_chrome_trace () =
+  let jobs = 2 in
+  let team = Pool.Team.create ~jobs in
+  let _, pf = profiled ~team ~mode:Prof.Sampled ~k:4 ~n:2000 ~seed:45 () in
+  match Json.of_string (Prof.chrome_string pf) with
+  | Error e -> Alcotest.failf "chrome trace did not parse: %s" e
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List evs) ->
+          check "trace has events" true (List.length evs > 0);
+          (* Complete spans carry ts/dur; every event sits on a pid-1
+             track with a per-domain tid. *)
+          List.iter
+            (fun ev ->
+              match Json.member "ph" ev with
+              | Some (Json.String "X") ->
+                  check "span has dur" true (Json.member "dur" ev <> None);
+                  check "span on pid 1" true (Json.member "pid" ev = Some (Json.Int 1))
+              | _ -> ())
+            evs;
+          let tids =
+            List.filter_map (fun ev -> Json.member "tid" ev) evs
+            |> List.sort_uniq compare
+          in
+          check "one track per domain" true (List.length tids >= jobs)
+      | _ -> Alcotest.fail "chrome trace lacks a traceEvents array")
+
+let () =
+  Alcotest.run "prof"
+    [
+      ( "accounting",
+        [
+          Alcotest.test_case "full sequential spans within wall" `Quick
+            test_full_seq_accounting;
+          Alcotest.test_case "sampled keeps fast-loop shape" `Quick
+            test_sampled_seq_accounting;
+          Alcotest.test_case "parallel barrier attribution" `Quick
+            test_parallel_barrier_attribution;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+        ] );
+    ]
