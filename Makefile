@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke metrics-smoke profile-smoke fault-smoke longrun-smoke perf perf-smoke clean
+.PHONY: all build test bench bench-smoke metrics-smoke profile-smoke fault-smoke longrun-smoke chaos-smoke perf perf-smoke clean
 
 all: build
 
@@ -60,6 +60,19 @@ longrun-smoke:
 	  --checkpoint-every 150 --snapshot LONGRUN_snapshot.bin
 	dune exec bin/mp5sim.exe -- --app flowlet --pipelines 4 --packets 3000 --seed 3 \
 	  --resume LONGRUN_snapshot.bin
+
+# Crash-tolerance soak: the supervise cram test pins the watchdog /
+# auto-resume CLI surface (restart transcripts, exit codes 4 and 5,
+# torn-snapshot fallback), then the chaos bench experiment runs
+# randomized supervised campaigns — SIGKILLs at scheduled cycles,
+# checkpoints torn mid-write, watchdog wedges — each required to finish
+# bit-identical to its uninterrupted oracle.  A failing campaign is
+# delta-debugged to a minimal repro artifact in CHAOS_repro/ (uploaded
+# by CI) and fails the run.
+chaos-smoke:
+	dune build @supervise
+	dune exec bench/main.exe -- --smoke chaos --json BENCH_chaos.json \
+	  --chaos-dir CHAOS_repro
 
 # Engine parity + performance gate: sim-micro times compiled kernels vs
 # the AST interpreter, sim-par times the sequential vs parallel cycle

@@ -928,3 +928,45 @@ let longrun scale =
     lo_top_heap_mb = top_heap_mb;
     lo_parity = parity;
   }
+
+(* --- chaos: supervised crash-recovery soak ------------------------- *)
+
+type chaos_result = {
+  ch_campaigns : int;
+  ch_crashes : int;  (** scheduled crash events across campaigns *)
+  ch_torn : int;  (** of which torn-checkpoint crashes *)
+  ch_wedges : int;  (** of which watchdog wedges *)
+  ch_restarts : int;  (** supervisor restarts actually performed *)
+  ch_failures : int;  (** campaigns that did not recover bit-identically *)
+  ch_repro_dir : string;  (** where failing campaigns left repro artifacts *)
+}
+
+(* Randomized (program, fault plan, crash schedule) campaigns under the
+   lib/robust supervisor: kill -9 at random cycles (including
+   mid-checkpoint-write), watchdog wedges, restart-with-backoff from the
+   snapshot rotation chain — every campaign must end bit-identical to
+   its uninterrupted oracle.  Runs off the domain pool: the supervisor
+   forks, and forking a process that carries worker domains is not
+   safe. *)
+let chaos ?dir scale =
+  let campaigns =
+    if scale.n_packets >= full.n_packets then 40
+    else if scale.n_packets >= quick.n_packets then 20
+    else 10
+  in
+  let dir =
+    match dir with
+    | Some d -> d
+    | None -> Filename.concat (Filename.get_temp_dir_name ()) "mp5-bench-chaos"
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let r = Mp5_robust.Chaos.soak ~dir ~seed:1 ~campaigns () in
+  {
+    ch_campaigns = r.Mp5_robust.Chaos.rp_campaigns;
+    ch_crashes = r.Mp5_robust.Chaos.rp_crashes;
+    ch_torn = r.Mp5_robust.Chaos.rp_torn;
+    ch_wedges = r.Mp5_robust.Chaos.rp_wedges;
+    ch_restarts = r.Mp5_robust.Chaos.rp_restarts;
+    ch_failures = List.length r.Mp5_robust.Chaos.rp_failures;
+    ch_repro_dir = dir;
+  }

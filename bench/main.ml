@@ -318,10 +318,34 @@ let write_json path ~scale ~jobs results =
   out "  ]\n}\n";
   close_out oc
 
+let chaos_dir = ref None
+
+let run_chaos scale =
+  let r = Experiments.chaos ?dir:!chaos_dir scale in
+  Format.printf "@.chaos: supervised crash-recovery soak@.";
+  Format.printf
+    "  %d campaigns, %d scheduled crashes (%d torn checkpoints, %d wedges), %d restarts@."
+    r.Experiments.ch_campaigns r.Experiments.ch_crashes r.Experiments.ch_torn
+    r.Experiments.ch_wedges r.Experiments.ch_restarts;
+  if r.Experiments.ch_failures > 0 then begin
+    Format.printf "  %d campaigns FAILED to recover bit-identically; repro artifacts in %s@."
+      r.Experiments.ch_failures r.Experiments.ch_repro_dir;
+    failwith "chaos: supervised recovery diverged from the uninterrupted oracle"
+  end;
+  Format.printf "  every campaign recovered bit-identical to its uninterrupted oracle@.";
+  [
+    ("campaigns", float_of_int r.Experiments.ch_campaigns);
+    ("crashes", float_of_int r.Experiments.ch_crashes);
+    ("torn_checkpoints", float_of_int r.Experiments.ch_torn);
+    ("wedges", float_of_int r.Experiments.ch_wedges);
+    ("restarts", float_of_int r.Experiments.ch_restarts);
+    ("failures", float_of_int r.Experiments.ch_failures);
+  ]
+
 let all =
   [ "table1"; "sram"; "d2"; "d3"; "d4"; "fig7a"; "fig7b"; "fig7c"; "fig7d"; "fig8";
     "ablate-priority"; "ablate-period"; "ablate-fifo"; "ablate-gate"; "degraded";
-    "sim-micro"; "sim-par"; "longrun" ]
+    "sim-micro"; "sim-par"; "longrun"; "chaos" ]
 
 (* Timing experiments must not share the process with an idle worker
    domain: every minor collection then pays a stop-the-world rendezvous,
@@ -370,6 +394,9 @@ let () =
         parse acc rest
     | "--profile-dir" :: dir :: rest ->
         profile_dir := Some dir;
+        parse acc rest
+    | "--chaos-dir" :: dir :: rest ->
+        chaos_dir := Some dir;
         parse acc rest
     | "--no-compile" :: rest ->
         Experiments.set_compiled false;
@@ -515,6 +542,9 @@ let () =
         | "sim-micro" -> Some (fun () -> serially (fun () -> run_sim_micro scale))
         | "sim-par" -> Some (fun () -> serially (fun () -> run_sim_par scale))
         | "longrun" -> Some (fun () -> serially (fun () -> run_longrun scale))
+        (* serially: the supervisor forks, and forking with live worker
+           domains is unsafe. *)
+        | "chaos" -> Some (fun () -> serially (fun () -> run_chaos scale))
         | "perf" -> Some (fun () -> serially Perf.run)
         | _ -> None (* unreachable: names validated above *)
       in

@@ -63,24 +63,126 @@ let check_one ~seed ~ks ~n =
             fail_with src (Format.asprintf "k=%d: %a" k Equiv.pp rep))
         ks
 
-let run count start n_packets quiet =
-  let ks = [ 2; 3; 4; 8 ] in
-  for seed = start to start + count - 1 do
-    check_one ~seed ~ks ~n:n_packets;
-    if (not quiet) && (seed - start) mod 50 = 49 then
-      Format.printf "%d/%d seeds ok@." (seed - start + 1) count
-  done;
-  Format.printf "all %d seeds equivalent (k in %s, %d packets each)@." count
-    (String.concat "," (List.map string_of_int ks))
-    n_packets
+(* Chaos mode: instead of differential program fuzzing, soak the
+   supervised crash-recovery path — randomized (program, fault plan,
+   crash schedule) campaigns, each required to finish bit-identical to
+   its uninterrupted oracle; failures are shrunk to a minimal repro
+   artifact. *)
+let run_chaos ~campaigns ~start ~dir ~sabotage ~quiet =
+  let dir = match dir with Some d -> d | None -> Filename.get_temp_dir_name () in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let log = if quiet then fun _ -> () else print_endline in
+  let sabotage =
+    (* Deterministic seeded failure (a sabotaged digest comparison) for
+       exercising the shrink-and-repro pipeline end to end: a case
+       "fails" iff its plan still has an event and a crash scheduled. *)
+    if sabotage then
+      Some
+        (fun (c : Mp5_robust.Chaos.case) ->
+          c.Mp5_robust.Chaos.cs_plan.Mp5_fault.Fault.events <> []
+          && c.Mp5_robust.Chaos.cs_crashes <> [])
+    else None
+  in
+  let report =
+    Mp5_robust.Chaos.soak ~dir ~seed:start ~campaigns ?sabotage ~log ()
+  in
+  Format.printf
+    "chaos: %d campaigns, %d scheduled crashes (%d torn checkpoints, %d wedges), %d restarts, %d failures@."
+    report.Mp5_robust.Chaos.rp_campaigns report.Mp5_robust.Chaos.rp_crashes
+    report.Mp5_robust.Chaos.rp_torn report.Mp5_robust.Chaos.rp_wedges
+    report.Mp5_robust.Chaos.rp_restarts
+    (List.length report.Mp5_robust.Chaos.rp_failures);
+  if report.Mp5_robust.Chaos.rp_failures <> [] then exit 1
 
-let count_arg = Arg.(value & opt int 200 & info [ "count" ] ~docv:"N" ~doc:"Seeds to try.")
+let run_chaos_repro ~path ~dir =
+  let dir = match dir with Some d -> d | None -> Filename.get_temp_dir_name () in
+  let text =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error e ->
+      Format.eprintf "mp5fuzz: cannot read repro: %s@." e;
+      exit 2
+  in
+  match Mp5_robust.Chaos.case_of_string text with
+  | Error m ->
+      Format.eprintf "mp5fuzz: %s@." m;
+      exit 2
+  | Ok case -> (
+      Format.printf "replaying %a@." Mp5_robust.Chaos.pp_case case;
+      let o = Mp5_robust.Chaos.run_case ~dir ~log:print_endline case in
+      match o.Mp5_robust.Chaos.co_failure with
+      | None ->
+          Format.printf "recovered bit-identically (%d restarts)@."
+            o.Mp5_robust.Chaos.co_restarts;
+          exit 0
+      | Some reason ->
+          Format.printf "still failing: %s@." reason;
+          exit 1)
+
+let run count start n_packets quiet chaos chaos_repro chaos_dir chaos_sabotage =
+  (match chaos_repro with
+  | Some path -> run_chaos_repro ~path ~dir:chaos_dir
+  | None -> ());
+  if chaos || chaos_sabotage then
+    run_chaos ~campaigns:count ~start ~dir:chaos_dir ~sabotage:chaos_sabotage ~quiet
+  else begin
+    let ks = [ 2; 3; 4; 8 ] in
+    for seed = start to start + count - 1 do
+      check_one ~seed ~ks ~n:n_packets;
+      if (not quiet) && (seed - start) mod 50 = 49 then
+        Format.printf "%d/%d seeds ok@." (seed - start + 1) count
+    done;
+    Format.printf "all %d seeds equivalent (k in %s, %d packets each)@." count
+      (String.concat "," (List.map string_of_int ks))
+      n_packets
+  end
+
+let count_arg =
+  Arg.(value & opt int 200
+       & info [ "count" ] ~docv:"N" ~doc:"Seeds to try (chaos: campaigns to run).")
 let start_arg = Arg.(value & opt int 0 & info [ "start" ] ~docv:"S" ~doc:"First seed.")
 let n_arg = Arg.(value & opt int 300 & info [ "packets" ] ~docv:"P" ~doc:"Packets per trace.")
 let quiet_arg = Arg.(value & flag & info [ "quiet" ] ~doc:"No progress output.")
 
+let chaos_arg =
+  Arg.(
+    value & flag
+    & info [ "chaos" ]
+        ~doc:"Chaos-soak mode: run --count supervised crash-recovery \
+              campaigns (random program, fault plan and crash schedule, \
+              including kill -9 mid-checkpoint-write and watchdog \
+              wedges) and require every one to finish bit-identical to \
+              its uninterrupted oracle.  A failing campaign is shrunk to \
+              a minimal repro artifact and exits 1.")
+
+let chaos_repro_arg =
+  Arg.(
+    value
+    & opt (some non_dir_file) None
+    & info [ "chaos-repro" ] ~docv:"FILE"
+        ~doc:"Replay one chaos repro artifact (mp5-chaos-case/1) written \
+              by a failing --chaos run; exits 0 when it now recovers.")
+
+let chaos_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos-dir" ] ~docv:"DIR"
+        ~doc:"Scratch and repro-artifact directory for chaos modes \
+              (default: the system temp dir).")
+
+let chaos_sabotage_arg =
+  Arg.(
+    value & flag
+    & info [ "chaos-sabotage" ]
+        ~doc:"Testing hook: run --chaos with a deterministic injected \
+              failure (no child processes), exercising the shrinker and \
+              repro-artifact pipeline end to end.")
+
 let cmd =
   let doc = "differential fuzzing of the MP5 compiler and runtime" in
-  Cmd.v (Cmd.info "mp5fuzz" ~doc) Term.(const run $ count_arg $ start_arg $ n_arg $ quiet_arg)
+  Cmd.v (Cmd.info "mp5fuzz" ~doc)
+    Term.(
+      const run $ count_arg $ start_arg $ n_arg $ quiet_arg $ chaos_arg $ chaos_repro_arg
+      $ chaos_dir_arg $ chaos_sabotage_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -34,7 +34,8 @@ let with_out path f =
 let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_file jobs runs
     no_compile engine loop metrics_file metrics_prom trace_out trace_packets trace_cap report
     profile profile_out trace_perfetto fault_plan monitor monitor_epoch monitor_dump stream
-    checkpoint_every snapshot_path resume_file =
+    checkpoint_every snapshot_path resume_file keep_snapshots supervise heartbeat_file
+    heartbeat_every max_restarts hang_timeout backoff stop_at chaos_kill_at =
   let compiled = not no_compile in
   if list_apps then begin
     List.iter print_endline (apps ());
@@ -103,7 +104,7 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
   (* Streaming mode: drive the run from a pull-based packet source
      instead of a materialized array — constant memory at any packet
      count, with optional periodic checkpoints and snapshot resume. *)
-  let streaming = stream || checkpoint_every <> None || resume_file <> None in
+  let streaming = stream || supervise || checkpoint_every <> None || resume_file <> None in
   if streaming then begin
     if recirc then begin
       Format.eprintf "mp5sim: streaming runs do not support --recirc@.";
@@ -111,6 +112,10 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
     end;
     if runs > 1 then begin
       Format.eprintf "mp5sim: streaming runs are single runs (drop --runs)@.";
+      exit 1
+    end;
+    if keep_snapshots < 1 then begin
+      Format.eprintf "mp5sim: --keep-snapshots expects a positive count@.";
       exit 1
     end;
     (match checkpoint_every with
@@ -124,6 +129,21 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
     if resume_file <> None && Option.is_some plan then begin
       Format.eprintf "mp5sim: --resume takes its fault plan from the snapshot (drop --fault-plan)@.";
       exit 1
+    end;
+    if supervise then begin
+      if checkpoint_every = None || snapshot_path = None then begin
+        Format.eprintf "mp5sim: --supervise requires --checkpoint-every and --snapshot@.";
+        exit 1
+      end;
+      if resume_file <> None then begin
+        Format.eprintf
+          "mp5sim: --supervise resumes from the snapshot rotation chain (drop --resume)@.";
+        exit 1
+      end;
+      if engine = `Par then begin
+        Format.eprintf "mp5sim: --supervise runs the sequential engine (drop --engine par)@.";
+        exit 1
+      end
     end
   end;
   let trace_for_seed seed =
@@ -325,78 +345,155 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
                   seed;
                 })
     in
-    let on_checkpoint =
-      Option.map
-        (fun path ~cycle:_ snap ->
-          (* Atomic replace: a kill mid-write never leaves a torn file
-             where the last good checkpoint used to be. *)
-          let tmp = path ^ ".tmp" in
-          let oc = open_out_bin tmp in
-          Fun.protect
-            ~finally:(fun () -> close_out_noerr oc)
-            (fun () -> output_string oc snap);
-          Sys.rename tmp path)
-        snapshot_path
+    (* Durable checkpoints: tmp file + fsync + atomic rename + directory
+       fsync, rotating the previous [keep_snapshots] snapshots down the
+       [path], [path.1], ... chain so recovery can fall back past a torn
+       newest snapshot. *)
+    let write_snapshot path snap =
+      Mp5_util.Binio.write_rotated ~fsync:true ~path ~keep:keep_snapshots snap
     in
-    let outcome =
-      try
-        match resume_file with
-        | Some path -> (
-            let snap =
-              try
-                let ic = open_in_bin path in
-                Fun.protect
-                  ~finally:(fun () -> close_in_noerr ic)
-                  (fun () -> really_input_string ic (in_channel_length ic))
-              with Sys_error e ->
-                Format.eprintf "mp5sim: cannot read snapshot: %s@." e;
-                exit 2
-            in
-            match
-              Mp5_core.Switch.resume ?team ~loop ?metrics ?events ?monitor:mon ?prof
-                ~compiled ?checkpoint_every ?on_checkpoint ~snapshot:snap sw (source ())
-            with
-            | Ok o -> o
-            | Error (Mp5_core.Sim.Corrupt msg) ->
-                Format.eprintf "mp5sim: corrupt snapshot: %s@." msg;
-                exit 2
-            | Error (Mp5_core.Sim.Mismatch msg) ->
-                Format.eprintf "mp5sim: snapshot mismatch: %s@." msg;
-                exit 3)
-        | None ->
-            Mp5_core.Switch.run_source ?team ~loop ~params ?metrics ?events ?fault:plan
-              ?monitor:mon ?prof ~compiled ?checkpoint_every ?on_checkpoint ~k sw
-              (source ())
+    let heartbeat_path =
+      match (heartbeat_file, snapshot_path) with
+      | Some p, _ -> Some p
+      | None, Some sp when supervise -> Some (sp ^ ".hb")
+      | None, _ -> None
+    in
+    (* One supervision leg (attempt 0 is the only leg when unsupervised).
+       SIGINT/SIGTERM flip the graceful-stop flag: the run pauses at the
+       next cycle boundary, flushes a final snapshot, and exits 4 so a
+       later --resume (or supervised restart) continues bit-identically. *)
+    let leg ~attempt ~resume_snap =
+      let stop = ref false in
+      let handler = Sys.Signal_handle (fun _ -> stop := true) in
+      Sys.set_signal Sys.sigint handler;
+      Sys.set_signal Sys.sigterm handler;
+      let hb =
+        Option.map (fun p -> Mp5_robust.Supervisor.Heartbeat.create ~path:p) heartbeat_path
+      in
+      (* Crash-testing hook: supervision attempt [i] self-SIGKILLs at the
+         i-th cycle of --chaos-kill-at, proving recovery end to end. *)
+      let kill_at = List.nth_opt chaos_kill_at attempt in
+      let on_heartbeat =
+        match (hb, kill_at) with
+        | None, None -> None
+        | _ ->
+            Some
+              (fun ~cycle ->
+                (match kill_at with
+                | Some c when cycle >= c -> Unix.kill (Unix.getpid ()) Sys.sigkill
+                | _ -> ());
+                match hb with
+                | Some h -> Mp5_robust.Supervisor.Heartbeat.beat h ~cycle
+                | None -> ())
+      in
+      let on_checkpoint =
+        Option.map (fun path ~cycle:_ snap -> write_snapshot path snap) snapshot_path
+      in
+      let outcome =
+        try
+          match resume_snap with
+          | Some snap -> (
+              match
+                Mp5_core.Switch.resume ?team ~loop ?metrics ?events ?monitor:mon ?prof
+                  ~compiled ?checkpoint_every ?on_checkpoint ~heartbeat_every ?on_heartbeat
+                  ~stop ?cycle_budget:stop_at ~snapshot:snap sw (source ())
+              with
+              | Ok o -> o
+              | Error (Mp5_core.Sim.Corrupt msg) ->
+                  Format.eprintf "mp5sim: corrupt snapshot: %s@." msg;
+                  exit 2
+              | Error (Mp5_core.Sim.Mismatch msg) ->
+                  Format.eprintf "mp5sim: snapshot mismatch: %s@." msg;
+                  exit 3)
+          | None ->
+              Mp5_core.Switch.run_source ?team ~loop ~params ?metrics ?events ?fault:plan
+                ?monitor:mon ?prof ~compiled ?checkpoint_every ?on_checkpoint
+                ~heartbeat_every ?on_heartbeat ~stop ?cycle_budget:stop_at ~k sw
+                (source ())
+        with
+        | Invalid_argument msg ->
+            (* --loop fast on a run that attaches instrumentation. *)
+            Format.eprintf "mp5sim: %s@." msg;
+            exit 1
+        | Mp5_fault.Monitor.Violation diag ->
+            Format.eprintf "%s@." diag;
+            dump_monitor ();
+            (match (events, trace_out) with
+            | Some tr, Some path -> with_out path (fun oc -> Mp5_obs.Trace.write_jsonl tr oc)
+            | _ -> ());
+            exit 3
+        | Mp5_workload.Packet_source.Error msg ->
+            Format.eprintf "%s@." msg;
+            exit 2
+      in
+      match outcome with
+      | Mp5_core.Sim.Suspended snap ->
+          (match snapshot_path with
+          | Some path ->
+              write_snapshot path snap;
+              Format.eprintf "mp5sim: interrupted; snapshot flushed to %s (resume with --resume %s)@."
+                path path
+          | None -> Format.eprintf "mp5sim: interrupted (no --snapshot: state discarded)@.");
+          exit 4
+      | Mp5_core.Sim.Completed s ->
+          Format.printf
+            "%d pipelines, %d packets (streamed): throughput %.3f, max queue %d, dropped %d@." k
+            s.Mp5_core.Sim.s_packets s.Mp5_core.Sim.s_normalized_throughput
+            s.Mp5_core.Sim.s_max_queue s.Mp5_core.Sim.s_dropped;
+          Format.printf "digests: exits %016x, access %016x@."
+            s.Mp5_core.Sim.s_digests.Mp5_core.Sim.dg_exits
+            s.Mp5_core.Sim.s_digests.Mp5_core.Sim.dg_access;
+          emit_instruments ();
+          exit
+            (if match mon with Some m -> not (Mp5_fault.Monitor.ok m) | None -> false then 3
+             else 0)
+    in
+    if supervise then begin
+      (* The parent only watches: a Ctrl-C reaches the child too (same
+         process group), which flushes its final snapshot and exits 4 —
+         not retryable, so the verdict propagates the code. *)
+      let ignore_sig = Sys.Signal_handle (fun _ -> ()) in
+      Sys.set_signal Sys.sigint ignore_sig;
+      Sys.set_signal Sys.sigterm ignore_sig;
+      let cfg =
+        {
+          (Mp5_robust.Supervisor.default ~snapshot_path:(Option.get snapshot_path)) with
+          Mp5_robust.Supervisor.heartbeat_path = Option.get heartbeat_path;
+          keep_snapshots;
+          hang_timeout;
+          max_restarts;
+          backoff_base = backoff;
+          log = (fun line -> Format.eprintf "%s@." line);
+        }
+      in
+      match
+        Mp5_robust.Supervisor.supervise cfg ~child:(fun ~attempt ~resume ->
+            leg ~attempt ~resume_snap:(Option.map snd resume))
       with
-      | Invalid_argument msg ->
-          (* --loop fast on a run that attaches instrumentation. *)
-          Format.eprintf "mp5sim: %s@." msg;
-          exit 1
-      | Mp5_fault.Monitor.Violation diag ->
-          Format.eprintf "%s@." diag;
-          dump_monitor ();
-          (match (events, trace_out) with
-          | Some tr, Some path -> with_out path (fun oc -> Mp5_obs.Trace.write_jsonl tr oc)
-          | _ -> ());
-          exit 3
-      | Mp5_workload.Packet_source.Error msg ->
-          Format.eprintf "%s@." msg;
-          exit 2
+      | Mp5_robust.Supervisor.Completed _ -> exit 0
+      | Mp5_robust.Supervisor.Failed { last = Mp5_robust.Supervisor.Exited c; _ } -> exit c
+      | Mp5_robust.Supervisor.Failed _ | Mp5_robust.Supervisor.Gave_up _ -> exit 5
+    end;
+    let resume_snap =
+      match resume_file with
+      | None -> None
+      | Some path -> (
+          (* Walk the rotation chain newest-first: a torn newest snapshot
+             falls back to the previous slot instead of failing the
+             resume. *)
+          match
+            Mp5_util.Binio.load_latest_valid ~magic:Mp5_core.Sim.snapshot_magic ~path
+              ~keep:keep_snapshots
+          with
+          | Ok (slot, contents) ->
+              if slot <> path then
+                Format.eprintf "mp5sim: falling back to snapshot %s@." slot;
+              Some contents
+          | Error msg ->
+              Format.eprintf "mp5sim: cannot read snapshot: %s@." msg;
+              exit 2)
     in
-    (match outcome with
-    | Mp5_core.Sim.Suspended _ ->
-        (* No --cycle-budget surface: streaming CLI runs go to completion. *)
-        assert false
-    | Mp5_core.Sim.Completed s ->
-        Format.printf
-          "%d pipelines, %d packets (streamed): throughput %.3f, max queue %d, dropped %d@." k
-          s.Mp5_core.Sim.s_packets s.Mp5_core.Sim.s_normalized_throughput
-          s.Mp5_core.Sim.s_max_queue s.Mp5_core.Sim.s_dropped;
-        Format.printf "digests: exits %016x, access %016x@."
-          s.Mp5_core.Sim.s_digests.Mp5_core.Sim.dg_exits
-          s.Mp5_core.Sim.s_digests.Mp5_core.Sim.dg_access);
-    emit_instruments ();
-    exit (if match mon with Some m -> not (Mp5_fault.Monitor.ok m) | None -> false then 3 else 0)
+    leg ~attempt:0 ~resume_snap
   end;
   let trace = Lazy.force trace in
   let r, rep =
@@ -678,6 +775,80 @@ let resume_arg =
               exit 2; snapshots for a different program, trace or \
               instrumentation exit 3.")
 
+let keep_snapshots_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "keep-snapshots" ] ~docv:"N"
+        ~doc:"Rotation depth for --snapshot: keep the last N snapshots as \
+              FILE, FILE.1, ...  --resume falls back down the chain when \
+              a newer snapshot fails validation.")
+
+let supervise_arg =
+  Arg.(
+    value & flag
+    & info [ "supervise" ]
+        ~doc:"Run the streaming leg as a supervised child process: a \
+              heartbeat-file watchdog SIGKILLs a hung leg (see \
+              --hang-timeout), and a leg that dies by signal or hang is \
+              restarted from the newest valid snapshot with exponential \
+              backoff, up to --max-restarts times.  Requires \
+              --checkpoint-every and --snapshot; exits 5 when the \
+              restart budget is exhausted (the latest snapshot is kept \
+              for post-mortem --resume).")
+
+let heartbeat_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "heartbeat" ] ~docv:"FILE"
+        ~doc:"Liveness beat file, rewritten in place every \
+              --heartbeat-every cycles (for the --supervise watchdog or \
+              an external one).  Defaults to SNAPSHOT.hb under \
+              --supervise.")
+
+let heartbeat_every_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "heartbeat-every" ] ~docv:"CYCLES"
+        ~doc:"Cycles between heartbeats.")
+
+let max_restarts_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "max-restarts" ] ~docv:"N"
+        ~doc:"Restart budget for --supervise.")
+
+let hang_timeout_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "hang-timeout" ] ~docv:"SECS"
+        ~doc:"Seconds without a heartbeat before the --supervise watchdog \
+              SIGKILLs the leg.")
+
+let backoff_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "backoff" ] ~docv:"SECS"
+        ~doc:"Base restart delay for --supervise; doubles per restart, \
+              capped at 2s.")
+
+let stop_at_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "stop-at" ] ~docv:"CYCLES"
+        ~doc:"Testing hook: suspend the leg after CYCLES visited cycles \
+              exactly as a SIGINT would — flush a final snapshot (with \
+              --snapshot) and exit 4.")
+
+let chaos_kill_arg =
+  Arg.(
+    value & opt (list int) []
+    & info [ "chaos-kill-at" ] ~docv:"C0,C1,..."
+        ~doc:"Testing hook: supervision attempt i SIGKILLs itself at \
+              cycle Ci (attempts beyond the list run clean), proving \
+              crash recovery end to end.")
+
 let cmd =
   let doc = "simulate packet-processing programs on MP5" in
   let exits =
@@ -690,6 +861,14 @@ let cmd =
         ~doc:
           "on validation failures (functional non-equivalence, metrics or \
            runtime-monitor invariant violations).";
+      Cmd.Exit.info 4
+        ~doc:
+          "when a streaming run is interrupted (SIGINT/SIGTERM or --stop-at) \
+           after flushing a final snapshot; resume with --resume.";
+      Cmd.Exit.info 5
+        ~doc:
+          "when --supervise exhausts its restart budget; the latest valid \
+           snapshot is kept for post-mortem resumption.";
     ]
   in
   Cmd.v
@@ -701,6 +880,8 @@ let cmd =
       $ trace_cap_arg
       $ report_arg $ profile_arg $ profile_out_arg $ trace_perfetto_arg
       $ fault_plan_arg $ monitor_arg $ monitor_epoch_arg $ monitor_dump_arg
-      $ stream_arg $ checkpoint_every_arg $ snapshot_arg $ resume_arg)
+      $ stream_arg $ checkpoint_every_arg $ snapshot_arg $ resume_arg
+      $ keep_snapshots_arg $ supervise_arg $ heartbeat_arg $ heartbeat_every_arg
+      $ max_restarts_arg $ hang_timeout_arg $ backoff_arg $ stop_at_arg $ chaos_kill_arg)
 
 let () = exit (Cmd.eval cmd)

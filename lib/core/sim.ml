@@ -2540,6 +2540,7 @@ let fast_cycle_prof sim pf fs now source st =
 (* --- snapshots (mp5-snap/1) --- *)
 
 let snap_magic = "mp5-snap/1"
+let snapshot_magic = snap_magic
 
 let mode_tag = function
   | Mp5 -> 0
@@ -2976,7 +2977,7 @@ let encode sim st source =
 (* --- the cycle loop, shared by [run], [run_source] and [resume] --- *)
 
 let drive ?team ?(loop = Auto) sim st source ~observer ~checkpoint_every ~on_checkpoint
-    ~cycle_budget =
+    ~cycle_budget ~heartbeat ~stop =
   let params = sim.p in
   (* Variant selection, once per leg.  [`Fast_*] is the bare loop
      (select_loop's gate guarantees nothing is attached that could drop
@@ -3024,19 +3025,26 @@ let drive ?team ?(loop = Auto) sim st source ~observer ~checkpoint_every ~on_che
   let running = ref true in
   (match sim.pf with Some pf -> Prof.enter pf | None -> ());
   while !running && (sim.in_flight > 0 || has_next ()) do
-    match cycle_budget with
-    | Some budget when st.visited >= budget ->
-        (* Pause at the cycle boundary: nothing of cycle [st.now] has
-           run yet, so the snapshot resumes it from the top. *)
-        (match sim.pf with
-        | None -> suspended := Some (encode sim st source)
-        | Some pf ->
-            let t0 = Prof.now () in
-            suspended := Some (encode sim st source);
-            Prof.record pf Prof.Checkpoint ~t0;
-            Prof.instant pf Prof.Checkpoint);
-        running := false
-    | _ ->
+    let pause =
+      (match cycle_budget with Some budget -> st.visited >= budget | None -> false)
+      || (match stop with Some r -> !r | None -> false)
+    in
+    if pause then begin
+      (* Pause at the cycle boundary: nothing of cycle [st.now] has
+         run yet, so the snapshot resumes it from the top.  The [stop]
+         flag — set by the CLI's SIGINT/SIGTERM handler — lands here
+         too: a graceful shutdown is an externally requested
+         suspension, flushed by the caller as one final snapshot. *)
+      (match sim.pf with
+      | None -> suspended := Some (encode sim st source)
+      | Some pf ->
+          let t0 = Prof.now () in
+          suspended := Some (encode sim st source);
+          Prof.record pf Prof.Checkpoint ~t0;
+          Prof.instant pf Prof.Checkpoint);
+      running := false
+    end
+    else begin
         let t = st.now in
         (match fstate with
         | Some fs -> (
@@ -3192,7 +3200,14 @@ let drive ?team ?(loop = Auto) sim st source ~observer ~checkpoint_every ~on_che
                 Prof.record pf Prof.Checkpoint ~t0;
                 Prof.instant pf Prof.Checkpoint;
                 emit ~cycle:st.now snap)
+        | _ -> ());
+        (* Liveness beat for an external watchdog: called every
+           [every] visited cycles, after the checkpoint emit so a beat
+           never precedes the checkpoint of the same cycle. *)
+        (match heartbeat with
+        | Some (every, beat) when st.visited mod every = 0 -> beat ~cycle:st.now
         | _ -> ())
+    end
   done;
   (match sim.pf with Some pf -> Prof.leave pf | None -> ());
   match !suspended with
@@ -3251,7 +3266,7 @@ let run ?team ?loop ?observer ?metrics ?events ?fault ?monitor ?prof ?(compiled 
   let st = fresh_loop_state ~start:trace.(0).Machine.time ~track_src:false in
   (match
      drive ?team ?loop sim st source ~observer ~checkpoint_every:None ~on_checkpoint:None
-       ~cycle_budget:None
+       ~cycle_budget:None ~heartbeat:None ~stop:None
    with
   | `Suspended _ -> assert false
   | `Done -> ());
@@ -3347,10 +3362,14 @@ let finish_summary sim st source =
   }
 
 let run_source ?team ?loop ?observer ?metrics ?events ?fault ?monitor ?prof
-    ?(compiled = true) ?checkpoint_every ?on_checkpoint ?cycle_budget params prog source =
+    ?(compiled = true) ?checkpoint_every ?on_checkpoint ?(heartbeat_every = 1) ?on_heartbeat
+    ?stop ?cycle_budget params prog source =
   (match checkpoint_every with
   | Some n when n <= 0 -> invalid_arg "Sim.run_source: checkpoint_every must be positive"
   | _ -> ());
+  if heartbeat_every <= 0 then
+    invalid_arg "Sim.run_source: heartbeat_every must be positive";
+  let heartbeat = Option.map (fun f -> (heartbeat_every, f)) on_heartbeat in
   let start_time =
     match Psource.peek source with
     | Some i -> i.Machine.time
@@ -3369,10 +3388,11 @@ let run_source ?team ?loop ?observer ?metrics ?events ?fault ?monitor ?prof
   | None -> ());
   let st =
     fresh_loop_state ~start:start_time
-      ~track_src:(checkpoint_every <> None || cycle_budget <> None)
+      ~track_src:(checkpoint_every <> None || cycle_budget <> None || stop <> None)
   in
   match
     drive ?team ?loop sim st source ~observer ~checkpoint_every ~on_checkpoint ~cycle_budget
+      ~heartbeat ~stop
   with
   | `Suspended snap -> Suspended snap
   | `Done -> Completed (finish_summary sim st source)
@@ -3380,7 +3400,10 @@ let run_source ?team ?loop ?observer ?metrics ?events ?fault ?monitor ?prof
 exception Resume_mismatch of string
 
 let resume ?team ?loop ?observer ?metrics ?events ?monitor ?prof ?(compiled = true)
-    ?checkpoint_every ?on_checkpoint ?cycle_budget ~snapshot prog source =
+    ?checkpoint_every ?on_checkpoint ?(heartbeat_every = 1) ?on_heartbeat ?stop
+    ?cycle_budget ~snapshot prog source =
+  if heartbeat_every <= 0 then invalid_arg "Sim.resume: heartbeat_every must be positive";
+  let heartbeat = Option.map (fun f -> (heartbeat_every, f)) on_heartbeat in
   (* A resume boundary is a cold point by definition, and chunked
      gigapacket runs pass through one every few hundred thousand cycles.
      Collecting here releases the previous chunk's machine plus the
@@ -3599,7 +3622,7 @@ let resume ?team ?loop ?observer ?metrics ?events ?monitor ?prof ?(compiled = tr
       | sim, st -> (
           match
             drive ?team ?loop sim st source ~observer ~checkpoint_every ~on_checkpoint
-              ~cycle_budget
+              ~cycle_budget ~heartbeat ~stop
           with
           | `Suspended snap -> Ok (Suspended snap)
           | `Done -> Ok (Completed (finish_summary sim st source))))

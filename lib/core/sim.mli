@@ -265,6 +265,11 @@ type resume_error =
   | Mismatch of string  (** well-formed snapshot inconsistent with this
                             program, source, or instrumentation *)
 
+val snapshot_magic : string
+(** The snapshot schema id (["mp5-snap/1"]) — the [magic] to pass
+    {!Mp5_util.Binio} when validating snapshot files without decoding
+    them (e.g. picking the newest valid slot of a rotation chain). *)
+
 val run_source :
   ?team:Mp5_util.Pool.Team.t ->
   ?loop:loop ->
@@ -277,6 +282,9 @@ val run_source :
   ?compiled:bool ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(cycle:int -> string -> unit) ->
+  ?heartbeat_every:int ->
+  ?on_heartbeat:(cycle:int -> unit) ->
+  ?stop:bool ref ->
   ?cycle_budget:int ->
   params ->
   Transform.t ->
@@ -300,6 +308,18 @@ val run_source :
     and the streaming digests.  Snapshots are self-validating (length,
     checksum, program digest) and versioned (["mp5-snap/1"]).
 
+    [on_heartbeat ~cycle] is a liveness beat for an external watchdog,
+    called every [heartbeat_every] (default 1; positive, @raise
+    Invalid_argument otherwise) visited cycles, after any checkpoint
+    emitted at the same cycle.  Like the other hooks it is a pure
+    observer: results are bit-identical with or without it.
+
+    [stop] is the graceful-shutdown flag: when it becomes [true] (e.g.
+    from a SIGINT/SIGTERM handler), the run pauses at the next cycle
+    boundary and returns [Suspended snapshot] exactly as an exhausted
+    [cycle_budget] would — the caller flushes the snapshot and the run
+    is resumable, not lost.
+
     The source must be fresh (nothing consumed;
     @raise Invalid_argument otherwise) and non-empty. *)
 
@@ -314,6 +334,9 @@ val resume :
   ?compiled:bool ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(cycle:int -> string -> unit) ->
+  ?heartbeat_every:int ->
+  ?on_heartbeat:(cycle:int -> unit) ->
+  ?stop:bool ref ->
   ?cycle_budget:int ->
   snapshot:string ->
   Transform.t ->

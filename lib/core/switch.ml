@@ -38,15 +38,18 @@ let run ?team ?loop ?params ?metrics ?events ?fault ?monitor ?prof ?compiled ~k 
   Sim.run ?team ?loop ?metrics ?events ?fault ?monitor ?prof ?compiled params t.prog trace
 
 let run_source ?team ?loop ?params ?metrics ?events ?fault ?monitor ?prof ?compiled
-    ?checkpoint_every ?on_checkpoint ?cycle_budget ~k t source =
+    ?checkpoint_every ?on_checkpoint ?heartbeat_every ?on_heartbeat ?stop ?cycle_budget ~k t
+    source =
   let params = match params with Some p -> p | None -> Sim.default_params ~k in
   Sim.run_source ?team ?loop ?metrics ?events ?fault ?monitor ?prof ?compiled
-    ?checkpoint_every ?on_checkpoint ?cycle_budget params t.prog source
+    ?checkpoint_every ?on_checkpoint ?heartbeat_every ?on_heartbeat ?stop ?cycle_budget
+    params t.prog source
 
 let resume ?team ?loop ?metrics ?events ?monitor ?prof ?compiled ?checkpoint_every
-    ?on_checkpoint ?cycle_budget ~snapshot t source =
+    ?on_checkpoint ?heartbeat_every ?on_heartbeat ?stop ?cycle_budget ~snapshot t source =
   Sim.resume ?team ?loop ?metrics ?events ?monitor ?prof ?compiled ?checkpoint_every
-    ?on_checkpoint ?cycle_budget ~snapshot t.prog source
+    ?on_checkpoint ?heartbeat_every ?on_heartbeat ?stop ?cycle_budget ~snapshot t.prog
+    source
 
 let verify ?team ?loop ?params ?metrics ?events ?fault ?monitor ?prof ?compiled ~k ?flow_of
     t trace =

@@ -72,6 +72,9 @@ val run_source :
   ?compiled:bool ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(cycle:int -> string -> unit) ->
+  ?heartbeat_every:int ->
+  ?on_heartbeat:(cycle:int -> unit) ->
+  ?stop:bool ref ->
   ?cycle_budget:int ->
   k:int ->
   t ->
@@ -79,7 +82,8 @@ val run_source :
   Sim.outcome
 (** Streaming counterpart of {!run}: pull packets from a
     {!Mp5_workload.Packet_source.t} in constant memory, with optional
-    periodic checkpoints and a cycle budget (see {!Sim.run_source}). *)
+    periodic checkpoints, watchdog heartbeats, a graceful-stop flag and
+    a cycle budget (see {!Sim.run_source}). *)
 
 val resume :
   ?team:Mp5_util.Pool.Team.t ->
@@ -91,6 +95,9 @@ val resume :
   ?compiled:bool ->
   ?checkpoint_every:int ->
   ?on_checkpoint:(cycle:int -> string -> unit) ->
+  ?heartbeat_every:int ->
+  ?on_heartbeat:(cycle:int -> unit) ->
+  ?stop:bool ref ->
   ?cycle_budget:int ->
   snapshot:string ->
   t ->

@@ -59,11 +59,69 @@ let to_string ~magic (b : writer) =
   Buffer.add_string out payload;
   Buffer.contents out
 
-let to_file ~magic ~path (b : writer) =
-  let oc = open_out_bin path in
+(* --- durable file writes and snapshot rotation ---
+
+   A checkpoint that claims success must survive a kill -9 issued the
+   next instant.  Plain [output_string; close; rename] does not give
+   that: the data can still sit in the page cache when the rename
+   lands, and a crash then leaves a zero-length or torn "latest"
+   snapshot exactly where the recovery logic will look first.  The
+   durable write path is therefore: write the tmp file, [fsync] it,
+   atomically rename it over the destination, then [fsync] the
+   directory so the rename itself is on disk. *)
+
+let fsync_dir dir =
+  (* Directory fds are not openable on every filesystem; a failed
+     directory sync downgrades durability, never correctness. *)
+  match Unix.openfile (if dir = "" then "." else dir) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let write_file_durable ?(fsync = true) ~path data =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (to_string ~magic b))
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let len = String.length data in
+      let written = ref 0 in
+      while !written < len do
+        written :=
+          !written + Unix.write_substring fd data !written (len - !written)
+      done;
+      if fsync then Unix.fsync fd);
+  Sys.rename tmp path;
+  if fsync then fsync_dir (Filename.dirname path)
+
+let slot_path ~path i = if i = 0 then path else Printf.sprintf "%s.%d" path i
+
+let slot_paths ~path ~keep = List.init (max 1 keep) (fun i -> slot_path ~path i)
+
+(* Shift [path -> path.1 -> ... -> path.(keep-1)], dropping the oldest.
+   Every step is a rename, so at any instant each surviving slot holds a
+   complete snapshot from some checkpoint — a crash mid-rotation can
+   lose depth, never integrity. *)
+let rotate ~path ~keep =
+  let keep = max 1 keep in
+  for i = keep - 2 downto 0 do
+    let src = slot_path ~path i in
+    if Sys.file_exists src then Sys.rename src (slot_path ~path (i + 1))
+  done
+
+let write_rotated ?fsync ~path ~keep data =
+  rotate ~path ~keep;
+  write_file_durable ?fsync ~path data
+
+let remove_slots ~path ~keep =
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    (slot_paths ~path ~keep:(max 1 keep));
+  let tmp = path ^ ".tmp" in
+  if Sys.file_exists tmp then Sys.remove tmp
+
+let to_file ~magic ~path (b : writer) = write_file_durable ~path (to_string ~magic b)
 
 (* --- reading --- *)
 
@@ -167,3 +225,34 @@ let of_file ~magic ~path =
           match of_string ~magic s with
           | Ok r -> Ok r
           | Error e -> Error (Printf.sprintf "%s: %s" path e))
+
+(* Walk the rotation chain newest-first and return the first slot whose
+   framing (magic, length, checksum) validates.  A torn or zero-length
+   newest snapshot — the signature of a crash mid-checkpoint — falls
+   back to the previous one instead of stranding the run. *)
+let load_latest_valid ~magic ~path ~keep =
+  let read p =
+    match open_in_bin p with
+    | exception Sys_error e -> Error e
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  in
+  let rec go errs = function
+    | [] ->
+        Error
+          (match List.rev errs with
+          | [] -> "no snapshot slots to try"
+          | errs -> String.concat "; " errs)
+    | p :: rest -> (
+        if not (Sys.file_exists p) then go errs rest
+        else
+          match read p with
+          | Error e -> go (e :: errs) rest
+          | Ok contents -> (
+              match of_string ~magic contents with
+              | Ok _ -> Ok (p, contents)
+              | Error e -> go (Printf.sprintf "%s: %s" p e :: errs) rest))
+  in
+  go [] (slot_paths ~path ~keep)

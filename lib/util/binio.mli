@@ -35,6 +35,40 @@ val to_string : magic:string -> writer -> string
     payload). *)
 
 val to_file : magic:string -> path:string -> writer -> unit
+(** {!write_file_durable} of {!to_string}. *)
+
+(** {2 Durable writes and snapshot rotation}
+
+    The checkpoint write path: a snapshot that claims success must
+    survive a [kill -9] issued the next instant, so the tmp file is
+    [fsync]ed before the atomic rename, and the directory after it.
+    Rotation keeps the last [keep] snapshots as [path], [path.1], ...
+    so recovery can fall back past a snapshot torn by a crash that
+    raced the write itself. *)
+
+val write_file_durable : ?fsync:bool -> path:string -> string -> unit
+(** Write [data] to [path] atomically: tmp file, [fsync] (default
+    [true]), rename, directory [fsync].  At no instant does [path] hold
+    a partial file. *)
+
+val slot_path : path:string -> int -> string
+(** Slot [0] is [path] itself; slot [i > 0] is [path.i]. *)
+
+val slot_paths : path:string -> keep:int -> string list
+(** All rotation slots, newest first. *)
+
+val rotate : path:string -> keep:int -> unit
+(** Shift [path -> path.1 -> ...], keeping at most [keep] slots.  Every
+    step is a rename: a crash mid-rotation loses history depth, never a
+    complete snapshot. *)
+
+val write_rotated : ?fsync:bool -> path:string -> keep:int -> string -> unit
+(** {!rotate} then {!write_file_durable}: the newest snapshot lands in
+    [path], the previous survivors shift down one slot. *)
+
+val remove_slots : path:string -> keep:int -> unit
+(** Delete every rotation slot (and a leftover [path.tmp]), for starting
+    a supervised run fresh. *)
 
 (** {2 Reading} *)
 
@@ -61,3 +95,10 @@ val of_string : magic:string -> string -> (reader, string) result
 val of_file : magic:string -> path:string -> (reader, string) result
 (** {!of_string} on a file's contents; errors are prefixed with the
     path. *)
+
+val load_latest_valid :
+  magic:string -> path:string -> keep:int -> (string * string, string) result
+(** Walk the rotation chain newest-first ({!slot_paths}) and return the
+    first [(slot, contents)] whose framing validates; a torn newest
+    snapshot falls back to the previous slot.  [Error] joins the
+    per-slot reasons when no slot validates. *)

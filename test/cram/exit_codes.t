@@ -1,6 +1,7 @@
 The exit-code contract shared by mp5sim and the bench driver (see
 README): 0 success, 1 usage error, 2 input error, 3 validation or
-invariant failure.
+invariant failure, 4 interrupted-with-snapshot, 5 supervisor budget
+exhausted.
 
 Success is 0:
 
@@ -20,7 +21,7 @@ no sense:
   --jobs expects a positive integer, got "nope"
   [1]
   $ ../../bench/main.exe --smoke no-such-experiment 2>&1 | tail -1
-  unknown experiment "no-such-experiment" (known: table1, sram, d2, d3, d4, fig7a, fig7b, fig7c, fig7d, fig8, ablate-priority, ablate-period, ablate-fifo, ablate-gate, degraded, sim-micro, sim-par, longrun, perf)
+  unknown experiment "no-such-experiment" (known: table1, sram, d2, d3, d4, fig7a, fig7b, fig7c, fig7d, fig8, ablate-priority, ablate-period, ablate-fifo, ablate-gate, degraded, sim-micro, sim-par, longrun, chaos, perf)
   $ ../../bench/main.exe --smoke no-such-experiment > /dev/null 2>&1; echo "exit $?"
   exit 1
 
@@ -56,3 +57,15 @@ test/test_fault.ml.  The contract is part of the manual:
          3   on validation failures (functional non-equivalence, metrics or
              runtime-monitor invariant violations).
   
+         4   when a streaming run is interrupted (SIGINT/SIGTERM or --stop-at)
+             after flushing a final snapshot; resume with --resume.
+  
+         5   when --supervise exhausts its restart budget; the latest valid
+             snapshot is kept for post-mortem resumption.
+  
+
+
+
+
+
+

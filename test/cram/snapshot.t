@@ -22,14 +22,15 @@ same digests as the uninterrupted run above:
   4 pipelines, 3000 packets (streamed): throughput 1.000, max queue 2, dropped 0
   digests: exits 132196e5102d98a9, access 0734d2662c118250
 
-A corrupt snapshot is an input error (exit 2), rejected up front with a
-byte-positioned reason — truncation and bit flips both die on the
-framing's length and checksum checks, never half-applied:
+A corrupt snapshot with no intact rotation slot behind it is an input
+error (exit 2), rejected up front with a byte-positioned reason —
+truncation and bit flips both die on the framing's length and checksum
+checks, never half-applied:
 
   $ head -c 400 flowlet.snap > truncated.snap
   $ ../../bin/mp5sim.exe --app flowlet --pipelines 4 --packets 3000 --seed 3 \
   >   --resume truncated.snap
-  mp5sim: corrupt snapshot: byte 400: truncated payload
+  mp5sim: cannot read snapshot: truncated.snap: byte 400: truncated payload
   [2]
 
 A well-formed snapshot that fails validation on resume — taken against

@@ -1,0 +1,118 @@
+Crash-tolerant supervised runs (see README "Surviving crashes"): a
+watchdog parent forks the streaming simulator, restarts it from the
+newest valid snapshot of the rotation chain after a crash or hang, and
+the recovered run must end bit-identical to an uninterrupted one.
+Every supervisor log line is deterministic (no pids or timestamps), so
+this test pins the exact transcript.
+
+The uninterrupted oracle for everything below:
+
+  $ ../../bin/mp5sim.exe --app flowlet --pipelines 4 --packets 3000 --seed 3 --stream
+  4 pipelines, 3000 packets (streamed): throughput 1.000, max queue 2, dropped 0
+  digests: exits 132196e5102d98a9, access 0734d2662c118250
+
+--stop-at suspends a checkpointed run mid-flight, flushes a final
+snapshot, and exits 4 — the documented "interrupted, resumable" code
+(SIGINT/SIGTERM take the same path); --resume then finishes with the
+oracle's digests:
+
+  $ ../../bin/mp5sim.exe --app flowlet --pipelines 4 --packets 3000 --seed 3 \
+  >   --checkpoint-every 150 --snapshot run.snap --stop-at 600
+  mp5sim: interrupted; snapshot flushed to run.snap (resume with --resume run.snap)
+  [4]
+  $ ../../bin/mp5sim.exe --app flowlet --pipelines 4 --packets 3000 --seed 3 \
+  >   --resume run.snap
+  4 pipelines, 3000 packets (streamed): throughput 1.000, max queue 2, dropped 0
+  digests: exits 132196e5102d98a9, access 0734d2662c118250
+
+--supervise forks each leg and auto-resumes.  --chaos-kill-at is the
+testing hook that SIGKILLs the child from inside at given cycles, one
+per leg: two scheduled kills mean two restarts with exponential
+backoff, each resuming from the newest snapshot — and the same digests
+as the oracle:
+
+  $ ../../bin/mp5sim.exe --app flowlet --pipelines 4 --packets 3000 --seed 3 \
+  >   --checkpoint-every 150 --snapshot run.snap --supervise \
+  >   --chaos-kill-at 300,900 --backoff 0.05 --hang-timeout 2 2>&1
+  [supervisor] supervising: snapshot run.snap (keep 2), hang timeout 2s, max restarts 5
+  [supervisor] leg 0: fresh start
+  [supervisor] leg 0 killed by SIGKILL
+  [supervisor] restart 1/5 after 0.05s backoff
+  [supervisor] leg 1: resume from run.snap
+  [supervisor] leg 1 killed by SIGKILL
+  [supervisor] restart 2/5 after 0.1s backoff
+  [supervisor] leg 2: resume from run.snap
+  4 pipelines, 3000 packets (streamed): throughput 1.000, max queue 2, dropped 0
+  digests: exits 132196e5102d98a9, access 0734d2662c118250
+  [supervisor] run completed after 2 restarts
+
+When crashes outpace the restart budget the supervisor gives up with
+exit 5, keeping the newest snapshot on disk for post-mortem
+resumption:
+
+  $ ../../bin/mp5sim.exe --app flowlet --pipelines 4 --packets 3000 --seed 3 \
+  >   --checkpoint-every 150 --snapshot give.snap --supervise \
+  >   --chaos-kill-at 200,400,600 --max-restarts 2 --backoff 0.02 --hang-timeout 2 2>&1; echo "exit $?"
+  [supervisor] supervising: snapshot give.snap (keep 2), hang timeout 2s, max restarts 2
+  [supervisor] leg 0: fresh start
+  [supervisor] leg 0 killed by SIGKILL
+  [supervisor] restart 1/2 after 0.02s backoff
+  [supervisor] leg 1: resume from give.snap
+  [supervisor] leg 1 killed by SIGKILL
+  [supervisor] restart 2/2 after 0.04s backoff
+  [supervisor] leg 2: resume from give.snap
+  [supervisor] leg 2 killed by SIGKILL
+  [supervisor] restart budget exhausted (2): giving up; latest snapshot kept at give.snap
+  exit 5
+  $ ../../bin/mp5sim.exe --app flowlet --pipelines 4 --packets 3000 --seed 3 \
+  >   --resume give.snap
+  4 pipelines, 3000 packets (streamed): throughput 1.000, max queue 2, dropped 0
+  digests: exits 132196e5102d98a9, access 0734d2662c118250
+
+Checkpoints rotate (--keep-snapshots, default 2), so a newest snapshot
+torn by a crash that raced the write falls back one slot instead of
+killing the run:
+
+  $ ../../bin/mp5sim.exe --app flowlet --pipelines 4 --packets 3000 --seed 3 \
+  >   --checkpoint-every 150 --snapshot torn.snap --stop-at 900 2> /dev/null
+  [4]
+  $ head -c 100 torn.snap > torn.tmp && mv torn.tmp torn.snap
+  $ ../../bin/mp5sim.exe --app flowlet --pipelines 4 --packets 3000 --seed 3 \
+  >   --resume torn.snap
+  mp5sim: falling back to snapshot torn.snap.1
+  4 pipelines, 3000 packets (streamed): throughput 1.000, max queue 2, dropped 0
+  digests: exits 132196e5102d98a9, access 0734d2662c118250
+
+Supervision has its own usage contract (exit 1):
+
+  $ ../../bin/mp5sim.exe --app flowlet --supervise
+  mp5sim: --supervise requires --checkpoint-every and --snapshot
+  [1]
+  $ ../../bin/mp5sim.exe --app flowlet --supervise --checkpoint-every 100 \
+  >   --snapshot x.snap --resume x.snap
+  mp5sim: --supervise resumes from the snapshot rotation chain (drop --resume)
+  [1]
+  $ ../../bin/mp5sim.exe --app flowlet --supervise --checkpoint-every 100 \
+  >   --snapshot x.snap --engine par
+  mp5sim: --supervise runs the sequential engine (drop --engine par)
+  [1]
+  $ ../../bin/mp5sim.exe --app flowlet --stream --keep-snapshots 0
+  mp5sim: --keep-snapshots expects a positive count
+  [1]
+
+mp5fuzz --chaos-sabotage exercises the failure path of the chaos-soak
+harness deterministically (an injected failure, no child processes):
+the failing campaigns are delta-debugged to minimal cases and written
+as repro artifacts, which --chaos-repro loads and replays:
+
+  $ ../../bin/mp5fuzz.exe --chaos-sabotage --count 2 --chaos-dir sab 2>&1; echo "exit $?"
+  [chaos] campaign 1/2: seed=0 k=4 packets=217 ckpt=18 events=4 crashes=[kill@35,torn#3/mid-write,kill@25]
+  [chaos] campaign 1 FAILED: injected failure (sabotage hook)
+  [chaos] shrunk in 13 probes to seed=0 k=4 packets=16 ckpt=18 events=1 crashes=[kill@25]; repro at sab/chaos-repro-0.txt
+  [chaos] campaign 2/2: seed=1 k=4 packets=314 ckpt=13 events=2 crashes=[kill@33]
+  [chaos] campaign 2 FAILED: injected failure (sabotage hook)
+  [chaos] shrunk in 10 probes to seed=1 k=4 packets=16 ckpt=13 events=1 crashes=[kill@33]; repro at sab/chaos-repro-1.txt
+  chaos: 2 campaigns, 4 scheduled crashes (1 torn checkpoints, 0 wedges), 0 restarts, 2 failures
+  exit 1
+  $ ../../bin/mp5fuzz.exe --chaos-repro sab/chaos-repro-0.txt --chaos-dir sab 2>&1 | tail -1
+  recovered bit-identically (0 restarts)

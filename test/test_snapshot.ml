@@ -218,6 +218,126 @@ let test_rejects_mismatch () =
   expect "misaligned source" "already consumed"
     (match Sim.resume ~snapshot:snap prog s with Ok _ -> None | Error e -> Some e)
 
+(* --- torn-write recovery through the rotation chain ---
+
+   Write two real checkpoints through [Binio.write_rotated] (so [path]
+   holds the newest and [path.1] the previous), then damage the newest
+   file every way a crashed writer could leave it — truncated at the
+   framing edges, at positions spread across every section, at random
+   offsets, bit-flipped, emptied — and require [load_latest_valid] to
+   fall back to [path.1] and the resumed run to finish bit-identical to
+   the uninterrupted one. *)
+
+module Binio = Mp5_util.Binio
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "mp5-torn-%d-%d" (Unix.getpid ()) !n)
+    in
+    if not (Sys.file_exists d) then Unix.mkdir d 0o700;
+    d
+
+let write_raw path data =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data)
+
+(* A run long enough to emit several checkpoints, plus its uninterrupted
+   summary. *)
+let checkpoint_fixture () =
+  let _, prog = prog_for 5 in
+  let trace = Progen.trace ~seed:5 ~k:2 ~n:n_packets in
+  let params = Sim.default_params ~k:2 in
+  let snaps = ref [] in
+  let straight =
+    completed 5
+      (Sim.run_source ~checkpoint_every:20
+         ~on_checkpoint:(fun ~cycle:_ snap -> snaps := snap :: !snaps)
+         params prog (Psource.of_array trace))
+  in
+  match List.rev !snaps with
+  | a :: b :: _ -> (prog, trace, straight, a, b)
+  | _ -> Alcotest.fail "fixture run emitted fewer than two checkpoints"
+
+let test_rotation_chain () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "s.snap" in
+  Binio.write_rotated ~path ~keep:2 "one";
+  Binio.write_rotated ~path ~keep:2 "two";
+  Binio.write_rotated ~path ~keep:2 "three";
+  let read p = In_channel.with_open_bin p In_channel.input_all in
+  Alcotest.(check string) "newest in path" "three" (read path);
+  Alcotest.(check string) "previous in path.1" "two" (read (path ^ ".1"));
+  Alcotest.(check bool) "depth capped at keep" false (Sys.file_exists (path ^ ".2"));
+  Binio.remove_slots ~path ~keep:2;
+  Alcotest.(check bool) "slots removed" false
+    (Sys.file_exists path || Sys.file_exists (path ^ ".1"))
+
+let test_torn_fallback () =
+  let prog, trace, straight, older, newest = checkpoint_fixture () in
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "s.snap" in
+  let magic = Sim.snapshot_magic in
+  (* The damage sites: the framing edges (magic line, length, checksum),
+     25 positions spread evenly across the file (crossing every payload
+     section), and 16 seeded-random offsets. *)
+  let nl = String.index newest '\n' in
+  let len = String.length newest in
+  let edges = [ 1; nl; nl + 1; nl + 9; nl + 17 ] in
+  let spread = List.init 25 (fun i -> len * (i + 1) / 26) in
+  let st = Random.State.make [| 0x746f726e |] in
+  let random = List.init 16 (fun _ -> 1 + Random.State.int st (len - 1)) in
+  let check_fallback what damaged =
+    (* Rebuild the chain: older in path.1, the damaged newest in path. *)
+    Binio.remove_slots ~path ~keep:2;
+    Binio.write_rotated ~path ~keep:2 older;
+    Binio.rotate ~path ~keep:2;
+    write_raw path damaged;
+    (match Binio.load_latest_valid ~magic ~path ~keep:2 with
+    | Ok (slot, contents) ->
+        if slot <> path ^ ".1" then
+          Alcotest.failf "%s: picked %s instead of falling back" what slot;
+        if contents <> older then Alcotest.failf "%s: fallback returned wrong contents" what
+    | Error e -> Alcotest.failf "%s: no fallback found: %s" what e);
+    (* And the fallback snapshot must still finish the run bit-identical
+       to the uninterrupted one. *)
+    match Sim.resume ~snapshot:older prog (Psource.of_array trace) with
+    | Ok (Sim.Completed s) ->
+        if not (Sim.summary_equal straight s) then
+          Alcotest.failf "%s: resume from fallback diverged" what
+    | Ok (Sim.Suspended _) -> Alcotest.failf "%s: fallback resume suspended" what
+    | Error (Sim.Corrupt m) | Error (Sim.Mismatch m) ->
+        Alcotest.failf "%s: fallback snapshot rejected: %s" what m
+  in
+  List.iter
+    (fun cut -> check_fallback (Printf.sprintf "truncate@%d" cut) (String.sub newest 0 cut))
+    (edges @ spread @ random);
+  List.iter
+    (fun pos ->
+      let b = Bytes.of_string newest in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x40));
+      check_fallback (Printf.sprintf "bitflip@%d" pos) (Bytes.to_string b))
+    (List.filteri (fun i _ -> i mod 2 = 0) (spread @ random));
+  check_fallback "empty file" "";
+  (* Both slots torn: recovery must report an error, not invent state. *)
+  Binio.remove_slots ~path ~keep:2;
+  write_raw path (String.sub newest 0 (len / 2));
+  write_raw (path ^ ".1") (String.sub older 0 7);
+  (match Binio.load_latest_valid ~magic ~path ~keep:2 with
+  | Ok (slot, _) -> Alcotest.failf "both-torn chain accepted slot %s" slot
+  | Error _ -> ());
+  (* An intact newest slot wins without falling back. *)
+  Binio.remove_slots ~path ~keep:2;
+  Binio.write_rotated ~path ~keep:2 older;
+  Binio.write_rotated ~path ~keep:2 newest;
+  match Binio.load_latest_valid ~magic ~path ~keep:2 with
+  | Ok (slot, contents) ->
+      Alcotest.(check string) "newest slot wins" path slot;
+      Alcotest.(check bool) "newest contents" true (contents = newest)
+  | Error e -> Alcotest.failf "intact chain rejected: %s" e
+
 let () =
   Alcotest.run "snapshot"
     [
@@ -231,5 +351,11 @@ let () =
           Alcotest.test_case "damaged snapshots are rejected, positioned" `Quick
             test_rejects_damage;
           Alcotest.test_case "mismatched snapshots are rejected" `Quick test_rejects_mismatch;
+        ] );
+      ( "rotation",
+        [
+          Alcotest.test_case "write_rotated keeps a bounded chain" `Quick test_rotation_chain;
+          Alcotest.test_case "torn newest snapshot falls back and finishes bit-identical"
+            `Quick test_torn_fallback;
         ] );
     ]
