@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke metrics-smoke profile-smoke fault-smoke longrun-smoke chaos-smoke perf perf-smoke clean
+.PHONY: all build test bench bench-smoke metrics-smoke profile-smoke fault-smoke longrun-smoke chaos-smoke fabric-smoke perf perf-smoke clean
 
 all: build
 
@@ -73,6 +73,17 @@ chaos-smoke:
 	dune build @supervise
 	dune exec bench/main.exe -- --smoke chaos --json BENCH_chaos.json \
 	  --chaos-dir CHAOS_repro
+
+# Multi-switch fabric smoke: the cram test pins the --fabric CLI
+# surface (topology and forwarding-table pretty-print, jobs 1 vs 4
+# byte-identical run output, the 0/1/2/3 exit-code contract including
+# the --fab-sabotage conservation violation), then the fabric bench
+# experiment runs a 2x2 leaf-spine with an enforced jobs-parity check
+# and writes its per-hop latency percentiles and throughput row to
+# BENCH_fabric.json for CI to upload.
+fabric-smoke:
+	dune build @fabric
+	dune exec bench/main.exe -- --smoke fabric --json BENCH_fabric.json
 
 # Engine parity + performance gate: sim-micro times compiled kernels vs
 # the AST interpreter, sim-par times the sequential vs parallel cycle

@@ -970,3 +970,93 @@ let chaos ?dir scale =
     ch_failures = List.length r.Mp5_robust.Chaos.rp_failures;
     ch_repro_dir = dir;
   }
+
+(* --- fabric: multi-switch leaf-spine run with jobs-parity check ---- *)
+
+type fabric_bench = {
+  fb_switches : int;
+  fb_hosts : int;
+  fb_injected : int;
+  fb_delivered : int;
+  fb_dropped : int;        (** node + forwarding-miss + link drops *)
+  fb_cycles : int;
+  fb_throughput : float;   (** delivered packets per fabric cycle *)
+  fb_hop_p50 : int;        (** per-hop pipeline latency percentiles *)
+  fb_hop_p99 : int;
+  fb_e2e_p50 : int;        (** injection-to-delivery latency percentiles *)
+  fb_e2e_p99 : int;
+  fb_hops_mean : float;
+  fb_seconds : float;      (** wall-clock of the measured run *)
+  fb_parity : bool;        (** jobs=1 run = jobs=4 run, every field *)
+}
+
+(* A 2x2 leaf-spine (4 switches, 4 hosts) driven by seeded all-to-all
+   host traffic.  The measured run uses whatever engine the driver
+   configured; a second run on a fresh 4-domain team must then be
+   bit-identical in every counter, digest and histogram — the same
+   cross-jobs determinism contract the fabric test battery pins, here
+   enforced on every bench invocation so a regression can never produce
+   a "fast but different" row. *)
+let fabric scale =
+  let module Fb = Mp5_fabric.Fabric in
+  let topo =
+    Mp5_fabric.Topology.leaf_spine ~leaves:2 ~spines:2 ~hosts_per_leaf:2 ~delay:1
+  in
+  let sw = switch_for default_setup in
+  let n_fields = (Switch.config sw).Mp5_banzai.Config.n_user_fields in
+  let spec =
+    {
+      (Mp5_fabric.Traffic.default_spec topo) with
+      Mp5_fabric.Traffic.n_packets = scale.n_packets;
+      n_fields;
+      index_fields = List.init n_fields Fun.id;
+      reg_size = default_setup.reg_size;
+      seed = 42;
+    }
+  in
+  let fparams =
+    {
+      Fb.fp_sim = Sim.default_params ~k:default_setup.k;
+      fp_topo = topo;
+      fp_policy = Mp5_fabric.Routing.shortest_paths topo;
+      fp_plan = Mp5_fault.Linkplan.empty;
+    }
+  in
+  let one ?team () =
+    let mon = Mp5_fault.Monitor.create ~epoch:64 () in
+    match
+      Fb.run ?team ~monitor:mon ~compiled:!compiled
+        ~dst:(Mp5_fabric.Traffic.dst_of_input spec) fparams sw.Switch.prog
+        (Mp5_fabric.Traffic.source spec)
+    with
+    | Fb.Completed r ->
+        if not (Mp5_fault.Monitor.ok mon) then
+          failwith "fabric: conservation violation during bench run";
+        r
+    | Fb.Suspended _ -> assert false (* no cycle budget attached *)
+  in
+  let t0 = Unix.gettimeofday () in
+  let r = one ?team:(team ()) () in
+  let seconds = Unix.gettimeofday () -. t0 in
+  let tm = Pool.Team.create ~jobs:4 in
+  let r4 = one ~team:tm () in
+  Pool.Team.shutdown tm;
+  let parity = Fb.results_equal r r4 in
+  if not parity then
+    failwith "fabric: jobs=4 run diverged from the measured run";
+  {
+    fb_switches = r.Fb.fr_switches;
+    fb_hosts = r.Fb.fr_hosts;
+    fb_injected = r.Fb.fr_injected;
+    fb_delivered = r.Fb.fr_delivered;
+    fb_dropped = r.Fb.fr_node_dropped + r.Fb.fr_miss_dropped + r.Fb.fr_link_dropped;
+    fb_cycles = r.Fb.fr_cycles;
+    fb_throughput = Fb.throughput r;
+    fb_hop_p50 = Fb.Hist.percentile r.Fb.fr_hop_hist 50.;
+    fb_hop_p99 = Fb.Hist.percentile r.Fb.fr_hop_hist 99.;
+    fb_e2e_p50 = Fb.Hist.percentile r.Fb.fr_e2e_hist 50.;
+    fb_e2e_p99 = Fb.Hist.percentile r.Fb.fr_e2e_hist 99.;
+    fb_hops_mean = Fb.Hist.mean r.Fb.fr_hops_hist;
+    fb_seconds = seconds;
+    fb_parity = parity;
+  }

@@ -342,10 +342,36 @@ let run_chaos scale =
     ("failures", float_of_int r.Experiments.ch_failures);
   ]
 
+let run_fabric scale =
+  let r = Experiments.fabric scale in
+  Format.printf "@.fabric: 2x2 leaf-spine, %d switches / %d hosts@."
+    r.Experiments.fb_switches r.Experiments.fb_hosts;
+  Format.printf "  %d injected, %d delivered, %d dropped in %d cycles (%.4f pkts/cycle, %.2fs)@."
+    r.Experiments.fb_injected r.Experiments.fb_delivered r.Experiments.fb_dropped
+    r.Experiments.fb_cycles r.Experiments.fb_throughput r.Experiments.fb_seconds;
+  Format.printf "  per-hop latency p50=%d p99=%d, end-to-end p50=%d p99=%d, %.2f hops/pkt@."
+    r.Experiments.fb_hop_p50 r.Experiments.fb_hop_p99 r.Experiments.fb_e2e_p50
+    r.Experiments.fb_e2e_p99 r.Experiments.fb_hops_mean;
+  Format.printf "  jobs=4 run bit-identical to the measured run (all counters and digests)@.";
+  [
+    ("switches", float_of_int r.Experiments.fb_switches);
+    ("hosts", float_of_int r.Experiments.fb_hosts);
+    ("delivered", float_of_int r.Experiments.fb_delivered);
+    ("dropped", float_of_int r.Experiments.fb_dropped);
+    ("cycles", float_of_int r.Experiments.fb_cycles);
+    ("throughput", r.Experiments.fb_throughput);
+    ("hop_p50", float_of_int r.Experiments.fb_hop_p50);
+    ("hop_p99", float_of_int r.Experiments.fb_hop_p99);
+    ("e2e_p50", float_of_int r.Experiments.fb_e2e_p50);
+    ("e2e_p99", float_of_int r.Experiments.fb_e2e_p99);
+    ("hops_mean", r.Experiments.fb_hops_mean);
+    ("seconds", r.Experiments.fb_seconds);
+  ]
+
 let all =
   [ "table1"; "sram"; "d2"; "d3"; "d4"; "fig7a"; "fig7b"; "fig7c"; "fig7d"; "fig8";
     "ablate-priority"; "ablate-period"; "ablate-fifo"; "ablate-gate"; "degraded";
-    "sim-micro"; "sim-par"; "longrun"; "chaos" ]
+    "sim-micro"; "sim-par"; "longrun"; "chaos"; "fabric" ]
 
 (* Timing experiments must not share the process with an idle worker
    domain: every minor collection then pays a stop-the-world rendezvous,
@@ -545,6 +571,8 @@ let () =
         (* serially: the supervisor forks, and forking with live worker
            domains is unsafe. *)
         | "chaos" -> Some (fun () -> serially (fun () -> run_chaos scale))
+        (* serially: the fabric drives its own switch-stepping team. *)
+        | "fabric" -> Some (fun () -> serially (fun () -> run_fabric scale))
         | "perf" -> Some (fun () -> serially Perf.run)
         | _ -> None (* unreachable: names validated above *)
       in

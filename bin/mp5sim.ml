@@ -35,12 +35,36 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
     no_compile engine loop metrics_file metrics_prom trace_out trace_packets trace_cap report
     profile profile_out trace_perfetto fault_plan monitor monitor_epoch monitor_dump stream
     checkpoint_every snapshot_path resume_file keep_snapshots supervise heartbeat_file
-    heartbeat_every max_restarts hang_timeout backoff stop_at chaos_kill_at =
+    heartbeat_every max_restarts hang_timeout backoff stop_at chaos_kill_at fabric fab_print
+    fab_plan fab_rate fab_sabotage =
   let compiled = not no_compile in
   if list_apps then begin
     List.iter print_endline (apps ());
     exit 0
   end;
+  if fabric = None && (fab_print || fab_plan <> None || fab_rate <> None || fab_sabotage)
+  then begin
+    Format.eprintf "mp5sim: --fab-* flags require --fabric SPEC@.";
+    exit 1
+  end;
+  (* --fabric: compose per-switch simulators over a topology.  The spec
+     parses before any program is required, so --fab-print works bare. *)
+  let fabric_topo =
+    match fabric with
+    | None -> None
+    | Some spec -> (
+        match Mp5_fabric.Topology.of_spec spec with
+        | Ok topo -> Some topo
+        | Error e ->
+            Format.eprintf "mp5sim: bad topology spec: %s@." e;
+            exit 2)
+  in
+  (match fabric_topo with
+  | Some topo when fab_print ->
+      Format.printf "%a@." Mp5_fabric.Topology.pp topo;
+      Format.printf "%a@." Mp5_fabric.Routing.pp (Mp5_fabric.Routing.shortest_paths topo);
+      exit 0
+  | _ -> ());
   let src =
     match (app, file) with
     | Some name, _ -> (
@@ -60,6 +84,94 @@ let run app file k mode n_packets pkt_bytes skewed seed recirc list_apps trace_f
   in
   let sw = Mp5_core.Switch.create_exn src in
   let config = Mp5_core.Switch.config sw in
+  (match fabric_topo with
+  | None -> ()
+  | Some topo ->
+      (* Fabric runs are single streamed runs; the switch-level knobs
+         that conflict with the fabric driver are usage errors. *)
+      if runs > 1 || recirc || stream || supervise || checkpoint_every <> None
+         || resume_file <> None || trace_file <> None || fault_plan <> None
+      then begin
+        Format.eprintf
+          "mp5sim: --fabric is a single generated-traffic run (drop --runs/--recirc/\
+           streaming flags/--trace-file; link faults go through --fab-plan)@.";
+        exit 1
+      end;
+      if engine = `Par then begin
+        Format.eprintf
+          "mp5sim: --fabric parallelises over switches already; size it with --jobs@.";
+        exit 1
+      end;
+      (match fab_rate with
+      | Some r when r <= 0 ->
+          Format.eprintf "mp5sim: --fab-rate expects a positive packets/cycle count@.";
+          exit 1
+      | _ -> ());
+      let lplan =
+        match fab_plan with
+        | None -> Mp5_fault.Linkplan.empty
+        | Some arg -> (
+            let parsed =
+              if Sys.file_exists arg then Mp5_fault.Linkplan.load ~path:arg
+              else Mp5_fault.Linkplan.parse arg
+            in
+            match parsed with
+            | Ok p -> p
+            | Error e ->
+                Format.eprintf "mp5sim: bad link plan: %s@." e;
+                exit 2)
+      in
+      (match Mp5_fault.Linkplan.validate lplan ~n_links:(Mp5_fabric.Topology.n_links topo) with
+      | Ok () -> ()
+      | Error e ->
+          Format.eprintf "mp5sim: bad link plan: %s@." e;
+          exit 2);
+      let n_fields = config.Mp5_banzai.Config.n_user_fields in
+      let spec =
+        {
+          (Mp5_fabric.Traffic.default_spec topo) with
+          Mp5_fabric.Traffic.n_packets;
+          n_fields;
+          per_cycle =
+            (match fab_rate with
+            | Some r -> r
+            | None -> max 1 (Mp5_fabric.Topology.n_hosts topo / 2));
+          index_fields = List.init n_fields Fun.id;
+          reg_size = 512;
+          seed;
+        }
+      in
+      let fparams =
+        {
+          Mp5_fabric.Fabric.fp_sim = { (Mp5_core.Sim.default_params ~k) with mode };
+          fp_topo = topo;
+          fp_policy = Mp5_fabric.Routing.shortest_paths topo;
+          fp_plan = lplan;
+        }
+      in
+      let mon = Mp5_fault.Monitor.create ~epoch:monitor_epoch () in
+      let team = if jobs > 1 then Some (Mp5_util.Pool.Team.create ~jobs) else None in
+      let outcome =
+        try
+          Mp5_fabric.Fabric.run ?team ~monitor:mon ~compiled
+            ~sabotage:(if fab_sabotage then 1 else 0)
+            ~dst:(Mp5_fabric.Traffic.dst_of_input spec) fparams sw.Mp5_core.Switch.prog
+            (Mp5_fabric.Traffic.source spec)
+        with
+        | Mp5_fault.Monitor.Violation diag ->
+            Format.eprintf "%s@." diag;
+            exit 3
+        | Invalid_argument msg ->
+            Format.eprintf "mp5sim: %s@." msg;
+            exit 1
+      in
+      Option.iter Mp5_util.Pool.Team.shutdown team;
+      (match outcome with
+      | Mp5_fabric.Fabric.Suspended _ -> assert false (* no cycle budget attached *)
+      | Mp5_fabric.Fabric.Completed r ->
+          Format.printf "%a@." Mp5_fabric.Fabric.pp_result r;
+          Format.printf "%s@." (Mp5_fault.Monitor.summary mon);
+          exit (if Mp5_fault.Monitor.ok mon then 0 else 3)));
   (* --fault-plan accepts a plan file or an inline ;-separated event
      list; parse errors are input errors (exit 2). *)
   let plan =
@@ -849,6 +961,57 @@ let chaos_kill_arg =
               cycle Ci (attempts beyond the list run clean), proving \
               crash recovery end to end.")
 
+let fabric_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fabric" ] ~docv:"SPEC"
+        ~doc:"Simulate a multi-switch fabric: every switch runs the \
+              program as its own simulator instance, joined by \
+              delay-carrying links with deterministic cycle-boundary \
+              handoff (results are bit-identical at any --jobs).  SPEC \
+              is a topology: 'line:4,hosts=2,delay=1', \
+              'tree:depth=2,fanout=2,hosts=1', 'fattree:4', \
+              'leafspine:2x2,hosts=2,delay=1', or an explicit edge list \
+              'edges:h0-s0;s0-s1:2;s1-h1'.  Traffic is seeded \
+              host-to-host (--seed, --n, --fab-rate); routing is \
+              shortest-path, derived from the topology.  Fabric-wide \
+              packet conservation is checked every --monitor-epoch \
+              cycles; a violation exits 3.")
+
+let fab_print_arg =
+  Arg.(
+    value & flag
+    & info [ "fab-print" ]
+        ~doc:"Print the parsed topology and derived routing policy for \
+              --fabric and exit.")
+
+let fab_plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fab-plan" ] ~docv:"PLAN"
+        ~doc:"Link fault schedule for --fabric: a plan file or an inline \
+              ;-separated event list (e.g. 'link-down @50..200 link=4; \
+              link-delay @0..100 link=2 extra=3').  Sends attempted on \
+              a downed link are counted drops; conservation still holds.")
+
+let fab_rate_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fab-rate" ] ~docv:"N"
+        ~doc:"Fabric-wide injection rate in packets per cycle (default: \
+              half the host count).")
+
+let fab_sabotage_arg =
+  Arg.(
+    value & flag
+    & info [ "fab-sabotage" ]
+        ~doc:"Testing hook: skew the fabric's packet accounting before \
+              the final conservation check, demonstrating the violation \
+              path (exit 3).")
+
 let cmd =
   let doc = "simulate packet-processing programs on MP5" in
   let exits =
@@ -882,6 +1045,7 @@ let cmd =
       $ fault_plan_arg $ monitor_arg $ monitor_epoch_arg $ monitor_dump_arg
       $ stream_arg $ checkpoint_every_arg $ snapshot_arg $ resume_arg
       $ keep_snapshots_arg $ supervise_arg $ heartbeat_arg $ heartbeat_every_arg
-      $ max_restarts_arg $ hang_timeout_arg $ backoff_arg $ stop_at_arg $ chaos_kill_arg)
+      $ max_restarts_arg $ hang_timeout_arg $ backoff_arg $ stop_at_arg $ chaos_kill_arg
+      $ fabric_arg $ fab_print_arg $ fab_plan_arg $ fab_rate_arg $ fab_sabotage_arg)
 
 let () = exit (Cmd.eval cmd)

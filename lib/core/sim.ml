@@ -290,6 +290,15 @@ type sim = {
      executing stateful accesses is always-true on the no-fault path *)
   mutable dup_base : int;
   mutable dup_next : int;
+  (* fabric node hooks (lib/fabric): pure observers fired at the two
+     sites where a packet leaves the machine — pipeline exit and drop.
+     Same discipline as the telemetry above: [None] costs one branch
+     per exit/drop and the hooks never touch simulated state, so
+     results are bit-identical with hooks attached or not.  Only the
+     node API below sets them; the fast loop variants never run with
+     hooks because nodes step through the generic phases directly. *)
+  mutable on_exit : (seq:int -> latency:int -> headers:int array -> unit) option;
+  mutable on_drop : (seq:int -> unit) option;
 }
 
 let new_fifo sim =
@@ -419,6 +428,8 @@ let create ?(compiled = true) ?(collect = true) ?metrics ?events ?fault ?monitor
       mon = monitor;
       dup_base = max_int;
       dup_next = max_int;
+      on_exit = None;
+      on_drop = None;
     }
   in
   Array.iteri
@@ -479,6 +490,7 @@ let drop_packet sim now pkt at_stage cause =
       Etrace.emit tr ~kind:Etrace.Drop ~cycle:now ~seq ~stage:at_stage ~pipe:0
         ~aux:(cause_code cause)
   | None -> ());
+  (match sim.on_drop with Some f -> f ~seq | None -> ());
   Hashtbl.replace sim.doomed seq ();
   let ab = pkt * sl.Slab.na in
   for i = 0 to sl.Slab.na - 1 do
@@ -1261,6 +1273,11 @@ let movement_phase sim now =
             | None -> ());
             if sim.first_exit < 0 then sim.first_exit <- now;
             sim.last_exit <- now;
+            (match sim.on_exit with
+            | Some f ->
+                f ~seq ~latency:(now - time_in)
+                  ~headers:(Array.sub sl.Slab.fields fb sim.config.Config.n_user_fields)
+            | None -> ());
             if sim.collect then begin
               Vec.push sim.exit_seqs seq;
               Vec.push sim.exit_headers
@@ -3399,6 +3416,180 @@ let run_source ?team ?loop ?observer ?metrics ?events ?fault ?monitor ?prof
 
 exception Resume_mismatch of string
 
+(* Decode a machine snapshot into a rebuilt [(sim, loop_state)] plus the
+   source cursor it expects, shared by [resume] and [node_restore] below.
+   Source positioning is the caller's business: [resume] replays or
+   re-attaches a full source, a fabric node restore attaches a fresh
+   live queue pre-positioned at the cursor. *)
+let decode_machine ?metrics ?events ?monitor ?prof ~compiled prog r =
+  Binio.r_tag r ~expect:1 ~what:"params section";
+  let params = r_params r in
+  Binio.r_tag r ~expect:2 ~what:"program section";
+  let pdig = Binio.r_int r in
+  if pdig <> prog_digest prog then
+    raise (Resume_mismatch "snapshot was taken against a different program");
+  Binio.r_tag r ~expect:3 ~what:"loop section";
+  let now = Binio.r_int r in
+  let first_arrival = Binio.r_int r in
+  let last_score = Binio.r_int r in
+  let last_progress_t = Binio.r_int r in
+  let delivered = Binio.r_int r in
+  let dropped = Binio.r_int r in
+  let dropped_stateless = Binio.r_int r in
+  let marked = Binio.r_int r in
+  let in_flight = Binio.r_int r in
+  let first_exit = Binio.r_int r in
+  let last_exit = Binio.r_int r in
+  let dup_base = Binio.r_int r in
+  let dup_next = Binio.r_int r in
+  Binio.r_tag r ~expect:4 ~what:"source section";
+  let consumed = Binio.r_int r in
+  let _src_last_time = Binio.r_int r in
+  let sd_hi = Binio.r_int r in
+  let sd_lo = Binio.r_int r in
+  Binio.r_tag r ~expect:5 ~what:"fault section";
+  let fault_state =
+    if Binio.r_bool r then begin
+      let plan = r_plan r in
+      let n = Binio.r_int r in
+      let rng = Array.make (max n 1) 0L in
+      for i = 0 to n - 1 do
+        rng.(i) <- Binio.r_i64 r
+      done;
+      let rng = Array.sub rng 0 n in
+      let sv_next_i = Binio.r_int r in
+      let sv_active = Array.to_list (Binio.r_int_array r) in
+      Some (plan, { Fault.sv_rng = rng; sv_next_i; sv_active })
+    end
+    else None
+  in
+  Binio.r_tag r ~expect:6 ~what:"metrics section";
+  let mdump = if Binio.r_bool r then Some (Binio.r_int_array r) else None in
+  (match (mdump, metrics) with
+  | Some _, None ->
+      raise
+        (Resume_mismatch "snapshot carries metrics; resume with ~metrics to receive them")
+  | None, Some _ -> raise (Resume_mismatch "snapshot has no metrics, but ~metrics was passed")
+  | Some d, Some m -> Metrics.restore_into m d
+  | None, None -> ());
+  let sim =
+    create ~compiled ~collect:false ?metrics ?events
+      ?fault:(Option.map fst fault_state) ?monitor ?prof params prog
+  in
+  (match (fault_state, sim.flt) with
+  | Some (plan, saved), Some _ ->
+      sim.flt <- Some (Fault.restore plan ~k:params.k ~stages:sim.n_stages ~now saved)
+  | None, None -> ()
+  | _ -> assert false);
+  Binio.r_tag r ~expect:7 ~what:"store section";
+  for p = 0 to params.k - 1 do
+    for reg = 0 to Array.length sim.config.Config.regs - 1 do
+      let arr = Binio.r_int_array r in
+      let dst = Store.array sim.stores.(p) ~reg in
+      if Array.length arr <> Array.length dst then
+        failwith "snapshot: register array size does not match the program";
+      Array.blit arr 0 dst 0 (Array.length arr)
+    done
+  done;
+  Binio.r_tag r ~expect:8 ~what:"index map section";
+  Array.iter
+    (fun map ->
+      let pipelines = Binio.r_int_array r in
+      let counts = Binio.r_int_array r in
+      let inflights = Binio.r_int_array r in
+      Index_map.load_state map ~pipelines ~counts ~inflights)
+    sim.maps;
+  Binio.r_tag r ~expect:9 ~what:"queue section";
+  for s = 0 to sim.n_stages - 1 do
+    for p = 0 to params.k - 1 do
+      r_queue r sim s p
+    done
+  done;
+  Binio.r_tag r ~expect:10 ~what:"transfer section";
+  for s = 0 to sim.n_stages - 1 do
+    let n = Binio.r_int r in
+    for _ = 1 to n do
+      let desc = Binio.r_int r in
+      let pkt = r_packet r sim in
+      Vec.push sim.t_descs.(s) desc;
+      Vec.push sim.t_pkts.(s) pkt
+    done
+  done;
+  Binio.r_tag r ~expect:11 ~what:"channel section";
+  let n_pending = Binio.r_int r in
+  for _ = 1 to n_pending do
+    let at = Binio.r_int r in
+    let d_seq = Binio.r_int r in
+    let d_stage = Binio.r_int r in
+    let d_dest = Binio.r_int r in
+    let d_ring = Binio.r_int r in
+    let d_cell = Binio.r_int r in
+    Channel.schedule sim.channel ~at { d_seq; d_stage; d_dest; d_ring; d_cell }
+  done;
+  Binio.r_tag r ~expect:12 ~what:"doomed section";
+  Array.iter (fun seq -> Hashtbl.replace sim.doomed seq ()) (Binio.r_int_array r);
+  Binio.r_tag r ~expect:13 ~what:"watch section";
+  let read_matrix dst what =
+    Array.iter
+      (fun row ->
+        let arr = Binio.r_int_array r in
+        if Array.length arr <> Array.length row then
+          failwith (Printf.sprintf "snapshot: %s row size mismatch" what);
+        Array.blit arr 0 row 0 (Array.length arr))
+      dst
+  in
+  read_matrix sim.hw_key "head watch";
+  read_matrix sim.hw_since "head watch";
+  Array.iter
+    (fun row ->
+      let arr = Binio.r_int_array r in
+      if Array.length arr <> Array.length row then
+        failwith "snapshot: claim row size mismatch";
+      Array.iteri (fun i v -> row.(i) <- v <> 0) arr)
+    sim.claimed;
+  sim.claims_dirty <- Binio.r_bool r;
+  Binio.r_tag r ~expect:14 ~what:"digest section";
+  sim.ed_hi <- Binio.r_int r;
+  sim.ed_lo <- Binio.r_int r;
+  let n_keys = Binio.r_int r in
+  for i = 0 to n_keys - 1 do
+    let key = Binio.r_int r in
+    Mp5_util.Int_table.replace sim.access_log key i;
+    Vec.push sim.log_keys key;
+    Vec.push sim.dig_hi (Binio.r_int r);
+    Vec.push sim.dig_lo (Binio.r_int r)
+  done;
+  Binio.r_tag r ~expect:15 ~what:"end marker";
+  if Binio.remaining r <> 0 then failwith "snapshot: trailing data after end marker";
+  sim.delivered <- delivered;
+  sim.dropped <- dropped;
+  sim.dropped_stateless <- dropped_stateless;
+  sim.marked <- marked;
+  sim.first_exit <- first_exit;
+  sim.last_exit <- last_exit;
+  sim.dup_base <- dup_base;
+  sim.dup_next <- dup_next;
+  let counted = count_in_flight sim in
+  if counted <> in_flight then
+    raise
+      (Resume_mismatch
+         (Printf.sprintf "snapshot inconsistent: %d packets serialized, %d in flight"
+            counted in_flight));
+  sim.in_flight <- in_flight;
+  let st =
+    {
+      now;
+      first_arrival;
+      last_score;
+      last_progress_t;
+      visited = 0;
+      sd_hi;
+      sd_lo;
+      track_src = true;
+    }
+  in
+  (sim, st, consumed)
+
 let resume ?team ?loop ?observer ?metrics ?events ?monitor ?prof ?(compiled = true)
     ?checkpoint_every ?on_checkpoint ?(heartbeat_every = 1) ?on_heartbeat ?stop
     ?cycle_budget ~snapshot prog source =
@@ -3416,160 +3607,9 @@ let resume ?team ?loop ?observer ?metrics ?events ?monitor ?prof ?(compiled = tr
   | Error msg -> Error (Corrupt msg)
   | Ok r -> (
       let decode () =
-        Binio.r_tag r ~expect:1 ~what:"params section";
-        let params = r_params r in
-        Binio.r_tag r ~expect:2 ~what:"program section";
-        let pdig = Binio.r_int r in
-        if pdig <> prog_digest prog then
-          raise (Resume_mismatch "snapshot was taken against a different program");
-        Binio.r_tag r ~expect:3 ~what:"loop section";
-        let now = Binio.r_int r in
-        let first_arrival = Binio.r_int r in
-        let last_score = Binio.r_int r in
-        let last_progress_t = Binio.r_int r in
-        let delivered = Binio.r_int r in
-        let dropped = Binio.r_int r in
-        let dropped_stateless = Binio.r_int r in
-        let marked = Binio.r_int r in
-        let in_flight = Binio.r_int r in
-        let first_exit = Binio.r_int r in
-        let last_exit = Binio.r_int r in
-        let dup_base = Binio.r_int r in
-        let dup_next = Binio.r_int r in
-        Binio.r_tag r ~expect:4 ~what:"source section";
-        let consumed = Binio.r_int r in
-        let _src_last_time = Binio.r_int r in
-        let sd_hi = Binio.r_int r in
-        let sd_lo = Binio.r_int r in
-        Binio.r_tag r ~expect:5 ~what:"fault section";
-        let fault_state =
-          if Binio.r_bool r then begin
-            let plan = r_plan r in
-            let n = Binio.r_int r in
-            let rng = Array.make (max n 1) 0L in
-            for i = 0 to n - 1 do
-              rng.(i) <- Binio.r_i64 r
-            done;
-            let rng = Array.sub rng 0 n in
-            let sv_next_i = Binio.r_int r in
-            let sv_active = Array.to_list (Binio.r_int_array r) in
-            Some (plan, { Fault.sv_rng = rng; sv_next_i; sv_active })
-          end
-          else None
+        let sim, st, consumed =
+          decode_machine ?metrics ?events ?monitor ?prof ~compiled prog r
         in
-        Binio.r_tag r ~expect:6 ~what:"metrics section";
-        let mdump = if Binio.r_bool r then Some (Binio.r_int_array r) else None in
-        (match (mdump, metrics) with
-        | Some _, None ->
-            raise
-              (Resume_mismatch "snapshot carries metrics; resume with ~metrics to receive them")
-        | None, Some _ -> raise (Resume_mismatch "snapshot has no metrics, but ~metrics was passed")
-        | Some d, Some m -> Metrics.restore_into m d
-        | None, None -> ());
-        let sim =
-          create ~compiled ~collect:false ?metrics ?events
-            ?fault:(Option.map fst fault_state) ?monitor ?prof params prog
-        in
-        (match (fault_state, sim.flt) with
-        | Some (plan, saved), Some _ ->
-            sim.flt <- Some (Fault.restore plan ~k:params.k ~stages:sim.n_stages ~now saved)
-        | None, None -> ()
-        | _ -> assert false);
-        Binio.r_tag r ~expect:7 ~what:"store section";
-        for p = 0 to params.k - 1 do
-          for reg = 0 to Array.length sim.config.Config.regs - 1 do
-            let arr = Binio.r_int_array r in
-            let dst = Store.array sim.stores.(p) ~reg in
-            if Array.length arr <> Array.length dst then
-              failwith "snapshot: register array size does not match the program";
-            Array.blit arr 0 dst 0 (Array.length arr)
-          done
-        done;
-        Binio.r_tag r ~expect:8 ~what:"index map section";
-        Array.iter
-          (fun map ->
-            let pipelines = Binio.r_int_array r in
-            let counts = Binio.r_int_array r in
-            let inflights = Binio.r_int_array r in
-            Index_map.load_state map ~pipelines ~counts ~inflights)
-          sim.maps;
-        Binio.r_tag r ~expect:9 ~what:"queue section";
-        for s = 0 to sim.n_stages - 1 do
-          for p = 0 to params.k - 1 do
-            r_queue r sim s p
-          done
-        done;
-        Binio.r_tag r ~expect:10 ~what:"transfer section";
-        for s = 0 to sim.n_stages - 1 do
-          let n = Binio.r_int r in
-          for _ = 1 to n do
-            let desc = Binio.r_int r in
-            let pkt = r_packet r sim in
-            Vec.push sim.t_descs.(s) desc;
-            Vec.push sim.t_pkts.(s) pkt
-          done
-        done;
-        Binio.r_tag r ~expect:11 ~what:"channel section";
-        let n_pending = Binio.r_int r in
-        for _ = 1 to n_pending do
-          let at = Binio.r_int r in
-          let d_seq = Binio.r_int r in
-          let d_stage = Binio.r_int r in
-          let d_dest = Binio.r_int r in
-          let d_ring = Binio.r_int r in
-          let d_cell = Binio.r_int r in
-          Channel.schedule sim.channel ~at { d_seq; d_stage; d_dest; d_ring; d_cell }
-        done;
-        Binio.r_tag r ~expect:12 ~what:"doomed section";
-        Array.iter (fun seq -> Hashtbl.replace sim.doomed seq ()) (Binio.r_int_array r);
-        Binio.r_tag r ~expect:13 ~what:"watch section";
-        let read_matrix dst what =
-          Array.iter
-            (fun row ->
-              let arr = Binio.r_int_array r in
-              if Array.length arr <> Array.length row then
-                failwith (Printf.sprintf "snapshot: %s row size mismatch" what);
-              Array.blit arr 0 row 0 (Array.length arr))
-            dst
-        in
-        read_matrix sim.hw_key "head watch";
-        read_matrix sim.hw_since "head watch";
-        Array.iter
-          (fun row ->
-            let arr = Binio.r_int_array r in
-            if Array.length arr <> Array.length row then
-              failwith "snapshot: claim row size mismatch";
-            Array.iteri (fun i v -> row.(i) <- v <> 0) arr)
-          sim.claimed;
-        sim.claims_dirty <- Binio.r_bool r;
-        Binio.r_tag r ~expect:14 ~what:"digest section";
-        sim.ed_hi <- Binio.r_int r;
-        sim.ed_lo <- Binio.r_int r;
-        let n_keys = Binio.r_int r in
-        for i = 0 to n_keys - 1 do
-          let key = Binio.r_int r in
-          Mp5_util.Int_table.replace sim.access_log key i;
-          Vec.push sim.log_keys key;
-          Vec.push sim.dig_hi (Binio.r_int r);
-          Vec.push sim.dig_lo (Binio.r_int r)
-        done;
-        Binio.r_tag r ~expect:15 ~what:"end marker";
-        if Binio.remaining r <> 0 then failwith "snapshot: trailing data after end marker";
-        sim.delivered <- delivered;
-        sim.dropped <- dropped;
-        sim.dropped_stateless <- dropped_stateless;
-        sim.marked <- marked;
-        sim.first_exit <- first_exit;
-        sim.last_exit <- last_exit;
-        sim.dup_base <- dup_base;
-        sim.dup_next <- dup_next;
-        let counted = count_in_flight sim in
-        if counted <> in_flight then
-          raise
-            (Resume_mismatch
-               (Printf.sprintf "snapshot inconsistent: %d packets serialized, %d in flight"
-                  counted in_flight));
-        sim.in_flight <- in_flight;
         (* Position the source.  A source already at the checkpoint's
            cursor (in-process chunked resume) is used as-is; a fresh
            source replays the consumed prefix under the digest, proving
@@ -3590,7 +3630,7 @@ let resume ?team ?loop ?observer ?metrics ?events ?monitor ?prof ?(compiled = tr
                   hi := h;
                   lo := l
             done;
-            if !hi <> sd_hi || !lo <> sd_lo then
+            if !hi <> st.sd_hi || !lo <> st.sd_lo then
               raise (Resume_mismatch "source does not replay the checkpointed run's packets")
         | c ->
             raise
@@ -3599,18 +3639,6 @@ let resume ?team ?loop ?observer ?metrics ?events ?monitor ?prof ?(compiled = tr
                     "source already consumed %d packets; snapshot expects 0 (replay) or %d \
                      (positioned)"
                     c consumed)));
-        let st =
-          {
-            now;
-            first_arrival;
-            last_score;
-            last_progress_t;
-            visited = 0;
-            sd_hi;
-            sd_lo;
-            track_src = true;
-          }
-        in
         (sim, st)
       in
       match decode () with
@@ -3685,3 +3713,107 @@ let summary_equal (a : summary) (b : summary) =
   && a.s_max_queue = b.s_max_queue && a.s_packets = b.s_packets
   && Store.equal a.s_store b.s_store
   && a.s_digests = b.s_digests
+
+(* --- fabric node stepping (lib/fabric) --- *)
+
+(* A node is one switch inside a multi-switch fabric: a [collect:false]
+   sim fed by a live queue source, stepped one lock-step cycle at a time
+   by the fabric driver.  The driver owns everything [drive] normally
+   owns — idle fast-forward, the progress guard, checkpoint cadence —
+   because those are fabric-global decisions (a switch idles only when
+   the whole fabric is quiet).  [node_step] is exactly the generic
+   sequential cycle, phase for phase, so a one-switch fabric fed the
+   same packets at the same cycles is bit-identical to [Sim.run]. *)
+type node = {
+  nd_sim : sim;
+  nd_st : loop_state;
+  nd_q : Machine.input Queue.t;
+  nd_src : Psource.t;
+}
+
+let node_create ?metrics ?events ?monitor ?(compiled = true) ~anchor ~on_exit ~on_drop
+    params prog =
+  let sim = create ~compiled ~collect:false ?metrics ?events ?monitor params prog in
+  sim.on_exit <- Some on_exit;
+  sim.on_drop <- Some on_drop;
+  let q = Queue.create () in
+  let src = Psource.of_queue q in
+  let st = fresh_loop_state ~start:anchor ~track_src:false in
+  { nd_sim = sim; nd_st = st; nd_q = q; nd_src = src }
+
+(* Sequence numbers are assigned in admission order, which for a queue
+   source is push order, so the local seq of a pushed packet is known at
+   push time: its 0-based position in the overall push stream. *)
+let node_inject node input =
+  Queue.push input node.nd_q;
+  Psource.consumed node.nd_src + Psource.buffered node.nd_src + Queue.length node.nd_q - 1
+
+let node_step node ~now =
+  let sim = node.nd_sim and st = node.nd_st in
+  let t = now in
+  (match sim.mon with
+  | Some mon when Monitor.due mon ~now:t -> monitor_phase sim mon t
+  | _ -> ());
+  (match sim.flt with Some f -> fault_edges sim f t | None -> ());
+  (match sim.ms with Some m -> Metrics.on_cycle m | None -> ());
+  deliver_phantoms sim t;
+  apply_transfers sim t;
+  arrival_phase sim t node.nd_src st;
+  pop_phase sim t;
+  (match sim.ms with Some m -> metrics_sweep sim m | None -> ());
+  exec_phase sim t;
+  movement_phase sim t;
+  if
+    sim.p.remap_period > 0 && t > st.first_arrival
+    && (t - st.first_arrival) mod sim.p.remap_period = 0
+  then remap_phase sim t;
+  st.now <- t + 1;
+  st.visited <- st.visited + 1
+
+let node_in_flight node = node.nd_sim.in_flight
+let node_backlog node = Queue.length node.nd_q + Psource.buffered node.nd_src
+
+(* Injected-but-unadmitted packets in admission order: the lookahead
+   slot first, then the ingress queue.  What a fabric snapshot records
+   so a restored node can be re-injected the exact backlog. *)
+let node_pending node =
+  let q = Queue.fold (fun acc x -> x :: acc) [] node.nd_q |> List.rev in
+  match Psource.lookahead node.nd_src with Some x -> x :: q | None -> q
+let node_consumed node = Psource.consumed node.nd_src
+let node_delivered node = node.nd_sim.delivered
+let node_dropped node = node.nd_sim.dropped
+let node_dropped_stateless node = node.nd_sim.dropped_stateless
+let node_marked node = node.nd_sim.marked
+let node_max_queue node = max_queue_depth node.nd_sim
+let node_access_digest node = access_digest node.nd_sim
+let node_store node = merge_stores node.nd_sim
+
+let node_next_due node = Channel.next_due node.nd_sim.channel
+
+let node_fault_edge node =
+  match node.nd_sim.flt with Some f -> Fault.next_edge f | None -> max_int
+
+let node_final_check node =
+  match node.nd_sim.mon with
+  | Some mon -> monitor_phase node.nd_sim mon node.nd_st.now
+  | None -> ()
+
+let node_encode node = encode node.nd_sim node.nd_st node.nd_src
+
+let node_restore ?metrics ?events ?monitor ?(compiled = true) ~on_exit ~on_drop ~snapshot
+    prog =
+  match Binio.of_string ~magic:snap_magic snapshot with
+  | Error msg -> Error (Corrupt msg)
+  | Ok r -> (
+      match decode_machine ?metrics ?events ?monitor ~compiled prog r with
+      | exception Resume_mismatch msg -> Error (Mismatch msg)
+      | exception Binio.Corrupt { pos; reason } ->
+          Error (Corrupt (Binio.corrupt_message ~pos ~reason))
+      | exception Failure msg -> Error (Corrupt msg)
+      | exception Invalid_argument msg -> Error (Corrupt ("snapshot: " ^ msg))
+      | sim, st, consumed ->
+          sim.on_exit <- Some on_exit;
+          sim.on_drop <- Some on_drop;
+          let q = Queue.create () in
+          let src = Psource.of_queue ~consumed q in
+          Ok { nd_sim = sim; nd_st = { st with track_src = false }; nd_q = q; nd_src = src })

@@ -375,3 +375,106 @@ val summary_of_result : packets:int -> result -> summary
 
 val summary_equal : summary -> summary -> bool
 (** Exact equality, including stores and digests. *)
+
+(** {2 Fabric node stepping}
+
+    One switch inside a multi-switch fabric ([lib/fabric]): a streaming
+    sim fed by a live queue source, advanced one lock-step cycle at a
+    time by the fabric driver.  A node runs the exact generic sequential
+    cycle — a one-switch fabric fed the same packets at the same cycles
+    is bit-identical to {!run} — but owns none of the loop policy:
+    idle fast-forward, deadlock guards, and checkpoint cadence are the
+    driver's, because a switch may only idle when the whole fabric is
+    quiet.  The [on_exit]/[on_drop] hooks are pure observers fired at
+    the two sites where a packet leaves the machine; the driver uses
+    them to route packets onward and to keep fabric-wide conservation
+    accounting. *)
+
+type node
+
+val node_create :
+  ?metrics:Mp5_obs.Metrics.t ->
+  ?events:Mp5_obs.Trace.t ->
+  ?monitor:Mp5_fault.Monitor.t ->
+  ?compiled:bool ->
+  anchor:int ->
+  on_exit:(seq:int -> latency:int -> headers:int array -> unit) ->
+  on_drop:(seq:int -> unit) ->
+  params ->
+  Transform.t ->
+  node
+(** [anchor] is the fabric start cycle (the first host arrival), shared
+    by every node so remap boundaries align fabric-wide — and match a
+    plain {!run} over the same trace.  [on_exit] receives each exiting
+    packet's local seq, pipeline latency, and a fresh copy of its user
+    header fields; [on_drop] receives the local seq of each packet the
+    machine drops. *)
+
+val node_inject : node -> Mp5_banzai.Machine.input -> int
+(** Queue one packet for admission and return the local sequence number
+    it will carry (its 0-based position in the node's push stream) — the
+    key the driver uses to track per-packet fabric metadata across
+    [on_exit]/[on_drop].  The input's [time] must be at or before the
+    next cycle to be stepped, or admission stalls. *)
+
+val node_step : node -> now:int -> unit
+(** Run one full machine cycle at cycle [now].  The driver must call
+    this with strictly increasing [now] and must itself visit every
+    remap boundary (nodes never skip cycles on their own). *)
+
+val node_in_flight : node -> int
+(** Packets inside the machine (admitted, not yet exited or dropped). *)
+
+val node_backlog : node -> int
+(** Packets injected but not yet admitted (ingress queue + lookahead). *)
+
+val node_consumed : node -> int
+(** Packets admitted so far; local seqs [0 .. consumed-1] are in use. *)
+
+val node_pending : node -> Mp5_banzai.Machine.input list
+(** Injected-but-unadmitted packets in admission order — what a fabric
+    snapshot serializes alongside {!node_encode} (which excludes the
+    ingress queue). *)
+
+val node_delivered : node -> int
+val node_dropped : node -> int
+val node_dropped_stateless : node -> int
+val node_marked : node -> int
+val node_max_queue : node -> int
+
+val node_access_digest : node -> int
+(** The streaming per-cell access-sequence digest, as {!type-digests}
+    [dg_access]. *)
+
+val node_store : node -> Mp5_banzai.Store.t
+(** Registers merged across pipelines, as in {!type-result} [store]. *)
+
+val node_next_due : node -> int option
+(** Next pending phantom delivery, bounding fabric idle fast-forward. *)
+
+val node_fault_edge : node -> int
+(** Next fault-plan edge ([max_int] when no plan is attached). *)
+
+val node_final_check : node -> unit
+(** Run the node's invariant monitor once in the terminal state, as the
+    end of {!run_source} does. *)
+
+val node_encode : node -> string
+(** Serialize the node machine as a standard ["mp5-snap/1"] snapshot
+    (the ingress queue is NOT included — the fabric snapshot carries
+    pending packets itself, since it owns their metadata). *)
+
+val node_restore :
+  ?metrics:Mp5_obs.Metrics.t ->
+  ?events:Mp5_obs.Trace.t ->
+  ?monitor:Mp5_fault.Monitor.t ->
+  ?compiled:bool ->
+  on_exit:(seq:int -> latency:int -> headers:int array -> unit) ->
+  on_drop:(seq:int -> unit) ->
+  snapshot:string ->
+  Transform.t ->
+  (node, resume_error) Stdlib.result
+(** Rebuild a node from {!node_encode} output with a fresh, empty
+    ingress queue positioned at the snapshot's admission cursor; the
+    caller re-injects any pending packets it recorded.  Error cases are
+    those of {!resume}. *)

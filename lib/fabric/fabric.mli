@@ -1,0 +1,146 @@
+(** Multi-switch fabric driver: lock-step composition of {!Mp5_core.Sim}
+    nodes over a {!Topology}.
+
+    Each switch is an independent simulator instance wrapped with
+    ingress/egress port adapters; links are per-link FIFO calendars of
+    in-flight packets stamped with due cycles.  One fabric cycle is:
+
+    + {b inject} — host packets whose arrival time is due enter their
+      source host's uplink;
+    + {b deliver} — link packets whose due cycle has arrived enter the
+      destination switch's ingress queue (ascending link id, FIFO within
+      a link) or, on a host-bound link, leave the fabric;
+    + {b step} — every switch advances one machine cycle, one switch per
+      {!Mp5_util.Pool.Team} member slot (strided), each writing only its
+      own egress buffers;
+    + {b egress} — exited packets consult the forwarding table
+      ({!Routing.compile}) and enter their next link, in node order.
+
+    All cross-switch effects happen in phases 1, 2 and 4, which are
+    sequential and ordered by (link id, FIFO position) and node id — so
+    the result is bit-identical at any [--jobs], which the fabric test
+    battery pins.
+
+    The driver extends the single-switch invariant monitor to
+    fabric-wide packet conservation: at every monitor epoch,
+
+    {v injected = in-switches + queued + on-links + delivered + dropped v}
+
+    summed over all nodes and links, where dropped splits into
+    node-level (stateful cancel/timeout), forwarding-miss, and
+    link-down drops. *)
+
+module Hist : sig
+  (** Log2-bucketed integer latency histogram: constant-size,
+      integer-only state, so equal runs compare exactly while the bench
+      layer reads approximate percentiles. *)
+
+  type t = { mutable count : int; mutable sum : int; mutable max : int; buckets : int array }
+
+  val create : unit -> t
+  val observe : t -> int -> unit
+  val mean : t -> float
+
+  val percentile : t -> float -> int
+  (** Upper bound of the bucket holding the p-th percentile sample. *)
+
+  val equal : t -> t -> bool
+end
+
+type params = {
+  fp_sim : Mp5_core.Sim.params;  (** per-switch machine parameters *)
+  fp_topo : Topology.t;
+  fp_policy : Routing.policy;
+  fp_plan : Mp5_fault.Linkplan.plan;  (** link fault schedule *)
+}
+
+type result = {
+  fr_switches : int;
+  fr_hosts : int;
+  fr_injected : int;        (** packets pulled from the host source *)
+  fr_delivered : int;       (** packets handed to destination hosts *)
+  fr_node_dropped : int;    (** dropped inside switches (summed) *)
+  fr_miss_dropped : int;    (** forwarding-table misses (counted, never a crash) *)
+  fr_link_dropped : int;    (** sends attempted on a downed link *)
+  fr_cycles : int;          (** last delivery/drop cycle - first arrival + 1 *)
+  fr_exit_digest : int;
+      (** streaming FNV over (fabric seq, last-hop latency, headers) in
+          delivery order; for a one-switch zero-delay fabric this equals
+          the plain run's exit digest *)
+  fr_access_digest : int;   (** commutative register-access digest, summed over nodes *)
+  fr_store_digest : int;    (** FNV over final register stores, node order *)
+  fr_hop_hist : Hist.t;     (** per-hop pipeline latency *)
+  fr_e2e_hist : Hist.t;     (** injection-to-delivery latency *)
+  fr_hops_hist : Hist.t;    (** switches traversed per delivered packet *)
+  fr_node_delivered : int array;
+  fr_node_dropped_by : int array;
+  fr_node_max_queue : int array;
+}
+
+type outcome =
+  | Completed of result
+  | Suspended of string
+      (** hit [cycle_budget]; payload is a snapshot (magic ["mp5-fab/1"])
+          accepted by {!resume} *)
+
+exception Conservation of string
+(** Raised on a fabric conservation violation when no monitor is
+    installed; with a monitor the violation goes through
+    {!Mp5_fault.Monitor.report} (exit 3 in the CLI). *)
+
+val snapshot_magic : string
+(** ["mp5-fab/1"]. *)
+
+val run :
+  ?team:Mp5_util.Pool.Team.t ->
+  ?monitor:Mp5_fault.Monitor.t ->
+  ?cycle_budget:int ->
+  ?compiled:bool ->
+  ?sabotage:int ->
+  dst:(Mp5_banzai.Machine.input -> int) ->
+  params ->
+  Mp5_core.Transform.t ->
+  Mp5_workload.Packet_source.t ->
+  outcome
+(** [run ~dst params prog source] drains the host source through the
+    fabric until every packet is delivered or dropped.  [source] packets
+    carry [port = source host id]; [dst] reads the destination host from
+    a packet (out-of-range means an ingress forwarding miss, counted).
+    [team] parallelises switch stepping only — results are bit-identical
+    across any team size and the sequential fallback.  [sabotage]
+    (testing hook, default 0) skews the injected counter before the
+    final conservation check so the violation path can be demonstrated.
+
+    @raise Invalid_argument on an empty or already-consumed source, or a
+    link plan naming links outside the topology.
+    @raise Conservation (no monitor) on an accounting violation. *)
+
+val resume :
+  ?team:Mp5_util.Pool.Team.t ->
+  ?monitor:Mp5_fault.Monitor.t ->
+  ?cycle_budget:int ->
+  ?compiled:bool ->
+  dst:(Mp5_banzai.Machine.input -> int) ->
+  snapshot:string ->
+  params ->
+  Mp5_core.Transform.t ->
+  Mp5_workload.Packet_source.t ->
+  (outcome, Mp5_core.Sim.resume_error) Stdlib.result
+(** Rebuild a suspended fabric — every node machine, ingress backlog,
+    in-flight link state, metadata, digests — and keep driving.  The
+    host source must be either fresh (its consumed prefix is replayed
+    and checked against the snapshot's source digest) or positioned
+    exactly at the snapshot's cursor.  The embedded topology and routing
+    digests guard against resuming under a different fabric; the link
+    plan travels inside the snapshot.  Monitor counters restart (the
+    snapshot does not carry monitor state) but conservation holds at
+    every epoch of the resumed run. *)
+
+val results_equal : result -> result -> bool
+(** Exact equality on every field, histograms included — the cross-jobs
+    and snapshot/resume identity checks. *)
+
+val throughput : result -> float
+(** Delivered packets per fabric cycle. *)
+
+val pp_result : Format.formatter -> result -> unit

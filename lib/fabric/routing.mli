@@ -1,0 +1,37 @@
+(** Routing policies: per-switch (dst-prefix -> egress port) predicates.
+
+    The NetKAT-style idiom, scaled down: a policy is, per switch, a list
+    of destination-prefix rules over the host id space, longest prefix
+    wins.  {!shortest_paths} derives one from a topology (BFS over the
+    switch graph, ties broken toward the smallest out-link id, so the
+    policy is a pure function of the topology), and {!compile} lowers
+    any policy to the dense [switch -> host -> port] forwarding tables
+    the fabric driver consults at egress.  A dst with no matching rule
+    compiles to port [-1]: a forwarding miss, counted as a drop by the
+    driver rather than an error. *)
+
+type rule = { pfx : int; len : int; port : int }
+(** Matches dst host [h] when [h lsr (bits - len) = pfx]; [len = 0] is
+    the default route. *)
+
+type policy = { bits : int; rules : rule list array }
+(** [bits] is the width of the host id space ([2^bits >= n_hosts]);
+    [rules.(s)] are switch [s]'s predicates. *)
+
+val bits_for : int -> int
+(** Smallest prefix width covering a host count (minimum 1). *)
+
+val shortest_paths : Topology.t -> policy
+(** Shortest-path routes for every (switch, host) pair, compressed to
+    prefix rules by recursive binary splitting of the host space. *)
+
+val compile : policy -> Topology.t -> int array array
+(** Dense forwarding tables, [table.(switch).(dst_host) = port] with
+    [-1] for a miss.  [compile (shortest_paths t) t] routes every pair
+    (the topology validator guarantees reachability). *)
+
+val pp : Format.formatter -> policy -> unit
+(** Stable pretty-print (pinned by [test/cram/fabric.t]). *)
+
+val digest : policy -> int
+(** FNV digest over the rule structure, embedded in fabric snapshots. *)

@@ -1,0 +1,33 @@
+(** Seeded host-to-host traffic for fabric runs.
+
+    A constant-memory {!Mp5_workload.Packet_source} of fabric inputs:
+    [per_cycle] packets per cycle with nondecreasing arrival times,
+    [port] set to the uniformly random source host, and one header field
+    ([dst_field]) carrying a uniformly random destination host id — the
+    field the fabric driver reads at ingress to route the packet.
+    Everything flows from the single seed, so fabric experiments
+    reproduce exactly. *)
+
+type spec = {
+  topo : Topology.t;
+  n_packets : int;
+  n_fields : int;         (** user header fields of the program *)
+  dst_field : int;        (** header index carrying the destination host *)
+  per_cycle : int;        (** injection rate, fabric-wide packets/cycle *)
+  index_fields : int list;(** fields filled with register indices *)
+  reg_size : int;
+  seed : int;
+}
+
+val default_spec : Topology.t -> spec
+(** 1000 packets, 4 fields, dst in field 0, rate [n_hosts/2] per cycle,
+    seed 42. *)
+
+val source : spec -> Mp5_workload.Packet_source.t
+(** @raise Invalid_argument on a non-positive count/rate or a
+    [dst_field] outside the header. *)
+
+val dst_of_input : spec -> Mp5_banzai.Machine.input -> int
+(** Read the destination host from a packet's headers ([-1] when the
+    header is too short, which the driver counts as a forwarding
+    miss). *)

@@ -5,7 +5,10 @@ exception Error of string
 (* One-slot lookahead over a pull closure.  [peek] fills the slot, [next]
    drains it; once the closure returns [None] the source is permanently
    exhausted ([eof]), so a well-behaved closure is only ever pulled once
-   past its end. *)
+   past its end.  A [live] source never latches [eof]: its backing store
+   can refill between pulls (the fabric driver pushes inter-switch
+   deliveries into a node's queue each cycle), so an empty pull means
+   "nothing right now", not "nothing ever". *)
 type t = {
   pull : unit -> Machine.input option;
   mutable cached : Machine.input option;
@@ -13,10 +16,11 @@ type t = {
   mutable consumed : int;
   mutable last_time : int;
   total : int option;
+  live : bool;
 }
 
 let of_pull ?total pull =
-  { pull; cached = None; eof = false; consumed = 0; last_time = 0; total }
+  { pull; cached = None; eof = false; consumed = 0; last_time = 0; total; live = false }
 
 let of_array a =
   let i = ref 0 in
@@ -29,6 +33,17 @@ let of_array a =
         Some p
       end)
 
+let of_queue ?(consumed = 0) q =
+  {
+    pull = (fun () -> Queue.take_opt q);
+    cached = None;
+    eof = false;
+    consumed;
+    last_time = 0;
+    total = None;
+    live = true;
+  }
+
 let peek t =
   match t.cached with
   | Some _ as r -> r
@@ -36,7 +51,9 @@ let peek t =
       if t.eof then None
       else begin
         let r = t.pull () in
-        (match r with None -> t.eof <- true | Some _ -> t.cached <- r);
+        (match r with
+        | None -> if not t.live then t.eof <- true
+        | Some _ -> t.cached <- r);
         r
       end
 
@@ -52,3 +69,5 @@ let next t =
 let consumed t = t.consumed
 let total_hint t = t.total
 let last_time t = t.last_time
+let buffered t = match t.cached with Some _ -> 1 | None -> 0
+let lookahead t = t.cached

@@ -27,6 +27,15 @@ val of_pull : ?total:int -> (unit -> Mp5_banzai.Machine.input option) -> t
     simulator reserve duplicate-ghost sequence numbers exactly as the
     array path does. *)
 
+val of_queue : ?consumed:int -> Mp5_banzai.Machine.input Queue.t -> t
+(** A live source over a refillable queue: an empty queue means "nothing
+    this cycle", never end-of-stream, so [peek] does not latch
+    exhaustion.  The fabric driver pushes each switch's inter-switch
+    deliveries into its queue between lock-step cycles.  [consumed]
+    (default 0) pre-positions the cursor when rebuilding a node from a
+    snapshot, so sequence numbers continue where the checkpointed run
+    stopped. *)
+
 val peek : t -> Mp5_banzai.Machine.input option
 (** Next packet without consuming it. *)
 
@@ -41,3 +50,12 @@ val total_hint : t -> int option
 
 val last_time : t -> int
 (** Arrival time of the most recently consumed packet (0 before any). *)
+
+val buffered : t -> int
+(** Packets sitting in the one-slot lookahead (0 or 1): pulled from the
+    backing store by [peek] but not yet consumed.  A queue-backed node's
+    true backlog is [Queue.length q + buffered t]. *)
+
+val lookahead : t -> Mp5_banzai.Machine.input option
+(** The lookahead slot's content, without pulling — what a fabric
+    snapshot needs to serialize a node's complete backlog. *)

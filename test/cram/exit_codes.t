@@ -21,7 +21,7 @@ no sense:
   --jobs expects a positive integer, got "nope"
   [1]
   $ ../../bench/main.exe --smoke no-such-experiment 2>&1 | tail -1
-  unknown experiment "no-such-experiment" (known: table1, sram, d2, d3, d4, fig7a, fig7b, fig7c, fig7d, fig8, ablate-priority, ablate-period, ablate-fifo, ablate-gate, degraded, sim-micro, sim-par, longrun, chaos, perf)
+  unknown experiment "no-such-experiment" (known: table1, sram, d2, d3, d4, fig7a, fig7b, fig7c, fig7d, fig8, ablate-priority, ablate-period, ablate-fifo, ablate-gate, degraded, sim-micro, sim-par, longrun, chaos, fabric, perf)
   $ ../../bench/main.exe --smoke no-such-experiment > /dev/null 2>&1; echo "exit $?"
   exit 1
 

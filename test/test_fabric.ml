@@ -1,0 +1,371 @@
+(* Fabric-grade test battery for lib/fabric.
+
+   The anchor is the degenerate differential: a one-switch fabric with
+   zero-delay host links is the plain simulator wearing a topology — on
+   a slice of the 220-program corpus its exit and access digests must
+   equal [Sim.run_source]'s exactly, packet for packet.  The fabric
+   driver may add routing, links and lock-step stepping, but it may not
+   change a single observable bit of the machine it wraps.
+
+   On top of that, a 100-seed property quantifies over random topologies
+   (2-8 switches, random trunk delays, random host placement):
+   fabric-wide packet conservation holds at every monitor epoch, and the
+   result is bit-identical across --jobs 1/2/4 and across the
+   kernel/interpreter engines — including under a seeded link-down
+   fault plan.  Topology validation, forwarding-miss accounting and the
+   zero-delay corner get direct unit tests. *)
+
+module Sim = Mp5_core.Sim
+module Machine = Mp5_banzai.Machine
+module Psource = Mp5_workload.Packet_source
+module Pool = Mp5_util.Pool
+module Rng = Mp5_util.Rng
+module Monitor = Mp5_fault.Monitor
+module Linkplan = Mp5_fault.Linkplan
+module Topology = Mp5_fabric.Topology
+module Routing = Mp5_fabric.Routing
+module Fabric = Mp5_fabric.Fabric
+module Progen = Mp5_fuzz.Progen
+open Mp5_domino
+
+let limits = Progen.limits
+
+let prog_for seed =
+  let src = Progen.generate seed in
+  match Compile.compile ~limits src with
+  | Ok t -> (src, Mp5_core.Transform.transform ~limits t.Compile.config)
+  | Error e ->
+      Alcotest.failf "seed %d: generated program failed to compile:\n%s\n%a" seed src
+        Compile.pp_error e
+
+let params_for topo ~k plan =
+  {
+    Fabric.fp_sim = Sim.default_params ~k;
+    fp_topo = topo;
+    fp_policy = Routing.shortest_paths topo;
+    fp_plan = plan;
+  }
+
+let completed seed = function
+  | Fabric.Completed r -> r
+  | Fabric.Suspended _ -> Alcotest.failf "seed %d: fabric run suspended without a budget" seed
+
+(* Teams shared across the whole file so domain spawn is paid once. *)
+let teams = lazy (Array.map (fun jobs -> Pool.Team.create ~jobs) [| 2; 4 |])
+
+(* ------------------------------------------------------------------ *)
+(* Degenerate differential: 1-switch fabric = plain streamed run.      *)
+(* ------------------------------------------------------------------ *)
+
+(* Progen traces use ports 0..k-1, so a one-switch topology with k hosts
+   maps port -> host identically and zero-delay uplinks admit each cycle's
+   packets in (time, port) trace order — exactly the plain run's
+   admission order.  All packets route to host 0, whose single
+   zero-delay downlink delivers in exit order, so the fabric's exit
+   digest folds the same (seq, latency, headers) triples in the same
+   order as the machine's streaming digest. *)
+let run_degenerate seed =
+  let src, prog = prog_for seed in
+  let k = 2 + (seed mod 3) in
+  let n_packets = 100 in
+  let trace = Progen.trace ~seed ~k ~n:n_packets in
+  let params = Sim.default_params ~k in
+  let plain =
+    match Sim.run_source params prog (Psource.of_array trace) with
+    | Sim.Completed s -> s
+    | Sim.Suspended _ -> Alcotest.failf "seed %d: plain run suspended without a budget" seed
+  in
+  let topo = Topology.line ~switches:1 ~hosts_per_sw:k ~delay:0 in
+  let fp = params_for topo ~k Linkplan.empty in
+  let mon = Monitor.create ~epoch:16 () in
+  let r =
+    completed seed
+      (Fabric.run ~monitor:mon ~compiled:(seed mod 2 = 0) ~dst:(fun _ -> 0) fp prog
+         (Psource.of_array trace))
+  in
+  if not (Monitor.ok mon) then
+    Alcotest.failf "seed %d: conservation violated on the degenerate fabric:\n%s\n%s" seed src
+      (Monitor.summary mon);
+  if Monitor.checks mon = 0 then
+    Alcotest.failf "seed %d: degenerate fabric ran with zero conservation checks" seed;
+  if r.Fabric.fr_exit_digest <> plain.Sim.s_digests.Sim.dg_exits then
+    Alcotest.failf "seed %d: fabric exit digest %016x <> plain %016x on:\n%s" seed
+      r.Fabric.fr_exit_digest plain.Sim.s_digests.Sim.dg_exits src;
+  if r.Fabric.fr_access_digest <> plain.Sim.s_digests.Sim.dg_access then
+    Alcotest.failf "seed %d: fabric access digest %016x <> plain %016x on:\n%s" seed
+      r.Fabric.fr_access_digest plain.Sim.s_digests.Sim.dg_access src;
+  if r.Fabric.fr_node_dropped <> plain.Sim.s_dropped then
+    Alcotest.failf "seed %d: fabric node drops %d <> plain %d on:\n%s" seed
+      r.Fabric.fr_node_dropped plain.Sim.s_dropped src;
+  if r.Fabric.fr_injected <> n_packets then
+    Alcotest.failf "seed %d: fabric injected %d of %d packets" seed r.Fabric.fr_injected
+      n_packets;
+  if r.Fabric.fr_delivered + r.Fabric.fr_node_dropped <> n_packets then
+    Alcotest.failf "seed %d: degenerate fabric lost packets: delivered %d + dropped %d <> %d"
+      seed r.Fabric.fr_delivered r.Fabric.fr_node_dropped n_packets
+
+let test_degenerate () =
+  (* Every 10th corpus seed: 22 programs across k in {2,3,4} and both
+     execution engines. *)
+  let seeds = List.init 22 (fun i -> i * 10) in
+  List.iter run_degenerate seeds;
+  Alcotest.(check int) "slice size" 22 (List.length seeds)
+
+(* ------------------------------------------------------------------ *)
+(* 100-seed property: conservation + jobs/engine identity.             *)
+(* ------------------------------------------------------------------ *)
+
+(* Random connected topology: a random spanning tree over 2-8 switches
+   plus a few extra trunks, random per-trunk delays 0-2, and hosts
+   attached to random switches. *)
+let gen_topology rng =
+  let n_sw = 2 + Rng.int rng 7 in
+  let seen = Hashtbl.create 16 in
+  let trunk a b =
+    let key = (min a b, max a b) in
+    if a = b || Hashtbl.mem seen key then None
+    else begin
+      Hashtbl.add seen key ();
+      Some (Topology.edge ~delay:(Rng.int rng 3) (Switch a) (Switch b))
+    end
+  in
+  let tree =
+    List.filter_map
+      (fun s -> trunk (Rng.int rng s) s)
+      (List.init (n_sw - 1) (fun i -> i + 1))
+  in
+  let extra =
+    List.filter_map
+      (fun _ -> trunk (Rng.int rng n_sw) (Rng.int rng n_sw))
+      (List.init (Rng.int rng n_sw) Fun.id)
+  in
+  let n_hosts = n_sw + Rng.int rng (n_sw + 1) in
+  let hosts =
+    List.init n_hosts (fun h ->
+        Topology.edge ~delay:(Rng.int rng 2) (Host h) (Switch (Rng.int rng n_sw)))
+  in
+  match Topology.make ~n_switches:n_sw ~n_hosts (tree @ extra @ hosts) with
+  | Ok t -> t
+  | Error e -> QCheck.Test.fail_reportf "generated topology invalid: %s" e
+
+let gen_trace rng ~n_hosts ~n =
+  let per = 1 + Rng.int rng 3 in
+  Array.init n (fun i ->
+      {
+        Machine.time = i / per;
+        port = Rng.int rng n_hosts;
+        headers = Array.init 4 (fun _ -> Rng.int rng 16 - 2);
+      })
+
+let prop_fabric_deterministic =
+  QCheck.Test.make ~name:"conservation + jobs/engine identity (random fabrics)" ~count:100
+    QCheck.(small_nat)
+    (fun seed ->
+      let src, prog = prog_for (seed mod 220) in
+      let rng = Rng.create ((seed * 131) + 7) in
+      let topo = gen_topology rng in
+      let n_hosts = Topology.n_hosts topo in
+      let trace = gen_trace rng ~n_hosts ~n:60 in
+      let dst (input : Machine.input) =
+        (input.Machine.port + abs input.Machine.headers.(0)) mod n_hosts
+      in
+      let plan =
+        if seed mod 3 = 0 then begin
+          let link = Rng.int rng (Topology.n_links topo) in
+          let text = Printf.sprintf "link-down @5..40 link=%d" link in
+          match Linkplan.parse text with
+          | Ok p -> p
+          | Error e -> QCheck.Test.fail_reportf "bad link plan %S: %s" text e
+        end
+        else Linkplan.empty
+      in
+      let fp = params_for topo ~k:2 plan in
+      let one ?team ~compiled () =
+        let mon = Monitor.create ~epoch:16 () in
+        let r =
+          try
+            completed seed
+              (Fabric.run ?team ~monitor:mon ~compiled ~dst fp prog (Psource.of_array trace))
+          with Monitor.Violation diag ->
+            QCheck.Test.fail_reportf "seed %d: conservation violated:\n%s\n%s" seed diag src
+        in
+        if not (Monitor.ok mon) then
+          QCheck.Test.fail_reportf "seed %d: monitor not ok:\n%s" seed (Monitor.summary mon);
+        if Monitor.checks mon = 0 then
+          QCheck.Test.fail_reportf "seed %d: run finished with zero conservation checks" seed;
+        r
+      in
+      let base = one ~compiled:true () in
+      (* Every packet is accounted for at the end, too. *)
+      if
+        base.Fabric.fr_delivered + base.Fabric.fr_node_dropped + base.Fabric.fr_miss_dropped
+        + base.Fabric.fr_link_dropped
+        <> base.Fabric.fr_injected
+      then
+        QCheck.Test.fail_reportf "seed %d: final accounting leaks: %d+%d+%d+%d <> %d" seed
+          base.Fabric.fr_delivered base.Fabric.fr_node_dropped base.Fabric.fr_miss_dropped
+          base.Fabric.fr_link_dropped base.Fabric.fr_injected;
+      let t2 = (Lazy.force teams).(0) and t4 = (Lazy.force teams).(1) in
+      if not (Fabric.results_equal base (one ~team:t2 ~compiled:true ())) then
+        QCheck.Test.fail_reportf "seed %d: jobs=2 diverges from jobs=1 on:\n%s" seed src;
+      if not (Fabric.results_equal base (one ~team:t4 ~compiled:true ())) then
+        QCheck.Test.fail_reportf "seed %d: jobs=4 diverges from jobs=1 on:\n%s" seed src;
+      if not (Fabric.results_equal base (one ~compiled:false ())) then
+        QCheck.Test.fail_reportf "seed %d: interpreter engine diverges from kernels on:\n%s"
+          seed src;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Topology validation and edge cases.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let check_invalid name expect = function
+  | Ok _ -> Alcotest.failf "%s: invalid topology accepted" name
+  | Error msg ->
+      let has sub =
+        let ls = String.length sub and lm = String.length msg in
+        let rec go i = i + ls <= lm && (String.sub msg i ls = sub || go (i + 1)) in
+        go 0
+      in
+      if not (has expect) then
+        Alcotest.failf "%s: error %S does not mention %S" name msg expect
+
+let test_validation () =
+  check_invalid "self-loop" "self-loop"
+    (Topology.make ~n_switches:1 ~n_hosts:1
+       [ Topology.edge (Switch 0) (Switch 0); Topology.edge (Host 0) (Switch 0) ]);
+  check_invalid "unreachable" "unreachable"
+    (Topology.make ~n_switches:2 ~n_hosts:2
+       [ Topology.edge (Host 0) (Switch 0); Topology.edge (Host 1) (Switch 1) ]);
+  check_invalid "host-host" "hosts connect to switches"
+    (Topology.make ~n_switches:1 ~n_hosts:2
+       [
+         Topology.edge (Host 0) (Host 1);
+         Topology.edge (Host 0) (Switch 0);
+         Topology.edge (Host 1) (Switch 0);
+       ]);
+  check_invalid "homeless host" "exactly one"
+    (Topology.make ~n_switches:2 ~n_hosts:1
+       [
+         Topology.edge (Switch 0) (Switch 1);
+         Topology.edge (Host 0) (Switch 0);
+         Topology.edge (Host 0) (Switch 1);
+       ]);
+  check_invalid "bad spec shape" "unknown shape" (Topology.of_spec "blob:3");
+  check_invalid "bad spec option" "unknown option" (Topology.of_spec "line:2,depth=3");
+  (* Stock shapes and the spec parser agree. *)
+  (match Topology.of_spec "leafspine:2x2,hosts=2,delay=1" with
+  | Ok t ->
+      Alcotest.(check int) "leafspine switches" 4 (Topology.n_switches t);
+      Alcotest.(check int) "leafspine hosts" 4 (Topology.n_hosts t);
+      Alcotest.(check int) "leafspine digest"
+        (Topology.digest (Topology.leaf_spine ~leaves:2 ~spines:2 ~hosts_per_leaf:2 ~delay:1))
+        (Topology.digest t)
+  | Error e -> Alcotest.failf "leafspine spec rejected: %s" e);
+  match Topology.of_spec "fattree:4" with
+  | Ok t ->
+      Alcotest.(check int) "fattree switches" 20 (Topology.n_switches t);
+      Alcotest.(check int) "fattree hosts" 16 (Topology.n_hosts t)
+  | Error e -> Alcotest.failf "fattree spec rejected: %s" e
+
+(* A zero-delay multi-switch line still conserves and terminates. *)
+let test_zero_delay () =
+  let _, prog = prog_for 3 in
+  let topo = Topology.line ~switches:3 ~hosts_per_sw:1 ~delay:0 in
+  let trace = gen_trace (Rng.create 99) ~n_hosts:3 ~n:80 in
+  let mon = Monitor.create ~epoch:8 () in
+  let r =
+    completed 3
+      (Fabric.run ~monitor:mon ~dst:(fun i -> i.Machine.port mod 3)
+         (params_for topo ~k:2 Linkplan.empty)
+         prog (Psource.of_array trace))
+  in
+  Alcotest.(check bool) "monitor ok" true (Monitor.ok mon);
+  Alcotest.(check int) "all injected" 80 r.Fabric.fr_injected;
+  Alcotest.(check int) "all accounted" 80
+    (r.Fabric.fr_delivered + r.Fabric.fr_node_dropped + r.Fabric.fr_miss_dropped
+   + r.Fabric.fr_link_dropped)
+
+(* A forwarding-table miss is a counted drop, never a crash: an empty
+   policy routes nothing, a dst outside the host space routes nothing. *)
+let test_forwarding_miss () =
+  let _, prog = prog_for 5 in
+  let topo = Topology.line ~switches:2 ~hosts_per_sw:1 ~delay:1 in
+  let trace = gen_trace (Rng.create 7) ~n_hosts:2 ~n:40 in
+  let empty_policy =
+    { Routing.bits = Routing.bits_for 2; rules = Array.make 2 [] }
+  in
+  let fp =
+    {
+      Fabric.fp_sim = Sim.default_params ~k:2;
+      fp_topo = topo;
+      fp_policy = empty_policy;
+      fp_plan = Linkplan.empty;
+    }
+  in
+  let mon = Monitor.create ~epoch:8 () in
+  let r =
+    completed 5
+      (Fabric.run ~monitor:mon ~dst:(fun i -> i.Machine.port mod 2) fp prog
+         (Psource.of_array trace))
+  in
+  Alcotest.(check bool) "monitor ok" true (Monitor.ok mon);
+  Alcotest.(check int) "nothing delivered" 0 r.Fabric.fr_delivered;
+  Alcotest.(check int) "all misses counted" 40
+    (r.Fabric.fr_miss_dropped + r.Fabric.fr_node_dropped);
+  (* dst outside the host space: the ingress miss path. *)
+  let mon2 = Monitor.create ~epoch:8 () in
+  let r2 =
+    completed 5
+      (Fabric.run ~monitor:mon2 ~dst:(fun _ -> 99)
+         (params_for topo ~k:2 Linkplan.empty)
+         prog (Psource.of_array trace))
+  in
+  Alcotest.(check bool) "monitor ok (bad dst)" true (Monitor.ok mon2);
+  Alcotest.(check int) "every packet an ingress miss" 40 r2.Fabric.fr_miss_dropped
+
+(* Link-down windows drop counted packets; link-delay only reorders
+   nothing (per-link FIFO): both keep conservation and determinism. *)
+let test_link_faults () =
+  let _, prog = prog_for 11 in
+  let topo = Topology.line ~switches:2 ~hosts_per_sw:1 ~delay:1 in
+  let trace = gen_trace (Rng.create 41) ~n_hosts:2 ~n:60 in
+  (* Down the s0->s1 trunk (link 0) for a window covering most of the
+     run: cross traffic must drop, local traffic still delivers. *)
+  let plan =
+    match Linkplan.parse "link-down @0..1000 link=0; link-delay @0..1000 link=1 extra=5" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "bad plan: %s" e
+  in
+  let mon = Monitor.create ~epoch:8 () in
+  let r =
+    completed 11
+      (Fabric.run ~monitor:mon ~dst:(fun i -> 1 - (i.Machine.port mod 2))
+         (params_for topo ~k:2 plan)
+         prog (Psource.of_array trace))
+  in
+  Alcotest.(check bool) "monitor ok" true (Monitor.ok mon);
+  if r.Fabric.fr_link_dropped = 0 then
+    Alcotest.fail "link-down window dropped nothing (cross traffic should hit link 0)";
+  Alcotest.(check int) "all accounted" 60
+    (r.Fabric.fr_delivered + r.Fabric.fr_node_dropped + r.Fabric.fr_miss_dropped
+   + r.Fabric.fr_link_dropped)
+
+let () =
+  Alcotest.run "fabric"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "1-switch fabric = plain streamed run (corpus slice)" `Quick
+            test_degenerate;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_fabric_deterministic ] );
+      ( "topology",
+        [
+          Alcotest.test_case "validation rejects malformed topologies" `Quick test_validation;
+          Alcotest.test_case "zero-delay links" `Quick test_zero_delay;
+          Alcotest.test_case "forwarding miss is a counted drop" `Quick test_forwarding_miss;
+          Alcotest.test_case "link-down / link-delay windows" `Quick test_link_faults;
+        ] );
+    ]

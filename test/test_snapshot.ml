@@ -338,6 +338,127 @@ let test_torn_fallback () =
       Alcotest.(check bool) "newest contents" true (contents = newest)
   | Error e -> Alcotest.failf "intact chain rejected: %s" e
 
+(* --- fabric snapshots ("mp5-fab/1") ---
+
+   A mid-flight fabric run — packets inside switch machines, queued at
+   ingress adapters, and in flight on delay-carrying links — suspended
+   by [cycle_budget], serialized, and resumed must finish bit-identical
+   to the uninterrupted run ([Fabric.results_equal]: every counter,
+   digest and histogram), including when the resume runs on a team.
+   Damaged fabric snapshots are [Corrupt]; a snapshot resumed against a
+   different topology, routing policy or program is [Mismatch]. *)
+
+module Fabric = Mp5_fabric.Fabric
+module Topology = Mp5_fabric.Topology
+module Routing = Mp5_fabric.Routing
+
+let fabric_fixture () =
+  let _, prog = prog_for 13 in
+  (* Trunk delay 2 keeps packets in flight on the spine links at almost
+     any suspension cycle. *)
+  let topo = Topology.leaf_spine ~leaves:2 ~spines:2 ~hosts_per_leaf:1 ~delay:2 in
+  let rng = Mp5_util.Rng.create 414 in
+  let trace =
+    Array.init 150 (fun i ->
+        {
+          Mp5_banzai.Machine.time = i / 2;
+          port = Mp5_util.Rng.int rng 2;
+          headers = Array.init 4 (fun _ -> Mp5_util.Rng.int rng 16 - 2);
+        })
+  in
+  let dst (i : Mp5_banzai.Machine.input) = 1 - (i.Mp5_banzai.Machine.port mod 2) in
+  let fp =
+    {
+      Fabric.fp_sim = Sim.default_params ~k:2;
+      fp_topo = topo;
+      fp_policy = Routing.shortest_paths topo;
+      fp_plan = Mp5_fault.Linkplan.empty;
+    }
+  in
+  (prog, trace, dst, fp)
+
+let fabric_completed = function
+  | Fabric.Completed r -> r
+  | Fabric.Suspended _ -> Alcotest.fail "fabric run suspended without a budget"
+
+let test_fabric_resume () =
+  let prog, trace, dst, fp = fabric_fixture () in
+  let straight =
+    fabric_completed (Fabric.run ~dst fp prog (Psource.of_array trace))
+  in
+  (* Chunk the run through suspensions; each leg resumes from the
+     previous snapshot against a fresh source (replayed-prefix path). *)
+  let team = Mp5_util.Pool.Team.create ~jobs:2 in
+  let rec chunks ?team n outcome =
+    match outcome with
+    | Fabric.Completed r -> (n, r)
+    | Fabric.Suspended snap -> (
+        if n > 50 then Alcotest.fail "fabric resume chain does not terminate";
+        match
+          Fabric.resume ?team ~cycle_budget:30 ~dst ~snapshot:snap fp prog
+            (Psource.of_array trace)
+        with
+        | Ok o -> chunks ?team (n + 1) o
+        | Error (Sim.Corrupt m) -> Alcotest.failf "chunk %d: corrupt: %s" n m
+        | Error (Sim.Mismatch m) -> Alcotest.failf "chunk %d: mismatch: %s" n m)
+  in
+  let first = Fabric.run ~cycle_budget:12 ~dst fp prog (Psource.of_array trace) in
+  (match first with
+  | Fabric.Suspended _ -> ()
+  | Fabric.Completed _ -> Alcotest.fail "budget 12 did not suspend the fabric run");
+  let n, chunked = chunks 0 first in
+  if n < 2 then Alcotest.failf "expected several suspensions, got %d" n;
+  if not (Fabric.results_equal straight chunked) then
+    Alcotest.fail "chunked fabric run diverges from the uninterrupted run";
+  (* Resuming on a team must land on the same result. *)
+  let _, par = chunks ~team 0 (Fabric.run ~cycle_budget:12 ~dst fp prog (Psource.of_array trace)) in
+  Mp5_util.Pool.Team.shutdown team;
+  if not (Fabric.results_equal straight par) then
+    Alcotest.fail "fabric resume on a team diverges from the uninterrupted run"
+
+let test_fabric_rejects () =
+  let prog, trace, dst, fp = fabric_fixture () in
+  let snap =
+    match Fabric.run ~cycle_budget:12 ~dst fp prog (Psource.of_array trace) with
+    | Fabric.Suspended snap -> snap
+    | Fabric.Completed _ -> Alcotest.fail "budget 12 did not suspend the fabric run"
+  in
+  let err ?(fp = fp) ?(prog = prog) snap =
+    match Fabric.resume ~dst ~snapshot:snap fp prog (Psource.of_array trace) with
+    | Ok _ -> None
+    | Error e -> Some e
+  in
+  (* corrupt: bit flip, truncation, garbage magic *)
+  (let b = Bytes.of_string snap in
+   let mid = String.length snap / 2 in
+   Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0xff));
+   match err (Bytes.to_string b) with
+   | Some (Sim.Corrupt msg) ->
+       if not (contains msg "checksum") then Alcotest.failf "bit flip: %s" msg
+   | Some (Sim.Mismatch msg) -> Alcotest.failf "bit flip: mismatch, want corrupt: %s" msg
+   | None -> Alcotest.fail "bit-flipped fabric snapshot accepted");
+  (match err (String.sub snap 0 (String.length snap / 3)) with
+  | Some (Sim.Corrupt _) -> ()
+  | _ -> Alcotest.fail "truncated fabric snapshot accepted");
+  (match err "" with
+  | Some (Sim.Corrupt _) -> ()
+  | _ -> Alcotest.fail "empty fabric snapshot accepted");
+  (* mismatch: a different topology, and a different program *)
+  let other_topo = Topology.line ~switches:2 ~hosts_per_sw:1 ~delay:2 in
+  let other_fp =
+    { fp with Fabric.fp_topo = other_topo; fp_policy = Routing.shortest_paths other_topo }
+  in
+  (match err ~fp:other_fp snap with
+  | Some (Sim.Mismatch msg) ->
+      if not (contains msg "topology") then Alcotest.failf "wrong topology: %s" msg
+  | Some (Sim.Corrupt msg) -> Alcotest.failf "wrong topology: corrupt, want mismatch: %s" msg
+  | None -> Alcotest.fail "fabric snapshot accepted under a different topology");
+  let _, other_prog = prog_for 4 in
+  match err ~prog:other_prog snap with
+  | Some (Sim.Mismatch _) -> ()
+  | Some (Sim.Corrupt msg) -> Alcotest.failf "wrong program: corrupt, want mismatch: %s" msg
+  | None -> Alcotest.fail "fabric snapshot accepted under a different program"
+
 let () =
   Alcotest.run "snapshot"
     [
@@ -357,5 +478,12 @@ let () =
           Alcotest.test_case "write_rotated keeps a bounded chain" `Quick test_rotation_chain;
           Alcotest.test_case "torn newest snapshot falls back and finishes bit-identical"
             `Quick test_torn_fallback;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "mid-flight fabric snapshot/resume is invisible" `Quick
+            test_fabric_resume;
+          Alcotest.test_case "damaged or mismatched fabric snapshots are rejected" `Quick
+            test_fabric_rejects;
         ] );
     ]
